@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the convolution kernels: direct, im2col+GEMM
+//! and Winograd F2/F4/F6 (FP32), plus the integer tap-wise F4 pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wino_core::{
+    winograd_conv2d, IntWinogradConv, QuantBits, QuantParams, TapwiseScales, TileSize,
+    WinogradMatrices, WinogradQuantConfig,
+};
+use wino_tensor::{conv2d_direct, conv2d_im2col, normal, ConvParams};
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let x = normal(&[1, 16, 32, 32], 0.0, 1.0, 1);
+    let w = normal(&[16, 16, 3, 3], 0.0, 0.3, 2);
+    let p = ConvParams::same_3x3();
+
+    let mut group = c.benchmark_group("conv2d_16x16x32");
+    group.sample_size(10);
+    group.bench_function("direct", |b| b.iter(|| conv2d_direct(&x, &w, None, p)));
+    group.bench_function("im2col_gemm", |b| b.iter(|| conv2d_im2col(&x, &w, None, p)));
+    for tile in [TileSize::F2, TileSize::F4, TileSize::F6] {
+        group.bench_with_input(BenchmarkId::new("winograd", tile.to_string()), &tile, |b, &t| {
+            b.iter(|| winograd_conv2d(&x, &w, t))
+        });
+    }
+    group.finish();
+
+    let mut int_group = c.benchmark_group("int8_tapwise_f4");
+    int_group.sample_size(10);
+    let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
+    let mats = WinogradMatrices::for_tile(TileSize::F4);
+    let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+    let xp = QuantParams::from_max(x.abs_max(), QuantBits::int8()).to_power_of_two();
+    let xq = x.map(|v| xp.quantize(v) as i8);
+    let conv = IntWinogradConv::prepare(&w, &scales, xp, 10.0, cfg);
+    int_group.bench_function("forward", |b| b.iter(|| conv.forward(&xq)));
+    int_group.bench_function("prepare", |b| {
+        b.iter(|| IntWinogradConv::prepare(&w, &scales, xp, 10.0, cfg))
+    });
+    int_group.finish();
+}
+
+criterion_group!(benches, bench_conv_kernels);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks of calibration and tap-wise quantization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wino_core::analysis::{weight_quantization_error, QuantDomain, QuantGranularity};
+use wino_core::{QuantBits, ScaleMode, TapwiseScales, TileSize, WinogradMatrices};
+use wino_tensor::{kaiming_normal, normal};
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantization");
+    group.sample_size(10);
+    let w = kaiming_normal(&[32, 32, 3, 3], 3);
+    let x = normal(&[1, 32, 16, 16], 0.0, 1.0, 4);
+    let mats = WinogradMatrices::for_tile(TileSize::F4);
+
+    group.bench_function("calibrate_tapwise_f4", |b| {
+        b.iter(|| TapwiseScales::calibrate(&w, &x, &mats, QuantBits::int8(), ScaleMode::PowerOfTwo))
+    });
+    let layers = vec![kaiming_normal(&[32, 32, 3, 3], 5)];
+    group.bench_function("fig4_tapwise_error", |b| {
+        b.iter(|| {
+            weight_quantization_error(
+                &layers,
+                QuantDomain::Winograd(TileSize::F4),
+                QuantGranularity::TapWise,
+                8,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantization);
+criterion_main!(benches);

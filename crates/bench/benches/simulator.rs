@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the accelerator performance model itself (the cost
+//! of regenerating the paper's tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use accel_sim::{simulate_layer, simulate_network, AcceleratorConfig, Kernel, KernelChoice};
+use wino_nets::{resnet34, synthetic_conv_suite, ConvLayer};
+
+fn bench_simulator(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::paper_system();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let layer = ConvLayer::conv3x3("bench", 256, 256, 32);
+    group.bench_function("layer_f4", |b| {
+        b.iter(|| simulate_layer(&layer, 8, Kernel::WinogradF4, &cfg))
+    });
+    group.bench_function("table4_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for wl in synthetic_conv_suite() {
+                acc += simulate_layer(&wl.layer, wl.batch, Kernel::WinogradF4, &cfg).cycles;
+            }
+            acc
+        })
+    });
+    let net = resnet34();
+    group.bench_function("resnet34_end_to_end_f4", |b| {
+        b.iter(|| simulate_network(&net, 16, KernelChoice::WithF4, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

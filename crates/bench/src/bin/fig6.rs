@@ -1,0 +1,84 @@
+//! Fig. 6 — memory-access counts and energy breakdown of the Winograd F4
+//! operator relative to im2col, averaged over the Winograd-eligible layers of
+//! the Table VII networks.
+
+use accel_sim::{simulate_layer, AcceleratorConfig, Kernel};
+use wino_bench::Table;
+use wino_nets::{benchmark_networks, LayerKind};
+
+fn main() {
+    let cfg = AcceleratorConfig::paper_system();
+    println!("Fig. 6 reproduction: Winograd F4 memory accesses and energy vs im2col");
+    println!("(averaged over the Winograd-eligible layers of the Table VII networks)\n");
+
+    let mut ratios = vec![0.0f64; 10];
+    let mut energy_f4 = [0.0f64; 8];
+    let mut energy_im2col_total = 0.0f64;
+    let mut f4_total = 0.0f64;
+    let mut count = 0usize;
+
+    for entry in benchmark_networks() {
+        for layer in entry
+            .network
+            .layers
+            .iter()
+            .filter(|l| l.kind() == LayerKind::WinogradEligible)
+        {
+            let base = simulate_layer(layer, entry.batch, Kernel::Im2col, &cfg);
+            let f4 = simulate_layer(layer, entry.batch, Kernel::WinogradF4, &cfg);
+            let b = &base.access;
+            let w = &f4.access;
+            let pairs = [
+                (w.gm_fm_read, b.gm_fm_read),
+                (w.gm_fm_write, b.gm_fm_write),
+                (w.gm_wt_read, b.gm_wt_read),
+                (w.l1_fm_read, b.l1_fm_read),
+                (w.l1_fm_write, b.l1_fm_write),
+                // The Winograd kernel streams weight operands from L1 while the
+                // im2col kernel streams them from L0B, so compare those paths.
+                (w.l1_wt_read, b.l0b_read),
+                (w.l1_wt_write, b.l1_wt_write),
+                (w.l0a_read, b.l0a_read),
+                (w.l0b_read, b.l0b_read),
+                (w.l0c_read + w.l0c_write, b.l0c_read + b.l0c_write),
+            ];
+            for (i, (num, den)) in pairs.iter().enumerate() {
+                if *den > 0.0 {
+                    ratios[i] += num / den;
+                }
+            }
+            energy_f4[0] += f4.energy.cube_nj;
+            energy_f4[1] += f4.energy.input_xform_nj;
+            energy_f4[2] += f4.energy.weight_xform_nj;
+            energy_f4[3] += f4.energy.output_xform_nj;
+            energy_f4[4] += f4.energy.l0_nj;
+            energy_f4[5] += f4.energy.l1_nj;
+            energy_f4[6] += f4.energy.dram_nj;
+            energy_f4[7] += f4.energy.vector_nj;
+            energy_im2col_total += base.energy.total_nj();
+            f4_total += f4.energy.total_nj();
+            count += 1;
+        }
+    }
+
+    let labels = [
+        "GM FM read", "GM FM write", "GM Wt read", "L1 FM read", "L1 FM write",
+        "Wt operand stream (L1 wino / L0B im2col)", "L1 Wt write", "L0A read", "L0B read", "L0C read+write",
+    ];
+    let mut table = Table::new(&["Access", "F4 / im2col"]);
+    for (label, total) in labels.iter().zip(ratios.iter()) {
+        table.push_row(vec![label.to_string(), format!("{:.2}", total / count as f64)]);
+    }
+    println!("{}", table.render());
+
+    println!("Energy breakdown of the Winograd F4 operator (share of its total):");
+    let names = ["CUBE", "IFM-XFRM", "WT-XFRM", "OFM-XFRM", "L0", "L1", "DRAM", "VECTOR"];
+    for (n, e) in names.iter().zip(energy_f4.iter()) {
+        println!("  {n:<9} {:5.1}%", e / f4_total * 100.0);
+    }
+    println!(
+        "\nTotal energy of the Winograd layers vs im2col: {:.2}x lower (paper: >2x lower, \
+         with the Cube Unit dominating the im2col energy)",
+        energy_im2col_total / f4_total
+    );
+}

@@ -1,0 +1,64 @@
+//! Table V — area and power breakdown of the AI core and the Winograd
+//! transformation-engine design space.
+
+use accel_sim::area_power::{
+    core_breakdown, engine_relative_areas, winograd_extension_area_fraction,
+    winograd_extension_power_fraction, CORE_AREA_MM2,
+};
+use accel_sim::xform::{EngineStyle, TransformEngine};
+use accel_sim::AcceleratorConfig;
+use wino_bench::Table;
+
+fn main() {
+    let cfg = AcceleratorConfig::paper_system();
+    println!("Table V reproduction: AI core area/power breakdown (28nm model, 0.8V, 500MHz)\n");
+    let mut table = Table::new(&["Unit", "Area [mm2]", "Area [%]", "Peak power [mW]", "Winograd ext."]);
+    for row in core_breakdown(&cfg) {
+        table.push_row(vec![
+            row.unit.clone(),
+            format!("{:.2}", row.area_mm2),
+            format!("{:.1}%", row.area_fraction * 100.0),
+            if row.peak_power_mw > 0.0 { format!("{:.0}", row.peak_power_mw) } else { "-".into() },
+            if row.winograd_extension { "yes".into() } else { "".into() },
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Total core area: {CORE_AREA_MM2:.2} mm2");
+    println!(
+        "Winograd extension area: {:.1}% of the core (paper: 6.1%)",
+        winograd_extension_area_fraction(&cfg) * 100.0
+    );
+    println!(
+        "Winograd engines power vs Cube Unit: {:.0}% (paper: ~17%)",
+        winograd_extension_power_fraction(&cfg) * 100.0
+    );
+
+    println!("\nTransformation-engine design space (Table I / Section IV-B1):");
+    let mut dse = Table::new(&["Engine", "Style", "Cycles/xform", "Xforms/cycle", "RD B/cyc", "WR B/cyc", "Rel. area"]);
+    let styles = [
+        ("row-by-row slow", EngineStyle::RowByRowSlow),
+        ("row-by-row fast", EngineStyle::RowByRowFast),
+        ("tap-by-tap (Pt=4)", EngineStyle::TapByTap { parallel_taps: 4 }),
+    ];
+    for (kind_name, base) in [
+        ("input", TransformEngine::paper_input_engine()),
+        ("weight", TransformEngine::paper_weight_engine()),
+        ("output", TransformEngine::paper_output_engine()),
+    ] {
+        for (style_name, style) in styles {
+            let e = TransformEngine { style, ..base };
+            dse.push_row(vec![
+                kind_name.to_string(),
+                style_name.to_string(),
+                format!("{:.1}", e.cycles_per_transform()),
+                format!("{:.2}", e.transforms_per_cycle()),
+                format!("{:.0}", e.read_bandwidth()),
+                format!("{:.0}", e.write_bandwidth()),
+                format!("{:.0}", e.relative_area()),
+            ]);
+        }
+    }
+    println!("{}", dse.render());
+    let (i, w, o) = engine_relative_areas();
+    println!("Chosen engines (paper): input fast row-by-row ({i:.0}), weight tap-by-tap ({w:.0}), output fast row-by-row ({o:.0}).");
+}

@@ -1,0 +1,53 @@
+//! Table VI — comparison with an 8-engine NVDLA system at the same peak
+//! throughput, with quasi-infinite and iso-bandwidth configurations.
+
+use accel_sim::{simulate_layer, AcceleratorConfig, Kernel};
+use nvdla_sim::{simulate_nvdla_layer, NvdlaConfig, NvdlaKernel};
+use wino_bench::Table;
+use wino_nets::ConvLayer;
+
+fn main() {
+    let ours = AcceleratorConfig::paper_system();
+    let nvdla_hi = NvdlaConfig::high_bandwidth();
+    let nvdla_iso = NvdlaConfig::iso_bandwidth();
+
+    println!("Table VI reproduction: 8x NVDLA (F2, FP16) vs our system (F4, INT8)");
+    println!(
+        "Peak throughput: NVDLA {:.1} TOp/s, ours {:.1} TOp/s; bandwidth: 128 / 42.7 Gword/s vs 41 Gword/s\n",
+        nvdla_hi.peak_tops(),
+        ours.peak_tops()
+    );
+
+    let rows = [(8usize, 32usize, 128usize, 128usize), (8, 32, 128, 256), (8, 32, 256, 512)];
+    let mut table = Table::new(&[
+        "B,H,W,Cin,Cout",
+        "NVDLA 128GW t[us]", "SU",
+        "NVDLA 42.7GW t[us]", "SU",
+        "Ours 41GW t[us]", "SU",
+        "Ours vs NVDLA(iso)",
+    ]);
+    for (b, hw, ci, co) in rows {
+        let layer = ConvLayer::conv3x3("t6", ci, co, hw);
+        let run = |cfg: &NvdlaConfig| {
+            let d = simulate_nvdla_layer(&layer, b, NvdlaKernel::Direct, cfg);
+            let w = simulate_nvdla_layer(&layer, b, NvdlaKernel::WinogradF2, cfg);
+            (w.time_us, d.time_us / w.time_us)
+        };
+        let (t_hi, su_hi) = run(&nvdla_hi);
+        let (t_iso, su_iso) = run(&nvdla_iso);
+        let base = simulate_layer(&layer, b, Kernel::Im2col, &ours);
+        let f4 = simulate_layer(&layer, b, Kernel::WinogradF4, &ours);
+        let t_ours = ours.cycles_to_seconds(f4.cycles) * 1e6;
+        let su_ours = base.cycles / f4.cycles;
+        table.push_row(vec![
+            format!("{b},{hw},{hw},{ci},{co}"),
+            format!("{t_hi:.1}"), format!("{su_hi:.2}"),
+            format!("{t_iso:.1}"), format!("{su_iso:.2}"),
+            format!("{t_ours:.1}"), format!("{su_ours:.2}"),
+            format!("{:.2}x", t_iso / t_ours),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper reference: ours outperforms the iso-bandwidth NVDLA by 1.5x-3.3x; the");
+    println!("NVDLA Winograd advantage collapses on the 256->512 layer (SU 0.72).");
+}

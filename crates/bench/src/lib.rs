@@ -1,0 +1,10 @@
+//! Shared helpers for the benchmark harness binaries and Criterion benches.
+//!
+//! The actual table/figure regeneration lives in `src/bin/*`; this library only
+//! holds the small formatting utilities they share.
+
+#![warn(missing_docs)]
+
+pub mod tablefmt;
+
+pub use tablefmt::{format_row, Table};

@@ -1,0 +1,78 @@
+//! Minimal fixed-width text table formatting for harness output.
+
+/// A simple column-aligned text table accumulated row by row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row. Rows shorter than the header are right-padded.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{cell:<width$}  ", width = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a row of floating point speed-ups like the paper's tables (2 decimals, `x` suffix).
+pub fn format_row(values: &[f64]) -> Vec<String> {
+    values.iter().map(|v| format!("{v:.2}x")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["layer", "speedup"]);
+        t.push_row(vec!["conv1".into(), "1.23x".into()]);
+        t.push_row(vec!["a-very-long-layer-name".into(), "3.42x".into()]);
+        let s = t.render();
+        assert!(s.contains("layer"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn format_row_has_two_decimals() {
+        assert_eq!(format_row(&[1.0, 2.345]), vec!["1.00x", "2.35x"]);
+    }
+}

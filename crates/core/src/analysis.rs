@@ -1,0 +1,486 @@
+//! Quantization-error and dynamic-range analysis (Fig. 1 and Fig. 4).
+//!
+//! * [`TapStatistics`] characterises the per-tap value distribution of weights
+//!   in the Winograd domain (`G·f·Gᵀ`), the phenomenon of Fig. 1 that motivates
+//!   tap-wise quantization.
+//! * [`weight_quantization_error`] reproduces the Fig. 4 methodology: quantize
+//!   the weights in the spatial or the Winograd domain with layer-wise,
+//!   channel-wise, tap-wise or combined granularity, transform back with the
+//!   Moore–Penrose inverse, and report the distribution of relative errors.
+
+use crate::matrices::{TileSize, WinogradMatrices};
+use crate::pinv::pseudo_inverse;
+use crate::transform::{transpose, weight_transform};
+use serde::{Deserialize, Serialize};
+use wino_tensor::{gemm_f32, Tensor};
+
+/// Per-tap statistics of Winograd-domain weights (Fig. 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TapStatistics {
+    /// Tile edge length `t`.
+    pub t: usize,
+    /// Mean of `log2(|G·f·Gᵀ|)` per tap (flattened row-major), ignoring zeros.
+    pub mean_log2_abs: Vec<f32>,
+    /// Standard deviation of `log2(|G·f·Gᵀ|)` per tap.
+    pub std_log2_abs: Vec<f32>,
+    /// Maximum absolute value per tap.
+    pub max_abs: Vec<f32>,
+}
+
+impl TapStatistics {
+    /// Dynamic-range spread across taps: difference (in bits, i.e. log2) between
+    /// the largest and the smallest per-tap maximum.
+    pub fn range_spread_bits(&self) -> f32 {
+        let max = self.max_abs.iter().cloned().fold(f32::MIN, f32::max);
+        let min =
+            self.max_abs.iter().cloned().filter(|v| *v > 0.0).fold(f32::MAX, f32::min);
+        if min == f32::MAX || max <= 0.0 {
+            0.0
+        } else {
+            (max / min).log2()
+        }
+    }
+}
+
+/// Computes the per-tap statistics of a weight tensor transformed into the
+/// Winograd domain of the given tile size.
+///
+/// # Panics
+///
+/// Panics if `weights` is not an OIHW tensor with 3×3 kernels.
+pub fn tap_statistics(weights: &Tensor<f32>, tile: TileSize) -> TapStatistics {
+    assert_eq!(weights.rank(), 4, "weights must be OIHW");
+    assert_eq!(weights.dims()[2], 3);
+    assert_eq!(weights.dims()[3], 3);
+    let mats = WinogradMatrices::for_tile(tile);
+    let t = mats.input_tile();
+    let (c_out, c_in) = (weights.dims()[0], weights.dims()[1]);
+
+    let mut sums = vec![0.0_f64; t * t];
+    let mut sq_sums = vec![0.0_f64; t * t];
+    let mut counts = vec![0usize; t * t];
+    let mut max_abs = vec![0.0_f32; t * t];
+    for co in 0..c_out {
+        for ci in 0..c_in {
+            let mut k = Tensor::<f32>::zeros(&[3, 3]);
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    k.set2(ky, kx, weights.at4(co, ci, ky, kx));
+                }
+            }
+            let u = weight_transform(&k, &mats);
+            for idx in 0..t * t {
+                let v = u.as_slice()[idx].abs();
+                max_abs[idx] = max_abs[idx].max(v);
+                if v > 1e-20 {
+                    let l = f64::from(v.log2());
+                    sums[idx] += l;
+                    sq_sums[idx] += l * l;
+                    counts[idx] += 1;
+                }
+            }
+        }
+    }
+    let mean_log2_abs: Vec<f32> = sums
+        .iter()
+        .zip(counts.iter())
+        .map(|(&s, &c)| if c > 0 { (s / c as f64) as f32 } else { 0.0 })
+        .collect();
+    let std_log2_abs: Vec<f32> = sq_sums
+        .iter()
+        .zip(sums.iter())
+        .zip(counts.iter())
+        .map(|((&sq, &s), &c)| {
+            if c > 0 {
+                let mean = s / c as f64;
+                ((sq / c as f64 - mean * mean).max(0.0)).sqrt() as f32
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    TapStatistics { t, mean_log2_abs, std_log2_abs, max_abs }
+}
+
+/// The maximum absolute value per Winograd-domain tap of a weight tensor, as a
+/// `t×t` tensor (the quantity tap-wise scales are calibrated from).
+pub fn tap_dynamic_range(weights: &Tensor<f32>, tile: TileSize) -> Tensor<f32> {
+    let stats = tap_statistics(weights, tile);
+    Tensor::from_vec(stats.max_abs.clone(), &[stats.t, stats.t]).expect("tap range shape")
+}
+
+/// The domain a tensor is quantized in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantDomain {
+    /// Quantize the 3×3 spatial kernels directly (Fig. 4a).
+    Spatial,
+    /// Quantize `G·f·Gᵀ` in the Winograd domain of the given tile (Fig. 4b).
+    Winograd(TileSize),
+}
+
+/// The granularity at which scaling factors are shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantGranularity {
+    /// One scale per layer ("uniform"/layer-wise in the paper).
+    LayerWise,
+    /// One scale per output channel.
+    ChannelWise,
+    /// One scale per Winograd tap (only meaningful in the Winograd domain).
+    TapWise,
+    /// One scale per (output channel, tap) pair.
+    ChannelAndTapWise,
+}
+
+/// The outcome of a Fig.-4-style error measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizationErrorReport {
+    /// `log2` of the relative error of each output channel of each layer.
+    pub log2_errors: Vec<f32>,
+    /// Mean of the relative errors (linear scale).
+    pub mean_error: f32,
+    /// `log2` of the mean relative error (the numbers quoted in §V-A4).
+    pub mean_log2_error: f32,
+}
+
+impl QuantizationErrorReport {
+    fn from_errors(errors: Vec<f32>) -> Self {
+        let mean_error = if errors.is_empty() {
+            0.0
+        } else {
+            errors.iter().sum::<f32>() / errors.len() as f32
+        };
+        let log2_errors = errors.iter().map(|e| e.max(1e-30).log2()).collect();
+        Self { log2_errors, mean_error, mean_log2_error: mean_error.max(1e-30).log2() }
+    }
+
+    /// Histogram of the `log2` errors between `lo` and `hi` with `bins` bins,
+    /// normalised to sum to one (matching the paper's "value distribution"
+    /// plots).
+    pub fn histogram(&self, lo: f32, hi: f32, bins: usize) -> Vec<f32> {
+        assert!(bins > 0 && hi > lo);
+        let mut h = vec![0.0_f32; bins];
+        for &e in &self.log2_errors {
+            let pos = ((e - lo) / (hi - lo) * bins as f32).floor();
+            let idx = (pos.max(0.0) as usize).min(bins - 1);
+            h[idx] += 1.0;
+        }
+        let total: f32 = h.iter().sum();
+        if total > 0.0 {
+            for v in &mut h {
+                *v /= total;
+            }
+        }
+        h
+    }
+}
+
+/// Mean-centred quantizer of the paper's §V-A4:
+/// `Quant_{µ,s}(x) = µ + s·⌊(x−µ)/s⌉` clamped to `n` bits, with
+/// `s = γ·σ / 2^{n-1}` and `γ` optimised to minimise the relative error.
+fn quantize_group(values: &mut [f32], bits: u8) {
+    if values.is_empty() {
+        return;
+    }
+    let n = values.len() as f32;
+    let mu: f32 = values.iter().sum::<f32>() / n;
+    let sigma: f32 =
+        (values.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / n).sqrt().max(1e-12);
+    let qmax = (1_i32 << (bits - 1)) - 1;
+    let qmin = -(1_i32 << (bits - 1));
+
+    // Optimise gamma with a coarse grid search, minimising the summed relative
+    // error as in the paper's argmin.
+    let mut best_gamma = 4.0_f32;
+    let mut best_err = f32::MAX;
+    let denom: f32 = values.iter().map(|v| v.abs()).sum::<f32>().max(1e-12);
+    for step in 1..=64 {
+        let gamma = step as f32 * 0.25; // 0.25 .. 16
+        let s = gamma * sigma / (1_i32 << (bits - 1)) as f32;
+        let err: f32 = values
+            .iter()
+            .map(|&v| {
+                let q = (((v - mu) / s).round() as i32).clamp(qmin, qmax);
+                (mu + s * q as f32 - v).abs()
+            })
+            .sum::<f32>()
+            / denom;
+        if err < best_err {
+            best_err = err;
+            best_gamma = gamma;
+        }
+    }
+    let s = best_gamma * sigma / (1_i32 << (bits - 1)) as f32;
+    for v in values.iter_mut() {
+        let q = (((*v - mu) / s).round() as i32).clamp(qmin, qmax);
+        *v = mu + s * q as f32;
+    }
+}
+
+/// Measures the relative quantization error of a set of layers' weights under
+/// the chosen domain and granularity (the Fig. 4 experiment).
+///
+/// Each element of `layers` is one OIHW weight tensor with 3×3 kernels. The
+/// returned report contains one relative error per output channel per layer
+/// (error measured in the spatial domain; Winograd-domain quantization is
+/// transformed back with the Moore–Penrose inverse of `G`).
+pub fn weight_quantization_error(
+    layers: &[Tensor<f32>],
+    domain: QuantDomain,
+    granularity: QuantGranularity,
+    bits: u8,
+) -> QuantizationErrorReport {
+    let mut errors = Vec::new();
+    for w in layers {
+        assert_eq!(w.rank(), 4, "weights must be OIHW");
+        let (c_out, c_in) = (w.dims()[0], w.dims()[1]);
+        match domain {
+            QuantDomain::Spatial => {
+                // Collect values per group, quantize, compute per-channel error.
+                let mut quantized = w.clone();
+                match granularity {
+                    QuantGranularity::LayerWise => {
+                        let mut vals: Vec<f32> = w.as_slice().to_vec();
+                        quantize_group(&mut vals, bits);
+                        quantized =
+                            Tensor::from_vec(vals, w.dims()).expect("layer quant shape");
+                    }
+                    _ => {
+                        // Channel-wise (tap-wise has no meaning in the spatial
+                        // domain and degenerates to channel-wise here).
+                        for co in 0..c_out {
+                            let mut vals = Vec::with_capacity(c_in * 9);
+                            for ci in 0..c_in {
+                                for ky in 0..3 {
+                                    for kx in 0..3 {
+                                        vals.push(w.at4(co, ci, ky, kx));
+                                    }
+                                }
+                            }
+                            quantize_group(&mut vals, bits);
+                            let mut it = vals.into_iter();
+                            for ci in 0..c_in {
+                                for ky in 0..3 {
+                                    for kx in 0..3 {
+                                        quantized.set4(co, ci, ky, kx, it.next().unwrap());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for co in 0..c_out {
+                    errors.push(channel_relative_error(w, &quantized, co));
+                }
+            }
+            QuantDomain::Winograd(tile) => {
+                let mats = WinogradMatrices::for_tile(tile);
+                let t = mats.input_tile();
+                // Transform every kernel.
+                let mut wino = vec![vec![Tensor::<f32>::zeros(&[t, t]); c_in]; c_out];
+                for co in 0..c_out {
+                    for ci in 0..c_in {
+                        let mut k = Tensor::<f32>::zeros(&[3, 3]);
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                k.set2(ky, kx, w.at4(co, ci, ky, kx));
+                            }
+                        }
+                        wino[co][ci] = weight_transform(&k, &mats);
+                    }
+                }
+                // Quantize according to granularity.
+                match granularity {
+                    QuantGranularity::LayerWise => {
+                        let mut vals: Vec<f32> = wino
+                            .iter()
+                            .flat_map(|row| row.iter().flat_map(|t| t.as_slice().iter().copied()))
+                            .collect();
+                        quantize_group(&mut vals, bits);
+                        let mut it = vals.into_iter();
+                        for row in wino.iter_mut() {
+                            for tile_w in row.iter_mut() {
+                                for v in tile_w.as_mut_slice() {
+                                    *v = it.next().unwrap();
+                                }
+                            }
+                        }
+                    }
+                    QuantGranularity::ChannelWise => {
+                        for row in wino.iter_mut() {
+                            let mut vals: Vec<f32> = row
+                                .iter()
+                                .flat_map(|t| t.as_slice().iter().copied())
+                                .collect();
+                            quantize_group(&mut vals, bits);
+                            let mut it = vals.into_iter();
+                            for tile_w in row.iter_mut() {
+                                for v in tile_w.as_mut_slice() {
+                                    *v = it.next().unwrap();
+                                }
+                            }
+                        }
+                    }
+                    QuantGranularity::TapWise => {
+                        for tap in 0..t * t {
+                            let mut vals: Vec<f32> = wino
+                                .iter()
+                                .flat_map(|row| row.iter().map(|t| t.as_slice()[tap]))
+                                .collect();
+                            quantize_group(&mut vals, bits);
+                            let mut it = vals.into_iter();
+                            for row in wino.iter_mut() {
+                                for tile_w in row.iter_mut() {
+                                    tile_w.as_mut_slice()[tap] = it.next().unwrap();
+                                }
+                            }
+                        }
+                    }
+                    QuantGranularity::ChannelAndTapWise => {
+                        for row in wino.iter_mut() {
+                            for tap in 0..t * t {
+                                let mut vals: Vec<f32> =
+                                    row.iter().map(|t| t.as_slice()[tap]).collect();
+                                quantize_group(&mut vals, bits);
+                                let mut it = vals.into_iter();
+                                for tile_w in row.iter_mut() {
+                                    tile_w.as_mut_slice()[tap] = it.next().unwrap();
+                                }
+                            }
+                        }
+                    }
+                }
+                // Back-transform with the pseudo-inverse and measure per-channel error.
+                let g_pinv = pseudo_inverse(&mats.g); // [3, t]
+                let g_pinv_t = transpose(&g_pinv); // [t, 3]
+                let mut reconstructed = w.clone();
+                for co in 0..c_out {
+                    for ci in 0..c_in {
+                        let back = gemm_f32(&gemm_f32(&g_pinv, &wino[co][ci]), &g_pinv_t);
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                reconstructed.set4(co, ci, ky, kx, back.at2(ky, kx));
+                            }
+                        }
+                    }
+                }
+                for co in 0..c_out {
+                    errors.push(channel_relative_error(w, &reconstructed, co));
+                }
+            }
+        }
+    }
+    QuantizationErrorReport::from_errors(errors)
+}
+
+/// Relative L1 error of one output channel: `Σ|q − f| / Σ|f|`.
+fn channel_relative_error(original: &Tensor<f32>, quantized: &Tensor<f32>, co: usize) -> f32 {
+    let (c_in, kh, kw) = (original.dims()[1], original.dims()[2], original.dims()[3]);
+    let mut num = 0.0_f32;
+    let mut den = 0.0_f32;
+    for ci in 0..c_in {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                num += (quantized.at4(co, ci, ky, kx) - original.at4(co, ci, ky, kx)).abs();
+                den += original.at4(co, ci, ky, kx).abs();
+            }
+        }
+    }
+    if den <= 1e-20 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_tensor::kaiming_normal;
+
+    fn sample_layers() -> Vec<Tensor<f32>> {
+        vec![
+            kaiming_normal(&[16, 8, 3, 3], 1),
+            kaiming_normal(&[32, 16, 3, 3], 2),
+        ]
+    }
+
+    #[test]
+    fn tap_statistics_show_wide_dynamic_range_for_f4() {
+        let w = kaiming_normal(&[32, 32, 3, 3], 7);
+        let stats = tap_statistics(&w, TileSize::F4);
+        assert_eq!(stats.max_abs.len(), 36);
+        // The F4 transform spreads per-tap maxima by several bits (Fig. 1); the
+        // corner tap (G row 5 has the raw weight) and the centre taps differ
+        // strongly.
+        assert!(
+            stats.range_spread_bits() > 2.0,
+            "expected > 2 bits of spread, got {}",
+            stats.range_spread_bits()
+        );
+        // F2 spreads less than F4.
+        let stats_f2 = tap_statistics(&w, TileSize::F2);
+        assert!(stats_f2.range_spread_bits() < stats.range_spread_bits());
+    }
+
+    #[test]
+    fn tap_dynamic_range_matches_statistics() {
+        let w = kaiming_normal(&[8, 4, 3, 3], 9);
+        let r = tap_dynamic_range(&w, TileSize::F4);
+        let s = tap_statistics(&w, TileSize::F4);
+        assert_eq!(r.as_slice(), &s.max_abs[..]);
+    }
+
+    #[test]
+    fn channel_wise_beats_layer_wise_in_spatial_domain() {
+        let layers = sample_layers();
+        let lw = weight_quantization_error(&layers, QuantDomain::Spatial, QuantGranularity::LayerWise, 8);
+        let cw =
+            weight_quantization_error(&layers, QuantDomain::Spatial, QuantGranularity::ChannelWise, 8);
+        assert!(cw.mean_error <= lw.mean_error * 1.05, "channel-wise should not be worse");
+    }
+
+    #[test]
+    fn tap_wise_beats_layer_and_channel_wise_in_winograd_domain() {
+        let layers = sample_layers();
+        let d = QuantDomain::Winograd(TileSize::F4);
+        let lw = weight_quantization_error(&layers, d, QuantGranularity::LayerWise, 8);
+        let cw = weight_quantization_error(&layers, d, QuantGranularity::ChannelWise, 8);
+        let tw = weight_quantization_error(&layers, d, QuantGranularity::TapWise, 8);
+        assert!(
+            tw.mean_error < lw.mean_error && tw.mean_error < cw.mean_error,
+            "tap-wise ({}) must beat layer-wise ({}) and channel-wise ({})",
+            tw.mean_error,
+            lw.mean_error,
+            cw.mean_error
+        );
+    }
+
+    #[test]
+    fn combined_channel_and_tap_is_at_least_as_good_as_tap_wise() {
+        let layers = sample_layers();
+        let d = QuantDomain::Winograd(TileSize::F4);
+        let tw = weight_quantization_error(&layers, d, QuantGranularity::TapWise, 8);
+        let ct = weight_quantization_error(&layers, d, QuantGranularity::ChannelAndTapWise, 8);
+        assert!(ct.mean_error <= tw.mean_error * 1.05);
+    }
+
+    #[test]
+    fn histogram_is_normalised() {
+        let layers = sample_layers();
+        let rep =
+            weight_quantization_error(&layers, QuantDomain::Spatial, QuantGranularity::ChannelWise, 8);
+        let h = rep.histogram(-15.0, 5.0, 40);
+        let sum: f32 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert_eq!(h.len(), 40);
+    }
+
+    #[test]
+    fn more_bits_reduce_error() {
+        let layers = sample_layers();
+        let d = QuantDomain::Winograd(TileSize::F4);
+        let e8 = weight_quantization_error(&layers, d, QuantGranularity::TapWise, 8);
+        let e10 = weight_quantization_error(&layers, d, QuantGranularity::TapWise, 10);
+        assert!(e10.mean_error < e8.mean_error);
+    }
+}

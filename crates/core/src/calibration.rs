@@ -1,0 +1,211 @@
+//! Calibration of quantization ranges.
+//!
+//! The paper calibrates `x_max` "by calculating a running average of the
+//! maximum values obtained during the training of the full network"
+//! (Section III). [`MaxCalibrator`] implements that exponential running
+//! average for a scalar range; [`TapCalibrator`] tracks one range per
+//! Winograd-domain tap, which is the starting point of tap-wise quantization.
+
+use serde::{Deserialize, Serialize};
+use wino_tensor::Tensor;
+
+/// How observed maxima are folded into the calibrated range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CalibrationMode {
+    /// Keep the true peak (max of all observations). Used for one-shot
+    /// post-training calibration where the whole calibration set is seen once.
+    Peak,
+    /// Exponential running average of per-iteration maxima with the given
+    /// momentum (the paper's training-time calibration).
+    RunningAverage(f32),
+}
+
+/// Tracker of the maximum absolute value seen, either as a true peak or as an
+/// exponential running average.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxCalibrator {
+    mode: CalibrationMode,
+    value: Option<f32>,
+}
+
+impl MaxCalibrator {
+    /// Creates a running-average calibrator with the given EMA momentum (the
+    /// weight of the new observation; the paper-style running average uses
+    /// small momenta such as 0.05–0.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < momentum <= 1`.
+    pub fn new(momentum: f32) -> Self {
+        assert!(momentum > 0.0 && momentum <= 1.0, "momentum must be in (0, 1]");
+        Self { mode: CalibrationMode::RunningAverage(momentum), value: None }
+    }
+
+    /// Creates a peak calibrator that keeps the maximum of all observations.
+    pub fn peak() -> Self {
+        Self { mode: CalibrationMode::Peak, value: None }
+    }
+
+    /// Observes a batch of values and updates the calibrated maximum.
+    pub fn observe(&mut self, batch: &Tensor<f32>) {
+        self.observe_max(batch.abs_max());
+    }
+
+    /// Observes a pre-computed maximum absolute value.
+    pub fn observe_max(&mut self, max_abs: f32) {
+        self.value = Some(match (self.value, self.mode) {
+            (None, _) => max_abs,
+            (Some(v), CalibrationMode::Peak) => v.max(max_abs),
+            (Some(v), CalibrationMode::RunningAverage(m)) => (1.0 - m) * v + m * max_abs,
+        });
+    }
+
+    /// The calibrated maximum, if any observation has been made.
+    pub fn max(&self) -> Option<f32> {
+        self.value
+    }
+
+    /// The calibrated maximum, falling back to 1.0 before any observation.
+    pub fn max_or_default(&self) -> f32 {
+        self.value.unwrap_or(1.0)
+    }
+}
+
+impl Default for MaxCalibrator {
+    fn default() -> Self {
+        Self::new(0.1)
+    }
+}
+
+/// Per-tap running-maximum calibrator for a `t×t` Winograd tile.
+///
+/// Feed it transformed tiles (`Bᵀ·x·B` or `G·f·Gᵀ`); it keeps one
+/// [`MaxCalibrator`] per tap position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TapCalibrator {
+    t: usize,
+    taps: Vec<MaxCalibrator>,
+}
+
+impl TapCalibrator {
+    /// Creates a running-average calibrator for `t×t` tiles with the given
+    /// momentum.
+    pub fn new(t: usize, momentum: f32) -> Self {
+        Self { t, taps: vec![MaxCalibrator::new(momentum); t * t] }
+    }
+
+    /// Creates a peak calibrator for `t×t` tiles (true maximum over all
+    /// observations), used for one-shot post-training calibration.
+    pub fn peak(t: usize) -> Self {
+        Self { t, taps: vec![MaxCalibrator::peak(); t * t] }
+    }
+
+    /// Tile edge length `t`.
+    pub fn tile(&self) -> usize {
+        self.t
+    }
+
+    /// Observes one transformed `t×t` tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile shape does not match.
+    pub fn observe_tile(&mut self, tile: &Tensor<f32>) {
+        assert_eq!(tile.dims(), &[self.t, self.t], "TapCalibrator: tile shape mismatch");
+        for r in 0..self.t {
+            for c in 0..self.t {
+                self.taps[r * self.t + c].observe_max(tile.at2(r, c).abs());
+            }
+        }
+    }
+
+    /// Observes a batch of transformed tiles stacked as `[count, t, t]`.
+    ///
+    /// For each tap the *batch* maximum is computed first and then folded into
+    /// the running average, matching the per-iteration semantics of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch shape does not match.
+    pub fn observe_batch(&mut self, tiles: &Tensor<f32>) {
+        assert_eq!(tiles.rank(), 3, "TapCalibrator: batch must be [count, t, t]");
+        assert_eq!(&tiles.dims()[1..], &[self.t, self.t]);
+        let count = tiles.dims()[0];
+        if count == 0 {
+            return;
+        }
+        for r in 0..self.t {
+            for c in 0..self.t {
+                let mut m = 0.0_f32;
+                for i in 0..count {
+                    m = m.max(tiles.at(&[i, r, c]).abs());
+                }
+                self.taps[r * self.t + c].observe_max(m);
+            }
+        }
+    }
+
+    /// The calibrated per-tap maxima as a `t×t` tensor (1.0 where no
+    /// observation was made).
+    pub fn max_matrix(&self) -> Tensor<f32> {
+        Tensor::from_fn(&[self.t, self.t], |i| self.taps[i].max_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initialises() {
+        let mut c = MaxCalibrator::new(0.1);
+        assert!(c.max().is_none());
+        c.observe_max(3.0);
+        assert_eq!(c.max(), Some(3.0));
+    }
+
+    #[test]
+    fn running_average_converges_to_steady_state() {
+        let mut c = MaxCalibrator::new(0.25);
+        c.observe_max(0.0);
+        for _ in 0..100 {
+            c.observe_max(2.0);
+        }
+        assert!((c.max().unwrap() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_bounds_are_enforced() {
+        assert!(std::panic::catch_unwind(|| MaxCalibrator::new(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| MaxCalibrator::new(1.5)).is_err());
+    }
+
+    #[test]
+    fn tap_calibrator_tracks_each_tap_independently() {
+        let mut cal = TapCalibrator::peak(2);
+        let tile = Tensor::from_vec(vec![1.0_f32, -2.0, 3.0, -4.0], &[2, 2]).unwrap();
+        cal.observe_tile(&tile);
+        let m = cal.max_matrix();
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn batch_observation_takes_batch_max_per_tap() {
+        let mut cal = TapCalibrator::peak(2);
+        let tiles =
+            Tensor::from_vec(vec![1.0_f32, 0.0, 0.0, 0.0, -5.0, 0.5, 0.0, 2.0], &[2, 2, 2])
+                .unwrap();
+        cal.observe_batch(&tiles);
+        let m = cal.max_matrix();
+        assert_eq!(m.at2(0, 0), 5.0);
+        assert_eq!(m.at2(0, 1), 0.5);
+        assert_eq!(m.at2(1, 1), 2.0);
+    }
+
+    #[test]
+    fn default_before_observation_is_one() {
+        let cal = TapCalibrator::new(3, 0.1);
+        assert_eq!(cal.max_matrix().as_slice(), &[1.0_f32; 9]);
+        assert_eq!(cal.tile(), 3);
+    }
+}

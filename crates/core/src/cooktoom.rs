@@ -1,0 +1,220 @@
+//! Toom–Cook construction of Winograd transformation matrices.
+//!
+//! The hard-coded matrices in [`crate::matrices`] come from the paper; this
+//! module re-derives transformation matrices for arbitrary polynomial root
+//! points using the Toom–Cook construction (evaluation at `α−1` finite points
+//! plus the point at infinity, followed by Lagrange interpolation). It serves
+//! two purposes:
+//!
+//! * it cross-checks the hard-coded matrices (any valid matrix set must
+//!   compute the same convolution), and
+//! * it lets users experiment with alternative root points, which is how
+//!   related work (Legendre bases, error-optimised points) improves F4/F6
+//!   numerics.
+//!
+//! The construction here is for the correlation form `F(m, r)`:
+//! `Y = Aᵀ [(G·g) ⊙ (Bᵀ·d)]`, with `G[t][k] = p_t^k` (filter evaluation),
+//! `Bᵀ = Cᵀ` where `C` holds the interpolation polynomial coefficients, and
+//! `Aᵀ = Eᵀ` where `E` evaluates the length-`m` polynomial at the points.
+
+use wino_tensor::Tensor;
+
+/// Multiplies the polynomial `poly` (coefficient vector, lowest degree first)
+/// by the monomial `(x - root)`.
+fn poly_mul_monomial(poly: &[f64], root: f64) -> Vec<f64> {
+    let mut out = vec![0.0; poly.len() + 1];
+    for (i, &c) in poly.iter().enumerate() {
+        out[i] -= root * c;
+        out[i + 1] += c;
+    }
+    out
+}
+
+/// Coefficients of the Lagrange basis polynomial for point `points[idx]`
+/// (degree `points.len() - 1` over all points except `idx`... i.e. degree
+/// `points.len() - 1 - 1 + 1`): `l_idx(x) = Π_{j≠idx} (x − p_j) / (p_idx − p_j)`.
+fn lagrange_basis(points: &[f64], idx: usize) -> Vec<f64> {
+    let mut num = vec![1.0_f64];
+    let mut denom = 1.0_f64;
+    for (j, &p) in points.iter().enumerate() {
+        if j == idx {
+            continue;
+        }
+        num = poly_mul_monomial(&num, p);
+        denom *= points[idx] - p;
+    }
+    num.iter().map(|c| c / denom).collect()
+}
+
+/// Coefficients of `M(x) = Π_j (x − p_j)`.
+fn master_poly(points: &[f64]) -> Vec<f64> {
+    let mut m = vec![1.0_f64];
+    for &p in points {
+        m = poly_mul_monomial(&m, p);
+    }
+    m
+}
+
+/// Builds Winograd `F(m, r)` transformation matrices from `m + r - 2` finite
+/// root points (the point at infinity is always added implicitly).
+///
+/// Returns matrices with the same shapes as [`WinogradMatrices`]: `Bᵀ` is
+/// `[α×α]`, `G` is `[α×r]`, `Aᵀ` is `[m×α]`, with `α = m + r − 1`.
+///
+/// # Panics
+///
+/// Panics if the number of points is not `m + r − 2` or points repeat.
+pub fn cook_toom_matrices(m: usize, r: usize, points: &[f64]) -> (Tensor<f32>, Tensor<f32>, Tensor<f32>) {
+    let alpha = m + r - 1;
+    assert_eq!(
+        points.len(),
+        alpha - 1,
+        "F({m},{r}) needs {} finite points (plus infinity)",
+        alpha - 1
+    );
+    for (i, &a) in points.iter().enumerate() {
+        for &b in &points[i + 1..] {
+            assert!((a - b).abs() > 1e-12, "root points must be distinct");
+        }
+    }
+
+    // G: evaluate the r-tap filter polynomial at each point; infinity row picks
+    // the leading coefficient.
+    let mut g = Tensor::<f32>::zeros(&[alpha, r]);
+    for (t, &p) in points.iter().enumerate() {
+        let mut pw = 1.0_f64;
+        for k in 0..r {
+            g.set2(t, k, pw as f32);
+            pw *= p;
+        }
+    }
+    g.set2(alpha - 1, r - 1, 1.0);
+
+    // A^T: evaluate the m-coefficient polynomial at each point (transposed).
+    let mut at = Tensor::<f32>::zeros(&[m, alpha]);
+    for (t, &p) in points.iter().enumerate() {
+        let mut pw = 1.0_f64;
+        for j in 0..m {
+            at.set2(j, t, pw as f32);
+            pw *= p;
+        }
+    }
+    at.set2(m - 1, alpha - 1, 1.0);
+
+    // B^T = C^T where column t of C holds the coefficients of the Lagrange
+    // basis polynomial of point t (degree α−2) and the last column holds the
+    // coefficients of M(x) (degree α−1).
+    let mut bt = Tensor::<f32>::zeros(&[alpha, alpha]);
+    for t in 0..alpha - 1 {
+        let l = lagrange_basis(points, t);
+        for (j, &c) in l.iter().enumerate() {
+            // C[j][t] = c  =>  B^T[t][j] = c
+            bt.set2(t, j, c as f32);
+        }
+    }
+    let mpoly = master_poly(points);
+    for (j, &c) in mpoly.iter().enumerate() {
+        bt.set2(alpha - 1, j, c as f32);
+    }
+
+    (bt, g, at)
+}
+
+/// Checks that a set of transformation matrices computes the 2-D `F(m,3)`
+/// convolution correctly on random data; returns the maximum absolute error.
+///
+/// Used by tests to validate both the hard-coded and the generated matrices.
+pub fn verify_matrices(bt: &Tensor<f32>, g: &Tensor<f32>, at: &Tensor<f32>, trials: usize) -> f32 {
+    use rand::{Rng, SeedableRng};
+    let alpha = bt.dims()[0];
+    let m = at.dims()[0];
+    let r = g.dims()[1];
+    assert_eq!(alpha, m + r - 1);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12345);
+    let b = crate::transform::transpose(bt);
+    let gt = crate::transform::transpose(g);
+    let a = crate::transform::transpose(at);
+    let mut max_err = 0.0_f32;
+    for _ in 0..trials {
+        let d = Tensor::from_fn(&[alpha, alpha], |_| rng.gen_range(-1.0_f32..1.0));
+        let f = Tensor::from_fn(&[r, r], |_| rng.gen_range(-1.0_f32..1.0));
+        // V = B^T d B ; U = G f G^T ; Y = A^T (U ⊙ V) A, all via plain GEMMs so
+        // that arbitrary tile sizes (not just the hard-coded ones) are accepted.
+        let v = wino_tensor::gemm_f32(&wino_tensor::gemm_f32(bt, &d), &b);
+        let u = wino_tensor::gemm_f32(&wino_tensor::gemm_f32(g, &f), &gt);
+        let y = wino_tensor::gemm_f32(&wino_tensor::gemm_f32(at, &v.mul(&u)), &a);
+        // Direct valid correlation.
+        for oy in 0..m {
+            for ox in 0..m {
+                let mut acc = 0.0;
+                for ky in 0..r {
+                    for kx in 0..r {
+                        acc += d.at2(oy + ky, ox + kx) * f.at2(ky, kx);
+                    }
+                }
+                max_err = max_err.max((y.at2(oy, ox) - acc).abs());
+            }
+        }
+    }
+    max_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::{TileSize, WinogradMatrices};
+
+    #[test]
+    fn generated_f2_matrices_compute_correct_convolution() {
+        let (bt, g, at) = cook_toom_matrices(2, 3, &[0.0, 1.0, -1.0]);
+        assert_eq!(bt.dims(), &[4, 4]);
+        assert_eq!(g.dims(), &[4, 3]);
+        assert_eq!(at.dims(), &[2, 4]);
+        let err = verify_matrices(&bt, &g, &at, 20);
+        assert!(err < 1e-4, "generated F2 error {err}");
+    }
+
+    #[test]
+    fn generated_f4_matrices_compute_correct_convolution() {
+        let (bt, g, at) = cook_toom_matrices(4, 3, &[0.0, 1.0, -1.0, 0.5, -0.5]);
+        let err = verify_matrices(&bt, &g, &at, 20);
+        assert!(err < 1e-3, "generated F4 error {err}");
+    }
+
+    #[test]
+    fn generated_f6_matrices_compute_correct_convolution() {
+        let (bt, g, at) = cook_toom_matrices(6, 3, &[0.0, 1.0, -1.0, 2.0, -2.0, 0.5, -0.5]);
+        let err = verify_matrices(&bt, &g, &at, 10);
+        assert!(err < 1e-2, "generated F6 error {err}");
+    }
+
+    #[test]
+    fn hardcoded_matrices_pass_the_same_verifier() {
+        for tile in TileSize::all() {
+            let m = WinogradMatrices::for_tile(tile);
+            let err = verify_matrices(&m.bt, &m.g, &m.at, 20);
+            assert!(err < 1e-2, "{tile}: hard-coded matrices error {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite points")]
+    fn wrong_point_count_panics() {
+        let _ = cook_toom_matrices(4, 3, &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn repeated_points_panic() {
+        let _ = cook_toom_matrices(2, 3, &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn alternative_points_also_work_for_f4() {
+        // Different point selection (as explored by Alam et al.) still yields a
+        // valid algorithm, just with different numerical properties.
+        let (bt, g, at) = cook_toom_matrices(4, 3, &[0.0, 1.0, -1.0, 2.0, -2.0]);
+        let err = verify_matrices(&bt, &g, &at, 20);
+        assert!(err < 1e-3, "alternative-point F4 error {err}");
+    }
+}

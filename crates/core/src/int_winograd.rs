@@ -1,0 +1,405 @@
+//! Integer-only Winograd inference pipeline.
+//!
+//! This module implements the datapath the paper's accelerator executes:
+//!
+//! 1. spatial int8 activations are transformed with the integer `Bᵀ · x · B`
+//!    (exact in `i32` because the F2/F4 `B` matrices only contain small
+//!    integers),
+//! 2. each tap is re-quantized to `wino_bits` with the tap-wise scale `S_B`
+//!    (a shift when the scales are powers of two),
+//! 3. weights, pre-transformed offline with `G · f · Gᵀ` and quantized tap-wise
+//!    with `S_G`, are multiplied elementwise and accumulated over the input
+//!    channels in `i32` (the Cube Unit's batched MatMul),
+//! 4. the accumulator is rescaled once per tap with `S_BG` and transformed back
+//!    with the integer `Aᵀ · M · A`,
+//! 5. the spatial-domain output is re-quantized to int8.
+
+use crate::matrices::{TileSize, WinogradMatrices};
+use crate::quant::{QuantBits, QuantParams};
+use crate::tapwise::{ScaleMode, TapwiseScales};
+use crate::transform::{weight_transform, TileGrid};
+use serde::{Deserialize, Serialize};
+use wino_tensor::Tensor;
+
+/// Configuration of the quantized Winograd pipeline (one row of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WinogradQuantConfig {
+    /// Winograd tile size.
+    pub tile: TileSize,
+    /// Bit-width of spatial-domain activations and weights (8 in the paper).
+    pub spatial_bits: QuantBits,
+    /// Bit-width inside the Winograd domain (8, 9 or 10).
+    pub wino_bits: QuantBits,
+    /// Whether each tap has its own scale (`true`) or one scalar is shared per
+    /// transformation (`false`, the pre-existing approach the paper improves).
+    pub tapwise: bool,
+    /// Whether scales are unrestricted FP32 or powers of two.
+    pub mode: ScaleMode,
+}
+
+impl WinogradQuantConfig {
+    /// The paper's preferred configuration: tap-wise power-of-two scales with
+    /// `wino_bits` bits in the Winograd domain (8 or 10).
+    pub fn tapwise_po2(tile: TileSize, wino_bits: u8) -> Self {
+        Self {
+            tile,
+            spatial_bits: QuantBits::int8(),
+            wino_bits: QuantBits::new(wino_bits),
+            tapwise: true,
+            mode: ScaleMode::PowerOfTwo,
+        }
+    }
+
+    /// The naive baseline: a single FP32 scale shared by all taps.
+    pub fn uniform_float(tile: TileSize, wino_bits: u8) -> Self {
+        Self {
+            tile,
+            spatial_bits: QuantBits::int8(),
+            wino_bits: QuantBits::new(wino_bits),
+            tapwise: false,
+            mode: ScaleMode::Float,
+        }
+    }
+}
+
+impl Default for WinogradQuantConfig {
+    fn default() -> Self {
+        Self::tapwise_po2(TileSize::F4, 8)
+    }
+}
+
+/// Output of the integer pipeline: int8 codes plus their scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntWinogradOutput {
+    /// Quantized output feature map codes.
+    pub codes: Tensor<i8>,
+    /// Scale such that `float ≈ codes · scale`.
+    pub scale: f32,
+}
+
+impl IntWinogradOutput {
+    /// Dequantizes the output to FP32.
+    pub fn dequantize(&self) -> Tensor<f32> {
+        self.codes.map(|c| f32::from(c) * self.scale)
+    }
+}
+
+/// A 3×3 convolution layer prepared for integer Winograd execution.
+///
+/// Construction performs the offline work (weight transformation and tap-wise
+/// weight quantization); [`IntWinogradConv::forward`] then runs integer-only
+/// inference on quantized activations.
+#[derive(Debug, Clone)]
+pub struct IntWinogradConv {
+    cfg: WinogradQuantConfig,
+    mats: WinogradMatrices,
+    c_out: usize,
+    c_in: usize,
+    /// Quantized Winograd-domain weights, `[C_out, C_in, t, t]` codes.
+    wq: Tensor<i32>,
+    /// Tap-wise scales of the quantized weights.
+    weight_scales: Tensor<f32>,
+    /// Tap-wise scales applied to the *integer* transformed input
+    /// (`S_B` expressed in the quantized-activation domain).
+    input_tap_scales: Tensor<f32>,
+    /// Scale of the spatial int8 input activations.
+    input_scale: f32,
+    /// Quantizer of the spatial-domain output.
+    output_params: QuantParams,
+}
+
+impl IntWinogradConv {
+    /// Prepares a layer for integer Winograd inference.
+    ///
+    /// * `weights` — FP32 OIHW 3×3 weights,
+    /// * `scales` — calibrated tap-wise scales in the FP32 domain
+    ///   (from [`TapwiseScales::calibrate`]),
+    /// * `input_params` — quantizer of the spatial int8 input,
+    /// * `output_max` — calibrated maximum of the FP32 output, used to build
+    ///   the output quantizer,
+    /// * `cfg` — pipeline configuration. Only `F2` and `F4` are supported on
+    ///   the integer path (the F6 `B`/`A` matrices are not integer).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `TileSize::F6` or mismatched weight shapes.
+    pub fn prepare(
+        weights: &Tensor<f32>,
+        scales: &TapwiseScales,
+        input_params: QuantParams,
+        output_max: f32,
+        cfg: WinogradQuantConfig,
+    ) -> Self {
+        assert!(
+            cfg.tile != TileSize::F6,
+            "integer pipeline supports F2 and F4 only (F6 has non-integer B/A matrices)"
+        );
+        assert_eq!(weights.rank(), 4, "weights must be OIHW");
+        assert_eq!(weights.dims()[2], 3);
+        assert_eq!(weights.dims()[3], 3);
+        let mats = WinogradMatrices::for_tile(cfg.tile);
+        let t = mats.input_tile();
+        let (c_out, c_in) = (weights.dims()[0], weights.dims()[1]);
+
+        // Offline weight transformation + tap-wise quantization.
+        let mut wq = Tensor::<i32>::zeros(&[c_out, c_in, t, t]);
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                let mut k = Tensor::<f32>::zeros(&[3, 3]);
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        k.set2(ky, kx, weights.at4(co, ci, ky, kx));
+                    }
+                }
+                let u = weight_transform(&k, &mats);
+                let q = scales.weight.quantize_tile(&u);
+                for r in 0..t {
+                    for c in 0..t {
+                        wq.set(&[co, ci, r, c], q.at2(r, c));
+                    }
+                }
+            }
+        }
+
+        // S_B in the integer-activation domain: the float calibration observed
+        // Bᵀ·x_float·B = input_scale · Bᵀ·x_q·B, so divide by the input scale.
+        let input_tap_scales = scales.input.scales().map(|s| {
+            let v = s / input_params.scale;
+            match cfg.mode {
+                ScaleMode::Float => v,
+                ScaleMode::PowerOfTwo => 2.0_f32.powi(v.log2().round() as i32),
+            }
+        });
+
+        let output_params = match cfg.mode {
+            ScaleMode::PowerOfTwo => {
+                QuantParams::from_max(output_max, cfg.spatial_bits).to_power_of_two()
+            }
+            ScaleMode::Float => QuantParams::from_max(output_max, cfg.spatial_bits),
+        };
+
+        Self {
+            cfg,
+            mats,
+            c_out,
+            c_in,
+            wq,
+            weight_scales: scales.weight.scales().clone(),
+            input_tap_scales,
+            input_scale: input_params.scale,
+            output_params,
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &WinogradQuantConfig {
+        &self.cfg
+    }
+
+    /// The output quantizer (useful for chaining layers).
+    pub fn output_params(&self) -> QuantParams {
+        self.output_params
+    }
+
+    /// Runs integer-only inference on an int8 NCHW input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count differs from the prepared weights.
+    pub fn forward(&self, x: &Tensor<i8>) -> IntWinogradOutput {
+        assert_eq!(x.rank(), 4, "input must be NCHW");
+        assert_eq!(x.dims()[1], self.c_in, "channel mismatch");
+        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        let m = self.mats.output_tile();
+        let t = self.mats.input_tile();
+        let grid = TileGrid::new(h, w, m, 1);
+
+        // Integer B^T (exact for F2/F4).
+        let bt_i: Vec<i32> = self.mats.bt.as_slice().iter().map(|&v| v as i32).collect();
+        let at_i: Vec<i32> = self.mats.at.as_slice().iter().map(|&v| v as i32).collect();
+        let (wino_lo, wino_hi) = (self.cfg.wino_bits.min_value(), self.cfg.wino_bits.max_value());
+
+        let mut y = Tensor::<i8>::zeros(&[n, self.c_out, h, w]);
+        let mut v_tiles: Vec<Vec<i32>> = vec![vec![0; t * t]; self.c_in];
+
+        for ni in 0..n {
+            for ty in 0..grid.tiles_h {
+                for tx in 0..grid.tiles_w {
+                    // --- input transformation (integer, then tap-wise requant) ---
+                    for (ci, vt) in v_tiles.iter_mut().enumerate() {
+                        // Extract the int8 tile with zero padding.
+                        let mut d = vec![0_i32; t * t];
+                        let y0 = (ty * m) as isize - 1;
+                        let x0 = (tx * m) as isize - 1;
+                        for dy in 0..t {
+                            let iy = y0 + dy as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for dx in 0..t {
+                                let ix = x0 + dx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                d[dy * t + dx] =
+                                    i32::from(x.at4(ni, ci, iy as usize, ix as usize));
+                            }
+                        }
+                        // tmp = BT * d ; v = tmp * B  (all exact i32)
+                        let mut tmp = vec![0_i64; t * t];
+                        for r in 0..t {
+                            for c in 0..t {
+                                let mut acc = 0_i64;
+                                for k in 0..t {
+                                    acc += i64::from(bt_i[r * t + k]) * i64::from(d[k * t + c]);
+                                }
+                                tmp[r * t + c] = acc;
+                            }
+                        }
+                        for r in 0..t {
+                            for c in 0..t {
+                                let mut acc = 0_i64;
+                                for k in 0..t {
+                                    // (BT d) B  =>  sum_k tmp[r,k] * B[k,c] = tmp[r,k]*BT[c,k]
+                                    acc += tmp[r * t + k] * i64::from(bt_i[c * t + k]);
+                                }
+                                // tap-wise requantization to wino_bits
+                                let s = self.input_tap_scales.at2(r, c);
+                                let q = ((acc as f32) / s).round() as i32;
+                                vt[r * t + c] = q.clamp(wino_lo, wino_hi);
+                            }
+                        }
+                    }
+
+                    // --- elementwise multiply + channel accumulation (i32) ---
+                    for co in 0..self.c_out {
+                        let mut acc = vec![0_i64; t * t];
+                        for (ci, vt) in v_tiles.iter().enumerate() {
+                            for idx in 0..t * t {
+                                let wcode =
+                                    self.wq.at(&[co, ci, idx / t, idx % t]);
+                                acc[idx] += i64::from(vt[idx]) * i64::from(wcode);
+                            }
+                        }
+
+                        // --- per-tap rescale with S_BG, back-transformation ---
+                        // float value of acc[r,c] = input_scale * sB_int[r,c] * sG[r,c] * acc
+                        let mut mfl = vec![0.0_f32; t * t];
+                        for r in 0..t {
+                            for c in 0..t {
+                                let sbg = self.input_scale
+                                    * self.input_tap_scales.at2(r, c)
+                                    * self.weight_scales.at2(r, c);
+                                mfl[r * t + c] = acc[r * t + c] as f32 * sbg;
+                            }
+                        }
+                        // out = AT * M * A using the integer AT (values exact in f32)
+                        let mut tmp = vec![0.0_f32; m * t];
+                        for r in 0..m {
+                            for c in 0..t {
+                                let mut s = 0.0_f32;
+                                for k in 0..t {
+                                    s += at_i[r * t + k] as f32 * mfl[k * t + c];
+                                }
+                                tmp[r * t + c] = s;
+                            }
+                        }
+                        for r in 0..m {
+                            for c in 0..m {
+                                let mut s = 0.0_f32;
+                                for k in 0..t {
+                                    s += tmp[r * t + k] * at_i[c * t + k] as f32;
+                                }
+                                let oy = ty * m + r;
+                                let ox = tx * m + c;
+                                if oy < h && ox < w {
+                                    let code = self.output_params.quantize(s) as i8;
+                                    y.set4(ni, co, oy, ox, code);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        IntWinogradOutput { codes: y, scale: self.output_params.scale }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_tensor::{conv2d_direct, normal, ConvParams};
+
+    fn quantize_input(x: &Tensor<f32>, bits: QuantBits) -> (Tensor<i8>, QuantParams) {
+        let p = QuantParams::from_max(x.abs_max(), bits).to_power_of_two();
+        (x.map(|v| p.quantize(v) as i8), p)
+    }
+
+    fn run_pipeline(tile: TileSize, wino_bits: u8) -> (Tensor<f32>, Tensor<f32>) {
+        let x = normal(&[1, 4, 12, 12], 0.0, 1.0, 200);
+        let w = normal(&[6, 4, 3, 3], 0.0, 0.3, 201);
+        let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+
+        let cfg = WinogradQuantConfig::tapwise_po2(tile, wino_bits);
+        let mats = WinogradMatrices::for_tile(tile);
+        let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+        let (xq, xp) = quantize_input(&x, cfg.spatial_bits);
+        let conv = IntWinogradConv::prepare(&w, &scales, xp, reference.abs_max(), cfg);
+        let out = conv.forward(&xq);
+        (out.dequantize(), reference)
+    }
+
+    #[test]
+    fn f2_integer_pipeline_tracks_fp32_reference() {
+        let (y, reference) = run_pipeline(TileSize::F2, 8);
+        let err = y.relative_error(&reference);
+        assert!(err < 0.08, "F2 int8 relative error {err}");
+    }
+
+    #[test]
+    fn f4_integer_pipeline_tracks_fp32_reference() {
+        let (y, reference) = run_pipeline(TileSize::F4, 8);
+        let err = y.relative_error(&reference);
+        assert!(err < 0.25, "F4 int8 relative error {err}");
+    }
+
+    #[test]
+    fn f4_with_10_bit_winograd_domain_is_better() {
+        let (y8, reference) = run_pipeline(TileSize::F4, 8);
+        let (y10, _) = run_pipeline(TileSize::F4, 10);
+        assert!(
+            y10.relative_error(&reference) < y8.relative_error(&reference),
+            "int8/10 should reduce the error"
+        );
+    }
+
+    #[test]
+    fn output_codes_are_within_int8() {
+        let (y, _) = run_pipeline(TileSize::F4, 8);
+        // dequantized output is finite and bounded
+        assert!(y.abs_max().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "F2 and F4 only")]
+    fn f6_integer_path_is_rejected() {
+        let w = normal(&[1, 1, 3, 3], 0.0, 1.0, 202);
+        let x = normal(&[1, 1, 8, 8], 0.0, 1.0, 203);
+        let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F6, 8);
+        let mats = WinogradMatrices::for_tile(TileSize::F6);
+        let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+        let p = QuantParams::from_max(1.0, QuantBits::int8());
+        let _ = IntWinogradConv::prepare(&w, &scales, p, 1.0, cfg);
+    }
+
+    #[test]
+    fn config_constructors() {
+        let c = WinogradQuantConfig::default();
+        assert_eq!(c.tile, TileSize::F4);
+        assert!(c.tapwise);
+        let u = WinogradQuantConfig::uniform_float(TileSize::F2, 10);
+        assert!(!u.tapwise);
+        assert_eq!(u.wino_bits.bits(), 10);
+    }
+}

@@ -1,0 +1,307 @@
+//! Winograd transformation matrices.
+//!
+//! The matrices follow Section II of the paper. For F(2,3) the polynomial root
+//! points are `{0, 1, -1}`; for F(4,3) they are `{0, 1, -1, 1/2, -1/2}` which
+//! yields (after the usual row scaling) the Lavin matrices the paper prints as
+//! `B^T`, `G = (1/3)[...]` and `A^T`. F(6,3) is provided as an extension for
+//! the "larger tiles" discussion.
+
+use serde::{Deserialize, Serialize};
+use wino_tensor::Tensor;
+
+/// The supported Winograd tile sizes, named by the output-tile edge length `m`
+/// of `F(m×m, 3×3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TileSize {
+    /// `F(2×2, 3×3)`: 4×4 input tiles, 2.25× MAC reduction.
+    F2,
+    /// `F(4×4, 3×3)`: 6×6 input tiles, 4× MAC reduction — the paper's focus.
+    F4,
+    /// `F(6×6, 3×3)`: 8×8 input tiles, 5.06× MAC reduction (extension).
+    F6,
+}
+
+impl TileSize {
+    /// Output tile edge length `m`.
+    pub fn output_tile(self) -> usize {
+        match self {
+            TileSize::F2 => 2,
+            TileSize::F4 => 4,
+            TileSize::F6 => 6,
+        }
+    }
+
+    /// Input tile edge length `m + r - 1` for `r = 3`.
+    pub fn input_tile(self) -> usize {
+        self.output_tile() + 2
+    }
+
+    /// Number of taps (elementwise multiplications) per tile: `(m+2)²`.
+    pub fn taps(self) -> usize {
+        self.input_tile() * self.input_tile()
+    }
+
+    /// Theoretical MAC-reduction factor over direct convolution:
+    /// `9·m² / (m+2)²`.
+    pub fn mac_reduction(self) -> f64 {
+        let m = self.output_tile() as f64;
+        9.0 * m * m / ((m + 2.0) * (m + 2.0))
+    }
+
+    /// All tile sizes, in increasing order.
+    pub fn all() -> [TileSize; 3] {
+        [TileSize::F2, TileSize::F4, TileSize::F6]
+    }
+}
+
+impl std::fmt::Display for TileSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileSize::F2 => write!(f, "F2"),
+            TileSize::F4 => write!(f, "F4"),
+            TileSize::F6 => write!(f, "F6"),
+        }
+    }
+}
+
+/// The three transformation matrices of a Winograd convolution.
+///
+/// * `bt` (`B^T`, `[t × t]`) transforms input tiles into the Winograd domain,
+/// * `g` (`G`, `[t × 3]`) transforms 3×3 weights into the Winograd domain,
+/// * `at` (`A^T`, `[m × t]`) transforms the elementwise products back,
+///
+/// where `t = m + 2` is the input-tile size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinogradMatrices {
+    /// The tile size these matrices belong to.
+    pub tile: TileSize,
+    /// Input transformation matrix `B^T` of shape `[t, t]`.
+    pub bt: Tensor<f32>,
+    /// Weight transformation matrix `G` of shape `[t, 3]`.
+    pub g: Tensor<f32>,
+    /// Output transformation matrix `A^T` of shape `[m, t]`.
+    pub at: Tensor<f32>,
+}
+
+impl WinogradMatrices {
+    /// Returns the transformation matrices for the requested tile size.
+    pub fn for_tile(tile: TileSize) -> Self {
+        match tile {
+            TileSize::F2 => Self::f2(),
+            TileSize::F4 => Self::f4(),
+            TileSize::F6 => Self::f6(),
+        }
+    }
+
+    /// `F(2×2, 3×3)` matrices from root points `{0, 1, -1}` (Section II).
+    pub fn f2() -> Self {
+        let bt = Tensor::from_vec(
+            vec![
+                1.0, 0.0, -1.0, 0.0, //
+                0.0, 1.0, 1.0, 0.0, //
+                0.0, -1.0, 1.0, 0.0, //
+                0.0, 1.0, 0.0, -1.0,
+            ],
+            &[4, 4],
+        )
+        .expect("F2 BT");
+        let g = Tensor::from_vec(
+            vec![
+                1.0, 0.0, 0.0, //
+                0.5, 0.5, 0.5, //
+                0.5, -0.5, 0.5, //
+                0.0, 0.0, 1.0,
+            ],
+            &[4, 3],
+        )
+        .expect("F2 G");
+        let at = Tensor::from_vec(
+            vec![
+                1.0, 1.0, 1.0, 0.0, //
+                0.0, 1.0, -1.0, -1.0,
+            ],
+            &[2, 4],
+        )
+        .expect("F2 AT");
+        Self { tile: TileSize::F2, bt, g, at }
+    }
+
+    /// `F(4×4, 3×3)` matrices from root points `{0, 1, -1, 1/2, -1/2}`
+    /// (the Lavin form printed in Section II of the paper).
+    pub fn f4() -> Self {
+        let bt = Tensor::from_vec(
+            vec![
+                4.0, 0.0, -5.0, 0.0, 1.0, 0.0, //
+                0.0, -4.0, -4.0, 1.0, 1.0, 0.0, //
+                0.0, 4.0, -4.0, -1.0, 1.0, 0.0, //
+                0.0, -2.0, -1.0, 2.0, 1.0, 0.0, //
+                0.0, 2.0, -1.0, -2.0, 1.0, 0.0, //
+                0.0, 4.0, 0.0, -5.0, 0.0, 1.0,
+            ],
+            &[6, 6],
+        )
+        .expect("F4 BT");
+        let g = Tensor::from_vec(
+            vec![
+                1.0 / 4.0,
+                0.0,
+                0.0, //
+                -1.0 / 6.0,
+                -1.0 / 6.0,
+                -1.0 / 6.0, //
+                -1.0 / 6.0,
+                1.0 / 6.0,
+                -1.0 / 6.0, //
+                1.0 / 24.0,
+                1.0 / 12.0,
+                1.0 / 6.0, //
+                1.0 / 24.0,
+                -1.0 / 12.0,
+                1.0 / 6.0, //
+                0.0,
+                0.0,
+                1.0,
+            ],
+            &[6, 3],
+        )
+        .expect("F4 G");
+        let at = Tensor::from_vec(
+            vec![
+                1.0, 1.0, 1.0, 1.0, 1.0, 0.0, //
+                0.0, 1.0, -1.0, 2.0, -2.0, 0.0, //
+                0.0, 1.0, 1.0, 4.0, 4.0, 0.0, //
+                0.0, 1.0, -1.0, 8.0, -8.0, 1.0,
+            ],
+            &[4, 6],
+        )
+        .expect("F4 AT");
+        Self { tile: TileSize::F4, bt, g, at }
+    }
+
+    /// `F(6×6, 3×3)` matrices from root points `{0, 1, -1, 2, -2, 1/2, -1/2}`
+    /// (extension; the paper discusses but does not use tiles beyond 4×4).
+    pub fn f6() -> Self {
+        let bt = Tensor::from_vec(
+            vec![
+                1.0, 0.0, -21.0 / 4.0, 0.0, 21.0 / 4.0, 0.0, -1.0, 0.0, //
+                0.0, 1.0, 1.0, -17.0 / 4.0, -17.0 / 4.0, 1.0, 1.0, 0.0, //
+                0.0, -1.0, 1.0, 17.0 / 4.0, -17.0 / 4.0, -1.0, 1.0, 0.0, //
+                0.0, 0.5, 0.25, -2.5, -1.25, 2.0, 1.0, 0.0, //
+                0.0, -0.5, 0.25, 2.5, -1.25, -2.0, 1.0, 0.0, //
+                0.0, 2.0, 4.0, -2.5, -5.0, 0.5, 1.0, 0.0, //
+                0.0, -2.0, 4.0, 2.5, -5.0, -0.5, 1.0, 0.0, //
+                0.0, -1.0, 0.0, 21.0 / 4.0, 0.0, -21.0 / 4.0, 0.0, 1.0,
+            ],
+            &[8, 8],
+        )
+        .expect("F6 BT");
+        let g = Tensor::from_vec(
+            vec![
+                1.0,
+                0.0,
+                0.0, //
+                -2.0 / 9.0,
+                -2.0 / 9.0,
+                -2.0 / 9.0, //
+                -2.0 / 9.0,
+                2.0 / 9.0,
+                -2.0 / 9.0, //
+                1.0 / 90.0,
+                1.0 / 45.0,
+                2.0 / 45.0, //
+                1.0 / 90.0,
+                -1.0 / 45.0,
+                2.0 / 45.0, //
+                32.0 / 45.0,
+                16.0 / 45.0,
+                8.0 / 45.0, //
+                32.0 / 45.0,
+                -16.0 / 45.0,
+                8.0 / 45.0, //
+                0.0,
+                0.0,
+                1.0,
+            ],
+            &[8, 3],
+        )
+        .expect("F6 G");
+        let at = Tensor::from_vec(
+            vec![
+                1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, //
+                0.0, 1.0, -1.0, 2.0, -2.0, 0.5, -0.5, 0.0, //
+                0.0, 1.0, 1.0, 4.0, 4.0, 0.25, 0.25, 0.0, //
+                0.0, 1.0, -1.0, 8.0, -8.0, 0.125, -0.125, 0.0, //
+                0.0, 1.0, 1.0, 16.0, 16.0, 0.0625, 0.0625, 0.0, //
+                0.0, 1.0, -1.0, 32.0, -32.0, 0.03125, -0.03125, 1.0,
+            ],
+            &[6, 8],
+        )
+        .expect("F6 AT");
+        Self { tile: TileSize::F6, bt, g, at }
+    }
+
+    /// Input tile edge length `t = m + 2`.
+    pub fn input_tile(&self) -> usize {
+        self.tile.input_tile()
+    }
+
+    /// Output tile edge length `m`.
+    pub fn output_tile(&self) -> usize {
+        self.tile.output_tile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_geometry() {
+        assert_eq!(TileSize::F2.input_tile(), 4);
+        assert_eq!(TileSize::F4.input_tile(), 6);
+        assert_eq!(TileSize::F6.input_tile(), 8);
+        assert_eq!(TileSize::F4.taps(), 36);
+        assert!((TileSize::F2.mac_reduction() - 2.25).abs() < 1e-12);
+        assert!((TileSize::F4.mac_reduction() - 4.0).abs() < 1e-12);
+        assert!(TileSize::F6.mac_reduction() > 5.0);
+    }
+
+    #[test]
+    fn matrix_shapes() {
+        for tile in TileSize::all() {
+            let m = WinogradMatrices::for_tile(tile);
+            let t = tile.input_tile();
+            assert_eq!(m.bt.dims(), &[t, t], "{tile}");
+            assert_eq!(m.g.dims(), &[t, 3], "{tile}");
+            assert_eq!(m.at.dims(), &[tile.output_tile(), t], "{tile}");
+        }
+    }
+
+    #[test]
+    fn f2_matches_paper_halved_form() {
+        // The paper writes G as (1/2)·[[2,0,0],[1,1,1],[1,-1,1],[0,0,2]].
+        let m = WinogradMatrices::f2();
+        assert_eq!(m.g.at2(0, 0), 1.0);
+        assert_eq!(m.g.at2(1, 0), 0.5);
+        assert_eq!(m.g.at2(2, 1), -0.5);
+        assert_eq!(m.g.at2(3, 2), 1.0);
+    }
+
+    #[test]
+    fn f4_matches_paper_third_form() {
+        // The paper writes G as (1/3)·[[3/4,...],...]; entry (1,1) is -1/6.
+        let m = WinogradMatrices::f4();
+        assert!((m.g.at2(0, 0) - 0.25).abs() < 1e-7);
+        assert!((m.g.at2(1, 1) + 1.0 / 6.0).abs() < 1e-7);
+        assert!((m.g.at2(3, 2) - 1.0 / 6.0).abs() < 1e-7);
+        assert_eq!(m.bt.at2(0, 0), 4.0);
+        assert_eq!(m.bt.at2(0, 2), -5.0);
+        assert_eq!(m.at.at2(3, 3), 8.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TileSize::F4.to_string(), "F4");
+        assert_eq!(TileSize::all().len(), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Moore–Penrose pseudo-inverse for small dense matrices.
+//!
+//! Section V-A4 of the paper transforms Winograd-domain quantized weights back
+//! to the spatial domain with the Moore–Penrose inverse of the transformation
+//! matrices in order to measure the quantization error in a comparable domain.
+//! The `G` matrices are tall with full column rank, so the pseudo-inverse is
+//! `G⁺ = (Gᵀ G)⁻¹ Gᵀ`, which only needs a small symmetric matrix inverse.
+
+use crate::transform::transpose;
+use wino_tensor::{gemm_f32, Tensor};
+
+/// Inverts a small square matrix with Gauss–Jordan elimination and partial
+/// pivoting.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or is numerically singular.
+pub fn invert(a: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(a.rank(), 2, "invert: matrix required");
+    let n = a.dims()[0];
+    assert_eq!(a.dims()[1], n, "invert: matrix must be square");
+
+    // Work in f64 for stability; the matrices involved are tiny.
+    let mut m: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| f64::from(a.at2(i, j)))
+                .chain((0..n).map(|j| if i == j { 1.0 } else { 0.0 }))
+                .collect()
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+            .expect("non-empty");
+        assert!(m[pivot_row][col].abs() > 1e-12, "invert: singular matrix");
+        m.swap(col, pivot_row);
+        let pivot = m[col][col];
+        for v in m[col].iter_mut() {
+            *v /= pivot;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = m[row][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in 0..2 * n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+
+    let mut out = Tensor::<f32>::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            out.set2(i, j, m[i][n + j] as f32);
+        }
+    }
+    out
+}
+
+/// Moore–Penrose pseudo-inverse of a full-column-rank matrix `A[m×n]`
+/// (`m >= n`): `A⁺ = (Aᵀ A)⁻¹ Aᵀ`, of shape `[n×m]`.
+///
+/// For square invertible matrices this coincides with the ordinary inverse.
+///
+/// # Panics
+///
+/// Panics if `A` has more columns than rows or `Aᵀ A` is singular.
+pub fn pseudo_inverse(a: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(a.rank(), 2, "pseudo_inverse: matrix required");
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    assert!(m >= n, "pseudo_inverse: expects a tall (or square) matrix, got {m}x{n}");
+    let at = transpose(a);
+    let ata = gemm_f32(&at, a);
+    let inv = invert(&ata);
+    gemm_f32(&inv, &at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::{TileSize, WinogradMatrices};
+
+    fn identity(n: usize) -> Tensor<f32> {
+        Tensor::from_fn(&[n, n], |i| if i % (n + 1) == 0 { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn invert_identity_and_diagonal() {
+        let eye = identity(4);
+        assert!(invert(&eye).max_abs_diff(&eye) < 1e-6);
+        let d = Tensor::from_vec(vec![2.0_f32, 0.0, 0.0, 0.5], &[2, 2]).unwrap();
+        let di = invert(&d);
+        assert!((di.at2(0, 0) - 0.5).abs() < 1e-6);
+        assert!((di.at2(1, 1) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invert_times_original_is_identity() {
+        let a = Tensor::from_vec(
+            vec![4.0_f32, 7.0, 2.0, 6.0, 5.0, 1.0, 3.0, 8.0, 9.0],
+            &[3, 3],
+        )
+        .unwrap();
+        let ai = invert(&a);
+        let prod = gemm_f32(&a, &ai);
+        assert!(prod.max_abs_diff(&identity(3)) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_panics() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0, 2.0, 4.0], &[2, 2]).unwrap();
+        let _ = invert(&a);
+    }
+
+    #[test]
+    fn pseudo_inverse_of_g_recovers_spatial_weights() {
+        // G⁺ · (G f Gᵀ) · (Gᵀ)⁺ = f for any 3x3 f, because G has full column rank.
+        for tile in TileSize::all() {
+            let mats = WinogradMatrices::for_tile(tile);
+            let g_pinv = pseudo_inverse(&mats.g);
+            let prod = gemm_f32(&g_pinv, &mats.g);
+            assert!(prod.max_abs_diff(&identity(3)) < 1e-4, "{tile}: G+ G != I");
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_of_square_matrix_is_inverse() {
+        let a = Tensor::from_vec(vec![2.0_f32, 1.0, 1.0, 3.0], &[2, 2]).unwrap();
+        let p = pseudo_inverse(&a);
+        let i = invert(&a);
+        assert!(p.max_abs_diff(&i) < 1e-5);
+    }
+}

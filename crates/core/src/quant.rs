@@ -1,0 +1,195 @@
+//! Scalar quantization primitives (Eq. 2 of the paper).
+//!
+//! Floating-point values are approximated as `x ≈ s · x̂` with a shared scale
+//! factor `s = x_max / (2^{n-1})` and `x̂ = clamp(round(x / s), -2^{n-1},
+//! 2^{n-1} - 1)`. The tap-wise scheme of [`crate::tapwise`] replaces the scalar
+//! `s` with a per-tap matrix of scales.
+
+use serde::{Deserialize, Serialize};
+use wino_tensor::Tensor;
+
+/// An integer bit-width used for quantization.
+///
+/// The paper uses 8 bits in the spatial domain and 8, 9 or 10 bits in the
+/// Winograd domain (the `int8/10` configurations of Tables II and III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuantBits(u8);
+
+impl QuantBits {
+    /// Creates a bit-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn new(bits: u8) -> Self {
+        assert!((2..=16).contains(&bits), "supported bit-widths are 2..=16, got {bits}");
+        Self(bits)
+    }
+
+    /// Standard int8.
+    pub const fn int8() -> Self {
+        Self(8)
+    }
+
+    /// The raw number of bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Smallest representable integer `-2^{n-1}`.
+    pub fn min_value(self) -> i32 {
+        -(1 << (self.0 - 1))
+    }
+
+    /// Largest representable integer `2^{n-1} - 1`.
+    pub fn max_value(self) -> i32 {
+        (1 << (self.0 - 1)) - 1
+    }
+}
+
+impl Default for QuantBits {
+    fn default() -> Self {
+        Self::int8()
+    }
+}
+
+/// A symmetric quantizer: scale factor plus bit-width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// The FP32 scale factor `s`.
+    pub scale: f32,
+    /// The integer bit-width.
+    pub bits: QuantBits,
+}
+
+impl QuantParams {
+    /// Builds quantization parameters from a calibrated maximum absolute value,
+    /// `s = x_max / (2^{n-1} - 1)` (so that `x_max` maps to the largest code).
+    ///
+    /// A zero or negative `x_max` falls back to a scale of 1 to avoid division
+    /// by zero for all-zero tensors.
+    pub fn from_max(x_max: f32, bits: QuantBits) -> Self {
+        let denom = bits.max_value() as f32;
+        let scale = if x_max > 0.0 { x_max / denom } else { 1.0 };
+        Self { scale, bits }
+    }
+
+    /// Builds parameters with an explicit scale.
+    pub fn with_scale(scale: f32, bits: QuantBits) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        Self { scale, bits }
+    }
+
+    /// Rounds the scale up to the next power of two (Section III-B,
+    /// "straight-forward power-of-two quantization": `s̃ = 2^{⌈log2 s⌉}`).
+    pub fn to_power_of_two(self) -> Self {
+        Self { scale: 2.0_f32.powi(self.scale.log2().ceil() as i32), bits: self.bits }
+    }
+
+    /// Quantizes a single value: `clamp(round(x / s))`.
+    pub fn quantize(&self, x: f32) -> i32 {
+        let v = (x / self.scale).round();
+        (v as i32).clamp(self.bits.min_value(), self.bits.max_value())
+    }
+
+    /// Dequantizes a single integer code.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantize-then-dequantize ("fake quantization"), used during
+    /// quantization-aware training.
+    pub fn fake_quantize(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+}
+
+/// Quantizes a whole tensor symmetrically with one scale, returning the integer
+/// codes as `i32` (so that bit-widths above 8 are representable).
+pub fn quantize_symmetric(x: &Tensor<f32>, params: QuantParams) -> Tensor<i32> {
+    x.map(|v| params.quantize(v))
+}
+
+/// Dequantizes integer codes back to FP32.
+pub fn dequantize(q: &Tensor<i32>, params: QuantParams) -> Tensor<f32> {
+    q.map(|v| params.dequantize(v))
+}
+
+/// Quantizes a tensor to `i8` (panicking if the bit-width exceeds 8).
+pub fn quantize_to_i8(x: &Tensor<f32>, params: QuantParams) -> Tensor<i8> {
+    assert!(params.bits.bits() <= 8, "quantize_to_i8 requires <= 8 bits");
+    x.map(|v| params.quantize(v) as i8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_ranges() {
+        let b8 = QuantBits::int8();
+        assert_eq!((b8.min_value(), b8.max_value()), (-128, 127));
+        let b10 = QuantBits::new(10);
+        assert_eq!((b10.min_value(), b10.max_value()), (-512, 511));
+    }
+
+    #[test]
+    #[should_panic(expected = "supported bit-widths")]
+    fn invalid_bits_panic() {
+        let _ = QuantBits::new(1);
+    }
+
+    #[test]
+    fn quantize_round_trip_error_bounded_by_half_scale() {
+        let p = QuantParams::from_max(4.0, QuantBits::int8());
+        for &x in &[0.0_f32, 1.0, -1.0, 3.999, -4.0, 0.01] {
+            let err = (p.fake_quantize(x) - x).abs();
+            assert!(err <= p.scale / 2.0 + 1e-6, "error {err} too large for {x}");
+        }
+    }
+
+    #[test]
+    fn clamping_saturates_out_of_range() {
+        let p = QuantParams::from_max(1.0, QuantBits::int8());
+        assert_eq!(p.quantize(100.0), 127);
+        assert_eq!(p.quantize(-100.0), -128);
+    }
+
+    #[test]
+    fn power_of_two_rounding_goes_up() {
+        let p = QuantParams::with_scale(0.03, QuantBits::int8()).to_power_of_two();
+        // 2^ceil(log2(0.03)) = 2^-5 = 0.03125
+        assert!((p.scale - 0.03125).abs() < 1e-9);
+        let exact = QuantParams::with_scale(0.25, QuantBits::int8()).to_power_of_two();
+        assert_eq!(exact.scale, 0.25);
+    }
+
+    #[test]
+    fn zero_max_does_not_divide_by_zero() {
+        let p = QuantParams::from_max(0.0, QuantBits::int8());
+        assert_eq!(p.quantize(0.0), 0);
+        assert!(p.scale > 0.0);
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let x = Tensor::from_vec(vec![0.5_f32, -0.25, 1.0, -1.0], &[4]).unwrap();
+        let p = QuantParams::from_max(1.0, QuantBits::int8());
+        let q = quantize_symmetric(&x, p);
+        let d = dequantize(&q, p);
+        assert!(x.max_abs_diff(&d) <= p.scale / 2.0 + 1e-6);
+        let q8 = quantize_to_i8(&x, p);
+        assert_eq!(q8.as_slice()[2], 127);
+    }
+
+    #[test]
+    fn ten_bit_quantization_is_finer_than_eight() {
+        let x = Tensor::from_vec((0..256).map(|i| (i as f32 - 128.0) / 37.0).collect(), &[256])
+            .unwrap();
+        let p8 = QuantParams::from_max(x.abs_max(), QuantBits::int8());
+        let p10 = QuantParams::from_max(x.abs_max(), QuantBits::new(10));
+        let e8 = dequantize(&quantize_symmetric(&x, p8), p8).max_abs_diff(&x);
+        let e10 = dequantize(&quantize_symmetric(&x, p10), p10).max_abs_diff(&x);
+        assert!(e10 < e8);
+    }
+}

@@ -1,0 +1,309 @@
+//! Tap-wise quantization scales (Section III of the paper).
+//!
+//! Instead of one scalar scale per tensor, tap-wise quantization assigns each
+//! Winograd-domain tap `(i, j)` its own scale. Two scale matrices exist:
+//! `S_B` for the transformed input feature maps and `S_G` for the transformed
+//! weights; the output rescaling uses their elementwise product
+//! `S_BG = S_G ⊙ S_B`, applied once before the back-transformation.
+//!
+//! For hardware friendliness the scales can be restricted to powers of two so
+//! that every (de)quantization inside the Winograd domain becomes a shift.
+
+use crate::calibration::TapCalibrator;
+use crate::matrices::WinogradMatrices;
+use crate::quant::QuantBits;
+use crate::transform::{input_transform, weight_transform};
+use serde::{Deserialize, Serialize};
+use wino_tensor::Tensor;
+
+/// How the tap-wise scaling factors are represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScaleMode {
+    /// Unrestricted FP32 scales (the `⊙` rows of Table II).
+    Float,
+    /// Power-of-two scales, `s = 2^k`, so rescaling is a shift (the `2x` rows).
+    PowerOfTwo,
+}
+
+/// A matrix of per-tap quantization scales for one operand (inputs or weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TapScaleMatrix {
+    scales: Tensor<f32>,
+    bits: QuantBits,
+    mode: ScaleMode,
+}
+
+impl TapScaleMatrix {
+    /// Builds scales from calibrated per-tap maxima: `s_{ij} = max_{ij} / (2^{b-1} - 1)`,
+    /// optionally rounded up to powers of two.
+    pub fn from_max_matrix(max: &Tensor<f32>, bits: QuantBits, mode: ScaleMode) -> Self {
+        assert_eq!(max.rank(), 2, "per-tap maxima must form a square matrix");
+        let denom = bits.max_value() as f32;
+        let scales = max.map(|m| {
+            let s = if m > 0.0 { m / denom } else { 1.0 };
+            match mode {
+                ScaleMode::Float => s,
+                ScaleMode::PowerOfTwo => 2.0_f32.powi(s.log2().ceil() as i32),
+            }
+        });
+        Self { scales, bits, mode }
+    }
+
+    /// Builds a *uniform* scale matrix (every tap shares the same scale), used
+    /// as the "single scalar per transformation" baseline the paper compares
+    /// against.
+    pub fn uniform(t: usize, max_abs: f32, bits: QuantBits, mode: ScaleMode) -> Self {
+        let max = Tensor::filled(&[t, t], max_abs);
+        Self::from_max_matrix(&max, bits, mode)
+    }
+
+    /// Builds a scale matrix directly from explicit scales (used by the learned
+    /// log2-scale training path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scale is not strictly positive.
+    pub fn from_scales(scales: Tensor<f32>, bits: QuantBits, mode: ScaleMode) -> Self {
+        assert!(scales.as_slice().iter().all(|&s| s > 0.0), "scales must be positive");
+        Self { scales, bits, mode }
+    }
+
+    /// The scale of tap `(r, c)`.
+    pub fn scale(&self, r: usize, c: usize) -> f32 {
+        self.scales.at2(r, c)
+    }
+
+    /// The full scale matrix.
+    pub fn scales(&self) -> &Tensor<f32> {
+        &self.scales
+    }
+
+    /// The integer bit-width the scales quantize into.
+    pub fn bits(&self) -> QuantBits {
+        self.bits
+    }
+
+    /// The representation mode of the scales.
+    pub fn mode(&self) -> ScaleMode {
+        self.mode
+    }
+
+    /// The shift amounts `log2(s)` (exact integers in power-of-two mode).
+    pub fn shifts(&self) -> Tensor<f32> {
+        self.scales.map(|s| s.log2())
+    }
+
+    /// Quantizes a Winograd-domain tile tap-wise, returning integer codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile shape does not match the scale matrix.
+    pub fn quantize_tile(&self, tile: &Tensor<f32>) -> Tensor<i32> {
+        assert_eq!(tile.dims(), self.scales.dims(), "quantize_tile: shape mismatch");
+        let (lo, hi) = (self.bits.min_value(), self.bits.max_value());
+        tile.zip_map(&self.scales, |v, s| ((v / s).round() as i32).clamp(lo, hi))
+    }
+
+    /// Dequantizes integer codes back to FP32 tap-wise.
+    pub fn dequantize_tile(&self, tile: &Tensor<i32>) -> Tensor<f32> {
+        assert_eq!(tile.dims(), self.scales.dims(), "dequantize_tile: shape mismatch");
+        tile.zip_map(&self.scales, |q, s| q as f32 * s)
+    }
+
+    /// Quantize-then-dequantize (fake quantization) of a Winograd-domain tile.
+    pub fn fake_quantize_tile(&self, tile: &Tensor<f32>) -> Tensor<f32> {
+        self.dequantize_tile(&self.quantize_tile(tile))
+    }
+}
+
+/// The pair of tap-wise scale matrices `(S_B, S_G)` for one convolution layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TapwiseScales {
+    /// Scales of the transformed input feature maps (`S_B`).
+    pub input: TapScaleMatrix,
+    /// Scales of the transformed weights (`S_G`).
+    pub weight: TapScaleMatrix,
+}
+
+impl TapwiseScales {
+    /// Calibrates tap-wise scales from a weight tensor and a sample of input
+    /// activations for one layer.
+    ///
+    /// All `C_out × C_in` kernels and all input tiles of the sample are
+    /// transformed into the Winograd domain; the per-tap maxima define the
+    /// scales, optionally rounded to powers of two.
+    ///
+    /// `wino_bits` is the bit-width used inside the Winograd domain (8 for the
+    /// plain `int8` configuration, 9/10 for the `int8/9` and `int8/10` rows of
+    /// Tables II and III).
+    pub fn calibrate(
+        weights: &Tensor<f32>,
+        input_sample: &Tensor<f32>,
+        mats: &WinogradMatrices,
+        wino_bits: QuantBits,
+        mode: ScaleMode,
+    ) -> Self {
+        let t = mats.input_tile();
+        // Weights: per-tap max over all (C_out, C_in) kernels.
+        let mut wcal = TapCalibrator::peak(t);
+        let (c_out, c_in) = (weights.dims()[0], weights.dims()[1]);
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                let mut k = Tensor::<f32>::zeros(&[3, 3]);
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        k.set2(ky, kx, weights.at4(co, ci, ky, kx));
+                    }
+                }
+                wcal.observe_tile(&weight_transform(&k, mats));
+            }
+        }
+
+        // Inputs: per-tap max over all tiles of the sample.
+        let mut icarl = TapCalibrator::peak(t);
+        let grid = crate::transform::TileGrid::new(
+            input_sample.dims()[2],
+            input_sample.dims()[3],
+            mats.output_tile(),
+            1,
+        );
+        for n in 0..input_sample.dims()[0] {
+            for c in 0..input_sample.dims()[1] {
+                for ty in 0..grid.tiles_h {
+                    for tx in 0..grid.tiles_w {
+                        let tile =
+                            crate::transform::extract_input_tile(input_sample, n, c, ty, tx, &grid);
+                        icarl.observe_tile(&input_transform(&tile, mats));
+                    }
+                }
+            }
+        }
+
+        Self {
+            input: TapScaleMatrix::from_max_matrix(&icarl.max_matrix(), wino_bits, mode),
+            weight: TapScaleMatrix::from_max_matrix(&wcal.max_matrix(), wino_bits, mode),
+        }
+    }
+
+    /// Calibrates *uniform* scales: one scalar shared by all taps of the
+    /// transformed weights and one for the transformed inputs. This is the
+    /// prior Winograd-domain quantization approach (Gong et al., Li et al.)
+    /// that the paper's tap-wise scheme improves on; it is kept as the ablation
+    /// baseline of Table II.
+    pub fn calibrate_uniform(
+        weights: &Tensor<f32>,
+        input_sample: &Tensor<f32>,
+        mats: &WinogradMatrices,
+        wino_bits: QuantBits,
+        mode: ScaleMode,
+    ) -> Self {
+        let per_tap = Self::calibrate(weights, input_sample, mats, wino_bits, mode);
+        let t = mats.input_tile();
+        let w_max = per_tap.weight.scales().abs_max() * wino_bits.max_value() as f32;
+        let i_max = per_tap.input.scales().abs_max() * wino_bits.max_value() as f32;
+        Self {
+            input: TapScaleMatrix::uniform(t, i_max, wino_bits, mode),
+            weight: TapScaleMatrix::uniform(t, w_max, wino_bits, mode),
+        }
+    }
+
+    /// The combined output rescaling matrix `S_BG = S_G ⊙ S_B`, applied once
+    /// before the back-transformation.
+    pub fn sbg(&self) -> Tensor<f32> {
+        self.input.scales().mul(self.weight.scales())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::{TileSize, WinogradMatrices};
+    use wino_tensor::normal;
+
+    #[test]
+    fn power_of_two_scales_are_powers_of_two() {
+        let max = Tensor::from_vec(vec![0.7_f32, 3.0, 100.0, 0.004], &[2, 2]).unwrap();
+        let s = TapScaleMatrix::from_max_matrix(&max, QuantBits::int8(), ScaleMode::PowerOfTwo);
+        for &v in s.scales().as_slice() {
+            let l = v.log2();
+            assert!((l - l.round()).abs() < 1e-6, "{v} is not a power of two");
+        }
+    }
+
+    #[test]
+    fn po2_scale_never_below_float_scale() {
+        // Rounding up guarantees no additional clamping relative to the float scale.
+        let max = Tensor::from_vec(vec![0.9_f32, 5.0, 0.01, 64.0], &[2, 2]).unwrap();
+        let float = TapScaleMatrix::from_max_matrix(&max, QuantBits::int8(), ScaleMode::Float);
+        let po2 = TapScaleMatrix::from_max_matrix(&max, QuantBits::int8(), ScaleMode::PowerOfTwo);
+        for (f, p) in float.scales().as_slice().iter().zip(po2.scales().as_slice()) {
+            assert!(p >= f);
+            assert!(*p <= 2.0 * f);
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_tile_round_trip() {
+        let max = Tensor::filled(&[6, 6], 2.0);
+        let s = TapScaleMatrix::from_max_matrix(&max, QuantBits::int8(), ScaleMode::Float);
+        let tile = normal(&[6, 6], 0.0, 0.5, 77);
+        let fq = s.fake_quantize_tile(&tile);
+        // Error bounded by half a quantization step per tap.
+        for (a, b) in fq.as_slice().iter().zip(tile.as_slice()) {
+            assert!((a - b).abs() <= s.scale(0, 0) / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn tap_wise_beats_uniform_when_ranges_differ() {
+        // Construct a tile whose taps have wildly different magnitudes, as the
+        // F4 weight transform does (Fig. 1 of the paper).
+        let tile = Tensor::from_fn(&[4, 4], |i| if i < 2 { 100.0 } else { 0.01 * (i as f32 + 1.0) });
+        let per_tap_max = tile.map(|v| v.abs());
+        let tap = TapScaleMatrix::from_max_matrix(&per_tap_max, QuantBits::int8(), ScaleMode::Float);
+        let uni = TapScaleMatrix::uniform(4, tile.abs_max(), QuantBits::int8(), ScaleMode::Float);
+        let e_tap = tap.fake_quantize_tile(&tile).relative_error(&tile);
+        let e_uni = uni.fake_quantize_tile(&tile).relative_error(&tile);
+        assert!(e_tap < e_uni / 10.0, "tap-wise {e_tap} not clearly better than uniform {e_uni}");
+    }
+
+    #[test]
+    fn calibrated_scales_cover_the_observed_range() {
+        let mats = WinogradMatrices::for_tile(TileSize::F4);
+        let w = normal(&[4, 3, 3, 3], 0.0, 0.5, 3);
+        let x = normal(&[1, 3, 8, 8], 0.0, 1.0, 4);
+        let scales =
+            TapwiseScales::calibrate(&w, &x, &mats, QuantBits::int8(), ScaleMode::PowerOfTwo);
+        // Quantizing the transformed weights with the calibrated scales must not
+        // clamp (all codes strictly inside the int8 range except possibly the max).
+        let mut k = Tensor::<f32>::zeros(&[3, 3]);
+        for ky in 0..3 {
+            for kx in 0..3 {
+                k.set2(ky, kx, w.at4(0, 0, ky, kx));
+            }
+        }
+        let u = weight_transform(&k, &mats);
+        let q = scales.weight.quantize_tile(&u);
+        for &c in q.as_slice() {
+            assert!(c >= -127 && c <= 127);
+        }
+        let sbg = scales.sbg();
+        assert_eq!(sbg.dims(), &[6, 6]);
+    }
+
+    #[test]
+    fn shifts_are_integers_in_po2_mode() {
+        let max = Tensor::from_vec(vec![1.0_f32, 8.0, 0.25, 40.0], &[2, 2]).unwrap();
+        let s = TapScaleMatrix::from_max_matrix(&max, QuantBits::new(10), ScaleMode::PowerOfTwo);
+        for &sh in s.shifts().as_slice() {
+            assert!((sh - sh.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_explicit_scale_panics() {
+        let scales = Tensor::from_vec(vec![1.0_f32, 0.0], &[1, 2]).unwrap();
+        let _ = TapScaleMatrix::from_scales(scales, QuantBits::int8(), ScaleMode::Float);
+    }
+}

@@ -1,0 +1,248 @@
+//! The three Winograd transformations and the tile extraction helpers.
+//!
+//! Every transformation has the generic form `s_w = Tᵀ · s · T` (Eq. 4 of the
+//! paper): the input transformation uses `T = B`, the weight transformation
+//! uses `T = Gᵀ` (i.e. `G · f · Gᵀ`), and the output transformation uses
+//! `T = A` (i.e. `Aᵀ · M · A`).
+
+use crate::matrices::WinogradMatrices;
+use wino_tensor::{gemm_f32, Tensor};
+
+/// Multiplies `a[m×k] · b[k×n]` for small dense matrices (thin wrapper over the
+/// substrate GEMM to keep call sites readable).
+fn matmul(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    gemm_f32(a, b)
+}
+
+/// Transposes a 2-D tensor.
+pub(crate) fn transpose(a: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(a.rank(), 2);
+    let (r, c) = (a.dims()[0], a.dims()[1]);
+    let mut out = Tensor::<f32>::zeros(&[c, r]);
+    for i in 0..r {
+        for j in 0..c {
+            out.set2(j, i, a.at2(i, j));
+        }
+    }
+    out
+}
+
+/// Input transformation of a single `t×t` spatial tile: `V = Bᵀ · d · B`.
+///
+/// # Panics
+///
+/// Panics if `tile` is not `t×t` for the given matrices.
+pub fn input_transform(tile: &Tensor<f32>, mats: &WinogradMatrices) -> Tensor<f32> {
+    let t = mats.input_tile();
+    assert_eq!(tile.dims(), &[t, t], "input_transform: tile shape mismatch");
+    let b = transpose(&mats.bt);
+    matmul(&matmul(&mats.bt, tile), &b)
+}
+
+/// Weight transformation of a single `3×3` kernel: `U = G · f · Gᵀ`.
+///
+/// # Panics
+///
+/// Panics if `kernel` is not `3×3`.
+pub fn weight_transform(kernel: &Tensor<f32>, mats: &WinogradMatrices) -> Tensor<f32> {
+    assert_eq!(kernel.dims(), &[3, 3], "weight_transform: kernel must be 3x3");
+    let gt = transpose(&mats.g);
+    matmul(&matmul(&mats.g, kernel), &gt)
+}
+
+/// Output transformation of a single `t×t` Winograd-domain tile:
+/// `Y = Aᵀ · M · A`, producing an `m×m` spatial tile.
+///
+/// # Panics
+///
+/// Panics if `m_tile` is not `t×t`.
+pub fn output_transform(m_tile: &Tensor<f32>, mats: &WinogradMatrices) -> Tensor<f32> {
+    let t = mats.input_tile();
+    assert_eq!(m_tile.dims(), &[t, t], "output_transform: tile shape mismatch");
+    let a = transpose(&mats.at);
+    matmul(&matmul(&mats.at, m_tile), &a)
+}
+
+/// Describes how an NCHW feature map is decomposed into overlapping Winograd
+/// input tiles for a same-padded, stride-1, 3×3 convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Output tile edge `m`.
+    pub m: usize,
+    /// Input tile edge `t = m + 2`.
+    pub t: usize,
+    /// Number of tile rows (`ceil(H / m)`).
+    pub tiles_h: usize,
+    /// Number of tile columns (`ceil(W / m)`).
+    pub tiles_w: usize,
+    /// Spatial padding of the convolution (1 for "same" 3×3).
+    pub padding: usize,
+}
+
+impl TileGrid {
+    /// Builds the tile grid for an `H×W` output produced with the given tile
+    /// size and padding.
+    pub fn new(h: usize, w: usize, m: usize, padding: usize) -> Self {
+        Self {
+            m,
+            t: m + 2,
+            tiles_h: h.div_ceil(m),
+            tiles_w: w.div_ceil(m),
+            padding,
+        }
+    }
+
+    /// Total number of tiles per (batch, channel) plane.
+    pub fn tiles(&self) -> usize {
+        self.tiles_h * self.tiles_w
+    }
+}
+
+/// Extracts the `t×t` input tile feeding output tile `(ty, tx)` of channel
+/// `(n, c)`, materialising zero padding and out-of-image positions as zeros.
+pub fn extract_input_tile(
+    x: &Tensor<f32>,
+    n: usize,
+    c: usize,
+    ty: usize,
+    tx: usize,
+    grid: &TileGrid,
+) -> Tensor<f32> {
+    let (h, w) = (x.dims()[2], x.dims()[3]);
+    let mut tile = Tensor::<f32>::zeros(&[grid.t, grid.t]);
+    let y0 = (ty * grid.m) as isize - grid.padding as isize;
+    let x0 = (tx * grid.m) as isize - grid.padding as isize;
+    for dy in 0..grid.t {
+        let iy = y0 + dy as isize;
+        if iy < 0 || iy >= h as isize {
+            continue;
+        }
+        for dx in 0..grid.t {
+            let ix = x0 + dx as isize;
+            if ix < 0 || ix >= w as isize {
+                continue;
+            }
+            tile.set2(dy, dx, x.at4(n, c, iy as usize, ix as usize));
+        }
+    }
+    tile
+}
+
+/// Writes an `m×m` output tile into the NCHW output tensor, cropping the parts
+/// that fall outside the true output extent (needed when `H` or `W` is not a
+/// multiple of `m`, cf. the paper's note on zero-padding ineffective work).
+pub fn place_output_tile(
+    y: &mut Tensor<f32>,
+    tile: &Tensor<f32>,
+    n: usize,
+    c: usize,
+    ty: usize,
+    tx: usize,
+    grid: &TileGrid,
+) {
+    let (h, w) = (y.dims()[2], y.dims()[3]);
+    for dy in 0..grid.m {
+        let oy = ty * grid.m + dy;
+        if oy >= h {
+            continue;
+        }
+        for dx in 0..grid.m {
+            let ox = tx * grid.m + dx;
+            if ox >= w {
+                continue;
+            }
+            y.set4(n, c, oy, ox, tile.at2(dy, dx));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::{TileSize, WinogradMatrices};
+    use wino_tensor::normal;
+
+    /// Direct 2-D valid convolution of a t×t tile with a 3×3 kernel.
+    fn direct_tile_conv(tile: &Tensor<f32>, kernel: &Tensor<f32>, m: usize) -> Tensor<f32> {
+        let mut out = Tensor::<f32>::zeros(&[m, m]);
+        for oy in 0..m {
+            for ox in 0..m {
+                let mut acc = 0.0;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        acc += tile.at2(oy + ky, ox + kx) * kernel.at2(ky, kx);
+                    }
+                }
+                out.set2(oy, ox, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_tile_winograd_equals_direct_for_all_tile_sizes() {
+        for tile_size in TileSize::all() {
+            let mats = WinogradMatrices::for_tile(tile_size);
+            let t = tile_size.input_tile();
+            let m = tile_size.output_tile();
+            let d = normal(&[t, t], 0.0, 1.0, 42 + t as u64);
+            let f = normal(&[3, 3], 0.0, 1.0, 7 + t as u64);
+            let v = input_transform(&d, &mats);
+            let u = weight_transform(&f, &mats);
+            let prod = u.mul(&v);
+            let y = output_transform(&prod, &mats);
+            let reference = direct_tile_conv(&d, &f, m);
+            assert!(
+                y.max_abs_diff(&reference) < 1e-3,
+                "{tile_size}: winograd/direct mismatch {}",
+                y.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn transform_shapes() {
+        let mats = WinogradMatrices::f4();
+        let d = Tensor::<f32>::zeros(&[6, 6]);
+        let f = Tensor::<f32>::zeros(&[3, 3]);
+        assert_eq!(input_transform(&d, &mats).dims(), &[6, 6]);
+        assert_eq!(weight_transform(&f, &mats).dims(), &[6, 6]);
+        assert_eq!(output_transform(&d, &mats).dims(), &[4, 4]);
+    }
+
+    #[test]
+    fn tile_grid_counts() {
+        let g = TileGrid::new(32, 32, 4, 1);
+        assert_eq!((g.tiles_h, g.tiles_w, g.tiles()), (8, 8, 64));
+        let g = TileGrid::new(30, 33, 4, 1);
+        assert_eq!((g.tiles_h, g.tiles_w), (8, 9));
+        let g = TileGrid::new(7, 7, 2, 1);
+        assert_eq!((g.tiles_h, g.tiles_w), (4, 4));
+    }
+
+    #[test]
+    fn extract_tile_handles_padding_and_borders() {
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32 + 1.0);
+        let grid = TileGrid::new(4, 4, 4, 1);
+        let tile = extract_input_tile(&x, 0, 0, 0, 0, &grid);
+        // Top-left corner of the tile is padding.
+        assert_eq!(tile.at2(0, 0), 0.0);
+        // (1,1) of the tile is x(0,0).
+        assert_eq!(tile.at2(1, 1), 1.0);
+        // Bottom-right of the tile is padding again (input only 4 wide).
+        assert_eq!(tile.at2(5, 5), 0.0);
+        assert_eq!(tile.at2(4, 4), 16.0);
+    }
+
+    #[test]
+    fn place_output_tile_crops() {
+        let mut y = Tensor::<f32>::zeros(&[1, 1, 5, 5]);
+        let grid = TileGrid::new(5, 5, 4, 1);
+        let tile = Tensor::<f32>::filled(&[4, 4], 2.0);
+        // Tile (1,1) covers rows/cols 4..8 but only 4..5 exist.
+        place_output_tile(&mut y, &tile, 0, 0, 1, 1, &grid);
+        assert_eq!(y.at4(0, 0, 4, 4), 2.0);
+        assert_eq!(y.at4(0, 0, 3, 3), 0.0);
+        assert_eq!(y.sum(), 2.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Winograd convolution over NCHW tensors (FP32 and fake-quantized paths).
+//!
+//! [`winograd_conv2d`] is the exact FP32 algorithm of Eq. 1; it is the
+//! functional reference for the integer pipeline and the kernel the FP32
+//! baselines use. [`winograd_conv2d_fake_quant`] simulates the tap-wise
+//! quantized pipeline in floating point (quantize–dequantize at every place the
+//! paper's integer datapath quantizes), which is what Winograd-aware training
+//! needs.
+
+use crate::int_winograd::WinogradQuantConfig;
+use crate::matrices::{TileSize, WinogradMatrices};
+use crate::quant::QuantParams;
+use crate::tapwise::TapwiseScales;
+use crate::transform::{
+    extract_input_tile, input_transform, output_transform, place_output_tile, weight_transform,
+    TileGrid,
+};
+use wino_tensor::Tensor;
+
+/// FP32 Winograd convolution of an NCHW input with OIHW 3×3 weights, unit
+/// stride and "same" padding of 1.
+///
+/// # Panics
+///
+/// Panics if the weights are not 3×3 or the channel counts disagree.
+pub fn winograd_conv2d(x: &Tensor<f32>, w: &Tensor<f32>, tile: TileSize) -> Tensor<f32> {
+    let mats = WinogradMatrices::for_tile(tile);
+    winograd_conv2d_with(x, w, &mats, None, None)
+}
+
+/// FP32 Winograd convolution with optional per-tap fake quantization of the
+/// transformed inputs and weights.
+///
+/// When `scales` is provided, each transformed input tile and each transformed
+/// kernel is quantized and dequantized tap-wise before the elementwise
+/// multiplication, and the spatial input is first quantized with
+/// `spatial_input` (if given). This reproduces the numerical behaviour of the
+/// integer pipeline while staying differentiable-through-STE for training.
+fn winograd_conv2d_with(
+    x: &Tensor<f32>,
+    w: &Tensor<f32>,
+    mats: &WinogradMatrices,
+    scales: Option<&TapwiseScales>,
+    spatial_input: Option<QuantParams>,
+) -> Tensor<f32> {
+    assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
+    assert_eq!(w.rank(), 4, "winograd_conv2d: weights must be OIHW");
+    assert_eq!(w.dims()[2], 3, "winograd_conv2d: kernel must be 3x3");
+    assert_eq!(w.dims()[3], 3, "winograd_conv2d: kernel must be 3x3");
+    let (n, c_in, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    assert_eq!(c_in, w.dims()[1], "winograd_conv2d: channel mismatch");
+    let c_out = w.dims()[0];
+    let m = mats.output_tile();
+    let t = mats.input_tile();
+    let grid = TileGrid::new(h, wd, m, 1);
+
+    // Spatially (fake-)quantized input, if requested.
+    let x_eff: Tensor<f32> = match spatial_input {
+        Some(p) => x.map(|v| p.fake_quantize(v)),
+        None => x.clone(),
+    };
+
+    // Pre-transform all weights: U[c_out][c_in] is a t×t tile.
+    let mut u = vec![vec![Tensor::<f32>::zeros(&[t, t]); c_in]; c_out];
+    for (co, row) in u.iter_mut().enumerate() {
+        for (ci, slot) in row.iter_mut().enumerate() {
+            let mut k = Tensor::<f32>::zeros(&[3, 3]);
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    k.set2(ky, kx, w.at4(co, ci, ky, kx));
+                }
+            }
+            let mut uk = weight_transform(&k, mats);
+            if let Some(s) = scales {
+                uk = s.weight.fake_quantize_tile(&uk);
+            }
+            *slot = uk;
+        }
+    }
+
+    let mut y = Tensor::<f32>::zeros(&[n, c_out, h, wd]);
+    // Transform each input tile once and reuse it across output channels.
+    let mut v_tiles = vec![Tensor::<f32>::zeros(&[t, t]); c_in];
+    for ni in 0..n {
+        for ty in 0..grid.tiles_h {
+            for tx in 0..grid.tiles_w {
+                for (ci, slot) in v_tiles.iter_mut().enumerate() {
+                    let d = extract_input_tile(&x_eff, ni, ci, ty, tx, &grid);
+                    let mut v = input_transform(&d, mats);
+                    if let Some(s) = scales {
+                        v = s.input.fake_quantize_tile(&v);
+                    }
+                    *slot = v;
+                }
+                for co in 0..c_out {
+                    let mut acc = Tensor::<f32>::zeros(&[t, t]);
+                    for (ci, v) in v_tiles.iter().enumerate() {
+                        acc = acc.add(&v.mul(&u[co][ci]));
+                    }
+                    let out_tile = output_transform(&acc, mats);
+                    place_output_tile(&mut y, &out_tile, ni, co, ty, tx, &grid);
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Fake-quantized Winograd convolution following the tap-wise scheme.
+///
+/// The spatial input is quantized to `cfg.spatial_bits`, the Winograd-domain
+/// inputs and weights are quantized tap-wise to `cfg.wino_bits` with the
+/// provided `scales`, products are accumulated exactly, and the result is
+/// transformed back. This is the forward pass used during Winograd-aware
+/// training and for the accuracy ablations of Tables II and III.
+pub fn winograd_conv2d_fake_quant(
+    x: &Tensor<f32>,
+    w: &Tensor<f32>,
+    cfg: &WinogradQuantConfig,
+    scales: &TapwiseScales,
+    input_max: f32,
+) -> Tensor<f32> {
+    let mats = WinogradMatrices::for_tile(cfg.tile);
+    let spatial = QuantParams::from_max(input_max, cfg.spatial_bits);
+    let spatial = match cfg.mode {
+        crate::tapwise::ScaleMode::PowerOfTwo => spatial.to_power_of_two(),
+        crate::tapwise::ScaleMode::Float => spatial,
+    };
+    winograd_conv2d_with(x, w, &mats, Some(scales), Some(spatial))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantBits;
+    use crate::tapwise::ScaleMode;
+    use wino_tensor::{conv2d_direct, normal, ConvParams};
+
+    #[test]
+    fn fp32_winograd_matches_direct_for_all_tiles() {
+        let x = normal(&[2, 3, 12, 12], 0.0, 1.0, 100);
+        let w = normal(&[5, 3, 3, 3], 0.0, 0.5, 101);
+        let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+        for tile in TileSize::all() {
+            let y = winograd_conv2d(&x, &w, tile);
+            let err = y.relative_error(&reference);
+            assert!(err < 1e-4, "{tile}: relative error {err}");
+        }
+    }
+
+    #[test]
+    fn non_multiple_spatial_sizes_are_cropped_correctly() {
+        // 7x9 output is not a multiple of 4: the F4 path must pad tiles with
+        // zeros and crop the result.
+        let x = normal(&[1, 2, 7, 9], 0.0, 1.0, 102);
+        let w = normal(&[3, 2, 3, 3], 0.0, 0.5, 103);
+        let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+        for tile in [TileSize::F2, TileSize::F4, TileSize::F6] {
+            let y = winograd_conv2d(&x, &w, tile);
+            assert_eq!(y.dims(), reference.dims());
+            assert!(y.relative_error(&reference) < 1e-4, "{tile}");
+        }
+    }
+
+    #[test]
+    fn single_pixel_input_works() {
+        let x = normal(&[1, 1, 1, 1], 0.0, 1.0, 104);
+        let w = normal(&[1, 1, 3, 3], 0.0, 1.0, 105);
+        let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+        let y = winograd_conv2d(&x, &w, TileSize::F4);
+        assert!(y.max_abs_diff(&reference) < 1e-5);
+    }
+
+    #[test]
+    fn fake_quant_f4_tracks_reference_within_quantization_noise() {
+        let x = normal(&[1, 4, 16, 16], 0.0, 1.0, 106);
+        let w = normal(&[4, 4, 3, 3], 0.0, 0.3, 107);
+        let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+        let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
+        let mats = WinogradMatrices::for_tile(TileSize::F4);
+        let scales =
+            TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+        let y = winograd_conv2d_fake_quant(&x, &w, &cfg, &scales, x.abs_max());
+        let err = y.relative_error(&reference);
+        assert!(err < 0.20, "int8 tap-wise F4 relative error too high: {err}");
+    }
+
+    #[test]
+    fn ten_bit_winograd_domain_is_more_accurate_than_eight() {
+        let x = normal(&[1, 8, 16, 16], 0.0, 1.0, 108);
+        let w = normal(&[8, 8, 3, 3], 0.0, 0.3, 109);
+        let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+        let mats = WinogradMatrices::for_tile(TileSize::F4);
+
+        let mut errs = Vec::new();
+        for bits in [8u8, 10u8] {
+            let cfg = WinogradQuantConfig {
+                tile: TileSize::F4,
+                spatial_bits: QuantBits::int8(),
+                wino_bits: QuantBits::new(bits),
+                tapwise: true,
+                mode: ScaleMode::PowerOfTwo,
+            };
+            let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+            let y = winograd_conv2d_fake_quant(&x, &w, &cfg, &scales, x.abs_max());
+            errs.push(y.relative_error(&reference));
+        }
+        assert!(errs[1] < errs[0], "int8/10 ({}) should beat int8 ({})", errs[1], errs[0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of the Winograd algorithm and tap-wise quantization.
+
+use proptest::prelude::*;
+use wino_core::{
+    cook_toom_matrices, cooktoom::verify_matrices, pseudo_inverse, winograd_conv2d, QuantBits,
+    QuantParams, ScaleMode, TapScaleMatrix, TileSize,
+};
+use wino_tensor::{conv2d_direct, gemm_f32, normal, ConvParams, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FP32 Winograd convolution equals the direct convolution for every tile
+    /// size and arbitrary (small) layer shapes, including spatial sizes that
+    /// are not multiples of the output tile.
+    #[test]
+    fn winograd_equals_direct(
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        h in 3usize..11,
+        w in 3usize..11,
+        seed in 0u64..1000,
+    ) {
+        let x = normal(&[1, c_in, h, w], 0.0, 1.0, seed);
+        let k = normal(&[c_out, c_in, 3, 3], 0.0, 0.5, seed + 1);
+        let reference = conv2d_direct(&x, &k, None, ConvParams::same_3x3());
+        for tile in [TileSize::F2, TileSize::F4, TileSize::F6] {
+            let y = winograd_conv2d(&x, &k, tile);
+            prop_assert!(y.relative_error(&reference) < 1e-3, "{tile}: error too large");
+        }
+    }
+
+    /// Symmetric quantization never errs by more than half a step for values
+    /// inside the calibrated range, for any bit-width.
+    #[test]
+    fn quantization_error_is_bounded(max in 0.01f32..100.0, value_frac in -1.0f32..1.0, bits in 3u8..12) {
+        let p = QuantParams::from_max(max, QuantBits::new(bits));
+        let x = value_frac * max;
+        let err = (p.fake_quantize(x) - x).abs();
+        prop_assert!(err <= p.scale / 2.0 + 1e-5);
+    }
+
+    /// Power-of-two rounding of tap scales never shrinks a scale (so no extra
+    /// clamping is introduced) and never more than doubles it.
+    #[test]
+    fn po2_scales_bracket_float_scales(maxes in proptest::collection::vec(0.001f32..50.0, 4)) {
+        let max = Tensor::from_vec(maxes.clone(), &[2, 2]).unwrap();
+        let float = TapScaleMatrix::from_max_matrix(&max, QuantBits::int8(), ScaleMode::Float);
+        let po2 = TapScaleMatrix::from_max_matrix(&max, QuantBits::int8(), ScaleMode::PowerOfTwo);
+        for (f, p) in float.scales().as_slice().iter().zip(po2.scales().as_slice()) {
+            prop_assert!(p >= f && *p <= 2.0 * f + 1e-9);
+        }
+    }
+
+    /// The Moore–Penrose pseudo-inverse is a left inverse for random tall
+    /// full-rank matrices.
+    #[test]
+    fn pseudo_inverse_is_left_inverse(rows in 3usize..7, seed in 0u64..500) {
+        let a = normal(&[rows, 3], 0.0, 1.0, seed);
+        // Gaussian matrices are full column rank with probability 1.
+        let pinv = pseudo_inverse(&a);
+        let prod = gemm_f32(&pinv, &a);
+        let eye = Tensor::from_fn(&[3, 3], |i| if i % 4 == 0 { 1.0 } else { 0.0 });
+        prop_assert!(prod.max_abs_diff(&eye) < 1e-2);
+    }
+
+    /// The Toom–Cook generator produces a valid Winograd algorithm for any set
+    /// of distinct small rational points.
+    #[test]
+    fn cook_toom_points_yield_valid_algorithms(offset in -2i32..3) {
+        let points: Vec<f64> = vec![0.0, 1.0, -1.0, 0.5 + offset as f64, -(0.5 + offset as f64)];
+        // Skip degenerate sets where points collide.
+        let mut sorted = points.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        prop_assume!(sorted.len() == points.len());
+        let (bt, g, at) = cook_toom_matrices(4, 3, &points);
+        prop_assert!(verify_matrices(&bt, &g, &at, 5) < 1e-2);
+    }
+}

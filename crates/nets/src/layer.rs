@@ -1,0 +1,205 @@
+//! Convolution-layer descriptors and network inventories.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a layer, which determines the kernels the accelerator may use
+/// for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// A 3×3, stride-1 convolution: eligible for the Winograd F2/F4 kernels.
+    WinogradEligible,
+    /// Any other convolution (1×1 pointwise, strided, large kernels): processed
+    /// with the im2col kernel only.
+    Standard,
+}
+
+/// Geometry of one convolution layer of a network.
+///
+/// The spatial size refers to the *output* feature map, following Table IV of
+/// the paper ("H, W refers to the output resolution").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvLayer {
+    /// Human-readable layer name.
+    pub name: String,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Output height.
+    pub h_out: usize,
+    /// Output width.
+    pub w_out: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// How many times this exact layer shape repeats in the network.
+    pub repeats: usize,
+}
+
+impl ConvLayer {
+    /// Creates a layer descriptor.
+    pub fn new(
+        name: &str,
+        c_in: usize,
+        c_out: usize,
+        h_out: usize,
+        w_out: usize,
+        kernel: usize,
+        stride: usize,
+    ) -> Self {
+        Self { name: name.to_string(), c_in, c_out, h_out, w_out, kernel, stride, repeats: 1 }
+    }
+
+    /// Shorthand for a 3×3 / stride-1 layer (the Winograd-eligible case).
+    pub fn conv3x3(name: &str, c_in: usize, c_out: usize, hw: usize) -> Self {
+        Self::new(name, c_in, c_out, hw, hw, 3, 1)
+    }
+
+    /// Shorthand for a 1×1 pointwise layer.
+    pub fn conv1x1(name: &str, c_in: usize, c_out: usize, hw: usize) -> Self {
+        Self::new(name, c_in, c_out, hw, hw, 1, 1)
+    }
+
+    /// Marks the layer as repeating `n` times (identical shape).
+    pub fn repeated(mut self, n: usize) -> Self {
+        self.repeats = n;
+        self
+    }
+
+    /// Whether the layer can be processed by the paper's Winograd kernels
+    /// (3×3 kernel, unit stride).
+    pub fn kind(&self) -> LayerKind {
+        if self.kernel == 3 && self.stride == 1 {
+            LayerKind::WinogradEligible
+        } else {
+            LayerKind::Standard
+        }
+    }
+
+    /// Multiply–accumulate operations for one inference at batch size `batch`
+    /// (standard algorithm).
+    pub fn macs(&self, batch: usize) -> u64 {
+        (batch * self.repeats) as u64
+            * self.c_in as u64
+            * self.c_out as u64
+            * (self.h_out * self.w_out) as u64
+            * (self.kernel * self.kernel) as u64
+    }
+
+    /// Input feature-map volume in elements for one inference at batch `batch`
+    /// (approximated from the output resolution and stride).
+    pub fn input_elements(&self, batch: usize) -> u64 {
+        (batch * self.repeats) as u64
+            * self.c_in as u64
+            * (self.h_out * self.stride) as u64
+            * (self.w_out * self.stride) as u64
+    }
+
+    /// Output feature-map volume in elements for one inference at batch `batch`.
+    pub fn output_elements(&self, batch: usize) -> u64 {
+        (batch * self.repeats) as u64 * self.c_out as u64 * (self.h_out * self.w_out) as u64
+    }
+
+    /// Weight volume in elements.
+    pub fn weight_elements(&self) -> u64 {
+        self.repeats as u64
+            * self.c_in as u64
+            * self.c_out as u64
+            * (self.kernel * self.kernel) as u64
+    }
+}
+
+/// A network described as a list of convolution layers plus metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// Network name as used in Table VII.
+    pub name: String,
+    /// Input resolution the layer list was instantiated for.
+    pub input_resolution: usize,
+    /// The convolution layers (non-convolution layers are omitted — they are a
+    /// negligible part of the compute and are handled by the Vector Unit).
+    pub layers: Vec<ConvLayer>,
+}
+
+impl Network {
+    /// Creates a network from its layers.
+    pub fn new(name: &str, input_resolution: usize, layers: Vec<ConvLayer>) -> Self {
+        Self { name: name.to_string(), input_resolution, layers }
+    }
+
+    /// Total MACs of one inference at the given batch size.
+    pub fn total_macs(&self, batch: usize) -> u64 {
+        self.layers.iter().map(|l| l.macs(batch)).sum()
+    }
+
+    /// MACs spent in Winograd-eligible (3×3 stride-1) layers.
+    pub fn winograd_macs(&self, batch: usize) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.kind() == LayerKind::WinogradEligible)
+            .map(|l| l.macs(batch))
+            .sum()
+    }
+
+    /// Fraction of the MACs that are Winograd-eligible (determines how much of
+    /// the end-to-end speed-up the Winograd kernels can deliver).
+    pub fn winograd_fraction(&self, batch: usize) -> f64 {
+        let total = self.total_macs(batch);
+        if total == 0 {
+            0.0
+        } else {
+            self.winograd_macs(batch) as f64 / total as f64
+        }
+    }
+
+    /// Number of layer descriptors (counting repeats).
+    pub fn layer_count(&self) -> usize {
+        self.layers.iter().map(|l| l.repeats).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_formula() {
+        let l = ConvLayer::conv3x3("l", 64, 128, 32);
+        assert_eq!(l.macs(1), 64 * 128 * 32 * 32 * 9);
+        assert_eq!(l.macs(2), 2 * l.macs(1));
+        assert_eq!(l.repeated(3).macs(1), 3 * 64 * 128 * 32 * 32 * 9);
+    }
+
+    #[test]
+    fn winograd_eligibility() {
+        assert_eq!(ConvLayer::conv3x3("a", 8, 8, 8).kind(), LayerKind::WinogradEligible);
+        assert_eq!(ConvLayer::conv1x1("b", 8, 8, 8).kind(), LayerKind::Standard);
+        assert_eq!(ConvLayer::new("c", 8, 8, 8, 8, 3, 2).kind(), LayerKind::Standard);
+        assert_eq!(ConvLayer::new("d", 8, 8, 8, 8, 7, 2).kind(), LayerKind::Standard);
+    }
+
+    #[test]
+    fn volumes_scale_with_batch_and_stride() {
+        let l = ConvLayer::new("s2", 64, 128, 16, 16, 3, 2);
+        assert_eq!(l.output_elements(1), 128 * 16 * 16);
+        assert_eq!(l.input_elements(1), 64 * 32 * 32);
+        assert_eq!(l.weight_elements(), 64 * 128 * 9);
+        assert_eq!(l.output_elements(4), 4 * 128 * 16 * 16);
+    }
+
+    #[test]
+    fn network_aggregates() {
+        let net = Network::new(
+            "toy",
+            32,
+            vec![
+                ConvLayer::conv3x3("a", 16, 16, 32).repeated(2),
+                ConvLayer::conv1x1("b", 16, 32, 32),
+            ],
+        );
+        assert_eq!(net.layer_count(), 3);
+        assert_eq!(net.total_macs(1), 2 * 16 * 16 * 32 * 32 * 9 + 16 * 32 * 32 * 32);
+        assert!(net.winograd_fraction(1) > 0.89);
+    }
+}

@@ -1,0 +1,35 @@
+//! Network zoo and workload generator.
+//!
+//! The paper's system evaluation (Tables IV, VI, VII, Figs. 5 and 6) runs on
+//! two benchmark suites: a synthetic sweep of 3×3 Conv2D layers and the
+//! convolutional layers of seven state-of-the-art CNNs (ResNet-34/50,
+//! RetinaNet-ResNet50-FPN, SSD-VGG16, YOLOv3, U-Net, plus the CIFAR networks
+//! used for accuracy). This crate provides those layer inventories as plain
+//! data that the accelerator simulator consumes.
+//!
+//! Layer lists are derived from the published architectures; they describe the
+//! convolution geometry only (channels, resolution, kernel, stride), which is
+//! all the performance model needs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod layer;
+pub mod resnet;
+pub mod retinanet;
+pub mod ssd;
+pub mod synthetic;
+pub mod unet;
+pub mod vgg;
+pub mod yolo;
+pub mod zoo;
+
+pub use layer::{ConvLayer, LayerKind, Network};
+pub use resnet::{resnet20, resnet34, resnet50};
+pub use retinanet::retinanet_resnet50_fpn;
+pub use ssd::ssd_vgg16;
+pub use synthetic::{synthetic_conv_suite, SyntheticWorkload};
+pub use unet::unet;
+pub use vgg::{vgg16_backbone, vgg_nagadomi};
+pub use yolo::yolov3;
+pub use zoo::{benchmark_networks, network_by_name};

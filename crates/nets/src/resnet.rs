@@ -1,0 +1,112 @@
+//! ResNet layer inventories (He et al., 2015).
+//!
+//! ResNet-34 uses basic blocks (two 3×3 convolutions per block); ResNet-50 uses
+//! bottleneck blocks (1×1 → 3×3 → 1×1). Both start with a 7×7/2 stem and reduce
+//! the resolution by 2 at each of the four stages. The inventories below are
+//! instantiated for 224×224 inputs (56/28/14/7 stage resolutions), matching the
+//! ImageNet configuration of Table VII.
+
+use crate::layer::{ConvLayer, Network};
+
+/// ResNet-34 for 224×224 inputs.
+pub fn resnet34() -> Network {
+    let mut layers = vec![ConvLayer::new("conv1", 3, 64, 112, 112, 7, 2)];
+    // Stage 1: 3 basic blocks at 56×56, 64 channels.
+    layers.push(ConvLayer::conv3x3("layer1.convs", 64, 64, 56).repeated(6));
+    // Stage 2: 4 blocks at 28×28, 128 channels (first block downsamples).
+    layers.push(ConvLayer::new("layer2.0.conv1", 64, 128, 28, 28, 3, 2));
+    layers.push(ConvLayer::conv3x3("layer2.convs", 128, 128, 28).repeated(7));
+    layers.push(ConvLayer::new("layer2.downsample", 64, 128, 28, 28, 1, 2));
+    // Stage 3: 6 blocks at 14×14, 256 channels.
+    layers.push(ConvLayer::new("layer3.0.conv1", 128, 256, 14, 14, 3, 2));
+    layers.push(ConvLayer::conv3x3("layer3.convs", 256, 256, 14).repeated(11));
+    layers.push(ConvLayer::new("layer3.downsample", 128, 256, 14, 14, 1, 2));
+    // Stage 4: 3 blocks at 7×7, 512 channels.
+    layers.push(ConvLayer::new("layer4.0.conv1", 256, 512, 7, 7, 3, 2));
+    layers.push(ConvLayer::conv3x3("layer4.convs", 512, 512, 7).repeated(5));
+    layers.push(ConvLayer::new("layer4.downsample", 256, 512, 7, 7, 1, 2));
+    Network::new("ResNet-34", 224, layers)
+}
+
+/// ResNet-50 for 224×224 inputs.
+pub fn resnet50() -> Network {
+    let mut layers = vec![ConvLayer::new("conv1", 3, 64, 112, 112, 7, 2)];
+    // Stage 1: 3 bottlenecks at 56×56 (64→64→256).
+    layers.push(ConvLayer::conv1x1("layer1.in1x1", 64, 64, 56));
+    layers.push(ConvLayer::conv1x1("layer1.in1x1.rest", 256, 64, 56).repeated(2));
+    layers.push(ConvLayer::conv3x3("layer1.3x3", 64, 64, 56).repeated(3));
+    layers.push(ConvLayer::conv1x1("layer1.out1x1", 64, 256, 56).repeated(3));
+    layers.push(ConvLayer::conv1x1("layer1.downsample", 64, 256, 56));
+    // Stage 2: 4 bottlenecks at 28×28 (256→128→512).
+    layers.push(ConvLayer::conv1x1("layer2.in1x1.0", 256, 128, 28));
+    layers.push(ConvLayer::conv1x1("layer2.in1x1.rest", 512, 128, 28).repeated(3));
+    layers.push(ConvLayer::new("layer2.3x3.0", 128, 128, 28, 28, 3, 2));
+    layers.push(ConvLayer::conv3x3("layer2.3x3", 128, 128, 28).repeated(3));
+    layers.push(ConvLayer::conv1x1("layer2.out1x1", 128, 512, 28).repeated(4));
+    layers.push(ConvLayer::new("layer2.downsample", 256, 512, 28, 28, 1, 2));
+    // Stage 3: 6 bottlenecks at 14×14 (512→256→1024).
+    layers.push(ConvLayer::conv1x1("layer3.in1x1.0", 512, 256, 14));
+    layers.push(ConvLayer::conv1x1("layer3.in1x1.rest", 1024, 256, 14).repeated(5));
+    layers.push(ConvLayer::new("layer3.3x3.0", 256, 256, 14, 14, 3, 2));
+    layers.push(ConvLayer::conv3x3("layer3.3x3", 256, 256, 14).repeated(5));
+    layers.push(ConvLayer::conv1x1("layer3.out1x1", 256, 1024, 14).repeated(6));
+    layers.push(ConvLayer::new("layer3.downsample", 512, 1024, 14, 14, 1, 2));
+    // Stage 4: 3 bottlenecks at 7×7 (1024→512→2048).
+    layers.push(ConvLayer::conv1x1("layer4.in1x1.0", 1024, 512, 7));
+    layers.push(ConvLayer::conv1x1("layer4.in1x1.rest", 2048, 512, 7).repeated(2));
+    layers.push(ConvLayer::new("layer4.3x3.0", 512, 512, 7, 7, 3, 2));
+    layers.push(ConvLayer::conv3x3("layer4.3x3", 512, 512, 7).repeated(2));
+    layers.push(ConvLayer::conv1x1("layer4.out1x1", 512, 2048, 7).repeated(3));
+    layers.push(ConvLayer::new("layer4.downsample", 1024, 2048, 7, 7, 1, 2));
+    Network::new("ResNet-50", 224, layers)
+}
+
+/// ResNet-20 for 32×32 CIFAR-10 inputs (the accuracy benchmark of Table III).
+pub fn resnet20() -> Network {
+    let mut layers = vec![ConvLayer::conv3x3("conv1", 3, 16, 32)];
+    layers.push(ConvLayer::conv3x3("stage1", 16, 16, 32).repeated(6));
+    layers.push(ConvLayer::new("stage2.down", 16, 32, 16, 16, 3, 2));
+    layers.push(ConvLayer::conv3x3("stage2", 32, 32, 16).repeated(5));
+    layers.push(ConvLayer::new("stage3.down", 32, 64, 8, 8, 3, 2));
+    layers.push(ConvLayer::conv3x3("stage3", 64, 64, 8).repeated(5));
+    Network::new("ResNet-20", 32, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet34_macs_are_in_the_published_range() {
+        // Published ~3.6 GMAC for ResNet-34 at 224² (convolutions only).
+        let net = resnet34();
+        let gmacs = net.total_macs(1) as f64 / 1e9;
+        assert!((3.0..4.2).contains(&gmacs), "ResNet-34 {gmacs} GMAC out of range");
+        // Dominated by 3x3 convolutions.
+        assert!(net.winograd_fraction(1) > 0.85);
+    }
+
+    #[test]
+    fn resnet50_macs_are_in_the_published_range() {
+        // Published ~3.8-4.1 GMAC for ResNet-50 at 224².
+        let net = resnet50();
+        let gmacs = net.total_macs(1) as f64 / 1e9;
+        assert!((3.2..4.6).contains(&gmacs), "ResNet-50 {gmacs} GMAC out of range");
+        // Bottleneck design: far fewer MACs in 3x3 layers than ResNet-34.
+        assert!(net.winograd_fraction(1) < 0.65);
+        assert!(net.winograd_fraction(1) > 0.25);
+    }
+
+    #[test]
+    fn resnet50_has_lower_winograd_fraction_than_resnet34() {
+        assert!(resnet50().winograd_fraction(1) < resnet34().winograd_fraction(1));
+    }
+
+    #[test]
+    fn resnet20_is_tiny_and_winograd_dominated() {
+        let net = resnet20();
+        let mmacs = net.total_macs(1) as f64 / 1e6;
+        assert!((30.0..60.0).contains(&mmacs), "ResNet-20 {mmacs} MMAC out of range");
+        assert!(net.winograd_fraction(1) > 0.9);
+    }
+}

@@ -1,0 +1,59 @@
+//! SSD-VGG16 (SSD-300) layer inventory (Liu et al., 2016).
+
+use crate::layer::{ConvLayer, Network};
+use crate::vgg::vgg16_backbone;
+
+/// SSD with the VGG-16 backbone at 300×300 (the "SSD-VGG-16, Res. 300" rows of
+/// Table VII).
+pub fn ssd_vgg16() -> Network {
+    let mut layers = vgg16_backbone(300).layers;
+    // SSD keeps conv5 at 1/16 resolution (19×19 for 300 input, ceil mode),
+    // then adds the converted fc6/fc7 and the extra feature layers.
+    let f = 19; // 300 / 16, ceil
+    layers.push(ConvLayer::conv3x3("fc6_atrous", 512, 1024, f));
+    layers.push(ConvLayer::conv1x1("fc7", 1024, 1024, f));
+    // Extra feature layers.
+    layers.push(ConvLayer::conv1x1("conv8_1", 1024, 256, f));
+    layers.push(ConvLayer::new("conv8_2", 256, 512, 10, 10, 3, 2));
+    layers.push(ConvLayer::conv1x1("conv9_1", 512, 128, 10));
+    layers.push(ConvLayer::new("conv9_2", 128, 256, 5, 5, 3, 2));
+    layers.push(ConvLayer::conv1x1("conv10_1", 256, 128, 5));
+    layers.push(ConvLayer::new("conv10_2", 128, 256, 3, 3, 3, 1));
+    layers.push(ConvLayer::conv1x1("conv11_1", 256, 128, 3));
+    layers.push(ConvLayer::new("conv11_2", 128, 256, 1, 1, 3, 1));
+    // Multibox heads (3x3) on the six feature maps: (channels, resolution, boxes).
+    let heads: [(usize, usize, usize); 6] =
+        [(512, 38, 4), (1024, 19, 6), (512, 10, 6), (256, 5, 6), (256, 3, 4), (256, 1, 4)];
+    for (i, (c, r, boxes)) in heads.iter().enumerate() {
+        // Localization (4 coords) + classification (21 VOC classes) per box.
+        layers.push(ConvLayer::conv3x3(&format!("head{i}.loc"), *c, boxes * 4, *r));
+        layers.push(ConvLayer::conv3x3(&format!("head{i}.cls"), *c, boxes * 21, *r));
+    }
+    Network::new("SSD-VGG-16", 300, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_are_in_the_published_range() {
+        // SSD-300 is ~31 GMAC (convolutions).
+        let net = ssd_vgg16();
+        let gmacs = net.total_macs(1) as f64 / 1e9;
+        assert!((22.0..40.0).contains(&gmacs), "SSD {gmacs} GMAC out of range");
+    }
+
+    #[test]
+    fn dominated_by_3x3_layers() {
+        // The paper notes SSD benefits strongly from Winograd: most MACs are 3x3/1.
+        assert!(ssd_vgg16().winograd_fraction(1) > 0.8);
+    }
+
+    #[test]
+    fn contains_backbone_and_heads() {
+        let net = ssd_vgg16();
+        assert!(net.layers.iter().any(|l| l.name.starts_with("conv1_1")));
+        assert!(net.layers.iter().any(|l| l.name.contains("head5")));
+    }
+}

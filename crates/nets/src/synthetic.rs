@@ -1,0 +1,96 @@
+//! The synthetic 3×3 Conv2D benchmark suite of Table IV.
+//!
+//! The paper sweeps batch size, output resolution and channel counts over
+//! "common values" used by state-of-the-art CNNs. The exact (C_in, C_out)
+//! pairing of the table header is reconstructed approximately (see
+//! EXPERIMENTS.md); the sweep axes match the paper: `B ∈ {1, 8}`,
+//! `H = W ∈ {16, 32, 64, 128}` and nine channel configurations.
+
+use crate::layer::ConvLayer;
+use serde::{Deserialize, Serialize};
+
+/// One synthetic workload: a single 3×3 stride-1 Conv2D layer plus batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticWorkload {
+    /// Batch size.
+    pub batch: usize,
+    /// The layer geometry.
+    pub layer: ConvLayer,
+}
+
+impl SyntheticWorkload {
+    /// A compact identifier `B{batch}_HW{res}_Cin{cin}_Cout{cout}`.
+    pub fn id(&self) -> String {
+        format!(
+            "B{}_HW{}_Cin{}_Cout{}",
+            self.batch, self.layer.h_out, self.layer.c_in, self.layer.c_out
+        )
+    }
+}
+
+/// The channel configurations (C_in, C_out) of the Table IV columns.
+pub const CHANNEL_CONFIGS: [(usize, usize); 9] = [
+    (64, 64),
+    (128, 128),
+    (192, 128),
+    (192, 192),
+    (256, 256),
+    (256, 384),
+    (512, 256),
+    (512, 384),
+    (512, 512),
+];
+
+/// The output resolutions of the Table IV rows.
+pub const RESOLUTIONS: [usize; 4] = [16, 32, 64, 128];
+
+/// The batch sizes of the Table IV column groups.
+pub const BATCHES: [usize; 2] = [1, 8];
+
+/// Generates the full synthetic Conv2D suite (batch × resolution × channels).
+pub fn synthetic_conv_suite() -> Vec<SyntheticWorkload> {
+    let mut out = Vec::new();
+    for &batch in &BATCHES {
+        for &hw in &RESOLUTIONS {
+            for &(c_in, c_out) in &CHANNEL_CONFIGS {
+                let name = format!("synthetic_b{batch}_hw{hw}_{c_in}x{c_out}");
+                out.push(SyntheticWorkload {
+                    batch,
+                    layer: ConvLayer::conv3x3(&name, c_in, c_out, hw),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn suite_covers_the_full_grid() {
+        let suite = synthetic_conv_suite();
+        assert_eq!(suite.len(), BATCHES.len() * RESOLUTIONS.len() * CHANNEL_CONFIGS.len());
+        // All Winograd-eligible by construction.
+        assert!(suite.iter().all(|w| w.layer.kind() == LayerKind::WinogradEligible));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let suite = synthetic_conv_suite();
+        let mut ids: Vec<String> = suite.iter().map(|w| w.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), suite.len());
+    }
+
+    #[test]
+    fn covers_the_paper_axes() {
+        let suite = synthetic_conv_suite();
+        assert!(suite.iter().any(|w| w.batch == 1 && w.layer.h_out == 128));
+        assert!(suite.iter().any(|w| w.batch == 8 && w.layer.h_out == 16));
+        assert!(suite.iter().any(|w| w.layer.c_in == 512 && w.layer.c_out == 512));
+    }
+}

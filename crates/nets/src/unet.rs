@@ -1,0 +1,60 @@
+//! U-Net layer inventory (Ronneberger et al., 2015) for high-resolution
+//! semantic segmentation, instantiated at the paper's 572×572 input.
+
+use crate::layer::{ConvLayer, Network};
+
+/// The original U-Net: a 4-level encoder/decoder with two 3×3 convolutions per
+/// level and up-convolutions in the decoder. All heavy layers are 3×3 stride 1,
+/// which is why Table VII shows the largest Winograd gains on U-Net.
+pub fn unet() -> Network {
+    let input = 572usize;
+    let mut layers = Vec::new();
+    // Encoder: channels 64, 128, 256, 512, 1024; resolution halves each level.
+    let enc: [(usize, usize); 5] = [(64, 568), (128, 280), (256, 136), (512, 64), (1024, 28)];
+    let mut prev_c = 3usize;
+    for (i, (c, r)) in enc.iter().enumerate() {
+        layers.push(ConvLayer::conv3x3(&format!("enc{i}.conv1"), prev_c, *c, *r));
+        layers.push(ConvLayer::conv3x3(&format!("enc{i}.conv2"), *c, *c, *r));
+        prev_c = *c;
+    }
+    // Decoder: up-convolution (2×2, modelled as kernel-2 stride-2 here is not
+    // Winograd-eligible anyway, so we approximate it with a 1×1 at the upsampled
+    // resolution carrying the same MAC count order) followed by two 3×3 convs on
+    // the concatenated features.
+    let dec: [(usize, usize); 4] = [(512, 56), (256, 104), (128, 200), (64, 392)];
+    let mut up_in = 1024usize;
+    for (i, (c, r)) in dec.iter().enumerate() {
+        layers.push(ConvLayer::new(&format!("dec{i}.upconv"), up_in, *c, *r, *r, 2, 2));
+        layers.push(ConvLayer::conv3x3(&format!("dec{i}.conv1"), 2 * c, *c, *r));
+        layers.push(ConvLayer::conv3x3(&format!("dec{i}.conv2"), *c, *c, *r));
+        up_in = *c;
+    }
+    layers.push(ConvLayer::conv1x1("out", 64, 2, 388));
+    Network::new("UNet", input, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unet_is_very_compute_heavy() {
+        // The original 572² U-Net is on the order of 150-200 GMAC.
+        let gmacs = unet().total_macs(1) as f64 / 1e9;
+        assert!((100.0..260.0).contains(&gmacs), "UNet {gmacs} GMAC out of range");
+    }
+
+    #[test]
+    fn dominated_by_3x3_convolutions() {
+        // Table VII: UNet has the highest Winograd speed-up because nearly all
+        // MACs are Winograd-eligible.
+        assert!(unet().winograd_fraction(1) > 0.85);
+    }
+
+    #[test]
+    fn has_encoder_and_decoder_layers() {
+        let net = unet();
+        assert!(net.layers.iter().any(|l| l.name.starts_with("enc4")));
+        assert!(net.layers.iter().any(|l| l.name.starts_with("dec3")));
+    }
+}

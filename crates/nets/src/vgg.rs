@@ -1,0 +1,66 @@
+//! VGG layer inventories.
+
+use crate::layer::{ConvLayer, Network};
+
+/// The VGG-16 convolutional backbone at an arbitrary input resolution
+/// (used standalone and as the SSD-300 backbone).
+pub fn vgg16_backbone(input: usize) -> Network {
+    let r = |stage_div: usize| input / stage_div;
+    let layers = vec![
+        ConvLayer::conv3x3("conv1_1", 3, 64, r(1)),
+        ConvLayer::conv3x3("conv1_2", 64, 64, r(1)),
+        ConvLayer::conv3x3("conv2_1", 64, 128, r(2)),
+        ConvLayer::conv3x3("conv2_2", 128, 128, r(2)),
+        ConvLayer::conv3x3("conv3_1", 128, 256, r(4)),
+        ConvLayer::conv3x3("conv3_2", 256, 256, r(4)).repeated(2),
+        ConvLayer::conv3x3("conv4_1", 256, 512, r(8)),
+        ConvLayer::conv3x3("conv4_2", 512, 512, r(8)).repeated(2),
+        ConvLayer::conv3x3("conv5_1", 512, 512, r(16)).repeated(3),
+    ];
+    Network::new("VGG-16", input, layers)
+}
+
+/// VGG-nagadomi: the light VGG variant used for CIFAR-10 in Table III
+/// (all-3×3, two convolutions per stage, three stages).
+pub fn vgg_nagadomi() -> Network {
+    let layers = vec![
+        ConvLayer::conv3x3("conv1_1", 3, 64, 32),
+        ConvLayer::conv3x3("conv1_2", 64, 64, 32),
+        ConvLayer::conv3x3("conv2_1", 64, 128, 16),
+        ConvLayer::conv3x3("conv2_2", 128, 128, 16),
+        ConvLayer::conv3x3("conv3_1", 128, 256, 8),
+        ConvLayer::conv3x3("conv3_2", 256, 256, 8),
+        ConvLayer::conv3x3("conv3_3", 256, 256, 8),
+        ConvLayer::conv3x3("conv3_4", 256, 256, 8),
+    ];
+    Network::new("VGG-nagadomi", 32, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_at_224_matches_published_macs() {
+        // Published ~15.3 GMAC for the VGG-16 convolutional layers at 224².
+        let net = vgg16_backbone(224);
+        let gmacs = net.total_macs(1) as f64 / 1e9;
+        assert!((13.0..17.0).contains(&gmacs), "VGG-16 {gmacs} GMAC out of range");
+        // Every layer is 3x3 stride 1.
+        assert!((net.winograd_fraction(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vgg16_scales_quadratically_with_resolution() {
+        let a = vgg16_backbone(224).total_macs(1) as f64;
+        let b = vgg16_backbone(448).total_macs(1) as f64;
+        assert!((b / a - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn vgg_nagadomi_is_all_winograd() {
+        let net = vgg_nagadomi();
+        assert_eq!(net.layers.len(), 8);
+        assert!((net.winograd_fraction(1) - 1.0).abs() < 1e-9);
+    }
+}

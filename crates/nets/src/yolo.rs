@@ -1,0 +1,106 @@
+//! YOLOv3 (Darknet-53 backbone + detection head) layer inventory
+//! (Redmon & Farhadi, 2018), parameterised by input resolution.
+
+use crate::layer::{ConvLayer, Network};
+
+/// YOLOv3 at the given input resolution (Table VII uses 256 and 416).
+///
+/// # Panics
+///
+/// Panics if the resolution is not a multiple of 32.
+pub fn yolov3(input: usize) -> Network {
+    assert!(input % 32 == 0, "YOLOv3 input must be a multiple of 32");
+    let mut layers = Vec::new();
+    let r = |div: usize| input / div;
+
+    // Darknet-53 backbone.
+    layers.push(ConvLayer::conv3x3("conv0", 3, 32, r(1)));
+    layers.push(ConvLayer::new("down1", 32, 64, r(2), r(2), 3, 2));
+    push_residual_stage(&mut layers, "stage1", 64, r(2), 1);
+    layers.push(ConvLayer::new("down2", 64, 128, r(4), r(4), 3, 2));
+    push_residual_stage(&mut layers, "stage2", 128, r(4), 2);
+    layers.push(ConvLayer::new("down3", 128, 256, r(8), r(8), 3, 2));
+    push_residual_stage(&mut layers, "stage3", 256, r(8), 8);
+    layers.push(ConvLayer::new("down4", 256, 512, r(16), r(16), 3, 2));
+    push_residual_stage(&mut layers, "stage4", 512, r(16), 8);
+    layers.push(ConvLayer::new("down5", 512, 1024, r(32), r(32), 3, 2));
+    push_residual_stage(&mut layers, "stage5", 1024, r(32), 4);
+
+    // Detection head, scale 1 (1/32).
+    push_detection_block(&mut layers, "head1", 1024, 512, r(32), 255);
+    // Scale 2 (1/16): upsample + concat(512/2 + 512) -> alternating convs.
+    layers.push(ConvLayer::conv1x1("head2.reduce", 512, 256, r(32)));
+    push_detection_block(&mut layers, "head2", 256 + 512, 256, r(16), 255);
+    // Scale 3 (1/8).
+    layers.push(ConvLayer::conv1x1("head3.reduce", 256, 128, r(16)));
+    push_detection_block(&mut layers, "head3", 128 + 256, 128, r(8), 255);
+
+    Network::new("YOLOv3", input, layers)
+}
+
+/// A Darknet residual stage: `blocks` × (1×1 halve + 3×3 restore).
+fn push_residual_stage(
+    layers: &mut Vec<ConvLayer>,
+    name: &str,
+    channels: usize,
+    hw: usize,
+    blocks: usize,
+) {
+    layers.push(
+        ConvLayer::conv1x1(&format!("{name}.1x1"), channels, channels / 2, hw).repeated(blocks),
+    );
+    layers.push(
+        ConvLayer::conv3x3(&format!("{name}.3x3"), channels / 2, channels, hw).repeated(blocks),
+    );
+}
+
+/// A YOLO detection block: five alternating 1×1/3×3 convolutions followed by a
+/// 3×3 feature conv and the 1×1 prediction conv.
+fn push_detection_block(
+    layers: &mut Vec<ConvLayer>,
+    name: &str,
+    c_in: usize,
+    width: usize,
+    hw: usize,
+    out: usize,
+) {
+    layers.push(ConvLayer::conv1x1(&format!("{name}.c1"), c_in, width, hw));
+    layers.push(ConvLayer::conv3x3(&format!("{name}.c2"), width, width * 2, hw));
+    layers.push(ConvLayer::conv1x1(&format!("{name}.c3"), width * 2, width, hw));
+    layers.push(ConvLayer::conv3x3(&format!("{name}.c4"), width, width * 2, hw));
+    layers.push(ConvLayer::conv1x1(&format!("{name}.c5"), width * 2, width, hw));
+    layers.push(ConvLayer::conv3x3(&format!("{name}.feat"), width, width * 2, hw));
+    layers.push(ConvLayer::conv1x1(&format!("{name}.pred"), width * 2, out, hw));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_at_416_match_published_range() {
+        // YOLOv3-416 is ~32-33 GMAC (65.9 GFLOPs).
+        let net = yolov3(416);
+        let gmacs = net.total_macs(1) as f64 / 1e9;
+        assert!((26.0..40.0).contains(&gmacs), "YOLOv3-416 {gmacs} GMAC out of range");
+    }
+
+    #[test]
+    fn macs_scale_with_resolution() {
+        let a = yolov3(256).total_macs(1) as f64;
+        let b = yolov3(416).total_macs(1) as f64;
+        let expected = (416.0_f64 / 256.0).powi(2);
+        assert!((b / a - expected).abs() < 0.2, "scaling {b} / {a}");
+    }
+
+    #[test]
+    fn mostly_winograd_eligible() {
+        assert!(yolov3(256).winograd_fraction(1) > 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn bad_resolution_panics() {
+        let _ = yolov3(300);
+    }
+}

@@ -1,0 +1,86 @@
+//! The collection of benchmark networks used by Table VII.
+
+use crate::layer::Network;
+use crate::resnet::{resnet34, resnet50};
+use crate::retinanet::retinanet_resnet50_fpn;
+use crate::ssd::ssd_vgg16;
+use crate::unet::unet;
+use crate::yolo::yolov3;
+
+/// One Table VII row specification: network, batch size and input resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkEntry {
+    /// The network layer inventory.
+    pub network: Network,
+    /// Batch size of the row.
+    pub batch: usize,
+}
+
+/// The twelve (network, batch, resolution) rows of Table VII, in the paper's
+/// order.
+pub fn benchmark_networks() -> Vec<BenchmarkEntry> {
+    vec![
+        BenchmarkEntry { network: resnet34(), batch: 1 },
+        BenchmarkEntry { network: resnet50(), batch: 1 },
+        BenchmarkEntry { network: retinanet_resnet50_fpn(), batch: 1 },
+        BenchmarkEntry { network: ssd_vgg16(), batch: 1 },
+        BenchmarkEntry { network: unet(), batch: 1 },
+        BenchmarkEntry { network: yolov3(256), batch: 1 },
+        BenchmarkEntry { network: yolov3(416), batch: 1 },
+        BenchmarkEntry { network: ssd_vgg16(), batch: 8 },
+        BenchmarkEntry { network: yolov3(256), batch: 8 },
+        BenchmarkEntry { network: resnet34(), batch: 16 },
+        BenchmarkEntry { network: resnet50(), batch: 16 },
+        BenchmarkEntry { network: yolov3(256), batch: 16 },
+    ]
+}
+
+/// Looks a network up by (case-insensitive) name and input resolution.
+///
+/// Returns `None` for unknown names.
+pub fn network_by_name(name: &str, resolution: Option<usize>) -> Option<Network> {
+    let lower = name.to_lowercase();
+    match lower.as_str() {
+        "resnet-34" | "resnet34" => Some(resnet34()),
+        "resnet-50" | "resnet50" => Some(resnet50()),
+        "retinanet" | "retinanet-r-50" | "retinanet-resnet50-fpn" => {
+            Some(retinanet_resnet50_fpn())
+        }
+        "ssd" | "ssd-vgg-16" | "ssd-vgg16" => Some(ssd_vgg16()),
+        "unet" | "u-net" => Some(unet()),
+        "yolov3" | "yolo" => Some(yolov3(resolution.unwrap_or(416))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_like_table_vii() {
+        let rows = benchmark_networks();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows[0].network.name, "ResNet-34");
+        assert_eq!(rows[9].batch, 16);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(network_by_name("ResNet-34", None).is_some());
+        assert!(network_by_name("unet", None).is_some());
+        assert_eq!(network_by_name("yolov3", Some(256)).unwrap().input_resolution, 256);
+        assert!(network_by_name("alexnet", None).is_none());
+    }
+
+    #[test]
+    fn all_networks_have_winograd_layers() {
+        for row in benchmark_networks() {
+            assert!(
+                row.network.winograd_fraction(1) > 0.2,
+                "{} has too few Winograd-eligible MACs",
+                row.network.name
+            );
+        }
+    }
+}

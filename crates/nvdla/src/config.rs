@@ -1,0 +1,92 @@
+//! NVDLA system configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the NVDLA-based comparison system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvdlaConfig {
+    /// Number of NVDLA engines ganged together (8 in Table VI to match the
+    /// 8 TOp/s of the paper's system).
+    pub engines: usize,
+    /// MACs per cycle per engine (NVDLA v1 full configuration: 1024 in FP16).
+    pub macs_per_cycle: usize,
+    /// Clock frequency in GHz (1 GHz gives 1 TOp/s per engine in the paper's
+    /// MAC-as-op convention).
+    pub frequency_ghz: f64,
+    /// External bandwidth in Gword/s (a word is 2 bytes in FP16).
+    pub gwords_per_second: f64,
+    /// Bytes per word (2 for FP16, the only precision of the public Winograd
+    /// path).
+    pub bytes_per_word: f64,
+    /// Convolution-buffer capacity per engine in bytes.
+    pub cbuf_bytes: usize,
+    /// MAC-array utilisation derating for direct convolution.
+    pub direct_efficiency: f64,
+    /// MAC-array utilisation derating for the Winograd F2 path.
+    pub winograd_efficiency: f64,
+}
+
+impl NvdlaConfig {
+    /// The quasi-infinite-bandwidth configuration of Table VI (128 Gword/s).
+    pub fn high_bandwidth() -> Self {
+        Self { gwords_per_second: 128.0, ..Self::iso_bandwidth() }
+    }
+
+    /// The iso-bandwidth configuration of Table VI (42.7 Gword/s, matching the
+    /// paper system's 41 Gword/s within the DDR granularity).
+    pub fn iso_bandwidth() -> Self {
+        Self {
+            engines: 8,
+            macs_per_cycle: 1024,
+            frequency_ghz: 1.0,
+            gwords_per_second: 42.7,
+            bytes_per_word: 2.0,
+            cbuf_bytes: 512 * 1024,
+            direct_efficiency: 0.85,
+            winograd_efficiency: 0.80,
+        }
+    }
+
+    /// Peak throughput in TOp/s (MAC-as-op convention, matching the paper's
+    /// "1 TOp/s per engine at 1 GHz").
+    pub fn peak_tops(&self) -> f64 {
+        self.engines as f64 * self.macs_per_cycle as f64 * self.frequency_ghz * 1e9 / 1e12
+    }
+
+    /// External bandwidth in bytes per second.
+    pub fn bytes_per_second(&self) -> f64 {
+        self.gwords_per_second * 1e9 * self.bytes_per_word
+    }
+}
+
+impl Default for NvdlaConfig {
+    fn default() -> Self {
+        Self::iso_bandwidth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_engines_match_the_paper_peak() {
+        let cfg = NvdlaConfig::iso_bandwidth();
+        assert!((cfg.peak_tops() - 8.192).abs() < 0.01);
+    }
+
+    #[test]
+    fn bandwidth_configurations_differ_only_in_bandwidth() {
+        let hi = NvdlaConfig::high_bandwidth();
+        let iso = NvdlaConfig::iso_bandwidth();
+        assert!(hi.gwords_per_second > iso.gwords_per_second);
+        assert_eq!(hi.engines, iso.engines);
+        assert_eq!(hi.cbuf_bytes, iso.cbuf_bytes);
+    }
+
+    #[test]
+    fn fp16_words_are_two_bytes() {
+        let cfg = NvdlaConfig::default();
+        assert!((cfg.bytes_per_second() - 42.7e9 * 2.0).abs() < 1.0);
+    }
+}

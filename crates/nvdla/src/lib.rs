@@ -1,0 +1,23 @@
+//! Analytic performance model of an NVDLA-v1-like accelerator.
+//!
+//! Table VI of the paper compares the Winograd-F4-enhanced DSA against a
+//! system of eight NVDLA (version 1) engines. NVDLA v1 supports direct
+//! convolution (FP16/INT8) and Winograd F(2,3) in FP16 only, with a 512 kB
+//! convolution buffer per engine and *offline*-transformed weights (which
+//! inflates the transferred weight volume by `16/9 ≈ 1.78×`).
+//!
+//! This crate models that system analytically: compute time from the MAC
+//! array peak rate, memory time from the external word bandwidth, and the
+//! convolution-buffer capacity deciding whether input feature maps must be
+//! re-fetched per output-channel group. The model captures the effects the
+//! paper attributes to NVDLA's behaviour (offline weight expansion,
+//! memory-boundedness at iso-bandwidth) without reproducing the RTL.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod model;
+
+pub use config::NvdlaConfig;
+pub use model::{simulate_nvdla_layer, NvdlaKernel, NvdlaLayerRun};

@@ -1,0 +1,191 @@
+//! Layer-level performance model of the NVDLA system.
+
+use crate::config::NvdlaConfig;
+use serde::{Deserialize, Serialize};
+use wino_nets::ConvLayer;
+
+/// The two convolution paths of NVDLA v1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NvdlaKernel {
+    /// Direct convolution.
+    Direct,
+    /// Winograd F(2,3), FP16, with offline-transformed weights.
+    WinogradF2,
+}
+
+impl std::fmt::Display for NvdlaKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvdlaKernel::Direct => write!(f, "direct"),
+            NvdlaKernel::WinogradF2 => write!(f, "winograd-F2"),
+        }
+    }
+}
+
+/// Result of simulating one layer on the NVDLA system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvdlaLayerRun {
+    /// The convolution path used.
+    pub kernel: NvdlaKernel,
+    /// Execution time in microseconds.
+    pub time_us: f64,
+    /// Compute-limited time in microseconds.
+    pub compute_us: f64,
+    /// Memory-limited time in microseconds.
+    pub memory_us: f64,
+    /// Words transferred over the external interface.
+    pub words: f64,
+    /// Whether the layer was memory-bound.
+    pub memory_bound: bool,
+}
+
+/// Simulates one 3×3 convolution layer on the NVDLA system.
+///
+/// The input feature maps are partitioned across the engines along the batch /
+/// spatial dimensions; weights are replicated (each engine needs the full
+/// filter set), and when a layer's weights plus one input stripe exceed the
+/// convolution buffer the input must be streamed in multiple passes,
+/// multiplying the transferred input volume (the behaviour the paper points to
+/// for the 256→512-channel layer at iso-bandwidth).
+///
+/// # Panics
+///
+/// Panics if a Winograd run is requested for a non-3×3/stride-1 layer.
+pub fn simulate_nvdla_layer(
+    layer: &ConvLayer,
+    batch: usize,
+    kernel: NvdlaKernel,
+    cfg: &NvdlaConfig,
+) -> NvdlaLayerRun {
+    if kernel == NvdlaKernel::WinogradF2 {
+        assert!(
+            layer.kernel == 3 && layer.stride == 1,
+            "NVDLA Winograd supports 3x3 stride-1 layers only"
+        );
+    }
+    let macs = layer.macs(batch) as f64;
+    let (mac_reduction, weight_expansion, efficiency) = match kernel {
+        NvdlaKernel::Direct => (1.0, 1.0, cfg.direct_efficiency),
+        // F2: 2.25x fewer MACs, but offline-transformed weights are 16/9 larger.
+        NvdlaKernel::WinogradF2 => (2.25, 16.0 / 9.0, cfg.winograd_efficiency),
+    };
+
+    // Compute time.
+    let peak_macs_per_second =
+        cfg.engines as f64 * cfg.macs_per_cycle as f64 * cfg.frequency_ghz * 1e9;
+    let compute_s = macs / mac_reduction / (peak_macs_per_second * efficiency);
+
+    // Memory traffic in words.
+    let ifm_words = layer.input_elements(batch) as f64;
+    let ofm_words = layer.output_elements(batch) as f64;
+    let wt_words = layer.weight_elements() as f64 * weight_expansion;
+
+    // Convolution-buffer capacity check: weights (for the output-channel group
+    // resident at a time) plus an input stripe must fit in 512 kB per engine.
+    // When the full input plane of the layer does not fit next to the weights,
+    // the inputs are re-fetched once per output-channel group.
+    let bytes_per_elem = cfg.bytes_per_word;
+    let wt_bytes = wt_words * bytes_per_elem;
+    let ifm_bytes_per_engine = ifm_words * bytes_per_elem / cfg.engines as f64;
+    let cbuf = cfg.cbuf_bytes as f64;
+    let ifm_passes = if wt_bytes + ifm_bytes_per_engine <= cbuf {
+        1.0
+    } else {
+        // Output channels are processed in groups sized so the group's weights
+        // fit in half the buffer; each group streams the inputs again.
+        let groups = (wt_bytes / (cbuf / 2.0)).ceil().max(1.0);
+        groups
+    };
+
+    let total_words = ifm_words * ifm_passes + ofm_words + wt_words;
+    let memory_s = total_words / (cfg.gwords_per_second * 1e9);
+
+    let time_s = compute_s.max(memory_s);
+    NvdlaLayerRun {
+        kernel,
+        time_us: time_s * 1e6,
+        compute_us: compute_s * 1e6,
+        memory_us: memory_s * 1e6,
+        words: total_words,
+        memory_bound: memory_s > compute_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_nets::ConvLayer;
+
+    fn table_vi_layer(c_in: usize, c_out: usize) -> ConvLayer {
+        ConvLayer::conv3x3("table6", c_in, c_out, 32)
+    }
+
+    #[test]
+    fn winograd_speedup_near_theoretical_with_infinite_bandwidth() {
+        // Table VI: with quasi-infinite bandwidth NVDLA gets close to 2.25x.
+        let cfg = NvdlaConfig::high_bandwidth();
+        let layer = table_vi_layer(128, 128);
+        let direct = simulate_nvdla_layer(&layer, 8, NvdlaKernel::Direct, &cfg);
+        let wino = simulate_nvdla_layer(&layer, 8, NvdlaKernel::WinogradF2, &cfg);
+        let su = direct.time_us / wino.time_us;
+        assert!((1.7..2.3).contains(&su), "speed-up {su} out of the expected range");
+    }
+
+    #[test]
+    fn iso_bandwidth_reduces_the_winograd_benefit() {
+        // Table VI third row: the speed-up collapses from 2.09x to 0.72x when
+        // the bandwidth drops to the iso-bandwidth configuration.
+        let hi = NvdlaConfig::high_bandwidth();
+        let iso = NvdlaConfig::iso_bandwidth();
+        let layer = table_vi_layer(256, 512);
+        let su = |cfg: &NvdlaConfig| {
+            let d = simulate_nvdla_layer(&layer, 8, NvdlaKernel::Direct, cfg);
+            let w = simulate_nvdla_layer(&layer, 8, NvdlaKernel::WinogradF2, cfg);
+            d.time_us / w.time_us
+        };
+        assert!(su(&iso) < su(&hi), "iso-bandwidth should reduce the speed-up");
+    }
+
+    #[test]
+    fn large_layer_becomes_memory_bound_at_iso_bandwidth() {
+        // Table VI third row (256→512 channels): the Winograd kernel on NVDLA is
+        // strongly memory-bound and can even lose to direct convolution.
+        let cfg = NvdlaConfig::iso_bandwidth();
+        let layer = table_vi_layer(256, 512);
+        let wino = simulate_nvdla_layer(&layer, 8, NvdlaKernel::WinogradF2, &cfg);
+        assert!(wino.memory_bound, "expected the large layer to be memory-bound");
+        let direct = simulate_nvdla_layer(&layer, 8, NvdlaKernel::Direct, &cfg);
+        let su = direct.time_us / wino.time_us;
+        assert!(su < 1.5, "memory-bound speed-up should collapse, got {su}");
+    }
+
+    #[test]
+    fn execution_times_are_in_the_table_vi_order_of_magnitude() {
+        // Table VI reports 79-107 us for the first layer and 570-1740 us for the
+        // third on the NVDLA configurations; the model should land in the same
+        // order of magnitude.
+        let cfg = NvdlaConfig::iso_bandwidth();
+        let small = simulate_nvdla_layer(&table_vi_layer(128, 128), 8, NvdlaKernel::WinogradF2, &cfg);
+        let large = simulate_nvdla_layer(&table_vi_layer(256, 512), 8, NvdlaKernel::WinogradF2, &cfg);
+        assert!((20.0..400.0).contains(&small.time_us), "small layer {} us", small.time_us);
+        assert!((200.0..4000.0).contains(&large.time_us), "large layer {} us", large.time_us);
+        assert!(large.time_us > small.time_us);
+    }
+
+    #[test]
+    fn offline_weights_increase_traffic() {
+        let cfg = NvdlaConfig::iso_bandwidth();
+        let layer = table_vi_layer(128, 128);
+        let d = simulate_nvdla_layer(&layer, 8, NvdlaKernel::Direct, &cfg);
+        let w = simulate_nvdla_layer(&layer, 8, NvdlaKernel::WinogradF2, &cfg);
+        assert!(w.words > d.words, "Winograd should move more words ({} vs {})", w.words, d.words);
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3 stride-1")]
+    fn winograd_on_strided_layer_panics() {
+        let cfg = NvdlaConfig::default();
+        let layer = ConvLayer::new("s2", 64, 64, 16, 16, 3, 2);
+        let _ = simulate_nvdla_layer(&layer, 1, NvdlaKernel::WinogradF2, &cfg);
+    }
+}

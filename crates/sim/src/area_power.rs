@@ -1,0 +1,135 @@
+//! Area and power breakdown of the AI core (Table V).
+//!
+//! The paper reports post-place-and-route numbers in a 28 nm HKMG process at
+//! 0.8 V / 500 MHz. This module reproduces Table V as a model-backed data
+//! table: the compute-unit entries carry the published area/power values, and
+//! the analytic transformation-engine model of [`crate::xform`] is used to
+//! check that the relative sizes of the engines are consistent with their
+//! resource counts.
+
+use crate::config::AcceleratorConfig;
+use crate::xform::TransformEngine;
+use serde::{Deserialize, Serialize};
+
+/// One row of the area/power breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaPowerEntry {
+    /// Unit name.
+    pub unit: String,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Share of the total core area (0..1).
+    pub area_fraction: f64,
+    /// Peak power in mW (0 for memories, which are reported per access).
+    pub peak_power_mw: f64,
+    /// Whether the unit belongs to the Winograd extension.
+    pub winograd_extension: bool,
+}
+
+/// Total core area of the Table V breakdown in mm².
+pub const CORE_AREA_MM2: f64 = 10.64;
+
+/// The Table V breakdown of the AI core.
+pub fn core_breakdown(cfg: &AcceleratorConfig) -> Vec<AreaPowerEntry> {
+    let p = &cfg.unit_powers;
+    let rows = vec![
+        ("Cube", 2.04, p.cube_im2col_mw, false),
+        ("MTE1 im2col", 0.03, p.im2col_mw, false),
+        ("MTE1 IN_XFORM", 0.23, p.input_xform_mw, true),
+        ("MTE1 WT_XFORM", 0.32, p.weight_xform_mw, true),
+        ("FixPipe OUT_XFORM", 0.10, p.output_xform_mw, true),
+        ("L0A", 0.32, 0.0, false),
+        ("L0B", 0.32, 0.0, false),
+        ("L0C", 1.24, 0.0, false),
+        ("L1", 5.97, 0.0, false),
+    ];
+    rows.into_iter()
+        .map(|(unit, area, power, wino)| AreaPowerEntry {
+            unit: unit.to_string(),
+            area_mm2: area,
+            area_fraction: area / CORE_AREA_MM2,
+            peak_power_mw: power,
+            winograd_extension: wino,
+        })
+        .collect()
+}
+
+/// Fraction of the core area occupied by the Winograd extension
+/// (the paper reports 6.1%).
+pub fn winograd_extension_area_fraction(cfg: &AcceleratorConfig) -> f64 {
+    let rows = core_breakdown(cfg);
+    let ext: f64 = rows.iter().filter(|r| r.winograd_extension).map(|r| r.area_mm2).sum();
+    ext / CORE_AREA_MM2
+}
+
+/// Power of the Winograd transformation engines relative to the Cube Unit
+/// (the paper reports ≈17% considering the engines active alongside the Cube).
+pub fn winograd_extension_power_fraction(cfg: &AcceleratorConfig) -> f64 {
+    let p = &cfg.unit_powers;
+    // Input and output engines run concurrently with the Cube; the weight
+    // engine is amortised over all activations (Section V-B2).
+    (p.input_xform_mw + p.output_xform_mw) / cfg.unit_powers.cube_im2col_mw
+}
+
+/// Consistency check between the analytic engine model and the published area
+/// ordering: returns the relative-area estimates (input, weight, output).
+pub fn engine_relative_areas() -> (f64, f64, f64) {
+    let input = TransformEngine::paper_input_engine().relative_area();
+    let weight = TransformEngine::paper_weight_engine().relative_area();
+    let output = TransformEngine::paper_output_engine().relative_area();
+    (input, weight, output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_area_is_about_six_percent() {
+        let f = winograd_extension_area_fraction(&AcceleratorConfig::default());
+        assert!((0.05..0.08).contains(&f), "extension area fraction {f}");
+    }
+
+    #[test]
+    fn extension_power_is_about_seventeen_percent_of_the_cube() {
+        let f = winograd_extension_power_fraction(&AcceleratorConfig::default());
+        assert!((0.14..0.20).contains(&f), "extension power fraction {f}");
+    }
+
+    #[test]
+    fn cube_dominates_compute_area() {
+        let rows = core_breakdown(&AcceleratorConfig::default());
+        let cube = rows.iter().find(|r| r.unit == "Cube").unwrap();
+        for r in rows.iter().filter(|r| r.winograd_extension) {
+            assert!(cube.area_mm2 / r.area_mm2 >= 6.0, "Cube should be ≥6.4x larger than {}", r.unit);
+        }
+    }
+
+    #[test]
+    fn memories_dominate_total_area() {
+        let rows = core_breakdown(&AcceleratorConfig::default());
+        let mem: f64 = rows
+            .iter()
+            .filter(|r| r.unit.starts_with("L0") || r.unit == "L1")
+            .map(|r| r.area_fraction)
+            .sum();
+        assert!(mem > 0.6, "memories should dominate: {mem}");
+    }
+
+    #[test]
+    fn area_fractions_sum_to_about_one() {
+        let rows = core_breakdown(&AcceleratorConfig::default());
+        let sum: f64 = rows.iter().map(|r| r.area_fraction).sum();
+        assert!((sum - 1.0).abs() < 0.05, "fractions sum {sum}");
+    }
+
+    #[test]
+    fn output_engine_is_smallest_in_both_model_and_table() {
+        let (input, _weight, output) = engine_relative_areas();
+        // The output engine processes 16 channels vs 64 for the input engine.
+        assert!(output < input);
+        let rows = core_breakdown(&AcceleratorConfig::default());
+        let a = |name: &str| rows.iter().find(|r| r.unit.contains(name)).unwrap().area_mm2;
+        assert!(a("OUT_XFORM") < a("IN_XFORM"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Hardware configuration of the modelled accelerator system.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-byte energy cost of each on-chip memory and of external DRAM
+/// (Table V plus a typical LPDDR4x external access cost).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryEnergyCosts {
+    /// L0A read / write (pJ/B).
+    pub l0a: (f64, f64),
+    /// L0B read / write (pJ/B).
+    pub l0b: (f64, f64),
+    /// L0C port-A read / write (pJ/B).
+    pub l0c: (f64, f64),
+    /// L0C port-B read cost when running the Winograd kernel (rotation logic).
+    pub l0c_port_b_winograd: f64,
+    /// L1 read / write (pJ/B).
+    pub l1: (f64, f64),
+    /// External DRAM access (pJ/B), both directions.
+    pub dram: f64,
+}
+
+impl Default for MemoryEnergyCosts {
+    fn default() -> Self {
+        Self {
+            l0a: (0.22, 0.24),
+            l0b: (0.22, 0.24),
+            l0c: (0.23, 0.29),
+            l0c_port_b_winograd: 0.69,
+            l1: (0.92, 0.68),
+            dram: 20.0,
+        }
+    }
+}
+
+/// Peak power of the compute units at 0.8 V / 500 MHz (Table V), in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitPowers {
+    /// Cube Unit running the im2col kernel.
+    pub cube_im2col_mw: f64,
+    /// Cube Unit running the Winograd kernel (denser operands → more switching).
+    pub cube_winograd_mw: f64,
+    /// im2col engine inside MTE1.
+    pub im2col_mw: f64,
+    /// Input transformation engine (MTE1).
+    pub input_xform_mw: f64,
+    /// Weight transformation engine (MTE1).
+    pub weight_xform_mw: f64,
+    /// Output transformation engine (FixPipe).
+    pub output_xform_mw: f64,
+    /// Vector Unit.
+    pub vector_mw: f64,
+}
+
+impl Default for UnitPowers {
+    fn default() -> Self {
+        Self {
+            cube_im2col_mw: 1521.0,
+            cube_winograd_mw: 1923.0,
+            im2col_mw: 30.0,
+            input_xform_mw: 145.0,
+            weight_xform_mw: 228.0,
+            output_xform_mw: 114.0,
+            vector_mw: 260.0,
+        }
+    }
+}
+
+/// The full accelerator-system configuration.
+///
+/// The default corresponds to the paper's system: two AI cores at 500 MHz with
+/// a 16×32×16 int8 Cube Unit each (8 TOp/s peak), 41 GB/s of external
+/// bandwidth (81.2 B/cycle shared), and the Winograd transformation-engine
+/// parallelisms chosen in Section IV-B2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Number of AI cores (iFMs are broadcast to all cores; output channels are
+    /// split across cores).
+    pub cores: usize,
+    /// Clock frequency in MHz (used to convert cycles to seconds).
+    pub frequency_mhz: f64,
+    /// Cube Unit matrix dimensions: rows of the left operand tile.
+    pub cube_m: usize,
+    /// Cube Unit reduction dimension per cycle.
+    pub cube_k: usize,
+    /// Cube Unit columns of the right operand tile.
+    pub cube_n: usize,
+    /// Total external-memory bandwidth in bytes/cycle (shared by all cores).
+    pub dram_bytes_per_cycle: f64,
+    /// Average external-memory latency in core cycles.
+    pub dram_latency_cycles: f64,
+    /// L1 scratchpad size in bytes (per core).
+    pub l1_bytes: usize,
+    /// L0A size in bytes.
+    pub l0a_bytes: usize,
+    /// L0B size in bytes.
+    pub l0b_bytes: usize,
+    /// L0C size in bytes.
+    pub l0c_bytes: usize,
+    /// Vector Unit throughput in int8 elements per cycle.
+    pub vector_elems_per_cycle: f64,
+    /// Input transformation engine: parallel transforms (`P_c · P_s`).
+    pub input_xform_parallel: usize,
+    /// Input transformation engine: cycles per transform (fast row-by-row = `h_T`).
+    pub input_xform_cycles: usize,
+    /// Output transformation engine: parallel transforms along `C_out`.
+    pub output_xform_parallel: usize,
+    /// Output transformation engine: cycles per transform.
+    pub output_xform_cycles: usize,
+    /// Weight transformation engine throughput in spatial weight elements per
+    /// cycle per core (tap-by-tap engine sized to match the external link).
+    pub weight_xform_elems_per_cycle: f64,
+    /// Maximum output channels kept resident per pass (limited by L0C capacity;
+    /// the paper computes 64 for double-buffered F4).
+    pub winograd_cout_block: usize,
+    /// Cube utilisation derating for the Winograd batched MatMul (tail effects
+    /// and the diagonal L0A access pattern).
+    pub winograd_cube_efficiency: f64,
+    /// Cube utilisation derating for the im2col kernel.
+    pub im2col_cube_efficiency: f64,
+    /// Per-byte energy of each memory.
+    pub memory_energy: MemoryEnergyCosts,
+    /// Peak unit powers.
+    pub unit_powers: UnitPowers,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self {
+            cores: 2,
+            frequency_mhz: 500.0,
+            cube_m: 16,
+            cube_k: 32,
+            cube_n: 16,
+            dram_bytes_per_cycle: 81.2,
+            dram_latency_cycles: 150.0,
+            l1_bytes: 1248 * 1024,
+            l0a_bytes: 64 * 1024,
+            l0b_bytes: 64 * 1024,
+            l0c_bytes: 288 * 1024,
+            vector_elems_per_cycle: 256.0,
+            input_xform_parallel: 64,
+            input_xform_cycles: 6,
+            output_xform_parallel: 16,
+            output_xform_cycles: 6,
+            weight_xform_elems_per_cycle: 32.0,
+            winograd_cout_block: 64,
+            winograd_cube_efficiency: 0.90,
+            im2col_cube_efficiency: 0.95,
+            memory_energy: MemoryEnergyCosts::default(),
+            unit_powers: UnitPowers::default(),
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// The paper's baseline system (identical to `Default`).
+    pub fn paper_system() -> Self {
+        Self::default()
+    }
+
+    /// The same system with the external bandwidth scaled by `factor`
+    /// (the `1.5×` DDR5 columns of Table VII use `factor = 1.5`).
+    pub fn with_bandwidth_scale(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "bandwidth scale must be positive");
+        self.dram_bytes_per_cycle *= factor;
+        self
+    }
+
+    /// Peak MACs per cycle of one Cube Unit.
+    pub fn cube_macs_per_cycle(&self) -> f64 {
+        (self.cube_m * self.cube_k * self.cube_n) as f64
+    }
+
+    /// Peak int8 throughput of the whole system in TOp/s, using the paper's
+    /// convention of counting one multiply–accumulate as one operation
+    /// (two cores × 8192 MACs/cycle × 500 MHz ≈ 8 TOp/s).
+    pub fn peak_tops(&self) -> f64 {
+        self.cores as f64 * self.cube_macs_per_cycle() * self.frequency_mhz * 1e6 / 1e12
+    }
+
+    /// External bandwidth in GB/s.
+    pub fn dram_gbps(&self) -> f64 {
+        self.dram_bytes_per_cycle * self.frequency_mhz * 1e6 / 1e9
+    }
+
+    /// Converts core cycles to seconds.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.frequency_mhz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper_system() {
+        let cfg = AcceleratorConfig::default();
+        // 2 cores × 8192 MACs/cycle × 500 MHz ≈ 8.2 TOp/s (paper: 8 TOp/s).
+        assert!((cfg.peak_tops() - 8.192).abs() < 0.01);
+        // 81.2 B/cycle at 500 MHz ≈ 40.6 GB/s (paper: 41 GB/s).
+        assert!((cfg.dram_gbps() - 40.6).abs() < 0.5);
+        assert_eq!(cfg.l0c_bytes, 288 * 1024);
+    }
+
+    #[test]
+    fn bandwidth_scaling() {
+        let cfg = AcceleratorConfig::default().with_bandwidth_scale(1.5);
+        assert!((cfg.dram_bytes_per_cycle - 81.2 * 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_frequency() {
+        let cfg = AcceleratorConfig::default();
+        assert!((cfg.cycles_to_seconds(500e6) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_scale_panics() {
+        let _ = AcceleratorConfig::default().with_bandwidth_scale(0.0);
+    }
+
+    #[test]
+    fn energy_cost_defaults_match_table_v() {
+        let m = MemoryEnergyCosts::default();
+        assert!((m.l1.0 - 0.92).abs() < 1e-9);
+        assert!((m.l0c_port_b_winograd - 0.69).abs() < 1e-9);
+        let p = UnitPowers::default();
+        assert!((p.cube_winograd_mw / p.cube_im2col_mw - 1.264).abs() < 0.01);
+    }
+}

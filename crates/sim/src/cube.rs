@@ -1,0 +1,73 @@
+//! Timing model of the Cube Unit (the 16×32×16 int8 MatMul datapath).
+
+use crate::config::AcceleratorConfig;
+
+/// Cycles for one dense MatMul of `[m × k] · [k × n]` on the Cube Unit,
+/// accounting for the tile quantisation of each dimension (partial tiles cost a
+/// full tile).
+pub fn matmul_cycles(cfg: &AcceleratorConfig, m: usize, k: usize, n: usize) -> f64 {
+    let tiles_m = m.div_ceil(cfg.cube_m);
+    let tiles_k = k.div_ceil(cfg.cube_k);
+    let tiles_n = n.div_ceil(cfg.cube_n);
+    (tiles_m * tiles_k * tiles_n) as f64
+}
+
+/// Cycles for the Cube-Unit portion of a convolution expressed as a lowered
+/// MatMul (`rows = output pixels`, `reduction = C_in · K²`, `cols = C_out`),
+/// with an efficiency derating applied.
+pub fn cube_cycles(
+    cfg: &AcceleratorConfig,
+    rows: usize,
+    reduction: usize,
+    cols: usize,
+    efficiency: f64,
+) -> f64 {
+    assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+    matmul_cycles(cfg, rows, reduction, cols) / efficiency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tile_multiples_have_no_rounding_loss() {
+        let cfg = AcceleratorConfig::default();
+        // 32x64x32 = 2*2*2 tiles = 8 cycles.
+        assert_eq!(matmul_cycles(&cfg, 32, 64, 32), 8.0);
+    }
+
+    #[test]
+    fn partial_tiles_round_up() {
+        let cfg = AcceleratorConfig::default();
+        assert_eq!(matmul_cycles(&cfg, 17, 33, 17), 2.0 * 2.0 * 2.0);
+        assert_eq!(matmul_cycles(&cfg, 1, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn peak_rate_matches_config() {
+        let cfg = AcceleratorConfig::default();
+        // A perfectly shaped matmul achieves cube_macs_per_cycle MACs/cycle.
+        let m = 160;
+        let k = 320;
+        let n = 160;
+        let cycles = matmul_cycles(&cfg, m, k, n);
+        let macs = (m * k * n) as f64;
+        assert!((macs / cycles - cfg.cube_macs_per_cycle()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_increases_cycles() {
+        let cfg = AcceleratorConfig::default();
+        let full = cube_cycles(&cfg, 64, 64, 64, 1.0);
+        let derated = cube_cycles(&cfg, 64, 64, 64, 0.8);
+        assert!(derated > full);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn invalid_efficiency_panics() {
+        let cfg = AcceleratorConfig::default();
+        let _ = cube_cycles(&cfg, 1, 1, 1, 0.0);
+    }
+}

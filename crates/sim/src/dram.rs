@@ -1,0 +1,105 @@
+//! External-memory (DRAM) model.
+//!
+//! The paper uses a simple in-order DRAM model: requests are served at the
+//! peak bandwidth of 81.2 B/cycle with a fixed average latency of 150 core
+//! cycles plus a small Gaussian jitter (σ = 5 cycles). Regular streaming
+//! accesses make detailed bank/row modelling unnecessary for these workloads.
+
+use crate::config::AcceleratorConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The streaming DRAM model.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    bytes_per_cycle: f64,
+    latency: f64,
+    jitter_sigma: f64,
+    rng: ChaCha8Rng,
+}
+
+impl DramModel {
+    /// Creates the model from an accelerator configuration.
+    pub fn new(cfg: &AcceleratorConfig) -> Self {
+        Self::with_seed(cfg, 0xD12A)
+    }
+
+    /// Creates the model with an explicit jitter seed (deterministic runs).
+    pub fn with_seed(cfg: &AcceleratorConfig, seed: u64) -> Self {
+        Self {
+            bytes_per_cycle: cfg.dram_bytes_per_cycle,
+            latency: cfg.dram_latency_cycles,
+            jitter_sigma: 5.0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Peak bandwidth in bytes per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// Pure streaming transfer time of `bytes` bytes (no latency component):
+    /// the steady-state cost used when transfers are pipelined behind compute.
+    pub fn stream_cycles(&self, bytes: f64) -> f64 {
+        bytes / self.bytes_per_cycle
+    }
+
+    /// Completion time of a single request of `bytes` bytes including the fixed
+    /// average latency and Gaussian jitter (used for the non-overlapped
+    /// prologue of each operator).
+    pub fn request_cycles(&mut self, bytes: f64) -> f64 {
+        let jitter = self.jitter_sigma * self.sample_normal();
+        (self.latency + jitter).max(0.0) + self.stream_cycles(bytes)
+    }
+
+    fn sample_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_rate_matches_bandwidth() {
+        let cfg = AcceleratorConfig::default();
+        let dram = DramModel::new(&cfg);
+        assert!((dram.stream_cycles(812.0) - 10.0).abs() < 1e-9);
+        assert_eq!(dram.bytes_per_cycle(), cfg.dram_bytes_per_cycle);
+    }
+
+    #[test]
+    fn request_includes_latency_and_is_near_the_mean() {
+        let cfg = AcceleratorConfig::default();
+        let mut dram = DramModel::with_seed(&cfg, 7);
+        let mut total = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            total += dram.request_cycles(81.2);
+        }
+        let mean = total / n as f64;
+        // latency 150 + 1 cycle of data, jitter averages out.
+        assert!((mean - 151.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = AcceleratorConfig::default();
+        let mut a = DramModel::with_seed(&cfg, 3);
+        let mut b = DramModel::with_seed(&cfg, 3);
+        for _ in 0..10 {
+            assert_eq!(a.request_cycles(100.0), b.request_cycles(100.0));
+        }
+    }
+
+    #[test]
+    fn higher_bandwidth_reduces_stream_time() {
+        let slow = DramModel::new(&AcceleratorConfig::default());
+        let fast = DramModel::new(&AcceleratorConfig::default().with_bandwidth_scale(1.5));
+        assert!(fast.stream_cycles(1e6) < slow.stream_cycles(1e6));
+    }
+}

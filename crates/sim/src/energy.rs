@@ -1,0 +1,219 @@
+//! Memory-access counting and the energy model (Fig. 6, Table VII energy).
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Bytes moved per memory level for one layer execution (whole system).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccessCounts {
+    /// External-memory feature-map reads.
+    pub gm_fm_read: f64,
+    /// External-memory feature-map writes.
+    pub gm_fm_write: f64,
+    /// External-memory weight reads.
+    pub gm_wt_read: f64,
+    /// L1 feature-map writes.
+    pub l1_fm_write: f64,
+    /// L1 feature-map reads.
+    pub l1_fm_read: f64,
+    /// L1 weight writes.
+    pub l1_wt_write: f64,
+    /// L1 weight reads.
+    pub l1_wt_read: f64,
+    /// L0A writes.
+    pub l0a_write: f64,
+    /// L0A reads.
+    pub l0a_read: f64,
+    /// L0B writes.
+    pub l0b_write: f64,
+    /// L0B reads.
+    pub l0b_read: f64,
+    /// L0C writes.
+    pub l0c_write: f64,
+    /// L0C reads.
+    pub l0c_read: f64,
+}
+
+impl AccessCounts {
+    /// Elementwise sum of two access-count records.
+    pub fn add(&self, other: &AccessCounts) -> AccessCounts {
+        AccessCounts {
+            gm_fm_read: self.gm_fm_read + other.gm_fm_read,
+            gm_fm_write: self.gm_fm_write + other.gm_fm_write,
+            gm_wt_read: self.gm_wt_read + other.gm_wt_read,
+            l1_fm_write: self.l1_fm_write + other.l1_fm_write,
+            l1_fm_read: self.l1_fm_read + other.l1_fm_read,
+            l1_wt_write: self.l1_wt_write + other.l1_wt_write,
+            l1_wt_read: self.l1_wt_read + other.l1_wt_read,
+            l0a_write: self.l0a_write + other.l0a_write,
+            l0a_read: self.l0a_read + other.l0a_read,
+            l0b_write: self.l0b_write + other.l0b_write,
+            l0b_read: self.l0b_read + other.l0b_read,
+            l0c_write: self.l0c_write + other.l0c_write,
+            l0c_read: self.l0c_read + other.l0c_read,
+        }
+    }
+
+    /// Total bytes crossing the external-memory interface.
+    pub fn gm_total(&self) -> f64 {
+        self.gm_fm_read + self.gm_fm_write + self.gm_wt_read
+    }
+}
+
+/// Energy breakdown of one layer (or a whole network) in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Cube Unit (MatMul datapath).
+    pub cube_nj: f64,
+    /// Input transformation engine (or im2col engine for the im2col kernel).
+    pub input_xform_nj: f64,
+    /// Weight transformation engine.
+    pub weight_xform_nj: f64,
+    /// Output transformation engine.
+    pub output_xform_nj: f64,
+    /// Vector Unit (re-quantization, elementwise ops).
+    pub vector_nj: f64,
+    /// L0A + L0B + L0C scratchpads.
+    pub l0_nj: f64,
+    /// L1 scratchpad.
+    pub l1_nj: f64,
+    /// External memory.
+    pub dram_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.cube_nj
+            + self.input_xform_nj
+            + self.weight_xform_nj
+            + self.output_xform_nj
+            + self.vector_nj
+            + self.l0_nj
+            + self.l1_nj
+            + self.dram_nj
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            cube_nj: self.cube_nj + other.cube_nj,
+            input_xform_nj: self.input_xform_nj + other.input_xform_nj,
+            weight_xform_nj: self.weight_xform_nj + other.weight_xform_nj,
+            output_xform_nj: self.output_xform_nj + other.output_xform_nj,
+            vector_nj: self.vector_nj + other.vector_nj,
+            l0_nj: self.l0_nj + other.l0_nj,
+            l1_nj: self.l1_nj + other.l1_nj,
+            dram_nj: self.dram_nj + other.dram_nj,
+        }
+    }
+
+    /// Fraction of the total spent in the Cube Unit.
+    pub fn cube_fraction(&self) -> f64 {
+        if self.total_nj() <= 0.0 {
+            0.0
+        } else {
+            self.cube_nj / self.total_nj()
+        }
+    }
+}
+
+/// Converts unit-activity cycles and memory access counts into the energy
+/// breakdown, using the Table V power/energy coefficients.
+///
+/// `cube_active`, `in_xform_active`, `wt_xform_active`, `out_xform_active` and
+/// `vector_active` are active-cycle counts (whole system), `winograd` selects
+/// the higher Cube switching power of the denser Winograd operands.
+#[allow(clippy::too_many_arguments)]
+pub fn energy_from_activity(
+    cfg: &AcceleratorConfig,
+    cube_active: f64,
+    in_xform_active: f64,
+    wt_xform_active: f64,
+    out_xform_active: f64,
+    vector_active: f64,
+    access: &AccessCounts,
+    winograd: bool,
+) -> EnergyBreakdown {
+    // Energy per cycle: P[mW] = 1e-3 J/s, one cycle = 1/(f[MHz]·1e6) s,
+    // so E = P/f in nanojoules per cycle.
+    let nj_per_cycle = |mw: f64| mw / cfg.frequency_mhz;
+    let p = &cfg.unit_powers;
+    let m = &cfg.memory_energy;
+    let cube_mw = if winograd { p.cube_winograd_mw } else { p.cube_im2col_mw };
+    let in_mw = if winograd { p.input_xform_mw } else { p.im2col_mw };
+
+    let l0c_read_cost = if winograd { m.l0c_port_b_winograd } else { m.l0c.0 };
+    let l0_nj = (access.l0a_read * m.l0a.0
+        + access.l0a_write * m.l0a.1
+        + access.l0b_read * m.l0b.0
+        + access.l0b_write * m.l0b.1
+        + access.l0c_read * l0c_read_cost
+        + access.l0c_write * m.l0c.1)
+        / 1000.0;
+    let l1_nj = ((access.l1_fm_read + access.l1_wt_read) * m.l1.0
+        + (access.l1_fm_write + access.l1_wt_write) * m.l1.1)
+        / 1000.0;
+    let dram_nj = access.gm_total() * m.dram / 1000.0;
+
+    EnergyBreakdown {
+        cube_nj: cube_active * nj_per_cycle(cube_mw),
+        input_xform_nj: in_xform_active * nj_per_cycle(in_mw),
+        weight_xform_nj: wt_xform_active * nj_per_cycle(p.weight_xform_mw),
+        output_xform_nj: out_xform_active * nj_per_cycle(p.output_xform_mw),
+        vector_nj: vector_active * nj_per_cycle(p.vector_mw),
+        l0_nj,
+        l1_nj,
+        dram_nj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_sums() {
+        let a = EnergyBreakdown { cube_nj: 1.0, l1_nj: 2.0, ..Default::default() };
+        let b = EnergyBreakdown { dram_nj: 3.0, ..Default::default() };
+        let c = a.add(&b);
+        assert!((c.total_nj() - 6.0).abs() < 1e-12);
+        assert!((a.cube_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_counts_add_and_total() {
+        let a = AccessCounts { gm_fm_read: 10.0, gm_wt_read: 5.0, ..Default::default() };
+        let b = AccessCounts { gm_fm_write: 2.0, l1_fm_read: 100.0, ..Default::default() };
+        let c = a.add(&b);
+        assert_eq!(c.gm_total(), 17.0);
+        assert_eq!(c.l1_fm_read, 100.0);
+    }
+
+    #[test]
+    fn cube_energy_scales_with_active_cycles_and_kernel() {
+        let cfg = AcceleratorConfig::default();
+        let access = AccessCounts::default();
+        let im2col = energy_from_activity(&cfg, 1000.0, 0.0, 0.0, 0.0, 0.0, &access, false);
+        let wino = energy_from_activity(&cfg, 1000.0, 0.0, 0.0, 0.0, 0.0, &access, true);
+        assert!(wino.cube_nj > im2col.cube_nj);
+        assert!((wino.cube_nj / im2col.cube_nj - 1923.0 / 1521.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dram_dominates_when_traffic_is_large() {
+        let cfg = AcceleratorConfig::default();
+        let access = AccessCounts { gm_fm_read: 1e6, ..Default::default() };
+        let e = energy_from_activity(&cfg, 10.0, 0.0, 0.0, 0.0, 0.0, &access, false);
+        assert!(e.dram_nj > e.cube_nj);
+    }
+
+    #[test]
+    fn winograd_l0c_reads_cost_more() {
+        let cfg = AcceleratorConfig::default();
+        let access = AccessCounts { l0c_read: 1e6, ..Default::default() };
+        let a = energy_from_activity(&cfg, 0.0, 0.0, 0.0, 0.0, 0.0, &access, false);
+        let b = energy_from_activity(&cfg, 0.0, 0.0, 0.0, 0.0, 0.0, &access, true);
+        assert!(b.l0_nj > a.l0_nj);
+    }
+}

@@ -1,0 +1,48 @@
+//! Cycle-level performance and energy model of the Winograd-enhanced DSA.
+//!
+//! The paper evaluates its hardware extensions with an in-house event-based
+//! simulator modelling a DaVinci-style AI accelerator (two AI cores, a
+//! 16×32×16 int8 Cube Unit per core, software-managed scratchpads, memory
+//! transfer engines and the new Winograd transformation engines). This crate
+//! rebuilds an equivalent model:
+//!
+//! * [`config`] — the hardware configuration (Table V system: 8 TOp/s at
+//!   500 MHz, 41 GB/s LPDDR4x, L0A/L0B/L0C/L1 scratchpads, engine
+//!   parallelisms);
+//! * [`cube`] — the MatMul datapath timing model;
+//! * [`xform`] — the Winograd transformation engines (row-by-row slow/fast and
+//!   tap-by-tap, Table I) with their throughput, bandwidth, area and power;
+//! * [`dram`] — the external-memory model (bandwidth, latency, jitter);
+//! * [`operators`] — per-layer execution of the im2col, Winograd F2 and
+//!   Winograd F4 operators following the Listing-1 dataflow (double-buffered
+//!   overlap of loads, transforms and MatMuls);
+//! * [`energy`] — access counting and the energy model (Fig. 6);
+//! * [`network`] — end-to-end network execution with per-layer kernel
+//!   selection (Table VII);
+//! * [`area_power`] — the area/power breakdown of Table V.
+//!
+//! The model is calibrated to the paper's published rates; it is a
+//! cycle-accounting model with explicit overlap semantics, not an RTL-validated
+//! event simulator, so absolute cycle counts are approximate while the
+//! comparative trends (who wins, where the crossovers fall) are preserved.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area_power;
+pub mod config;
+pub mod cube;
+pub mod dram;
+pub mod energy;
+pub mod network;
+pub mod operators;
+pub mod xform;
+
+pub use area_power::{core_breakdown, AreaPowerEntry};
+pub use config::{AcceleratorConfig, MemoryEnergyCosts, UnitPowers};
+pub use cube::{cube_cycles, matmul_cycles};
+pub use dram::DramModel;
+pub use energy::{AccessCounts, EnergyBreakdown};
+pub use network::{simulate_network, KernelChoice, LayerResult, NetworkResult};
+pub use operators::{simulate_layer, CycleBreakdown, Kernel, LayerRun};
+pub use xform::{EngineStyle, TransformEngine, XformKind};

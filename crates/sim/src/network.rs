@@ -1,0 +1,316 @@
+//! End-to-end network execution (Table VII).
+//!
+//! Every convolution layer of a network is simulated with the kernels the
+//! system configuration makes available; a compiler-like selection step picks
+//! the fastest kernel per layer (the paper notes that with both F2 and F4
+//! extensions present, different layers of the same network map to different
+//! kernels). Times and energies are accumulated into images/s and
+//! inferences/J.
+
+use crate::config::AcceleratorConfig;
+use crate::energy::EnergyBreakdown;
+use crate::operators::{simulate_layer, Kernel, LayerRun};
+use serde::{Deserialize, Serialize};
+use wino_nets::{LayerKind, Network};
+
+/// Which kernels the accelerator build makes available to the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// Baseline accelerator: im2col only.
+    Im2colOnly,
+    /// im2col plus the Winograd F2 extension.
+    WithF2,
+    /// im2col plus the Winograd F4 extension.
+    WithF4,
+    /// im2col plus both Winograd extensions (compiler picks per layer).
+    WithF2AndF4,
+}
+
+impl KernelChoice {
+    fn candidates(self) -> Vec<Kernel> {
+        match self {
+            KernelChoice::Im2colOnly => vec![Kernel::Im2col],
+            KernelChoice::WithF2 => vec![Kernel::Im2col, Kernel::WinogradF2],
+            KernelChoice::WithF4 => vec![Kernel::Im2col, Kernel::WinogradF4],
+            KernelChoice::WithF2AndF4 => {
+                vec![Kernel::Im2col, Kernel::WinogradF2, Kernel::WinogradF4]
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelChoice::Im2colOnly => write!(f, "im2col"),
+            KernelChoice::WithF2 => write!(f, "F2"),
+            KernelChoice::WithF4 => write!(f, "F4"),
+            KernelChoice::WithF2AndF4 => write!(f, "F2+F4"),
+        }
+    }
+}
+
+/// Per-layer outcome inside a network simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerResult {
+    /// Layer name (from the network inventory).
+    pub name: String,
+    /// The kernel the selection step chose.
+    pub chosen: Kernel,
+    /// The run of the chosen kernel.
+    pub run: LayerRun,
+    /// Cycles the baseline im2col kernel would need (for per-layer speed-ups).
+    pub im2col_cycles: f64,
+}
+
+/// The result of simulating a whole network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkResult {
+    /// Network name.
+    pub network: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Kernel availability used.
+    pub kernels: KernelChoice,
+    /// Total cycles per batch.
+    pub total_cycles: f64,
+    /// Cycles spent in Winograd-eligible layers.
+    pub winograd_layer_cycles: f64,
+    /// Cycles the Winograd-eligible layers would take with im2col.
+    pub winograd_layer_im2col_cycles: f64,
+    /// Total energy per batch.
+    pub energy: EnergyBreakdown,
+    /// Per-layer details.
+    pub layers: Vec<LayerResult>,
+}
+
+impl NetworkResult {
+    /// Throughput in images per second.
+    pub fn images_per_second(&self, cfg: &AcceleratorConfig) -> f64 {
+        self.batch as f64 / cfg.cycles_to_seconds(self.total_cycles)
+    }
+
+    /// Energy efficiency in inferences per joule.
+    pub fn inferences_per_joule(&self) -> f64 {
+        let joules = self.energy.total_nj() * 1e-9;
+        if joules <= 0.0 {
+            0.0
+        } else {
+            self.batch as f64 / joules
+        }
+    }
+
+    /// End-to-end speed-up versus another result (typically the im2col run).
+    pub fn speedup_over(&self, other: &NetworkResult) -> f64 {
+        other.total_cycles / self.total_cycles
+    }
+
+    /// Speed-up restricted to the Winograd-eligible layers (the parenthesised
+    /// numbers of Table VII).
+    pub fn winograd_layer_speedup_over(&self, other: &NetworkResult) -> f64 {
+        if self.winograd_layer_cycles <= 0.0 {
+            1.0
+        } else {
+            other.winograd_layer_im2col_cycles / self.winograd_layer_cycles
+        }
+    }
+
+    /// How many layers chose each kernel.
+    pub fn kernel_histogram(&self) -> [(Kernel, usize); 3] {
+        let mut counts = [0usize; 3];
+        for l in &self.layers {
+            match l.chosen {
+                Kernel::Im2col => counts[0] += 1,
+                Kernel::WinogradF2 => counts[1] += 1,
+                Kernel::WinogradF4 => counts[2] += 1,
+            }
+        }
+        [
+            (Kernel::Im2col, counts[0]),
+            (Kernel::WinogradF2, counts[1]),
+            (Kernel::WinogradF4, counts[2]),
+        ]
+    }
+}
+
+/// Simulates a full network at the given batch size with the given kernel
+/// availability, picking the fastest kernel per layer.
+pub fn simulate_network(
+    network: &Network,
+    batch: usize,
+    kernels: KernelChoice,
+    cfg: &AcceleratorConfig,
+) -> NetworkResult {
+    let mut total_cycles = 0.0;
+    let mut wino_cycles = 0.0;
+    let mut wino_im2col_cycles = 0.0;
+    let mut energy = EnergyBreakdown::default();
+    let mut layers = Vec::with_capacity(network.layers.len());
+
+    for layer in &network.layers {
+        let im2col_run = simulate_layer(layer, batch, Kernel::Im2col, cfg);
+        let eligible = layer.kind() == LayerKind::WinogradEligible;
+        let mut best = im2col_run.clone();
+        for kernel in kernels.candidates() {
+            if kernel == Kernel::Im2col || !eligible {
+                continue;
+            }
+            let run = simulate_layer(layer, batch, kernel, cfg);
+            if run.cycles < best.cycles {
+                best = run;
+            }
+        }
+        total_cycles += best.cycles;
+        if eligible {
+            wino_cycles += best.cycles;
+            wino_im2col_cycles += im2col_run.cycles;
+        }
+        energy = energy.add(&best.energy);
+        layers.push(LayerResult {
+            name: layer.name.clone(),
+            chosen: best.kernel,
+            im2col_cycles: im2col_run.cycles,
+            run: best,
+        });
+    }
+
+    NetworkResult {
+        network: network.name.clone(),
+        batch,
+        kernels,
+        total_cycles,
+        winograd_layer_cycles: wino_cycles,
+        winograd_layer_im2col_cycles: wino_im2col_cycles,
+        energy,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_nets::{resnet34, resnet50, unet, yolov3};
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::default()
+    }
+
+    #[test]
+    fn f4_beats_im2col_end_to_end_on_resnet34() {
+        let net = resnet34();
+        let base = simulate_network(&net, 16, KernelChoice::Im2colOnly, &cfg());
+        let f4 = simulate_network(&net, 16, KernelChoice::WithF4, &cfg());
+        let speedup = f4.speedup_over(&base);
+        // Table VII: 1.36x end-to-end at batch 16 (1.93x on the Winograd layers).
+        assert!(speedup > 1.1 && speedup < 2.5, "ResNet-34 b16 speedup {speedup}");
+        assert!(f4.winograd_layer_speedup_over(&base) > speedup);
+    }
+
+    #[test]
+    fn unet_gains_more_than_resnet50() {
+        // Table VII: UNet 1.74x vs ResNet-50 1.02x at batch 1 — 1x1-dominated
+        // networks benefit less.
+        let c = cfg();
+        let unet_gain = {
+            let net = unet();
+            let base = simulate_network(&net, 1, KernelChoice::Im2colOnly, &c);
+            let f4 = simulate_network(&net, 1, KernelChoice::WithF4, &c);
+            f4.speedup_over(&base)
+        };
+        let resnet_gain = {
+            let net = resnet50();
+            let base = simulate_network(&net, 1, KernelChoice::Im2colOnly, &c);
+            let f4 = simulate_network(&net, 1, KernelChoice::WithF4, &c);
+            f4.speedup_over(&base)
+        };
+        assert!(
+            unet_gain > resnet_gain,
+            "UNet ({unet_gain}) should gain more than ResNet-50 ({resnet_gain})"
+        );
+    }
+
+    #[test]
+    fn batch_16_gains_more_than_batch_1_on_resnet34() {
+        let c = cfg();
+        let net = resnet34();
+        let gain = |b: usize| {
+            let base = simulate_network(&net, b, KernelChoice::Im2colOnly, &c);
+            let f4 = simulate_network(&net, b, KernelChoice::WithF4, &c);
+            f4.speedup_over(&base)
+        };
+        assert!(gain(16) > gain(1), "batch trend violated: {} vs {}", gain(16), gain(1));
+    }
+
+    #[test]
+    fn f4_is_at_least_as_good_as_f2_end_to_end() {
+        let c = cfg();
+        for net in [yolov3(256), resnet34()] {
+            let f2 = simulate_network(&net, 8, KernelChoice::WithF2, &c);
+            let f4 = simulate_network(&net, 8, KernelChoice::WithF4, &c);
+            assert!(
+                f4.total_cycles <= f2.total_cycles * 1.05,
+                "{}: F4 ({}) should not lose clearly to F2 ({})",
+                net.name,
+                f4.total_cycles,
+                f2.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn higher_bandwidth_helps_f4_more_than_f2() {
+        // Table VII (starred columns): with 1.5x bandwidth F2 plateaus while F4
+        // keeps scaling.
+        let net = unet();
+        let base_cfg = cfg();
+        let fast_cfg = cfg().with_bandwidth_scale(1.5);
+        let gain = |c: &AcceleratorConfig, k: KernelChoice| {
+            let base = simulate_network(&net, 1, KernelChoice::Im2colOnly, c);
+            let with = simulate_network(&net, 1, k, c);
+            with.speedup_over(&base)
+        };
+        let f4_gain_ratio =
+            gain(&fast_cfg, KernelChoice::WithF4) / gain(&base_cfg, KernelChoice::WithF4);
+        let f2_gain_ratio =
+            gain(&fast_cfg, KernelChoice::WithF2) / gain(&base_cfg, KernelChoice::WithF2);
+        assert!(
+            f4_gain_ratio >= f2_gain_ratio * 0.98,
+            "F4 should benefit at least as much from extra bandwidth ({f4_gain_ratio} vs {f2_gain_ratio})"
+        );
+    }
+
+    #[test]
+    fn winograd_improves_energy_efficiency() {
+        // Table VII last column: 1.15x-1.85x energy-efficiency gain.
+        let c = cfg();
+        let net = unet();
+        let base = simulate_network(&net, 1, KernelChoice::Im2colOnly, &c);
+        let f4 = simulate_network(&net, 1, KernelChoice::WithF4, &c);
+        let gain = f4.inferences_per_joule() / base.inferences_per_joule();
+        assert!(gain > 1.1, "energy-efficiency gain {gain} too small");
+        assert!(gain < 3.5, "energy-efficiency gain {gain} implausibly large");
+    }
+
+    #[test]
+    fn non_eligible_layers_always_use_im2col() {
+        let c = cfg();
+        let net = resnet50();
+        let f4 = simulate_network(&net, 1, KernelChoice::WithF2AndF4, &c);
+        for l in &f4.layers {
+            if l.name.contains("1x1") || l.name.contains("downsample") || l.name.contains("conv1") {
+                assert_eq!(l.chosen, Kernel::Im2col, "layer {} chose {}", l.name, l.chosen);
+            }
+        }
+        let hist = f4.kernel_histogram();
+        assert!(hist[0].1 > 0 && (hist[1].1 + hist[2].1) > 0);
+    }
+
+    #[test]
+    fn images_per_second_are_positive_and_finite() {
+        let c = cfg();
+        let r = simulate_network(&resnet34(), 1, KernelChoice::WithF4, &c);
+        let ips = r.images_per_second(&c);
+        assert!(ips.is_finite() && ips > 0.0);
+        assert!(r.inferences_per_joule() > 0.0);
+    }
+}

@@ -1,0 +1,466 @@
+//! Per-layer execution model of the im2col and Winograd convolution operators.
+//!
+//! The model follows the Listing-1 dataflow: the weight load + transformation
+//! phase precedes the steady-state phase in which input loads, input
+//! transformations, Cube MatMuls, output transformations, vector
+//! re-quantization and output stores are all double-buffered against each
+//! other. The steady-state time is therefore the maximum of the per-resource
+//! times, and the layer time adds the (mostly serial) weight phase and a fixed
+//! pipeline prologue.
+
+use crate::config::AcceleratorConfig;
+use crate::cube::cube_cycles;
+use crate::energy::{energy_from_activity, AccessCounts, EnergyBreakdown};
+use crate::xform::TransformEngine;
+use serde::{Deserialize, Serialize};
+use wino_nets::ConvLayer;
+
+/// The convolution kernel executed on the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kernel {
+    /// The baseline im2col + MatMul kernel.
+    Im2col,
+    /// Winograd F(2×2, 3×3).
+    WinogradF2,
+    /// Winograd F(4×4, 3×3).
+    WinogradF4,
+}
+
+impl Kernel {
+    /// Output-tile edge `m` for the Winograd kernels (`None` for im2col).
+    pub fn tile_m(self) -> Option<usize> {
+        match self {
+            Kernel::Im2col => None,
+            Kernel::WinogradF2 => Some(2),
+            Kernel::WinogradF4 => Some(4),
+        }
+    }
+
+    /// All kernels.
+    pub fn all() -> [Kernel; 3] {
+        [Kernel::Im2col, Kernel::WinogradF2, Kernel::WinogradF4]
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Kernel::Im2col => write!(f, "im2col"),
+            Kernel::WinogradF2 => write!(f, "F2"),
+            Kernel::WinogradF4 => write!(f, "F4"),
+        }
+    }
+}
+
+/// Cycle contribution of each resource to one layer (whole system, i.e. the
+/// slowest core determines the time; resources are already per-core balanced).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Fixed pipeline prologue (DRAM latency + ramp-up).
+    pub prologue: f64,
+    /// Weight load from external memory.
+    pub weight_load: f64,
+    /// Weight transformation (zero for im2col).
+    pub weight_xform: f64,
+    /// Cube Unit MatMuls.
+    pub cube: f64,
+    /// Input transformation engine (or im2col engine for the im2col kernel).
+    pub input_xform: f64,
+    /// Output transformation engine (zero for im2col).
+    pub output_xform: f64,
+    /// Input feature-map loads from external memory.
+    pub input_load: f64,
+    /// Output feature-map stores to external memory.
+    pub output_store: f64,
+    /// Vector Unit work (re-quantization, activation).
+    pub vector: f64,
+}
+
+impl CycleBreakdown {
+    /// The steady-state bottleneck (everything that is double-buffered).
+    pub fn steady_state(&self) -> f64 {
+        self.cube
+            .max(self.input_xform)
+            .max(self.output_xform)
+            .max(self.input_load + self.output_store)
+            .max(self.vector)
+    }
+
+    /// The serial weight phase.
+    pub fn weight_phase(&self) -> f64 {
+        self.weight_load.max(self.weight_xform)
+    }
+
+    /// Total layer cycles.
+    pub fn total(&self) -> f64 {
+        self.prologue + self.weight_phase() + self.steady_state()
+    }
+
+    /// Name of the steady-state bottleneck resource.
+    pub fn bottleneck(&self) -> &'static str {
+        let pairs = [
+            ("cube", self.cube),
+            ("input_xform", self.input_xform),
+            ("output_xform", self.output_xform),
+            ("memory", self.input_load + self.output_store),
+            ("vector", self.vector),
+        ];
+        pairs
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(n, _)| *n)
+            .unwrap_or("cube")
+    }
+}
+
+/// The result of simulating one layer with one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRun {
+    /// The kernel that was simulated.
+    pub kernel: Kernel,
+    /// Batch size.
+    pub batch: usize,
+    /// Total cycles.
+    pub cycles: f64,
+    /// Per-resource cycle breakdown.
+    pub breakdown: CycleBreakdown,
+    /// Bytes moved per memory level.
+    pub access: AccessCounts,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// MACs of the standard algorithm (for utilisation metrics).
+    pub macs: u64,
+}
+
+impl LayerRun {
+    /// Effective int8 throughput in TOp/s, counting standard-algorithm MACs as
+    /// operations (the paper's "equivalent TOp" convention for the Winograd
+    /// kernel).
+    pub fn effective_tops(&self, cfg: &AcceleratorConfig) -> f64 {
+        let seconds = cfg.cycles_to_seconds(self.cycles);
+        self.macs as f64 / seconds / 1e12
+    }
+}
+
+/// Simulates one convolution layer on the accelerator with the chosen kernel.
+///
+/// # Panics
+///
+/// Panics if a Winograd kernel is requested for a non-Winograd-eligible layer
+/// (kernel ≠ 3×3 or stride ≠ 1).
+pub fn simulate_layer(
+    layer: &ConvLayer,
+    batch: usize,
+    kernel: Kernel,
+    cfg: &AcceleratorConfig,
+) -> LayerRun {
+    match kernel {
+        Kernel::Im2col => simulate_im2col(layer, batch, cfg),
+        Kernel::WinogradF2 | Kernel::WinogradF4 => {
+            assert!(
+                layer.kernel == 3 && layer.stride == 1,
+                "Winograd kernels require 3x3 stride-1 layers (got {}x{} stride {})",
+                layer.kernel,
+                layer.kernel,
+                layer.stride
+            );
+            simulate_winograd(layer, batch, kernel, cfg)
+        }
+    }
+}
+
+/// Volumes (bytes, int8) of one layer at the given batch.
+fn volumes(layer: &ConvLayer, batch: usize) -> (f64, f64, f64) {
+    let ifm = layer.input_elements(batch) as f64;
+    let wt = layer.weight_elements() as f64;
+    let ofm = layer.output_elements(batch) as f64;
+    (ifm, wt, ofm)
+}
+
+fn prologue(cfg: &AcceleratorConfig) -> f64 {
+    cfg.dram_latency_cycles + 200.0
+}
+
+fn simulate_im2col(layer: &ConvLayer, batch: usize, cfg: &AcceleratorConfig) -> LayerRun {
+    let (ifm, wt, ofm) = volumes(layer, batch);
+    let reps = layer.repeats.max(1) as f64;
+    let rows = batch * layer.h_out * layer.w_out;
+    let reduction = layer.c_in * layer.kernel * layer.kernel;
+    let cols = layer.c_out.div_ceil(cfg.cores);
+
+    let cube =
+        reps * cube_cycles(cfg, rows, reduction, cols, cfg.im2col_cube_efficiency);
+    // The im2col engine sustains the Cube Unit by design; it contributes a small
+    // non-overlapped fraction (pattern set-up per row of tiles).
+    let im2col_engine = 0.06 * cube;
+    let input_load = ifm / cfg.dram_bytes_per_cycle;
+    let output_store = ofm / cfg.dram_bytes_per_cycle;
+    let weight_load = wt / cfg.dram_bytes_per_cycle;
+    let vector = ofm / (cfg.cores as f64 * cfg.vector_elems_per_cycle);
+
+    let breakdown = CycleBreakdown {
+        prologue: prologue(cfg),
+        weight_load,
+        weight_xform: 0.0,
+        cube,
+        input_xform: im2col_engine,
+        output_xform: 0.0,
+        input_load,
+        output_store,
+        vector,
+    };
+
+    // Memory accesses (bytes).
+    let lowered = ifm * (layer.kernel * layer.kernel) as f64
+        / (layer.stride * layer.stride) as f64;
+    let cube_total_cycles = cube * cfg.cores as f64;
+    let access = AccessCounts {
+        gm_fm_read: ifm,
+        gm_fm_write: ofm,
+        gm_wt_read: wt,
+        l1_fm_write: ifm,
+        l1_fm_read: lowered,
+        l1_wt_write: wt,
+        l1_wt_read: wt,
+        l0a_write: lowered,
+        l0a_read: cube_total_cycles * (cfg.cube_m * cfg.cube_k) as f64,
+        l0b_write: wt,
+        l0b_read: cube_total_cycles * (cfg.cube_k * cfg.cube_n) as f64,
+        l0c_write: ofm * 4.0,
+        l0c_read: ofm * 4.0,
+    };
+
+    let energy = energy_from_activity(
+        cfg,
+        cube * cfg.cores as f64,
+        im2col_engine * cfg.cores as f64,
+        0.0,
+        0.0,
+        vector * cfg.cores as f64,
+        &access,
+        false,
+    );
+
+    LayerRun {
+        kernel: Kernel::Im2col,
+        batch,
+        cycles: breakdown.total(),
+        breakdown,
+        access,
+        energy,
+        macs: layer.macs(batch),
+    }
+}
+
+fn simulate_winograd(
+    layer: &ConvLayer,
+    batch: usize,
+    kernel: Kernel,
+    cfg: &AcceleratorConfig,
+) -> LayerRun {
+    let m = kernel.tile_m().expect("winograd kernel");
+    let t = m + 2;
+    let (ifm, wt, ofm) = volumes(layer, batch);
+    let reps = layer.repeats.max(1) as f64;
+    let tiles = layer.h_out.div_ceil(m) * layer.w_out.div_ceil(m);
+    let taps = t * t;
+
+    // Cube: taps-many batched MatMuls of [batch·tiles × C_in] · [C_in × C_out/cores].
+    let rows = batch * tiles;
+    let cols = layer.c_out.div_ceil(cfg.cores);
+    let cube = reps
+        * taps as f64
+        * cube_cycles(cfg, rows, layer.c_in, cols, cfg.winograd_cube_efficiency);
+
+    // Transformation engines (per core; each core transforms all input channels
+    // for its own output-channel half).
+    let mut in_engine = TransformEngine::paper_input_engine();
+    in_engine.tile = t;
+    let mut out_engine = TransformEngine::paper_output_engine();
+    out_engine.tile = t;
+    let input_xform = reps * in_engine.cycles_for(batch * tiles * layer.c_in);
+    let output_xform = reps * out_engine.cycles_for(batch * tiles * cols);
+    // `wt` already accounts for layer repeats, so no extra `reps` factor here.
+    let weight_xform = wt / (cfg.cores as f64 * cfg.weight_xform_elems_per_cycle);
+
+    // External memory: the iFMs are broadcast to both cores but must be
+    // re-streamed once per resident output-channel block (L0C capacity limit).
+    let cout_per_core = layer.c_out.div_ceil(cfg.cores);
+    let ifm_passes = cout_per_core.div_ceil(cfg.winograd_cout_block) as f64;
+    let input_load = ifm * ifm_passes / cfg.dram_bytes_per_cycle;
+    let output_store = ofm / cfg.dram_bytes_per_cycle;
+    let weight_load = wt / cfg.dram_bytes_per_cycle;
+    let vector = ofm / (cfg.cores as f64 * cfg.vector_elems_per_cycle);
+
+    let breakdown = CycleBreakdown {
+        prologue: prologue(cfg),
+        weight_load,
+        weight_xform,
+        cube,
+        input_xform,
+        output_xform,
+        input_load,
+        output_store,
+        vector,
+    };
+
+    // Memory accesses (bytes). The Winograd domain expands the iFM volume by
+    // t²/m² and the weight volume by t²/9.
+    let fm_expand = (taps as f64) / ((m * m) as f64);
+    let wt_expand = (taps as f64) / 9.0;
+    let cube_total_cycles = cube * cfg.cores as f64;
+    let access = AccessCounts {
+        gm_fm_read: ifm * ifm_passes,
+        gm_fm_write: ofm,
+        gm_wt_read: wt,
+        l1_fm_write: ifm * ifm_passes,
+        l1_fm_read: ifm * ifm_passes * fm_expand,
+        l1_wt_write: wt * wt_expand,
+        l1_wt_read: cube_total_cycles * (cfg.cube_k * cfg.cube_n) as f64,
+        l0a_write: ifm * ifm_passes * fm_expand,
+        l0a_read: cube_total_cycles * (cfg.cube_m * cfg.cube_k) as f64,
+        l0b_write: wt,
+        l0b_read: wt,
+        l0c_write: ofm * fm_expand * 4.0,
+        l0c_read: ofm * fm_expand * 4.0,
+    };
+
+    let energy = energy_from_activity(
+        cfg,
+        cube * cfg.cores as f64,
+        input_xform * cfg.cores as f64,
+        weight_xform * cfg.cores as f64,
+        output_xform * cfg.cores as f64,
+        vector * cfg.cores as f64,
+        &access,
+        true,
+    );
+
+    LayerRun {
+        kernel,
+        batch,
+        cycles: breakdown.total(),
+        breakdown,
+        access,
+        energy,
+        macs: layer.macs(batch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_nets::ConvLayer;
+
+    fn layer(c_in: usize, c_out: usize, hw: usize) -> ConvLayer {
+        ConvLayer::conv3x3("test", c_in, c_out, hw)
+    }
+
+    fn speedup(l: &ConvLayer, batch: usize, kernel: Kernel) -> f64 {
+        let cfg = AcceleratorConfig::default();
+        let base = simulate_layer(l, batch, Kernel::Im2col, &cfg);
+        let k = simulate_layer(l, batch, kernel, &cfg);
+        base.cycles / k.cycles
+    }
+
+    #[test]
+    fn f4_speedup_grows_with_resolution_and_batch() {
+        // Table IV macro-trend 1: larger resolution or batch → higher speed-up.
+        let s_small = speedup(&layer(256, 256, 16), 1, Kernel::WinogradF4);
+        let s_large = speedup(&layer(256, 256, 128), 1, Kernel::WinogradF4);
+        assert!(s_large > s_small, "resolution trend: {s_small} -> {s_large}");
+        let s_b1 = speedup(&layer(256, 256, 32), 1, Kernel::WinogradF4);
+        let s_b8 = speedup(&layer(256, 256, 32), 8, Kernel::WinogradF4);
+        assert!(s_b8 > s_b1, "batch trend: {s_b1} -> {s_b8}");
+    }
+
+    #[test]
+    fn f4_speedup_grows_with_input_channels() {
+        // Table IV macro-trend 2: more input channels → higher speed-up.
+        let s_128 = speedup(&layer(128, 256, 32), 8, Kernel::WinogradF4);
+        let s_256 = speedup(&layer(256, 256, 32), 8, Kernel::WinogradF4);
+        assert!(s_256 > s_128, "channel trend: {s_128} -> {s_256}");
+    }
+
+    #[test]
+    fn small_layers_show_no_speedup() {
+        // Table IV top-left corner: ~0.99-1.0x for 16x16, small channels, batch 1.
+        let s = speedup(&layer(64, 64, 16), 1, Kernel::WinogradF4);
+        assert!(s < 1.3, "small workload speedup should be ~1, got {s}");
+    }
+
+    #[test]
+    fn speedups_stay_within_theoretical_bounds() {
+        for kernel in [Kernel::WinogradF2, Kernel::WinogradF4] {
+            let bound = match kernel {
+                Kernel::WinogradF2 => 2.25,
+                _ => 4.0,
+            };
+            for &(c, hw, b) in &[(64usize, 32usize, 1usize), (256, 64, 8), (512, 128, 8)] {
+                let s = speedup(&layer(c, c, hw), b, kernel);
+                assert!(
+                    s <= bound * 1.05,
+                    "{kernel}: speedup {s} exceeds the {bound}x MAC reduction"
+                );
+                assert!(s > 0.5, "{kernel}: speedup {s} implausibly low");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_heavy_f4_beats_f2() {
+        let l = layer(256, 512, 64);
+        let f2 = speedup(&l, 8, Kernel::WinogradF2);
+        let f4 = speedup(&l, 8, Kernel::WinogradF4);
+        assert!(f4 > f2, "F4 ({f4}) should outperform F2 ({f2}) on compute-heavy layers");
+    }
+
+    #[test]
+    fn paper_reference_point_is_close() {
+        // Table IV reports 3.16x for (B=8, HW=32, Cin=256, Cout=512).
+        let s = speedup(&layer(256, 512, 32), 8, Kernel::WinogradF4);
+        assert!((2.4..4.0).contains(&s), "expected ~3.2x, got {s}");
+    }
+
+    #[test]
+    fn winograd_reduces_total_energy_on_compute_heavy_layers() {
+        let cfg = AcceleratorConfig::default();
+        let l = layer(256, 256, 64);
+        let base = simulate_layer(&l, 8, Kernel::Im2col, &cfg);
+        let f4 = simulate_layer(&l, 8, Kernel::WinogradF4, &cfg);
+        assert!(
+            f4.energy.total_nj() < base.energy.total_nj(),
+            "F4 energy {} should be below im2col energy {}",
+            f4.energy.total_nj(),
+            base.energy.total_nj()
+        );
+        // The cube dominates the im2col energy (Fig. 6 right).
+        assert!(base.energy.cube_fraction() > 0.4);
+    }
+
+    #[test]
+    fn breakdown_total_is_consistent() {
+        let cfg = AcceleratorConfig::default();
+        let run = simulate_layer(&layer(128, 128, 32), 8, Kernel::WinogradF4, &cfg);
+        let b = &run.breakdown;
+        assert!((b.total() - run.cycles).abs() < 1e-9);
+        assert!(b.steady_state() >= b.cube);
+        assert!(!run.breakdown.bottleneck().is_empty());
+        assert!(run.effective_tops(&cfg) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Winograd kernels require")]
+    fn winograd_on_1x1_panics() {
+        let cfg = AcceleratorConfig::default();
+        let l = ConvLayer::conv1x1("pw", 64, 64, 32);
+        let _ = simulate_layer(&l, 1, Kernel::WinogradF4, &cfg);
+    }
+
+    #[test]
+    fn effective_tops_never_exceeds_peak_for_im2col() {
+        let cfg = AcceleratorConfig::default();
+        let run = simulate_layer(&layer(512, 512, 128), 8, Kernel::Im2col, &cfg);
+        assert!(run.effective_tops(&cfg) <= cfg.peak_tops());
+    }
+}

@@ -1,0 +1,240 @@
+//! Winograd transformation-engine models (Section IV-B1, Table I).
+//!
+//! Two implementation styles exist:
+//!
+//! * **row-by-row** — a spatial PE consumes one row of the tile per cycle and
+//!   hardcodes the multiplication with the constant matrix using adders and
+//!   fixed shifters. The *slow* variant reuses the same resources for the
+//!   second half of the transformation (`h_T + w_T` cycles per transform); the
+//!   *fast* variant allocates extra lanes and finishes in `h_T` cycles.
+//! * **tap-by-tap** — a minimal PE (configurable shifter + adder + accumulator)
+//!   unrolled in time; sparsity and common-subexpression sharing reduce the
+//!   per-tap cycle count.
+//!
+//! The engine model exposes cycles-per-transform, bandwidth requirements
+//! (Table I), and an analytic area/power estimate used for the Table V
+//! design-space discussion.
+
+use serde::{Deserialize, Serialize};
+
+/// Which transformation an engine implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum XformKind {
+    /// Input transformation `Bᵀ·d·B` (int8 in, int8/10 out).
+    Input,
+    /// Weight transformation `G·f·Gᵀ` (int8 in, int8/10 out).
+    Weight,
+    /// Output transformation `Aᵀ·M·A` (int32 in, int8 out after rescale).
+    Output,
+}
+
+/// The implementation style of a transformation engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineStyle {
+    /// Row-by-row, resource-sharing variant (`h_T + w_T` cycles per transform).
+    RowByRowSlow,
+    /// Row-by-row with extra lanes (`h_T` cycles per transform).
+    RowByRowFast,
+    /// Tap-by-tap, time-unrolled PE.
+    TapByTap {
+        /// Parallel taps computed per PE (`P_t`).
+        parallel_taps: usize,
+    },
+}
+
+/// A configured transformation engine instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransformEngine {
+    /// Which transformation it performs.
+    pub kind: XformKind,
+    /// Implementation style.
+    pub style: EngineStyle,
+    /// Input tile edge `h_T` (6 for F4, 4 for F2).
+    pub tile: usize,
+    /// Parallel transforms along the channel dimension (`P_c`).
+    pub parallel_channels: usize,
+    /// Parallel transforms along the spatial dimension (`P_s`).
+    pub parallel_spatial: usize,
+}
+
+impl TransformEngine {
+    /// The paper's input-transformation engine for F4: fast row-by-row,
+    /// 32 channels × 2 spatial tiles in parallel.
+    pub fn paper_input_engine() -> Self {
+        Self {
+            kind: XformKind::Input,
+            style: EngineStyle::RowByRowFast,
+            tile: 6,
+            parallel_channels: 32,
+            parallel_spatial: 2,
+        }
+    }
+
+    /// The paper's output-transformation engine for F4: fast row-by-row,
+    /// 16 output channels in parallel.
+    pub fn paper_output_engine() -> Self {
+        Self {
+            kind: XformKind::Output,
+            style: EngineStyle::RowByRowFast,
+            tile: 6,
+            parallel_channels: 16,
+            parallel_spatial: 1,
+        }
+    }
+
+    /// The paper's weight-transformation engine: tap-by-tap (it naturally
+    /// produces the fractal layout the Cube Unit expects), sized to match the
+    /// external weight-load bandwidth.
+    pub fn paper_weight_engine() -> Self {
+        Self {
+            kind: XformKind::Weight,
+            style: EngineStyle::TapByTap { parallel_taps: 4 },
+            tile: 6,
+            parallel_channels: 8,
+            parallel_spatial: 1,
+        }
+    }
+
+    /// Total parallel transforms in flight.
+    pub fn parallel_transforms(&self) -> usize {
+        self.parallel_channels * self.parallel_spatial
+    }
+
+    /// Cycles needed by one PE for one full `t×t` transform (Table I).
+    pub fn cycles_per_transform(&self) -> f64 {
+        let h = self.tile as f64;
+        match self.style {
+            EngineStyle::RowByRowSlow => h + h,
+            EngineStyle::RowByRowFast => h,
+            EngineStyle::TapByTap { parallel_taps } => {
+                // Worst case h·h cycles per tap; sparsity + CSE bring the
+                // average down to roughly a third, and P_t taps proceed in
+                // parallel inside the PE.
+                let per_tap = (h * h / 3.0).max(1.0);
+                let taps = h * h;
+                (per_tap * taps / parallel_taps as f64).max(1.0)
+            }
+        }
+    }
+
+    /// Engine throughput in transforms per cycle.
+    pub fn transforms_per_cycle(&self) -> f64 {
+        self.parallel_transforms() as f64 / self.cycles_per_transform()
+    }
+
+    /// Cycles to transform `count` tiles.
+    pub fn cycles_for(&self, count: usize) -> f64 {
+        count as f64 / self.transforms_per_cycle()
+    }
+
+    /// Read bandwidth requirement in bytes/cycle (Table I), assuming int8
+    /// elements for input/weight transforms and int32 for the output transform.
+    pub fn read_bandwidth(&self) -> f64 {
+        let elem = if self.kind == XformKind::Output { 4.0 } else { 1.0 };
+        let h = self.tile as f64;
+        match self.style {
+            EngineStyle::RowByRowSlow | EngineStyle::RowByRowFast => {
+                self.parallel_transforms() as f64 * h * elem
+            }
+            EngineStyle::TapByTap { .. } => self.parallel_transforms() as f64 * elem,
+        }
+    }
+
+    /// Write bandwidth requirement in bytes/cycle (Table I).
+    pub fn write_bandwidth(&self) -> f64 {
+        let elem = if self.kind == XformKind::Output { 1.0 } else { 1.0 };
+        let h = self.tile as f64;
+        match self.style {
+            EngineStyle::RowByRowSlow => self.parallel_transforms() as f64 * h * elem,
+            EngineStyle::RowByRowFast => {
+                self.parallel_transforms() as f64 * h * h / self.cycles_per_transform() * elem
+            }
+            EngineStyle::TapByTap { .. } => self.parallel_transforms() as f64 * elem,
+        }
+    }
+
+    /// Analytic adder-count estimate of one PE, used for the area comparison of
+    /// the design-space exploration. The row-by-row fast variant needs
+    /// `w_T × w_T` extra output-stationary lanes; the tap-by-tap PE is a single
+    /// shifter+adder per parallel tap.
+    pub fn adders_per_pe(&self) -> usize {
+        let t = self.tile;
+        match self.style {
+            // One adder tree over t inputs per output column plus the second-stage lanes.
+            EngineStyle::RowByRowSlow => t * t,
+            EngineStyle::RowByRowFast => t * t + t * t,
+            EngineStyle::TapByTap { parallel_taps } => parallel_taps,
+        }
+    }
+
+    /// Relative area estimate (adders × parallel transforms), normalised to an
+    /// arbitrary unit; used to compare engine variants.
+    pub fn relative_area(&self) -> f64 {
+        (self.adders_per_pe() * self.parallel_transforms()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_cycle_counts() {
+        let slow = TransformEngine {
+            style: EngineStyle::RowByRowSlow,
+            ..TransformEngine::paper_input_engine()
+        };
+        let fast = TransformEngine::paper_input_engine();
+        assert_eq!(slow.cycles_per_transform(), 12.0); // h + w = 6 + 6
+        assert_eq!(fast.cycles_per_transform(), 6.0); // h
+    }
+
+    #[test]
+    fn paper_input_engine_matches_section_iv_rates() {
+        let engine = TransformEngine::paper_input_engine();
+        assert_eq!(engine.parallel_transforms(), 64);
+        // 64 transforms every 6 cycles ≈ 10.7 transforms/cycle.
+        assert!((engine.transforms_per_cycle() - 64.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_engine_is_smaller_but_slower_than_fast() {
+        let slow = TransformEngine {
+            style: EngineStyle::RowByRowSlow,
+            ..TransformEngine::paper_output_engine()
+        };
+        let fast = TransformEngine::paper_output_engine();
+        assert!(slow.relative_area() < fast.relative_area());
+        assert!(slow.cycles_for(1000) > fast.cycles_for(1000));
+    }
+
+    #[test]
+    fn tap_by_tap_has_lowest_bandwidth_needs() {
+        let tap = TransformEngine::paper_weight_engine();
+        let row = TransformEngine {
+            style: EngineStyle::RowByRowFast,
+            ..TransformEngine::paper_weight_engine()
+        };
+        assert!(tap.read_bandwidth() < row.read_bandwidth());
+        assert!(tap.write_bandwidth() <= row.write_bandwidth());
+    }
+
+    #[test]
+    fn more_parallel_taps_speed_up_tap_by_tap() {
+        let mut e = TransformEngine::paper_weight_engine();
+        let slow = e.cycles_for(100);
+        e.style = EngineStyle::TapByTap { parallel_taps: 8 };
+        assert!(e.cycles_for(100) < slow);
+    }
+
+    #[test]
+    fn output_engine_reads_int32() {
+        let out = TransformEngine::paper_output_engine();
+        let inp = TransformEngine::paper_input_engine();
+        // Same parallelism would read 4x the bytes; here parallelisms differ but
+        // the per-transform element size is 4x.
+        let out_per_transform = out.read_bandwidth() / out.parallel_transforms() as f64;
+        let in_per_transform = inp.read_bandwidth() / inp.parallel_transforms() as f64;
+        assert!((out_per_transform / in_per_transform - 4.0).abs() < 1e-9);
+    }
+}

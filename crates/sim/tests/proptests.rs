@@ -1,0 +1,45 @@
+//! Property-based tests of the accelerator performance model.
+
+use accel_sim::{simulate_layer, AcceleratorConfig, Kernel};
+use proptest::prelude::*;
+use wino_nets::ConvLayer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants of the layer model for arbitrary 3x3 layers: positive finite
+    /// times, the F4 speed-up never exceeds the 4x MAC reduction, and the
+    /// effective throughput never exceeds the peak.
+    #[test]
+    fn layer_model_invariants(
+        c_in in 16usize..512,
+        c_out in 16usize..512,
+        hw in 7usize..129,
+        batch in 1usize..17,
+    ) {
+        let cfg = AcceleratorConfig::paper_system();
+        let layer = ConvLayer::conv3x3("prop", c_in, c_out, hw);
+        let base = simulate_layer(&layer, batch, Kernel::Im2col, &cfg);
+        let f4 = simulate_layer(&layer, batch, Kernel::WinogradF4, &cfg);
+        let f2 = simulate_layer(&layer, batch, Kernel::WinogradF2, &cfg);
+        prop_assert!(base.cycles.is_finite() && base.cycles > 0.0);
+        prop_assert!(f4.cycles.is_finite() && f4.cycles > 0.0);
+        prop_assert!(base.cycles / f4.cycles <= 4.05, "F4 speed-up beyond MAC reduction");
+        prop_assert!(base.cycles / f2.cycles <= 2.30, "F2 speed-up beyond MAC reduction");
+        prop_assert!(base.effective_tops(&cfg) <= cfg.peak_tops() * 1.001);
+        prop_assert!(f4.energy.total_nj() > 0.0 && base.energy.total_nj() > 0.0);
+    }
+
+    /// More external bandwidth can only reduce (or keep) the layer time.
+    #[test]
+    fn bandwidth_monotonicity(c in 32usize..256, hw in 8usize..65, batch in 1usize..9) {
+        let layer = ConvLayer::conv3x3("prop", c, c, hw);
+        let slow = AcceleratorConfig::paper_system();
+        let fast = AcceleratorConfig::paper_system().with_bandwidth_scale(2.0);
+        for kernel in [Kernel::Im2col, Kernel::WinogradF4] {
+            let a = simulate_layer(&layer, batch, kernel, &slow);
+            let b = simulate_layer(&layer, batch, kernel, &fast);
+            prop_assert!(b.cycles <= a.cycles + 1e-6);
+        }
+    }
+}

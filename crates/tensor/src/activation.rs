@@ -1,0 +1,93 @@
+//! Activation functions used by the reproduction's networks.
+
+use crate::tensor::Tensor;
+
+/// Rectified linear unit applied elementwise, returning a new tensor.
+///
+/// ```
+/// use wino_tensor::{relu, Tensor};
+/// let t = Tensor::from_vec(vec![-1.0_f32, 0.5], &[2]).unwrap();
+/// assert_eq!(relu(&t).as_slice(), &[0.0, 0.5]);
+/// ```
+pub fn relu(x: &Tensor<f32>) -> Tensor<f32> {
+    x.map(|v| v.max(0.0))
+}
+
+/// Rectified linear unit applied in place.
+pub fn relu_inplace(x: &mut Tensor<f32>) {
+    x.map_inplace(|v| v.max(0.0));
+}
+
+/// Row-wise softmax of a 2-D tensor `[rows, classes]`, with optional
+/// temperature (used by the knowledge-distillation loss, Section III-B).
+///
+/// A temperature of 1.0 is the ordinary softmax; larger temperatures produce
+/// softer distributions.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D or `temperature` is not strictly positive.
+pub fn softmax_rows(x: &Tensor<f32>, temperature: f32) -> Tensor<f32> {
+    assert_eq!(x.rank(), 2, "softmax_rows: input must be 2-D");
+    assert!(temperature > 0.0, "softmax_rows: temperature must be positive");
+    let (rows, cols) = (x.dims()[0], x.dims()[1]);
+    let mut out = Tensor::<f32>::zeros(&[rows, cols]);
+    for r in 0..rows {
+        let mut maxv = f32::NEG_INFINITY;
+        for c in 0..cols {
+            maxv = maxv.max(x.at2(r, c) / temperature);
+        }
+        let mut denom = 0.0;
+        for c in 0..cols {
+            denom += ((x.at2(r, c) / temperature) - maxv).exp();
+        }
+        for c in 0..cols {
+            out.set2(r, c, ((x.at2(r, c) / temperature) - maxv).exp() / denom);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(vec![-2.0_f32, -0.0, 3.5, 1e-9], &[4]).unwrap();
+        let r = relu(&t);
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 3.5, 1e-9]);
+        let mut t2 = t.clone();
+        relu_inplace(&mut t2);
+        assert_eq!(t2, r);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = softmax_rows(&x, 1.0);
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at2(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Largest logit gets the largest probability.
+        assert!(s.at2(0, 2) > s.at2(0, 1) && s.at2(0, 1) > s.at2(0, 0));
+    }
+
+    #[test]
+    fn temperature_softens_distribution() {
+        let x = Tensor::from_vec(vec![0.0_f32, 4.0], &[1, 2]).unwrap();
+        let hard = softmax_rows(&x, 1.0);
+        let soft = softmax_rows(&x, 4.0);
+        assert!(hard.at2(0, 1) > soft.at2(0, 1));
+        assert!(soft.at2(0, 0) > hard.at2(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0_f32, 1001.0], &[1, 2]).unwrap();
+        let s = softmax_rows(&x, 1.0);
+        assert!(s.at2(0, 0).is_finite() && s.at2(0, 1).is_finite());
+        assert!((s.at2(0, 0) + s.at2(0, 1) - 1.0).abs() < 1e-5);
+    }
+}

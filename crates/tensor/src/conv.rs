@@ -1,0 +1,271 @@
+//! Direct (naive) 2-D convolution reference implementations.
+//!
+//! These kernels define the ground truth that every other convolution path in
+//! the workspace (im2col + GEMM, Winograd F2/F4, quantized Winograd with
+//! tap-wise scaling) is validated against.
+
+use crate::shape::conv_output_hw;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D convolution: square kernel, stride and symmetric padding.
+///
+/// ```
+/// use wino_tensor::ConvParams;
+/// let p = ConvParams::same_3x3();
+/// assert_eq!((p.kernel, p.stride, p.padding), (3, 1, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvParams {
+    /// Kernel height and width (square kernels only, as in the paper).
+    pub kernel: usize,
+    /// Stride along both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding along both spatial dimensions.
+    pub padding: usize,
+}
+
+impl ConvParams {
+    /// Creates convolution parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self { kernel, stride, padding }
+    }
+
+    /// The unit-stride, "same"-padded 3×3 convolution targeted by the Winograd
+    /// F2/F4 kernels of the paper.
+    pub fn same_3x3() -> Self {
+        Self::new(3, 1, 1)
+    }
+
+    /// A 1×1 pointwise convolution.
+    pub fn pointwise() -> Self {
+        Self::new(1, 1, 0)
+    }
+
+    /// Output spatial size `(h_out, w_out)` for an input of `(h, w)`.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_output_hw(h, self.kernel, self.stride, self.padding),
+            conv_output_hw(w, self.kernel, self.stride, self.padding),
+        )
+    }
+
+    /// Whether this layer is eligible for the paper's Winograd kernels
+    /// (3×3 kernel with unit stride).
+    pub fn is_winograd_eligible(&self) -> bool {
+        self.kernel == 3 && self.stride == 1
+    }
+}
+
+impl Default for ConvParams {
+    fn default() -> Self {
+        Self::same_3x3()
+    }
+}
+
+/// Direct FP32 convolution of an NCHW input with OIHW weights.
+///
+/// `x` has shape `[N, C_in, H, W]`, `w` has shape `[C_out, C_in, K, K]`, and
+/// the optional `bias` has shape `[C_out]`. Returns `[N, C_out, H_out, W_out]`.
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent with `params`.
+pub fn conv2d_direct(
+    x: &Tensor<f32>,
+    w: &Tensor<f32>,
+    bias: Option<&Tensor<f32>>,
+    params: ConvParams,
+) -> Tensor<f32> {
+    assert_eq!(x.rank(), 4, "conv2d_direct: input must be NCHW");
+    assert_eq!(w.rank(), 4, "conv2d_direct: weights must be OIHW");
+    let (n, c_in, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (c_out, c_in_w, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+    assert_eq!(c_in, c_in_w, "conv2d_direct: channel mismatch");
+    assert_eq!(kh, params.kernel, "conv2d_direct: kernel height mismatch");
+    assert_eq!(kw, params.kernel, "conv2d_direct: kernel width mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), c_out, "conv2d_direct: bias length mismatch");
+    }
+
+    let (h_out, w_out) = params.output_hw(h, wd);
+    let mut y = Tensor::<f32>::zeros(&[n, c_out, h_out, w_out]);
+    let k = params.kernel as isize;
+    let pad = params.padding as isize;
+    let stride = params.stride as isize;
+
+    for ni in 0..n {
+        for co in 0..c_out {
+            let b = bias.map(|b| b.as_slice()[co]).unwrap_or(0.0);
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = b;
+                    let iy0 = oy as isize * stride - pad;
+                    let ix0 = ox as isize * stride - pad;
+                    for ci in 0..c_in {
+                        for ky in 0..k {
+                            let iy = iy0 + ky;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ix0 + kx;
+                                if ix < 0 || ix >= wd as isize {
+                                    continue;
+                                }
+                                acc += x.at4(ni, ci, iy as usize, ix as usize)
+                                    * w.at4(co, ci, ky as usize, kx as usize);
+                            }
+                        }
+                    }
+                    y.set4(ni, co, oy, ox, acc);
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Direct integer convolution: int8 input and weights, int32 accumulation.
+///
+/// This is the bit-true reference for the accelerator's im2col kernel and for
+/// the integer Winograd pipeline. Shapes follow [`conv2d_direct`].
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent with `params`.
+pub fn conv2d_direct_i8(x: &Tensor<i8>, w: &Tensor<i8>, params: ConvParams) -> Tensor<i32> {
+    assert_eq!(x.rank(), 4, "conv2d_direct_i8: input must be NCHW");
+    assert_eq!(w.rank(), 4, "conv2d_direct_i8: weights must be OIHW");
+    let (n, c_in, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (c_out, c_in_w, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+    assert_eq!(c_in, c_in_w, "conv2d_direct_i8: channel mismatch");
+    assert_eq!(kh, params.kernel);
+    assert_eq!(kw, params.kernel);
+
+    let (h_out, w_out) = params.output_hw(h, wd);
+    let mut y = Tensor::<i32>::zeros(&[n, c_out, h_out, w_out]);
+    let k = params.kernel as isize;
+    let pad = params.padding as isize;
+    let stride = params.stride as isize;
+
+    for ni in 0..n {
+        for co in 0..c_out {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let mut acc = 0_i32;
+                    let iy0 = oy as isize * stride - pad;
+                    let ix0 = ox as isize * stride - pad;
+                    for ci in 0..c_in {
+                        for ky in 0..k {
+                            let iy = iy0 + ky;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ix0 + kx;
+                                if ix < 0 || ix >= wd as isize {
+                                    continue;
+                                }
+                                acc += i32::from(x.at4(ni, ci, iy as usize, ix as usize))
+                                    * i32::from(w.at4(co, ci, ky as usize, kx as usize));
+                            }
+                        }
+                    }
+                    y.set4(ni, co, oy, ox, acc);
+                }
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::normal;
+
+    #[test]
+    fn params_basics() {
+        let p = ConvParams::same_3x3();
+        assert!(p.is_winograd_eligible());
+        assert_eq!(p.output_hw(32, 32), (32, 32));
+        let pw = ConvParams::pointwise();
+        assert!(!pw.is_winograd_eligible());
+        let strided = ConvParams::new(3, 2, 1);
+        assert!(!strided.is_winograd_eligible());
+        assert_eq!(strided.output_hw(32, 32), (16, 16));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // A single-channel 3x3 kernel with a 1 in the centre is the identity for
+        // same-padded stride-1 convolution.
+        let x = Tensor::from_fn(&[1, 1, 5, 5], |i| i as f32);
+        let mut w = Tensor::<f32>::zeros(&[1, 1, 3, 3]);
+        w.set4(0, 0, 1, 1, 1.0);
+        let y = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn all_ones_kernel_counts_neighbourhood() {
+        let x = Tensor::<f32>::filled(&[1, 1, 4, 4], 1.0);
+        let w = Tensor::<f32>::filled(&[1, 1, 3, 3], 1.0);
+        let y = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+        // Corner output pixels see a 2x2 valid neighbourhood, centre pixels 3x3.
+        assert_eq!(y.at4(0, 0, 0, 0), 4.0);
+        assert_eq!(y.at4(0, 0, 0, 1), 6.0);
+        assert_eq!(y.at4(0, 0, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let x = Tensor::<f32>::zeros(&[1, 1, 3, 3]);
+        let w = Tensor::<f32>::zeros(&[2, 1, 3, 3]);
+        let bias = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let y = conv2d_direct(&x, &w, Some(&bias), ConvParams::same_3x3());
+        assert_eq!(y.at4(0, 0, 1, 1), 1.5);
+        assert_eq!(y.at4(0, 1, 1, 1), -2.0);
+    }
+
+    #[test]
+    fn integer_matches_float_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let xi: Tensor<i8> = Tensor::from_fn(&[2, 3, 6, 6], |_| rng.gen_range(-30_i32..30) as i8);
+        let wi: Tensor<i8> = Tensor::from_fn(&[4, 3, 3, 3], |_| rng.gen_range(-30_i32..30) as i8);
+        let yi = conv2d_direct_i8(&xi, &wi, ConvParams::same_3x3());
+        let yf = conv2d_direct(
+            &xi.map(f32::from),
+            &wi.map(f32::from),
+            None,
+            ConvParams::same_3x3(),
+        );
+        for (a, b) in yi.as_slice().iter().zip(yf.as_slice().iter()) {
+            assert_eq!(*a as f32, *b);
+        }
+    }
+
+    #[test]
+    fn strided_convolution_shrinks_output() {
+        let x = normal(&[1, 2, 8, 8], 0.0, 1.0, 5);
+        let w = normal(&[3, 2, 3, 3], 0.0, 1.0, 6);
+        let y = conv2d_direct(&x, &w, None, ConvParams::new(3, 2, 1));
+        assert_eq!(y.dims(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let x = Tensor::<f32>::zeros(&[1, 2, 4, 4]);
+        let w = Tensor::<f32>::zeros(&[1, 3, 3, 3]);
+        let _ = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+    }
+}

@@ -1,0 +1,191 @@
+//! General matrix multiplication kernels.
+//!
+//! Two kernels are provided: an `f32` GEMM used by the reference im2col
+//! convolution and the training substrate, and an `i8 × i8 → i32` GEMM that
+//! mirrors the Cube Unit of the accelerator (Section IV-A of the paper), which
+//! multiplies two int8 matrices and accumulates into int32.
+
+use crate::tensor::Tensor;
+
+/// Convenience façade bundling the GEMM kernels behind one type.
+///
+/// ```
+/// use wino_tensor::{Gemm, Tensor};
+/// let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+/// let b = Tensor::from_vec(vec![1.0_f32, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+/// let c = Gemm::f32(&a, &b);
+/// assert_eq!(c.as_slice(), a.as_slice());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gemm;
+
+impl Gemm {
+    /// `f32` matrix product; see [`gemm_f32`].
+    pub fn f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+        gemm_f32(a, b)
+    }
+
+    /// `i8 × i8 → i32` matrix product; see [`gemm_i8_i32`].
+    pub fn i8(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i32> {
+        gemm_i8_i32(a, b)
+    }
+}
+
+/// Multiplies two row-major `f32` matrices: `C[M×N] = A[M×K] · B[K×N]`.
+///
+/// The kernel is a straightforward blocked triple loop; it favours clarity and
+/// determinism over peak throughput, which is sufficient for the reference
+/// convolutions and the training experiments in this workspace.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+pub fn gemm_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(a.rank(), 2, "gemm_f32: A must be a matrix");
+    assert_eq!(b.rank(), 2, "gemm_f32: B must be a matrix");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, kb, "gemm_f32: inner dimensions disagree ({k} vs {kb})");
+
+    let mut c = vec![0.0_f32; m * n];
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    // i-k-j loop order: the innermost loop streams through a row of B and a row
+    // of C, which keeps accesses contiguous.
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let a_ik = a_s[i * k + kk];
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b_s[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += a_ik * bv;
+            }
+        }
+    }
+    Tensor::from_vec(c, &[m, n]).expect("gemm_f32 output shape")
+}
+
+/// Multiplies two row-major `i8` matrices accumulating in `i32`:
+/// `C[M×N] = A[M×K] · B[K×N]`.
+///
+/// This mirrors the integer datapath of the Cube Unit: int8 operands, int32
+/// accumulators, no saturation (the accumulator is wide enough for the layer
+/// sizes used in the paper: `K ≤ 2^15` keeps the result well inside `i32`).
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+pub fn gemm_i8_i32(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i32> {
+    assert_eq!(a.rank(), 2, "gemm_i8_i32: A must be a matrix");
+    assert_eq!(b.rank(), 2, "gemm_i8_i32: B must be a matrix");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, kb, "gemm_i8_i32: inner dimensions disagree ({k} vs {kb})");
+
+    let mut c = vec![0_i32; m * n];
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let a_ik = i32::from(a_s[i * k + kk]);
+            if a_ik == 0 {
+                continue;
+            }
+            let b_row = &b_s[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += a_ik * i32::from(bv);
+            }
+        }
+    }
+    Tensor::from_vec(c, &[m, n]).expect("gemm_i8_i32 output shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::<f32>::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at2(i, kk) * b.at2(kk, j);
+                }
+                c.set2(i, j, acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn identity_product() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let eye = Tensor::from_fn(&[3, 3], |i| if i % 4 == 0 { 1.0 } else { 0.0 });
+        let c = gemm_f32(&a, &eye);
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matches_naive_on_random_shapes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (8, 8, 8), (13, 7, 9)] {
+            let a = Tensor::from_fn(&[m, k], |_| rng.gen_range(-2.0_f32..2.0));
+            let b = Tensor::from_fn(&[k, n], |_| rng.gen_range(-2.0_f32..2.0));
+            let fast = gemm_f32(&a, &b);
+            let slow = naive_f32(&a, &b);
+            assert!(fast.max_abs_diff(&slow) < 1e-4, "mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn integer_gemm_exact() {
+        let a = Tensor::from_vec(vec![127_i8, -128, 1, 0, 5, -5], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![1_i8, 2, 3, 4, 5, 6], &[3, 2]).unwrap();
+        let c = gemm_i8_i32(&a, &b);
+        // Row 0: [127*1 + (-128)*3 + 1*5, 127*2 + (-128)*4 + 1*6]
+        assert_eq!(c.at2(0, 0), 127 - 384 + 5);
+        assert_eq!(c.at2(0, 1), 254 - 512 + 6);
+        // Row 1: [0 + 15 - 25, 0 + 20 - 30]
+        assert_eq!(c.at2(1, 0), -10);
+        assert_eq!(c.at2(1, 1), -10);
+    }
+
+    #[test]
+    fn integer_gemm_matches_f32_for_small_values() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let a_i: Tensor<i8> = Tensor::from_fn(&[6, 10], |_| rng.gen_range(-20_i32..20) as i8);
+        let b_i: Tensor<i8> = Tensor::from_fn(&[10, 4], |_| rng.gen_range(-20_i32..20) as i8);
+        let a_f = a_i.map(|v| f32::from(v));
+        let b_f = b_i.map(|v| f32::from(v));
+        let ci = gemm_i8_i32(&a_i, &b_i);
+        let cf = gemm_f32(&a_f, &b_f);
+        for (iv, fv) in ci.as_slice().iter().zip(cf.as_slice().iter()) {
+            assert_eq!(*iv as f32, *fv);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::<f32>::zeros(&[2, 3]);
+        let b = Tensor::<f32>::zeros(&[2, 3]);
+        let _ = gemm_f32(&a, &b);
+    }
+
+    #[test]
+    fn facade_methods() {
+        let a = Tensor::from_vec(vec![1_i8, 2, 3, 4], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1_i8, 0, 0, 1], &[2, 2]).unwrap();
+        let c = Gemm::i8(&a, &b);
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,169 @@
+//! im2col lowering of 2-D convolution to matrix multiplication.
+//!
+//! The baseline accelerator of the paper processes convolutions by lowering
+//! them with an im2col engine (MTE1) and feeding the resulting matrices to the
+//! Cube Unit. This module provides the same lowering in software, both as a
+//! second reference implementation for cross-validation and as the model of the
+//! baseline (`im2col`) kernel in the evaluation.
+
+use crate::conv::ConvParams;
+use crate::gemm::gemm_f32;
+use crate::tensor::Tensor;
+
+/// Lowers an NCHW input into the im2col matrix of shape
+/// `[N * H_out * W_out, C_in * K * K]`.
+///
+/// Each row contains the receptive field of one output pixel, laid out as
+/// `(c_in, ky, kx)` in row-major order, with zero padding materialised as
+/// explicit zeros.
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D.
+pub fn im2col(x: &Tensor<f32>, params: ConvParams) -> Tensor<f32> {
+    assert_eq!(x.rank(), 4, "im2col: input must be NCHW");
+    let (n, c_in, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (h_out, w_out) = params.output_hw(h, w);
+    let k = params.kernel;
+    let rows = n * h_out * w_out;
+    let cols = c_in * k * k;
+    let mut out = Tensor::<f32>::zeros(&[rows, cols]);
+
+    let pad = params.padding as isize;
+    let stride = params.stride as isize;
+    let mut row = 0usize;
+    for ni in 0..n {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let iy0 = oy as isize * stride - pad;
+                let ix0 = ox as isize * stride - pad;
+                let mut col = 0usize;
+                for ci in 0..c_in {
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                x.at4(ni, ci, iy as usize, ix as usize)
+                            } else {
+                                0.0
+                            };
+                            out.set2(row, col, v);
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Convolution computed as `im2col(x) · reshape(w)ᵀ`, returning NCHW output.
+///
+/// Produces results identical (up to FP32 rounding) to
+/// [`crate::conv::conv2d_direct`]; used both as a cross-check and as the
+/// functional model of the accelerator's baseline kernel.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes.
+pub fn conv2d_im2col(
+    x: &Tensor<f32>,
+    w: &Tensor<f32>,
+    bias: Option<&Tensor<f32>>,
+    params: ConvParams,
+) -> Tensor<f32> {
+    assert_eq!(w.rank(), 4, "conv2d_im2col: weights must be OIHW");
+    let (n, _c_in, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let c_out = w.dims()[0];
+    let k = params.kernel;
+    assert_eq!(w.dims()[2], k);
+    assert_eq!(w.dims()[3], k);
+    let (h_out, w_out) = params.output_hw(h, wd);
+
+    let lowered = im2col(x, params); // [N*H_out*W_out, C_in*K*K]
+    let cols = lowered.dims()[1];
+    // Weight matrix: [C_in*K*K, C_out]
+    let mut wmat = Tensor::<f32>::zeros(&[cols, c_out]);
+    for co in 0..c_out {
+        for ci in 0..w.dims()[1] {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let r = (ci * k + ky) * k + kx;
+                    wmat.set2(r, co, w.at4(co, ci, ky, kx));
+                }
+            }
+        }
+    }
+    let prod = gemm_f32(&lowered, &wmat); // [N*H_out*W_out, C_out]
+
+    let mut y = Tensor::<f32>::zeros(&[n, c_out, h_out, w_out]);
+    let mut row = 0usize;
+    for ni in 0..n {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                for co in 0..c_out {
+                    let mut v = prod.at2(row, co);
+                    if let Some(b) = bias {
+                        v += b.as_slice()[co];
+                    }
+                    y.set4(ni, co, oy, ox, v);
+                }
+                row += 1;
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d_direct;
+    use crate::init::normal;
+
+    #[test]
+    fn im2col_shape_and_padding_zeros() {
+        let x = Tensor::<f32>::filled(&[1, 2, 4, 4], 1.0);
+        let m = im2col(&x, ConvParams::same_3x3());
+        assert_eq!(m.dims(), &[16, 18]);
+        // The very first row corresponds to output pixel (0,0); its top-left
+        // taps fall in the padding and must be zero.
+        assert_eq!(m.at2(0, 0), 0.0);
+        assert_eq!(m.at2(0, 4), 1.0); // centre tap of channel 0
+    }
+
+    #[test]
+    fn matches_direct_convolution() {
+        let x = normal(&[2, 3, 7, 7], 0.0, 1.0, 11);
+        let w = normal(&[4, 3, 3, 3], 0.0, 0.5, 12);
+        let bias = normal(&[4], 0.0, 0.1, 13);
+        let p = ConvParams::same_3x3();
+        let a = conv2d_direct(&x, &w, Some(&bias), p);
+        let b = conv2d_im2col(&x, &w, Some(&bias), p);
+        assert!(a.max_abs_diff(&b) < 1e-4);
+    }
+
+    #[test]
+    fn matches_direct_for_strided_and_unpadded() {
+        let x = normal(&[1, 2, 9, 9], 0.0, 1.0, 21);
+        let w = normal(&[3, 2, 3, 3], 0.0, 1.0, 22);
+        for p in [ConvParams::new(3, 2, 1), ConvParams::new(3, 1, 0), ConvParams::new(1, 1, 0)] {
+            let w1 = if p.kernel == 1 { normal(&[3, 2, 1, 1], 0.0, 1.0, 23) } else { w.clone() };
+            let a = conv2d_direct(&x, &w1, None, p);
+            let b = conv2d_im2col(&x, &w1, None, p);
+            assert!(a.max_abs_diff(&b) < 1e-4, "mismatch for {p:?}");
+        }
+    }
+
+    #[test]
+    fn row_count_matches_output_pixels() {
+        let x = Tensor::<f32>::zeros(&[3, 1, 8, 6]);
+        let p = ConvParams::new(3, 2, 1);
+        let m = im2col(&x, p);
+        let (ho, wo) = p.output_hw(8, 6);
+        assert_eq!(m.dims()[0], 3 * ho * wo);
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic random tensor initialisation.
+//!
+//! All randomness in the workspace goes through seeded ChaCha generators so
+//! that every experiment in EXPERIMENTS.md is exactly reproducible.
+
+use crate::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Describes how to randomly initialise a tensor.
+///
+/// ```
+/// use wino_tensor::TensorInit;
+/// let t = TensorInit::Normal { mean: 0.0, std: 1.0 }.build(&[2, 2], 42);
+/// assert_eq!(t.dims(), &[2, 2]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TensorInit {
+    /// Independent Gaussian entries.
+    Normal {
+        /// Mean of the distribution.
+        mean: f32,
+        /// Standard deviation of the distribution.
+        std: f32,
+    },
+    /// Independent uniform entries in `[low, high)`.
+    Uniform {
+        /// Inclusive lower bound.
+        low: f32,
+        /// Exclusive upper bound.
+        high: f32,
+    },
+    /// Kaiming/He normal initialisation for convolution weights, using the
+    /// fan-in computed from an OIHW shape.
+    KaimingNormal,
+    /// Every element set to the same constant.
+    Constant(
+        /// The constant value.
+        f32,
+    ),
+}
+
+impl TensorInit {
+    /// Builds a tensor of the given dimensions with this initialisation and a
+    /// deterministic seed.
+    pub fn build(self, dims: &[usize], seed: u64) -> Tensor<f32> {
+        match self {
+            TensorInit::Normal { mean, std } => normal(dims, mean, std, seed),
+            TensorInit::Uniform { low, high } => uniform(dims, low, high, seed),
+            TensorInit::KaimingNormal => kaiming_normal(dims, seed),
+            TensorInit::Constant(v) => Tensor::filled(dims, v),
+        }
+    }
+}
+
+/// Samples a standard normal value with the Box–Muller transform.
+fn sample_normal(rng: &mut ChaCha8Rng) -> f32 {
+    // Box-Muller: avoids a dependency on rand_distr.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// A tensor with independent `N(mean, std²)` entries.
+pub fn normal(dims: &[usize], mean: f32, std: f32, seed: u64) -> Tensor<f32> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Tensor::from_fn(dims, |_| mean + std * sample_normal(&mut rng))
+}
+
+/// A tensor with independent uniform entries in `[low, high)`.
+///
+/// # Panics
+///
+/// Panics if `low >= high`.
+pub fn uniform(dims: &[usize], low: f32, high: f32, seed: u64) -> Tensor<f32> {
+    assert!(low < high, "uniform: low must be below high");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Tensor::from_fn(dims, |_| rng.gen_range(low..high))
+}
+
+/// Kaiming/He normal initialisation for OIHW convolution weights or `[out, in]`
+/// fully connected weights: `std = sqrt(2 / fan_in)`.
+pub fn kaiming_normal(dims: &[usize], seed: u64) -> Tensor<f32> {
+    let fan_in: usize = match dims.len() {
+        4 => dims[1] * dims[2] * dims[3],
+        2 => dims[1],
+        _ => dims.iter().skip(1).product::<usize>().max(1),
+    };
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(dims, 0.0, std, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_is_deterministic_and_roughly_centred() {
+        let a = normal(&[1000], 0.0, 1.0, 99);
+        let b = normal(&[1000], 0.0, 1.0, 99);
+        assert_eq!(a, b);
+        assert!(a.mean().abs() < 0.15);
+        assert!((a.std() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = normal(&[100], 0.0, 1.0, 1);
+        let b = normal(&[100], 0.0, 1.0, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform(&[500], -0.25, 0.75, 7);
+        for &v in t.as_slice() {
+            assert!((-0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let small_fan = kaiming_normal(&[16, 4, 3, 3], 5);
+        let large_fan = kaiming_normal(&[16, 256, 3, 3], 5);
+        assert!(small_fan.std() > large_fan.std());
+    }
+
+    #[test]
+    fn init_enum_builds_all_variants() {
+        for init in [
+            TensorInit::Normal { mean: 0.0, std: 1.0 },
+            TensorInit::Uniform { low: -1.0, high: 1.0 },
+            TensorInit::KaimingNormal,
+            TensorInit::Constant(0.5),
+        ] {
+            let t = init.build(&[4, 4], 3);
+            assert_eq!(t.len(), 16);
+        }
+        let c = TensorInit::Constant(2.0).build(&[3], 0);
+        assert_eq!(c.as_slice(), &[2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Dense tensor and reference CNN operator substrate.
+//!
+//! This crate provides the numerical foundation used by the rest of the
+//! workspace: an owned, contiguous, row-major [`Tensor`] container generic over
+//! its element type, 4-D NCHW convolution layers (direct and im2col + GEMM
+//! reference implementations), pooling, batch normalisation, fully connected
+//! layers and activation functions.
+//!
+//! The paper evaluates its quantization algorithm on PyTorch models; this crate
+//! plays the role of that substrate so that the Winograd and tap-wise
+//! quantization code in `wino-core` has a trusted reference convolution to be
+//! validated against.
+//!
+//! # Example
+//!
+//! ```
+//! use wino_tensor::{Tensor, ConvParams, conv2d_direct};
+//!
+//! # fn main() {
+//! let x = Tensor::<f32>::filled(&[1, 3, 8, 8], 1.0);
+//! let w = Tensor::<f32>::filled(&[4, 3, 3, 3], 0.5);
+//! let p = ConvParams::new(3, 1, 1);
+//! let y = conv2d_direct(&x, &w, None, p);
+//! assert_eq!(y.dims(), &[1, 4, 8, 8]);
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activation;
+pub mod conv;
+pub mod gemm;
+pub mod im2col;
+pub mod init;
+pub mod linear;
+pub mod norm;
+pub mod pool;
+pub mod shape;
+pub mod tensor;
+
+pub use activation::{relu, relu_inplace, softmax_rows};
+pub use conv::{conv2d_direct, conv2d_direct_i8, ConvParams};
+pub use gemm::{gemm_f32, gemm_i8_i32, Gemm};
+pub use im2col::{conv2d_im2col, im2col};
+pub use init::{kaiming_normal, normal, uniform, TensorInit};
+pub use linear::linear_forward;
+pub use norm::BatchNorm2d;
+pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};
+pub use shape::{conv_output_hw, Shape4};
+pub use tensor::{Element, Tensor, TensorError};

@@ -1,0 +1,76 @@
+//! Fully connected (linear) layer forward pass.
+
+use crate::gemm::gemm_f32;
+use crate::tensor::Tensor;
+
+/// Computes `y = x · Wᵀ + b` for a batch of feature vectors.
+///
+/// `x` has shape `[batch, in_features]`, `w` has shape
+/// `[out_features, in_features]` and the optional bias has `out_features`
+/// entries. Returns `[batch, out_features]`.
+///
+/// # Panics
+///
+/// Panics on mismatched shapes.
+pub fn linear_forward(x: &Tensor<f32>, w: &Tensor<f32>, bias: Option<&Tensor<f32>>) -> Tensor<f32> {
+    assert_eq!(x.rank(), 2, "linear_forward: input must be [batch, features]");
+    assert_eq!(w.rank(), 2, "linear_forward: weight must be [out, in]");
+    let (batch, in_f) = (x.dims()[0], x.dims()[1]);
+    let (out_f, in_w) = (w.dims()[0], w.dims()[1]);
+    assert_eq!(in_f, in_w, "linear_forward: feature mismatch ({in_f} vs {in_w})");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_f, "linear_forward: bias length mismatch");
+    }
+
+    // Transpose W once so the GEMM kernel can stream rows.
+    let mut wt = Tensor::<f32>::zeros(&[in_f, out_f]);
+    for o in 0..out_f {
+        for i in 0..in_f {
+            wt.set2(i, o, w.at2(o, i));
+        }
+    }
+    let mut y = gemm_f32(x, &wt);
+    if let Some(b) = bias {
+        for r in 0..batch {
+            for o in 0..out_f {
+                let v = y.at2(r, o) + b.as_slice()[o];
+                y.set2(r, o, v);
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_manual_computation() {
+        let x = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let w = Tensor::from_vec(vec![1.0_f32, 0.0, -1.0, 2.0, 0.5, 0.5], &[3, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0_f32, 1.0, -1.0], &[3]).unwrap();
+        let y = linear_forward(&x, &w, Some(&b));
+        assert_eq!(y.dims(), &[2, 3]);
+        // Row 0: [1*1+2*0, -1*1+2*2+1, 0.5*1+0.5*2-1] = [1, 4, 0.5]
+        assert!((y.at2(0, 0) - 1.0).abs() < 1e-6);
+        assert!((y.at2(0, 1) - 4.0).abs() < 1e-6);
+        assert!((y.at2(0, 2) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_bias_is_pure_matmul() {
+        let x = Tensor::from_vec(vec![2.0_f32, 0.0], &[1, 2]).unwrap();
+        let w = Tensor::from_vec(vec![3.0_f32, 1.0], &[1, 2]).unwrap();
+        let y = linear_forward(&x, &w, None);
+        assert_eq!(y.at2(0, 0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn feature_mismatch_panics() {
+        let x = Tensor::<f32>::zeros(&[1, 3]);
+        let w = Tensor::<f32>::zeros(&[2, 4]);
+        let _ = linear_forward(&x, &w, None);
+    }
+}

@@ -1,0 +1,207 @@
+//! Batch normalisation.
+//!
+//! The evaluation networks (ResNets, VGG-nagadomi with the paper's
+//! dropout→batch-norm substitution) interleave 3×3 convolutions with batch
+//! normalisation, so the training substrate needs a faithful implementation
+//! with both training-time batch statistics and inference-time running
+//! statistics.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Per-channel batch normalisation over NCHW tensors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    /// Learnable per-channel scale (gamma).
+    pub gamma: Vec<f32>,
+    /// Learnable per-channel shift (beta).
+    pub beta: Vec<f32>,
+    /// Running mean used at inference time.
+    pub running_mean: Vec<f32>,
+    /// Running variance used at inference time.
+    pub running_var: Vec<f32>,
+    /// Exponential-moving-average momentum for the running statistics.
+    pub momentum: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+/// Batch statistics captured by a training-mode forward pass, needed by the
+/// backward pass of the training substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNormStats {
+    /// Per-channel batch mean.
+    pub mean: Vec<f32>,
+    /// Per-channel batch variance (population).
+    pub var: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels with unit gamma,
+    /// zero beta, and identity running statistics.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Number of channels this layer normalises.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Inference-mode forward pass using the running statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count of `x` differs from the layer.
+    pub fn forward_inference(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(x.rank(), 4, "BatchNorm2d: input must be NCHW");
+        assert_eq!(x.dims()[1], self.channels(), "BatchNorm2d: channel mismatch");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let mut y = Tensor::<f32>::zeros(x.dims());
+        for ci in 0..c {
+            let inv_std = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+            let g = self.gamma[ci] * inv_std;
+            let b = self.beta[ci] - self.running_mean[ci] * g;
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        y.set4(ni, ci, hi, wi, x.at4(ni, ci, hi, wi) * g + b);
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Training-mode forward pass: normalises with batch statistics, updates
+    /// the running statistics, and returns the statistics for use by backprop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count of `x` differs from the layer.
+    pub fn forward_train(&mut self, x: &Tensor<f32>) -> (Tensor<f32>, BatchNormStats) {
+        assert_eq!(x.rank(), 4, "BatchNorm2d: input must be NCHW");
+        assert_eq!(x.dims()[1], self.channels(), "BatchNorm2d: channel mismatch");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let count = (n * h * w).max(1) as f32;
+        let mut mean = vec![0.0_f32; c];
+        let mut var = vec![0.0_f32; c];
+        for ci in 0..c {
+            let mut m = 0.0;
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        m += x.at4(ni, ci, hi, wi);
+                    }
+                }
+            }
+            m /= count;
+            let mut v = 0.0;
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let d = x.at4(ni, ci, hi, wi) - m;
+                        v += d * d;
+                    }
+                }
+            }
+            v /= count;
+            mean[ci] = m;
+            var[ci] = v;
+            self.running_mean[ci] =
+                (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * m;
+            self.running_var[ci] = (1.0 - self.momentum) * self.running_var[ci] + self.momentum * v;
+        }
+        let mut y = Tensor::<f32>::zeros(x.dims());
+        for ci in 0..c {
+            let inv_std = 1.0 / (var[ci] + self.eps).sqrt();
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let norm = (x.at4(ni, ci, hi, wi) - mean[ci]) * inv_std;
+                        y.set4(ni, ci, hi, wi, norm * self.gamma[ci] + self.beta[ci]);
+                    }
+                }
+            }
+        }
+        (y, BatchNormStats { mean, var })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::normal;
+
+    #[test]
+    fn training_forward_normalises_each_channel() {
+        let x = normal(&[4, 3, 8, 8], 5.0, 2.0, 17);
+        let mut bn = BatchNorm2d::new(3);
+        let (y, stats) = bn.forward_train(&x);
+        // Per-channel mean of the output should be ~0 and std ~1.
+        let (n, c, h, w) = (4, 3, 8, 8);
+        for ci in 0..c {
+            let mut m = 0.0;
+            let mut v = 0.0;
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        m += y.at4(ni, ci, hi, wi);
+                    }
+                }
+            }
+            m /= (n * h * w) as f32;
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let d = y.at4(ni, ci, hi, wi) - m;
+                        v += d * d;
+                    }
+                }
+            }
+            v /= (n * h * w) as f32;
+            assert!(m.abs() < 1e-3, "mean {m} not ~0");
+            assert!((v - 1.0).abs() < 1e-2, "var {v} not ~1");
+            assert!(stats.mean[ci] > 4.0 && stats.mean[ci] < 6.0);
+        }
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let x = normal(&[8, 2, 4, 4], 3.0, 1.0, 23);
+        let mut bn = BatchNorm2d::new(2);
+        for _ in 0..50 {
+            let _ = bn.forward_train(&x);
+        }
+        for ci in 0..2 {
+            assert!((bn.running_mean[ci] - 3.0).abs() < 0.3);
+        }
+    }
+
+    #[test]
+    fn inference_with_identity_stats_applies_affine_only() {
+        let x = normal(&[1, 2, 3, 3], 0.0, 1.0, 31);
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma = vec![2.0, 0.5];
+        bn.beta = vec![1.0, -1.0];
+        let y = bn.forward_inference(&x);
+        // running_mean=0, running_var=1 => y = gamma*x + beta (up to eps).
+        let expected0 = x.at4(0, 0, 1, 1) * 2.0 / (1.0_f32 + 1e-5).sqrt() + 1.0;
+        assert!((y.at4(0, 0, 1, 1) - expected0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let x = Tensor::<f32>::zeros(&[1, 3, 2, 2]);
+        let bn = BatchNorm2d::new(2);
+        let _ = bn.forward_inference(&x);
+    }
+}

@@ -1,0 +1,148 @@
+//! Spatial pooling operators.
+
+use crate::shape::conv_output_hw;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling over an NCHW tensor with a square window.
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D or the geometry is invalid.
+pub fn max_pool2d(x: &Tensor<f32>, kernel: usize, stride: usize, padding: usize) -> Tensor<f32> {
+    pool2d(x, kernel, stride, padding, PoolKind::Max)
+}
+
+/// 2-D average pooling over an NCHW tensor with a square window.
+///
+/// Padding positions contribute zeros and are included in the divisor, matching
+/// the `count_include_pad = true` convention.
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D or the geometry is invalid.
+pub fn avg_pool2d(x: &Tensor<f32>, kernel: usize, stride: usize, padding: usize) -> Tensor<f32> {
+    pool2d(x, kernel, stride, padding, PoolKind::Avg)
+}
+
+/// Global average pooling: collapses the spatial dimensions to 1×1.
+pub fn global_avg_pool(x: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(x.rank(), 4, "global_avg_pool: input must be NCHW");
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let mut y = Tensor::<f32>::zeros(&[n, c, 1, 1]);
+    let denom = (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let mut acc = 0.0;
+            for hi in 0..h {
+                for wi in 0..w {
+                    acc += x.at4(ni, ci, hi, wi);
+                }
+            }
+            y.set4(ni, ci, 0, 0, acc / denom);
+        }
+    }
+    y
+}
+
+#[derive(Clone, Copy)]
+enum PoolKind {
+    Max,
+    Avg,
+}
+
+fn pool2d(
+    x: &Tensor<f32>,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    kind: PoolKind,
+) -> Tensor<f32> {
+    assert_eq!(x.rank(), 4, "pool2d: input must be NCHW");
+    assert!(kernel > 0 && stride > 0, "pool2d: kernel and stride must be positive");
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let h_out = conv_output_hw(h, kernel, stride, padding);
+    let w_out = conv_output_hw(w, kernel, stride, padding);
+    let mut y = Tensor::<f32>::zeros(&[n, c, h_out, w_out]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let iy0 = (oy * stride) as isize - padding as isize;
+                    let ix0 = (ox * stride) as isize - padding as isize;
+                    let mut acc = match kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let iy = iy0 + ky as isize;
+                            let ix = ix0 + kx as isize;
+                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                x.at4(ni, ci, iy as usize, ix as usize)
+                            } else {
+                                0.0
+                            };
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                        }
+                    }
+                    if let PoolKind::Avg = kind {
+                        acc /= (kernel * kernel) as f32;
+                    }
+                    y.set4(ni, ci, oy, ox, acc);
+                }
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let y = max_pool2d(&x, 2, 2, 0);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.at4(0, 0, 0, 0), 5.0);
+        assert_eq!(y.at4(0, 0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let x = Tensor::<f32>::filled(&[1, 2, 4, 4], 2.0);
+        let y = avg_pool2d(&x, 2, 2, 0);
+        assert_eq!(y.dims(), &[1, 2, 2, 2]);
+        for &v in y.as_slice() {
+            assert!((v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_spatial() {
+        let x = Tensor::from_fn(&[2, 3, 4, 4], |i| (i % 16) as f32);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.dims(), &[2, 3, 1, 1]);
+        assert!((y.at4(0, 0, 0, 0) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn padded_max_pool_keeps_resolution() {
+        let x = Tensor::<f32>::filled(&[1, 1, 5, 5], 1.0);
+        let y = max_pool2d(&x, 3, 1, 1);
+        assert_eq!(y.dims(), &[1, 1, 5, 5]);
+        assert_eq!(y.at4(0, 0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn stride2_pool_matches_resnet_stem_shape() {
+        // ResNet stem: 112x112 -> 3x3/2 max pool -> 56x56.
+        let x = Tensor::<f32>::zeros(&[1, 4, 112, 112]);
+        let y = max_pool2d(&x, 3, 2, 1);
+        assert_eq!(y.dims(), &[1, 4, 56, 56]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Shape helpers for NCHW tensors and convolution geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// A four-dimensional NCHW shape.
+///
+/// The reproduction follows the paper's convention of batch (`n`), channels
+/// (`c`), height (`h`) and width (`w`).
+///
+/// ```
+/// use wino_tensor::Shape4;
+/// let s = Shape4::new(2, 64, 56, 56);
+/// assert_eq!(s.len(), 2 * 64 * 56 * 56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape4 {
+    /// Batch size.
+    pub n: usize,
+    /// Number of channels.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a new NCHW shape.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear (row-major NCHW) offset of element `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any index is out of bounds.
+    #[inline]
+    pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// The shape as a `[n, c, h, w]` slice-compatible array.
+    pub fn dims(&self) -> [usize; 4] {
+        [self.n, self.c, self.h, self.w]
+    }
+}
+
+impl From<[usize; 4]> for Shape4 {
+    fn from(d: [usize; 4]) -> Self {
+        Shape4::new(d[0], d[1], d[2], d[3])
+    }
+}
+
+impl std::fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Computes the output spatial size of a convolution along one dimension.
+///
+/// `size` is the input spatial extent, `kernel` the kernel extent, `stride`
+/// the stride and `padding` the symmetric zero padding.
+///
+/// ```
+/// use wino_tensor::conv_output_hw;
+/// // 3x3 stride-1 "same" convolution keeps the resolution.
+/// assert_eq!(conv_output_hw(56, 3, 1, 1), 56);
+/// // 3x3 stride-2 halves it.
+/// assert_eq!(conv_output_hw(56, 3, 2, 1), 28);
+/// ```
+pub fn conv_output_hw(size: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        size + 2 * padding >= kernel,
+        "input ({size}) plus padding ({padding}) smaller than kernel ({kernel})"
+    );
+    (size + 2 * padding - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_len_and_offset() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.offset(0, 0, 0, 0), 0);
+        assert_eq!(s.offset(0, 0, 0, 4), 4);
+        assert_eq!(s.offset(0, 0, 1, 0), 5);
+        assert_eq!(s.offset(0, 1, 0, 0), 20);
+        assert_eq!(s.offset(1, 0, 0, 0), 60);
+        assert_eq!(s.offset(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn shape_display_and_from() {
+        let s = Shape4::from([1, 2, 3, 4]);
+        assert_eq!(format!("{s}"), "[1, 2, 3, 4]");
+        assert_eq!(s.dims(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn conv_output_sizes() {
+        assert_eq!(conv_output_hw(224, 7, 2, 3), 112);
+        assert_eq!(conv_output_hw(32, 3, 1, 1), 32);
+        assert_eq!(conv_output_hw(32, 1, 1, 0), 32);
+        assert_eq!(conv_output_hw(8, 3, 1, 0), 6);
+        assert_eq!(conv_output_hw(7, 3, 2, 1), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn conv_output_too_small_panics() {
+        conv_output_hw(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn empty_shape() {
+        let s = Shape4::new(0, 3, 4, 5);
+        assert!(s.is_empty());
+    }
+}

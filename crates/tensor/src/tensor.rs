@@ -1,0 +1,420 @@
+//! The owned, contiguous, row-major tensor container.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Elements that can be stored in a [`Tensor`].
+///
+/// The trait is sealed in spirit: it is implemented for the numeric types the
+/// reproduction needs (`f32`, `f64`, `i8`, `i16`, `i32`, `i64`, `u8`) and new
+/// implementations outside this crate are not expected.
+pub trait Element: Copy + Clone + PartialEq + fmt::Debug + Default + Send + Sync + 'static {}
+
+impl Element for f32 {}
+impl Element for f64 {}
+impl Element for i8 {}
+impl Element for i16 {}
+impl Element for i32 {}
+impl Element for i64 {}
+impl Element for u8 {}
+
+/// Errors produced by tensor construction and reshaping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the dimensions.
+    LengthMismatch {
+        /// Expected number of elements (product of dims).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A reshape was requested to a shape with a different number of elements.
+    ReshapeMismatch {
+        /// Number of elements in the tensor.
+        len: usize,
+        /// Number of elements implied by the requested shape.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ReshapeMismatch { len, requested } => {
+                write!(f, "cannot reshape tensor of {len} elements into {requested} elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// An owned, contiguous, row-major n-dimensional array.
+///
+/// The tensor is deliberately simple: it stores a `Vec<T>` plus its dimensions
+/// and exposes just the indexing and elementwise helpers that the Winograd and
+/// simulator crates need. Most of the workspace uses 2-D (matrices) and 4-D
+/// (NCHW feature maps / OIHW weights) tensors.
+///
+/// ```
+/// use wino_tensor::Tensor;
+/// let t = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+/// assert_eq!(t.at2(1, 2), 6.0);
+/// assert_eq!(t.dims(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T: Element> {
+    data: Vec<T>,
+    dims: Vec<usize>,
+}
+
+impl<T: Element> Tensor<T> {
+    /// Creates a tensor filled with `T::default()` (zero for all numeric types).
+    pub fn zeros(dims: &[usize]) -> Self {
+        let len = dims.iter().product();
+        Self { data: vec![T::default(); len], dims: dims.to_vec() }
+    }
+
+    /// Creates a tensor filled with the provided value.
+    pub fn filled(dims: &[usize], value: T) -> Self {
+        let len = dims.iter().product();
+        Self { data: vec![value; len], dims: dims.to_vec() }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` is not the
+    /// product of `dims`.
+    pub fn from_vec(data: Vec<T>, dims: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = dims.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch { expected, actual: data.len() });
+        }
+        Ok(Self { data, dims: dims.to_vec() })
+    }
+
+    /// Builds a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> T) -> Self {
+        let len: usize = dims.iter().product();
+        let data = (0..len).map(&mut f).collect();
+        Self { data, dims: dims.to_vec() }
+    }
+
+    /// The dimensions of the tensor.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage in row-major order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Returns a tensor with the same data but new dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self, TensorError> {
+        let requested: usize = dims.iter().product();
+        if requested != self.data.len() {
+            return Err(TensorError::ReshapeMismatch { len: self.data.len(), requested });
+        }
+        Ok(Self { data: self.data.clone(), dims: dims.to_vec() })
+    }
+
+    /// Row-major flat offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank does not match the tensor rank or any index is
+    /// out of bounds.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0usize;
+        for (i, (&idx, &dim)) in index.iter().zip(self.dims.iter()).enumerate() {
+            assert!(idx < dim, "index {idx} out of bounds for dim {i} (size {dim})");
+            off = off * dim + idx;
+        }
+        off
+    }
+
+    /// Element at a general multi-dimensional index.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> T {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets the element at a general multi-dimensional index.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], value: T) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Element of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D (debug) or the indices are out of bounds.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> T {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[r * self.dims[1] + c]
+    }
+
+    /// Sets an element of a 2-D tensor.
+    #[inline]
+    pub fn set2(&mut self, r: usize, c: usize, value: T) {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[r * self.dims[1] + c] = value;
+    }
+
+    /// Element of a 4-D tensor at `(n, c, h, w)`.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> T {
+        debug_assert_eq!(self.rank(), 4);
+        let (cn, ch, cw) = (self.dims[1], self.dims[2], self.dims[3]);
+        self.data[((n * cn + c) * ch + h) * cw + w]
+    }
+
+    /// Sets an element of a 4-D tensor at `(n, c, h, w)`.
+    #[inline]
+    pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, value: T) {
+        debug_assert_eq!(self.rank(), 4);
+        let (cn, ch, cw) = (self.dims[1], self.dims[2], self.dims[3]);
+        self.data[((n * cn + c) * ch + h) * cw + w] = value;
+    }
+
+    /// Applies `f` to every element and returns a new tensor of a possibly
+    /// different element type.
+    pub fn map<U: Element>(&self, mut f: impl FnMut(T) -> U) -> Tensor<U> {
+        Tensor { data: self.data.iter().copied().map(&mut f).collect(), dims: self.dims.clone() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(T) -> T) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two tensors of identical shape elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map<U: Element, V: Element>(
+        &self,
+        other: &Tensor<U>,
+        mut f: impl FnMut(T, U) -> V,
+    ) -> Tensor<V> {
+        assert_eq!(self.dims, other.dims, "zip_map shape mismatch");
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .copied()
+                .zip(other.data.iter().copied())
+                .map(|(a, b)| f(a, b))
+                .collect(),
+            dims: self.dims.clone(),
+        }
+    }
+}
+
+impl Tensor<f32> {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; zero for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute value; zero for empty tensors.
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Standard deviation (population) of all elements.
+    pub fn std(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+            / self.data.len() as f32;
+        var.sqrt()
+    }
+
+    /// Elementwise addition. Panics if shapes differ.
+    pub fn add(&self, other: &Tensor<f32>) -> Tensor<f32> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction. Panics if shapes differ.
+    pub fn sub(&self, other: &Tensor<f32>) -> Tensor<f32> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication. Panics if shapes differ.
+    pub fn mul(&self, other: &Tensor<f32>) -> Tensor<f32> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor<f32> {
+        self.map(|v| v * s)
+    }
+
+    /// Maximum absolute elementwise difference between two tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor<f32>) -> f32 {
+        assert_eq!(self.dims, other.dims, "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f32, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Relative Frobenius-norm error `|self - other| / |other|`.
+    ///
+    /// Returns the absolute norm of `self` when `other` is (numerically) zero.
+    pub fn relative_error(&self, other: &Tensor<f32>) -> f32 {
+        assert_eq!(self.dims, other.dims, "relative_error shape mismatch");
+        let mut num = 0.0_f64;
+        let mut den = 0.0_f64;
+        for (&a, &b) in self.data.iter().zip(other.data.iter()) {
+            num += f64::from(a - b) * f64::from(a - b);
+            den += f64::from(b) * f64::from(b);
+        }
+        if den <= f64::EPSILON {
+            return num.sqrt() as f32;
+        }
+        (num.sqrt() / den.sqrt()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        assert_eq!(t.rank(), 4);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(t.at4(1, 2, 1, 1), 23.0);
+        assert_eq!(t.at(&[1, 0, 1, 0]), 14.0);
+    }
+
+    #[test]
+    fn from_vec_length_mismatch() {
+        let err = Tensor::from_vec(vec![1.0_f32; 5], &[2, 3]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 6, actual: 5 });
+        assert!(format!("{err}").contains("does not match"));
+    }
+
+    #[test]
+    fn reshape_checks_volume() {
+        let t = Tensor::<f32>::zeros(&[2, 6]);
+        assert!(t.reshape(&[3, 4]).is_ok());
+        assert!(t.reshape(&[5, 2]).is_err());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut t = Tensor::<i32>::zeros(&[3, 3]);
+        t.set2(2, 1, 7);
+        t.set(&[0, 0], -1);
+        assert_eq!(t.at2(2, 1), 7);
+        assert_eq!(t.at2(0, 0), -1);
+    }
+
+    #[test]
+    fn map_and_zip_map_change_type() {
+        let t = Tensor::from_vec(vec![1.5_f32, -2.5, 3.0, 0.0], &[2, 2]).unwrap();
+        let q: Tensor<i8> = t.map(|v| v.round() as i8);
+        // `f32::round` rounds half away from zero, so -2.5 becomes -3.
+        assert_eq!(q.as_slice(), &[2, -3, 3, 0]);
+        let back = q.zip_map(&t, |a, b| f32::from(a) - b);
+        assert!((back.at2(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn statistics() {
+        let t = Tensor::from_vec(vec![1.0_f32, -3.0, 2.0, 0.0], &[4]).unwrap();
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.abs_max(), 3.0);
+        assert!(t.std() > 0.0);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0_f32, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0_f32, 2.0, 4.0], &[3]).unwrap();
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+        assert!(a.relative_error(&a) < 1e-9);
+        assert!(a.relative_error(&b) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let t = Tensor::<f32>::zeros(&[2, 2]);
+        let _ = t.at(&[2, 0]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property-based tests of the tensor substrate.
+
+use proptest::prelude::*;
+use wino_tensor::{conv2d_direct, conv2d_im2col, gemm_f32, normal, ConvParams, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The im2col + GEMM path computes the same convolution as the direct path
+    /// for arbitrary (small) shapes and parameters.
+    #[test]
+    fn im2col_equals_direct(
+        n in 1usize..3,
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        hw in 3usize..9,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hw + 2 * padding >= 3);
+        let x = normal(&[n, c_in, hw, hw], 0.0, 1.0, seed);
+        let w = normal(&[c_out, c_in, 3, 3], 0.0, 0.5, seed + 1);
+        let p = ConvParams::new(3, stride, padding);
+        let a = conv2d_direct(&x, &w, None, p);
+        let b = conv2d_im2col(&x, &w, None, p);
+        prop_assert!(a.max_abs_diff(&b) < 1e-3);
+    }
+
+    /// Matrix multiplication is associative with the identity and distributes
+    /// over addition (within FP32 tolerance).
+    #[test]
+    fn gemm_distributes_over_addition(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+        let a = normal(&[m, k], 0.0, 1.0, seed);
+        let b = normal(&[k, n], 0.0, 1.0, seed + 1);
+        let c = normal(&[k, n], 0.0, 1.0, seed + 2);
+        let left = gemm_f32(&a, &b.add(&c));
+        let right = gemm_f32(&a, &b).add(&gemm_f32(&a, &c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    /// Reshape preserves the element sequence, and a round trip restores the
+    /// original dimensions.
+    #[test]
+    fn reshape_round_trip(rows in 1usize..12, cols in 1usize..12) {
+        let t = Tensor::from_fn(&[rows, cols], |i| i as f32);
+        let flat = t.reshape(&[rows * cols]).unwrap();
+        prop_assert_eq!(flat.as_slice(), t.as_slice());
+        let back = flat.reshape(&[rows, cols]).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,196 @@
+//! Procedurally generated image-classification dataset.
+//!
+//! The paper trains on CIFAR-10 and ImageNet. Those datasets (and the
+//! pre-trained Torchvision checkpoints) are not available here, so the
+//! accuracy-trend experiments run on a synthetic task with the same structure:
+//! small RGB images, ten classes, and enough intra-class variation (random
+//! phase, position, noise) that a CNN has to learn non-trivial features. The
+//! relative behaviour of the quantization schemes — which is what Tables II
+//! and III compare — is preserved; absolute accuracies are not comparable to
+//! ImageNet numbers (see DESIGN.md §3).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wino_tensor::Tensor;
+
+/// A labelled set of NCHW images.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Images, `[count, 3, size, size]`.
+    pub images: Tensor<f32>,
+    /// Class labels in `0..classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Copies a contiguous batch `[start, start + size)` (clamped to the end)
+    /// into a new tensor plus label vector.
+    pub fn batch(&self, start: usize, size: usize) -> (Tensor<f32>, Vec<usize>) {
+        let end = (start + size).min(self.len());
+        assert!(start < end, "batch out of range");
+        let (c, h, w) = (self.images.dims()[1], self.images.dims()[2], self.images.dims()[3]);
+        let count = end - start;
+        let plane = c * h * w;
+        let mut data = Vec::with_capacity(count * plane);
+        data.extend_from_slice(&self.images.as_slice()[start * plane..end * plane]);
+        (
+            Tensor::from_vec(data, &[count, c, h, w]).expect("batch shape"),
+            self.labels[start..end].to_vec(),
+        )
+    }
+}
+
+/// Generator of the synthetic ten-class image task.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticImageTask {
+    /// Spatial edge length of the square images.
+    pub size: usize,
+    /// Number of classes (at most 10).
+    pub classes: usize,
+    /// Standard deviation of the additive Gaussian pixel noise.
+    pub noise: f32,
+}
+
+impl Default for SyntheticImageTask {
+    fn default() -> Self {
+        Self { size: 12, classes: 10, noise: 0.25 }
+    }
+}
+
+impl SyntheticImageTask {
+    /// Generates `count` labelled images with a deterministic seed.
+    ///
+    /// Each class is a distinct spatial pattern family (oriented stripes of
+    /// several frequencies, checkerboards, radial blobs, corner gradients)
+    /// modulated per-sample by a random phase, amplitude and channel mix, plus
+    /// additive noise.
+    pub fn generate(&self, count: usize, seed: u64) -> Dataset {
+        assert!(self.classes >= 2 && self.classes <= 10, "classes must be in 2..=10");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (s, c) = (self.size, 3usize);
+        let mut images = Tensor::<f32>::zeros(&[count, c, s, s]);
+        let mut labels = Vec::with_capacity(count);
+        for n in 0..count {
+            let label = rng.gen_range(0..self.classes);
+            labels.push(label);
+            let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            let amp: f32 = rng.gen_range(0.7..1.3);
+            let cx: f32 = rng.gen_range(0.25..0.75) * s as f32;
+            let cy: f32 = rng.gen_range(0.25..0.75) * s as f32;
+            let channel_mix: [f32; 3] =
+                [rng.gen_range(0.5..1.0), rng.gen_range(0.5..1.0), rng.gen_range(0.5..1.0)];
+            for ch in 0..c {
+                for y in 0..s {
+                    for x in 0..s {
+                        let (xf, yf) = (x as f32, y as f32);
+                        let v = match label {
+                            // Horizontal / vertical / diagonal stripes at two frequencies.
+                            0 => (0.6 * xf + phase).sin(),
+                            1 => (0.6 * yf + phase).sin(),
+                            2 => (0.45 * (xf + yf) + phase).sin(),
+                            3 => (0.45 * (xf - yf) + phase).sin(),
+                            4 => (1.2 * xf + phase).sin(),
+                            // Checkerboard.
+                            5 => {
+                                if ((x / 2) + (y / 2)) % 2 == 0 {
+                                    1.0
+                                } else {
+                                    -1.0
+                                }
+                            }
+                            // Radial blob / ring around a random centre.
+                            6 => {
+                                let d = ((xf - cx).powi(2) + (yf - cy).powi(2)).sqrt();
+                                (-d * d / (0.12 * (s * s) as f32)).exp() * 2.0 - 1.0
+                            }
+                            7 => {
+                                let d = ((xf - cx).powi(2) + (yf - cy).powi(2)).sqrt();
+                                (0.9 * d + phase).sin()
+                            }
+                            // Corner gradients.
+                            8 => 2.0 * (xf * yf) / ((s * s) as f32) - 1.0,
+                            _ => 2.0 * ((s as f32 - xf) * yf) / ((s * s) as f32) - 1.0,
+                        };
+                        let noise = self.noise * sample_normal(&mut rng);
+                        images.set4(n, ch, y, x, amp * channel_mix[ch] * v + noise);
+                    }
+                }
+            }
+        }
+        Dataset { images, labels, classes: self.classes }
+    }
+}
+
+fn sample_normal(rng: &mut ChaCha8Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape_and_labels() {
+        let task = SyntheticImageTask { size: 8, classes: 10, noise: 0.1 };
+        let d = task.generate(50, 1);
+        assert_eq!(d.images.dims(), &[50, 3, 8, 8]);
+        assert_eq!(d.len(), 50);
+        assert!(d.labels.iter().all(|&l| l < 10));
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let task = SyntheticImageTask::default();
+        let a = task.generate(10, 7);
+        let b = task.generate(10, 7);
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.labels, b.labels);
+        let c = task.generate(10, 8);
+        assert_ne!(a.labels, c.labels);
+    }
+
+    #[test]
+    fn all_classes_appear_in_a_large_sample() {
+        let task = SyntheticImageTask::default();
+        let d = task.generate(500, 3);
+        for class in 0..10 {
+            assert!(d.labels.iter().any(|&l| l == class), "class {class} missing");
+        }
+    }
+
+    #[test]
+    fn batching_slices_images_and_labels_consistently() {
+        let task = SyntheticImageTask { size: 6, classes: 4, noise: 0.0 };
+        let d = task.generate(20, 5);
+        let (imgs, labels) = d.batch(4, 8);
+        assert_eq!(imgs.dims(), &[8, 3, 6, 6]);
+        assert_eq!(labels, d.labels[4..12].to_vec());
+        assert_eq!(imgs.at4(0, 0, 0, 0), d.images.at4(4, 0, 0, 0));
+        // Clamped final batch.
+        let (tail, tl) = d.batch(16, 8);
+        assert_eq!(tail.dims()[0], 4);
+        assert_eq!(tl.len(), 4);
+    }
+
+    #[test]
+    fn pixel_values_are_bounded() {
+        let task = SyntheticImageTask { size: 10, classes: 10, noise: 0.2 };
+        let d = task.generate(100, 11);
+        assert!(d.images.abs_max() < 6.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Knowledge distillation (Section III-B).
+//!
+//! The quantized Winograd network (student) is trained to match the FP32
+//! baseline (teacher) with the Kullback–Leibler divergence between tempered
+//! softmax distributions, combined with the ordinary cross-entropy on the hard
+//! labels.
+
+use crate::loss::{cross_entropy, softmax_cross_entropy_backward};
+use wino_tensor::{softmax_rows, Tensor};
+
+/// Value and gradient (w.r.t. the student logits) of the combined
+/// distillation loss:
+///
+/// `L = α · T² · KL(softmax(teacher/T) ‖ softmax(student/T)) + (1−α) · CE(student, labels)`
+///
+/// The `T²` factor keeps the gradient magnitude comparable across temperatures
+/// (Hinton et al.), and the KL gradient w.r.t. the student logits is
+/// `T · (softmax(student/T) − softmax(teacher/T))` per sample (scaled by
+/// `α·T²/T = α·T` and divided by the batch size).
+///
+/// # Panics
+///
+/// Panics on shape mismatches or invalid `alpha`/`temperature`.
+pub fn distillation_loss(
+    student_logits: &Tensor<f32>,
+    teacher_logits: &Tensor<f32>,
+    labels: &[usize],
+    temperature: f32,
+    alpha: f32,
+) -> (f32, Tensor<f32>) {
+    assert_eq!(student_logits.dims(), teacher_logits.dims(), "logit shape mismatch");
+    assert!(temperature > 0.0, "temperature must be positive");
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    let batch = student_logits.dims()[0];
+    assert_eq!(batch, labels.len(), "batch mismatch");
+    let classes = student_logits.dims()[1];
+
+    let p_teacher = softmax_rows(teacher_logits, temperature);
+    let p_student = softmax_rows(student_logits, temperature);
+
+    // KL(teacher || student) averaged over the batch.
+    let mut kl = 0.0_f32;
+    for r in 0..batch {
+        for c in 0..classes {
+            let pt = p_teacher.at2(r, c).max(1e-12);
+            let ps = p_student.at2(r, c).max(1e-12);
+            kl += pt * (pt / ps).ln();
+        }
+    }
+    kl /= batch as f32;
+
+    let ce = cross_entropy(student_logits, labels);
+    let loss = alpha * temperature * temperature * kl + (1.0 - alpha) * ce;
+
+    // Gradient w.r.t. student logits.
+    let ce_grad = softmax_cross_entropy_backward(student_logits, labels);
+    let mut grad = Tensor::<f32>::zeros(student_logits.dims());
+    let kd_scale = alpha * temperature / batch as f32;
+    for r in 0..batch {
+        for c in 0..classes {
+            let g_kd = kd_scale * (p_student.at2(r, c) - p_teacher.at2(r, c));
+            let g = g_kd + (1.0 - alpha) * ce_grad.at2(r, c);
+            grad.set2(r, c, g);
+        }
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_when_student_matches_teacher_and_labels() {
+        let logits = Tensor::from_vec(vec![8.0_f32, -8.0, -8.0, 8.0], &[2, 2]).unwrap();
+        let (loss, grad) = distillation_loss(&logits, &logits, &[0, 1], 2.0, 0.5);
+        assert!(loss < 1e-3, "loss {loss}");
+        assert!(grad.abs_max() < 1e-3);
+    }
+
+    #[test]
+    fn pure_ce_when_alpha_is_zero() {
+        let student = Tensor::from_vec(vec![1.0_f32, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let teacher = Tensor::from_vec(vec![-3.0_f32, 3.0, 3.0, -3.0], &[2, 2]).unwrap();
+        let (loss, _) = distillation_loss(&student, &teacher, &[0, 1], 4.0, 0.0);
+        assert!((loss - cross_entropy(&student, &[0, 1])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let student =
+            Tensor::from_vec(vec![0.5_f32, -0.2, 0.1, -0.4, 0.9, 0.3], &[2, 3]).unwrap();
+        let teacher =
+            Tensor::from_vec(vec![1.0_f32, 0.0, -1.0, -0.5, 1.5, 0.0], &[2, 3]).unwrap();
+        let labels = [0usize, 1];
+        let (_, grad) = distillation_loss(&student, &teacher, &labels, 3.0, 0.7);
+        let eps = 1e-3;
+        for idx in 0..student.len() {
+            let mut plus = student.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = student.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let (lp, _) = distillation_loss(&plus, &teacher, &labels, 3.0, 0.7);
+            let (lm, _) = distillation_loss(&minus, &teacher, &labels, 3.0, 0.7);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[idx]).abs() < 2e-3,
+                "grad[{idx}]: analytic {} vs numeric {numeric}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn distillation_pulls_student_toward_teacher() {
+        // One gradient step on the KD loss should reduce the KL term.
+        let mut student = Tensor::from_vec(vec![2.0_f32, -2.0], &[1, 2]).unwrap();
+        let teacher = Tensor::from_vec(vec![-2.0_f32, 2.0], &[1, 2]).unwrap();
+        let labels = [1usize];
+        let (l0, g) = distillation_loss(&student, &teacher, &labels, 2.0, 1.0);
+        for (s, gv) in student.as_mut_slice().iter_mut().zip(g.as_slice()) {
+            *s -= 1.0 * gv;
+        }
+        let (l1, _) = distillation_loss(&student, &teacher, &labels, 2.0, 1.0);
+        assert!(l1 < l0);
+    }
+}

@@ -1,0 +1,487 @@
+//! Trainable layers with hand-derived backpropagation.
+//!
+//! The convolution layer can run its forward pass with three algorithms
+//! (matching the `Alg.` column of Table II): the im2col/direct reference, the
+//! FP32 Winograd algorithm, or the fake-quantized tap-wise Winograd pipeline.
+//! The backward pass always uses the exact convolution gradients with the
+//! straight-through estimator through every quantizer — the transforms are
+//! linear, so the STE gradient of the quantized Winograd convolution equals the
+//! plain convolution gradient (DESIGN.md §3 documents this approximation).
+
+use wino_core::{
+    winograd_conv2d, winograd_conv2d_fake_quant, TapwiseScales, TileSize,
+    WinogradMatrices, WinogradQuantConfig,
+};
+use wino_tensor::{conv2d_direct, kaiming_normal, linear_forward, ConvParams, Tensor};
+
+/// Which algorithm the convolution layer uses for its forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvAlgorithm {
+    /// Direct / im2col FP32 convolution (the paper's `im2col` baseline rows).
+    Direct,
+    /// FP32 Winograd convolution with the given tile size.
+    Winograd(TileSize),
+    /// Fake-quantized tap-wise Winograd convolution (Winograd-aware training).
+    WinogradQuantized {
+        /// Pipeline configuration (tile, bit-widths, tap-wise, scale mode).
+        config: WinogradQuantConfig,
+        /// Calibrated or learned tap-wise scales.
+        scales: TapwiseScales,
+        /// Calibrated maximum of the spatial input activations.
+        input_max: f32,
+    },
+}
+
+/// A 3×3, stride-1, same-padded convolution layer with bias.
+#[derive(Debug, Clone)]
+pub struct Conv3x3 {
+    /// OIHW weights.
+    pub weight: Tensor<f32>,
+    /// Per-output-channel bias.
+    pub bias: Tensor<f32>,
+    /// Forward-pass algorithm.
+    pub algorithm: ConvAlgorithm,
+    cached_input: Option<Tensor<f32>>,
+}
+
+/// Gradients produced by [`Conv3x3::backward`].
+#[derive(Debug, Clone)]
+pub struct Conv3x3Grads {
+    /// Gradient with respect to the weights.
+    pub weight: Tensor<f32>,
+    /// Gradient with respect to the bias.
+    pub bias: Tensor<f32>,
+    /// Gradient with respect to the layer input.
+    pub input: Tensor<f32>,
+}
+
+impl Conv3x3 {
+    /// Creates a Kaiming-initialised layer.
+    pub fn new(c_in: usize, c_out: usize, seed: u64) -> Self {
+        Self {
+            weight: kaiming_normal(&[c_out, c_in, 3, 3], seed),
+            bias: Tensor::<f32>::zeros(&[c_out]),
+            algorithm: ConvAlgorithm::Direct,
+            cached_input: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn c_in(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Number of output channels.
+    pub fn c_out(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Recalibrates the tap-wise scales of a quantized layer from the current
+    /// weights and a representative input batch. No-op for other algorithms.
+    pub fn recalibrate(&mut self, sample_input: &Tensor<f32>) {
+        if let ConvAlgorithm::WinogradQuantized { config, scales, input_max } = &mut self.algorithm
+        {
+            let mats = WinogradMatrices::for_tile(config.tile);
+            *scales = if config.tapwise {
+                TapwiseScales::calibrate(&self.weight, sample_input, &mats, config.wino_bits, config.mode)
+            } else {
+                TapwiseScales::calibrate_uniform(
+                    &self.weight,
+                    sample_input,
+                    &mats,
+                    config.wino_bits,
+                    config.mode,
+                )
+            };
+            *input_max = sample_input.abs_max();
+        }
+    }
+
+    /// Forward pass; caches the input for the backward pass.
+    pub fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.cached_input = Some(x.clone());
+        let mut y = match &self.algorithm {
+            ConvAlgorithm::Direct => conv2d_direct(x, &self.weight, None, ConvParams::same_3x3()),
+            ConvAlgorithm::Winograd(tile) => winograd_conv2d(x, &self.weight, *tile),
+            ConvAlgorithm::WinogradQuantized { config, scales, input_max } => {
+                winograd_conv2d_fake_quant(x, &self.weight, config, scales, *input_max)
+            }
+        };
+        // Add the bias per output channel.
+        let (n, c, h, w) = (y.dims()[0], y.dims()[1], y.dims()[2], y.dims()[3]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let b = self.bias.as_slice()[ci];
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let v = y.at4(ni, ci, hi, wi) + b;
+                        y.set4(ni, ci, hi, wi, v);
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass given the upstream gradient `dY` (same shape as the
+    /// forward output). Uses the exact convolution gradients (STE through the
+    /// quantizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` has not been called or shapes mismatch.
+    pub fn backward(&mut self, d_out: &Tensor<f32>) -> Conv3x3Grads {
+        let x = self.cached_input.take().expect("Conv3x3::backward called before forward");
+        let (n, c_in, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let c_out = self.c_out();
+        assert_eq!(d_out.dims(), &[n, c_out, h, w], "Conv3x3::backward: dY shape mismatch");
+
+        // dBias
+        let mut d_bias = Tensor::<f32>::zeros(&[c_out]);
+        for co in 0..c_out {
+            let mut acc = 0.0;
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        acc += d_out.at4(ni, co, hi, wi);
+                    }
+                }
+            }
+            d_bias.as_mut_slice()[co] = acc;
+        }
+
+        // dW[co,ci,ky,kx] = sum_{n,oy,ox} dY[n,co,oy,ox] * X[n,ci,oy+ky-1,ox+kx-1]
+        let mut d_w = Tensor::<f32>::zeros(self.weight.dims());
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                for ky in 0..3usize {
+                    for kx in 0..3usize {
+                        let mut acc = 0.0;
+                        for ni in 0..n {
+                            for oy in 0..h {
+                                let iy = oy as isize + ky as isize - 1;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for ox in 0..w {
+                                    let ix = ox as isize + kx as isize - 1;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += d_out.at4(ni, co, oy, ox)
+                                        * x.at4(ni, ci, iy as usize, ix as usize);
+                                }
+                            }
+                        }
+                        d_w.set4(co, ci, ky, kx, acc);
+                    }
+                }
+            }
+        }
+
+        // dX = "full" correlation of dY with the 180°-rotated kernels, which for
+        // same padding is: dX[n,ci,iy,ix] = sum_{co,ky,kx} dY[n,co,iy-ky+1,ix-kx+1] * W[co,ci,ky,kx]
+        let mut d_x = Tensor::<f32>::zeros(x.dims());
+        for ni in 0..n {
+            for ci in 0..c_in {
+                for iy in 0..h {
+                    for ix in 0..w {
+                        let mut acc = 0.0;
+                        for co in 0..c_out {
+                            for ky in 0..3usize {
+                                let oy = iy as isize - (ky as isize - 1);
+                                if oy < 0 || oy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..3usize {
+                                    let ox = ix as isize - (kx as isize - 1);
+                                    if ox < 0 || ox >= w as isize {
+                                        continue;
+                                    }
+                                    acc += d_out.at4(ni, co, oy as usize, ox as usize)
+                                        * self.weight.at4(co, ci, ky, kx);
+                                }
+                            }
+                        }
+                        d_x.set4(ni, ci, iy, ix, acc);
+                    }
+                }
+            }
+        }
+
+        Conv3x3Grads { weight: d_w, bias: d_bias, input: d_x }
+    }
+}
+
+/// A fully connected layer with bias.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// `[out_features, in_features]` weights.
+    pub weight: Tensor<f32>,
+    /// Per-output bias.
+    pub bias: Tensor<f32>,
+    cached_input: Option<Tensor<f32>>,
+}
+
+/// Gradients produced by [`Linear::backward`].
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient with respect to the weights.
+    pub weight: Tensor<f32>,
+    /// Gradient with respect to the bias.
+    pub bias: Tensor<f32>,
+    /// Gradient with respect to the layer input.
+    pub input: Tensor<f32>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialised fully connected layer.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        Self {
+            weight: kaiming_normal(&[out_features, in_features], seed),
+            bias: Tensor::<f32>::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Forward pass `y = x·Wᵀ + b`; caches the input.
+    pub fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.cached_input = Some(x.clone());
+        linear_forward(x, &self.weight, Some(&self.bias))
+    }
+
+    /// Backward pass given the upstream gradient `[batch, out_features]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` has not been called.
+    pub fn backward(&mut self, d_out: &Tensor<f32>) -> LinearGrads {
+        let x = self.cached_input.take().expect("Linear::backward called before forward");
+        let (batch, in_f) = (x.dims()[0], x.dims()[1]);
+        let out_f = self.weight.dims()[0];
+        assert_eq!(d_out.dims(), &[batch, out_f], "Linear::backward: dY shape mismatch");
+
+        let mut d_w = Tensor::<f32>::zeros(&[out_f, in_f]);
+        let mut d_b = Tensor::<f32>::zeros(&[out_f]);
+        let mut d_x = Tensor::<f32>::zeros(&[batch, in_f]);
+        for r in 0..batch {
+            for o in 0..out_f {
+                let g = d_out.at2(r, o);
+                d_b.as_mut_slice()[o] += g;
+                for i in 0..in_f {
+                    let v = d_w.at2(o, i) + g * x.at2(r, i);
+                    d_w.set2(o, i, v);
+                    let xv = d_x.at2(r, i) + g * self.weight.at2(o, i);
+                    d_x.set2(r, i, xv);
+                }
+            }
+        }
+        LinearGrads { weight: d_w, bias: d_b, input: d_x }
+    }
+}
+
+/// ReLU forward that also returns the mask needed for the backward pass.
+pub fn relu_forward(x: &Tensor<f32>) -> (Tensor<f32>, Tensor<f32>) {
+    let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+    (x.map(|v| v.max(0.0)), mask)
+}
+
+/// ReLU backward: elementwise product of the upstream gradient with the mask.
+pub fn relu_backward(d_out: &Tensor<f32>, mask: &Tensor<f32>) -> Tensor<f32> {
+    d_out.mul(mask)
+}
+
+/// 2×2 average-pool forward over NCHW (stride 2).
+pub fn avg_pool2_forward(x: &Tensor<f32>) -> Tensor<f32> {
+    wino_tensor::avg_pool2d(x, 2, 2, 0)
+}
+
+/// Backward of the 2×2 average pool: spreads each output gradient equally over
+/// its 2×2 input window.
+pub fn avg_pool2_backward(d_out: &Tensor<f32>, input_dims: &[usize]) -> Tensor<f32> {
+    let mut d_x = Tensor::<f32>::zeros(input_dims);
+    let (n, c, ho, wo) = (d_out.dims()[0], d_out.dims()[1], d_out.dims()[2], d_out.dims()[3]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let g = d_out.at4(ni, ci, oy, ox) / 4.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let iy = oy * 2 + dy;
+                            let ix = ox * 2 + dx;
+                            if iy < input_dims[2] && ix < input_dims[3] {
+                                let v = d_x.at4(ni, ci, iy, ix) + g;
+                                d_x.set4(ni, ci, iy, ix, v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    d_x
+}
+
+/// Global average pooling forward: `[N, C, H, W] -> [N, C]`.
+pub fn global_avg_pool_forward(x: &Tensor<f32>) -> Tensor<f32> {
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let mut y = Tensor::<f32>::zeros(&[n, c]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let mut acc = 0.0;
+            for hi in 0..h {
+                for wi in 0..w {
+                    acc += x.at4(ni, ci, hi, wi);
+                }
+            }
+            y.set2(ni, ci, acc / (h * w) as f32);
+        }
+    }
+    y
+}
+
+/// Backward of the global average pool.
+pub fn global_avg_pool_backward(d_out: &Tensor<f32>, input_dims: &[usize]) -> Tensor<f32> {
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let mut d_x = Tensor::<f32>::zeros(input_dims);
+    let scale = 1.0 / (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = d_out.at2(ni, ci) * scale;
+            for hi in 0..h {
+                for wi in 0..w {
+                    d_x.set4(ni, ci, hi, wi, g);
+                }
+            }
+        }
+    }
+    d_x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_tensor::normal;
+
+    /// Numerically checks dL/dW for a scalar loss L = sum(Y ⊙ R) with random R.
+    #[test]
+    fn conv_weight_gradient_matches_finite_differences() {
+        let x = normal(&[1, 2, 5, 5], 0.0, 1.0, 301);
+        let r = normal(&[1, 3, 5, 5], 0.0, 1.0, 302);
+        let mut layer = Conv3x3::new(2, 3, 303);
+        let _ = layer.forward(&x);
+        let grads = layer.backward(&r);
+        let eps = 1e-2;
+        for &idx in &[0usize, 7, 20, 53] {
+            let mut wp = layer.weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = layer.weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let mut lp = Conv3x3 { weight: wp, ..layer.clone() };
+            let mut lm = Conv3x3 { weight: wm, ..layer.clone() };
+            let yp = lp.forward(&x).mul(&r).sum();
+            let ym = lm.forward(&x).mul(&r).sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            let analytic = grads.weight.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dW[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_differences() {
+        let x = normal(&[1, 2, 4, 4], 0.0, 1.0, 311);
+        let r = normal(&[1, 2, 4, 4], 0.0, 1.0, 312);
+        let mut layer = Conv3x3::new(2, 2, 313);
+        let _ = layer.forward(&x);
+        let grads = layer.backward(&r);
+        let eps = 1e-2;
+        for &idx in &[0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let yp = layer.clone().forward(&xp).mul(&r).sum();
+            let ym = layer.clone().forward(&xm).mul(&r).sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            let analytic = grads.input.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dX[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn winograd_and_direct_forward_agree() {
+        let x = normal(&[2, 3, 8, 8], 0.0, 1.0, 321);
+        let mut a = Conv3x3::new(3, 4, 322);
+        let mut b = a.clone();
+        b.algorithm = ConvAlgorithm::Winograd(TileSize::F4);
+        let ya = a.forward(&x);
+        let yb = b.forward(&x);
+        assert!(ya.relative_error(&yb) < 1e-4);
+    }
+
+    #[test]
+    fn quantized_forward_is_close_but_not_identical() {
+        let x = normal(&[1, 3, 8, 8], 0.0, 1.0, 331);
+        let mut layer = Conv3x3::new(3, 4, 332);
+        let reference = layer.clone().forward(&x);
+        let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 10);
+        let mats = WinogradMatrices::for_tile(TileSize::F4);
+        let scales = TapwiseScales::calibrate(&layer.weight, &x, &mats, cfg.wino_bits, cfg.mode);
+        layer.algorithm =
+            ConvAlgorithm::WinogradQuantized { config: cfg, scales, input_max: x.abs_max() };
+        let y = layer.forward(&x);
+        let err = y.relative_error(&reference);
+        assert!(err > 0.0 && err < 0.2, "unexpected quantized error {err}");
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let x = normal(&[3, 5], 0.0, 1.0, 341);
+        let r = normal(&[3, 4], 0.0, 1.0, 342);
+        let mut layer = Linear::new(5, 4, 343);
+        let _ = layer.forward(&x);
+        let grads = layer.backward(&r);
+        let eps = 1e-3;
+        for &idx in &[0usize, 9, 19] {
+            let mut wp = layer.weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = layer.weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let mut lp = Linear { weight: wp, ..layer.clone() };
+            let mut lm = Linear { weight: wm, ..layer.clone() };
+            let yp = lp.forward(&x).mul(&r).sum();
+            let ym = lm.forward(&x).mul(&r).sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!((numeric - grads.weight.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn relu_and_pool_backwards_are_consistent() {
+        let x = normal(&[1, 2, 4, 4], 0.0, 1.0, 351);
+        let (y, mask) = relu_forward(&x);
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+        let g = relu_backward(&Tensor::filled(&[1, 2, 4, 4], 1.0), &mask);
+        // Gradient passes only where the input was positive.
+        for (gi, xi) in g.as_slice().iter().zip(x.as_slice()) {
+            assert_eq!(*gi > 0.0, *xi > 0.0);
+        }
+
+        let pooled = avg_pool2_forward(&x);
+        assert_eq!(pooled.dims(), &[1, 2, 2, 2]);
+        let back = avg_pool2_backward(&Tensor::filled(&[1, 2, 2, 2], 1.0), x.dims());
+        assert!((back.sum() - 4.0 * 2.0).abs() < 1e-5);
+
+        let gap = global_avg_pool_forward(&x);
+        assert_eq!(gap.dims(), &[1, 2]);
+        let gap_back = global_avg_pool_backward(&Tensor::filled(&[1, 2], 1.0), x.dims());
+        assert!((gap_back.sum() - 2.0).abs() < 1e-5);
+    }
+}

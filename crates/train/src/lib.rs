@@ -1,0 +1,43 @@
+//! Winograd-aware quantized training substrate.
+//!
+//! The paper's accuracy results (Tables II and III) come from retraining
+//! networks with the quantized Winograd forward pass in the loop
+//! ("Winograd-aware training"), learned power-of-two tap scales (via a
+//! straight-through estimator on the log2 of the scale, Eq. 3) and knowledge
+//! distillation from the FP32 baseline. This crate rebuilds that training
+//! methodology from scratch:
+//!
+//! * a small CNN with hand-derived backpropagation ([`layers`], [`model`]),
+//! * SGD and Adam optimisers ([`optim`]),
+//! * the straight-through estimator and the learned log2-scale gradient
+//!   ([`ste`]),
+//! * knowledge distillation with tempered softmax + KL divergence
+//!   ([`distill`]),
+//! * a procedurally generated classification dataset standing in for
+//!   CIFAR-10/ImageNet ([`dataset`]; see DESIGN.md for the substitution
+//!   rationale),
+//! * the end-to-end training loop with every Table-II configuration
+//!   ([`trainer`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dataset;
+pub mod distill;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod ste;
+pub mod trainer;
+
+pub use dataset::{Dataset, SyntheticImageTask};
+pub use distill::distillation_loss;
+pub use layers::{Conv3x3, ConvAlgorithm, Linear};
+pub use loss::{cross_entropy, softmax_cross_entropy_backward};
+pub use metrics::accuracy;
+pub use model::SmallCnn;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use ste::{learned_log2_scale_gradient, LearnedTapScales};
+pub use trainer::{train_config, AblationConfig, ConvKernel, TrainOutcome, TrainerOptions};

@@ -1,0 +1,85 @@
+//! Classification losses and their gradients.
+
+use wino_tensor::{softmax_rows, Tensor};
+
+/// Mean cross-entropy of a batch of logits `[batch, classes]` against integer
+/// labels.
+///
+/// # Panics
+///
+/// Panics if a label is out of range or the batch sizes disagree.
+pub fn cross_entropy(logits: &Tensor<f32>, labels: &[usize]) -> f32 {
+    assert_eq!(logits.rank(), 2, "cross_entropy: logits must be [batch, classes]");
+    assert_eq!(logits.dims()[0], labels.len(), "cross_entropy: batch mismatch");
+    let probs = softmax_rows(logits, 1.0);
+    let classes = logits.dims()[1];
+    let mut loss = 0.0;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range");
+        loss -= probs.at2(r, label).max(1e-12).ln();
+    }
+    loss / labels.len() as f32
+}
+
+/// Gradient of the mean softmax cross-entropy with respect to the logits:
+/// `(softmax(z) - one_hot(y)) / batch`.
+pub fn softmax_cross_entropy_backward(logits: &Tensor<f32>, labels: &[usize]) -> Tensor<f32> {
+    assert_eq!(logits.dims()[0], labels.len(), "batch mismatch");
+    let mut grad = softmax_rows(logits, 1.0);
+    let batch = labels.len() as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        let v = grad.at2(r, label) - 1.0;
+        grad.set2(r, label, v);
+    }
+    grad.map(|v| v / batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(vec![10.0_f32, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let loss = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn uniform_prediction_has_log_c_loss() {
+        let logits = Tensor::<f32>::zeros(&[4, 10]);
+        let loss = cross_entropy(&logits, &[0, 3, 7, 9]);
+        assert!((loss - (10.0_f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits =
+            Tensor::from_vec(vec![0.3_f32, -0.7, 1.2, 0.1, 0.0, -0.5], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let grad = softmax_cross_entropy_backward(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (cross_entropy(&plus, &labels) - cross_entropy(&minus, &labels)) / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[idx]).abs() < 1e-3,
+                "grad mismatch at {idx}: analytic {} vs numeric {num}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let grad = softmax_cross_entropy_backward(&logits, &[0, 2]);
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| grad.at2(r, c)).sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+}

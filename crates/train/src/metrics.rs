@@ -1,0 +1,87 @@
+//! Classification metrics.
+
+use wino_tensor::Tensor;
+
+/// Top-1 accuracy of a batch of logits `[batch, classes]` against labels.
+///
+/// # Panics
+///
+/// Panics if the batch sizes disagree.
+pub fn accuracy(logits: &Tensor<f32>, labels: &[usize]) -> f32 {
+    assert_eq!(logits.rank(), 2, "accuracy: logits must be [batch, classes]");
+    assert_eq!(logits.dims()[0], labels.len(), "accuracy: batch mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let classes = logits.dims()[1];
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for c in 0..classes {
+            if logits.at2(r, c) > best_v {
+                best_v = logits.at2(r, c);
+                best = c;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / labels.len() as f32
+}
+
+/// Top-k accuracy (the paper reports Top-1 and Top-5).
+pub fn top_k_accuracy(logits: &Tensor<f32>, labels: &[usize], k: usize) -> f32 {
+    assert_eq!(logits.dims()[0], labels.len(), "top_k_accuracy: batch mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let classes = logits.dims()[1];
+    let k = k.min(classes);
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let mut scored: Vec<(f32, usize)> = (0..classes).map(|c| (logits.at2(r, c), c)).collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        if scored.iter().take(k).any(|&(_, c)| c == label) {
+            correct += 1;
+        }
+    }
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits =
+            Tensor::from_vec(vec![1.0_f32, 2.0, 0.0, 5.0, 1.0, 0.0, 0.1, 0.2, 0.9], &[3, 3])
+                .unwrap();
+        assert!((accuracy(&logits, &[1, 0, 2]) - 1.0).abs() < 1e-6);
+        assert!((accuracy(&logits, &[0, 0, 2]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_k_is_monotone_in_k() {
+        let logits = Tensor::from_vec(
+            vec![0.1_f32, 0.5, 0.4, 0.3, 0.9, 0.1, 0.2, 0.05, 0.7, 0.1, 0.15, 0.05],
+            &[3, 4],
+        )
+        .unwrap();
+        let labels = [2usize, 3, 0];
+        let a1 = top_k_accuracy(&logits, &labels, 1);
+        let a2 = top_k_accuracy(&logits, &labels, 2);
+        let a4 = top_k_accuracy(&logits, &labels, 4);
+        assert!(a1 <= a2 && a2 <= a4);
+        assert!((a4 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let logits = Tensor::<f32>::zeros(&[0, 5]);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[], 5), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The small CNN used for the accuracy-trend experiments.
+//!
+//! A scaled-down ResNet-20-style all-3×3 network: three convolution stages with
+//! ReLU, one 2×2 average pool between stages, global average pooling and a
+//! linear classifier. Every convolution is 3×3 / stride 1 / same padding, so
+//! every convolution is Winograd-eligible — exactly the layers the paper's
+//! method targets.
+
+use crate::layers::{
+    avg_pool2_backward, avg_pool2_forward, global_avg_pool_backward, global_avg_pool_forward,
+    relu_backward, relu_forward, Conv3x3, ConvAlgorithm, Linear,
+};
+use crate::optim::{Optimizer, Sgd};
+use wino_tensor::Tensor;
+
+/// A three-stage all-3×3 CNN classifier with hand-derived backprop.
+#[derive(Debug, Clone)]
+pub struct SmallCnn {
+    /// First convolution (input channels → `width`).
+    pub conv1: Conv3x3,
+    /// Second convolution (`width` → `width`).
+    pub conv2: Conv3x3,
+    /// Third convolution (`width` → `2·width`), after the pool.
+    pub conv3: Conv3x3,
+    /// Final classifier.
+    pub fc: Linear,
+    // Caches for backward.
+    cache: Option<ForwardCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ForwardCache {
+    mask1: Tensor<f32>,
+    mask2: Tensor<f32>,
+    mask3: Tensor<f32>,
+    pre_pool_dims: Vec<usize>,
+    pre_gap_dims: Vec<usize>,
+}
+
+/// All parameter gradients of [`SmallCnn`].
+#[derive(Debug, Clone)]
+pub struct SmallCnnGrads {
+    /// Gradients of `conv1` (weight, bias).
+    pub conv1: (Tensor<f32>, Tensor<f32>),
+    /// Gradients of `conv2`.
+    pub conv2: (Tensor<f32>, Tensor<f32>),
+    /// Gradients of `conv3`.
+    pub conv3: (Tensor<f32>, Tensor<f32>),
+    /// Gradients of the classifier.
+    pub fc: (Tensor<f32>, Tensor<f32>),
+}
+
+impl SmallCnn {
+    /// Creates the network for `in_channels`-channel inputs, `classes` outputs
+    /// and a base width of `width` channels.
+    pub fn new(in_channels: usize, width: usize, classes: usize, seed: u64) -> Self {
+        Self {
+            conv1: Conv3x3::new(in_channels, width, seed),
+            conv2: Conv3x3::new(width, width, seed + 1),
+            conv3: Conv3x3::new(width, 2 * width, seed + 2),
+            fc: Linear::new(2 * width, classes, seed + 3),
+            cache: None,
+        }
+    }
+
+    /// Sets the convolution algorithm of all three convolution layers.
+    pub fn set_algorithm(&mut self, alg: &dyn Fn(usize) -> ConvAlgorithm) {
+        self.conv1.algorithm = alg(0);
+        self.conv2.algorithm = alg(1);
+        self.conv3.algorithm = alg(2);
+    }
+
+    /// Mutable access to the three convolution layers (for recalibration).
+    pub fn convs_mut(&mut self) -> [&mut Conv3x3; 3] {
+        [&mut self.conv1, &mut self.conv2, &mut self.conv3]
+    }
+
+    /// Forward pass producing `[batch, classes]` logits.
+    pub fn forward(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        let y1 = self.conv1.forward(x);
+        let (a1, mask1) = relu_forward(&y1);
+        let y2 = self.conv2.forward(&a1);
+        let (a2, mask2) = relu_forward(&y2);
+        let pre_pool_dims = a2.dims().to_vec();
+        let p = avg_pool2_forward(&a2);
+        let y3 = self.conv3.forward(&p);
+        let (a3, mask3) = relu_forward(&y3);
+        let pre_gap_dims = a3.dims().to_vec();
+        let g = global_avg_pool_forward(&a3);
+        let logits = self.fc.forward(&g);
+        self.cache = Some(ForwardCache { mask1, mask2, mask3, pre_pool_dims, pre_gap_dims });
+        logits
+    }
+
+    /// Backward pass from the gradient of the logits; returns all parameter
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, d_logits: &Tensor<f32>) -> SmallCnnGrads {
+        let cache = self.cache.take().expect("SmallCnn::backward called before forward");
+        let fc_grads = self.fc.backward(d_logits);
+        let d_gap = global_avg_pool_backward(&fc_grads.input, &cache.pre_gap_dims);
+        let d_a3 = relu_backward(&d_gap, &cache.mask3);
+        let conv3_grads = self.conv3.backward(&d_a3);
+        let d_pool = avg_pool2_backward(&conv3_grads.input, &cache.pre_pool_dims);
+        let d_a2 = relu_backward(&d_pool, &cache.mask2);
+        let conv2_grads = self.conv2.backward(&d_a2);
+        let d_a1 = relu_backward(&conv2_grads.input, &cache.mask1);
+        let conv1_grads = self.conv1.backward(&d_a1);
+        SmallCnnGrads {
+            conv1: (conv1_grads.weight, conv1_grads.bias),
+            conv2: (conv2_grads.weight, conv2_grads.bias),
+            conv3: (conv3_grads.weight, conv3_grads.bias),
+            fc: (fc_grads.weight, fc_grads.bias),
+        }
+    }
+
+    /// Applies one SGD step to every parameter with a shared optimiser
+    /// configuration (fresh momentum state per call is acceptable for the small
+    /// experiments; the trainer keeps longer-lived optimisers).
+    pub fn apply_sgd(&mut self, grads: &SmallCnnGrads, lr: f32, weight_decay: f32) {
+        let mut opt = Sgd::new(lr, 0.0, weight_decay);
+        opt.step(&mut self.conv1.weight, &grads.conv1.0);
+        opt.step(&mut self.conv1.bias, &grads.conv1.1);
+        opt.step(&mut self.conv2.weight, &grads.conv2.0);
+        opt.step(&mut self.conv2.bias, &grads.conv2.1);
+        opt.step(&mut self.conv3.weight, &grads.conv3.0);
+        opt.step(&mut self.conv3.bias, &grads.conv3.1);
+        opt.step(&mut self.fc.weight, &grads.fc.0);
+        opt.step(&mut self.fc.bias, &grads.fc.1);
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.conv1.weight.len()
+            + self.conv1.bias.len()
+            + self.conv2.weight.len()
+            + self.conv2.bias.len()
+            + self.conv3.weight.len()
+            + self.conv3.bias.len()
+            + self.fc.weight.len()
+            + self.fc.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{cross_entropy, softmax_cross_entropy_backward};
+    use wino_tensor::normal;
+
+    #[test]
+    fn forward_shapes_and_param_count() {
+        let mut net = SmallCnn::new(3, 4, 10, 42);
+        let x = normal(&[2, 3, 8, 8], 0.0, 1.0, 1);
+        let logits = net.forward(&x);
+        assert_eq!(logits.dims(), &[2, 10]);
+        assert!(net.parameter_count() > 0);
+    }
+
+    #[test]
+    fn a_few_sgd_steps_reduce_the_loss_on_a_fixed_batch() {
+        let mut net = SmallCnn::new(3, 4, 4, 7);
+        let x = normal(&[8, 3, 8, 8], 0.0, 1.0, 2);
+        let labels = vec![0usize, 1, 2, 3, 0, 1, 2, 3];
+        let logits0 = net.forward(&x);
+        let loss0 = cross_entropy(&logits0, &labels);
+        let mut loss_prev = loss0;
+        for _ in 0..8 {
+            let logits = net.forward(&x);
+            loss_prev = cross_entropy(&logits, &labels);
+            let d = softmax_cross_entropy_backward(&logits, &labels);
+            let grads = net.backward(&d);
+            net.apply_sgd(&grads, 0.05, 0.0);
+        }
+        let logits1 = net.forward(&x);
+        let loss1 = cross_entropy(&logits1, &labels);
+        assert!(loss1 < loss0, "loss did not decrease: {loss0} -> {loss1} (last {loss_prev})");
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut net = SmallCnn::new(3, 4, 4, 9);
+        let d = Tensor::<f32>::zeros(&[1, 4]);
+        assert!(std::panic::catch_unwind(move || {
+            let _ = net.backward(&d);
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Optimisers.
+//!
+//! The paper trains the network weights with SGD and the learned log2 scaling
+//! factors with Adam ("we are using the Adam optimizer with its built-in
+//! gradient normalization, β1 = 0.9, β2 = 0.99", Section III-B).
+
+use wino_tensor::Tensor;
+
+/// A first-order optimiser updating one parameter tensor in place.
+pub trait Optimizer: std::fmt::Debug {
+    /// Applies one update step given the gradient of the parameter.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the gradient shape differs from the parameter.
+    fn step(&mut self, param: &mut Tensor<f32>, grad: &Tensor<f32>);
+}
+
+/// Stochastic gradient descent with momentum and weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f32,
+    velocity: Option<Tensor<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr, momentum, weight_decay, velocity: None }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, param: &mut Tensor<f32>, grad: &Tensor<f32>) {
+        assert_eq!(param.dims(), grad.dims(), "Sgd::step shape mismatch");
+        let g = if self.weight_decay > 0.0 {
+            grad.add(&param.scale(self.weight_decay))
+        } else {
+            grad.clone()
+        };
+        let update = if self.momentum > 0.0 {
+            let v = match &self.velocity {
+                Some(v) => v.scale(self.momentum).add(&g),
+                None => g.clone(),
+            };
+            self.velocity = Some(v.clone());
+            v
+        } else {
+            g
+        };
+        for (p, u) in param.as_mut_slice().iter_mut().zip(update.as_slice()) {
+            *p -= self.lr * u;
+        }
+    }
+}
+
+/// Adam optimiser (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    m: Option<Tensor<f32>>,
+    v: Option<Tensor<f32>>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the paper's scale-training betas
+    /// (β1 = 0.9, β2 = 0.99) unless overridden.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.99)
+    }
+
+    /// Creates an Adam optimiser with explicit betas.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self { lr, beta1, beta2, eps: 1e-8, m: None, v: None, t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, param: &mut Tensor<f32>, grad: &Tensor<f32>) {
+        assert_eq!(param.dims(), grad.dims(), "Adam::step shape mismatch");
+        self.t += 1;
+        let m_prev = self.m.take().unwrap_or_else(|| Tensor::zeros(grad.dims()));
+        let v_prev = self.v.take().unwrap_or_else(|| Tensor::zeros(grad.dims()));
+        let m = m_prev.scale(self.beta1).add(&grad.scale(1.0 - self.beta1));
+        let v = v_prev
+            .scale(self.beta2)
+            .add(&grad.mul(grad).scale(1.0 - self.beta2));
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, &mi), &vi) in
+            param.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+        {
+            let m_hat = mi / bc1;
+            let v_hat = vi / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        self.m = Some(m);
+        self.v = Some(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = ||x - target||² and check convergence.
+    fn minimise(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let target = Tensor::from_vec(vec![1.0_f32, -2.0, 0.5], &[3]).unwrap();
+        let mut x = Tensor::<f32>::zeros(&[3]);
+        for _ in 0..steps {
+            let grad = x.sub(&target).scale(2.0);
+            opt.step(&mut x, &grad);
+        }
+        x.sub(&target).as_slice().iter().map(|v| v * v).sum::<f32>()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        assert!(minimise(&mut opt, 200) < 1e-6);
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges_faster_than_without() {
+        let mut plain = Sgd::new(0.02, 0.0, 0.0);
+        let mut momentum = Sgd::new(0.02, 0.9, 0.0);
+        let loss_plain = minimise(&mut plain, 50);
+        let loss_momentum = minimise(&mut momentum, 50);
+        assert!(loss_momentum < loss_plain);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        let mut p = Tensor::from_vec(vec![1.0_f32], &[1]).unwrap();
+        let zero_grad = Tensor::<f32>::zeros(&[1]);
+        for _ in 0..10 {
+            opt.step(&mut p, &zero_grad);
+        }
+        assert!(p.as_slice()[0] < 1.0 && p.as_slice()[0] > 0.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        assert!(minimise(&mut opt, 300) < 1e-4);
+    }
+
+    #[test]
+    fn adam_normalises_gradient_magnitude() {
+        // With very different gradient scales Adam still makes progress on both
+        // coordinates — the property the paper relies on for scale training.
+        let mut opt = Adam::new(0.05);
+        let mut x = Tensor::from_vec(vec![0.0_f32, 0.0], &[2]).unwrap();
+        for _ in 0..200 {
+            // d/dx of 1000*(x0-1)^2 + 0.001*(x1-1)^2
+            let grad = Tensor::from_vec(
+                vec![2000.0 * (x.as_slice()[0] - 1.0), 0.002 * (x.as_slice()[1] - 1.0)],
+                &[2],
+            )
+            .unwrap();
+            opt.step(&mut x, &grad);
+        }
+        assert!((x.as_slice()[0] - 1.0).abs() < 0.05);
+        assert!((x.as_slice()[1] - 1.0).abs() < 0.6, "slow coordinate should still move: {:?}", x);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        let mut p = Tensor::<f32>::zeros(&[2]);
+        let g = Tensor::<f32>::zeros(&[3]);
+        opt.step(&mut p, &g);
+    }
+}

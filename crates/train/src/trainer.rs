@@ -1,0 +1,603 @@
+//! End-to-end Winograd-aware quantized training (the Table II / III protocol).
+//!
+//! The flow follows Section III and V-A of the paper:
+//!
+//! 1. train an FP32 baseline with the direct (im2col) convolution;
+//! 2. switch the 3×3 convolutions to the chosen Winograd kernel and
+//!    quantization configuration, calibrating the tap-wise scales from the
+//!    current weights and a sample of activations;
+//! 3. retrain from the FP32 baseline ("Winograd-aware training"), optionally
+//!    with learned log2 scales and knowledge distillation from the baseline;
+//! 4. report the accuracy of the retrained quantized network next to the
+//!    baseline.
+//!
+//! On the synthetic task the absolute accuracies differ from ImageNet, but the
+//! ordering of the configurations reproduces the paper's ablation trends.
+
+use crate::dataset::{Dataset, SyntheticImageTask};
+use crate::distill::distillation_loss;
+use crate::layers::ConvAlgorithm;
+use crate::loss::{cross_entropy, softmax_cross_entropy_backward};
+use crate::metrics::accuracy;
+use crate::model::SmallCnn;
+use crate::ste::LearnedTapScales;
+use serde::{Deserialize, Serialize};
+use wino_core::{
+    QuantBits, ScaleMode, TapwiseScales, TileSize, WinogradMatrices, WinogradQuantConfig,
+};
+use wino_tensor::Tensor;
+
+/// Which convolution kernel the quantized network uses (the `Alg.` column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConvKernel {
+    /// Direct / im2col convolution (baseline).
+    Im2col,
+    /// Winograd F(2×2, 3×3).
+    F2,
+    /// Winograd F(4×4, 3×3).
+    F4,
+}
+
+impl ConvKernel {
+    /// The Winograd tile size, if this kernel is a Winograd kernel.
+    pub fn tile(self) -> Option<TileSize> {
+        match self {
+            ConvKernel::Im2col => None,
+            ConvKernel::F2 => Some(TileSize::F2),
+            ConvKernel::F4 => Some(TileSize::F4),
+        }
+    }
+}
+
+/// One row of the Table II ablation: which techniques are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AblationConfig {
+    /// Convolution kernel.
+    pub kernel: ConvKernel,
+    /// Winograd-aware training: retrain with the quantized Winograd forward in
+    /// the loop (`WA` column). When false the quantized kernel is only used at
+    /// evaluation time (post-training quantization).
+    pub winograd_aware: bool,
+    /// Tap-wise scales (`⊙` column); false means one scalar per transformation.
+    pub tapwise: bool,
+    /// Power-of-two scales (`2x` column).
+    pub power_of_two: bool,
+    /// Learned log2 scales (`∇log2 t` column).
+    pub learned_log2: bool,
+    /// Knowledge distillation from the FP32 baseline (`KD` column).
+    pub knowledge_distillation: bool,
+    /// Bits inside the Winograd domain (8 for `int8`, 10 for `int8/10`).
+    pub wino_bits: u8,
+}
+
+impl AblationConfig {
+    /// The FP32 / int8 im2col baseline row.
+    pub fn baseline() -> Self {
+        Self {
+            kernel: ConvKernel::Im2col,
+            winograd_aware: false,
+            tapwise: false,
+            power_of_two: false,
+            learned_log2: false,
+            knowledge_distillation: false,
+            wino_bits: 8,
+        }
+    }
+
+    /// The paper's best int8 configuration: F4, Winograd-aware, tap-wise,
+    /// power-of-two, learned log2 scales, knowledge distillation.
+    pub fn best_f4_int8() -> Self {
+        Self {
+            kernel: ConvKernel::F4,
+            winograd_aware: true,
+            tapwise: true,
+            power_of_two: true,
+            learned_log2: true,
+            knowledge_distillation: true,
+            wino_bits: 8,
+        }
+    }
+
+    /// A short human-readable tag used in harness output.
+    pub fn tag(&self) -> String {
+        let mut parts = vec![match self.kernel {
+            ConvKernel::Im2col => "im2col".to_string(),
+            ConvKernel::F2 => "F2".to_string(),
+            ConvKernel::F4 => "F4".to_string(),
+        }];
+        if self.winograd_aware {
+            parts.push("WA".into());
+        }
+        if self.tapwise {
+            parts.push("tapwise".into());
+        }
+        if self.power_of_two {
+            parts.push("2x".into());
+        }
+        if self.learned_log2 {
+            parts.push("log2t".into());
+        }
+        if self.knowledge_distillation {
+            parts.push("KD".into());
+        }
+        parts.push(if self.wino_bits == 8 { "int8".into() } else { format!("int8/{}", self.wino_bits) });
+        parts.join("+")
+    }
+
+    fn scale_mode(&self) -> ScaleMode {
+        if self.power_of_two {
+            ScaleMode::PowerOfTwo
+        } else {
+            ScaleMode::Float
+        }
+    }
+
+    fn quant_config(&self, tile: TileSize) -> WinogradQuantConfig {
+        WinogradQuantConfig {
+            tile,
+            spatial_bits: QuantBits::int8(),
+            wino_bits: QuantBits::new(self.wino_bits),
+            tapwise: self.tapwise,
+            mode: self.scale_mode(),
+        }
+    }
+}
+
+/// Hyper-parameters of one training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerOptions {
+    /// Image edge length of the synthetic task.
+    pub image_size: usize,
+    /// Number of training samples.
+    pub train_samples: usize,
+    /// Number of held-out test samples.
+    pub test_samples: usize,
+    /// Base channel width of the small CNN.
+    pub width: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Epochs for the FP32 baseline.
+    pub baseline_epochs: usize,
+    /// Epochs for the quantized retraining.
+    pub retrain_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate (SGD).
+    pub learning_rate: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// Distillation temperature.
+    pub kd_temperature: f32,
+    /// Distillation weight α.
+    pub kd_alpha: f32,
+    /// RNG seed for data and initialisation.
+    pub seed: u64,
+}
+
+impl Default for TrainerOptions {
+    fn default() -> Self {
+        Self {
+            image_size: 12,
+            train_samples: 512,
+            test_samples: 256,
+            width: 8,
+            classes: 10,
+            baseline_epochs: 4,
+            retrain_epochs: 3,
+            batch_size: 32,
+            learning_rate: 0.05,
+            weight_decay: 1e-4,
+            kd_temperature: 3.0,
+            kd_alpha: 0.7,
+            seed: 17,
+        }
+    }
+}
+
+impl TrainerOptions {
+    /// A very small configuration used by unit tests (seconds, not minutes).
+    pub fn tiny() -> Self {
+        Self {
+            image_size: 8,
+            train_samples: 160,
+            test_samples: 64,
+            width: 6,
+            classes: 4,
+            baseline_epochs: 16,
+            retrain_epochs: 2,
+            batch_size: 20,
+            learning_rate: 0.06,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of one ablation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainOutcome {
+    /// The configuration that was trained.
+    pub config: AblationConfig,
+    /// Test accuracy of the FP32 baseline (the `Ref.` column).
+    pub baseline_accuracy: f32,
+    /// Test accuracy of the quantized network.
+    pub quantized_accuracy: f32,
+    /// Training accuracy of the quantized network at the end of retraining.
+    pub train_accuracy: f32,
+}
+
+impl TrainOutcome {
+    /// Accuracy delta versus the baseline (the `∆` column of Table II).
+    pub fn delta(&self) -> f32 {
+        self.quantized_accuracy - self.baseline_accuracy
+    }
+}
+
+/// Shared experiment state so that several ablation rows reuse the same
+/// baseline network and dataset (as the paper reuses one pre-trained model).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    options: TrainerOptions,
+    train: Dataset,
+    test: Dataset,
+    baseline: SmallCnn,
+    baseline_accuracy: f32,
+}
+
+impl Experiment {
+    /// Generates the dataset and trains the FP32 baseline once.
+    pub fn prepare(options: TrainerOptions) -> Self {
+        let task = SyntheticImageTask {
+            size: options.image_size,
+            classes: options.classes,
+            noise: 0.25,
+        };
+        let train = task.generate(options.train_samples, options.seed);
+        let test = task.generate(options.test_samples, options.seed + 1);
+        let mut baseline =
+            SmallCnn::new(3, options.width, options.classes, options.seed + 100);
+        train_epochs(
+            &mut baseline,
+            &train,
+            options.baseline_epochs,
+            options,
+            None,
+        );
+        let baseline_accuracy = evaluate(&mut baseline, &test, options.batch_size);
+        Self { options, train, test, baseline, baseline_accuracy }
+    }
+
+    /// The FP32 baseline accuracy on the test split.
+    pub fn baseline_accuracy(&self) -> f32 {
+        self.baseline_accuracy
+    }
+
+    /// Runs one ablation configuration, reusing the shared baseline.
+    pub fn run(&self, config: AblationConfig) -> TrainOutcome {
+        let options = self.options;
+        // Start every configuration from the FP32 baseline weights, as the
+        // paper retrains from the pre-trained model.
+        let mut student = self.baseline.clone();
+
+        if let Some(tile) = config.kernel.tile() {
+            configure_quantized(&mut student, &self.train, &config, tile, options);
+        }
+
+        let mut teacher = if config.knowledge_distillation {
+            Some(self.baseline.clone())
+        } else {
+            None
+        };
+
+        let mut train_accuracy = evaluate(&mut student, &self.train, options.batch_size);
+        if config.kernel.tile().is_none() || config.winograd_aware {
+            // Retraining (for im2col this is just continued int8-friendly
+            // fine-tuning; for Winograd kernels this is Winograd-aware training).
+            for _ in 0..options.retrain_epochs {
+                train_one_epoch(&mut student, &self.train, options, teacher.as_mut(), &config);
+                if config.kernel.tile().is_some() {
+                    // Re-calibrate after each epoch so the scales track the
+                    // updated weights; with learned log2 scales refine them with
+                    // the Eq. 3 gradient instead of resetting.
+                    if let Some(tile) = config.kernel.tile() {
+                        recalibrate(&mut student, &self.train, &config, tile, options);
+                    }
+                }
+            }
+            train_accuracy = evaluate(&mut student, &self.train, options.batch_size);
+        }
+
+        let quantized_accuracy = evaluate(&mut student, &self.test, options.batch_size);
+        TrainOutcome {
+            config,
+            baseline_accuracy: self.baseline_accuracy,
+            quantized_accuracy,
+            train_accuracy,
+        }
+    }
+}
+
+/// Convenience wrapper: prepares a fresh experiment and runs a single
+/// configuration. Prefer [`Experiment`] when sweeping many rows.
+pub fn train_config(config: AblationConfig, options: TrainerOptions) -> TrainOutcome {
+    Experiment::prepare(options).run(config)
+}
+
+fn configure_quantized(
+    net: &mut SmallCnn,
+    train: &Dataset,
+    config: &AblationConfig,
+    tile: TileSize,
+    options: TrainerOptions,
+) {
+    let (sample, _) = train.batch(0, options.batch_size.min(train.len()));
+    let qcfg = config.quant_config(tile);
+    let mats = WinogradMatrices::for_tile(tile);
+    // Calibrate layer by layer with the activations produced by the layers
+    // before it (run the truncated forward on the sample).
+    let activations = layer_inputs(net, &sample);
+    for (conv, act) in net.convs_mut().into_iter().zip(activations.iter()) {
+        let scales = if config.tapwise {
+            TapwiseScales::calibrate(&conv.weight, act, &mats, qcfg.wino_bits, qcfg.mode)
+        } else {
+            TapwiseScales::calibrate_uniform(&conv.weight, act, &mats, qcfg.wino_bits, qcfg.mode)
+        };
+        let scales = if config.learned_log2 {
+            refine_scales(&conv.weight, act, scales, &mats, qcfg)
+        } else {
+            scales
+        };
+        conv.algorithm = ConvAlgorithm::WinogradQuantized {
+            config: qcfg,
+            scales,
+            input_max: act.abs_max(),
+        };
+    }
+}
+
+fn recalibrate(
+    net: &mut SmallCnn,
+    train: &Dataset,
+    config: &AblationConfig,
+    tile: TileSize,
+    options: TrainerOptions,
+) {
+    configure_quantized(net, train, config, tile, options);
+}
+
+/// Runs the network up to (but not including) each convolution to obtain the
+/// activation tensors used for calibration.
+fn layer_inputs(net: &SmallCnn, sample: &Tensor<f32>) -> [Tensor<f32>; 3] {
+    use crate::layers::{avg_pool2_forward, relu_forward};
+    let mut probe = net.clone();
+    let y1 = probe.conv1.forward(sample);
+    let (a1, _) = relu_forward(&y1);
+    let y2 = probe.conv2.forward(&a1);
+    let (a2, _) = relu_forward(&y2);
+    let p = avg_pool2_forward(&a2);
+    [sample.clone(), a1, p]
+}
+
+/// Refines calibrated scales with a few steps of the learned log2-scale
+/// gradient (Eq. 3), minimising the Winograd-domain reconstruction error of the
+/// transformed weights. This stands in for the full in-loop scale training of
+/// the paper (see DESIGN.md §3).
+fn refine_scales(
+    weights: &Tensor<f32>,
+    _input_sample: &Tensor<f32>,
+    scales: TapwiseScales,
+    mats: &WinogradMatrices,
+    qcfg: WinogradQuantConfig,
+) -> TapwiseScales {
+    let t = mats.input_tile();
+    let (c_out, c_in) = (weights.dims()[0], weights.dims()[1]);
+    // Gather the transformed weight taps as a [count, t, t] stack.
+    let mut stack = Tensor::<f32>::zeros(&[c_out * c_in, t, t]);
+    for co in 0..c_out {
+        for ci in 0..c_in {
+            let mut k = Tensor::<f32>::zeros(&[3, 3]);
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    k.set2(ky, kx, weights.at4(co, ci, ky, kx));
+                }
+            }
+            let u = wino_core::weight_transform(&k, mats);
+            for r in 0..t {
+                for c in 0..t {
+                    stack.set(&[co * c_in + ci, r, c], u.at2(r, c));
+                }
+            }
+        }
+    }
+    let mut learned = LearnedTapScales::from_initial(&scales.weight, 0.02);
+    for _ in 0..10 {
+        // Upstream gradient of the reconstruction loss ½(q(x) − x)²: q(x) − x.
+        let eff = learned.effective_scales();
+        let count = stack.dims()[0];
+        let mut upstream = Tensor::<f32>::zeros(stack.dims());
+        for i in 0..count {
+            for r in 0..t {
+                for c in 0..t {
+                    let x = stack.at(&[i, r, c]);
+                    let s = eff.scale(r, c);
+                    let q = (x / s).round().clamp(
+                        qcfg.wino_bits.min_value() as f32,
+                        qcfg.wino_bits.max_value() as f32,
+                    ) * s;
+                    upstream.set(&[i, r, c], q - x);
+                }
+            }
+        }
+        let grad = learned.scale_gradient(&stack, &upstream);
+        learned.step(&grad);
+    }
+    TapwiseScales { input: scales.input, weight: learned.effective_scales() }
+}
+
+fn train_one_epoch(
+    net: &mut SmallCnn,
+    train: &Dataset,
+    options: TrainerOptions,
+    mut teacher: Option<&mut SmallCnn>,
+    config: &AblationConfig,
+) {
+    let mut start = 0usize;
+    while start < train.len() {
+        let (batch, labels) = train.batch(start, options.batch_size);
+        start += options.batch_size;
+        let logits = net.forward(&batch);
+        let d_logits = if let Some(t) = teacher.as_deref_mut() {
+            let teacher_logits = t.forward(&batch);
+            let (_, grad) = distillation_loss(
+                &logits,
+                &teacher_logits,
+                &labels,
+                options.kd_temperature,
+                options.kd_alpha,
+            );
+            grad
+        } else {
+            softmax_cross_entropy_backward(&logits, &labels)
+        };
+        let grads = net.backward(&d_logits);
+        net.apply_sgd(&grads, options.learning_rate, options.weight_decay);
+        let _ = config; // configuration only affects forward algorithm / loss above
+    }
+}
+
+fn train_epochs(
+    net: &mut SmallCnn,
+    train: &Dataset,
+    epochs: usize,
+    options: TrainerOptions,
+    teacher: Option<&mut SmallCnn>,
+) {
+    let mut teacher = teacher;
+    for _ in 0..epochs {
+        let mut start = 0usize;
+        while start < train.len() {
+            let (batch, labels) = train.batch(start, options.batch_size);
+            start += options.batch_size;
+            let logits = net.forward(&batch);
+            let d_logits = if let Some(t) = teacher.as_deref_mut() {
+                let teacher_logits = t.forward(&batch);
+                let (_, grad) = distillation_loss(
+                    &logits,
+                    &teacher_logits,
+                    &labels,
+                    options.kd_temperature,
+                    options.kd_alpha,
+                );
+                grad
+            } else {
+                softmax_cross_entropy_backward(&logits, &labels)
+            };
+            let grads = net.backward(&d_logits);
+            net.apply_sgd(&grads, options.learning_rate, options.weight_decay);
+        }
+    }
+}
+
+/// Evaluates Top-1 accuracy over a dataset, batching the forward passes.
+pub fn evaluate(net: &mut SmallCnn, data: &Dataset, batch_size: usize) -> f32 {
+    let mut correct_weighted = 0.0_f32;
+    let mut total = 0usize;
+    let mut start = 0usize;
+    while start < data.len() {
+        let (batch, labels) = data.batch(start, batch_size);
+        start += batch_size;
+        let logits = net.forward(&batch);
+        correct_weighted += accuracy(&logits, &labels) * labels.len() as f32;
+        total += labels.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct_weighted / total as f32
+    }
+}
+
+/// Sanity-check helper exposed for the harness: cross-entropy of a model on a
+/// dataset (useful to verify that retraining reduced the loss).
+pub fn dataset_loss(net: &mut SmallCnn, data: &Dataset, batch_size: usize) -> f32 {
+    let mut loss = 0.0_f32;
+    let mut batches = 0usize;
+    let mut start = 0usize;
+    while start < data.len() {
+        let (batch, labels) = data.batch(start, batch_size);
+        start += batch_size;
+        let logits = net.forward(&batch);
+        loss += cross_entropy(&logits, &labels);
+        batches += 1;
+    }
+    loss / batches.max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_learns_above_chance() {
+        let exp = Experiment::prepare(TrainerOptions::tiny());
+        let chance = 1.0 / TrainerOptions::tiny().classes as f32;
+        assert!(
+            exp.baseline_accuracy() > chance + 0.08,
+            "baseline accuracy {} not above chance {chance}",
+            exp.baseline_accuracy()
+        );
+    }
+
+    #[test]
+    fn winograd_aware_f4_recovers_over_post_training_quantization() {
+        let exp = Experiment::prepare(TrainerOptions::tiny());
+        let ptq = AblationConfig {
+            kernel: ConvKernel::F4,
+            winograd_aware: false,
+            tapwise: false,
+            power_of_two: false,
+            learned_log2: false,
+            knowledge_distillation: false,
+            wino_bits: 8,
+        };
+        let wa_tapwise = AblationConfig {
+            kernel: ConvKernel::F4,
+            winograd_aware: true,
+            tapwise: true,
+            power_of_two: true,
+            learned_log2: false,
+            knowledge_distillation: false,
+            wino_bits: 8,
+        };
+        let out_ptq = exp.run(ptq);
+        let out_wa = exp.run(wa_tapwise);
+        assert!(
+            out_wa.quantized_accuracy >= out_ptq.quantized_accuracy - 0.15,
+            "winograd-aware tap-wise ({}) should not be clearly worse than naive PTQ ({})",
+            out_wa.quantized_accuracy,
+            out_ptq.quantized_accuracy
+        );
+        // Both runs must produce valid accuracies.
+        assert!((0.0..=1.0).contains(&out_wa.quantized_accuracy));
+        assert!((0.0..=1.0).contains(&out_ptq.quantized_accuracy));
+    }
+
+    #[test]
+    fn config_tags_are_descriptive() {
+        assert_eq!(AblationConfig::baseline().tag(), "im2col+int8");
+        let best = AblationConfig::best_f4_int8();
+        let tag = best.tag();
+        assert!(tag.contains("F4") && tag.contains("KD") && tag.contains("tapwise"));
+        assert_eq!(best.kernel.tile(), Some(TileSize::F4));
+    }
+
+    #[test]
+    fn outcome_delta_is_quantized_minus_baseline() {
+        let o = TrainOutcome {
+            config: AblationConfig::baseline(),
+            baseline_accuracy: 0.9,
+            quantized_accuracy: 0.85,
+            train_accuracy: 0.95,
+        };
+        assert!((o.delta() + 0.05).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quantization-error study on ResNet-34-shaped layers: compares layer-wise,
+//! channel-wise and tap-wise quantization in the spatial and Winograd domains
+//! (the Fig. 4 methodology) and prints the per-tap dynamic range (Fig. 1).
+//!
+//! ```sh
+//! cargo run --release --example quantize_resnet
+//! ```
+
+use winograd_tapwise::wino_core::analysis::{
+    tap_statistics, weight_quantization_error, QuantDomain, QuantGranularity,
+};
+use winograd_tapwise::wino_core::TileSize;
+use winograd_tapwise::wino_nets::resnet34;
+use winograd_tapwise::wino_tensor::kaiming_normal;
+
+fn main() {
+    // Synthetic Gaussian weights with the real ResNet-34 layer shapes (capped
+    // channel counts keep the example fast).
+    let layers: Vec<_> = resnet34()
+        .layers
+        .iter()
+        .filter(|l| l.kernel == 3 && l.stride == 1 && l.c_in >= 64)
+        .enumerate()
+        .map(|(i, l)| kaiming_normal(&[l.c_out.min(96), l.c_in.min(96), 3, 3], 10 + i as u64))
+        .collect();
+
+    println!("Per-tap dynamic range of the first layer in the F4 Winograd domain:");
+    let stats = tap_statistics(&layers[0], TileSize::F4);
+    println!("  spread between the largest and smallest tap maxima: {:.1} bits\n", stats.range_spread_bits());
+
+    for (domain, name) in [
+        (QuantDomain::Spatial, "spatial domain"),
+        (QuantDomain::Winograd(TileSize::F4), "Winograd F4 domain"),
+    ] {
+        println!("int8 weight quantization error, {name}:");
+        for (label, g) in [
+            ("layer-wise", QuantGranularity::LayerWise),
+            ("channel-wise", QuantGranularity::ChannelWise),
+            ("tap-wise", QuantGranularity::TapWise),
+        ] {
+            let rep = weight_quantization_error(&layers, domain, g, 8);
+            println!("  {label:<13} mean relative error = 2^{:.2}", rep.mean_log2_error);
+        }
+        println!();
+    }
+    println!("Tap-wise scaling recovers (and beats) the spatial-domain error level inside the");
+    println!("Winograd domain — the core claim behind the paper's quantization scheme.");
+}

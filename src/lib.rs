@@ -1,0 +1,11 @@
+//! Umbrella crate for the tap-wise quantized Winograd F(4,3) reproduction.
+//!
+//! Re-exports the public API of the member crates so that the examples and the
+//! integration tests can use a single dependency.
+
+pub use accel_sim;
+pub use nvdla_sim;
+pub use wino_core;
+pub use wino_nets;
+pub use wino_tensor;
+pub use wino_train;

@@ -1,0 +1,47 @@
+//! Integration test of the Winograd-aware quantized training pipeline
+//! (a miniature Table II row ordering check).
+
+use winograd_tapwise::wino_train::trainer::Experiment;
+use winograd_tapwise::wino_train::{AblationConfig, ConvKernel, TrainerOptions};
+
+#[test]
+fn tapwise_retraining_recovers_most_of_the_naive_f4_drop() {
+    let exp = Experiment::prepare(TrainerOptions::tiny());
+    let baseline = exp.baseline_accuracy();
+
+    let naive = AblationConfig {
+        kernel: ConvKernel::F4,
+        winograd_aware: false,
+        tapwise: false,
+        power_of_two: false,
+        learned_log2: false,
+        knowledge_distillation: false,
+        wino_bits: 8,
+    };
+    let tapwise = AblationConfig {
+        kernel: ConvKernel::F4,
+        winograd_aware: true,
+        tapwise: true,
+        power_of_two: true,
+        learned_log2: false,
+        knowledge_distillation: false,
+        wino_bits: 10,
+    };
+    let naive_out = exp.run(naive);
+    let tap_out = exp.run(tapwise);
+
+    // The naive post-training-quantized F4 network should not beat the
+    // tap-wise Winograd-aware one, and the tap-wise one should stay within a
+    // modest margin of the FP32 baseline (Table II shape).
+    assert!(
+        tap_out.quantized_accuracy + 1e-6 >= naive_out.quantized_accuracy - 0.1,
+        "tap-wise ({}) unexpectedly far below naive PTQ ({})",
+        tap_out.quantized_accuracy,
+        naive_out.quantized_accuracy
+    );
+    assert!(
+        baseline - tap_out.quantized_accuracy < 0.25,
+        "tap-wise int8/10 drop too large: baseline {baseline}, tap-wise {}",
+        tap_out.quantized_accuracy
+    );
+}

@@ -1,0 +1,76 @@
+//! Cross-crate integration tests: the Winograd kernels, the quantized integer
+//! pipeline and the reference substrate must agree on realistic layer shapes
+//! drawn from the network zoo.
+
+use winograd_tapwise::wino_core::{
+    winograd_conv2d, IntWinogradConv, QuantBits, QuantParams, TapwiseScales, TileSize,
+    WinogradMatrices, WinogradQuantConfig,
+};
+use winograd_tapwise::wino_nets::resnet20;
+use winograd_tapwise::wino_tensor::{conv2d_direct, conv2d_im2col, normal, ConvParams};
+
+#[test]
+fn winograd_matches_im2col_and_direct_on_resnet20_shapes() {
+    // Take a few real layer shapes from the ResNet-20 inventory (capped sizes
+    // keep the test fast) and check all three FP32 convolution paths agree.
+    let net = resnet20();
+    let p = ConvParams::same_3x3();
+    for (i, layer) in net.layers.iter().filter(|l| l.kernel == 3 && l.stride == 1).take(3).enumerate() {
+        let c_in = layer.c_in.min(16);
+        let c_out = layer.c_out.min(16);
+        let hw = layer.h_out.min(16);
+        let x = normal(&[1, c_in, hw, hw], 0.0, 1.0, 900 + i as u64);
+        let w = normal(&[c_out, c_in, 3, 3], 0.0, 0.4, 950 + i as u64);
+        let direct = conv2d_direct(&x, &w, None, p);
+        let lowered = conv2d_im2col(&x, &w, None, p);
+        assert!(direct.relative_error(&lowered) < 1e-4);
+        for tile in [TileSize::F2, TileSize::F4] {
+            let wino = winograd_conv2d(&x, &w, tile);
+            assert!(
+                wino.relative_error(&direct) < 1e-4,
+                "layer {} tile {tile}: FP32 Winograd mismatch",
+                layer.name
+            );
+        }
+    }
+}
+
+#[test]
+fn integer_pipeline_is_accurate_and_int8_10_beats_int8() {
+    let x = normal(&[1, 8, 16, 16], 0.0, 1.0, 1001);
+    let w = normal(&[8, 8, 3, 3], 0.0, 0.3, 1002);
+    let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+    let mut errors = Vec::new();
+    for bits in [8u8, 10u8] {
+        let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, bits);
+        let mats = WinogradMatrices::for_tile(TileSize::F4);
+        let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+        let xp = QuantParams::from_max(x.abs_max(), QuantBits::int8()).to_power_of_two();
+        let xq = x.map(|v| xp.quantize(v) as i8);
+        let conv = IntWinogradConv::prepare(&w, &scales, xp, reference.abs_max(), cfg);
+        let out = conv.forward(&xq).dequantize();
+        errors.push(out.relative_error(&reference));
+    }
+    assert!(errors[0] < 0.25, "int8 error too high: {}", errors[0]);
+    assert!(errors[1] < errors[0], "int8/10 should improve on int8: {errors:?}");
+}
+
+#[test]
+fn tapwise_quantization_beats_uniform_on_f4() {
+    use winograd_tapwise::wino_core::winograd_conv2d_fake_quant;
+    let x = normal(&[1, 8, 16, 16], 0.0, 1.0, 1011);
+    let w = normal(&[8, 8, 3, 3], 0.0, 0.3, 1012);
+    let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+    let mats = WinogradMatrices::for_tile(TileSize::F4);
+    let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
+    let tap = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+    let uni = TapwiseScales::calibrate_uniform(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+    let err_tap =
+        winograd_conv2d_fake_quant(&x, &w, &cfg, &tap, x.abs_max()).relative_error(&reference);
+    let err_uni =
+        winograd_conv2d_fake_quant(&x, &w, &cfg, &uni, x.abs_max()).relative_error(&reference);
+    assert!(
+        err_tap < err_uni,
+        "tap-wise ({err_tap}) must beat the single-scalar baseline ({err_uni})"
+    );
+}
