@@ -1,12 +1,15 @@
 //! Criterion micro-benchmarks of the convolution kernels: direct, im2col+GEMM
-//! and Winograd F2/F4/F6 (FP32), plus the integer tap-wise F4 pipeline.
+//! and Winograd F2/F4/F6 (FP32), plus the integer tap-wise F4 pipeline, the
+//! `ConvBackend` engine dispatch, and the thread-scaling of the parallel
+//! Winograd F4 path on a real ResNet-34 layer shape.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wino_core::{
-    winograd_conv2d, IntWinogradConv, QuantBits, QuantParams, TapwiseScales, TileSize,
-    WinogradMatrices, WinogradQuantConfig,
+    winograd_conv2d, Engine, IntWinogradConv, Planner, QuantBits, QuantParams, TapwiseScales,
+    TileSize, WinogradMatrices, WinogradQuantConfig,
 };
-use wino_tensor::{conv2d_direct, conv2d_im2col, normal, ConvParams};
+use wino_nets::{ConvLayer, Kernel};
+use wino_tensor::{conv2d_direct, conv2d_im2col, normal, parallel, ConvParams};
 
 fn bench_conv_kernels(c: &mut Criterion) {
     let x = normal(&[1, 16, 32, 32], 0.0, 1.0, 1);
@@ -18,9 +21,11 @@ fn bench_conv_kernels(c: &mut Criterion) {
     group.bench_function("direct", |b| b.iter(|| conv2d_direct(&x, &w, None, p)));
     group.bench_function("im2col_gemm", |b| b.iter(|| conv2d_im2col(&x, &w, None, p)));
     for tile in [TileSize::F2, TileSize::F4, TileSize::F6] {
-        group.bench_with_input(BenchmarkId::new("winograd", tile.to_string()), &tile, |b, &t| {
-            b.iter(|| winograd_conv2d(&x, &w, t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("winograd", tile.to_string()),
+            &tile,
+            |b, &t| b.iter(|| winograd_conv2d(&x, &w, t)),
+        );
     }
     group.finish();
 
@@ -39,5 +44,49 @@ fn bench_conv_kernels(c: &mut Criterion) {
     int_group.finish();
 }
 
-criterion_group!(benches, bench_conv_kernels);
+/// Engine dispatch on a real ResNet-34 layer shape (layer2: 128→128 @ 28×28):
+/// measures the dispatch overhead against calling the kernels directly, and
+/// the rayon-style thread scaling of the parallel Winograd F4 path against a
+/// forced single-thread run (the seed code's behaviour).
+fn bench_engine_dispatch(c: &mut Criterion) {
+    let layer = ConvLayer::conv3x3("resnet34.layer2", 128, 128, 28);
+    let p = layer.params();
+    let (h_in, w_in) = layer.input_hw();
+    let x = normal(&[1, layer.c_in, h_in, w_in], 0.0, 1.0, 11);
+    let w = normal(&[layer.c_out, layer.c_in, 3, 3], 0.0, 0.2, 12);
+    let engine = Engine::with_default_backends();
+    let planned = Planner::default().plan_layer(&layer).kernel;
+    assert_eq!(planned, Kernel::WinogradF4);
+
+    let mut group = c.benchmark_group("engine_resnet34_layer2");
+    group.sample_size(10);
+    group.bench_function("direct_call_winograd_f4", |b| {
+        b.iter(|| winograd_conv2d(&x, &w, TileSize::F4))
+    });
+    group.bench_function("engine_dispatch_winograd_f4", |b| {
+        b.iter(|| engine.execute(planned, &x, &w, None, p))
+    });
+    group.bench_function("engine_dispatch_im2col", |b| {
+        b.iter(|| engine.execute(Kernel::Im2col, &x, &w, None, p))
+    });
+    group.finish();
+
+    let mut threads = c.benchmark_group("winograd_f4_thread_scaling");
+    threads.sample_size(10);
+    for workers in [1usize, 0] {
+        let label = if workers == 1 {
+            "single_thread"
+        } else {
+            "all_cores"
+        };
+        threads.bench_with_input(BenchmarkId::new("winograd_f4", label), &workers, |b, &n| {
+            parallel::set_max_threads(n);
+            b.iter(|| winograd_conv2d(&x, &w, TileSize::F4));
+        });
+    }
+    parallel::set_max_threads(0);
+    threads.finish();
+}
+
+criterion_group!(benches, bench_conv_kernels, bench_engine_dispatch);
 criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Criterion benchmarks of the accelerator performance model itself (the cost
 //! of regenerating the paper's tables).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use accel_sim::{simulate_layer, simulate_network, AcceleratorConfig, Kernel, KernelChoice};
+use criterion::{criterion_group, criterion_main, Criterion};
 use wino_nets::{resnet34, synthetic_conv_suite, ConvLayer};
 
 fn bench_simulator(c: &mut Criterion) {

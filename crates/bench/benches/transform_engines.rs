@@ -1,7 +1,10 @@
 //! Criterion micro-benchmarks of the Winograd transformations themselves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wino_core::{cook_toom_matrices, input_transform, output_transform, weight_transform, TileSize, WinogradMatrices};
+use wino_core::{
+    cook_toom_matrices, input_transform, output_transform, weight_transform, TileSize,
+    WinogradMatrices,
+};
 use wino_tensor::normal;
 
 fn bench_transforms(c: &mut Criterion) {
@@ -12,15 +15,21 @@ fn bench_transforms(c: &mut Criterion) {
         let t = tile.input_tile();
         let d = normal(&[t, t], 0.0, 1.0, 5);
         let k = normal(&[3, 3], 0.0, 1.0, 6);
-        group.bench_with_input(BenchmarkId::new("input", tile.to_string()), &tile, |b, _| {
-            b.iter(|| input_transform(&d, &mats))
-        });
-        group.bench_with_input(BenchmarkId::new("weight", tile.to_string()), &tile, |b, _| {
-            b.iter(|| weight_transform(&k, &mats))
-        });
-        group.bench_with_input(BenchmarkId::new("output", tile.to_string()), &tile, |b, _| {
-            b.iter(|| output_transform(&d, &mats))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("input", tile.to_string()),
+            &tile,
+            |b, _| b.iter(|| input_transform(&d, &mats)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("weight", tile.to_string()),
+            &tile,
+            |b, _| b.iter(|| weight_transform(&k, &mats)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("output", tile.to_string()),
+            &tile,
+            |b, _| b.iter(|| output_transform(&d, &mats)),
+        );
     }
     group.bench_function("cook_toom_generate_f4", |b| {
         b.iter(|| cook_toom_matrices(4, 3, &[0.0, 1.0, -1.0, 0.5, -0.5]))

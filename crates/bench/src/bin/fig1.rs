@@ -16,16 +16,23 @@ fn main() {
     println!("Weights: synthetic Kaiming-normal tensors with ResNet-34 3x3 layer shapes\n");
 
     let net = resnet34();
-    let mut layer_idx = 0usize;
     let mut spread_sum = 0.0f32;
     let mut spread_count = 0usize;
-    for layer in net.layers.iter().filter(|l| l.kernel == 3 && l.stride == 1) {
+    for (layer_idx, layer) in net
+        .layers
+        .iter()
+        .filter(|l| l.kernel == 3 && l.stride == 1)
+        .enumerate()
+    {
         let w = kaiming_normal(&[layer.c_out, layer.c_in, 3, 3], 1000 + layer_idx as u64);
         let stats = tap_statistics(&w, TileSize::F4);
         spread_sum += stats.range_spread_bits();
         spread_count += 1;
         if layer_idx == 0 {
-            println!("First 3x3 layer ({}): per-tap mean of log2|GfG^T| (6x6 grid)", layer.name);
+            println!(
+                "First 3x3 layer ({}): per-tap mean of log2|GfG^T| (6x6 grid)",
+                layer.name
+            );
             for r in 0..6 {
                 let row: Vec<String> = (0..6)
                     .map(|c| format!("{:6.2}", stats.mean_log2_abs[r * 6 + c]))
@@ -42,7 +49,6 @@ fn main() {
             }
             println!();
         }
-        layer_idx += 1;
     }
     println!(
         "Average per-tap dynamic-range spread across {} ResNet-34 3x3 layers: {:.1} bits",

@@ -27,7 +27,10 @@ fn main() {
         ("channel-wise", QuantGranularity::ChannelWise),
     ] {
         let rep = weight_quantization_error(&layers, QuantDomain::Spatial, gran, 8);
-        println!("  {label}: mean relative error = 2^{:.2}", rep.mean_log2_error);
+        println!(
+            "  {label}: mean relative error = 2^{:.2}",
+            rep.mean_log2_error
+        );
     }
 
     println!("\n(b) Winograd F4 domain (quantize G f G^T, Moore-Penrose back-transform)");
@@ -40,7 +43,10 @@ fn main() {
         ("channel & tap    ", QuantGranularity::ChannelAndTapWise),
     ] {
         let rep = weight_quantization_error(&layers, domain, gran, 8);
-        println!("  {label}: mean relative error = 2^{:.2}", rep.mean_log2_error);
+        println!(
+            "  {label}: mean relative error = 2^{:.2}",
+            rep.mean_log2_error
+        );
         results.push((label, rep));
     }
 
@@ -49,9 +55,16 @@ fn main() {
     for (i, v) in hist.iter().enumerate() {
         if *v > 0.0 {
             let lo = -15.0 + i as f32 * 0.5;
-            println!("  [{:6.1}, {:6.1}): {}", lo, lo + 0.5, "#".repeat((v * 200.0) as usize));
+            println!(
+                "  [{:6.1}, {:6.1}): {}",
+                lo,
+                lo + 0.5,
+                "#".repeat((v * 200.0) as usize)
+            );
         }
     }
     println!("\nPaper reference (means): spatial layer 2^-6.01, spatial channel 2^-6.72,");
-    println!("Winograd layer 2^-5.58, channel 2^-5.62, tap-wise 2^-6.78, channel&tap slightly better.");
+    println!(
+        "Winograd layer 2^-5.58, channel 2^-5.62, tap-wise 2^-6.78, channel&tap slightly better."
+    );
 }

@@ -8,10 +8,24 @@ use wino_nets::ConvLayer;
 fn main() {
     let cfg = AcceleratorConfig::paper_system();
     // Workloads of Fig. 5: [Batch, HW, Cin, Cout].
-    let workloads = [(1usize, 32usize, 128usize, 128usize), (1, 32, 256, 256), (8, 32, 128, 128), (8, 32, 256, 256)];
+    let workloads = [
+        (1usize, 32usize, 128usize, 128usize),
+        (1, 32, 256, 256),
+        (8, 32, 128, 128),
+        (8, 32, 256, 256),
+    ];
     println!("Fig. 5 reproduction: cycle breakdown, Winograd F4 normalised to im2col\n");
     let mut table = Table::new(&[
-        "Workload [B,HW,Cin,Cout]", "Wino/im2col", "CUBE", "IN XFORM", "WT XFORM", "IN LOAD", "WT LOAD", "OUT STORE", "VECTOR", "bottleneck",
+        "Workload [B,HW,Cin,Cout]",
+        "Wino/im2col",
+        "CUBE",
+        "IN XFORM",
+        "WT XFORM",
+        "IN LOAD",
+        "WT LOAD",
+        "OUT STORE",
+        "VECTOR",
+        "bottleneck",
     ]);
     for (b, hw, ci, co) in workloads {
         let layer = ConvLayer::conv3x3("fig5", ci, co, hw);

@@ -11,7 +11,7 @@ fn main() {
     println!("Fig. 6 reproduction: Winograd F4 memory accesses and energy vs im2col");
     println!("(averaged over the Winograd-eligible layers of the Table VII networks)\n");
 
-    let mut ratios = vec![0.0f64; 10];
+    let mut ratios = [0.0f64; 10];
     let mut energy_f4 = [0.0f64; 8];
     let mut energy_im2col_total = 0.0f64;
     let mut f4_total = 0.0f64;
@@ -62,17 +62,30 @@ fn main() {
     }
 
     let labels = [
-        "GM FM read", "GM FM write", "GM Wt read", "L1 FM read", "L1 FM write",
-        "Wt operand stream (L1 wino / L0B im2col)", "L1 Wt write", "L0A read", "L0B read", "L0C read+write",
+        "GM FM read",
+        "GM FM write",
+        "GM Wt read",
+        "L1 FM read",
+        "L1 FM write",
+        "Wt operand stream (L1 wino / L0B im2col)",
+        "L1 Wt write",
+        "L0A read",
+        "L0B read",
+        "L0C read+write",
     ];
     let mut table = Table::new(&["Access", "F4 / im2col"]);
     for (label, total) in labels.iter().zip(ratios.iter()) {
-        table.push_row(vec![label.to_string(), format!("{:.2}", total / count as f64)]);
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.2}", total / count as f64),
+        ]);
     }
     println!("{}", table.render());
 
     println!("Energy breakdown of the Winograd F4 operator (share of its total):");
-    let names = ["CUBE", "IFM-XFRM", "WT-XFRM", "OFM-XFRM", "L0", "L1", "DRAM", "VECTOR"];
+    let names = [
+        "CUBE", "IFM-XFRM", "WT-XFRM", "OFM-XFRM", "L0", "L1", "DRAM", "VECTOR",
+    ];
     for (n, e) in names.iter().zip(energy_f4.iter()) {
         println!("  {n:<9} {:5.1}%", e / f4_total * 100.0);
     }

@@ -21,17 +21,40 @@ fn main() {
         .enumerate()
         .take(8)
     {
-        let w = kaiming_normal(&[layer.c_out.min(64), layer.c_in.min(64), 3, 3], 31 + i as u64);
+        let w = kaiming_normal(
+            &[layer.c_out.min(64), layer.c_in.min(64), 3, 3],
+            31 + i as u64,
+        );
         let x = normal(&[1, layer.c_in.min(64), 16, 16], 0.0, 1.0, 77 + i as u64);
         let scales =
             TapwiseScales::calibrate(&w, &x, &mats, QuantBits::int8(), ScaleMode::PowerOfTwo);
-        weight_shifts.extend(scales.weight.shifts().as_slice().iter().map(|s| s.round() as i32));
-        input_shifts.extend(scales.input.shifts().as_slice().iter().map(|s| s.round() as i32));
+        weight_shifts.extend(
+            scales
+                .weight
+                .shifts()
+                .as_slice()
+                .iter()
+                .map(|s| s.round() as i32),
+        );
+        input_shifts.extend(
+            scales
+                .input
+                .shifts()
+                .as_slice()
+                .iter()
+                .map(|s| s.round() as i32),
+        );
     }
-    for (label, shifts) in [("weights (S_G)", &weight_shifts), ("feature maps (S_B)", &input_shifts)] {
+    for (label, shifts) in [
+        ("weights (S_G)", &weight_shifts),
+        ("feature maps (S_B)", &input_shifts),
+    ] {
         let min = shifts.iter().min().unwrap();
         let max = shifts.iter().max().unwrap();
-        println!("{label}: shift exponents span {min}..{max} ({} bits of spread)", max - min);
+        println!(
+            "{label}: shift exponents span {min}..{max} ({} bits of spread)",
+            max - min
+        );
         let mut hist = std::collections::BTreeMap::new();
         for s in shifts {
             *hist.entry(*s).or_insert(0usize) += 1;

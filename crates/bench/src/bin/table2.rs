@@ -11,8 +11,8 @@
 //! tests); the full run takes several minutes.
 
 use wino_bench::Table;
-use wino_train::{AblationConfig, ConvKernel, TrainerOptions};
 use wino_train::trainer::Experiment;
+use wino_train::{AblationConfig, ConvKernel, TrainerOptions};
 
 fn rows() -> Vec<AblationConfig> {
     let f4 = ConvKernel::F4;
@@ -50,28 +50,60 @@ fn main() {
     let options = if fast {
         TrainerOptions::tiny()
     } else {
-        TrainerOptions { train_samples: 384, test_samples: 192, baseline_epochs: 8, retrain_epochs: 3, ..TrainerOptions::default() }
+        TrainerOptions {
+            train_samples: 384,
+            test_samples: 192,
+            baseline_epochs: 8,
+            retrain_epochs: 3,
+            ..TrainerOptions::default()
+        }
     };
     println!("Table II reproduction: ablation of the tap-wise quantization recipe");
     println!("(synthetic task substitution; see DESIGN.md; fast mode: {fast})\n");
 
     let experiment = Experiment::prepare(options);
-    println!("FP32/im2col baseline accuracy: {:.1}%\n", experiment.baseline_accuracy() * 100.0);
+    println!(
+        "FP32/im2col baseline accuracy: {:.1}%\n",
+        experiment.baseline_accuracy() * 100.0
+    );
 
-    let mut table = Table::new(&["Alg.", "WA", "tap", "2x", "log2t", "KD", "intn", "Top-1 [%]", "delta [%]"]);
-    let configs = if fast { rows().into_iter().take(8).collect::<Vec<_>>() } else { rows() };
+    let mut table = Table::new(&[
+        "Alg.",
+        "WA",
+        "tap",
+        "2x",
+        "log2t",
+        "KD",
+        "intn",
+        "Top-1 [%]",
+        "delta [%]",
+    ]);
+    let configs = if fast {
+        rows().into_iter().take(8).collect::<Vec<_>>()
+    } else {
+        rows()
+    };
     for config in configs {
         let outcome = experiment.run(config);
         let c = &outcome.config;
         let flag = |b: bool| if b { "x" } else { "" };
         table.push_row(vec![
-            match c.kernel { ConvKernel::Im2col => "im2col", ConvKernel::F2 => "F2", ConvKernel::F4 => "F4" }.to_string(),
+            match c.kernel {
+                ConvKernel::Im2col => "im2col",
+                ConvKernel::F2 => "F2",
+                ConvKernel::F4 => "F4",
+            }
+            .to_string(),
             flag(c.winograd_aware).into(),
             flag(c.tapwise).into(),
             flag(c.power_of_two).into(),
             flag(c.learned_log2).into(),
             flag(c.knowledge_distillation).into(),
-            if c.wino_bits == 8 { "8".into() } else { format!("8/{}", c.wino_bits) },
+            if c.wino_bits == 8 {
+                "8".into()
+            } else {
+                format!("8/{}", c.wino_bits)
+            },
             format!("{:.1}", outcome.quantized_accuracy * 100.0),
             format!("{:+.1}", outcome.delta() * 100.0),
         ]);

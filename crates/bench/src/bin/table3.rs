@@ -14,7 +14,13 @@ fn main() {
     let options = if fast {
         TrainerOptions::tiny()
     } else {
-        TrainerOptions { train_samples: 384, test_samples: 192, baseline_epochs: 8, retrain_epochs: 3, ..TrainerOptions::default() }
+        TrainerOptions {
+            train_samples: 384,
+            test_samples: 192,
+            baseline_epochs: 8,
+            retrain_epochs: 3,
+            ..TrainerOptions::default()
+        }
     };
     println!("Table III reproduction: comparison with SoA Winograd quantization methods\n");
 
@@ -29,7 +35,14 @@ fn main() {
         ("Tap-wise (paper)", "F4", "8", 93.8, 94.4),
         ("Tap-wise (paper)", "F4", "8/9", 94.4, 94.4),
     ] {
-        lit.push_row(vec![m.into(), t.into(), b.into(), format!("{acc:.1}"), format!("{r:.1}"), format!("{:+.1}", acc - r)]);
+        lit.push_row(vec![
+            m.into(),
+            t.into(),
+            b.into(),
+            format!("{acc:.1}"),
+            format!("{r:.1}"),
+            format!("{:+.1}", acc - r),
+        ]);
     }
     println!("{}", lit.render());
 
@@ -37,24 +50,64 @@ fn main() {
     let experiment = Experiment::prepare(options);
     let mut table = Table::new(&["Config", "intn", "Top-1 [%]", "Ref. [%]", "delta [%]"]);
     let configs = [
-        ("naive F4 PTQ (stand-in for static WA int8)", AblationConfig {
-            kernel: ConvKernel::F4, winograd_aware: false, tapwise: false, power_of_two: false,
-            learned_log2: false, knowledge_distillation: false, wino_bits: 8 }),
-        ("tap-wise po2 int8", AblationConfig {
-            kernel: ConvKernel::F4, winograd_aware: true, tapwise: true, power_of_two: true,
-            learned_log2: false, knowledge_distillation: false, wino_bits: 8 }),
-        ("tap-wise po2 + KD int8", AblationConfig {
-            kernel: ConvKernel::F4, winograd_aware: true, tapwise: true, power_of_two: true,
-            learned_log2: true, knowledge_distillation: true, wino_bits: 8 }),
-        ("tap-wise po2 + KD int8/10", AblationConfig {
-            kernel: ConvKernel::F4, winograd_aware: true, tapwise: true, power_of_two: true,
-            learned_log2: true, knowledge_distillation: true, wino_bits: 10 }),
+        (
+            "naive F4 PTQ (stand-in for static WA int8)",
+            AblationConfig {
+                kernel: ConvKernel::F4,
+                winograd_aware: false,
+                tapwise: false,
+                power_of_two: false,
+                learned_log2: false,
+                knowledge_distillation: false,
+                wino_bits: 8,
+            },
+        ),
+        (
+            "tap-wise po2 int8",
+            AblationConfig {
+                kernel: ConvKernel::F4,
+                winograd_aware: true,
+                tapwise: true,
+                power_of_two: true,
+                learned_log2: false,
+                knowledge_distillation: false,
+                wino_bits: 8,
+            },
+        ),
+        (
+            "tap-wise po2 + KD int8",
+            AblationConfig {
+                kernel: ConvKernel::F4,
+                winograd_aware: true,
+                tapwise: true,
+                power_of_two: true,
+                learned_log2: true,
+                knowledge_distillation: true,
+                wino_bits: 8,
+            },
+        ),
+        (
+            "tap-wise po2 + KD int8/10",
+            AblationConfig {
+                kernel: ConvKernel::F4,
+                winograd_aware: true,
+                tapwise: true,
+                power_of_two: true,
+                learned_log2: true,
+                knowledge_distillation: true,
+                wino_bits: 10,
+            },
+        ),
     ];
     for (label, config) in configs {
         let out = experiment.run(config);
         table.push_row(vec![
             label.into(),
-            if config.wino_bits == 8 { "8".into() } else { format!("8/{}", config.wino_bits) },
+            if config.wino_bits == 8 {
+                "8".into()
+            } else {
+                format!("8/{}", config.wino_bits)
+            },
             format!("{:.1}", out.quantized_accuracy * 100.0),
             format!("{:.1}", out.baseline_accuracy * 100.0),
             format!("{:+.1}", out.delta() * 100.0),

@@ -12,14 +12,28 @@ use wino_bench::Table;
 fn main() {
     let cfg = AcceleratorConfig::paper_system();
     println!("Table V reproduction: AI core area/power breakdown (28nm model, 0.8V, 500MHz)\n");
-    let mut table = Table::new(&["Unit", "Area [mm2]", "Area [%]", "Peak power [mW]", "Winograd ext."]);
+    let mut table = Table::new(&[
+        "Unit",
+        "Area [mm2]",
+        "Area [%]",
+        "Peak power [mW]",
+        "Winograd ext.",
+    ]);
     for row in core_breakdown(&cfg) {
         table.push_row(vec![
             row.unit.clone(),
             format!("{:.2}", row.area_mm2),
             format!("{:.1}%", row.area_fraction * 100.0),
-            if row.peak_power_mw > 0.0 { format!("{:.0}", row.peak_power_mw) } else { "-".into() },
-            if row.winograd_extension { "yes".into() } else { "".into() },
+            if row.peak_power_mw > 0.0 {
+                format!("{:.0}", row.peak_power_mw)
+            } else {
+                "-".into()
+            },
+            if row.winograd_extension {
+                "yes".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     println!("{}", table.render());
@@ -34,11 +48,22 @@ fn main() {
     );
 
     println!("\nTransformation-engine design space (Table I / Section IV-B1):");
-    let mut dse = Table::new(&["Engine", "Style", "Cycles/xform", "Xforms/cycle", "RD B/cyc", "WR B/cyc", "Rel. area"]);
+    let mut dse = Table::new(&[
+        "Engine",
+        "Style",
+        "Cycles/xform",
+        "Xforms/cycle",
+        "RD B/cyc",
+        "WR B/cyc",
+        "Rel. area",
+    ]);
     let styles = [
         ("row-by-row slow", EngineStyle::RowByRowSlow),
         ("row-by-row fast", EngineStyle::RowByRowFast),
-        ("tap-by-tap (Pt=4)", EngineStyle::TapByTap { parallel_taps: 4 }),
+        (
+            "tap-by-tap (Pt=4)",
+            EngineStyle::TapByTap { parallel_taps: 4 },
+        ),
     ];
     for (kind_name, base) in [
         ("input", TransformEngine::paper_input_engine()),

@@ -18,12 +18,19 @@ fn main() {
         ours.peak_tops()
     );
 
-    let rows = [(8usize, 32usize, 128usize, 128usize), (8, 32, 128, 256), (8, 32, 256, 512)];
+    let rows = [
+        (8usize, 32usize, 128usize, 128usize),
+        (8, 32, 128, 256),
+        (8, 32, 256, 512),
+    ];
     let mut table = Table::new(&[
         "B,H,W,Cin,Cout",
-        "NVDLA 128GW t[us]", "SU",
-        "NVDLA 42.7GW t[us]", "SU",
-        "Ours 41GW t[us]", "SU",
+        "NVDLA 128GW t[us]",
+        "SU",
+        "NVDLA 42.7GW t[us]",
+        "SU",
+        "Ours 41GW t[us]",
+        "SU",
         "Ours vs NVDLA(iso)",
     ]);
     for (b, hw, ci, co) in rows {
@@ -41,9 +48,12 @@ fn main() {
         let su_ours = base.cycles / f4.cycles;
         table.push_row(vec![
             format!("{b},{hw},{hw},{ci},{co}"),
-            format!("{t_hi:.1}"), format!("{su_hi:.2}"),
-            format!("{t_iso:.1}"), format!("{su_iso:.2}"),
-            format!("{t_ours:.1}"), format!("{su_ours:.2}"),
+            format!("{t_hi:.1}"),
+            format!("{su_hi:.2}"),
+            format!("{t_iso:.1}"),
+            format!("{su_iso:.2}"),
+            format!("{t_ours:.1}"),
+            format!("{su_ours:.2}"),
             format!("{:.2}x", t_iso / t_ours),
         ]);
     }

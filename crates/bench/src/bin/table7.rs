@@ -12,9 +12,15 @@ fn main() {
     println!("Table VII reproduction: end-to-end throughput [imgs/s] and energy efficiency\n");
 
     let mut table = Table::new(&[
-        "Network", "Batch", "Res.",
-        "im2col", "F2", "F4",
-        "F2 vs im2col", "F4 vs im2col", "F4 vs F2",
+        "Network",
+        "Batch",
+        "Res.",
+        "im2col",
+        "F2",
+        "F4",
+        "F2 vs im2col",
+        "F4 vs im2col",
+        "F4 vs F2",
         "*F4 vs im2col (1.5x BW)",
         "Energy eff. F4 vs im2col",
     ]);
@@ -35,8 +41,16 @@ fn main() {
             format!("{:.0}", base.images_per_second(&cfg)),
             format!("{:.0}", f2.images_per_second(&cfg)),
             format!("{:.0}", f4.images_per_second(&cfg)),
-            format!("{:.2}x ({:.2}x)", f2.speedup_over(&base), f2.winograd_layer_speedup_over(&base)),
-            format!("{:.2}x ({:.2}x)", f4.speedup_over(&base), f4.winograd_layer_speedup_over(&base)),
+            format!(
+                "{:.2}x ({:.2}x)",
+                f2.speedup_over(&base),
+                f2.winograd_layer_speedup_over(&base)
+            ),
+            format!(
+                "{:.2}x ({:.2}x)",
+                f4.speedup_over(&base),
+                f4.winograd_layer_speedup_over(&base)
+            ),
             format!("{:.2}x", f2.total_cycles / f4.total_cycles),
             format!("{:.2}x", f4_bw.speedup_over(&base_bw)),
             format!("{:.2}x", eff_gain),

@@ -32,8 +32,12 @@ impl TapStatistics {
     /// the largest and the smallest per-tap maximum.
     pub fn range_spread_bits(&self) -> f32 {
         let max = self.max_abs.iter().cloned().fold(f32::MIN, f32::max);
-        let min =
-            self.max_abs.iter().cloned().filter(|v| *v > 0.0).fold(f32::MAX, f32::min);
+        let min = self
+            .max_abs
+            .iter()
+            .cloned()
+            .filter(|v| *v > 0.0)
+            .fold(f32::MAX, f32::min);
         if min == f32::MAX || max <= 0.0 {
             0.0
         } else {
@@ -99,7 +103,12 @@ pub fn tap_statistics(weights: &Tensor<f32>, tile: TileSize) -> TapStatistics {
             }
         })
         .collect();
-    TapStatistics { t, mean_log2_abs, std_log2_abs, max_abs }
+    TapStatistics {
+        t,
+        mean_log2_abs,
+        std_log2_abs,
+        max_abs,
+    }
 }
 
 /// The maximum absolute value per Winograd-domain tap of a weight tensor, as a
@@ -150,7 +159,11 @@ impl QuantizationErrorReport {
             errors.iter().sum::<f32>() / errors.len() as f32
         };
         let log2_errors = errors.iter().map(|e| e.max(1e-30).log2()).collect();
-        Self { log2_errors, mean_error, mean_log2_error: mean_error.max(1e-30).log2() }
+        Self {
+            log2_errors,
+            mean_error,
+            mean_log2_error: mean_error.max(1e-30).log2(),
+        }
     }
 
     /// Histogram of the `log2` errors between `lo` and `hi` with `bins` bins,
@@ -183,8 +196,9 @@ fn quantize_group(values: &mut [f32], bits: u8) {
     }
     let n = values.len() as f32;
     let mu: f32 = values.iter().sum::<f32>() / n;
-    let sigma: f32 =
-        (values.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / n).sqrt().max(1e-12);
+    let sigma: f32 = (values.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / n)
+        .sqrt()
+        .max(1e-12);
     let qmax = (1_i32 << (bits - 1)) - 1;
     let qmin = -(1_i32 << (bits - 1));
 
@@ -223,6 +237,7 @@ fn quantize_group(values: &mut [f32], bits: u8) {
 /// returned report contains one relative error per output channel per layer
 /// (error measured in the spatial domain; Winograd-domain quantization is
 /// transformed back with the Moore–Penrose inverse of `G`).
+#[allow(clippy::needless_range_loop)] // index-heavy math reads clearer with explicit loops
 pub fn weight_quantization_error(
     layers: &[Tensor<f32>],
     domain: QuantDomain,
@@ -241,8 +256,7 @@ pub fn weight_quantization_error(
                     QuantGranularity::LayerWise => {
                         let mut vals: Vec<f32> = w.as_slice().to_vec();
                         quantize_group(&mut vals, bits);
-                        quantized =
-                            Tensor::from_vec(vals, w.dims()).expect("layer quant shape");
+                        quantized = Tensor::from_vec(vals, w.dims()).expect("layer quant shape");
                     }
                     _ => {
                         // Channel-wise (tap-wise has no meaning in the spatial
@@ -433,10 +447,22 @@ mod tests {
     #[test]
     fn channel_wise_beats_layer_wise_in_spatial_domain() {
         let layers = sample_layers();
-        let lw = weight_quantization_error(&layers, QuantDomain::Spatial, QuantGranularity::LayerWise, 8);
-        let cw =
-            weight_quantization_error(&layers, QuantDomain::Spatial, QuantGranularity::ChannelWise, 8);
-        assert!(cw.mean_error <= lw.mean_error * 1.05, "channel-wise should not be worse");
+        let lw = weight_quantization_error(
+            &layers,
+            QuantDomain::Spatial,
+            QuantGranularity::LayerWise,
+            8,
+        );
+        let cw = weight_quantization_error(
+            &layers,
+            QuantDomain::Spatial,
+            QuantGranularity::ChannelWise,
+            8,
+        );
+        assert!(
+            cw.mean_error <= lw.mean_error * 1.05,
+            "channel-wise should not be worse"
+        );
     }
 
     #[test]
@@ -467,8 +493,12 @@ mod tests {
     #[test]
     fn histogram_is_normalised() {
         let layers = sample_layers();
-        let rep =
-            weight_quantization_error(&layers, QuantDomain::Spatial, QuantGranularity::ChannelWise, 8);
+        let rep = weight_quantization_error(
+            &layers,
+            QuantDomain::Spatial,
+            QuantGranularity::ChannelWise,
+            8,
+        );
         let h = rep.histogram(-15.0, 5.0, 40);
         let sum: f32 = h.iter().sum();
         assert!((sum - 1.0).abs() < 1e-4);

@@ -37,13 +37,22 @@ impl MaxCalibrator {
     ///
     /// Panics unless `0 < momentum <= 1`.
     pub fn new(momentum: f32) -> Self {
-        assert!(momentum > 0.0 && momentum <= 1.0, "momentum must be in (0, 1]");
-        Self { mode: CalibrationMode::RunningAverage(momentum), value: None }
+        assert!(
+            momentum > 0.0 && momentum <= 1.0,
+            "momentum must be in (0, 1]"
+        );
+        Self {
+            mode: CalibrationMode::RunningAverage(momentum),
+            value: None,
+        }
     }
 
     /// Creates a peak calibrator that keeps the maximum of all observations.
     pub fn peak() -> Self {
-        Self { mode: CalibrationMode::Peak, value: None }
+        Self {
+            mode: CalibrationMode::Peak,
+            value: None,
+        }
     }
 
     /// Observes a batch of values and updates the calibrated maximum.
@@ -91,13 +100,19 @@ impl TapCalibrator {
     /// Creates a running-average calibrator for `t×t` tiles with the given
     /// momentum.
     pub fn new(t: usize, momentum: f32) -> Self {
-        Self { t, taps: vec![MaxCalibrator::new(momentum); t * t] }
+        Self {
+            t,
+            taps: vec![MaxCalibrator::new(momentum); t * t],
+        }
     }
 
     /// Creates a peak calibrator for `t×t` tiles (true maximum over all
     /// observations), used for one-shot post-training calibration.
     pub fn peak(t: usize) -> Self {
-        Self { t, taps: vec![MaxCalibrator::peak(); t * t] }
+        Self {
+            t,
+            taps: vec![MaxCalibrator::peak(); t * t],
+        }
     }
 
     /// Tile edge length `t`.
@@ -111,7 +126,11 @@ impl TapCalibrator {
     ///
     /// Panics if the tile shape does not match.
     pub fn observe_tile(&mut self, tile: &Tensor<f32>) {
-        assert_eq!(tile.dims(), &[self.t, self.t], "TapCalibrator: tile shape mismatch");
+        assert_eq!(
+            tile.dims(),
+            &[self.t, self.t],
+            "TapCalibrator: tile shape mismatch"
+        );
         for r in 0..self.t {
             for c in 0..self.t {
                 self.taps[r * self.t + c].observe_max(tile.at2(r, c).abs());
@@ -128,7 +147,11 @@ impl TapCalibrator {
     ///
     /// Panics if the batch shape does not match.
     pub fn observe_batch(&mut self, tiles: &Tensor<f32>) {
-        assert_eq!(tiles.rank(), 3, "TapCalibrator: batch must be [count, t, t]");
+        assert_eq!(
+            tiles.rank(),
+            3,
+            "TapCalibrator: batch must be [count, t, t]"
+        );
         assert_eq!(&tiles.dims()[1..], &[self.t, self.t]);
         let count = tiles.dims()[0];
         if count == 0 {
@@ -192,9 +215,11 @@ mod tests {
     #[test]
     fn batch_observation_takes_batch_max_per_tap() {
         let mut cal = TapCalibrator::peak(2);
-        let tiles =
-            Tensor::from_vec(vec![1.0_f32, 0.0, 0.0, 0.0, -5.0, 0.5, 0.0, 2.0], &[2, 2, 2])
-                .unwrap();
+        let tiles = Tensor::from_vec(
+            vec![1.0_f32, 0.0, 0.0, 0.0, -5.0, 0.5, 0.0, 2.0],
+            &[2, 2, 2],
+        )
+        .unwrap();
         cal.observe_batch(&tiles);
         let m = cal.max_matrix();
         assert_eq!(m.at2(0, 0), 5.0);

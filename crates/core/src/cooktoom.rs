@@ -64,7 +64,11 @@ fn master_poly(points: &[f64]) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if the number of points is not `m + r − 2` or points repeat.
-pub fn cook_toom_matrices(m: usize, r: usize, points: &[f64]) -> (Tensor<f32>, Tensor<f32>, Tensor<f32>) {
+pub fn cook_toom_matrices(
+    m: usize,
+    r: usize,
+    points: &[f64],
+) -> (Tensor<f32>, Tensor<f32>, Tensor<f32>) {
     let alpha = m + r - 1;
     assert_eq!(
         points.len(),

@@ -1,0 +1,265 @@
+//! Whole-network execution through the engine.
+//!
+//! The layer inventories in `wino_nets` describe geometry only; the executor
+//! materialises real tensors for every layer (seeded Kaiming weights, Gaussian
+//! activations at the layer's input resolution), runs each one through the
+//! backend the [`Planner`] chose, and reports per-layer kernels, shapes and
+//! wall-clock times. Layers are executed independently rather than chained:
+//! the inventories contain branches (residual adds, FPN merges) that a flat
+//! layer list cannot express, and independent execution keeps every layer's
+//! input at its published shape.
+
+use crate::engine::planner::{ExecutionPlan, Planner};
+use crate::engine::Engine;
+use std::time::Instant;
+use wino_nets::{ConvLayer, Kernel, Network};
+use wino_tensor::{kaiming_normal, normal};
+
+/// Execution options: batch size, shape caps for test-speed control, seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorOptions {
+    /// Batch size of the synthesized activations.
+    pub batch: usize,
+    /// Channel counts are capped to this value (`usize::MAX` = no cap).
+    pub max_channels: usize,
+    /// Spatial output resolution is capped to this value.
+    pub max_hw: usize,
+    /// Base seed of the synthesized tensors.
+    pub seed: u64,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        Self {
+            batch: 1,
+            max_channels: usize::MAX,
+            max_hw: usize::MAX,
+            seed: 0,
+        }
+    }
+}
+
+impl ExecutorOptions {
+    /// A configuration capped for fast functional runs (tests, smoke checks).
+    pub fn smoke() -> Self {
+        Self {
+            batch: 1,
+            max_channels: 16,
+            max_hw: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of executing one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerExecution {
+    /// Layer name from the inventory.
+    pub name: String,
+    /// Kernel the planner selected.
+    pub kernel: Kernel,
+    /// Name of the backend that actually ran (fallbacks included).
+    pub backend: &'static str,
+    /// NCHW dimensions of the produced output.
+    pub output_dims: Vec<usize>,
+    /// Wall-clock seconds of the backend call.
+    pub seconds: f64,
+    /// Mean of the output feature map (cheap integrity checksum).
+    pub checksum: f32,
+}
+
+/// The outcome of executing a whole network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkExecution {
+    /// Network name.
+    pub network: String,
+    /// The plan that was executed.
+    pub plan: ExecutionPlan,
+    /// Per-layer outcomes, in inventory order.
+    pub layers: Vec<LayerExecution>,
+    /// Total wall-clock seconds across all layers.
+    pub total_seconds: f64,
+}
+
+impl NetworkExecution {
+    /// How many layers ran with each kernel.
+    pub fn kernel_histogram(&self) -> [(Kernel, usize); 3] {
+        self.plan.kernel_histogram()
+    }
+
+    /// Seconds spent in layers of the given kernel.
+    pub fn seconds_for(&self, kernel: Kernel) -> f64 {
+        self.layers
+            .iter()
+            .filter(|l| l.kernel == kernel)
+            .map(|l| l.seconds)
+            .sum()
+    }
+}
+
+/// Runs whole layer inventories through planned backends with real tensors.
+#[derive(Debug)]
+pub struct NetworkExecutor {
+    engine: Engine,
+    planner: Planner,
+}
+
+impl NetworkExecutor {
+    /// An executor over the given engine and planner.
+    pub fn new(engine: Engine, planner: Planner) -> Self {
+        Self { engine, planner }
+    }
+
+    /// The default FP32 executor (all kernels available).
+    pub fn with_defaults() -> Self {
+        Self::new(Engine::with_default_backends(), Planner::default())
+    }
+
+    /// The engine backing this executor.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The planner backing this executor.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Executes one layer with the given kernel on synthesized tensors.
+    pub fn run_layer(
+        &self,
+        layer: &ConvLayer,
+        kernel: Kernel,
+        opts: &ExecutorOptions,
+    ) -> LayerExecution {
+        let capped = capped_layer(layer, opts);
+        let params = capped.params();
+        let (h_in, w_in) = capped.input_hw();
+        let x = normal(
+            &[opts.batch, capped.c_in, h_in, w_in],
+            0.0,
+            1.0,
+            opts.seed.wrapping_mul(31).wrapping_add(1),
+        );
+        let w = kaiming_normal(
+            &[capped.c_out, capped.c_in, capped.kernel, capped.kernel],
+            opts.seed.wrapping_mul(31).wrapping_add(2),
+        );
+        let backend = self
+            .engine
+            .backend_for(kernel, params)
+            .or_else(|| self.engine.backend_for(Kernel::Im2col, params))
+            .expect("engine has no backend for this layer");
+        let start = Instant::now();
+        let y = backend.conv2d(&x, &w, None, params);
+        let seconds = start.elapsed().as_secs_f64();
+        LayerExecution {
+            name: layer.name.clone(),
+            kernel,
+            backend: backend.name(),
+            output_dims: y.dims().to_vec(),
+            seconds,
+            checksum: y.mean(),
+        }
+    }
+
+    /// Plans and executes every layer of a network.
+    pub fn run(&self, network: &Network, opts: &ExecutorOptions) -> NetworkExecution {
+        let plan = self.planner.plan(network);
+        let mut layers = Vec::with_capacity(plan.layers.len());
+        let mut total = 0.0;
+        for (layer, lp) in network.layers.iter().zip(plan.layers.iter()) {
+            let mut exec = self.run_layer(layer, lp.kernel, opts);
+            // The plan names the layer; keep them aligned even if a backend
+            // fallback changed the executing path.
+            exec.name.clone_from(&lp.name);
+            total += exec.seconds;
+            layers.push(exec);
+        }
+        NetworkExecution {
+            network: network.name.clone(),
+            plan,
+            layers,
+            total_seconds: total,
+        }
+    }
+}
+
+/// Applies the option caps to one layer descriptor.
+fn capped_layer(layer: &ConvLayer, opts: &ExecutorOptions) -> ConvLayer {
+    let mut l = layer.clone();
+    l.c_in = l.c_in.min(opts.max_channels).max(1);
+    l.c_out = l.c_out.min(opts.max_channels).max(1);
+    l.h_out = l.h_out.min(opts.max_hw).max(1);
+    l.w_out = l.w_out.min(opts.max_hw).max(1);
+    l
+}
+
+/// Convenience: checks that an executed output dims match the capped layer
+/// geometry (used by tests and examples).
+pub fn expected_output_dims(layer: &ConvLayer, opts: &ExecutorOptions) -> Vec<usize> {
+    let capped = capped_layer(layer, opts);
+    let params = capped.params();
+    let (h_in, w_in) = capped.input_hw();
+    let (h_out, w_out) = params.output_hw(h_in, w_in);
+    vec![opts.batch, capped.c_out, h_out, w_out]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_nets::{resnet20, unet, vgg_nagadomi, LayerKind};
+
+    #[test]
+    fn runs_every_layer_of_small_inventories() {
+        let exec = NetworkExecutor::with_defaults();
+        let opts = ExecutorOptions::smoke();
+        for net in [resnet20(), vgg_nagadomi()] {
+            let run = exec.run(&net, &opts);
+            assert_eq!(run.layers.len(), net.layers.len());
+            for (layer, le) in net.layers.iter().zip(run.layers.iter()) {
+                assert_eq!(
+                    le.output_dims,
+                    expected_output_dims(layer, &opts),
+                    "layer {} produced the wrong shape",
+                    le.name
+                );
+                assert!(le.checksum.is_finite());
+            }
+            assert!(run.total_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn eligible_layers_run_winograd_backends() {
+        let exec = NetworkExecutor::with_defaults();
+        let run = exec.run(&unet(), &ExecutorOptions::smoke());
+        for (layer, le) in unet().layers.iter().zip(run.layers.iter()) {
+            match layer.kind() {
+                LayerKind::WinogradEligible => {
+                    assert!(
+                        le.backend.starts_with("winograd"),
+                        "eligible layer {} ran {}",
+                        le.name,
+                        le.backend
+                    );
+                }
+                LayerKind::Standard => assert_eq!(le.backend, "im2col-gemm"),
+            }
+        }
+        let hist = run.kernel_histogram();
+        assert!(hist[0].1 > 0 && hist[2].1 > 0);
+    }
+
+    #[test]
+    fn run_layer_respects_requested_kernel() {
+        let exec = NetworkExecutor::with_defaults();
+        let layer = wino_nets::ConvLayer::conv3x3("t", 8, 8, 12);
+        let opts = ExecutorOptions::smoke();
+        let f2 = exec.run_layer(&layer, Kernel::WinogradF2, &opts);
+        assert_eq!(f2.backend, "winograd-f2");
+        let strided = wino_nets::ConvLayer::new("s", 8, 8, 6, 6, 3, 2);
+        let fb = exec.run_layer(&strided, Kernel::WinogradF4, &opts);
+        assert_eq!(fb.backend, "im2col-gemm", "strided layer must fall back");
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-layer kernel planning.
+//!
+//! The accelerator's compiler picks a kernel per convolution layer; the cycle
+//! simulator (`accel_sim::simulate_network`) models that with its full timing
+//! model. The numeric engine cannot afford a cycle simulation per planning
+//! decision, so [`Planner`] uses the same *structure* — the shared
+//! [`Kernel`] / [`KernelChoice`] taxonomy and the 3×3 stride-1 eligibility
+//! rule from `wino_nets` — with an arithmetic-work cost model: Winograd-domain
+//! multiplies plus a transform-bandwidth term. The two selectors agree on the
+//! class level (standard layers always run im2col in both; Winograd-eligible
+//! layers run a Winograd kernel wherever the simulator chooses one), which the
+//! `engine_dispatch` integration test pins down.
+
+use serde::{Deserialize, Serialize};
+use wino_nets::{ConvLayer, Kernel, KernelChoice, Network};
+use wino_tensor::ConvParams;
+
+/// Relative cost of transforming one Winograd-domain element versus one MAC.
+///
+/// The transformation engines of the paper sustain roughly one tile element
+/// per cycle per lane while the Cube Unit retires hundreds of MACs per cycle;
+/// on the CPU backends the ratio is flatter. A small constant keeps the model
+/// honest about transform overhead without drowning the MAC savings.
+const TRANSFORM_COST: f64 = 2.0;
+
+/// The kernel chosen for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPlan {
+    /// Layer name from the inventory.
+    pub name: String,
+    /// The selected kernel.
+    pub kernel: Kernel,
+    /// The numeric geometry the engine will execute.
+    pub params: ConvParams,
+    /// The modelled cost of the selected kernel (arbitrary units).
+    pub cost: f64,
+    /// The modelled cost of the im2col baseline (for per-layer gain).
+    pub im2col_cost: f64,
+}
+
+impl LayerPlan {
+    /// Modelled speed-up of the chosen kernel over im2col.
+    pub fn modelled_gain(&self) -> f64 {
+        if self.cost <= 0.0 {
+            1.0
+        } else {
+            self.im2col_cost / self.cost
+        }
+    }
+}
+
+/// The per-layer kernel choices for a whole network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Network name.
+    pub network: String,
+    /// Kernel availability the plan was made for.
+    pub kernels: KernelChoice,
+    /// One entry per layer descriptor, in inventory order.
+    pub layers: Vec<LayerPlan>,
+}
+
+impl ExecutionPlan {
+    /// How many layers chose each kernel.
+    pub fn kernel_histogram(&self) -> [(Kernel, usize); 3] {
+        let mut counts = [0usize; 3];
+        for l in &self.layers {
+            match l.kernel {
+                Kernel::Im2col => counts[0] += 1,
+                Kernel::WinogradF2 => counts[1] += 1,
+                Kernel::WinogradF4 => counts[2] += 1,
+            }
+        }
+        [
+            (Kernel::Im2col, counts[0]),
+            (Kernel::WinogradF2, counts[1]),
+            (Kernel::WinogradF4, counts[2]),
+        ]
+    }
+
+    /// Modelled end-to-end gain over an all-im2col execution.
+    pub fn modelled_gain(&self) -> f64 {
+        let base: f64 = self.layers.iter().map(|l| l.im2col_cost).sum();
+        let with: f64 = self.layers.iter().map(|l| l.cost).sum();
+        if with <= 0.0 {
+            1.0
+        } else {
+            base / with
+        }
+    }
+}
+
+/// Selects a kernel per layer given the kernels an engine build offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Planner {
+    available: KernelChoice,
+}
+
+impl Planner {
+    /// A planner over the given kernel availability.
+    pub fn new(available: KernelChoice) -> Self {
+        Self { available }
+    }
+
+    /// The availability this planner selects from.
+    pub fn available(&self) -> KernelChoice {
+        self.available
+    }
+
+    /// The modelled execution cost of one layer under one kernel, in
+    /// multiply-equivalents per image.
+    ///
+    /// im2col: the standard-algorithm MACs. Winograd F(m): the Winograd-domain
+    /// elementwise multiplies (`tiles · t² · C_in · C_out`) plus the input and
+    /// output transformation traffic (`tiles · t² · (C_in + C_out)`) weighted
+    /// by [`TRANSFORM_COST`]. Tile padding waste on resolutions that are not
+    /// multiples of `m` is captured by the `ceil` tile counts.
+    pub fn layer_cost(layer: &ConvLayer, kernel: Kernel) -> f64 {
+        let reps = layer.repeats.max(1) as f64;
+        match kernel.tile_m() {
+            None => layer.macs(1) as f64,
+            Some(m) => {
+                let t = m + 2;
+                let tiles = (layer.h_out.div_ceil(m) * layer.w_out.div_ceil(m)) as f64;
+                let taps = (t * t) as f64;
+                let multiplies = tiles * taps * (layer.c_in * layer.c_out) as f64;
+                let transforms = tiles * taps * (layer.c_in + layer.c_out) as f64;
+                reps * (multiplies + TRANSFORM_COST * transforms)
+            }
+        }
+    }
+
+    /// Picks the cheapest available kernel that supports the layer.
+    pub fn plan_layer(&self, layer: &ConvLayer) -> LayerPlan {
+        let im2col_cost = Self::layer_cost(layer, Kernel::Im2col);
+        let (kernel, cost) = self
+            .available
+            .candidates_for(layer)
+            .into_iter()
+            .map(|k| (k, Self::layer_cost(layer, k)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .expect("im2col is always a candidate");
+        LayerPlan {
+            name: layer.name.clone(),
+            kernel,
+            params: layer.params(),
+            cost,
+            im2col_cost,
+        }
+    }
+
+    /// Plans a whole network.
+    pub fn plan(&self, network: &Network) -> ExecutionPlan {
+        ExecutionPlan {
+            network: network.name.clone(),
+            kernels: self.available,
+            layers: network.layers.iter().map(|l| self.plan_layer(l)).collect(),
+        }
+    }
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self::new(KernelChoice::WithF2AndF4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_nets::{resnet34, resnet50, LayerKind};
+
+    #[test]
+    fn standard_layers_always_plan_im2col() {
+        let planner = Planner::default();
+        let plan = planner.plan(&resnet50());
+        for (layer, lp) in resnet50().layers.iter().zip(plan.layers.iter()) {
+            if layer.kind() == LayerKind::Standard {
+                assert_eq!(lp.kernel, Kernel::Im2col, "layer {}", lp.name);
+            }
+        }
+    }
+
+    #[test]
+    fn eligible_layers_prefer_f4_when_available() {
+        let planner = Planner::new(KernelChoice::WithF4);
+        let plan = planner.plan(&resnet34());
+        let hist = plan.kernel_histogram();
+        assert!(hist[2].1 > 0, "no layer chose F4");
+        // Every Winograd-eligible descriptor should move off im2col (the MACs
+        // are dominated by the repeated 3x3 blocks, not the descriptor count).
+        for (layer, lp) in resnet34().layers.iter().zip(plan.layers.iter()) {
+            if layer.kind() == LayerKind::WinogradEligible {
+                assert_eq!(lp.kernel, Kernel::WinogradF4, "layer {}", lp.name);
+            }
+        }
+        assert!(plan.modelled_gain() > 1.2);
+    }
+
+    #[test]
+    fn im2col_only_build_never_plans_winograd() {
+        let planner = Planner::new(KernelChoice::Im2colOnly);
+        let plan = planner.plan(&resnet34());
+        assert!(plan.layers.iter().all(|l| l.kernel == Kernel::Im2col));
+        assert!((plan.modelled_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f4_wins_over_f2_on_large_layers() {
+        let layer = ConvLayer::conv3x3("big", 256, 256, 64);
+        let f2 = Planner::layer_cost(&layer, Kernel::WinogradF2);
+        let f4 = Planner::layer_cost(&layer, Kernel::WinogradF4);
+        let im2col = Planner::layer_cost(&layer, Kernel::Im2col);
+        assert!(f4 < f2, "F4 ({f4}) should be cheaper than F2 ({f2})");
+        assert!(f2 < im2col);
+    }
+
+    #[test]
+    fn layer_gain_stays_below_mac_reduction() {
+        let layer = ConvLayer::conv3x3("l", 512, 512, 128);
+        let planner = Planner::new(KernelChoice::WithF4);
+        let lp = planner.plan_layer(&layer);
+        assert!(lp.modelled_gain() > 1.5);
+        assert!(
+            lp.modelled_gain() <= 4.0,
+            "gain {} beyond the 4x MAC bound",
+            lp.modelled_gain()
+        );
+    }
+}

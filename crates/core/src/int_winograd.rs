@@ -19,7 +19,7 @@ use crate::quant::{QuantBits, QuantParams};
 use crate::tapwise::{ScaleMode, TapwiseScales};
 use crate::transform::{weight_transform, TileGrid};
 use serde::{Deserialize, Serialize};
-use wino_tensor::Tensor;
+use wino_tensor::{parallel_map, Tensor};
 
 /// Configuration of the quantized Winograd pipeline (one row of Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -217,18 +217,38 @@ impl IntWinogradConv {
         // Integer B^T (exact for F2/F4).
         let bt_i: Vec<i32> = self.mats.bt.as_slice().iter().map(|&v| v as i32).collect();
         let at_i: Vec<i32> = self.mats.at.as_slice().iter().map(|&v| v as i32).collect();
-        let (wino_lo, wino_hi) = (self.cfg.wino_bits.min_value(), self.cfg.wino_bits.max_value());
+        let (wino_lo, wino_hi) = (
+            self.cfg.wino_bits.min_value(),
+            self.cfg.wino_bits.max_value(),
+        );
 
-        let mut y = Tensor::<i8>::zeros(&[n, self.c_out, h, w]);
-        let mut v_tiles: Vec<Vec<i32>> = vec![vec![0; t * t]; self.c_in];
-
-        for ni in 0..n {
-            for ty in 0..grid.tiles_h {
+        // Tile rows of distinct (batch, ty) pairs produce disjoint output rows;
+        // process them in parallel into private strip buffers, then merge.
+        let strips = n * grid.tiles_h;
+        let bt_ref = &bt_i;
+        let at_ref = &at_i;
+        let strip_bufs = parallel_map(strips, |s| {
+            let ni = s / grid.tiles_h;
+            let ty = s % grid.tiles_h;
+            let strip_h = m.min(h - ty * m);
+            let mut buf = vec![0_i8; self.c_out * strip_h * w];
+            let mut v_tiles: Vec<Vec<i32>> = vec![vec![0; t * t]; self.c_in];
+            // Scratch is allocated once per strip and reused across tiles and
+            // channels — per-tile allocations would serialise the parallel
+            // workers on the allocator (see the float path in winograd.rs).
+            let mut d = vec![0_i32; t * t];
+            let mut tmp_i = vec![0_i64; t * t];
+            let mut acc = vec![0_i64; t * t];
+            let mut mfl = vec![0.0_f32; t * t];
+            let mut tmp_f = vec![0.0_f32; m * t];
+            {
+                let bt_i = bt_ref;
+                let at_i = at_ref;
                 for tx in 0..grid.tiles_w {
                     // --- input transformation (integer, then tap-wise requant) ---
                     for (ci, vt) in v_tiles.iter_mut().enumerate() {
                         // Extract the int8 tile with zero padding.
-                        let mut d = vec![0_i32; t * t];
+                        d.fill(0);
                         let y0 = (ty * m) as isize - 1;
                         let x0 = (tx * m) as isize - 1;
                         for dy in 0..t {
@@ -241,31 +261,29 @@ impl IntWinogradConv {
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                d[dy * t + dx] =
-                                    i32::from(x.at4(ni, ci, iy as usize, ix as usize));
+                                d[dy * t + dx] = i32::from(x.at4(ni, ci, iy as usize, ix as usize));
                             }
                         }
-                        // tmp = BT * d ; v = tmp * B  (all exact i32)
-                        let mut tmp = vec![0_i64; t * t];
+                        // tmp_i = BT * d ; v = tmp_i * B  (all exact i32)
                         for r in 0..t {
                             for c in 0..t {
-                                let mut acc = 0_i64;
+                                let mut s = 0_i64;
                                 for k in 0..t {
-                                    acc += i64::from(bt_i[r * t + k]) * i64::from(d[k * t + c]);
+                                    s += i64::from(bt_i[r * t + k]) * i64::from(d[k * t + c]);
                                 }
-                                tmp[r * t + c] = acc;
+                                tmp_i[r * t + c] = s;
                             }
                         }
                         for r in 0..t {
                             for c in 0..t {
-                                let mut acc = 0_i64;
+                                let mut s = 0_i64;
                                 for k in 0..t {
                                     // (BT d) B  =>  sum_k tmp[r,k] * B[k,c] = tmp[r,k]*BT[c,k]
-                                    acc += tmp[r * t + k] * i64::from(bt_i[c * t + k]);
+                                    s += tmp_i[r * t + k] * i64::from(bt_i[c * t + k]);
                                 }
                                 // tap-wise requantization to wino_bits
-                                let s = self.input_tap_scales.at2(r, c);
-                                let q = ((acc as f32) / s).round() as i32;
+                                let sc = self.input_tap_scales.at2(r, c);
+                                let q = ((s as f32) / sc).round() as i32;
                                 vt[r * t + c] = q.clamp(wino_lo, wino_hi);
                             }
                         }
@@ -273,18 +291,16 @@ impl IntWinogradConv {
 
                     // --- elementwise multiply + channel accumulation (i32) ---
                     for co in 0..self.c_out {
-                        let mut acc = vec![0_i64; t * t];
+                        acc.fill(0);
                         for (ci, vt) in v_tiles.iter().enumerate() {
                             for idx in 0..t * t {
-                                let wcode =
-                                    self.wq.at(&[co, ci, idx / t, idx % t]);
+                                let wcode = self.wq.at(&[co, ci, idx / t, idx % t]);
                                 acc[idx] += i64::from(vt[idx]) * i64::from(wcode);
                             }
                         }
 
                         // --- per-tap rescale with S_BG, back-transformation ---
                         // float value of acc[r,c] = input_scale * sB_int[r,c] * sG[r,c] * acc
-                        let mut mfl = vec![0.0_f32; t * t];
                         for r in 0..t {
                             for c in 0..t {
                                 let sbg = self.input_scale
@@ -294,35 +310,53 @@ impl IntWinogradConv {
                             }
                         }
                         // out = AT * M * A using the integer AT (values exact in f32)
-                        let mut tmp = vec![0.0_f32; m * t];
                         for r in 0..m {
                             for c in 0..t {
                                 let mut s = 0.0_f32;
                                 for k in 0..t {
                                     s += at_i[r * t + k] as f32 * mfl[k * t + c];
                                 }
-                                tmp[r * t + c] = s;
+                                tmp_f[r * t + c] = s;
                             }
                         }
                         for r in 0..m {
                             for c in 0..m {
                                 let mut s = 0.0_f32;
                                 for k in 0..t {
-                                    s += tmp[r * t + k] * at_i[c * t + k] as f32;
+                                    s += tmp_f[r * t + k] * at_i[c * t + k] as f32;
                                 }
-                                let oy = ty * m + r;
                                 let ox = tx * m + c;
-                                if oy < h && ox < w {
+                                if r < strip_h && ox < w {
                                     let code = self.output_params.quantize(s) as i8;
-                                    y.set4(ni, co, oy, ox, code);
+                                    buf[(co * strip_h + r) * w + ox] = code;
                                 }
                             }
                         }
                     }
                 }
             }
+            buf
+        });
+
+        let mut y = Tensor::<i8>::zeros(&[n, self.c_out, h, w]);
+        let y_s = y.as_mut_slice();
+        for (s, buf) in strip_bufs.iter().enumerate() {
+            let ni = s / grid.tiles_h;
+            let ty = s % grid.tiles_h;
+            let strip_h = m.min(h - ty * m);
+            for co in 0..self.c_out {
+                for dy in 0..strip_h {
+                    let oy = ty * m + dy;
+                    let dst = ((ni * self.c_out + co) * h + oy) * w;
+                    let src = (co * strip_h + dy) * w;
+                    y_s[dst..dst + w].copy_from_slice(&buf[src..src + w]);
+                }
+            }
         }
-        IntWinogradOutput { codes: y, scale: self.output_params.scale }
+        IntWinogradOutput {
+            codes: y,
+            scale: self.output_params.scale,
+        }
     }
 }
 

@@ -13,7 +13,11 @@
 //! * the quantization-error analysis used in the paper's Fig. 1 and Fig. 4
 //!   ([`analysis`], [`pinv`]);
 //! * a Toom–Cook matrix generator for arbitrary root points ([`cooktoom`]),
-//!   used to cross-check the hard-coded matrices.
+//!   used to cross-check the hard-coded matrices;
+//! * the unified execution engine ([`engine`]): every convolution path behind
+//!   one [`ConvBackend`] contract, a [`Planner`] that picks a kernel per layer
+//!   with the same taxonomy as the cycle simulator, and a [`NetworkExecutor`]
+//!   that runs whole layer inventories with real tensors.
 //!
 //! # Quick example
 //!
@@ -36,6 +40,7 @@
 pub mod analysis;
 pub mod calibration;
 pub mod cooktoom;
+pub mod engine;
 pub mod int_winograd;
 pub mod matrices;
 pub mod pinv;
@@ -49,6 +54,11 @@ pub use analysis::{
 };
 pub use calibration::{MaxCalibrator, TapCalibrator};
 pub use cooktoom::cook_toom_matrices;
+pub use engine::{
+    ConvBackend, DirectBackend, Engine, ExecutionPlan, ExecutorOptions, Im2colGemmBackend,
+    IntWinogradTapwiseBackend, LayerPlan, NetworkExecution, NetworkExecutor, Planner,
+    WinogradBackend,
+};
 pub use int_winograd::{IntWinogradConv, IntWinogradOutput, WinogradQuantConfig};
 pub use matrices::{TileSize, WinogradMatrices};
 pub use pinv::pseudo_inverse;

@@ -123,7 +123,12 @@ impl WinogradMatrices {
             &[2, 4],
         )
         .expect("F2 AT");
-        Self { tile: TileSize::F2, bt, g, at }
+        Self {
+            tile: TileSize::F2,
+            bt,
+            g,
+            at,
+        }
     }
 
     /// `F(4×4, 3×3)` matrices from root points `{0, 1, -1, 1/2, -1/2}`
@@ -175,7 +180,12 @@ impl WinogradMatrices {
             &[4, 6],
         )
         .expect("F4 AT");
-        Self { tile: TileSize::F4, bt, g, at }
+        Self {
+            tile: TileSize::F4,
+            bt,
+            g,
+            at,
+        }
     }
 
     /// `F(6×6, 3×3)` matrices from root points `{0, 1, -1, 2, -2, 1/2, -1/2}`
@@ -183,14 +193,70 @@ impl WinogradMatrices {
     pub fn f6() -> Self {
         let bt = Tensor::from_vec(
             vec![
-                1.0, 0.0, -21.0 / 4.0, 0.0, 21.0 / 4.0, 0.0, -1.0, 0.0, //
-                0.0, 1.0, 1.0, -17.0 / 4.0, -17.0 / 4.0, 1.0, 1.0, 0.0, //
-                0.0, -1.0, 1.0, 17.0 / 4.0, -17.0 / 4.0, -1.0, 1.0, 0.0, //
-                0.0, 0.5, 0.25, -2.5, -1.25, 2.0, 1.0, 0.0, //
-                0.0, -0.5, 0.25, 2.5, -1.25, -2.0, 1.0, 0.0, //
-                0.0, 2.0, 4.0, -2.5, -5.0, 0.5, 1.0, 0.0, //
-                0.0, -2.0, 4.0, 2.5, -5.0, -0.5, 1.0, 0.0, //
-                0.0, -1.0, 0.0, 21.0 / 4.0, 0.0, -21.0 / 4.0, 0.0, 1.0,
+                1.0,
+                0.0,
+                -21.0 / 4.0,
+                0.0,
+                21.0 / 4.0,
+                0.0,
+                -1.0,
+                0.0, //
+                0.0,
+                1.0,
+                1.0,
+                -17.0 / 4.0,
+                -17.0 / 4.0,
+                1.0,
+                1.0,
+                0.0, //
+                0.0,
+                -1.0,
+                1.0,
+                17.0 / 4.0,
+                -17.0 / 4.0,
+                -1.0,
+                1.0,
+                0.0, //
+                0.0,
+                0.5,
+                0.25,
+                -2.5,
+                -1.25,
+                2.0,
+                1.0,
+                0.0, //
+                0.0,
+                -0.5,
+                0.25,
+                2.5,
+                -1.25,
+                -2.0,
+                1.0,
+                0.0, //
+                0.0,
+                2.0,
+                4.0,
+                -2.5,
+                -5.0,
+                0.5,
+                1.0,
+                0.0, //
+                0.0,
+                -2.0,
+                4.0,
+                2.5,
+                -5.0,
+                -0.5,
+                1.0,
+                0.0, //
+                0.0,
+                -1.0,
+                0.0,
+                21.0 / 4.0,
+                0.0,
+                -21.0 / 4.0,
+                0.0,
+                1.0,
             ],
             &[8, 8],
         )
@@ -237,7 +303,12 @@ impl WinogradMatrices {
             &[6, 8],
         )
         .expect("F6 AT");
-        Self { tile: TileSize::F6, bt, g, at }
+        Self {
+            tile: TileSize::F6,
+            bt,
+            g,
+            at,
+        }
     }
 
     /// Input tile edge length `t = m + 2`.

@@ -15,6 +15,7 @@ use wino_tensor::{gemm_f32, Tensor};
 /// # Panics
 ///
 /// Panics if the matrix is not square or is numerically singular.
+#[allow(clippy::needless_range_loop)] // index-heavy math reads clearer with explicit loops
 pub fn invert(a: &Tensor<f32>) -> Tensor<f32> {
     assert_eq!(a.rank(), 2, "invert: matrix required");
     let n = a.dims()[0];
@@ -72,10 +73,14 @@ pub fn invert(a: &Tensor<f32>) -> Tensor<f32> {
 /// # Panics
 ///
 /// Panics if `A` has more columns than rows or `Aᵀ A` is singular.
+#[allow(clippy::needless_range_loop)] // index-heavy math reads clearer with explicit loops
 pub fn pseudo_inverse(a: &Tensor<f32>) -> Tensor<f32> {
     assert_eq!(a.rank(), 2, "pseudo_inverse: matrix required");
     let (m, n) = (a.dims()[0], a.dims()[1]);
-    assert!(m >= n, "pseudo_inverse: expects a tall (or square) matrix, got {m}x{n}");
+    assert!(
+        m >= n,
+        "pseudo_inverse: expects a tall (or square) matrix, got {m}x{n}"
+    );
     let at = transpose(a);
     let ata = gemm_f32(&at, a);
     let inv = invert(&ata);

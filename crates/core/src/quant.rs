@@ -22,7 +22,10 @@ impl QuantBits {
     ///
     /// Panics unless `2 <= bits <= 16`.
     pub fn new(bits: u8) -> Self {
-        assert!((2..=16).contains(&bits), "supported bit-widths are 2..=16, got {bits}");
+        assert!(
+            (2..=16).contains(&bits),
+            "supported bit-widths are 2..=16, got {bits}"
+        );
         Self(bits)
     }
 
@@ -83,7 +86,10 @@ impl QuantParams {
     /// Rounds the scale up to the next power of two (Section III-B,
     /// "straight-forward power-of-two quantization": `s̃ = 2^{⌈log2 s⌉}`).
     pub fn to_power_of_two(self) -> Self {
-        Self { scale: 2.0_f32.powi(self.scale.log2().ceil() as i32), bits: self.bits }
+        Self {
+            scale: 2.0_f32.powi(self.scale.log2().ceil() as i32),
+            bits: self.bits,
+        }
     }
 
     /// Quantizes a single value: `clamp(round(x / s))`.
@@ -184,8 +190,11 @@ mod tests {
 
     #[test]
     fn ten_bit_quantization_is_finer_than_eight() {
-        let x = Tensor::from_vec((0..256).map(|i| (i as f32 - 128.0) / 37.0).collect(), &[256])
-            .unwrap();
+        let x = Tensor::from_vec(
+            (0..256).map(|i| (i as f32 - 128.0) / 37.0).collect(),
+            &[256],
+        )
+        .unwrap();
         let p8 = QuantParams::from_max(x.abs_max(), QuantBits::int8());
         let p10 = QuantParams::from_max(x.abs_max(), QuantBits::new(10));
         let e8 = dequantize(&quantize_symmetric(&x, p8), p8).max_abs_diff(&x);

@@ -64,7 +64,10 @@ impl TapScaleMatrix {
     ///
     /// Panics if any scale is not strictly positive.
     pub fn from_scales(scales: Tensor<f32>, bits: QuantBits, mode: ScaleMode) -> Self {
-        assert!(scales.as_slice().iter().all(|&s| s > 0.0), "scales must be positive");
+        assert!(
+            scales.as_slice().iter().all(|&s| s > 0.0),
+            "scales must be positive"
+        );
         Self { scales, bits, mode }
     }
 
@@ -99,14 +102,22 @@ impl TapScaleMatrix {
     ///
     /// Panics if the tile shape does not match the scale matrix.
     pub fn quantize_tile(&self, tile: &Tensor<f32>) -> Tensor<i32> {
-        assert_eq!(tile.dims(), self.scales.dims(), "quantize_tile: shape mismatch");
+        assert_eq!(
+            tile.dims(),
+            self.scales.dims(),
+            "quantize_tile: shape mismatch"
+        );
         let (lo, hi) = (self.bits.min_value(), self.bits.max_value());
         tile.zip_map(&self.scales, |v, s| ((v / s).round() as i32).clamp(lo, hi))
     }
 
     /// Dequantizes integer codes back to FP32 tap-wise.
     pub fn dequantize_tile(&self, tile: &Tensor<i32>) -> Tensor<f32> {
-        assert_eq!(tile.dims(), self.scales.dims(), "dequantize_tile: shape mismatch");
+        assert_eq!(
+            tile.dims(),
+            self.scales.dims(),
+            "dequantize_tile: shape mismatch"
+        );
         tile.zip_map(&self.scales, |q, s| q as f32 * s)
     }
 
@@ -236,7 +247,12 @@ mod tests {
         let max = Tensor::from_vec(vec![0.9_f32, 5.0, 0.01, 64.0], &[2, 2]).unwrap();
         let float = TapScaleMatrix::from_max_matrix(&max, QuantBits::int8(), ScaleMode::Float);
         let po2 = TapScaleMatrix::from_max_matrix(&max, QuantBits::int8(), ScaleMode::PowerOfTwo);
-        for (f, p) in float.scales().as_slice().iter().zip(po2.scales().as_slice()) {
+        for (f, p) in float
+            .scales()
+            .as_slice()
+            .iter()
+            .zip(po2.scales().as_slice())
+        {
             assert!(p >= f);
             assert!(*p <= 2.0 * f);
         }
@@ -258,13 +274,23 @@ mod tests {
     fn tap_wise_beats_uniform_when_ranges_differ() {
         // Construct a tile whose taps have wildly different magnitudes, as the
         // F4 weight transform does (Fig. 1 of the paper).
-        let tile = Tensor::from_fn(&[4, 4], |i| if i < 2 { 100.0 } else { 0.01 * (i as f32 + 1.0) });
+        let tile = Tensor::from_fn(&[4, 4], |i| {
+            if i < 2 {
+                100.0
+            } else {
+                0.01 * (i as f32 + 1.0)
+            }
+        });
         let per_tap_max = tile.map(|v| v.abs());
-        let tap = TapScaleMatrix::from_max_matrix(&per_tap_max, QuantBits::int8(), ScaleMode::Float);
+        let tap =
+            TapScaleMatrix::from_max_matrix(&per_tap_max, QuantBits::int8(), ScaleMode::Float);
         let uni = TapScaleMatrix::uniform(4, tile.abs_max(), QuantBits::int8(), ScaleMode::Float);
         let e_tap = tap.fake_quantize_tile(&tile).relative_error(&tile);
         let e_uni = uni.fake_quantize_tile(&tile).relative_error(&tile);
-        assert!(e_tap < e_uni / 10.0, "tap-wise {e_tap} not clearly better than uniform {e_uni}");
+        assert!(
+            e_tap < e_uni / 10.0,
+            "tap-wise {e_tap} not clearly better than uniform {e_uni}"
+        );
     }
 
     #[test]
@@ -285,7 +311,7 @@ mod tests {
         let u = weight_transform(&k, &mats);
         let q = scales.weight.quantize_tile(&u);
         for &c in q.as_slice() {
-            assert!(c >= -127 && c <= 127);
+            assert!((-127..=127).contains(&c));
         }
         let sbg = scales.sbg();
         assert_eq!(sbg.dims(), &[6, 6]);

@@ -45,7 +45,11 @@ pub fn input_transform(tile: &Tensor<f32>, mats: &WinogradMatrices) -> Tensor<f3
 ///
 /// Panics if `kernel` is not `3×3`.
 pub fn weight_transform(kernel: &Tensor<f32>, mats: &WinogradMatrices) -> Tensor<f32> {
-    assert_eq!(kernel.dims(), &[3, 3], "weight_transform: kernel must be 3x3");
+    assert_eq!(
+        kernel.dims(),
+        &[3, 3],
+        "weight_transform: kernel must be 3x3"
+    );
     let gt = transpose(&mats.g);
     matmul(&matmul(&mats.g, kernel), &gt)
 }
@@ -58,9 +62,47 @@ pub fn weight_transform(kernel: &Tensor<f32>, mats: &WinogradMatrices) -> Tensor
 /// Panics if `m_tile` is not `t×t`.
 pub fn output_transform(m_tile: &Tensor<f32>, mats: &WinogradMatrices) -> Tensor<f32> {
     let t = mats.input_tile();
-    assert_eq!(m_tile.dims(), &[t, t], "output_transform: tile shape mismatch");
+    assert_eq!(
+        m_tile.dims(),
+        &[t, t],
+        "output_transform: tile shape mismatch"
+    );
     let a = transpose(&mats.at);
     matmul(&matmul(&mats.at, m_tile), &a)
+}
+
+/// Computes the congruence transform `dst = M · d · Mᵀ` on flat row-major
+/// buffers without allocating: `M` is `[r × c]`, `d` is `[c × c]`, `dst` is
+/// `[r × r]` and `tmp` is caller-provided scratch of at least `r · c`
+/// elements. This is the allocation-free core of all three Winograd
+/// transformations, used by the hot convolution loops; the `Tensor`-based
+/// wrappers above remain the readable public API.
+#[inline]
+pub fn congruence_into(dst: &mut [f32], tmp: &mut [f32], m: &[f32], d: &[f32], r: usize, c: usize) {
+    debug_assert!(dst.len() >= r * r);
+    debug_assert!(tmp.len() >= r * c);
+    debug_assert!(m.len() >= r * c);
+    debug_assert!(d.len() >= c * c);
+    // tmp = M · d
+    for i in 0..r {
+        for j in 0..c {
+            let mut s = 0.0_f32;
+            for k in 0..c {
+                s += m[i * c + k] * d[k * c + j];
+            }
+            tmp[i * c + j] = s;
+        }
+    }
+    // dst = tmp · Mᵀ
+    for i in 0..r {
+        for j in 0..r {
+            let mut s = 0.0_f32;
+            for k in 0..c {
+                s += tmp[i * c + k] * m[j * c + k];
+            }
+            dst[i * r + j] = s;
+        }
+    }
 }
 
 /// Describes how an NCHW feature map is decomposed into overlapping Winograd
@@ -197,6 +239,37 @@ mod tests {
                 "{tile_size}: winograd/direct mismatch {}",
                 y.max_abs_diff(&reference)
             );
+        }
+    }
+
+    #[test]
+    fn congruence_into_matches_tensor_transforms() {
+        let mats = WinogradMatrices::f4();
+        let t = mats.input_tile();
+        let m = mats.output_tile();
+        let d = normal(&[t, t], 0.0, 1.0, 77);
+        let f = normal(&[3, 3], 0.0, 1.0, 78);
+
+        let mut dst = vec![0.0_f32; t * t];
+        let mut tmp = vec![0.0_f32; t * t];
+        congruence_into(&mut dst, &mut tmp, mats.bt.as_slice(), d.as_slice(), t, t);
+        let expect = input_transform(&d, &mats);
+        for (a, b) in dst.iter().zip(expect.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+
+        let mut uk = vec![0.0_f32; t * t];
+        congruence_into(&mut uk, &mut tmp, mats.g.as_slice(), f.as_slice(), t, 3);
+        let expect = weight_transform(&f, &mats);
+        for (a, b) in uk.iter().zip(expect.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+
+        let mut out = vec![0.0_f32; m * m];
+        congruence_into(&mut out, &mut tmp, mats.at.as_slice(), d.as_slice(), m, t);
+        let expect = output_transform(&d, &mats);
+        for (a, b) in out.iter().zip(expect.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
         }
     }
 

@@ -10,12 +10,21 @@
 use crate::int_winograd::WinogradQuantConfig;
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::QuantParams;
-use crate::tapwise::TapwiseScales;
-use crate::transform::{
-    extract_input_tile, input_transform, output_transform, place_output_tile, weight_transform,
-    TileGrid,
-};
-use wino_tensor::Tensor;
+use crate::tapwise::{TapScaleMatrix, TapwiseScales};
+use crate::transform::{congruence_into, TileGrid};
+use wino_tensor::{parallel_map, Tensor};
+
+/// Tap-wise fake quantization of a flat `t×t` Winograd-domain tile, matching
+/// [`TapScaleMatrix::fake_quantize_tile`] without the tensor round trip.
+#[inline]
+fn fake_quantize_flat(tile: &mut [f32], scales: &TapScaleMatrix) {
+    let s = scales.scales().as_slice();
+    let (lo, hi) = (scales.bits().min_value(), scales.bits().max_value());
+    for (v, &sc) in tile.iter_mut().zip(s.iter()) {
+        let q = ((*v / sc).round() as i32).clamp(lo, hi);
+        *v = q as f32 * sc;
+    }
+}
 
 /// FP32 Winograd convolution of an NCHW input with OIHW 3×3 weights, unit
 /// stride and "same" padding of 1.
@@ -54,52 +63,123 @@ fn winograd_conv2d_with(
     let t = mats.input_tile();
     let grid = TileGrid::new(h, wd, m, 1);
 
+    let tt = t * t;
+
     // Spatially (fake-)quantized input, if requested.
     let x_eff: Tensor<f32> = match spatial_input {
         Some(p) => x.map(|v| p.fake_quantize(v)),
         None => x.clone(),
     };
 
-    // Pre-transform all weights: U[c_out][c_in] is a t×t tile.
-    let mut u = vec![vec![Tensor::<f32>::zeros(&[t, t]); c_in]; c_out];
-    for (co, row) in u.iter_mut().enumerate() {
-        for (ci, slot) in row.iter_mut().enumerate() {
-            let mut k = Tensor::<f32>::zeros(&[3, 3]);
-            for ky in 0..3 {
-                for kx in 0..3 {
-                    k.set2(ky, kx, w.at4(co, ci, ky, kx));
+    // Pre-transform all weights into one flat buffer: U[co][ci] is a t×t tile
+    // at offset (co·C_in + ci)·t². Flat scratch buffers keep the whole
+    // algorithm allocation-free past this setup, which is what lets the
+    // per-strip parallel loop below scale (a heap allocation per tile
+    // serialises the workers on the allocator).
+    let g = mats.g.as_slice();
+    let mut u = vec![0.0_f32; c_out * c_in * tt];
+    {
+        let mut ker = [0.0_f32; 9];
+        let mut tmp = vec![0.0_f32; tt];
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        ker[ky * 3 + kx] = w.at4(co, ci, ky, kx);
+                    }
+                }
+                let dst = &mut u[(co * c_in + ci) * tt..(co * c_in + ci + 1) * tt];
+                congruence_into(dst, &mut tmp, g, &ker, t, 3);
+                if let Some(s) = scales {
+                    fake_quantize_flat(dst, &s.weight);
                 }
             }
-            let mut uk = weight_transform(&k, mats);
-            if let Some(s) = scales {
-                uk = s.weight.fake_quantize_tile(&uk);
-            }
-            *slot = uk;
         }
     }
 
+    // Tile rows of distinct (batch, ty) pairs touch disjoint output rows, so
+    // they are processed in parallel, each worker filling a private strip
+    // buffer of shape [c_out, strip_h, W] that is merged afterwards.
+    let strips = n * grid.tiles_h;
+    let x_ref = &x_eff;
+    let u_ref = &u;
+    let bt = mats.bt.as_slice();
+    let at = mats.at.as_slice();
+    let strip_bufs = parallel_map(strips, |s| {
+        let ni = s / grid.tiles_h;
+        let ty = s % grid.tiles_h;
+        let strip_h = m.min(h - ty * m);
+        let mut buf = vec![0.0_f32; c_out * strip_h * wd];
+        // All scratch is allocated once per strip and reused across tiles.
+        let mut v_tiles = vec![0.0_f32; c_in * tt];
+        let mut d_tile = vec![0.0_f32; tt];
+        let mut tmp = vec![0.0_f32; tt];
+        let mut acc = vec![0.0_f32; tt];
+        let mut out_tile = vec![0.0_f32; m * m];
+        let x_s = x_ref.as_slice();
+        for tx in 0..grid.tiles_w {
+            // Transform each input tile once and reuse it across output
+            // channels.
+            let y0 = (ty * m) as isize - grid.padding as isize;
+            let x0 = (tx * m) as isize - grid.padding as isize;
+            for ci in 0..c_in {
+                d_tile.fill(0.0);
+                let plane = (ni * c_in + ci) * h * wd;
+                for dy in 0..t {
+                    let iy = y0 + dy as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let row = plane + iy as usize * wd;
+                    for dx in 0..t {
+                        let ix = x0 + dx as isize;
+                        if ix >= 0 && ix < wd as isize {
+                            d_tile[dy * t + dx] = x_s[row + ix as usize];
+                        }
+                    }
+                }
+                let v = &mut v_tiles[ci * tt..(ci + 1) * tt];
+                congruence_into(v, &mut tmp, bt, &d_tile, t, t);
+                if let Some(sc) = scales {
+                    fake_quantize_flat(v, &sc.input);
+                }
+            }
+            for co in 0..c_out {
+                acc.fill(0.0);
+                let u_row = &u_ref[co * c_in * tt..(co + 1) * c_in * tt];
+                for ci in 0..c_in {
+                    let v = &v_tiles[ci * tt..(ci + 1) * tt];
+                    let uk = &u_row[ci * tt..(ci + 1) * tt];
+                    for ((a, &vv), &uu) in acc.iter_mut().zip(v.iter()).zip(uk.iter()) {
+                        *a += vv * uu;
+                    }
+                }
+                congruence_into(&mut out_tile, &mut tmp, at, &acc, m, t);
+                for dy in 0..strip_h {
+                    for dx in 0..m {
+                        let ox = tx * m + dx;
+                        if ox < wd {
+                            buf[(co * strip_h + dy) * wd + ox] = out_tile[dy * m + dx];
+                        }
+                    }
+                }
+            }
+        }
+        buf
+    });
+
     let mut y = Tensor::<f32>::zeros(&[n, c_out, h, wd]);
-    // Transform each input tile once and reuse it across output channels.
-    let mut v_tiles = vec![Tensor::<f32>::zeros(&[t, t]); c_in];
-    for ni in 0..n {
-        for ty in 0..grid.tiles_h {
-            for tx in 0..grid.tiles_w {
-                for (ci, slot) in v_tiles.iter_mut().enumerate() {
-                    let d = extract_input_tile(&x_eff, ni, ci, ty, tx, &grid);
-                    let mut v = input_transform(&d, mats);
-                    if let Some(s) = scales {
-                        v = s.input.fake_quantize_tile(&v);
-                    }
-                    *slot = v;
-                }
-                for co in 0..c_out {
-                    let mut acc = Tensor::<f32>::zeros(&[t, t]);
-                    for (ci, v) in v_tiles.iter().enumerate() {
-                        acc = acc.add(&v.mul(&u[co][ci]));
-                    }
-                    let out_tile = output_transform(&acc, mats);
-                    place_output_tile(&mut y, &out_tile, ni, co, ty, tx, &grid);
-                }
+    let y_s = y.as_mut_slice();
+    for (s, buf) in strip_bufs.iter().enumerate() {
+        let ni = s / grid.tiles_h;
+        let ty = s % grid.tiles_h;
+        let strip_h = m.min(h - ty * m);
+        for co in 0..c_out {
+            for dy in 0..strip_h {
+                let oy = ty * m + dy;
+                let dst = ((ni * c_out + co) * h + oy) * wd;
+                let src = (co * strip_h + dy) * wd;
+                y_s[dst..dst + wd].copy_from_slice(&buf[src..src + wd]);
             }
         }
     }
@@ -178,11 +258,13 @@ mod tests {
         let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
         let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
         let mats = WinogradMatrices::for_tile(TileSize::F4);
-        let scales =
-            TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+        let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
         let y = winograd_conv2d_fake_quant(&x, &w, &cfg, &scales, x.abs_max());
         let err = y.relative_error(&reference);
-        assert!(err < 0.20, "int8 tap-wise F4 relative error too high: {err}");
+        assert!(
+            err < 0.20,
+            "int8 tap-wise F4 relative error too high: {err}"
+        );
     }
 
     #[test]
@@ -205,6 +287,11 @@ mod tests {
             let y = winograd_conv2d_fake_quant(&x, &w, &cfg, &scales, x.abs_max());
             errs.push(y.relative_error(&reference));
         }
-        assert!(errs[1] < errs[0], "int8/10 ({}) should beat int8 ({})", errs[1], errs[0]);
+        assert!(
+            errs[1] < errs[0],
+            "int8/10 ({}) should beat int8 ({})",
+            errs[1],
+            errs[0]
+        );
     }
 }

@@ -1,0 +1,143 @@
+//! The shared convolution-kernel taxonomy.
+//!
+//! The accelerator executes every convolution with one of three kernels:
+//! im2col + MatMul (the baseline), Winograd F(2×2, 3×3) or Winograd
+//! F(4×4, 3×3). Both the cycle simulator (`accel_sim`) and the numeric
+//! execution engine (`wino_core::engine`) select a kernel per layer, so the
+//! enum and the availability sets live here, next to the layer inventories
+//! they describe, instead of being duplicated in each consumer.
+
+use crate::layer::{ConvLayer, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// The convolution kernel executed on the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kernel {
+    /// The baseline im2col + MatMul kernel.
+    Im2col,
+    /// Winograd F(2×2, 3×3).
+    WinogradF2,
+    /// Winograd F(4×4, 3×3).
+    WinogradF4,
+}
+
+impl Kernel {
+    /// Output-tile edge `m` for the Winograd kernels (`None` for im2col).
+    pub fn tile_m(self) -> Option<usize> {
+        match self {
+            Kernel::Im2col => None,
+            Kernel::WinogradF2 => Some(2),
+            Kernel::WinogradF4 => Some(4),
+        }
+    }
+
+    /// All kernels.
+    pub fn all() -> [Kernel; 3] {
+        [Kernel::Im2col, Kernel::WinogradF2, Kernel::WinogradF4]
+    }
+
+    /// Whether this kernel can process the given layer: im2col handles every
+    /// convolution, the Winograd kernels only 3×3 stride-1 layers.
+    pub fn supports(self, layer: &ConvLayer) -> bool {
+        match self {
+            Kernel::Im2col => true,
+            Kernel::WinogradF2 | Kernel::WinogradF4 => layer.kind() == LayerKind::WinogradEligible,
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Kernel::Im2col => write!(f, "im2col"),
+            Kernel::WinogradF2 => write!(f, "F2"),
+            Kernel::WinogradF4 => write!(f, "F4"),
+        }
+    }
+}
+
+/// Which kernels an accelerator build makes available to the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// Baseline accelerator: im2col only.
+    Im2colOnly,
+    /// im2col plus the Winograd F2 extension.
+    WithF2,
+    /// im2col plus the Winograd F4 extension.
+    WithF4,
+    /// im2col plus both Winograd extensions (compiler picks per layer).
+    WithF2AndF4,
+}
+
+impl KernelChoice {
+    /// The kernels this build can run, baseline first.
+    pub fn candidates(self) -> Vec<Kernel> {
+        match self {
+            KernelChoice::Im2colOnly => vec![Kernel::Im2col],
+            KernelChoice::WithF2 => vec![Kernel::Im2col, Kernel::WinogradF2],
+            KernelChoice::WithF4 => vec![Kernel::Im2col, Kernel::WinogradF4],
+            KernelChoice::WithF2AndF4 => {
+                vec![Kernel::Im2col, Kernel::WinogradF2, Kernel::WinogradF4]
+            }
+        }
+    }
+
+    /// The kernels of this build that can process `layer`.
+    pub fn candidates_for(self, layer: &ConvLayer) -> Vec<Kernel> {
+        self.candidates()
+            .into_iter()
+            .filter(|k| k.supports(layer))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelChoice::Im2colOnly => write!(f, "im2col"),
+            KernelChoice::WithF2 => write!(f, "F2"),
+            KernelChoice::WithF4 => write!(f, "F4"),
+            KernelChoice::WithF2AndF4 => write!(f, "F2+F4"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_support_follows_layer_kind() {
+        let eligible = ConvLayer::conv3x3("a", 8, 8, 8);
+        let pointwise = ConvLayer::conv1x1("b", 8, 8, 8);
+        let strided = ConvLayer::new("c", 8, 8, 8, 8, 3, 2);
+        for k in Kernel::all() {
+            assert!(k.supports(&eligible) || k != Kernel::Im2col);
+        }
+        assert!(Kernel::Im2col.supports(&pointwise));
+        assert!(!Kernel::WinogradF4.supports(&pointwise));
+        assert!(!Kernel::WinogradF2.supports(&strided));
+    }
+
+    #[test]
+    fn candidates_for_filters_by_support() {
+        let eligible = ConvLayer::conv3x3("a", 8, 8, 8);
+        let standard = ConvLayer::conv1x1("b", 8, 8, 8);
+        assert_eq!(
+            KernelChoice::WithF2AndF4.candidates_for(&eligible),
+            vec![Kernel::Im2col, Kernel::WinogradF2, Kernel::WinogradF4]
+        );
+        assert_eq!(
+            KernelChoice::WithF2AndF4.candidates_for(&standard),
+            vec![Kernel::Im2col]
+        );
+        assert_eq!(KernelChoice::Im2colOnly.candidates().len(), 1);
+    }
+
+    #[test]
+    fn tile_edges() {
+        assert_eq!(Kernel::Im2col.tile_m(), None);
+        assert_eq!(Kernel::WinogradF2.tile_m(), Some(2));
+        assert_eq!(Kernel::WinogradF4.tile_m(), Some(4));
+    }
+}

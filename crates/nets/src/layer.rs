@@ -1,6 +1,7 @@
 //! Convolution-layer descriptors and network inventories.
 
 use serde::{Deserialize, Serialize};
+use wino_tensor::ConvParams;
 
 /// The kind of a layer, which determines the kernels the accelerator may use
 /// for it.
@@ -48,7 +49,16 @@ impl ConvLayer {
         kernel: usize,
         stride: usize,
     ) -> Self {
-        Self { name: name.to_string(), c_in, c_out, h_out, w_out, kernel, stride, repeats: 1 }
+        Self {
+            name: name.to_string(),
+            c_in,
+            c_out,
+            h_out,
+            w_out,
+            kernel,
+            stride,
+            repeats: 1,
+        }
     }
 
     /// Shorthand for a 3×3 / stride-1 layer (the Winograd-eligible case).
@@ -75,6 +85,21 @@ impl ConvLayer {
         } else {
             LayerKind::Standard
         }
+    }
+
+    /// The numeric convolution geometry of this layer, with the "same"-style
+    /// padding (`(k - 1) / 2`) the benchmark networks use. For even kernels
+    /// (U-Net's 2×2 stride-2 upconv stand-ins) this gives padding 0, which is
+    /// what keeps the output at the inventory's declared `h_out × w_out`
+    /// (`k / 2` would grow it by one).
+    pub fn params(&self) -> ConvParams {
+        ConvParams::new(self.kernel, self.stride, (self.kernel - 1) / 2)
+    }
+
+    /// Input spatial size `(h_in, w_in)` consistent with
+    /// [`ConvLayer::input_elements`] (output resolution times stride).
+    pub fn input_hw(&self) -> (usize, usize) {
+        (self.h_out * self.stride, self.w_out * self.stride)
     }
 
     /// Multiply–accumulate operations for one inference at batch size `batch`
@@ -125,7 +150,11 @@ pub struct Network {
 impl Network {
     /// Creates a network from its layers.
     pub fn new(name: &str, input_resolution: usize, layers: Vec<ConvLayer>) -> Self {
-        Self { name: name.to_string(), input_resolution, layers }
+        Self {
+            name: name.to_string(),
+            input_resolution,
+            layers,
+        }
     }
 
     /// Total MACs of one inference at the given batch size.
@@ -172,11 +201,42 @@ mod tests {
     }
 
     #[test]
+    fn params_reproduce_declared_output_geometry() {
+        // Every inventory layer's ConvParams must map its input_hw back to the
+        // declared output resolution, including even kernels and strides.
+        for layer in [
+            ConvLayer::conv3x3("a", 8, 8, 14),
+            ConvLayer::conv1x1("b", 8, 8, 14),
+            ConvLayer::new("stem", 3, 64, 112, 112, 7, 2),
+            ConvLayer::new("down", 64, 128, 28, 28, 3, 2),
+            ConvLayer::new("upconv", 64, 32, 28, 28, 2, 2),
+        ] {
+            let (h_in, w_in) = layer.input_hw();
+            let (h_out, w_out) = layer.params().output_hw(h_in, w_in);
+            assert_eq!(
+                (h_out, w_out),
+                (layer.h_out, layer.w_out),
+                "layer {} geometry drifted",
+                layer.name
+            );
+        }
+    }
+
+    #[test]
     fn winograd_eligibility() {
-        assert_eq!(ConvLayer::conv3x3("a", 8, 8, 8).kind(), LayerKind::WinogradEligible);
+        assert_eq!(
+            ConvLayer::conv3x3("a", 8, 8, 8).kind(),
+            LayerKind::WinogradEligible
+        );
         assert_eq!(ConvLayer::conv1x1("b", 8, 8, 8).kind(), LayerKind::Standard);
-        assert_eq!(ConvLayer::new("c", 8, 8, 8, 8, 3, 2).kind(), LayerKind::Standard);
-        assert_eq!(ConvLayer::new("d", 8, 8, 8, 8, 7, 2).kind(), LayerKind::Standard);
+        assert_eq!(
+            ConvLayer::new("c", 8, 8, 8, 8, 3, 2).kind(),
+            LayerKind::Standard
+        );
+        assert_eq!(
+            ConvLayer::new("d", 8, 8, 8, 8, 7, 2).kind(),
+            LayerKind::Standard
+        );
     }
 
     #[test]
@@ -199,7 +259,10 @@ mod tests {
             ],
         );
         assert_eq!(net.layer_count(), 3);
-        assert_eq!(net.total_macs(1), 2 * 16 * 16 * 32 * 32 * 9 + 16 * 32 * 32 * 32);
+        assert_eq!(
+            net.total_macs(1),
+            2 * 16 * 16 * 32 * 32 * 9 + 16 * 32 * 32 * 32
+        );
         assert!(net.winograd_fraction(1) > 0.89);
     }
 }

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod kernel;
 pub mod layer;
 pub mod resnet;
 pub mod retinanet;
@@ -24,6 +25,7 @@ pub mod vgg;
 pub mod yolo;
 pub mod zoo;
 
+pub use kernel::{Kernel, KernelChoice};
 pub use layer::{ConvLayer, LayerKind, Network};
 pub use resnet::{resnet20, resnet34, resnet50};
 pub use retinanet::retinanet_resnet50_fpn;

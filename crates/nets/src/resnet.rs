@@ -81,7 +81,10 @@ mod tests {
         // Published ~3.6 GMAC for ResNet-34 at 224² (convolutions only).
         let net = resnet34();
         let gmacs = net.total_macs(1) as f64 / 1e9;
-        assert!((3.0..4.2).contains(&gmacs), "ResNet-34 {gmacs} GMAC out of range");
+        assert!(
+            (3.0..4.2).contains(&gmacs),
+            "ResNet-34 {gmacs} GMAC out of range"
+        );
         // Dominated by 3x3 convolutions.
         assert!(net.winograd_fraction(1) > 0.85);
     }
@@ -91,7 +94,10 @@ mod tests {
         // Published ~3.8-4.1 GMAC for ResNet-50 at 224².
         let net = resnet50();
         let gmacs = net.total_macs(1) as f64 / 1e9;
-        assert!((3.2..4.6).contains(&gmacs), "ResNet-50 {gmacs} GMAC out of range");
+        assert!(
+            (3.2..4.6).contains(&gmacs),
+            "ResNet-50 {gmacs} GMAC out of range"
+        );
         // Bottleneck design: far fewer MACs in 3x3 layers than ResNet-34.
         assert!(net.winograd_fraction(1) < 0.65);
         assert!(net.winograd_fraction(1) > 0.25);
@@ -106,7 +112,10 @@ mod tests {
     fn resnet20_is_tiny_and_winograd_dominated() {
         let net = resnet20();
         let mmacs = net.total_macs(1) as f64 / 1e6;
-        assert!((30.0..60.0).contains(&mmacs), "ResNet-20 {mmacs} MMAC out of range");
+        assert!(
+            (30.0..60.0).contains(&mmacs),
+            "ResNet-20 {mmacs} MMAC out of range"
+        );
         assert!(net.winograd_fraction(1) > 0.9);
     }
 }

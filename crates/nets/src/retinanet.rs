@@ -12,11 +12,20 @@ use crate::layer::{ConvLayer, Network};
 pub fn retinanet_resnet50_fpn() -> Network {
     let mut layers = vec![ConvLayer::new("conv1", 3, 64, 400, 400, 7, 2)];
     // ResNet-50 stages at 800 input: 200, 100, 50, 25.
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(3, 64, 256, 200), (4, 128, 512, 100), (6, 256, 1024, 50), (3, 512, 2048, 25)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 256, 200),
+        (4, 128, 512, 100),
+        (6, 256, 1024, 50),
+        (3, 512, 2048, 25),
+    ];
     let mut prev_out = 64usize;
     for (si, (blocks, mid, out, r)) in stages.iter().enumerate() {
-        layers.push(ConvLayer::conv1x1(&format!("res{si}.in1x1.first"), prev_out, *mid, *r));
+        layers.push(ConvLayer::conv1x1(
+            &format!("res{si}.in1x1.first"),
+            prev_out,
+            *mid,
+            *r,
+        ));
         if *blocks > 1 {
             layers.push(
                 ConvLayer::conv1x1(&format!("res{si}.in1x1.rest"), *out, *mid, *r)
@@ -24,8 +33,14 @@ pub fn retinanet_resnet50_fpn() -> Network {
             );
         }
         layers.push(ConvLayer::conv3x3(&format!("res{si}.3x3"), *mid, *mid, *r).repeated(*blocks));
-        layers.push(ConvLayer::conv1x1(&format!("res{si}.out1x1"), *mid, *out, *r).repeated(*blocks));
-        layers.push(ConvLayer::conv1x1(&format!("res{si}.downsample"), prev_out, *out, *r));
+        layers
+            .push(ConvLayer::conv1x1(&format!("res{si}.out1x1"), *mid, *out, *r).repeated(*blocks));
+        layers.push(ConvLayer::conv1x1(
+            &format!("res{si}.downsample"),
+            prev_out,
+            *out,
+            *r,
+        ));
         prev_out = *out;
     }
     // FPN: lateral 1x1 on C3..C5 and 3x3 output convolutions on P3..P5, plus P6/P7.
@@ -41,9 +56,19 @@ pub fn retinanet_resnet50_fpn() -> Network {
     let levels: [usize; 5] = [100, 50, 25, 13, 7];
     for (i, r) in levels.iter().enumerate() {
         layers.push(ConvLayer::conv3x3(&format!("cls_head.l{i}"), 256, 256, *r).repeated(4));
-        layers.push(ConvLayer::conv3x3(&format!("cls_pred.l{i}"), 256, 9 * 80, *r));
+        layers.push(ConvLayer::conv3x3(
+            &format!("cls_pred.l{i}"),
+            256,
+            9 * 80,
+            *r,
+        ));
         layers.push(ConvLayer::conv3x3(&format!("box_head.l{i}"), 256, 256, *r).repeated(4));
-        layers.push(ConvLayer::conv3x3(&format!("box_pred.l{i}"), 256, 9 * 4, *r));
+        layers.push(ConvLayer::conv3x3(
+            &format!("box_pred.l{i}"),
+            256,
+            9 * 4,
+            *r,
+        ));
     }
     Network::new("RetinaNet-R-50", 800, layers)
 }
@@ -57,7 +82,10 @@ mod tests {
         let net = retinanet_resnet50_fpn();
         let gmacs = net.total_macs(1) as f64 / 1e9;
         // Published RetinaNet-R50-800 is on the order of 150-250 GMAC.
-        assert!((100.0..320.0).contains(&gmacs), "RetinaNet {gmacs} GMAC out of range");
+        assert!(
+            (100.0..320.0).contains(&gmacs),
+            "RetinaNet {gmacs} GMAC out of range"
+        );
     }
 
     #[test]

@@ -22,12 +22,28 @@ pub fn ssd_vgg16() -> Network {
     layers.push(ConvLayer::conv1x1("conv11_1", 256, 128, 3));
     layers.push(ConvLayer::new("conv11_2", 128, 256, 1, 1, 3, 1));
     // Multibox heads (3x3) on the six feature maps: (channels, resolution, boxes).
-    let heads: [(usize, usize, usize); 6] =
-        [(512, 38, 4), (1024, 19, 6), (512, 10, 6), (256, 5, 6), (256, 3, 4), (256, 1, 4)];
+    let heads: [(usize, usize, usize); 6] = [
+        (512, 38, 4),
+        (1024, 19, 6),
+        (512, 10, 6),
+        (256, 5, 6),
+        (256, 3, 4),
+        (256, 1, 4),
+    ];
     for (i, (c, r, boxes)) in heads.iter().enumerate() {
         // Localization (4 coords) + classification (21 VOC classes) per box.
-        layers.push(ConvLayer::conv3x3(&format!("head{i}.loc"), *c, boxes * 4, *r));
-        layers.push(ConvLayer::conv3x3(&format!("head{i}.cls"), *c, boxes * 21, *r));
+        layers.push(ConvLayer::conv3x3(
+            &format!("head{i}.loc"),
+            *c,
+            boxes * 4,
+            *r,
+        ));
+        layers.push(ConvLayer::conv3x3(
+            &format!("head{i}.cls"),
+            *c,
+            boxes * 21,
+            *r,
+        ));
     }
     Network::new("SSD-VGG-16", 300, layers)
 }
@@ -41,7 +57,10 @@ mod tests {
         // SSD-300 is ~31 GMAC (convolutions).
         let net = ssd_vgg16();
         let gmacs = net.total_macs(1) as f64 / 1e9;
-        assert!((22.0..40.0).contains(&gmacs), "SSD {gmacs} GMAC out of range");
+        assert!(
+            (22.0..40.0).contains(&gmacs),
+            "SSD {gmacs} GMAC out of range"
+        );
     }
 
     #[test]

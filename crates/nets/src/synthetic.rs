@@ -72,9 +72,14 @@ mod tests {
     #[test]
     fn suite_covers_the_full_grid() {
         let suite = synthetic_conv_suite();
-        assert_eq!(suite.len(), BATCHES.len() * RESOLUTIONS.len() * CHANNEL_CONFIGS.len());
+        assert_eq!(
+            suite.len(),
+            BATCHES.len() * RESOLUTIONS.len() * CHANNEL_CONFIGS.len()
+        );
         // All Winograd-eligible by construction.
-        assert!(suite.iter().all(|w| w.layer.kind() == LayerKind::WinogradEligible));
+        assert!(suite
+            .iter()
+            .all(|w| w.layer.kind() == LayerKind::WinogradEligible));
     }
 
     #[test]
@@ -91,6 +96,8 @@ mod tests {
         let suite = synthetic_conv_suite();
         assert!(suite.iter().any(|w| w.batch == 1 && w.layer.h_out == 128));
         assert!(suite.iter().any(|w| w.batch == 8 && w.layer.h_out == 16));
-        assert!(suite.iter().any(|w| w.layer.c_in == 512 && w.layer.c_out == 512));
+        assert!(suite
+            .iter()
+            .any(|w| w.layer.c_in == 512 && w.layer.c_out == 512));
     }
 }

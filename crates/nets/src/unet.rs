@@ -24,7 +24,15 @@ pub fn unet() -> Network {
     let dec: [(usize, usize); 4] = [(512, 56), (256, 104), (128, 200), (64, 392)];
     let mut up_in = 1024usize;
     for (i, (c, r)) in dec.iter().enumerate() {
-        layers.push(ConvLayer::new(&format!("dec{i}.upconv"), up_in, *c, *r, *r, 2, 2));
+        layers.push(ConvLayer::new(
+            &format!("dec{i}.upconv"),
+            up_in,
+            *c,
+            *r,
+            *r,
+            2,
+            2,
+        ));
         layers.push(ConvLayer::conv3x3(&format!("dec{i}.conv1"), 2 * c, *c, *r));
         layers.push(ConvLayer::conv3x3(&format!("dec{i}.conv2"), *c, *c, *r));
         up_in = *c;
@@ -41,7 +49,10 @@ mod tests {
     fn unet_is_very_compute_heavy() {
         // The original 572² U-Net is on the order of 150-200 GMAC.
         let gmacs = unet().total_macs(1) as f64 / 1e9;
-        assert!((100.0..260.0).contains(&gmacs), "UNet {gmacs} GMAC out of range");
+        assert!(
+            (100.0..260.0).contains(&gmacs),
+            "UNet {gmacs} GMAC out of range"
+        );
     }
 
     #[test]

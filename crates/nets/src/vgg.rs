@@ -45,7 +45,10 @@ mod tests {
         // Published ~15.3 GMAC for the VGG-16 convolutional layers at 224².
         let net = vgg16_backbone(224);
         let gmacs = net.total_macs(1) as f64 / 1e9;
-        assert!((13.0..17.0).contains(&gmacs), "VGG-16 {gmacs} GMAC out of range");
+        assert!(
+            (13.0..17.0).contains(&gmacs),
+            "VGG-16 {gmacs} GMAC out of range"
+        );
         // Every layer is 3x3 stride 1.
         assert!((net.winograd_fraction(1) - 1.0).abs() < 1e-9);
     }

@@ -9,7 +9,10 @@ use crate::layer::{ConvLayer, Network};
 ///
 /// Panics if the resolution is not a multiple of 32.
 pub fn yolov3(input: usize) -> Network {
-    assert!(input % 32 == 0, "YOLOv3 input must be a multiple of 32");
+    assert!(
+        input.is_multiple_of(32),
+        "YOLOv3 input must be a multiple of 32"
+    );
     let mut layers = Vec::new();
     let r = |div: usize| input / div;
 
@@ -65,12 +68,42 @@ fn push_detection_block(
     out: usize,
 ) {
     layers.push(ConvLayer::conv1x1(&format!("{name}.c1"), c_in, width, hw));
-    layers.push(ConvLayer::conv3x3(&format!("{name}.c2"), width, width * 2, hw));
-    layers.push(ConvLayer::conv1x1(&format!("{name}.c3"), width * 2, width, hw));
-    layers.push(ConvLayer::conv3x3(&format!("{name}.c4"), width, width * 2, hw));
-    layers.push(ConvLayer::conv1x1(&format!("{name}.c5"), width * 2, width, hw));
-    layers.push(ConvLayer::conv3x3(&format!("{name}.feat"), width, width * 2, hw));
-    layers.push(ConvLayer::conv1x1(&format!("{name}.pred"), width * 2, out, hw));
+    layers.push(ConvLayer::conv3x3(
+        &format!("{name}.c2"),
+        width,
+        width * 2,
+        hw,
+    ));
+    layers.push(ConvLayer::conv1x1(
+        &format!("{name}.c3"),
+        width * 2,
+        width,
+        hw,
+    ));
+    layers.push(ConvLayer::conv3x3(
+        &format!("{name}.c4"),
+        width,
+        width * 2,
+        hw,
+    ));
+    layers.push(ConvLayer::conv1x1(
+        &format!("{name}.c5"),
+        width * 2,
+        width,
+        hw,
+    ));
+    layers.push(ConvLayer::conv3x3(
+        &format!("{name}.feat"),
+        width,
+        width * 2,
+        hw,
+    ));
+    layers.push(ConvLayer::conv1x1(
+        &format!("{name}.pred"),
+        width * 2,
+        out,
+        hw,
+    ));
 }
 
 #[cfg(test)]
@@ -82,7 +115,10 @@ mod tests {
         // YOLOv3-416 is ~32-33 GMAC (65.9 GFLOPs).
         let net = yolov3(416);
         let gmacs = net.total_macs(1) as f64 / 1e9;
-        assert!((26.0..40.0).contains(&gmacs), "YOLOv3-416 {gmacs} GMAC out of range");
+        assert!(
+            (26.0..40.0).contains(&gmacs),
+            "YOLOv3-416 {gmacs} GMAC out of range"
+        );
     }
 
     #[test]

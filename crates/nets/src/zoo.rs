@@ -20,18 +20,54 @@ pub struct BenchmarkEntry {
 /// order.
 pub fn benchmark_networks() -> Vec<BenchmarkEntry> {
     vec![
-        BenchmarkEntry { network: resnet34(), batch: 1 },
-        BenchmarkEntry { network: resnet50(), batch: 1 },
-        BenchmarkEntry { network: retinanet_resnet50_fpn(), batch: 1 },
-        BenchmarkEntry { network: ssd_vgg16(), batch: 1 },
-        BenchmarkEntry { network: unet(), batch: 1 },
-        BenchmarkEntry { network: yolov3(256), batch: 1 },
-        BenchmarkEntry { network: yolov3(416), batch: 1 },
-        BenchmarkEntry { network: ssd_vgg16(), batch: 8 },
-        BenchmarkEntry { network: yolov3(256), batch: 8 },
-        BenchmarkEntry { network: resnet34(), batch: 16 },
-        BenchmarkEntry { network: resnet50(), batch: 16 },
-        BenchmarkEntry { network: yolov3(256), batch: 16 },
+        BenchmarkEntry {
+            network: resnet34(),
+            batch: 1,
+        },
+        BenchmarkEntry {
+            network: resnet50(),
+            batch: 1,
+        },
+        BenchmarkEntry {
+            network: retinanet_resnet50_fpn(),
+            batch: 1,
+        },
+        BenchmarkEntry {
+            network: ssd_vgg16(),
+            batch: 1,
+        },
+        BenchmarkEntry {
+            network: unet(),
+            batch: 1,
+        },
+        BenchmarkEntry {
+            network: yolov3(256),
+            batch: 1,
+        },
+        BenchmarkEntry {
+            network: yolov3(416),
+            batch: 1,
+        },
+        BenchmarkEntry {
+            network: ssd_vgg16(),
+            batch: 8,
+        },
+        BenchmarkEntry {
+            network: yolov3(256),
+            batch: 8,
+        },
+        BenchmarkEntry {
+            network: resnet34(),
+            batch: 16,
+        },
+        BenchmarkEntry {
+            network: resnet50(),
+            batch: 16,
+        },
+        BenchmarkEntry {
+            network: yolov3(256),
+            batch: 16,
+        },
     ]
 }
 
@@ -43,9 +79,7 @@ pub fn network_by_name(name: &str, resolution: Option<usize>) -> Option<Network>
     match lower.as_str() {
         "resnet-34" | "resnet34" => Some(resnet34()),
         "resnet-50" | "resnet50" => Some(resnet50()),
-        "retinanet" | "retinanet-r-50" | "retinanet-resnet50-fpn" => {
-            Some(retinanet_resnet50_fpn())
-        }
+        "retinanet" | "retinanet-r-50" | "retinanet-resnet50-fpn" => Some(retinanet_resnet50_fpn()),
         "ssd" | "ssd-vgg-16" | "ssd-vgg16" => Some(ssd_vgg16()),
         "unet" | "u-net" => Some(unet()),
         "yolov3" | "yolo" => Some(yolov3(resolution.unwrap_or(416))),
@@ -69,7 +103,12 @@ mod tests {
     fn lookup_by_name() {
         assert!(network_by_name("ResNet-34", None).is_some());
         assert!(network_by_name("unet", None).is_some());
-        assert_eq!(network_by_name("yolov3", Some(256)).unwrap().input_resolution, 256);
+        assert_eq!(
+            network_by_name("yolov3", Some(256))
+                .unwrap()
+                .input_resolution,
+            256
+        );
         assert!(network_by_name("alexnet", None).is_none());
     }
 

@@ -29,7 +29,10 @@ pub struct NvdlaConfig {
 impl NvdlaConfig {
     /// The quasi-infinite-bandwidth configuration of Table VI (128 Gword/s).
     pub fn high_bandwidth() -> Self {
-        Self { gwords_per_second: 128.0, ..Self::iso_bandwidth() }
+        Self {
+            gwords_per_second: 128.0,
+            ..Self::iso_bandwidth()
+        }
     }
 
     /// The iso-bandwidth configuration of Table VI (42.7 Gword/s, matching the

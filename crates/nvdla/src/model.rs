@@ -93,8 +93,8 @@ pub fn simulate_nvdla_layer(
     } else {
         // Output channels are processed in groups sized so the group's weights
         // fit in half the buffer; each group streams the inputs again.
-        let groups = (wt_bytes / (cbuf / 2.0)).ceil().max(1.0);
-        groups
+
+        (wt_bytes / (cbuf / 2.0)).ceil().max(1.0)
     };
 
     let total_words = ifm_words * ifm_passes + ofm_words + wt_words;
@@ -128,7 +128,10 @@ mod tests {
         let direct = simulate_nvdla_layer(&layer, 8, NvdlaKernel::Direct, &cfg);
         let wino = simulate_nvdla_layer(&layer, 8, NvdlaKernel::WinogradF2, &cfg);
         let su = direct.time_us / wino.time_us;
-        assert!((1.7..2.3).contains(&su), "speed-up {su} out of the expected range");
+        assert!(
+            (1.7..2.3).contains(&su),
+            "speed-up {su} out of the expected range"
+        );
     }
 
     #[test]
@@ -143,7 +146,10 @@ mod tests {
             let w = simulate_nvdla_layer(&layer, 8, NvdlaKernel::WinogradF2, cfg);
             d.time_us / w.time_us
         };
-        assert!(su(&iso) < su(&hi), "iso-bandwidth should reduce the speed-up");
+        assert!(
+            su(&iso) < su(&hi),
+            "iso-bandwidth should reduce the speed-up"
+        );
     }
 
     #[test]
@@ -153,7 +159,10 @@ mod tests {
         let cfg = NvdlaConfig::iso_bandwidth();
         let layer = table_vi_layer(256, 512);
         let wino = simulate_nvdla_layer(&layer, 8, NvdlaKernel::WinogradF2, &cfg);
-        assert!(wino.memory_bound, "expected the large layer to be memory-bound");
+        assert!(
+            wino.memory_bound,
+            "expected the large layer to be memory-bound"
+        );
         let direct = simulate_nvdla_layer(&layer, 8, NvdlaKernel::Direct, &cfg);
         let su = direct.time_us / wino.time_us;
         assert!(su < 1.5, "memory-bound speed-up should collapse, got {su}");
@@ -165,10 +174,20 @@ mod tests {
         // third on the NVDLA configurations; the model should land in the same
         // order of magnitude.
         let cfg = NvdlaConfig::iso_bandwidth();
-        let small = simulate_nvdla_layer(&table_vi_layer(128, 128), 8, NvdlaKernel::WinogradF2, &cfg);
-        let large = simulate_nvdla_layer(&table_vi_layer(256, 512), 8, NvdlaKernel::WinogradF2, &cfg);
-        assert!((20.0..400.0).contains(&small.time_us), "small layer {} us", small.time_us);
-        assert!((200.0..4000.0).contains(&large.time_us), "large layer {} us", large.time_us);
+        let small =
+            simulate_nvdla_layer(&table_vi_layer(128, 128), 8, NvdlaKernel::WinogradF2, &cfg);
+        let large =
+            simulate_nvdla_layer(&table_vi_layer(256, 512), 8, NvdlaKernel::WinogradF2, &cfg);
+        assert!(
+            (20.0..400.0).contains(&small.time_us),
+            "small layer {} us",
+            small.time_us
+        );
+        assert!(
+            (200.0..4000.0).contains(&large.time_us),
+            "large layer {} us",
+            large.time_us
+        );
         assert!(large.time_us > small.time_us);
     }
 
@@ -178,7 +197,12 @@ mod tests {
         let layer = table_vi_layer(128, 128);
         let d = simulate_nvdla_layer(&layer, 8, NvdlaKernel::Direct, &cfg);
         let w = simulate_nvdla_layer(&layer, 8, NvdlaKernel::WinogradF2, &cfg);
-        assert!(w.words > d.words, "Winograd should move more words ({} vs {})", w.words, d.words);
+        assert!(
+            w.words > d.words,
+            "Winograd should move more words ({} vs {})",
+            w.words,
+            d.words
+        );
     }
 
     #[test]

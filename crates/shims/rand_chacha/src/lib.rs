@@ -1,0 +1,140 @@
+//! Offline `ChaCha8Rng` implementation for the workspace's `rand` stub.
+//!
+//! A genuine ChaCha stream cipher core with 8 double-rounds, seeded through a
+//! SplitMix64 expansion of a `u64` (the only construction path the workspace
+//! uses). The bit stream differs from the upstream `rand_chacha` crate — seeds
+//! were never promised to be portable across crate versions — but it is a
+//! deterministic, statistically sound generator, which is what the seeded
+//! experiments need.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha stream generator with 8 double-rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input block (constants, key, counter, nonce).
+    state: [u32; 16],
+    /// Buffered output of the last block.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "buffer exhausted".
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds (column round + diagonal round).
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12/13.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Expand the u64 into a 256-bit key with SplitMix64, as rand does.
+        let mut sm = state;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..4 {
+            let word = next();
+            s[4 + 2 * i] = word as u32;
+            s[5 + 2 * i] = (word >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        Self {
+            state: s,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let v = self.buffer[self.cursor];
+        self.cursor += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let first_100: Vec<u32> = (0..100).map(|_| c.next_u32()).collect();
+        let mut a2 = ChaCha8Rng::seed_from_u64(42);
+        let other: Vec<u32> = (0..100).map(|_| a2.next_u32()).collect();
+        assert_ne!(first_100, other);
+    }
+
+    #[test]
+    fn words_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += rng.next_u32().count_ones();
+        }
+        // 32000 bits, expect ~16000 ones; allow a wide band.
+        assert!((14500..17500).contains(&ones), "bit bias: {ones}");
+    }
+
+    #[test]
+    fn range_sampling_is_unbiased_enough() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mean: f32 = (0..4000).map(|_| rng.gen_range(0.0_f32..1.0)).sum::<f32>() / 4000.0;
+        assert!((mean - 0.5).abs() < 0.03, "uniform mean off: {mean}");
+    }
+}

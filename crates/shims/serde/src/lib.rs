@@ -1,0 +1,15 @@
+//! Offline stub of the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and the matching no-op
+//! derive macros so that source written against real serde compiles unchanged
+//! in this network-less build environment. No serialisation is performed
+//! anywhere in the workspace; replace the path dependency with the real crate
+//! to enable it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment for this workspace has no access to crates.io, so the
+//! real `serde` cannot be vendored. Nothing in the workspace actually
+//! serialises data yet — the `#[derive(Serialize, Deserialize)]` annotations
+//! only declare intent — so these derives expand to nothing. Swapping the
+//! `[patch]`-style path dependencies in the workspace manifest for the real
+//! crates is all that is needed once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -58,7 +58,11 @@ pub fn core_breakdown(cfg: &AcceleratorConfig) -> Vec<AreaPowerEntry> {
 /// (the paper reports 6.1%).
 pub fn winograd_extension_area_fraction(cfg: &AcceleratorConfig) -> f64 {
     let rows = core_breakdown(cfg);
-    let ext: f64 = rows.iter().filter(|r| r.winograd_extension).map(|r| r.area_mm2).sum();
+    let ext: f64 = rows
+        .iter()
+        .filter(|r| r.winograd_extension)
+        .map(|r| r.area_mm2)
+        .sum();
     ext / CORE_AREA_MM2
 }
 
@@ -101,7 +105,11 @@ mod tests {
         let rows = core_breakdown(&AcceleratorConfig::default());
         let cube = rows.iter().find(|r| r.unit == "Cube").unwrap();
         for r in rows.iter().filter(|r| r.winograd_extension) {
-            assert!(cube.area_mm2 / r.area_mm2 >= 6.0, "Cube should be ≥6.4x larger than {}", r.unit);
+            assert!(
+                cube.area_mm2 / r.area_mm2 >= 6.0,
+                "Cube should be ≥6.4x larger than {}",
+                r.unit
+            );
         }
     }
 
@@ -129,7 +137,12 @@ mod tests {
         // The output engine processes 16 channels vs 64 for the input engine.
         assert!(output < input);
         let rows = core_breakdown(&AcceleratorConfig::default());
-        let a = |name: &str| rows.iter().find(|r| r.unit.contains(name)).unwrap().area_mm2;
+        let a = |name: &str| {
+            rows.iter()
+                .find(|r| r.unit.contains(name))
+                .unwrap()
+                .area_mm2
+        };
         assert!(a("OUT_XFORM") < a("IN_XFORM"));
     }
 }

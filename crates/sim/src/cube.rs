@@ -22,7 +22,10 @@ pub fn cube_cycles(
     cols: usize,
     efficiency: f64,
 ) -> f64 {
-    assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+    assert!(
+        efficiency > 0.0 && efficiency <= 1.0,
+        "efficiency must be in (0, 1]"
+    );
     matmul_cycles(cfg, rows, reduction, cols) / efficiency
 }
 

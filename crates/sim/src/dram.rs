@@ -55,7 +55,7 @@ impl DramModel {
 
     fn sample_normal(&mut self) -> f64 {
         let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let u2: f64 = self.rng.gen_range(0.0_f64..1.0);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 }

@@ -140,10 +140,22 @@ pub fn energy_from_activity(
     let nj_per_cycle = |mw: f64| mw / cfg.frequency_mhz;
     let p = &cfg.unit_powers;
     let m = &cfg.memory_energy;
-    let cube_mw = if winograd { p.cube_winograd_mw } else { p.cube_im2col_mw };
-    let in_mw = if winograd { p.input_xform_mw } else { p.im2col_mw };
+    let cube_mw = if winograd {
+        p.cube_winograd_mw
+    } else {
+        p.cube_im2col_mw
+    };
+    let in_mw = if winograd {
+        p.input_xform_mw
+    } else {
+        p.im2col_mw
+    };
 
-    let l0c_read_cost = if winograd { m.l0c_port_b_winograd } else { m.l0c.0 };
+    let l0c_read_cost = if winograd {
+        m.l0c_port_b_winograd
+    } else {
+        m.l0c.0
+    };
     let l0_nj = (access.l0a_read * m.l0a.0
         + access.l0a_write * m.l0a.1
         + access.l0b_read * m.l0b.0
@@ -174,8 +186,15 @@ mod tests {
 
     #[test]
     fn totals_and_sums() {
-        let a = EnergyBreakdown { cube_nj: 1.0, l1_nj: 2.0, ..Default::default() };
-        let b = EnergyBreakdown { dram_nj: 3.0, ..Default::default() };
+        let a = EnergyBreakdown {
+            cube_nj: 1.0,
+            l1_nj: 2.0,
+            ..Default::default()
+        };
+        let b = EnergyBreakdown {
+            dram_nj: 3.0,
+            ..Default::default()
+        };
         let c = a.add(&b);
         assert!((c.total_nj() - 6.0).abs() < 1e-12);
         assert!((a.cube_fraction() - 1.0 / 3.0).abs() < 1e-12);
@@ -183,8 +202,16 @@ mod tests {
 
     #[test]
     fn access_counts_add_and_total() {
-        let a = AccessCounts { gm_fm_read: 10.0, gm_wt_read: 5.0, ..Default::default() };
-        let b = AccessCounts { gm_fm_write: 2.0, l1_fm_read: 100.0, ..Default::default() };
+        let a = AccessCounts {
+            gm_fm_read: 10.0,
+            gm_wt_read: 5.0,
+            ..Default::default()
+        };
+        let b = AccessCounts {
+            gm_fm_write: 2.0,
+            l1_fm_read: 100.0,
+            ..Default::default()
+        };
         let c = a.add(&b);
         assert_eq!(c.gm_total(), 17.0);
         assert_eq!(c.l1_fm_read, 100.0);
@@ -203,7 +230,10 @@ mod tests {
     #[test]
     fn dram_dominates_when_traffic_is_large() {
         let cfg = AcceleratorConfig::default();
-        let access = AccessCounts { gm_fm_read: 1e6, ..Default::default() };
+        let access = AccessCounts {
+            gm_fm_read: 1e6,
+            ..Default::default()
+        };
         let e = energy_from_activity(&cfg, 10.0, 0.0, 0.0, 0.0, 0.0, &access, false);
         assert!(e.dram_nj > e.cube_nj);
     }
@@ -211,7 +241,10 @@ mod tests {
     #[test]
     fn winograd_l0c_reads_cost_more() {
         let cfg = AcceleratorConfig::default();
-        let access = AccessCounts { l0c_read: 1e6, ..Default::default() };
+        let access = AccessCounts {
+            l0c_read: 1e6,
+            ..Default::default()
+        };
         let a = energy_from_activity(&cfg, 0.0, 0.0, 0.0, 0.0, 0.0, &access, false);
         let b = energy_from_activity(&cfg, 0.0, 0.0, 0.0, 0.0, 0.0, &access, true);
         assert!(b.l0_nj > a.l0_nj);

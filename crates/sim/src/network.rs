@@ -12,43 +12,9 @@ use crate::energy::EnergyBreakdown;
 use crate::operators::{simulate_layer, Kernel, LayerRun};
 use serde::{Deserialize, Serialize};
 use wino_nets::{LayerKind, Network};
-
-/// Which kernels the accelerator build makes available to the compiler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum KernelChoice {
-    /// Baseline accelerator: im2col only.
-    Im2colOnly,
-    /// im2col plus the Winograd F2 extension.
-    WithF2,
-    /// im2col plus the Winograd F4 extension.
-    WithF4,
-    /// im2col plus both Winograd extensions (compiler picks per layer).
-    WithF2AndF4,
-}
-
-impl KernelChoice {
-    fn candidates(self) -> Vec<Kernel> {
-        match self {
-            KernelChoice::Im2colOnly => vec![Kernel::Im2col],
-            KernelChoice::WithF2 => vec![Kernel::Im2col, Kernel::WinogradF2],
-            KernelChoice::WithF4 => vec![Kernel::Im2col, Kernel::WinogradF4],
-            KernelChoice::WithF2AndF4 => {
-                vec![Kernel::Im2col, Kernel::WinogradF2, Kernel::WinogradF4]
-            }
-        }
-    }
-}
-
-impl std::fmt::Display for KernelChoice {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            KernelChoice::Im2colOnly => write!(f, "im2col"),
-            KernelChoice::WithF2 => write!(f, "F2"),
-            KernelChoice::WithF4 => write!(f, "F4"),
-            KernelChoice::WithF2AndF4 => write!(f, "F2+F4"),
-        }
-    }
-}
+// Shared with the numeric execution engine's planner; re-exported so existing
+// `accel_sim::KernelChoice` imports keep working.
+pub use wino_nets::KernelChoice;
 
 /// Per-layer outcome inside a network simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,8 +117,8 @@ pub fn simulate_network(
         let im2col_run = simulate_layer(layer, batch, Kernel::Im2col, cfg);
         let eligible = layer.kind() == LayerKind::WinogradEligible;
         let mut best = im2col_run.clone();
-        for kernel in kernels.candidates() {
-            if kernel == Kernel::Im2col || !eligible {
+        for kernel in kernels.candidates_for(layer) {
+            if kernel == Kernel::Im2col {
                 continue;
             }
             let run = simulate_layer(layer, batch, kernel, cfg);
@@ -202,7 +168,10 @@ mod tests {
         let f4 = simulate_network(&net, 16, KernelChoice::WithF4, &cfg());
         let speedup = f4.speedup_over(&base);
         // Table VII: 1.36x end-to-end at batch 16 (1.93x on the Winograd layers).
-        assert!(speedup > 1.1 && speedup < 2.5, "ResNet-34 b16 speedup {speedup}");
+        assert!(
+            speedup > 1.1 && speedup < 2.5,
+            "ResNet-34 b16 speedup {speedup}"
+        );
         assert!(f4.winograd_layer_speedup_over(&base) > speedup);
     }
 
@@ -238,7 +207,12 @@ mod tests {
             let f4 = simulate_network(&net, b, KernelChoice::WithF4, &c);
             f4.speedup_over(&base)
         };
-        assert!(gain(16) > gain(1), "batch trend violated: {} vs {}", gain(16), gain(1));
+        assert!(
+            gain(16) > gain(1),
+            "batch trend violated: {} vs {}",
+            gain(16),
+            gain(1)
+        );
     }
 
     #[test]
@@ -288,7 +262,10 @@ mod tests {
         let f4 = simulate_network(&net, 1, KernelChoice::WithF4, &c);
         let gain = f4.inferences_per_joule() / base.inferences_per_joule();
         assert!(gain > 1.1, "energy-efficiency gain {gain} too small");
-        assert!(gain < 3.5, "energy-efficiency gain {gain} implausibly large");
+        assert!(
+            gain < 3.5,
+            "energy-efficiency gain {gain} implausibly large"
+        );
     }
 
     #[test]
@@ -298,7 +275,13 @@ mod tests {
         let f4 = simulate_network(&net, 1, KernelChoice::WithF2AndF4, &c);
         for l in &f4.layers {
             if l.name.contains("1x1") || l.name.contains("downsample") || l.name.contains("conv1") {
-                assert_eq!(l.chosen, Kernel::Im2col, "layer {} chose {}", l.name, l.chosen);
+                assert_eq!(
+                    l.chosen,
+                    Kernel::Im2col,
+                    "layer {} chose {}",
+                    l.name,
+                    l.chosen
+                );
             }
         }
         let hist = f4.kernel_histogram();

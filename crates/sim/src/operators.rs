@@ -14,43 +14,10 @@ use crate::energy::{energy_from_activity, AccessCounts, EnergyBreakdown};
 use crate::xform::TransformEngine;
 use serde::{Deserialize, Serialize};
 use wino_nets::ConvLayer;
-
-/// The convolution kernel executed on the accelerator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Kernel {
-    /// The baseline im2col + MatMul kernel.
-    Im2col,
-    /// Winograd F(2×2, 3×3).
-    WinogradF2,
-    /// Winograd F(4×4, 3×3).
-    WinogradF4,
-}
-
-impl Kernel {
-    /// Output-tile edge `m` for the Winograd kernels (`None` for im2col).
-    pub fn tile_m(self) -> Option<usize> {
-        match self {
-            Kernel::Im2col => None,
-            Kernel::WinogradF2 => Some(2),
-            Kernel::WinogradF4 => Some(4),
-        }
-    }
-
-    /// All kernels.
-    pub fn all() -> [Kernel; 3] {
-        [Kernel::Im2col, Kernel::WinogradF2, Kernel::WinogradF4]
-    }
-}
-
-impl std::fmt::Display for Kernel {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Kernel::Im2col => write!(f, "im2col"),
-            Kernel::WinogradF2 => write!(f, "F2"),
-            Kernel::WinogradF4 => write!(f, "F4"),
-        }
-    }
-}
+// The kernel taxonomy is shared with the numeric execution engine; it lives in
+// `wino_nets` and is re-exported here so existing `accel_sim::Kernel` imports
+// keep working.
+pub use wino_nets::Kernel;
 
 /// Cycle contribution of each resource to one layer (whole system, i.e. the
 /// slowest core determines the time; resources are already per-core balanced).
@@ -188,8 +155,7 @@ fn simulate_im2col(layer: &ConvLayer, batch: usize, cfg: &AcceleratorConfig) -> 
     let reduction = layer.c_in * layer.kernel * layer.kernel;
     let cols = layer.c_out.div_ceil(cfg.cores);
 
-    let cube =
-        reps * cube_cycles(cfg, rows, reduction, cols, cfg.im2col_cube_efficiency);
+    let cube = reps * cube_cycles(cfg, rows, reduction, cols, cfg.im2col_cube_efficiency);
     // The im2col engine sustains the Cube Unit by design; it contributes a small
     // non-overlapped fraction (pattern set-up per row of tiles).
     let im2col_engine = 0.06 * cube;
@@ -211,8 +177,7 @@ fn simulate_im2col(layer: &ConvLayer, batch: usize, cfg: &AcceleratorConfig) -> 
     };
 
     // Memory accesses (bytes).
-    let lowered = ifm * (layer.kernel * layer.kernel) as f64
-        / (layer.stride * layer.stride) as f64;
+    let lowered = ifm * (layer.kernel * layer.kernel) as f64 / (layer.stride * layer.stride) as f64;
     let cube_total_cycles = cube * cfg.cores as f64;
     let access = AccessCounts {
         gm_fm_read: ifm,
@@ -268,9 +233,8 @@ fn simulate_winograd(
     // Cube: taps-many batched MatMuls of [batch·tiles × C_in] · [C_in × C_out/cores].
     let rows = batch * tiles;
     let cols = layer.c_out.div_ceil(cfg.cores);
-    let cube = reps
-        * taps as f64
-        * cube_cycles(cfg, rows, layer.c_in, cols, cfg.winograd_cube_efficiency);
+    let cube =
+        reps * taps as f64 * cube_cycles(cfg, rows, layer.c_in, cols, cfg.winograd_cube_efficiency);
 
     // Transformation engines (per core; each core transforms all input channels
     // for its own output-channel half).
@@ -368,7 +332,10 @@ mod tests {
         // Table IV macro-trend 1: larger resolution or batch → higher speed-up.
         let s_small = speedup(&layer(256, 256, 16), 1, Kernel::WinogradF4);
         let s_large = speedup(&layer(256, 256, 128), 1, Kernel::WinogradF4);
-        assert!(s_large > s_small, "resolution trend: {s_small} -> {s_large}");
+        assert!(
+            s_large > s_small,
+            "resolution trend: {s_small} -> {s_large}"
+        );
         let s_b1 = speedup(&layer(256, 256, 32), 1, Kernel::WinogradF4);
         let s_b8 = speedup(&layer(256, 256, 32), 8, Kernel::WinogradF4);
         assert!(s_b8 > s_b1, "batch trend: {s_b1} -> {s_b8}");
@@ -412,7 +379,10 @@ mod tests {
         let l = layer(256, 512, 64);
         let f2 = speedup(&l, 8, Kernel::WinogradF2);
         let f4 = speedup(&l, 8, Kernel::WinogradF4);
-        assert!(f4 > f2, "F4 ({f4}) should outperform F2 ({f2}) on compute-heavy layers");
+        assert!(
+            f4 > f2,
+            "F4 ({f4}) should outperform F2 ({f2}) on compute-heavy layers"
+        );
     }
 
     #[test]

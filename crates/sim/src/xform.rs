@@ -130,7 +130,11 @@ impl TransformEngine {
     /// Read bandwidth requirement in bytes/cycle (Table I), assuming int8
     /// elements for input/weight transforms and int32 for the output transform.
     pub fn read_bandwidth(&self) -> f64 {
-        let elem = if self.kind == XformKind::Output { 4.0 } else { 1.0 };
+        let elem = if self.kind == XformKind::Output {
+            4.0
+        } else {
+            1.0
+        };
         let h = self.tile as f64;
         match self.style {
             EngineStyle::RowByRowSlow | EngineStyle::RowByRowFast => {
@@ -142,7 +146,9 @@ impl TransformEngine {
 
     /// Write bandwidth requirement in bytes/cycle (Table I).
     pub fn write_bandwidth(&self) -> f64 {
-        let elem = if self.kind == XformKind::Output { 1.0 } else { 1.0 };
+        // int8 output codes and int16 Winograd-domain words both leave one
+        // byte-equivalent per element in this model.
+        let elem = 1.0;
         let h = self.tile as f64;
         match self.style {
             EngineStyle::RowByRowSlow => self.parallel_transforms() as f64 * h * elem,

@@ -29,7 +29,10 @@ pub fn relu_inplace(x: &mut Tensor<f32>) {
 /// Panics if `x` is not 2-D or `temperature` is not strictly positive.
 pub fn softmax_rows(x: &Tensor<f32>, temperature: f32) -> Tensor<f32> {
     assert_eq!(x.rank(), 2, "softmax_rows: input must be 2-D");
-    assert!(temperature > 0.0, "softmax_rows: temperature must be positive");
+    assert!(
+        temperature > 0.0,
+        "softmax_rows: temperature must be positive"
+    );
     let (rows, cols) = (x.dims()[0], x.dims()[1]);
     let mut out = Tensor::<f32>::zeros(&[rows, cols]);
     for r in 0..rows {

@@ -34,7 +34,11 @@ impl ConvParams {
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
         assert!(kernel > 0, "kernel must be positive");
         assert!(stride > 0, "stride must be positive");
-        Self { kernel, stride, padding }
+        Self {
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// The unit-stride, "same"-padded 3×3 convolution targeted by the Winograd

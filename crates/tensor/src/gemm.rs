@@ -3,9 +3,16 @@
 //! Two kernels are provided: an `f32` GEMM used by the reference im2col
 //! convolution and the training substrate, and an `i8 × i8 → i32` GEMM that
 //! mirrors the Cube Unit of the accelerator (Section IV-A of the paper), which
-//! multiplies two int8 matrices and accumulates into int32.
+//! multiplies two int8 matrices and accumulates into int32. Both are cache
+//! blocked and parallelised over row blocks of `C` (see [`gemm_f32`]).
 
+use crate::parallel::parallel_chunks_mut;
 use crate::tensor::Tensor;
+
+/// Rows of `C` per cache block — one block of `A` (MC × KC floats) stays in L1.
+const BLOCK_M: usize = 32;
+/// Depth of the shared `K` blocking.
+const BLOCK_K: usize = 256;
 
 /// Convenience façade bundling the GEMM kernels behind one type.
 ///
@@ -33,9 +40,13 @@ impl Gemm {
 
 /// Multiplies two row-major `f32` matrices: `C[M×N] = A[M×K] · B[K×N]`.
 ///
-/// The kernel is a straightforward blocked triple loop; it favours clarity and
-/// determinism over peak throughput, which is sufficient for the reference
-/// convolutions and the training experiments in this workspace.
+/// The kernel blocks the `M` dimension in [`BLOCK_M`]-row tiles and the shared
+/// `K` dimension in [`BLOCK_K`]-deep panels, so each pass streams one panel of
+/// `B` against a resident block of `A`; row blocks of `C` are independent and
+/// are distributed over the worker threads
+/// ([`crate::parallel::parallel_chunks_mut`]). Within a block the i-k-j loop
+/// order keeps the innermost loop streaming contiguously through a row of `B`
+/// and a row of `C`.
 ///
 /// # Panics
 ///
@@ -50,21 +61,29 @@ pub fn gemm_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
     let mut c = vec![0.0_f32; m * n];
     let a_s = a.as_slice();
     let b_s = b.as_slice();
-    // i-k-j loop order: the innermost loop streams through a row of B and a row
-    // of C, which keeps accesses contiguous.
-    for i in 0..m {
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for kk in 0..k {
-            let a_ik = a_s[i * k + kk];
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = &b_s[kk * n..(kk + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += a_ik * bv;
+    // Each chunk is one BLOCK_M-row block of C; blocks are disjoint, so they
+    // parallelise without synchronisation.
+    parallel_chunks_mut(&mut c, BLOCK_M * n.max(1), |blk, c_block| {
+        let i0 = blk * BLOCK_M;
+        let rows = c_block.len() / n.max(1);
+        for k0 in (0..k).step_by(BLOCK_K) {
+            let k1 = (k0 + BLOCK_K).min(k);
+            for di in 0..rows {
+                let i = i0 + di;
+                let c_row = &mut c_block[di * n..(di + 1) * n];
+                for kk in k0..k1 {
+                    let a_ik = a_s[i * k + kk];
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_s[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += a_ik * bv;
+                    }
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(c, &[m, n]).expect("gemm_f32 output shape")
 }
 
@@ -74,6 +93,7 @@ pub fn gemm_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
 /// This mirrors the integer datapath of the Cube Unit: int8 operands, int32
 /// accumulators, no saturation (the accumulator is wide enough for the layer
 /// sizes used in the paper: `K ≤ 2^15` keeps the result well inside `i32`).
+/// Blocking and row-block parallelism follow [`gemm_f32`].
 ///
 /// # Panics
 ///
@@ -83,24 +103,35 @@ pub fn gemm_i8_i32(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i32> {
     assert_eq!(b.rank(), 2, "gemm_i8_i32: B must be a matrix");
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (kb, n) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, kb, "gemm_i8_i32: inner dimensions disagree ({k} vs {kb})");
+    assert_eq!(
+        k, kb,
+        "gemm_i8_i32: inner dimensions disagree ({k} vs {kb})"
+    );
 
     let mut c = vec![0_i32; m * n];
     let a_s = a.as_slice();
     let b_s = b.as_slice();
-    for i in 0..m {
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for kk in 0..k {
-            let a_ik = i32::from(a_s[i * k + kk]);
-            if a_ik == 0 {
-                continue;
-            }
-            let b_row = &b_s[kk * n..(kk + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += a_ik * i32::from(bv);
+    parallel_chunks_mut(&mut c, BLOCK_M * n.max(1), |blk, c_block| {
+        let i0 = blk * BLOCK_M;
+        let rows = c_block.len() / n.max(1);
+        for k0 in (0..k).step_by(BLOCK_K) {
+            let k1 = (k0 + BLOCK_K).min(k);
+            for di in 0..rows {
+                let i = i0 + di;
+                let c_row = &mut c_block[di * n..(di + 1) * n];
+                for kk in k0..k1 {
+                    let a_ik = i32::from(a_s[i * k + kk]);
+                    if a_ik == 0 {
+                        continue;
+                    }
+                    let b_row = &b_s[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += a_ik * i32::from(bv);
+                    }
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(c, &[m, n]).expect("gemm_i8_i32 output shape")
 }
 
@@ -164,8 +195,8 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
         let a_i: Tensor<i8> = Tensor::from_fn(&[6, 10], |_| rng.gen_range(-20_i32..20) as i8);
         let b_i: Tensor<i8> = Tensor::from_fn(&[10, 4], |_| rng.gen_range(-20_i32..20) as i8);
-        let a_f = a_i.map(|v| f32::from(v));
-        let b_f = b_i.map(|v| f32::from(v));
+        let a_f = a_i.map(f32::from);
+        let b_f = b_i.map(f32::from);
         let ci = gemm_i8_i32(&a_i, &b_i);
         let cf = gemm_f32(&a_f, &b_f);
         for (iv, fv) in ci.as_slice().iter().zip(cf.as_slice().iter()) {

@@ -150,8 +150,16 @@ mod tests {
     fn matches_direct_for_strided_and_unpadded() {
         let x = normal(&[1, 2, 9, 9], 0.0, 1.0, 21);
         let w = normal(&[3, 2, 3, 3], 0.0, 1.0, 22);
-        for p in [ConvParams::new(3, 2, 1), ConvParams::new(3, 1, 0), ConvParams::new(1, 1, 0)] {
-            let w1 = if p.kernel == 1 { normal(&[3, 2, 1, 1], 0.0, 1.0, 23) } else { w.clone() };
+        for p in [
+            ConvParams::new(3, 2, 1),
+            ConvParams::new(3, 1, 0),
+            ConvParams::new(1, 1, 0),
+        ] {
+            let w1 = if p.kernel == 1 {
+                normal(&[3, 2, 1, 1], 0.0, 1.0, 23)
+            } else {
+                w.clone()
+            };
             let a = conv2d_direct(&x, &w1, None, p);
             let b = conv2d_im2col(&x, &w1, None, p);
             assert!(a.max_abs_diff(&b) < 1e-4, "mismatch for {p:?}");

@@ -128,8 +128,14 @@ mod tests {
     #[test]
     fn init_enum_builds_all_variants() {
         for init in [
-            TensorInit::Normal { mean: 0.0, std: 1.0 },
-            TensorInit::Uniform { low: -1.0, high: 1.0 },
+            TensorInit::Normal {
+                mean: 0.0,
+                std: 1.0,
+            },
+            TensorInit::Uniform {
+                low: -1.0,
+                high: 1.0,
+            },
             TensorInit::KaimingNormal,
             TensorInit::Constant(0.5),
         ] {

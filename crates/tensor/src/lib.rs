@@ -35,6 +35,7 @@ pub mod im2col;
 pub mod init;
 pub mod linear;
 pub mod norm;
+pub mod parallel;
 pub mod pool;
 pub mod shape;
 pub mod tensor;
@@ -46,6 +47,7 @@ pub use im2col::{conv2d_im2col, im2col};
 pub use init::{kaiming_normal, normal, uniform, TensorInit};
 pub use linear::linear_forward;
 pub use norm::BatchNorm2d;
+pub use parallel::{max_threads, parallel_chunks_mut, parallel_map, set_max_threads};
 pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};
 pub use shape::{conv_output_hw, Shape4};
 pub use tensor::{Element, Tensor, TensorError};

@@ -13,11 +13,18 @@ use crate::tensor::Tensor;
 ///
 /// Panics on mismatched shapes.
 pub fn linear_forward(x: &Tensor<f32>, w: &Tensor<f32>, bias: Option<&Tensor<f32>>) -> Tensor<f32> {
-    assert_eq!(x.rank(), 2, "linear_forward: input must be [batch, features]");
+    assert_eq!(
+        x.rank(),
+        2,
+        "linear_forward: input must be [batch, features]"
+    );
     assert_eq!(w.rank(), 2, "linear_forward: weight must be [out, in]");
     let (batch, in_f) = (x.dims()[0], x.dims()[1]);
     let (out_f, in_w) = (w.dims()[0], w.dims()[1]);
-    assert_eq!(in_f, in_w, "linear_forward: feature mismatch ({in_f} vs {in_w})");
+    assert_eq!(
+        in_f, in_w,
+        "linear_forward: feature mismatch ({in_f} vs {in_w})"
+    );
     if let Some(b) = bias {
         assert_eq!(b.len(), out_f, "linear_forward: bias length mismatch");
     }

@@ -62,7 +62,11 @@ impl BatchNorm2d {
     /// Panics if the channel count of `x` differs from the layer.
     pub fn forward_inference(&self, x: &Tensor<f32>) -> Tensor<f32> {
         assert_eq!(x.rank(), 4, "BatchNorm2d: input must be NCHW");
-        assert_eq!(x.dims()[1], self.channels(), "BatchNorm2d: channel mismatch");
+        assert_eq!(
+            x.dims()[1],
+            self.channels(),
+            "BatchNorm2d: channel mismatch"
+        );
         let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let mut y = Tensor::<f32>::zeros(x.dims());
         for ci in 0..c {
@@ -88,7 +92,11 @@ impl BatchNorm2d {
     /// Panics if the channel count of `x` differs from the layer.
     pub fn forward_train(&mut self, x: &Tensor<f32>) -> (Tensor<f32>, BatchNormStats) {
         assert_eq!(x.rank(), 4, "BatchNorm2d: input must be NCHW");
-        assert_eq!(x.dims()[1], self.channels(), "BatchNorm2d: channel mismatch");
+        assert_eq!(
+            x.dims()[1],
+            self.channels(),
+            "BatchNorm2d: channel mismatch"
+        );
         let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let count = (n * h * w).max(1) as f32;
         let mut mean = vec![0.0_f32; c];

@@ -58,7 +58,10 @@ fn pool2d(
     kind: PoolKind,
 ) -> Tensor<f32> {
     assert_eq!(x.rank(), 4, "pool2d: input must be NCHW");
-    assert!(kernel > 0 && stride > 0, "pool2d: kernel and stride must be positive");
+    assert!(
+        kernel > 0 && stride > 0,
+        "pool2d: kernel and stride must be positive"
+    );
     let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
     let h_out = conv_output_hw(h, kernel, stride, padding);
     let w_out = conv_output_hw(w, kernel, stride, padding);

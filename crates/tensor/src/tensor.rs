@@ -41,10 +41,16 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ReshapeMismatch { len, requested } => {
-                write!(f, "cannot reshape tensor of {len} elements into {requested} elements")
+                write!(
+                    f,
+                    "cannot reshape tensor of {len} elements into {requested} elements"
+                )
             }
         }
     }
@@ -75,13 +81,19 @@ impl<T: Element> Tensor<T> {
     /// Creates a tensor filled with `T::default()` (zero for all numeric types).
     pub fn zeros(dims: &[usize]) -> Self {
         let len = dims.iter().product();
-        Self { data: vec![T::default(); len], dims: dims.to_vec() }
+        Self {
+            data: vec![T::default(); len],
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates a tensor filled with the provided value.
     pub fn filled(dims: &[usize], value: T) -> Self {
         let len = dims.iter().product();
-        Self { data: vec![value; len], dims: dims.to_vec() }
+        Self {
+            data: vec![value; len],
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -93,16 +105,25 @@ impl<T: Element> Tensor<T> {
     pub fn from_vec(data: Vec<T>, dims: &[usize]) -> Result<Self, TensorError> {
         let expected: usize = dims.iter().product();
         if data.len() != expected {
-            return Err(TensorError::LengthMismatch { expected, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Self { data, dims: dims.to_vec() })
+        Ok(Self {
+            data,
+            dims: dims.to_vec(),
+        })
     }
 
     /// Builds a tensor by evaluating `f` at every flat index.
     pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> T) -> Self {
         let len: usize = dims.iter().product();
         let data = (0..len).map(&mut f).collect();
-        Self { data, dims: dims.to_vec() }
+        Self {
+            data,
+            dims: dims.to_vec(),
+        }
     }
 
     /// The dimensions of the tensor.
@@ -148,9 +169,15 @@ impl<T: Element> Tensor<T> {
     pub fn reshape(&self, dims: &[usize]) -> Result<Self, TensorError> {
         let requested: usize = dims.iter().product();
         if requested != self.data.len() {
-            return Err(TensorError::ReshapeMismatch { len: self.data.len(), requested });
+            return Err(TensorError::ReshapeMismatch {
+                len: self.data.len(),
+                requested,
+            });
         }
-        Ok(Self { data: self.data.clone(), dims: dims.to_vec() })
+        Ok(Self {
+            data: self.data.clone(),
+            dims: dims.to_vec(),
+        })
     }
 
     /// Row-major flat offset of a multi-dimensional index.
@@ -164,7 +191,10 @@ impl<T: Element> Tensor<T> {
         assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
         let mut off = 0usize;
         for (i, (&idx, &dim)) in index.iter().zip(self.dims.iter()).enumerate() {
-            assert!(idx < dim, "index {idx} out of bounds for dim {i} (size {dim})");
+            assert!(
+                idx < dim,
+                "index {idx} out of bounds for dim {i} (size {dim})"
+            );
             off = off * dim + idx;
         }
         off
@@ -220,7 +250,10 @@ impl<T: Element> Tensor<T> {
     /// Applies `f` to every element and returns a new tensor of a possibly
     /// different element type.
     pub fn map<U: Element>(&self, mut f: impl FnMut(T) -> U) -> Tensor<U> {
-        Tensor { data: self.data.iter().copied().map(&mut f).collect(), dims: self.dims.clone() }
+        Tensor {
+            data: self.data.iter().copied().map(&mut f).collect(),
+            dims: self.dims.clone(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -280,7 +313,11 @@ impl Tensor<f32> {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self.data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = self
+            .data
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / self.data.len() as f32;
         var.sqrt()
     }
@@ -353,7 +390,13 @@ mod tests {
     #[test]
     fn from_vec_length_mismatch() {
         let err = Tensor::from_vec(vec![1.0_f32; 5], &[2, 3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 6, actual: 5 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
         assert!(format!("{err}").contains("does not match"));
     }
 

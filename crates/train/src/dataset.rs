@@ -40,7 +40,11 @@ impl Dataset {
     pub fn batch(&self, start: usize, size: usize) -> (Tensor<f32>, Vec<usize>) {
         let end = (start + size).min(self.len());
         assert!(start < end, "batch out of range");
-        let (c, h, w) = (self.images.dims()[1], self.images.dims()[2], self.images.dims()[3]);
+        let (c, h, w) = (
+            self.images.dims()[1],
+            self.images.dims()[2],
+            self.images.dims()[3],
+        );
         let count = end - start;
         let plane = c * h * w;
         let mut data = Vec::with_capacity(count * plane);
@@ -65,7 +69,11 @@ pub struct SyntheticImageTask {
 
 impl Default for SyntheticImageTask {
     fn default() -> Self {
-        Self { size: 12, classes: 10, noise: 0.25 }
+        Self {
+            size: 12,
+            classes: 10,
+            noise: 0.25,
+        }
     }
 }
 
@@ -76,8 +84,12 @@ impl SyntheticImageTask {
     /// several frequencies, checkerboards, radial blobs, corner gradients)
     /// modulated per-sample by a random phase, amplitude and channel mix, plus
     /// additive noise.
+    #[allow(clippy::needless_range_loop)] // index-heavy math reads clearer with explicit loops
     pub fn generate(&self, count: usize, seed: u64) -> Dataset {
-        assert!(self.classes >= 2 && self.classes <= 10, "classes must be in 2..=10");
+        assert!(
+            self.classes >= 2 && self.classes <= 10,
+            "classes must be in 2..=10"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let (s, c) = (self.size, 3usize);
         let mut images = Tensor::<f32>::zeros(&[count, c, s, s]);
@@ -87,10 +99,13 @@ impl SyntheticImageTask {
             labels.push(label);
             let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
             let amp: f32 = rng.gen_range(0.7..1.3);
-            let cx: f32 = rng.gen_range(0.25..0.75) * s as f32;
-            let cy: f32 = rng.gen_range(0.25..0.75) * s as f32;
-            let channel_mix: [f32; 3] =
-                [rng.gen_range(0.5..1.0), rng.gen_range(0.5..1.0), rng.gen_range(0.5..1.0)];
+            let cx: f32 = rng.gen_range(0.25_f32..0.75) * s as f32;
+            let cy: f32 = rng.gen_range(0.25_f32..0.75) * s as f32;
+            let channel_mix: [f32; 3] = [
+                rng.gen_range(0.5..1.0),
+                rng.gen_range(0.5..1.0),
+                rng.gen_range(0.5..1.0),
+            ];
             for ch in 0..c {
                 for y in 0..s {
                     for x in 0..s {
@@ -129,7 +144,11 @@ impl SyntheticImageTask {
                 }
             }
         }
-        Dataset { images, labels, classes: self.classes }
+        Dataset {
+            images,
+            labels,
+            classes: self.classes,
+        }
     }
 }
 
@@ -145,7 +164,11 @@ mod tests {
 
     #[test]
     fn generates_requested_shape_and_labels() {
-        let task = SyntheticImageTask { size: 8, classes: 10, noise: 0.1 };
+        let task = SyntheticImageTask {
+            size: 8,
+            classes: 10,
+            noise: 0.1,
+        };
         let d = task.generate(50, 1);
         assert_eq!(d.images.dims(), &[50, 3, 8, 8]);
         assert_eq!(d.len(), 50);
@@ -169,13 +192,17 @@ mod tests {
         let task = SyntheticImageTask::default();
         let d = task.generate(500, 3);
         for class in 0..10 {
-            assert!(d.labels.iter().any(|&l| l == class), "class {class} missing");
+            assert!(d.labels.contains(&class), "class {class} missing");
         }
     }
 
     #[test]
     fn batching_slices_images_and_labels_consistently() {
-        let task = SyntheticImageTask { size: 6, classes: 4, noise: 0.0 };
+        let task = SyntheticImageTask {
+            size: 6,
+            classes: 4,
+            noise: 0.0,
+        };
         let d = task.generate(20, 5);
         let (imgs, labels) = d.batch(4, 8);
         assert_eq!(imgs.dims(), &[8, 3, 6, 6]);
@@ -189,7 +216,11 @@ mod tests {
 
     #[test]
     fn pixel_values_are_bounded() {
-        let task = SyntheticImageTask { size: 10, classes: 10, noise: 0.2 };
+        let task = SyntheticImageTask {
+            size: 10,
+            classes: 10,
+            noise: 0.2,
+        };
         let d = task.generate(100, 11);
         assert!(d.images.abs_max() < 6.0);
     }

@@ -28,7 +28,11 @@ pub fn distillation_loss(
     temperature: f32,
     alpha: f32,
 ) -> (f32, Tensor<f32>) {
-    assert_eq!(student_logits.dims(), teacher_logits.dims(), "logit shape mismatch");
+    assert_eq!(
+        student_logits.dims(),
+        teacher_logits.dims(),
+        "logit shape mismatch"
+    );
     assert!(temperature > 0.0, "temperature must be positive");
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
     let batch = student_logits.dims()[0];
@@ -88,10 +92,8 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let student =
-            Tensor::from_vec(vec![0.5_f32, -0.2, 0.1, -0.4, 0.9, 0.3], &[2, 3]).unwrap();
-        let teacher =
-            Tensor::from_vec(vec![1.0_f32, 0.0, -1.0, -0.5, 1.5, 0.0], &[2, 3]).unwrap();
+        let student = Tensor::from_vec(vec![0.5_f32, -0.2, 0.1, -0.4, 0.9, 0.3], &[2, 3]).unwrap();
+        let teacher = Tensor::from_vec(vec![1.0_f32, 0.0, -1.0, -0.5, 1.5, 0.0], &[2, 3]).unwrap();
         let labels = [0usize, 1];
         let (_, grad) = distillation_loss(&student, &teacher, &labels, 3.0, 0.7);
         let eps = 1e-3;

@@ -9,8 +9,8 @@
 //! plain convolution gradient (DESIGN.md §3 documents this approximation).
 
 use wino_core::{
-    winograd_conv2d, winograd_conv2d_fake_quant, TapwiseScales, TileSize,
-    WinogradMatrices, WinogradQuantConfig,
+    winograd_conv2d, winograd_conv2d_fake_quant, TapwiseScales, TileSize, WinogradMatrices,
+    WinogradQuantConfig,
 };
 use wino_tensor::{conv2d_direct, kaiming_normal, linear_forward, ConvParams, Tensor};
 
@@ -79,11 +79,21 @@ impl Conv3x3 {
     /// Recalibrates the tap-wise scales of a quantized layer from the current
     /// weights and a representative input batch. No-op for other algorithms.
     pub fn recalibrate(&mut self, sample_input: &Tensor<f32>) {
-        if let ConvAlgorithm::WinogradQuantized { config, scales, input_max } = &mut self.algorithm
+        if let ConvAlgorithm::WinogradQuantized {
+            config,
+            scales,
+            input_max,
+        } = &mut self.algorithm
         {
             let mats = WinogradMatrices::for_tile(config.tile);
             *scales = if config.tapwise {
-                TapwiseScales::calibrate(&self.weight, sample_input, &mats, config.wino_bits, config.mode)
+                TapwiseScales::calibrate(
+                    &self.weight,
+                    sample_input,
+                    &mats,
+                    config.wino_bits,
+                    config.mode,
+                )
             } else {
                 TapwiseScales::calibrate_uniform(
                     &self.weight,
@@ -103,9 +113,11 @@ impl Conv3x3 {
         let mut y = match &self.algorithm {
             ConvAlgorithm::Direct => conv2d_direct(x, &self.weight, None, ConvParams::same_3x3()),
             ConvAlgorithm::Winograd(tile) => winograd_conv2d(x, &self.weight, *tile),
-            ConvAlgorithm::WinogradQuantized { config, scales, input_max } => {
-                winograd_conv2d_fake_quant(x, &self.weight, config, scales, *input_max)
-            }
+            ConvAlgorithm::WinogradQuantized {
+                config,
+                scales,
+                input_max,
+            } => winograd_conv2d_fake_quant(x, &self.weight, config, scales, *input_max),
         };
         // Add the bias per output channel.
         let (n, c, h, w) = (y.dims()[0], y.dims()[1], y.dims()[2], y.dims()[3]);
@@ -131,10 +143,17 @@ impl Conv3x3 {
     ///
     /// Panics if `forward` has not been called or shapes mismatch.
     pub fn backward(&mut self, d_out: &Tensor<f32>) -> Conv3x3Grads {
-        let x = self.cached_input.take().expect("Conv3x3::backward called before forward");
+        let x = self
+            .cached_input
+            .take()
+            .expect("Conv3x3::backward called before forward");
         let (n, c_in, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let c_out = self.c_out();
-        assert_eq!(d_out.dims(), &[n, c_out, h, w], "Conv3x3::backward: dY shape mismatch");
+        assert_eq!(
+            d_out.dims(),
+            &[n, c_out, h, w],
+            "Conv3x3::backward: dY shape mismatch"
+        );
 
         // dBias
         let mut d_bias = Tensor::<f32>::zeros(&[c_out]);
@@ -209,7 +228,11 @@ impl Conv3x3 {
             }
         }
 
-        Conv3x3Grads { weight: d_w, bias: d_bias, input: d_x }
+        Conv3x3Grads {
+            weight: d_w,
+            bias: d_bias,
+            input: d_x,
+        }
     }
 }
 
@@ -256,10 +279,17 @@ impl Linear {
     ///
     /// Panics if `forward` has not been called.
     pub fn backward(&mut self, d_out: &Tensor<f32>) -> LinearGrads {
-        let x = self.cached_input.take().expect("Linear::backward called before forward");
+        let x = self
+            .cached_input
+            .take()
+            .expect("Linear::backward called before forward");
         let (batch, in_f) = (x.dims()[0], x.dims()[1]);
         let out_f = self.weight.dims()[0];
-        assert_eq!(d_out.dims(), &[batch, out_f], "Linear::backward: dY shape mismatch");
+        assert_eq!(
+            d_out.dims(),
+            &[batch, out_f],
+            "Linear::backward: dY shape mismatch"
+        );
 
         let mut d_w = Tensor::<f32>::zeros(&[out_f, in_f]);
         let mut d_b = Tensor::<f32>::zeros(&[out_f]);
@@ -276,7 +306,11 @@ impl Linear {
                 }
             }
         }
-        LinearGrads { weight: d_w, bias: d_b, input: d_x }
+        LinearGrads {
+            weight: d_w,
+            bias: d_b,
+            input: d_x,
+        }
     }
 }
 
@@ -300,7 +334,12 @@ pub fn avg_pool2_forward(x: &Tensor<f32>) -> Tensor<f32> {
 /// its 2×2 input window.
 pub fn avg_pool2_backward(d_out: &Tensor<f32>, input_dims: &[usize]) -> Tensor<f32> {
     let mut d_x = Tensor::<f32>::zeros(input_dims);
-    let (n, c, ho, wo) = (d_out.dims()[0], d_out.dims()[1], d_out.dims()[2], d_out.dims()[3]);
+    let (n, c, ho, wo) = (
+        d_out.dims()[0],
+        d_out.dims()[1],
+        d_out.dims()[2],
+        d_out.dims()[3],
+    );
     for ni in 0..n {
         for ci in 0..c {
             for oy in 0..ho {
@@ -378,8 +417,14 @@ mod tests {
             wp.as_mut_slice()[idx] += eps;
             let mut wm = layer.weight.clone();
             wm.as_mut_slice()[idx] -= eps;
-            let mut lp = Conv3x3 { weight: wp, ..layer.clone() };
-            let mut lm = Conv3x3 { weight: wm, ..layer.clone() };
+            let mut lp = Conv3x3 {
+                weight: wp,
+                ..layer.clone()
+            };
+            let mut lm = Conv3x3 {
+                weight: wm,
+                ..layer.clone()
+            };
             let yp = lp.forward(&x).mul(&r).sum();
             let ym = lm.forward(&x).mul(&r).sum();
             let numeric = (yp - ym) / (2.0 * eps);
@@ -434,8 +479,11 @@ mod tests {
         let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 10);
         let mats = WinogradMatrices::for_tile(TileSize::F4);
         let scales = TapwiseScales::calibrate(&layer.weight, &x, &mats, cfg.wino_bits, cfg.mode);
-        layer.algorithm =
-            ConvAlgorithm::WinogradQuantized { config: cfg, scales, input_max: x.abs_max() };
+        layer.algorithm = ConvAlgorithm::WinogradQuantized {
+            config: cfg,
+            scales,
+            input_max: x.abs_max(),
+        };
         let y = layer.forward(&x);
         let err = y.relative_error(&reference);
         assert!(err > 0.0 && err < 0.2, "unexpected quantized error {err}");
@@ -454,8 +502,14 @@ mod tests {
             wp.as_mut_slice()[idx] += eps;
             let mut wm = layer.weight.clone();
             wm.as_mut_slice()[idx] -= eps;
-            let mut lp = Linear { weight: wp, ..layer.clone() };
-            let mut lm = Linear { weight: wm, ..layer.clone() };
+            let mut lp = Linear {
+                weight: wp,
+                ..layer.clone()
+            };
+            let mut lm = Linear {
+                weight: wm,
+                ..layer.clone()
+            };
             let yp = lp.forward(&x).mul(&r).sum();
             let ym = lm.forward(&x).mul(&r).sum();
             let numeric = (yp - ym) / (2.0 * eps);

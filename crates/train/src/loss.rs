@@ -9,8 +9,16 @@ use wino_tensor::{softmax_rows, Tensor};
 ///
 /// Panics if a label is out of range or the batch sizes disagree.
 pub fn cross_entropy(logits: &Tensor<f32>, labels: &[usize]) -> f32 {
-    assert_eq!(logits.rank(), 2, "cross_entropy: logits must be [batch, classes]");
-    assert_eq!(logits.dims()[0], labels.len(), "cross_entropy: batch mismatch");
+    assert_eq!(
+        logits.rank(),
+        2,
+        "cross_entropy: logits must be [batch, classes]"
+    );
+    assert_eq!(
+        logits.dims()[0],
+        labels.len(),
+        "cross_entropy: batch mismatch"
+    );
     let probs = softmax_rows(logits, 1.0);
     let classes = logits.dims()[1];
     let mut loss = 0.0;
@@ -54,8 +62,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let logits =
-            Tensor::from_vec(vec![0.3_f32, -0.7, 1.2, 0.1, 0.0, -0.5], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.3_f32, -0.7, 1.2, 0.1, 0.0, -0.5], &[2, 3]).unwrap();
         let labels = [2usize, 0];
         let grad = softmax_cross_entropy_backward(&logits, &labels);
         let eps = 1e-3;
@@ -64,7 +71,8 @@ mod tests {
             plus.as_mut_slice()[idx] += eps;
             let mut minus = logits.clone();
             minus.as_mut_slice()[idx] -= eps;
-            let num = (cross_entropy(&plus, &labels) - cross_entropy(&minus, &labels)) / (2.0 * eps);
+            let num =
+                (cross_entropy(&plus, &labels) - cross_entropy(&minus, &labels)) / (2.0 * eps);
             assert!(
                 (num - grad.as_slice()[idx]).abs() < 1e-3,
                 "grad mismatch at {idx}: analytic {} vs numeric {num}",

@@ -8,7 +8,11 @@ use wino_tensor::Tensor;
 ///
 /// Panics if the batch sizes disagree.
 pub fn accuracy(logits: &Tensor<f32>, labels: &[usize]) -> f32 {
-    assert_eq!(logits.rank(), 2, "accuracy: logits must be [batch, classes]");
+    assert_eq!(
+        logits.rank(),
+        2,
+        "accuracy: logits must be [batch, classes]"
+    );
     assert_eq!(logits.dims()[0], labels.len(), "accuracy: batch mismatch");
     if labels.is_empty() {
         return 0.0;
@@ -33,7 +37,11 @@ pub fn accuracy(logits: &Tensor<f32>, labels: &[usize]) -> f32 {
 
 /// Top-k accuracy (the paper reports Top-1 and Top-5).
 pub fn top_k_accuracy(logits: &Tensor<f32>, labels: &[usize], k: usize) -> f32 {
-    assert_eq!(logits.dims()[0], labels.len(), "top_k_accuracy: batch mismatch");
+    assert_eq!(
+        logits.dims()[0],
+        labels.len(),
+        "top_k_accuracy: batch mismatch"
+    );
     if labels.is_empty() {
         return 0.0;
     }
@@ -56,9 +64,11 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let logits =
-            Tensor::from_vec(vec![1.0_f32, 2.0, 0.0, 5.0, 1.0, 0.0, 0.1, 0.2, 0.9], &[3, 3])
-                .unwrap();
+        let logits = Tensor::from_vec(
+            vec![1.0_f32, 2.0, 0.0, 5.0, 1.0, 0.0, 0.1, 0.2, 0.9],
+            &[3, 3],
+        )
+        .unwrap();
         assert!((accuracy(&logits, &[1, 0, 2]) - 1.0).abs() < 1e-6);
         assert!((accuracy(&logits, &[0, 0, 2]) - 2.0 / 3.0).abs() < 1e-6);
     }
@@ -66,7 +76,9 @@ mod tests {
     #[test]
     fn top_k_is_monotone_in_k() {
         let logits = Tensor::from_vec(
-            vec![0.1_f32, 0.5, 0.4, 0.3, 0.9, 0.1, 0.2, 0.05, 0.7, 0.1, 0.15, 0.05],
+            vec![
+                0.1_f32, 0.5, 0.4, 0.3, 0.9, 0.1, 0.2, 0.05, 0.7, 0.1, 0.15, 0.05,
+            ],
             &[3, 4],
         )
         .unwrap();

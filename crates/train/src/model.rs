@@ -88,7 +88,13 @@ impl SmallCnn {
         let pre_gap_dims = a3.dims().to_vec();
         let g = global_avg_pool_forward(&a3);
         let logits = self.fc.forward(&g);
-        self.cache = Some(ForwardCache { mask1, mask2, mask3, pre_pool_dims, pre_gap_dims });
+        self.cache = Some(ForwardCache {
+            mask1,
+            mask2,
+            mask3,
+            pre_pool_dims,
+            pre_gap_dims,
+        });
         logits
     }
 
@@ -99,7 +105,10 @@ impl SmallCnn {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, d_logits: &Tensor<f32>) -> SmallCnnGrads {
-        let cache = self.cache.take().expect("SmallCnn::backward called before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("SmallCnn::backward called before forward");
         let fc_grads = self.fc.backward(d_logits);
         let d_gap = global_avg_pool_backward(&fc_grads.input, &cache.pre_gap_dims);
         let d_a3 = relu_backward(&d_gap, &cache.mask3);
@@ -177,7 +186,10 @@ mod tests {
         }
         let logits1 = net.forward(&x);
         let loss1 = cross_entropy(&logits1, &labels);
-        assert!(loss1 < loss0, "loss did not decrease: {loss0} -> {loss1} (last {loss_prev})");
+        assert!(
+            loss1 < loss0,
+            "loss did not decrease: {loss0} -> {loss1} (last {loss_prev})"
+        );
     }
 
     #[test]

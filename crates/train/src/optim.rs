@@ -32,7 +32,12 @@ impl Sgd {
     /// Creates an SGD optimiser.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, momentum, weight_decay, velocity: None }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: None,
+        }
     }
 }
 
@@ -87,7 +92,15 @@ impl Adam {
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Self { lr, beta1, beta2, eps: 1e-8, m: None, v: None, t: 0 }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            m: None,
+            v: None,
+            t: 0,
+        }
     }
 }
 
@@ -103,8 +116,11 @@ impl Optimizer for Adam {
             .add(&grad.mul(grad).scale(1.0 - self.beta2));
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, &mi), &vi) in
-            param.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+        for ((p, &mi), &vi) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(m.as_slice())
+            .zip(v.as_slice())
         {
             let m_hat = mi / bc1;
             let v_hat = vi / bc2;
@@ -171,14 +187,21 @@ mod tests {
         for _ in 0..200 {
             // d/dx of 1000*(x0-1)^2 + 0.001*(x1-1)^2
             let grad = Tensor::from_vec(
-                vec![2000.0 * (x.as_slice()[0] - 1.0), 0.002 * (x.as_slice()[1] - 1.0)],
+                vec![
+                    2000.0 * (x.as_slice()[0] - 1.0),
+                    0.002 * (x.as_slice()[1] - 1.0),
+                ],
                 &[2],
             )
             .unwrap();
             opt.step(&mut x, &grad);
         }
         assert!((x.as_slice()[0] - 1.0).abs() < 0.05);
-        assert!((x.as_slice()[1] - 1.0).abs() < 0.6, "slow coordinate should still move: {:?}", x);
+        assert!(
+            (x.as_slice()[1] - 1.0).abs() < 0.6,
+            "slow coordinate should still move: {:?}",
+            x
+        );
     }
 
     #[test]

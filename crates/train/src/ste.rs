@@ -76,8 +76,16 @@ impl LearnedTapScales {
     ///
     /// Panics if the shapes disagree.
     pub fn scale_gradient(&self, values: &Tensor<f32>, upstream: &Tensor<f32>) -> Tensor<f32> {
-        assert_eq!(values.dims(), upstream.dims(), "scale_gradient: shape mismatch");
-        assert_eq!(values.rank(), 3, "scale_gradient: values must be [count, t, t]");
+        assert_eq!(
+            values.dims(),
+            upstream.dims(),
+            "scale_gradient: shape mismatch"
+        );
+        assert_eq!(
+            values.rank(),
+            3,
+            "scale_gradient: values must be [count, t, t]"
+        );
         let t = values.dims()[1];
         assert_eq!(values.dims()[2], t);
         let scales = self.effective_scales();
@@ -167,7 +175,10 @@ mod tests {
             learned.step(&g.scale(-1.0));
         }
         let end_exp = learned.log2_exponents().as_slice()[0];
-        assert!(end_exp > start_exp, "exponent should grow: {start_exp} -> {end_exp}");
+        assert!(
+            end_exp > start_exp,
+            "exponent should grow: {start_exp} -> {end_exp}"
+        );
     }
 
     #[test]

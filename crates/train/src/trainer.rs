@@ -120,7 +120,11 @@ impl AblationConfig {
         if self.knowledge_distillation {
             parts.push("KD".into());
         }
-        parts.push(if self.wino_bits == 8 { "int8".into() } else { format!("int8/{}", self.wino_bits) });
+        parts.push(if self.wino_bits == 8 {
+            "int8".into()
+        } else {
+            format!("int8/{}", self.wino_bits)
+        });
         parts.join("+")
     }
 
@@ -253,8 +257,7 @@ impl Experiment {
         };
         let train = task.generate(options.train_samples, options.seed);
         let test = task.generate(options.test_samples, options.seed + 1);
-        let mut baseline =
-            SmallCnn::new(3, options.width, options.classes, options.seed + 100);
+        let mut baseline = SmallCnn::new(3, options.width, options.classes, options.seed + 100);
         train_epochs(
             &mut baseline,
             &train,
@@ -263,7 +266,13 @@ impl Experiment {
             None,
         );
         let baseline_accuracy = evaluate(&mut baseline, &test, options.batch_size);
-        Self { options, train, test, baseline, baseline_accuracy }
+        Self {
+            options,
+            train,
+            test,
+            baseline,
+            baseline_accuracy,
+        }
     }
 
     /// The FP32 baseline accuracy on the test split.
@@ -293,7 +302,13 @@ impl Experiment {
             // Retraining (for im2col this is just continued int8-friendly
             // fine-tuning; for Winograd kernels this is Winograd-aware training).
             for _ in 0..options.retrain_epochs {
-                train_one_epoch(&mut student, &self.train, options, teacher.as_mut(), &config);
+                train_one_epoch(
+                    &mut student,
+                    &self.train,
+                    options,
+                    teacher.as_mut(),
+                    &config,
+                );
                 if config.kernel.tile().is_some() {
                     // Re-calibrate after each epoch so the scales track the
                     // updated weights; with learned log2 scales refine them with
@@ -430,7 +445,10 @@ fn refine_scales(
         let grad = learned.scale_gradient(&stack, &upstream);
         learned.step(&grad);
     }
-    TapwiseScales { input: scales.input, weight: learned.effective_scales() }
+    TapwiseScales {
+        input: scales.input,
+        weight: learned.effective_scales(),
+    }
 }
 
 fn train_one_epoch(

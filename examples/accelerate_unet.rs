@@ -21,7 +21,10 @@ fn main() {
         let base = simulate_network(&net, 1, KernelChoice::Im2colOnly, &cfg);
         let f4 = simulate_network(&net, 1, KernelChoice::WithF4, &cfg);
         let hist = f4.kernel_histogram();
-        println!("{} ({}x{} input):", net.name, net.input_resolution, net.input_resolution);
+        println!(
+            "{} ({}x{} input):",
+            net.name, net.input_resolution, net.input_resolution
+        );
         println!("  im2col: {:>8.1} imgs/s", base.images_per_second(&cfg));
         println!(
             "  +F4:    {:>8.1} imgs/s  ({:.2}x end-to-end, {:.2}x on the Winograd layers)",

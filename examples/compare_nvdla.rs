@@ -19,11 +19,20 @@ fn main() {
     let ours_us = ours_cfg.cycles_to_seconds(f4.cycles) * 1e6;
 
     println!("Layer: 3x3, 256->512 channels, 32x32 output, batch {batch}\n");
-    println!("Our DSA (INT8, F4, 41 GB/s):   {ours_us:9.1} us  ({:.2}x vs its im2col kernel)", base.cycles / f4.cycles);
+    println!(
+        "Our DSA (INT8, F4, 41 GB/s):   {ours_us:9.1} us  ({:.2}x vs its im2col kernel)",
+        base.cycles / f4.cycles
+    );
 
     for (name, cfg) in [
-        ("8x NVDLA, 128 Gword/s (FP16 F2)", NvdlaConfig::high_bandwidth()),
-        ("8x NVDLA, 42.7 Gword/s (FP16 F2)", NvdlaConfig::iso_bandwidth()),
+        (
+            "8x NVDLA, 128 Gword/s (FP16 F2)",
+            NvdlaConfig::high_bandwidth(),
+        ),
+        (
+            "8x NVDLA, 42.7 Gword/s (FP16 F2)",
+            NvdlaConfig::iso_bandwidth(),
+        ),
     ] {
         let direct = simulate_nvdla_layer(&layer, batch, NvdlaKernel::Direct, &cfg);
         let wino = simulate_nvdla_layer(&layer, batch, NvdlaKernel::WinogradF2, &cfg);
@@ -31,7 +40,11 @@ fn main() {
             "{name}: {:9.1} us  ({:.2}x vs its direct kernel{})",
             wino.time_us,
             direct.time_us / wino.time_us,
-            if wino.memory_bound { ", memory-bound" } else { "" }
+            if wino.memory_bound {
+                ", memory-bound"
+            } else {
+                ""
+            }
         );
     }
     println!("\nAt equal peak throughput and bandwidth the INT8 F4 system wins because its");

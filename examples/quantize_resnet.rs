@@ -26,7 +26,10 @@ fn main() {
 
     println!("Per-tap dynamic range of the first layer in the F4 Winograd domain:");
     let stats = tap_statistics(&layers[0], TileSize::F4);
-    println!("  spread between the largest and smallest tap maxima: {:.1} bits\n", stats.range_spread_bits());
+    println!(
+        "  spread between the largest and smallest tap maxima: {:.1} bits\n",
+        stats.range_spread_bits()
+    );
 
     for (domain, name) in [
         (QuantDomain::Spatial, "spatial domain"),
@@ -39,7 +42,10 @@ fn main() {
             ("tap-wise", QuantGranularity::TapWise),
         ] {
             let rep = weight_quantization_error(&layers, domain, g, 8);
-            println!("  {label:<13} mean relative error = 2^{:.2}", rep.mean_log2_error);
+            println!(
+                "  {label:<13} mean relative error = 2^{:.2}",
+                rep.mean_log2_error
+            );
         }
         println!();
     }

@@ -1,0 +1,53 @@
+//! Runs whole network inventories through the `ConvBackend` execution engine:
+//! the planner assigns a kernel to every layer (sharing the taxonomy with the
+//! cycle simulator), and the executor pushes real tensors through the chosen
+//! backends, reporting per-kernel wall-clock time.
+//!
+//! ```sh
+//! cargo run --release --example run_network
+//! ```
+
+use winograd_tapwise::wino_core::{ExecutorOptions, NetworkExecutor};
+use winograd_tapwise::wino_nets::{resnet34, unet, vgg_nagadomi, Kernel};
+
+fn main() {
+    let exec = NetworkExecutor::with_defaults();
+    // Cap channel counts and resolutions so the demo finishes in seconds;
+    // drop the caps to execute the layers at their published shapes.
+    let opts = ExecutorOptions {
+        batch: 1,
+        max_channels: 32,
+        max_hw: 32,
+        seed: 0,
+    };
+
+    for net in [resnet34(), vgg_nagadomi(), unet()] {
+        let run = exec.run(&net, &opts);
+        let hist = run.kernel_histogram();
+        println!(
+            "{:<12} {} layers ({} im2col / {} F2 / {} F4), modelled gain {:.2}x",
+            run.network,
+            run.layers.len(),
+            hist[0].1,
+            hist[1].1,
+            hist[2].1,
+            run.plan.modelled_gain(),
+        );
+        println!(
+            "  executed in {:.1} ms ({:.1} ms im2col, {:.1} ms Winograd)",
+            run.total_seconds * 1e3,
+            run.seconds_for(Kernel::Im2col) * 1e3,
+            (run.seconds_for(Kernel::WinogradF2) + run.seconds_for(Kernel::WinogradF4)) * 1e3,
+        );
+        for le in run.layers.iter().take(4) {
+            println!(
+                "    {:<22} -> {:<12} {:>10.2?} out {:?}",
+                le.name,
+                le.backend,
+                std::time::Duration::from_secs_f64(le.seconds),
+                le.output_dims,
+            );
+        }
+        println!("    ...\n");
+    }
+}

@@ -14,13 +14,20 @@ fn layer_speedups_peak_between_3_and_4x() {
     // reduction; the paper's maximum is 3.42x.
     let cfg = AcceleratorConfig::paper_system();
     let mut best = 0.0_f64;
-    for &(ci, co, hw, b) in &[(256usize, 384usize, 128usize, 8usize), (512, 512, 128, 8), (256, 256, 64, 8)] {
+    for &(ci, co, hw, b) in &[
+        (256usize, 384usize, 128usize, 8usize),
+        (512, 512, 128, 8),
+        (256, 256, 64, 8),
+    ] {
         let layer = ConvLayer::conv3x3("t", ci, co, hw);
         let base = simulate_layer(&layer, b, Kernel::Im2col, &cfg);
         let f4 = simulate_layer(&layer, b, Kernel::WinogradF4, &cfg);
         best = best.max(base.cycles / f4.cycles);
     }
-    assert!(best > 2.8 && best <= 4.0, "best layer speed-up {best} outside the expected band");
+    assert!(
+        best > 2.8 && best <= 4.0,
+        "best layer speed-up {best} outside the expected band"
+    );
 }
 
 #[test]
@@ -36,7 +43,10 @@ fn end_to_end_speedups_span_the_table_vii_band() {
     let min = gains.iter().cloned().fold(f64::MAX, f64::min);
     // Table VII: end-to-end gains range from ~1.0x to ~1.83x.
     assert!(min >= 0.95, "no network should slow down ({min})");
-    assert!(max > 1.4 && max < 2.6, "best end-to-end gain {max} outside the expected band");
+    assert!(
+        max > 1.4 && max < 2.6,
+        "best end-to-end gain {max} outside the expected band"
+    );
 }
 
 #[test]
@@ -48,7 +58,12 @@ fn batch_8_ssd_gains_more_than_batch_1() {
         let f4 = simulate_network(&net, b, KernelChoice::WithF4, &cfg);
         f4.speedup_over(&base)
     };
-    assert!(gain(8) > gain(1), "SSD batch trend violated: {} vs {}", gain(8), gain(1));
+    assert!(
+        gain(8) > gain(1),
+        "SSD batch trend violated: {} vs {}",
+        gain(8),
+        gain(1)
+    );
 }
 
 #[test]
@@ -79,5 +94,8 @@ fn energy_efficiency_gains_are_in_the_published_band() {
         best = best.max(f4.inferences_per_joule() / base.inferences_per_joule());
     }
     // Table VII: up to 1.85x.
-    assert!(best > 1.4 && best < 3.0, "best energy-efficiency gain {best} outside the band");
+    assert!(
+        best > 1.4 && best < 3.0,
+        "best energy-efficiency gain {best} outside the band"
+    );
 }

@@ -15,7 +15,13 @@ fn winograd_matches_im2col_and_direct_on_resnet20_shapes() {
     // keep the test fast) and check all three FP32 convolution paths agree.
     let net = resnet20();
     let p = ConvParams::same_3x3();
-    for (i, layer) in net.layers.iter().filter(|l| l.kernel == 3 && l.stride == 1).take(3).enumerate() {
+    for (i, layer) in net
+        .layers
+        .iter()
+        .filter(|l| l.kernel == 3 && l.stride == 1)
+        .take(3)
+        .enumerate()
+    {
         let c_in = layer.c_in.min(16);
         let c_out = layer.c_out.min(16);
         let hw = layer.h_out.min(16);
@@ -52,7 +58,10 @@ fn integer_pipeline_is_accurate_and_int8_10_beats_int8() {
         errors.push(out.relative_error(&reference));
     }
     assert!(errors[0] < 0.25, "int8 error too high: {}", errors[0]);
-    assert!(errors[1] < errors[0], "int8/10 should improve on int8: {errors:?}");
+    assert!(
+        errors[1] < errors[0],
+        "int8/10 should improve on int8: {errors:?}"
+    );
 }
 
 #[test]
