@@ -244,7 +244,7 @@ impl ConvBackend for IntWinogradTapwiseBackend {
 /// can exceed this estimate and clip; a deployment should instead calibrate
 /// the true output maximum offline and pass it to
 /// [`IntWinogradConv::prepare`] directly.
-fn estimate_output_max(x: &Tensor<f32>, w: &Tensor<f32>) -> f32 {
+pub(crate) fn estimate_output_max(x: &Tensor<f32>, w: &Tensor<f32>) -> f32 {
     let (c_out, c_in, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
     let mut worst_l1 = 0.0_f32;
     for co in 0..c_out {

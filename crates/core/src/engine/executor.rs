@@ -11,9 +11,146 @@
 
 use crate::engine::planner::{ExecutionPlan, Planner};
 use crate::engine::Engine;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use wino_nets::{ConvLayer, Kernel, Network};
-use wino_tensor::{kaiming_normal, normal};
+use wino_tensor::{kaiming_normal, normal, Tensor};
+
+/// A shape-keyed, byte-bounded cache of synthesized tensors.
+///
+/// The executors run layers and graphs on synthesized activations and
+/// weights; benchmark inventories repeat the same shapes over and over
+/// (ResNet-34 alone instantiates six identical 56×56/64-channel layers), and
+/// re-running the RNG for every invocation dominated `run_layer` on small
+/// layers. The cache keys on (distribution, dims, seed) and hands out cheap
+/// [`Arc`] clones; both [`NetworkExecutor::run_layer`] and the graph
+/// executor's prepare step draw from it.
+///
+/// Insertion evicts the oldest entries once the byte budget (default
+/// [`SynthCache::DEFAULT_BUDGET`]) is exceeded, so a long-lived executor
+/// sweeping many graphs or seeds cannot grow without bound; eviction only
+/// drops the cache's own reference — tensors held by live prepared graphs
+/// stay alive through their `Arc`s.
+#[derive(Debug)]
+pub struct SynthCache {
+    inner: Mutex<SynthInner>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// Cache key: (is-Kaiming, dims, seed).
+type SynthKey = (bool, Vec<usize>, u64);
+
+#[derive(Debug, Default)]
+struct SynthInner {
+    map: HashMap<SynthKey, Arc<Tensor<f32>>>,
+    order: VecDeque<SynthKey>,
+    bytes: usize,
+    budget: usize,
+}
+
+impl Default for SynthCache {
+    fn default() -> Self {
+        Self::with_budget(Self::DEFAULT_BUDGET)
+    }
+}
+
+impl SynthCache {
+    /// Default byte budget: enough for a couple of full-scale benchmark
+    /// graphs' weights plus their inputs.
+    pub const DEFAULT_BUDGET: usize = 512 << 20;
+
+    /// An empty cache with the default byte budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache holding at most `budget` bytes of tensor data.
+    pub fn with_budget(budget: usize) -> Self {
+        Self {
+            inner: Mutex::new(SynthInner {
+                budget,
+                ..SynthInner::default()
+            }),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// A standard-normal activation tensor of `dims` for `seed`.
+    pub fn normal(&self, dims: &[usize], seed: u64) -> Arc<Tensor<f32>> {
+        self.get_or_insert(false, dims, seed, || normal(dims, 0.0, 1.0, seed))
+    }
+
+    /// A Kaiming-normal weight tensor of `dims` for `seed`.
+    pub fn kaiming(&self, dims: &[usize], seed: u64) -> Arc<Tensor<f32>> {
+        self.get_or_insert(true, dims, seed, || kaiming_normal(dims, seed))
+    }
+
+    fn get_or_insert(
+        &self,
+        kaiming: bool,
+        dims: &[usize],
+        seed: u64,
+        make: impl FnOnce() -> Tensor<f32>,
+    ) -> Arc<Tensor<f32>> {
+        let key = (kaiming, dims.to_vec(), seed);
+        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        if let Some(t) = inner.map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t = Arc::new(make());
+        inner.bytes += t.len() * std::mem::size_of::<f32>();
+        inner.map.insert(key.clone(), Arc::clone(&t));
+        inner.order.push_back(key);
+        // Evict oldest-first down to the budget (the new entry is kept even
+        // if it alone exceeds it — the caller needs the tensor either way).
+        while inner.bytes > inner.budget && inner.order.len() > 1 {
+            let victim = inner.order.pop_front().expect("non-empty order");
+            if let Some(old) = inner.map.remove(&victim) {
+                inner.bytes -= old.len() * std::mem::size_of::<f32>();
+            }
+        }
+        t
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (synthesis runs) so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached tensors.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("synth cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of tensor data currently cached.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("synth cache poisoned").bytes
+    }
+
+    /// Drops every cached tensor (the counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+    }
+}
 
 /// Execution options: batch size, shape caps for test-speed control, seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,12 +239,17 @@ impl NetworkExecution {
 pub struct NetworkExecutor {
     engine: Engine,
     planner: Planner,
+    synth: SynthCache,
 }
 
 impl NetworkExecutor {
     /// An executor over the given engine and planner.
     pub fn new(engine: Engine, planner: Planner) -> Self {
-        Self { engine, planner }
+        Self {
+            engine,
+            planner,
+            synth: SynthCache::new(),
+        }
     }
 
     /// The default FP32 executor (all kernels available).
@@ -125,6 +267,11 @@ impl NetworkExecutor {
         &self.planner
     }
 
+    /// The tensor-synthesis cache backing this executor.
+    pub fn synth(&self) -> &SynthCache {
+        &self.synth
+    }
+
     /// Executes one layer with the given kernel on synthesized tensors.
     pub fn run_layer(
         &self,
@@ -135,13 +282,11 @@ impl NetworkExecutor {
         let capped = capped_layer(layer, opts);
         let params = capped.params();
         let (h_in, w_in) = capped.input_hw();
-        let x = normal(
+        let x = self.synth.normal(
             &[opts.batch, capped.c_in, h_in, w_in],
-            0.0,
-            1.0,
             opts.seed.wrapping_mul(31).wrapping_add(1),
         );
-        let w = kaiming_normal(
+        let w = self.synth.kaiming(
             &[capped.c_out, capped.c_in, capped.kernel, capped.kernel],
             opts.seed.wrapping_mul(31).wrapping_add(2),
         );
@@ -249,6 +394,34 @@ mod tests {
         }
         let hist = run.kernel_histogram();
         assert!(hist[0].1 > 0 && hist[2].1 > 0);
+    }
+
+    #[test]
+    fn repeated_shapes_reuse_synthesized_tensors() {
+        let exec = NetworkExecutor::with_defaults();
+        let layer = wino_nets::ConvLayer::conv3x3("t", 8, 8, 12);
+        let opts = ExecutorOptions::smoke();
+        let first = exec.run_layer(&layer, Kernel::WinogradF2, &opts);
+        let misses = exec.synth().misses();
+        assert_eq!(misses, 2, "first run synthesizes input + weights");
+        let second = exec.run_layer(&layer, Kernel::WinogradF2, &opts);
+        assert_eq!(exec.synth().misses(), misses, "second run must hit");
+        assert_eq!(exec.synth().hits(), 2);
+        assert_eq!(first.checksum, second.checksum);
+    }
+
+    #[test]
+    fn synth_cache_evicts_oldest_beyond_its_budget() {
+        // Budget fits two 4-element tensors (16 bytes each) but not three.
+        let cache = SynthCache::with_budget(32);
+        let a = cache.normal(&[4], 1);
+        let _b = cache.normal(&[4], 2);
+        let _c = cache.normal(&[4], 3);
+        assert_eq!(cache.len(), 2, "oldest entry must be evicted");
+        assert!(cache.bytes() <= 32);
+        // The evicted tensor is regenerated identically on re-request.
+        let a2 = cache.normal(&[4], 1);
+        assert_eq!(*a, *a2);
     }
 
     #[test]

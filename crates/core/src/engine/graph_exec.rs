@@ -1,0 +1,711 @@
+//! Chained whole-graph execution through the engine.
+//!
+//! [`crate::engine::NetworkExecutor`] runs inventory layers independently;
+//! this module executes the real topologies of `wino_nets::graph_builders` —
+//! activations flow node to node through residual adds, skip concats and FPN
+//! merges, which is the deployment-style end-to-end setting the paper's
+//! accuracy and throughput claims are about.
+//!
+//! Three concerns are layered on top of plain node-by-node evaluation:
+//!
+//! * **Planning + prepared state** ([`GraphExecutor::prepare`]): each conv
+//!   node gets a kernel from the [`Planner`], its synthesized weights, and —
+//!   for float Winograd nodes — its weight transformation, all computed once.
+//!   On the quantized path the per-node [`IntWinogradConv`] is calibrated
+//!   lazily from the first run's live activations and cached, so run 2+ pays
+//!   neither calibration nor `prepare`; serving-style multi-batch loops reuse
+//!   one [`PreparedGraph`].
+//! * **Activation arena** ([`GraphExecution::peak_live_bytes`]): tensors are
+//!   released the moment their last consumer has run and their buffers are
+//!   recycled into later structural nodes (adds, concats), with peak live
+//!   bytes and reuse counters reported per run.
+//! * **Reference mode** ([`GraphExecutor::reference`]): every conv node runs
+//!   the direct algorithm, giving the ground truth that the Winograd and
+//!   integer graph runs are validated against in the integration tests.
+
+use crate::engine::backends::estimate_output_max;
+use crate::engine::executor::SynthCache;
+use crate::engine::planner::{LayerPlan, Planner};
+use crate::engine::Engine;
+use crate::int_winograd::{IntWinogradConv, WinogradQuantConfig};
+use crate::matrices::{TileSize, WinogradMatrices};
+use crate::quant::QuantParams;
+use crate::tapwise::TapwiseScales;
+use crate::winograd::PreparedWinogradConv;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use wino_nets::{Graph, GraphOp, Kernel, NodeShape};
+use wino_tensor::{
+    concat_channels_into, conv2d_direct, global_avg_pool, max_pool2d, relu_inplace,
+    upsample_nearest_into, Tensor,
+};
+
+/// Options of one graph preparation: batch size and synthesis seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphRunOptions {
+    /// Batch size of every activation tensor.
+    pub batch: usize,
+    /// Base seed of the synthesized inputs and weights.
+    pub seed: u64,
+}
+
+impl Default for GraphRunOptions {
+    fn default() -> Self {
+        Self { batch: 1, seed: 0 }
+    }
+}
+
+/// How one conv node executes across repeated runs.
+#[derive(Debug)]
+enum ConvState {
+    /// Direct reference convolution (validation mode).
+    Direct,
+    /// Float Winograd with the weight transformation cached at plan time.
+    FloatWinograd(PreparedWinogradConv),
+    /// Integer tap-wise Winograd; calibrated and prepared on the first run,
+    /// then reused (`None` until then).
+    IntWinograd(Mutex<Option<IntPrepared>>),
+    /// Any other geometry: dispatched through the engine per run.
+    Engine,
+}
+
+/// The cached integer pipeline of one node: the prepared layer plus the
+/// input quantizer frozen at first-run calibration.
+#[derive(Debug)]
+struct IntPrepared {
+    conv: IntWinogradConv,
+    input: QuantParams,
+}
+
+/// Per-conv-node prepared state.
+#[derive(Debug)]
+struct PreparedConv {
+    plan: LayerPlan,
+    weights: Arc<Tensor<f32>>,
+    state: ConvState,
+}
+
+/// A graph planned and weighted once, runnable many times.
+///
+/// Created by [`GraphExecutor::prepare`]; holds everything that does not
+/// depend on the run's activations (plans, weights, float Winograd weight
+/// transforms, synthesized inputs) plus the lazily-calibrated integer state.
+#[derive(Debug)]
+pub struct PreparedGraph {
+    graph: Graph,
+    shapes: Vec<NodeShape>,
+    consumers: Vec<usize>,
+    convs: Vec<Option<PreparedConv>>,
+    inputs: Vec<Option<Arc<Tensor<f32>>>>,
+    batch: usize,
+}
+
+impl PreparedGraph {
+    /// The graph this state was prepared for.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The inferred `(C, H, W)` shape of every node.
+    pub fn shapes(&self) -> &[NodeShape] {
+        &self.shapes
+    }
+
+    /// The batch size the inputs were synthesized at.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The plan of the conv node with the given id, if it is one.
+    pub fn plan_for(&self, id: usize) -> Option<&LayerPlan> {
+        self.convs.get(id).and_then(|c| c.as_ref()).map(|c| &c.plan)
+    }
+
+    /// Total bytes of the synthesized weight tensors.
+    pub fn weight_bytes(&self) -> usize {
+        self.convs
+            .iter()
+            .flatten()
+            .map(|c| c.weights.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+/// The outcome of executing one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeExecution {
+    /// Node name.
+    pub name: String,
+    /// Operator kind (`"conv"`, `"add"`, …).
+    pub kind: &'static str,
+    /// The planned kernel (conv nodes only).
+    pub kernel: Option<Kernel>,
+    /// The path that actually executed (conv nodes only).
+    pub backend: Option<&'static str>,
+    /// NCHW dimensions of the produced activation.
+    pub output_dims: Vec<usize>,
+    /// Wall-clock seconds of the node.
+    pub seconds: f64,
+    /// Mean of the output (cheap integrity checksum).
+    pub checksum: f32,
+}
+
+/// The outcome of one chained end-to-end run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphExecution {
+    /// Graph name.
+    pub graph: String,
+    /// Per-node outcomes in topological order.
+    pub nodes: Vec<NodeExecution>,
+    /// Total wall-clock seconds across all nodes.
+    pub total_seconds: f64,
+    /// Peak bytes of simultaneously-live activation tensors (weights and
+    /// cached prepared state excluded).
+    pub peak_live_bytes: usize,
+    /// Structural-node allocations served from recycled dead tensors.
+    pub arena_reuse_hits: usize,
+    /// Structural-node allocations that had to touch the system allocator.
+    pub arena_fresh_allocs: usize,
+    /// The tensors of the graph's output nodes, in node order.
+    pub outputs: Vec<(String, Tensor<f32>)>,
+}
+
+impl GraphExecution {
+    /// How many conv nodes ran with each kernel.
+    pub fn kernel_histogram(&self) -> [(Kernel, usize); 3] {
+        let mut counts = [0usize; 3];
+        for n in &self.nodes {
+            match n.kernel {
+                Some(Kernel::Im2col) => counts[0] += 1,
+                Some(Kernel::WinogradF2) => counts[1] += 1,
+                Some(Kernel::WinogradF4) => counts[2] += 1,
+                None => {}
+            }
+        }
+        [
+            (Kernel::Im2col, counts[0]),
+            (Kernel::WinogradF2, counts[1]),
+            (Kernel::WinogradF4, counts[2]),
+        ]
+    }
+
+    /// The output tensor produced by the output node of the given name.
+    pub fn output(&self, name: &str) -> Option<&Tensor<f32>> {
+        self.outputs.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Seconds spent in conv nodes.
+    pub fn conv_seconds(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == "conv")
+            .map(|n| n.seconds)
+            .sum()
+    }
+}
+
+/// The activation-buffer arena: dead tensors are recycled into later
+/// structural nodes, and live bytes are tracked for the peak-memory report.
+#[derive(Debug, Default)]
+struct Arena {
+    free: Vec<Vec<f32>>,
+    live_bytes: usize,
+    peak_bytes: usize,
+    reuse_hits: usize,
+    fresh_allocs: usize,
+}
+
+impl Arena {
+    /// A zeroed buffer of `len` floats, recycled if a dead tensor fits.
+    fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<usize> = None;
+        for (i, b) in self.free.iter().enumerate() {
+            if b.capacity() >= len
+                && best.is_none_or(|j: usize| self.free[j].capacity() > b.capacity())
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                self.reuse_hits += 1;
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Records a newly-live activation.
+    fn track(&mut self, t: &Tensor<f32>) {
+        self.live_bytes += t.len() * std::mem::size_of::<f32>();
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+    }
+
+    /// Retires a dead activation, keeping its buffer for reuse.
+    fn release(&mut self, t: Tensor<f32>) {
+        self.live_bytes -= t.len() * std::mem::size_of::<f32>();
+        self.free.push(t.into_vec());
+    }
+
+    /// Retires a dead activation that was moved out (e.g. an in-place ReLU):
+    /// only the accounting changes hands, the buffer lives on in the result.
+    fn transfer(&mut self, len: usize) {
+        self.live_bytes -= len * std::mem::size_of::<f32>();
+    }
+}
+
+/// Runs whole graphs through planned backends with chained activations.
+#[derive(Debug)]
+pub struct GraphExecutor {
+    engine: Engine,
+    planner: Planner,
+    quant: Option<WinogradQuantConfig>,
+    reference: bool,
+    synth: SynthCache,
+}
+
+impl GraphExecutor {
+    /// The default FP32 executor (direct / im2col / Winograd F2 / F4).
+    pub fn with_defaults() -> Self {
+        Self {
+            engine: Engine::with_default_backends(),
+            planner: Planner::default(),
+            quant: None,
+            reference: false,
+            synth: SynthCache::new(),
+        }
+    }
+
+    /// A quantized executor: conv nodes planned onto `cfg.tile`'s kernel run
+    /// the integer tap-wise pipeline with per-node cached prepared state.
+    pub fn quantized(cfg: WinogradQuantConfig) -> Self {
+        assert!(
+            cfg.tile != TileSize::F6,
+            "integer pipeline supports F2 and F4 only (F6 has non-integer B/A matrices)"
+        );
+        Self {
+            engine: Engine::quantized(cfg),
+            planner: Planner::default(),
+            quant: Some(cfg),
+            reference: false,
+            synth: SynthCache::new(),
+        }
+    }
+
+    /// A ground-truth executor: every conv node runs the direct algorithm.
+    pub fn reference() -> Self {
+        Self {
+            engine: Engine::with_default_backends(),
+            planner: Planner::default(),
+            quant: None,
+            reference: true,
+            synth: SynthCache::new(),
+        }
+    }
+
+    /// The engine backing this executor.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The planner backing this executor.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The tensor-synthesis cache backing this executor.
+    pub fn synth(&self) -> &SynthCache {
+        &self.synth
+    }
+
+    /// The Winograd kernel the integer pipeline realises, if quantized.
+    fn int_kernel(&self) -> Option<Kernel> {
+        self.quant.map(|cfg| match cfg.tile {
+            TileSize::F2 => Kernel::WinogradF2,
+            TileSize::F4 => Kernel::WinogradF4,
+            TileSize::F6 => unreachable!("rejected in GraphExecutor::quantized"),
+        })
+    }
+
+    /// Validates the graph, plans every conv node, synthesizes inputs and
+    /// weights, and performs the one-time weight transformations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph does not [`Graph::validate`].
+    pub fn prepare(&self, graph: &Graph, opts: &GraphRunOptions) -> PreparedGraph {
+        let shapes = graph
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid graph {}: {e}", graph.name));
+        let consumers = graph.consumer_counts();
+        let int_kernel = self.int_kernel();
+        let mut convs: Vec<Option<PreparedConv>> = Vec::with_capacity(graph.nodes().len());
+        let mut inputs: Vec<Option<Arc<Tensor<f32>>>> = Vec::with_capacity(graph.nodes().len());
+        for (id, node) in graph.nodes().iter().enumerate() {
+            let node_seed = opts
+                .seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(id as u64);
+            inputs.push(match node.op {
+                GraphOp::Input {
+                    channels,
+                    height,
+                    width,
+                } => Some(
+                    self.synth
+                        .normal(&[opts.batch, channels, height, width], node_seed),
+                ),
+                _ => None,
+            });
+            convs.push(match &node.op {
+                GraphOp::Conv(layer) => {
+                    let plan = self.planner.plan_layer(layer);
+                    let weights = self.synth.kaiming(
+                        &[layer.c_out, layer.c_in, layer.kernel, layer.kernel],
+                        node_seed,
+                    );
+                    let winograd_eligible =
+                        plan.params.is_winograd_eligible() && plan.params.padding == 1;
+                    let state = if self.reference {
+                        ConvState::Direct
+                    } else if winograd_eligible && Some(plan.kernel) == int_kernel {
+                        ConvState::IntWinograd(Mutex::new(None))
+                    } else if winograd_eligible && plan.kernel.tile_m().is_some() {
+                        let tile = match plan.kernel {
+                            Kernel::WinogradF2 => TileSize::F2,
+                            Kernel::WinogradF4 => TileSize::F4,
+                            Kernel::Im2col => unreachable!("tile_m is Some"),
+                        };
+                        ConvState::FloatWinograd(PreparedWinogradConv::prepare(&weights, tile))
+                    } else {
+                        ConvState::Engine
+                    };
+                    Some(PreparedConv {
+                        plan,
+                        weights,
+                        state,
+                    })
+                }
+                _ => None,
+            });
+        }
+        PreparedGraph {
+            graph: graph.clone(),
+            shapes,
+            consumers,
+            convs,
+            inputs,
+            batch: opts.batch,
+        }
+    }
+
+    /// Runs the prepared graph on its synthesized inputs.
+    pub fn run(&self, prepared: &PreparedGraph) -> GraphExecution {
+        self.run_impl(prepared, None)
+    }
+
+    /// Runs the prepared graph on caller-provided activations, one NCHW
+    /// tensor per [`GraphOp::Input`] node in node order (the serving loop:
+    /// prepare once, feed fresh batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor count or any shape disagrees with the graph.
+    pub fn run_with_inputs(
+        &self,
+        prepared: &PreparedGraph,
+        inputs: &[Tensor<f32>],
+    ) -> GraphExecution {
+        self.run_impl(prepared, Some(inputs))
+    }
+
+    fn run_impl(&self, prepared: &PreparedGraph, inputs: Option<&[Tensor<f32>]>) -> GraphExecution {
+        let graph = &prepared.graph;
+        let n_nodes = graph.nodes().len();
+        if let Some(ins) = inputs {
+            assert_eq!(
+                ins.len(),
+                graph.input_ids().len(),
+                "run_with_inputs: graph {} expects {} input tensor(s)",
+                graph.name,
+                graph.input_ids().len()
+            );
+        }
+        let mut next_input = 0usize;
+        let mut values: Vec<Option<Tensor<f32>>> = (0..n_nodes).map(|_| None).collect();
+        let mut refs = prepared.consumers.clone();
+        let mut arena = Arena::default();
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut total = 0.0;
+        let mut outputs = Vec::new();
+
+        for (id, node) in graph.nodes().iter().enumerate() {
+            let start = Instant::now();
+            let mut kernel = None;
+            let mut backend = None;
+            let out: Tensor<f32> = match &node.op {
+                GraphOp::Input { .. } => {
+                    let t = match inputs {
+                        Some(ins) => {
+                            let t = &ins[next_input];
+                            let (c, h, w) = prepared.shapes[id];
+                            assert_eq!(
+                                t.dims(),
+                                &[prepared.batch, c, h, w],
+                                "run_with_inputs: input {:?} has the wrong shape",
+                                node.name
+                            );
+                            t.clone()
+                        }
+                        None => prepared.inputs[id]
+                            .as_ref()
+                            .expect("input synthesized at prepare")
+                            .as_ref()
+                            .clone(),
+                    };
+                    next_input += 1;
+                    t
+                }
+                GraphOp::Conv(_) => {
+                    let pc = prepared.convs[id].as_ref().expect("conv prepared");
+                    let x = values[node.inputs[0]].as_ref().expect("producer ran");
+                    kernel = Some(pc.plan.kernel);
+                    let (y, b) = self.run_conv(pc, x);
+                    backend = Some(b);
+                    y
+                }
+                GraphOp::Relu => {
+                    let src = node.inputs[0];
+                    if refs[src] == 1 {
+                        // Sole consumer: steal the tensor and rectify in
+                        // place — no allocation, no copy.
+                        refs[src] = 0;
+                        let mut t = values[src].take().expect("producer ran");
+                        arena.transfer(t.len());
+                        relu_inplace(&mut t);
+                        t
+                    } else {
+                        let x = values[src].as_ref().expect("producer ran");
+                        let mut buf = arena.take(x.len());
+                        for (d, &s) in buf.iter_mut().zip(x.as_slice()) {
+                            *d = s.max(0.0);
+                        }
+                        Tensor::from_vec(buf, x.dims()).expect("relu shape")
+                    }
+                }
+                GraphOp::Add => {
+                    let first = values[node.inputs[0]].as_ref().expect("producer ran");
+                    let mut buf = arena.take(first.len());
+                    buf.copy_from_slice(first.as_slice());
+                    for &i in &node.inputs[1..] {
+                        let t = values[i].as_ref().expect("producer ran");
+                        for (d, &s) in buf.iter_mut().zip(t.as_slice()) {
+                            *d += s;
+                        }
+                    }
+                    Tensor::from_vec(buf, first.dims()).expect("add shape")
+                }
+                GraphOp::Concat => {
+                    let parts: Vec<&Tensor<f32>> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| values[i].as_ref().expect("producer ran"))
+                        .collect();
+                    let (c, h, w) = prepared.shapes[id];
+                    let mut buf = arena.take(prepared.batch * c * h * w);
+                    concat_channels_into(&parts, &mut buf);
+                    Tensor::from_vec(buf, &[prepared.batch, c, h, w]).expect("concat shape")
+                }
+                GraphOp::MaxPool {
+                    kernel: k,
+                    stride,
+                    padding,
+                } => {
+                    let x = values[node.inputs[0]].as_ref().expect("producer ran");
+                    max_pool2d(x, *k, *stride, *padding)
+                }
+                GraphOp::Upsample { factor } => {
+                    let x = values[node.inputs[0]].as_ref().expect("producer ran");
+                    let (n_b, c) = (x.dims()[0], x.dims()[1]);
+                    let (ho, wo) = (x.dims()[2] * factor, x.dims()[3] * factor);
+                    let mut buf = arena.take(n_b * c * ho * wo);
+                    upsample_nearest_into(x, *factor, &mut buf);
+                    Tensor::from_vec(buf, &[n_b, c, ho, wo]).expect("upsample shape")
+                }
+                GraphOp::GlobalAvgPool => {
+                    let x = values[node.inputs[0]].as_ref().expect("producer ran");
+                    global_avg_pool(x)
+                }
+                GraphOp::Output => {
+                    let src = node.inputs[0];
+                    if refs[src] == 1 {
+                        refs[src] = 0;
+                        let t = values[src].take().expect("producer ran");
+                        arena.transfer(t.len());
+                        t
+                    } else {
+                        values[src].as_ref().expect("producer ran").clone()
+                    }
+                }
+            };
+            let seconds = start.elapsed().as_secs_f64();
+            total += seconds;
+            arena.track(&out);
+            nodes.push(NodeExecution {
+                name: node.name.clone(),
+                kind: node.op.kind(),
+                kernel,
+                backend,
+                output_dims: out.dims().to_vec(),
+                seconds,
+                checksum: out.mean(),
+            });
+            // Retire inputs whose last consumer just ran.
+            for &i in &node.inputs {
+                if refs[i] > 0 {
+                    refs[i] -= 1;
+                    if refs[i] == 0 {
+                        if let Some(t) = values[i].take() {
+                            arena.release(t);
+                        }
+                    }
+                }
+            }
+            values[id] = Some(out);
+        }
+
+        for &id in &graph.output_ids() {
+            let t = values[id].take().expect("output node ran");
+            outputs.push((graph.nodes()[id].name.clone(), t));
+        }
+
+        GraphExecution {
+            graph: graph.name.clone(),
+            nodes,
+            total_seconds: total,
+            peak_live_bytes: arena.peak_bytes,
+            arena_reuse_hits: arena.reuse_hits,
+            arena_fresh_allocs: arena.fresh_allocs,
+            outputs,
+        }
+    }
+
+    /// Executes one conv node through its prepared state.
+    fn run_conv(&self, pc: &PreparedConv, x: &Tensor<f32>) -> (Tensor<f32>, &'static str) {
+        let params = pc.plan.params;
+        match &pc.state {
+            ConvState::Direct => (conv2d_direct(x, &pc.weights, None, params), "direct"),
+            ConvState::FloatWinograd(prep) => {
+                let name = match prep.tile() {
+                    TileSize::F2 => "winograd-f2",
+                    TileSize::F4 => "winograd-f4",
+                    TileSize::F6 => "winograd-f6",
+                };
+                (prep.forward(x), name)
+            }
+            ConvState::IntWinograd(cell) => {
+                let cfg = self.quant.expect("int state implies quant config");
+                let mut guard = cell.lock().expect("int state poisoned");
+                let st = guard.get_or_insert_with(|| {
+                    // First-run calibration: tap-wise scales and the input
+                    // quantizer are frozen from the live activations, the
+                    // weight transform + quantization runs once.
+                    let mats = WinogradMatrices::for_tile(cfg.tile);
+                    let scales =
+                        TapwiseScales::calibrate(&pc.weights, x, &mats, cfg.wino_bits, cfg.mode);
+                    let input =
+                        QuantParams::from_max(x.abs_max(), cfg.spatial_bits).to_power_of_two();
+                    let output_max = estimate_output_max(x, &pc.weights);
+                    IntPrepared {
+                        conv: IntWinogradConv::prepare(
+                            &pc.weights,
+                            &scales,
+                            input,
+                            output_max,
+                            cfg,
+                        ),
+                        input,
+                    }
+                });
+                let xq: Tensor<i8> = x.map(|v| st.input.quantize(v) as i8);
+                (st.conv.forward(&xq).dequantize(), "int-winograd-tapwise")
+            }
+            ConvState::Engine => {
+                let backend = self
+                    .engine
+                    .backend_for(pc.plan.kernel, params)
+                    .or_else(|| self.engine.backend_for(Kernel::Im2col, params))
+                    .expect("engine has no backend for this node");
+                (backend.conv2d(x, &pc.weights, None, params), backend.name())
+            }
+        }
+    }
+}
+
+// Correctness against the direct reference, prepare-once counting, and the
+// int error bound live in `tests/graph_inference.rs` (the whole-workspace
+// integration suite); the unit tests here cover the executor mechanics that
+// suite does not: arena accounting, determinism, and input validation.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_nets::resnet20_graph;
+
+    fn small_resnet20() -> Graph {
+        resnet20_graph().with_channel_div(4)
+    }
+
+    #[test]
+    fn arena_reuses_dead_tensors_and_tracks_peak() {
+        let exec = GraphExecutor::with_defaults();
+        let run = exec.run(&exec.prepare(&small_resnet20(), &GraphRunOptions::default()));
+        assert!(run.arena_reuse_hits > 0, "no buffer was recycled");
+        assert!(run.peak_live_bytes > 0);
+        // Peak live memory must be far below the sum of all activations.
+        let sum: usize = run
+            .nodes
+            .iter()
+            .map(|n| n.output_dims.iter().product::<usize>() * 4)
+            .sum();
+        assert!(
+            run.peak_live_bytes < sum / 2,
+            "peak {} vs total {sum}",
+            run.peak_live_bytes
+        );
+    }
+
+    #[test]
+    fn prepared_inputs_are_deterministic() {
+        let exec = GraphExecutor::with_defaults();
+        let p = exec.prepare(&small_resnet20(), &GraphRunOptions::default());
+        let a = exec.run(&p);
+        let b = exec.run(&p);
+        assert_eq!(a.outputs[0].1, b.outputs[0].1, "repeated runs must agree");
+    }
+
+    #[test]
+    fn run_with_inputs_feeds_fresh_batches() {
+        let graph = small_resnet20();
+        let exec = GraphExecutor::with_defaults();
+        let p = exec.prepare(&graph, &GraphRunOptions::default());
+        let x = wino_tensor::normal(&[1, 1, 32, 32], 0.0, 1.0, 99);
+        let run = exec.run_with_inputs(&p, std::slice::from_ref(&x));
+        assert_eq!(run.outputs.len(), 1);
+        assert!(run.outputs[0].1.abs_max().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong shape")]
+    fn run_with_inputs_rejects_bad_shapes() {
+        let exec = GraphExecutor::with_defaults();
+        let p = exec.prepare(&small_resnet20(), &GraphRunOptions::default());
+        let x = wino_tensor::normal(&[1, 2, 32, 32], 0.0, 1.0, 99);
+        let _ = exec.run_with_inputs(&p, std::slice::from_ref(&x));
+    }
+}

@@ -27,10 +27,16 @@
 
 pub mod backends;
 pub mod executor;
+pub mod graph_exec;
 pub mod planner;
 
 pub use backends::{DirectBackend, Im2colGemmBackend, IntWinogradTapwiseBackend, WinogradBackend};
-pub use executor::{ExecutorOptions, LayerExecution, NetworkExecution, NetworkExecutor};
+pub use executor::{
+    ExecutorOptions, LayerExecution, NetworkExecution, NetworkExecutor, SynthCache,
+};
+pub use graph_exec::{
+    GraphExecution, GraphExecutor, GraphRunOptions, NodeExecution, PreparedGraph,
+};
 pub use planner::{ExecutionPlan, LayerPlan, Planner};
 
 use wino_nets::Kernel;

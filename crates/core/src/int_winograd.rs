@@ -19,7 +19,21 @@ use crate::quant::{QuantBits, QuantParams};
 use crate::tapwise::{ScaleMode, TapwiseScales};
 use crate::transform::{weight_transform, TileGrid};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use wino_tensor::{parallel_map, Tensor};
+
+/// Process-wide count of [`IntWinogradConv::prepare`] invocations.
+static PREPARE_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times [`IntWinogradConv::prepare`] has run in this process.
+///
+/// A diagnostics hook for caching layers (and their tests): the graph
+/// executor promises to prepare each 3×3 node exactly once across repeated
+/// runs, which a test can pin down by differencing this counter. The counter
+/// only ever increases; compare deltas, not absolute values.
+pub fn prepare_call_count() -> usize {
+    PREPARE_CALLS.load(Ordering::Relaxed)
+}
 
 /// Configuration of the quantized Winograd pipeline (one row of Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -130,6 +144,7 @@ impl IntWinogradConv {
         output_max: f32,
         cfg: WinogradQuantConfig,
     ) -> Self {
+        PREPARE_CALLS.fetch_add(1, Ordering::Relaxed);
         assert!(
             cfg.tile != TileSize::F6,
             "integer pipeline supports F2 and F4 only (F6 has non-integer B/A matrices)"

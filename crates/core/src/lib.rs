@@ -55,14 +55,17 @@ pub use analysis::{
 pub use calibration::{MaxCalibrator, TapCalibrator};
 pub use cooktoom::cook_toom_matrices;
 pub use engine::{
-    ConvBackend, DirectBackend, Engine, ExecutionPlan, ExecutorOptions, Im2colGemmBackend,
-    IntWinogradTapwiseBackend, LayerPlan, NetworkExecution, NetworkExecutor, Planner,
+    ConvBackend, DirectBackend, Engine, ExecutionPlan, ExecutorOptions, GraphExecution,
+    GraphExecutor, GraphRunOptions, Im2colGemmBackend, IntWinogradTapwiseBackend, LayerPlan,
+    NetworkExecution, NetworkExecutor, NodeExecution, Planner, PreparedGraph, SynthCache,
     WinogradBackend,
 };
-pub use int_winograd::{IntWinogradConv, IntWinogradOutput, WinogradQuantConfig};
+pub use int_winograd::{
+    prepare_call_count, IntWinogradConv, IntWinogradOutput, WinogradQuantConfig,
+};
 pub use matrices::{TileSize, WinogradMatrices};
 pub use pinv::pseudo_inverse;
 pub use quant::{dequantize, quantize_symmetric, QuantBits, QuantParams};
 pub use tapwise::{ScaleMode, TapScaleMatrix, TapwiseScales};
 pub use transform::{input_transform, output_transform, weight_transform};
-pub use winograd::{winograd_conv2d, winograd_conv2d_fake_quant};
+pub use winograd::{winograd_conv2d, winograd_conv2d_fake_quant, PreparedWinogradConv};

@@ -53,17 +53,72 @@ fn winograd_conv2d_with(
     spatial_input: Option<QuantParams>,
 ) -> Tensor<f32> {
     assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
+    let c_out = w.dims()[0];
+    let u = transform_weights_flat(w, mats, scales.map(|s| &s.weight));
+    winograd_forward_flat(x, &u, c_out, mats, scales.map(|s| &s.input), spatial_input)
+}
+
+/// Pre-transforms all OIHW 3×3 weights into one flat Winograd-domain buffer:
+/// `U[co][ci]` is a `t×t` tile at offset `(co·C_in + ci)·t²`, optionally
+/// fake-quantized tap-wise.
+///
+/// The flat layout keeps the forward pass allocation-free (a heap allocation
+/// per tile would serialise the parallel workers on the allocator), and lets
+/// the graph executor do this transformation once per node and reuse it
+/// across runs.
+fn transform_weights_flat(
+    w: &Tensor<f32>,
+    mats: &WinogradMatrices,
+    weight_scales: Option<&TapScaleMatrix>,
+) -> Vec<f32> {
     assert_eq!(w.rank(), 4, "winograd_conv2d: weights must be OIHW");
     assert_eq!(w.dims()[2], 3, "winograd_conv2d: kernel must be 3x3");
     assert_eq!(w.dims()[3], 3, "winograd_conv2d: kernel must be 3x3");
+    let (c_out, c_in) = (w.dims()[0], w.dims()[1]);
+    let t = mats.input_tile();
+    let tt = t * t;
+    let g = mats.g.as_slice();
+    let mut u = vec![0.0_f32; c_out * c_in * tt];
+    let mut ker = [0.0_f32; 9];
+    let mut tmp = vec![0.0_f32; tt];
+    for co in 0..c_out {
+        for ci in 0..c_in {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    ker[ky * 3 + kx] = w.at4(co, ci, ky, kx);
+                }
+            }
+            let dst = &mut u[(co * c_in + ci) * tt..(co * c_in + ci + 1) * tt];
+            congruence_into(dst, &mut tmp, g, &ker, t, 3);
+            if let Some(s) = weight_scales {
+                fake_quantize_flat(dst, s);
+            }
+        }
+    }
+    u
+}
+
+/// The Winograd forward pass over pre-transformed flat weights `u`.
+fn winograd_forward_flat(
+    x: &Tensor<f32>,
+    u: &[f32],
+    c_out: usize,
+    mats: &WinogradMatrices,
+    input_scales: Option<&TapScaleMatrix>,
+    spatial_input: Option<QuantParams>,
+) -> Tensor<f32> {
+    assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
     let (n, c_in, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-    assert_eq!(c_in, w.dims()[1], "winograd_conv2d: channel mismatch");
-    let c_out = w.dims()[0];
     let m = mats.output_tile();
     let t = mats.input_tile();
     let grid = TileGrid::new(h, wd, m, 1);
 
     let tt = t * t;
+    assert_eq!(
+        u.len(),
+        c_out * c_in * tt,
+        "winograd_conv2d: channel mismatch"
+    );
 
     // Spatially (fake-)quantized input, if requested.
     let x_eff: Tensor<f32> = match spatial_input {
@@ -71,38 +126,12 @@ fn winograd_conv2d_with(
         None => x.clone(),
     };
 
-    // Pre-transform all weights into one flat buffer: U[co][ci] is a t×t tile
-    // at offset (co·C_in + ci)·t². Flat scratch buffers keep the whole
-    // algorithm allocation-free past this setup, which is what lets the
-    // per-strip parallel loop below scale (a heap allocation per tile
-    // serialises the workers on the allocator).
-    let g = mats.g.as_slice();
-    let mut u = vec![0.0_f32; c_out * c_in * tt];
-    {
-        let mut ker = [0.0_f32; 9];
-        let mut tmp = vec![0.0_f32; tt];
-        for co in 0..c_out {
-            for ci in 0..c_in {
-                for ky in 0..3 {
-                    for kx in 0..3 {
-                        ker[ky * 3 + kx] = w.at4(co, ci, ky, kx);
-                    }
-                }
-                let dst = &mut u[(co * c_in + ci) * tt..(co * c_in + ci + 1) * tt];
-                congruence_into(dst, &mut tmp, g, &ker, t, 3);
-                if let Some(s) = scales {
-                    fake_quantize_flat(dst, &s.weight);
-                }
-            }
-        }
-    }
-
     // Tile rows of distinct (batch, ty) pairs touch disjoint output rows, so
     // they are processed in parallel, each worker filling a private strip
     // buffer of shape [c_out, strip_h, W] that is merged afterwards.
     let strips = n * grid.tiles_h;
     let x_ref = &x_eff;
-    let u_ref = &u;
+    let u_ref = u;
     let bt = mats.bt.as_slice();
     let at = mats.at.as_slice();
     let strip_bufs = parallel_map(strips, |s| {
@@ -140,8 +169,8 @@ fn winograd_conv2d_with(
                 }
                 let v = &mut v_tiles[ci * tt..(ci + 1) * tt];
                 congruence_into(v, &mut tmp, bt, &d_tile, t, t);
-                if let Some(sc) = scales {
-                    fake_quantize_flat(v, &sc.input);
+                if let Some(sc) = input_scales {
+                    fake_quantize_flat(v, sc);
                 }
             }
             for co in 0..c_out {
@@ -184,6 +213,61 @@ fn winograd_conv2d_with(
         }
     }
     y
+}
+
+/// A 3×3 convolution with its FP32 Winograd weight transformation done once.
+///
+/// [`winograd_conv2d`] re-transforms the weights on every call; for repeated
+/// (serving-style) runs over a fixed network the transformation is pure
+/// overhead, so the graph executor prepares each conv node once at plan time
+/// and calls [`PreparedWinogradConv::forward`] per batch.
+#[derive(Debug, Clone)]
+pub struct PreparedWinogradConv {
+    tile: TileSize,
+    mats: WinogradMatrices,
+    c_out: usize,
+    c_in: usize,
+    u: Vec<f32>,
+}
+
+impl PreparedWinogradConv {
+    /// Transforms OIHW 3×3 `weights` into the Winograd domain of `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights are not an OIHW 3×3 tensor.
+    pub fn prepare(weights: &Tensor<f32>, tile: TileSize) -> Self {
+        let mats = WinogradMatrices::for_tile(tile);
+        let u = transform_weights_flat(weights, &mats, None);
+        Self {
+            tile,
+            c_out: weights.dims()[0],
+            c_in: weights.dims()[1],
+            mats,
+            u,
+        }
+    }
+
+    /// The tile size the weights were transformed for.
+    pub fn tile(&self) -> TileSize {
+        self.tile
+    }
+
+    /// Output channels of the prepared layer.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Runs the convolution on an NCHW input (unit stride, "same" padding 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count differs from the prepared weights.
+    pub fn forward(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
+        assert_eq!(x.dims()[1], self.c_in, "winograd_conv2d: channel mismatch");
+        winograd_forward_flat(x, &self.u, self.c_out, &self.mats, None, None)
+    }
 }
 
 /// Fake-quantized Winograd convolution following the tap-wise scheme.

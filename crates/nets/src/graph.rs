@@ -1,0 +1,665 @@
+//! Graph IR for chained end-to-end inference.
+//!
+//! The flat layer inventories ([`crate::layer::Network`]) describe *how much*
+//! convolution a network performs, which is all the cycle simulator needs. To
+//! actually flow activations layer to layer — residual adds, U-Net skip
+//! concats, FPN top-down merges — the executor needs the topology, which is
+//! what this module provides: a small dataflow graph whose nodes wrap the
+//! existing [`ConvLayer`] descriptors plus the handful of structural operators
+//! (elementwise add, channel concat, pooling, nearest upsampling, ReLU) that
+//! the benchmark networks are built from.
+//!
+//! Graphs are constructed through [`GraphBuilder`], which enforces a
+//! topological order by handing out [`NodeId`]s that later nodes may reference
+//! but never forge forward references with. [`Graph::validate`] then performs
+//! full shape inference and checks every edge: a conv node's declared channel
+//! count and output resolution must follow from its producer's inferred shape,
+//! adds must merge identical shapes, concats identical resolutions.
+
+use crate::layer::ConvLayer;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use wino_tensor::conv_output_hw;
+
+/// Index of a node within its [`Graph`] (positions are topologically ordered).
+pub type NodeId = usize;
+
+/// The inferred activation shape at one node output, as `(C, H, W)` for every
+/// image of the batch.
+pub type NodeShape = (usize, usize, usize);
+
+/// One dataflow operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GraphOp {
+    /// A graph input feeding activations of the given shape.
+    Input {
+        /// Channels of the input feature map.
+        channels: usize,
+        /// Input height.
+        height: usize,
+        /// Input width.
+        width: usize,
+    },
+    /// A convolution described by an inventory layer descriptor (the
+    /// `repeats` field is ignored: graph nodes are instantiated one by one).
+    Conv(ConvLayer),
+    /// Elementwise ReLU.
+    Relu,
+    /// Elementwise sum of two or more equally-shaped inputs (residual /
+    /// lateral merge).
+    Add,
+    /// Channel concatenation of two or more inputs at one resolution
+    /// (U-Net / YOLO skip connections).
+    Concat,
+    /// Square-window max pooling.
+    MaxPool {
+        /// Window edge.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+    },
+    /// Nearest-neighbour upsampling by an integer factor (FPN top-down path,
+    /// U-Net and YOLO decoders).
+    Upsample {
+        /// Integer scale factor (≥ 1).
+        factor: usize,
+    },
+    /// Global average pooling to 1×1.
+    GlobalAvgPool,
+    /// A graph output: passes its single input through and marks it as a
+    /// result the executor must keep.
+    Output,
+}
+
+impl GraphOp {
+    /// Short stable kind string for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GraphOp::Input { .. } => "input",
+            GraphOp::Conv(_) => "conv",
+            GraphOp::Relu => "relu",
+            GraphOp::Add => "add",
+            GraphOp::Concat => "concat",
+            GraphOp::MaxPool { .. } => "maxpool",
+            GraphOp::Upsample { .. } => "upsample",
+            GraphOp::GlobalAvgPool => "gap",
+            GraphOp::Output => "output",
+        }
+    }
+}
+
+/// One node: a named operator plus the edges to its producers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphNode {
+    /// Unique node name (doubles as the edge name of its output).
+    pub name: String,
+    /// The operator.
+    pub op: GraphOp,
+    /// Producer nodes, in operand order.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A validated-on-demand inference dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    /// Network name.
+    pub name: String,
+    /// Input resolution the graph was instantiated for.
+    pub input_resolution: usize,
+    nodes: Vec<GraphNode>,
+}
+
+/// Errors detected by [`Graph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no nodes or no [`GraphOp::Output`] node.
+    NoOutput,
+    /// Two nodes share a name.
+    DuplicateName(String),
+    /// A node references itself or a node defined after it.
+    ForwardEdge {
+        /// The offending node's name.
+        node: String,
+        /// The referenced id.
+        to: NodeId,
+    },
+    /// A node has the wrong number of inputs for its operator.
+    Arity {
+        /// The offending node's name.
+        node: String,
+        /// Inputs the operator expects (minimum for add/concat).
+        expected: usize,
+        /// Inputs the node has.
+        actual: usize,
+    },
+    /// An edge's inferred shape contradicts what the consumer declares.
+    ShapeMismatch {
+        /// The consuming node's name.
+        node: String,
+        /// Human-readable description of the contradiction.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NoOutput => write!(f, "graph has no output node"),
+            GraphError::DuplicateName(n) => write!(f, "duplicate node name {n:?}"),
+            GraphError::ForwardEdge { node, to } => {
+                write!(f, "node {node:?} references a later node #{to}")
+            }
+            GraphError::Arity {
+                node,
+                expected,
+                actual,
+            } => write!(f, "node {node:?} expects {expected} input(s), has {actual}"),
+            GraphError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at {node:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// The nodes in topological order.
+    pub fn nodes(&self) -> &[GraphNode] {
+        &self.nodes
+    }
+
+    /// Ids of the [`GraphOp::Input`] nodes, in order.
+    pub fn input_ids(&self) -> Vec<NodeId> {
+        self.ids_of(|op| matches!(op, GraphOp::Input { .. }))
+    }
+
+    /// Ids of the [`GraphOp::Output`] nodes, in order.
+    pub fn output_ids(&self) -> Vec<NodeId> {
+        self.ids_of(|op| matches!(op, GraphOp::Output))
+    }
+
+    fn ids_of(&self, mut pred: impl FnMut(&GraphOp) -> bool) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| pred(&n.op))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of convolution nodes.
+    pub fn conv_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, GraphOp::Conv(_)))
+            .count()
+    }
+
+    /// Total MACs of one chained inference at batch 1 (convolutions only).
+    pub fn total_macs(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                GraphOp::Conv(l) => Some(l.macs(1) / l.repeats.max(1) as u64),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// How many consumers read each node's output (output nodes count as
+    /// consumed once so their tensors survive until the end of the run).
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for &i in &node.inputs {
+                counts[i] += 1;
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node.op, GraphOp::Output) {
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Validates the graph and infers the `(C, H, W)` output shape of every
+    /// node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] found: missing outputs, duplicate
+    /// names, forward edges, operator arity violations, or any edge whose
+    /// producer shape contradicts the consumer (a conv node's `c_in` and
+    /// declared output resolution must follow from the producer's inferred
+    /// shape through [`ConvLayer::params`]).
+    pub fn validate(&self) -> Result<Vec<NodeShape>, GraphError> {
+        if self.nodes.is_empty() || self.output_ids().is_empty() {
+            return Err(GraphError::NoOutput);
+        }
+        let mut names = HashSet::new();
+        for node in &self.nodes {
+            if !names.insert(node.name.as_str()) {
+                return Err(GraphError::DuplicateName(node.name.clone()));
+            }
+        }
+
+        let mut shapes: Vec<NodeShape> = Vec::with_capacity(self.nodes.len());
+        for (id, node) in self.nodes.iter().enumerate() {
+            for &i in &node.inputs {
+                if i >= id {
+                    return Err(GraphError::ForwardEdge {
+                        node: node.name.clone(),
+                        to: i,
+                    });
+                }
+            }
+            let arity_err = |expected: usize| GraphError::Arity {
+                node: node.name.clone(),
+                expected,
+                actual: node.inputs.len(),
+            };
+            let mismatch = |detail: String| GraphError::ShapeMismatch {
+                node: node.name.clone(),
+                detail,
+            };
+            let ins: Vec<NodeShape> = node.inputs.iter().map(|&i| shapes[i]).collect();
+            let shape = match &node.op {
+                GraphOp::Input {
+                    channels,
+                    height,
+                    width,
+                } => {
+                    if !node.inputs.is_empty() {
+                        return Err(arity_err(0));
+                    }
+                    (*channels, *height, *width)
+                }
+                GraphOp::Conv(layer) => {
+                    if ins.len() != 1 {
+                        return Err(arity_err(1));
+                    }
+                    let (c, h, w) = ins[0];
+                    if c != layer.c_in {
+                        return Err(mismatch(format!(
+                            "conv expects {} input channels, producer yields {c}",
+                            layer.c_in
+                        )));
+                    }
+                    let (h_out, w_out) = layer.params().output_hw(h, w);
+                    if (h_out, w_out) != (layer.h_out, layer.w_out) {
+                        return Err(mismatch(format!(
+                            "conv declares {}x{} output but {h}x{w} input convolves to \
+                             {h_out}x{w_out}",
+                            layer.h_out, layer.w_out
+                        )));
+                    }
+                    (layer.c_out, layer.h_out, layer.w_out)
+                }
+                GraphOp::Relu | GraphOp::Output => {
+                    if ins.len() != 1 {
+                        return Err(arity_err(1));
+                    }
+                    ins[0]
+                }
+                GraphOp::Add => {
+                    if ins.len() < 2 {
+                        return Err(arity_err(2));
+                    }
+                    if ins.iter().any(|&s| s != ins[0]) {
+                        return Err(mismatch(format!("add over unequal shapes {ins:?}")));
+                    }
+                    ins[0]
+                }
+                GraphOp::Concat => {
+                    if ins.len() < 2 {
+                        return Err(arity_err(2));
+                    }
+                    let (_, h, w) = ins[0];
+                    if ins.iter().any(|&(_, ih, iw)| (ih, iw) != (h, w)) {
+                        return Err(mismatch(format!("concat over unequal resolutions {ins:?}")));
+                    }
+                    (ins.iter().map(|&(c, _, _)| c).sum(), h, w)
+                }
+                GraphOp::MaxPool {
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    if ins.len() != 1 {
+                        return Err(arity_err(1));
+                    }
+                    if *kernel == 0 || *stride == 0 {
+                        return Err(mismatch(
+                            "pool kernel and stride must be positive".to_string(),
+                        ));
+                    }
+                    let (c, h, w) = ins[0];
+                    if h + 2 * padding < *kernel || w + 2 * padding < *kernel {
+                        return Err(mismatch(format!(
+                            "pool window {kernel} exceeds padded input {h}x{w}"
+                        )));
+                    }
+                    (
+                        c,
+                        conv_output_hw(h, *kernel, *stride, *padding),
+                        conv_output_hw(w, *kernel, *stride, *padding),
+                    )
+                }
+                GraphOp::Upsample { factor } => {
+                    if ins.len() != 1 {
+                        return Err(arity_err(1));
+                    }
+                    if *factor == 0 {
+                        return Err(mismatch("upsample factor must be >= 1".to_string()));
+                    }
+                    let (c, h, w) = ins[0];
+                    (c, h * factor, w * factor)
+                }
+                GraphOp::GlobalAvgPool => {
+                    if ins.len() != 1 {
+                        return Err(arity_err(1));
+                    }
+                    (ins[0].0, 1, 1)
+                }
+            };
+            shapes.push(shape);
+        }
+        Ok(shapes)
+    }
+
+    /// A copy of the graph with every channel count divided by `div` (floored,
+    /// clamped to ≥ 1) — resolutions are untouched.
+    ///
+    /// Scaling is a pure function of the original channel count, so channel
+    /// relationships (residual adds, concat sums, conv in/out agreements)
+    /// survive whenever `div` divides the network's base widths; callers
+    /// should re-[`Graph::validate`] the result. Used to shrink graphs for
+    /// functional tests and smoke runs without touching the topology.
+    pub fn with_channel_div(&self, div: usize) -> Graph {
+        assert!(div > 0, "channel divisor must be positive");
+        let scale = |c: usize| (c / div).max(1);
+        let mut g = self.clone();
+        for node in &mut g.nodes {
+            match &mut node.op {
+                GraphOp::Input { channels, .. } => *channels = scale(*channels),
+                GraphOp::Conv(layer) => {
+                    layer.c_in = scale(layer.c_in);
+                    layer.c_out = scale(layer.c_out);
+                }
+                _ => {}
+            }
+        }
+        g
+    }
+}
+
+/// Builds a [`Graph`] node by node; ids are handed out in insertion order, so
+/// the result is topologically ordered by construction.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: String,
+    input_resolution: usize,
+    nodes: Vec<GraphNode>,
+}
+
+impl GraphBuilder {
+    /// Starts an empty graph.
+    pub fn new(name: &str, input_resolution: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            input_resolution,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn push(&mut self, name: &str, op: GraphOp, inputs: Vec<NodeId>) -> NodeId {
+        self.nodes.push(GraphNode {
+            name: name.to_string(),
+            op,
+            inputs,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Adds an input node.
+    pub fn input(&mut self, name: &str, channels: usize, height: usize, width: usize) -> NodeId {
+        self.push(
+            name,
+            GraphOp::Input {
+                channels,
+                height,
+                width,
+            },
+            vec![],
+        )
+    }
+
+    /// Adds a convolution node reading `from`.
+    pub fn conv(&mut self, layer: ConvLayer, from: NodeId) -> NodeId {
+        let name = layer.name.clone();
+        self.push(&name, GraphOp::Conv(layer), vec![from])
+    }
+
+    /// Adds a convolution followed by a ReLU; returns the ReLU's id.
+    pub fn conv_relu(&mut self, layer: ConvLayer, from: NodeId) -> NodeId {
+        let conv = self.conv(layer, from);
+        let relu_name = format!("{}.relu", self.nodes[conv].name);
+        self.push(&relu_name, GraphOp::Relu, vec![conv])
+    }
+
+    /// Adds an elementwise-add node.
+    pub fn add(&mut self, name: &str, inputs: Vec<NodeId>) -> NodeId {
+        self.push(name, GraphOp::Add, inputs)
+    }
+
+    /// Adds a channel-concat node.
+    pub fn concat(&mut self, name: &str, inputs: Vec<NodeId>) -> NodeId {
+        self.push(name, GraphOp::Concat, inputs)
+    }
+
+    /// Adds a ReLU node.
+    pub fn relu(&mut self, name: &str, from: NodeId) -> NodeId {
+        self.push(name, GraphOp::Relu, vec![from])
+    }
+
+    /// Adds a max-pool node.
+    pub fn max_pool(
+        &mut self,
+        name: &str,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        from: NodeId,
+    ) -> NodeId {
+        self.push(
+            name,
+            GraphOp::MaxPool {
+                kernel,
+                stride,
+                padding,
+            },
+            vec![from],
+        )
+    }
+
+    /// Adds a nearest-neighbour upsample node.
+    pub fn upsample(&mut self, name: &str, factor: usize, from: NodeId) -> NodeId {
+        self.push(name, GraphOp::Upsample { factor }, vec![from])
+    }
+
+    /// Adds an output node.
+    pub fn output(&mut self, name: &str, from: NodeId) -> NodeId {
+        self.push(name, GraphOp::Output, vec![from])
+    }
+
+    /// Finishes the graph.
+    pub fn finish(self) -> Graph {
+        Graph {
+            name: self.name,
+            input_resolution: self.input_resolution,
+            nodes: self.nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_residual() -> Graph {
+        let mut g = GraphBuilder::new("tiny", 8);
+        let x = g.input("in", 4, 8, 8);
+        let c1 = g.conv_relu(ConvLayer::conv3x3("c1", 4, 4, 8), x);
+        let c2 = g.conv(ConvLayer::conv3x3("c2", 4, 4, 8), c1);
+        let s = g.add("res", vec![c2, x]);
+        let r = g.relu("res.relu", s);
+        g.output("out", r);
+        g.finish()
+    }
+
+    #[test]
+    fn residual_graph_validates_and_infers_shapes() {
+        let g = tiny_residual();
+        let shapes = g.validate().expect("valid graph");
+        assert_eq!(shapes.len(), g.nodes().len());
+        assert_eq!(shapes[0], (4, 8, 8));
+        assert_eq!(*shapes.last().unwrap(), (4, 8, 8));
+        assert_eq!(g.conv_count(), 2);
+        assert_eq!(g.input_ids(), vec![0]);
+        assert_eq!(g.output_ids().len(), 1);
+    }
+
+    #[test]
+    fn consumer_counts_include_outputs() {
+        let g = tiny_residual();
+        let counts = g.consumer_counts();
+        // The input feeds both c1 and the residual add.
+        assert_eq!(counts[0], 2);
+        // The output node's tensor is kept alive.
+        assert_eq!(counts[g.output_ids()[0]], 1);
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected() {
+        let mut g = GraphBuilder::new("bad", 8);
+        let x = g.input("in", 4, 8, 8);
+        let c = g.conv(ConvLayer::conv3x3("c", 8, 4, 8), x);
+        g.output("out", c);
+        let err = g.finish().validate().unwrap_err();
+        assert!(matches!(err, GraphError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn resolution_mismatch_is_rejected() {
+        let mut g = GraphBuilder::new("bad", 8);
+        let x = g.input("in", 4, 8, 8);
+        // Declares a 4x4 output, but a stride-1 same-padded conv keeps 8x8.
+        let c = g.conv(ConvLayer::conv3x3("c", 4, 4, 4), x);
+        g.output("out", c);
+        assert!(matches!(
+            g.finish().validate(),
+            Err(GraphError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn add_requires_equal_shapes() {
+        let mut g = GraphBuilder::new("bad", 8);
+        let x = g.input("in", 4, 8, 8);
+        let c = g.conv(ConvLayer::conv1x1("c", 4, 8, 8), x);
+        let s = g.add("sum", vec![x, c]);
+        g.output("out", s);
+        assert!(matches!(
+            g.finish().validate(),
+            Err(GraphError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut g = GraphBuilder::new("cat", 8);
+        let x = g.input("in", 4, 8, 8);
+        let c = g.conv(ConvLayer::conv1x1("c", 4, 6, 8), x);
+        let cat = g.concat("cat", vec![x, c]);
+        g.output("out", cat);
+        let g = g.finish();
+        let shapes = g.validate().unwrap();
+        assert_eq!(shapes[cat], (10, 8, 8));
+    }
+
+    #[test]
+    fn structural_errors_are_detected() {
+        let empty = GraphBuilder::new("e", 8).finish();
+        assert_eq!(empty.validate(), Err(GraphError::NoOutput));
+
+        let mut g = GraphBuilder::new("dup", 8);
+        let x = g.input("in", 1, 4, 4);
+        g.relu("in", x);
+        g.output("out", x);
+        assert!(matches!(
+            g.finish().validate(),
+            Err(GraphError::DuplicateName(_))
+        ));
+
+        let mut g = GraphBuilder::new("fwd", 8);
+        let x = g.input("in", 1, 4, 4);
+        g.push("r", GraphOp::Relu, vec![5]);
+        g.output("out", x);
+        assert!(matches!(
+            g.finish().validate(),
+            Err(GraphError::ForwardEdge { .. })
+        ));
+
+        let mut g = GraphBuilder::new("arity", 8);
+        let x = g.input("in", 1, 4, 4);
+        g.push("a", GraphOp::Add, vec![x]);
+        g.output("out", x);
+        assert!(matches!(
+            g.finish().validate(),
+            Err(GraphError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_upsample_and_gap_shapes() {
+        let mut g = GraphBuilder::new("shapes", 8);
+        let x = g.input("in", 4, 8, 8);
+        let p = g.max_pool("pool", 2, 2, 0, x);
+        let u = g.upsample("up", 2, p);
+        let s = g.add("sum", vec![x, u]);
+        let gp = g.push("gap", GraphOp::GlobalAvgPool, vec![s]);
+        g.output("out", gp);
+        let g = g.finish();
+        let shapes = g.validate().unwrap();
+        assert_eq!(shapes[p], (4, 4, 4));
+        assert_eq!(shapes[u], (4, 8, 8));
+        assert_eq!(shapes[gp], (4, 1, 1));
+    }
+
+    #[test]
+    fn degenerate_pool_geometry_is_an_error_not_a_panic() {
+        // Graphs can be deserialized, so validate() must report rather than
+        // panic on a zero stride.
+        let mut g = GraphBuilder::new("bad-pool", 8);
+        let x = g.input("in", 1, 4, 4);
+        let p = g.max_pool("pool", 2, 0, 0, x);
+        g.output("out", p);
+        assert!(matches!(
+            g.finish().validate(),
+            Err(GraphError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_div_preserves_validity() {
+        let g = tiny_residual().with_channel_div(4);
+        let shapes = g.validate().expect("scaled graph stays valid");
+        assert_eq!(shapes[0], (1, 8, 8));
+    }
+}

@@ -1,0 +1,642 @@
+//! Graph builders: the zoo inventories as real topologies.
+//!
+//! Each builder instantiates one of the benchmark networks as a [`Graph`]
+//! whose activations actually chain — residual adds with identity/projection
+//! shortcuts (ResNet, Darknet), encoder–decoder skip concats (U-Net, YOLOv3)
+//! and the RetinaNet FPN lateral/top-down merges — instead of the flat MAC
+//! inventories of the sibling modules. Resolutions are propagated *forward*
+//! from the input through [`ConvLayer::params`] and the pooling arithmetic,
+//! so every graph validates by construction at any admissible input
+//! resolution; where the published models use ceil-mode pooling or unpadded
+//! convolutions (SSD's `conv10/11`, U-Net's crops) the graphs use the
+//! workspace's floor/same-padding conventions instead, which shifts a few
+//! late feature-map resolutions by one without changing the topology.
+
+use crate::graph::{Graph, GraphBuilder, GraphOp, NodeId};
+use crate::layer::ConvLayer;
+use wino_tensor::conv_output_hw;
+
+/// All seven zoo networks as graphs at their paper-scale input resolutions
+/// (U-Net uses 560, the closest same-padding-friendly size to the paper's
+/// 572 — see [`unet_graph`]).
+pub fn zoo_graphs() -> Vec<Graph> {
+    vec![
+        resnet20_graph(),
+        resnet34_graph(224),
+        resnet50_graph(224),
+        retinanet_graph(800),
+        ssd_graph(300),
+        unet_graph(560),
+        yolov3_graph(416),
+    ]
+}
+
+/// A ResNet basic block (two 3×3 convolutions) with an identity or
+/// 1×1-projection shortcut; returns the id of the post-add ReLU.
+fn basic_block(
+    g: &mut GraphBuilder,
+    name: &str,
+    from: NodeId,
+    c_in: usize,
+    c_out: usize,
+    h_in: usize,
+    stride: usize,
+) -> (NodeId, usize) {
+    let h_out = conv_output_hw(h_in, 3, stride, 1);
+    let c1 = g.conv_relu(
+        ConvLayer::new(
+            &format!("{name}.conv1"),
+            c_in,
+            c_out,
+            h_out,
+            h_out,
+            3,
+            stride,
+        ),
+        from,
+    );
+    let c2 = g.conv(
+        ConvLayer::conv3x3(&format!("{name}.conv2"), c_out, c_out, h_out),
+        c1,
+    );
+    let shortcut = if stride != 1 || c_in != c_out {
+        g.conv(
+            ConvLayer::new(
+                &format!("{name}.proj"),
+                c_in,
+                c_out,
+                h_out,
+                h_out,
+                1,
+                stride,
+            ),
+            from,
+        )
+    } else {
+        from
+    };
+    let sum = g.add(&format!("{name}.add"), vec![c2, shortcut]);
+    (g.relu(&format!("{name}.relu"), sum), h_out)
+}
+
+/// A ResNet bottleneck block (1×1 → 3×3 → 1×1, stride on the 3×3) over the
+/// `(c_in, c_mid, c_out)` channel triple; returns the id of the post-add
+/// ReLU.
+fn bottleneck_block(
+    g: &mut GraphBuilder,
+    name: &str,
+    from: NodeId,
+    channels: (usize, usize, usize),
+    h_in: usize,
+    stride: usize,
+) -> (NodeId, usize) {
+    let (c_in, c_mid, c_out) = channels;
+    let h_out = conv_output_hw(h_in, 3, stride, 1);
+    let c1 = g.conv_relu(
+        ConvLayer::conv1x1(&format!("{name}.in1x1"), c_in, c_mid, h_in),
+        from,
+    );
+    let c2 = g.conv_relu(
+        ConvLayer::new(
+            &format!("{name}.3x3"),
+            c_mid,
+            c_mid,
+            h_out,
+            h_out,
+            3,
+            stride,
+        ),
+        c1,
+    );
+    let c3 = g.conv(
+        ConvLayer::conv1x1(&format!("{name}.out1x1"), c_mid, c_out, h_out),
+        c2,
+    );
+    let shortcut = if stride != 1 || c_in != c_out {
+        g.conv(
+            ConvLayer::new(
+                &format!("{name}.proj"),
+                c_in,
+                c_out,
+                h_out,
+                h_out,
+                1,
+                stride,
+            ),
+            from,
+        )
+    } else {
+        from
+    };
+    let sum = g.add(&format!("{name}.add"), vec![c3, shortcut]);
+    (g.relu(&format!("{name}.relu"), sum), h_out)
+}
+
+/// The 7×7/2 stem + 3×3/2 max pool shared by the ImageNet ResNets.
+fn resnet_stem(g: &mut GraphBuilder, input: usize) -> (NodeId, usize) {
+    let x = g.input("input", 3, input, input);
+    let h1 = conv_output_hw(input, 7, 2, 3);
+    let stem = g.conv_relu(ConvLayer::new("conv1", 3, 64, h1, h1, 7, 2), x);
+    let pooled = g.max_pool("maxpool", 3, 2, 1, stem);
+    (pooled, conv_output_hw(h1, 3, 2, 1))
+}
+
+/// ResNet-20 (CIFAR-10, 32×32) with its three 3-block stages.
+pub fn resnet20_graph() -> Graph {
+    let mut g = GraphBuilder::new("ResNet-20", 32);
+    let x = g.input("input", 3, 32, 32);
+    let mut cur = g.conv_relu(ConvLayer::conv3x3("conv1", 3, 16, 32), x);
+    let mut c_in = 16;
+    let mut h = 32;
+    for (si, c_out) in [16usize, 32, 64].into_iter().enumerate() {
+        for b in 0..3 {
+            let stride = if si > 0 && b == 0 { 2 } else { 1 };
+            let (next, h_out) = basic_block(
+                &mut g,
+                &format!("stage{si}.block{b}"),
+                cur,
+                c_in,
+                c_out,
+                h,
+                stride,
+            );
+            cur = next;
+            c_in = c_out;
+            h = h_out;
+        }
+    }
+    let gap = g.push("gap", GraphOp::GlobalAvgPool, vec![cur]);
+    g.output("logits", gap);
+    g.finish()
+}
+
+/// ResNet-34 basic-block graph. `input` must be a multiple of 32.
+pub fn resnet34_graph(input: usize) -> Graph {
+    assert!(
+        input.is_multiple_of(32),
+        "ResNet-34 graph input must be a multiple of 32"
+    );
+    let mut g = GraphBuilder::new("ResNet-34", input);
+    let (mut cur, mut h) = resnet_stem(&mut g, input);
+    let mut c_in = 64;
+    let stages: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
+    for (si, (c_out, blocks)) in stages.into_iter().enumerate() {
+        for b in 0..blocks {
+            let stride = if si > 0 && b == 0 { 2 } else { 1 };
+            let (next, h_out) = basic_block(
+                &mut g,
+                &format!("layer{}.{b}", si + 1),
+                cur,
+                c_in,
+                c_out,
+                h,
+                stride,
+            );
+            cur = next;
+            c_in = c_out;
+            h = h_out;
+        }
+    }
+    let gap = g.push("gap", GraphOp::GlobalAvgPool, vec![cur]);
+    g.output("logits", gap);
+    g.finish()
+}
+
+/// ResNet-50 bottleneck graph. `input` must be a multiple of 32.
+pub fn resnet50_graph(input: usize) -> Graph {
+    assert!(
+        input.is_multiple_of(32),
+        "ResNet-50 graph input must be a multiple of 32"
+    );
+    let mut g = GraphBuilder::new("ResNet-50", input);
+    let (cur, h) = resnet_stem(&mut g, input);
+    let (cur, _, _) = resnet50_stages(&mut g, cur, h, &mut |_, _| {});
+    let gap = g.push("gap", GraphOp::GlobalAvgPool, vec![cur]);
+    g.output("logits", gap);
+    g.finish()
+}
+
+/// The four bottleneck stages of ResNet-50; `tap` observes each stage's final
+/// node id (for FPN-style feature extraction). Returns the last node, its
+/// resolution and channel count.
+fn resnet50_stages(
+    g: &mut GraphBuilder,
+    mut cur: NodeId,
+    mut h: usize,
+    tap: &mut impl FnMut(usize, NodeId),
+) -> (NodeId, usize, usize) {
+    let mut c_in = 64;
+    let stages: [(usize, usize, usize); 4] =
+        [(64, 256, 3), (128, 512, 4), (256, 1024, 6), (512, 2048, 3)];
+    for (si, (c_mid, c_out, blocks)) in stages.into_iter().enumerate() {
+        for b in 0..blocks {
+            let stride = if si > 0 && b == 0 { 2 } else { 1 };
+            let (next, h_out) = bottleneck_block(
+                g,
+                &format!("layer{}.{b}", si + 1),
+                cur,
+                (c_in, c_mid, c_out),
+                h,
+                stride,
+            );
+            cur = next;
+            c_in = c_out;
+            h = h_out;
+        }
+        tap(si, cur);
+    }
+    (cur, h, c_in)
+}
+
+/// RetinaNet-ResNet-50-FPN: backbone taps C3/C4/C5, 1×1 laterals, top-down
+/// nearest-upsample adds, 3×3 output convolutions on P3–P5, strided P6/P7,
+/// and per-level classification/regression head towers. `input` must be a
+/// multiple of 32.
+pub fn retinanet_graph(input: usize) -> Graph {
+    assert!(
+        input.is_multiple_of(32),
+        "RetinaNet graph input must be a multiple of 32"
+    );
+    let mut g = GraphBuilder::new("RetinaNet-R-50", input);
+    let (stem, h2) = resnet_stem(&mut g, input);
+    let mut taps: Vec<NodeId> = Vec::new();
+    resnet50_stages(&mut g, stem, h2, &mut |_, id| taps.push(id));
+    // C3 (512 @ /8), C4 (1024 @ /16), C5 (2048 @ /32).
+    let (c3, c4, c5) = (taps[1], taps[2], taps[3]);
+    let (r3, r4, r5) = (input / 8, input / 16, input / 32);
+
+    let l5 = g.conv(ConvLayer::conv1x1("fpn.lateral5", 2048, 256, r5), c5);
+    let l4 = g.conv(ConvLayer::conv1x1("fpn.lateral4", 1024, 256, r4), c4);
+    let l3 = g.conv(ConvLayer::conv1x1("fpn.lateral3", 512, 256, r3), c3);
+    let up5 = g.upsample("fpn.up5", 2, l5);
+    let td4 = g.add("fpn.td4", vec![l4, up5]);
+    let up4 = g.upsample("fpn.up4", 2, td4);
+    let td3 = g.add("fpn.td3", vec![l3, up4]);
+    let p5 = g.conv(ConvLayer::conv3x3("fpn.out5", 256, 256, r5), l5);
+    let p4 = g.conv(ConvLayer::conv3x3("fpn.out4", 256, 256, r4), td4);
+    let p3 = g.conv(ConvLayer::conv3x3("fpn.out3", 256, 256, r3), td3);
+    let r6 = conv_output_hw(r5, 3, 2, 1);
+    let p6 = g.conv(ConvLayer::new("fpn.p6", 2048, 256, r6, r6, 3, 2), c5);
+    let p6r = g.relu("fpn.p6.relu", p6);
+    let r7 = conv_output_hw(r6, 3, 2, 1);
+    let p7 = g.conv(ConvLayer::new("fpn.p7", 256, 256, r7, r7, 3, 2), p6r);
+
+    // Heads: a 4-deep 3×3 tower + predictor per task per level. (The real
+    // model shares the tower weights across levels; the graph instantiates
+    // them per level, which is what a per-node prepared-weight cache wants.)
+    let levels: [(&str, NodeId, usize); 5] = [
+        ("p3", p3, r3),
+        ("p4", p4, r4),
+        ("p5", p5, r5),
+        ("p6", p6, r6),
+        ("p7", p7, r7),
+    ];
+    for (lvl, node, r) in levels {
+        for (task, preds) in [("cls", 9 * 80), ("box", 9 * 4)] {
+            let mut cur = node;
+            for d in 0..4 {
+                cur = g.conv_relu(
+                    ConvLayer::conv3x3(&format!("{task}_head.{lvl}.{d}"), 256, 256, r),
+                    cur,
+                );
+            }
+            let pred = g.conv(
+                ConvLayer::conv3x3(&format!("{task}_pred.{lvl}"), 256, preds, r),
+                cur,
+            );
+            g.output(&format!("{task}.{lvl}"), pred);
+        }
+    }
+    g.finish()
+}
+
+/// SSD-VGG-16: the VGG backbone with floor-mode 2×2 pools, the converted
+/// fc6/fc7, four extra feature stages and the six multibox loc/cls head
+/// pairs. Detection sources are conv4_3, fc7, conv8_2, conv9_2, conv10_2 and
+/// conv11_2.
+pub fn ssd_graph(input: usize) -> Graph {
+    let mut g = GraphBuilder::new("SSD-VGG-16", input);
+    let x = g.input("input", 3, input, input);
+    let mut cur = x;
+    let mut c_in = 3;
+    let mut r = input;
+    let mut sources: Vec<(NodeId, usize, usize)> = Vec::new();
+    let vgg: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    for (si, (c, convs)) in vgg.into_iter().enumerate() {
+        for ci in 0..convs {
+            cur = g.conv_relu(
+                ConvLayer::conv3x3(&format!("conv{}_{}", si + 1, ci + 1), c_in, c, r),
+                cur,
+            );
+            c_in = c;
+        }
+        if si == 3 {
+            // conv4_3: the highest-resolution detection source.
+            sources.push((cur, c_in, r));
+        }
+        if si < 4 {
+            cur = g.max_pool(&format!("pool{}", si + 1), 2, 2, 0, cur);
+            r /= 2;
+        }
+    }
+    cur = g.conv_relu(ConvLayer::conv3x3("fc6_atrous", 512, 1024, r), cur);
+    cur = g.conv_relu(ConvLayer::conv1x1("fc7", 1024, 1024, r), cur);
+    sources.push((cur, 1024, r));
+    // Extra feature layers: 1×1 reduce + 3×3 (stride 2 for conv8/9).
+    let extras: [(usize, usize, usize); 4] =
+        [(256, 512, 2), (128, 256, 2), (128, 256, 1), (128, 256, 1)];
+    let mut c_prev = 1024;
+    for (i, (c_red, c, stride)) in extras.into_iter().enumerate() {
+        let stage = i + 8;
+        let red = g.conv_relu(
+            ConvLayer::conv1x1(&format!("conv{stage}_1"), c_prev, c_red, r),
+            cur,
+        );
+        let r_out = conv_output_hw(r, 3, stride, 1);
+        cur = g.conv_relu(
+            ConvLayer::new(&format!("conv{stage}_2"), c_red, c, r_out, r_out, 3, stride),
+            red,
+        );
+        sources.push((cur, c, r_out));
+        c_prev = c;
+        r = r_out;
+    }
+    let boxes: [usize; 6] = [4, 6, 6, 6, 4, 4];
+    for (i, ((src, c, r), b)) in sources.into_iter().zip(boxes).enumerate() {
+        for (task, per_box) in [("loc", 4), ("cls", 21)] {
+            let head = g.conv(
+                ConvLayer::conv3x3(&format!("head{i}.{task}"), c, b * per_box, r),
+                src,
+            );
+            g.output(&format!("{task}.{i}"), head);
+        }
+    }
+    g.finish()
+}
+
+/// U-Net: 4-level encoder with 2×2 max pools, 1024-channel bottleneck, and a
+/// decoder of nearest-upsample + 3×3 "up-convolutions" with skip concats.
+///
+/// `input` must be a multiple of 16 so that every upsampled decoder level
+/// lands exactly on its skip connection's resolution; the same-padding
+/// convention replaces the original's unpadded convs + crops (hence 560
+/// rather than the paper's 572 as the reference resolution).
+pub fn unet_graph(input: usize) -> Graph {
+    assert!(
+        input.is_multiple_of(16),
+        "U-Net graph input must be a multiple of 16"
+    );
+    let mut g = GraphBuilder::new("UNet", input);
+    let x = g.input("input", 3, input, input);
+    let mut cur = x;
+    let mut c_in = 3;
+    let mut r = input;
+    let mut skips: Vec<(NodeId, usize, usize)> = Vec::new();
+    for (i, c) in [64usize, 128, 256, 512].into_iter().enumerate() {
+        cur = g.conv_relu(
+            ConvLayer::conv3x3(&format!("enc{i}.conv1"), c_in, c, r),
+            cur,
+        );
+        cur = g.conv_relu(ConvLayer::conv3x3(&format!("enc{i}.conv2"), c, c, r), cur);
+        skips.push((cur, c, r));
+        cur = g.max_pool(&format!("enc{i}.pool"), 2, 2, 0, cur);
+        c_in = c;
+        r /= 2;
+    }
+    cur = g.conv_relu(ConvLayer::conv3x3("bottleneck.conv1", 512, 1024, r), cur);
+    cur = g.conv_relu(ConvLayer::conv3x3("bottleneck.conv2", 1024, 1024, r), cur);
+    let mut c_up = 1024;
+    for (i, (skip, c, r_out)) in skips.into_iter().enumerate().rev() {
+        let up = g.upsample(&format!("dec{i}.up"), 2, cur);
+        let upconv = g.conv_relu(
+            ConvLayer::conv3x3(&format!("dec{i}.upconv"), c_up, c, r_out),
+            up,
+        );
+        let cat = g.concat(&format!("dec{i}.concat"), vec![skip, upconv]);
+        cur = g.conv_relu(
+            ConvLayer::conv3x3(&format!("dec{i}.conv1"), 2 * c, c, r_out),
+            cat,
+        );
+        cur = g.conv_relu(
+            ConvLayer::conv3x3(&format!("dec{i}.conv2"), c, c, r_out),
+            cur,
+        );
+        c_up = c;
+    }
+    let out = g.conv(ConvLayer::conv1x1("out", 64, 2, input), cur);
+    g.output("segmentation", out);
+    g.finish()
+}
+
+/// YOLOv3: the Darknet-53 backbone (residual 1×1/3×3 pairs), three detection
+/// heads, and the upsample + concat routes between scales. `input` must be a
+/// multiple of 32.
+pub fn yolov3_graph(input: usize) -> Graph {
+    assert!(
+        input.is_multiple_of(32),
+        "YOLOv3 graph input must be a multiple of 32"
+    );
+    let mut g = GraphBuilder::new("YOLOv3", input);
+    let x = g.input("input", 3, input, input);
+    let mut cur = g.conv_relu(ConvLayer::conv3x3("conv0", 3, 32, input), x);
+    let mut c = 32;
+    let mut r = input;
+    let mut routes: Vec<(NodeId, usize, usize)> = Vec::new();
+    for (si, blocks) in [1usize, 2, 8, 8, 4].into_iter().enumerate() {
+        let c_out = c * 2;
+        r /= 2;
+        cur = g.conv_relu(
+            ConvLayer::new(&format!("down{}", si + 1), c, c_out, r, r, 3, 2),
+            cur,
+        );
+        for b in 0..blocks {
+            let name = format!("stage{}.{b}", si + 1);
+            let half = g.conv_relu(
+                ConvLayer::conv1x1(&format!("{name}.1x1"), c_out, c_out / 2, r),
+                cur,
+            );
+            let full = g.conv_relu(
+                ConvLayer::conv3x3(&format!("{name}.3x3"), c_out / 2, c_out, r),
+                half,
+            );
+            cur = g.add(&format!("{name}.add"), vec![cur, full]);
+        }
+        c = c_out;
+        if si == 2 || si == 3 {
+            // Routes to the finer-scale detection heads (256 @ /8, 512 @ /16).
+            routes.push((cur, c, r));
+        }
+    }
+
+    // Detection head: five alternating 1×1/3×3 convolutions, a 3×3 feature
+    // conv and the 1×1 prediction; returns (route id, prediction id).
+    let head = |g: &mut GraphBuilder,
+                name: &str,
+                from: NodeId,
+                c_in: usize,
+                width: usize,
+                r: usize|
+     -> NodeId {
+        let mut cur = from;
+        let mut cs = c_in;
+        for i in 0..5 {
+            cur = if i % 2 == 0 {
+                g.conv_relu(
+                    ConvLayer::conv1x1(&format!("{name}.c{}", i + 1), cs, width, r),
+                    cur,
+                )
+            } else {
+                g.conv_relu(
+                    ConvLayer::conv3x3(&format!("{name}.c{}", i + 1), width, width * 2, r),
+                    cur,
+                )
+            };
+            cs = if i % 2 == 0 { width } else { width * 2 };
+        }
+        let feat = g.conv_relu(
+            ConvLayer::conv3x3(&format!("{name}.feat"), width, width * 2, r),
+            cur,
+        );
+        let pred = g.conv(
+            ConvLayer::conv1x1(&format!("{name}.pred"), width * 2, 255, r),
+            feat,
+        );
+        g.output(&format!("{name}.out"), pred);
+        cur // the c5 route feeding the next scale
+    };
+
+    let c5_1 = head(&mut g, "head1", cur, 1024, 512, r);
+    let (route4, c4, r4) = routes[1];
+    let red2 = g.conv_relu(ConvLayer::conv1x1("head2.reduce", 512, 256, r), c5_1);
+    let up2 = g.upsample("head2.up", 2, red2);
+    let cat2 = g.concat("head2.concat", vec![up2, route4]);
+    let c5_2 = head(&mut g, "head2", cat2, 256 + c4, 256, r4);
+    let (route3, c3, r3) = routes[0];
+    let red3 = g.conv_relu(ConvLayer::conv1x1("head3.reduce", 256, 128, r4), c5_2);
+    let up3 = g.upsample("head3.up", 2, red3);
+    let cat3 = g.concat("head3.concat", vec![up3, route3]);
+    head(&mut g, "head3", cat3, 128 + c3, 128, r3);
+    g.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphOp;
+
+    /// Satellite: every graph built from an inventory conserves shapes
+    /// edge-to-edge across all seven zoo networks — validation infers every
+    /// node's shape and checks it against each consumer's declaration.
+    #[test]
+    fn all_seven_zoo_graphs_conserve_shapes_edge_to_edge() {
+        for graph in zoo_graphs() {
+            let shapes = graph
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+            assert_eq!(shapes.len(), graph.nodes().len(), "{}", graph.name);
+            assert!(graph.conv_count() > 0, "{}", graph.name);
+        }
+    }
+
+    #[test]
+    fn graphs_validate_at_reduced_scales_too() {
+        for graph in [
+            resnet34_graph(64),
+            resnet50_graph(64),
+            retinanet_graph(64),
+            unet_graph(32),
+            ssd_graph(64),
+            yolov3_graph(64),
+        ] {
+            graph
+                .with_channel_div(8)
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+        }
+    }
+
+    #[test]
+    fn resnet20_graph_matches_inventory_conv_work() {
+        // The graph's chained MACs should be close to the flat inventory's
+        // (the graph adds the projection shortcuts the inventory omits).
+        let graph = resnet20_graph();
+        let inv = crate::resnet::resnet20().total_macs(1);
+        let gm = graph.total_macs();
+        assert!(
+            gm >= inv && (gm as f64) < inv as f64 * 1.10,
+            "graph {gm} vs inventory {inv}"
+        );
+    }
+
+    #[test]
+    fn resnet_graphs_have_residual_adds() {
+        for (graph, expected_blocks) in [(resnet34_graph(224), 16), (resnet50_graph(224), 16)] {
+            let adds = graph
+                .nodes()
+                .iter()
+                .filter(|n| matches!(n.op, GraphOp::Add))
+                .count();
+            assert_eq!(adds, expected_blocks, "{}", graph.name);
+        }
+    }
+
+    #[test]
+    fn unet_concats_carry_skip_channels() {
+        let graph = unet_graph(560);
+        let shapes = graph.validate().unwrap();
+        let concats: Vec<usize> = graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, GraphOp::Concat))
+            .map(|(i, _)| shapes[i].0)
+            .collect();
+        assert_eq!(concats, vec![1024, 512, 256, 128]);
+    }
+
+    #[test]
+    fn retinanet_has_five_pyramid_levels_and_ten_outputs() {
+        let graph = retinanet_graph(800);
+        assert_eq!(graph.output_ids().len(), 10);
+        let shapes = graph.validate().unwrap();
+        let ups = graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, GraphOp::Upsample { .. }))
+            .count();
+        assert_eq!(ups, 2);
+        // P3 heads run at 100x100 for the 800 input.
+        let p3_cls = graph
+            .nodes()
+            .iter()
+            .position(|n| n.name == "cls_pred.p3")
+            .unwrap();
+        assert_eq!(shapes[p3_cls], (9 * 80, 100, 100));
+    }
+
+    #[test]
+    fn yolo_routes_concat_backbone_features() {
+        let graph = yolov3_graph(416);
+        let shapes = graph.validate().unwrap();
+        let cat2 = graph
+            .nodes()
+            .iter()
+            .position(|n| n.name == "head2.concat")
+            .unwrap();
+        assert_eq!(shapes[cat2], (256 + 512, 26, 26));
+        assert_eq!(graph.output_ids().len(), 3);
+    }
+
+    #[test]
+    fn ssd_heads_read_six_sources() {
+        let graph = ssd_graph(300);
+        assert_eq!(graph.output_ids().len(), 12);
+        graph.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn unet_rejects_uncroppable_resolutions() {
+        let _ = unet_graph(572);
+    }
+}

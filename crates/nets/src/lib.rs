@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod graph;
+pub mod graph_builders;
 pub mod kernel;
 pub mod layer;
 pub mod resnet;
@@ -25,6 +27,11 @@ pub mod vgg;
 pub mod yolo;
 pub mod zoo;
 
+pub use graph::{Graph, GraphBuilder, GraphError, GraphNode, GraphOp, NodeId, NodeShape};
+pub use graph_builders::{
+    resnet20_graph, resnet34_graph, resnet50_graph, retinanet_graph, ssd_graph, unet_graph,
+    yolov3_graph, zoo_graphs,
+};
 pub use kernel::{Kernel, KernelChoice};
 pub use layer::{ConvLayer, LayerKind, Network};
 pub use resnet::{resnet20, resnet34, resnet50};

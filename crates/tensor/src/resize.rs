@@ -1,0 +1,139 @@
+//! Spatial resizing operators (the decoder-side counterparts of pooling).
+
+use crate::tensor::{Element, Tensor};
+
+/// Nearest-neighbour upsampling of an NCHW tensor by an integer factor.
+///
+/// Every input pixel is replicated into a `factor × factor` block, which is
+/// the interpolation mode the FPN top-down pathway and the YOLOv3 routes use.
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D or `factor` is zero.
+pub fn upsample_nearest<T: Element>(x: &Tensor<T>, factor: usize) -> Tensor<T> {
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let mut y = Tensor::<T>::zeros(&[n, c, h * factor, w * factor]);
+    upsample_nearest_into(x, factor, y.as_mut_slice());
+    y
+}
+
+/// [`upsample_nearest`] into a caller-provided row-major buffer of
+/// `N·C·(H·factor)·(W·factor)` elements (for arena-recycled destinations).
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D, `factor` is zero, or `dst` has the wrong length.
+pub fn upsample_nearest_into<T: Element>(x: &Tensor<T>, factor: usize, dst: &mut [T]) {
+    assert_eq!(x.rank(), 4, "upsample_nearest: input must be NCHW");
+    assert!(factor > 0, "upsample_nearest: factor must be >= 1");
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (ho, wo) = (h * factor, w * factor);
+    assert_eq!(dst.len(), n * c * ho * wo, "upsample_nearest: dst length");
+    let x_s = x.as_slice();
+    for plane in 0..n * c {
+        let src = plane * h * w;
+        let base = plane * ho * wo;
+        for oy in 0..ho {
+            let src_row = src + (oy / factor) * w;
+            let dst_row = base + oy * wo;
+            for ox in 0..wo {
+                dst[dst_row + ox] = x_s[src_row + ox / factor];
+            }
+        }
+    }
+}
+
+/// Concatenates NCHW tensors along the channel dimension.
+///
+/// All parts must share the batch size and spatial resolution; the output
+/// carries the summed channel count in part order (the U-Net / YOLO skip
+/// merge).
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, any part is not 4-D, or the batch/spatial
+/// dimensions disagree.
+pub fn concat_channels<T: Element>(parts: &[&Tensor<T>]) -> Tensor<T> {
+    assert!(!parts.is_empty(), "concat_channels: no inputs");
+    let (n, h, w) = (parts[0].dims()[0], parts[0].dims()[2], parts[0].dims()[3]);
+    let c_total: usize = parts.iter().map(|p| p.dims()[1]).sum();
+    let mut y = Tensor::<T>::zeros(&[n, c_total, h, w]);
+    concat_channels_into(parts, y.as_mut_slice());
+    y
+}
+
+/// [`concat_channels`] into a caller-provided row-major buffer of
+/// `N·(ΣC)·H·W` elements (for arena-recycled destinations).
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, any part is not 4-D, the batch/spatial
+/// dimensions disagree, or `dst` has the wrong length.
+pub fn concat_channels_into<T: Element>(parts: &[&Tensor<T>], dst: &mut [T]) {
+    assert!(!parts.is_empty(), "concat_channels: no inputs");
+    let (n, h, w) = (parts[0].dims()[0], parts[0].dims()[2], parts[0].dims()[3]);
+    for p in parts {
+        assert_eq!(p.rank(), 4, "concat_channels: inputs must be NCHW");
+        assert_eq!(
+            (p.dims()[0], p.dims()[2], p.dims()[3]),
+            (n, h, w),
+            "concat_channels: batch/resolution mismatch"
+        );
+    }
+    let c_total: usize = parts.iter().map(|p| p.dims()[1]).sum();
+    let hw = h * w;
+    assert_eq!(dst.len(), n * c_total * hw, "concat_channels: dst length");
+    for ni in 0..n {
+        let mut c_base = 0usize;
+        for p in parts {
+            let c = p.dims()[1];
+            let src = &p.as_slice()[ni * c * hw..(ni + 1) * c * hw];
+            let at = (ni * c_total + c_base) * hw;
+            dst[at..at + c * hw].copy_from_slice(src);
+            c_base += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsample_replicates_blocks() {
+        let x = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
+        let y = upsample_nearest(&x, 2);
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(y.at4(0, 0, 1, 1), 0.0);
+        assert_eq!(y.at4(0, 0, 0, 2), 1.0);
+        assert_eq!(y.at4(0, 0, 3, 3), 3.0);
+    }
+
+    #[test]
+    fn upsample_factor_one_is_identity() {
+        let x = Tensor::from_fn(&[2, 3, 4, 5], |i| i as f32);
+        assert_eq!(upsample_nearest(&x, 1), x);
+    }
+
+    #[test]
+    fn concat_orders_channels_per_image() {
+        let a = Tensor::<f32>::filled(&[2, 1, 2, 2], 1.0);
+        let b = Tensor::<f32>::filled(&[2, 2, 2, 2], 2.0);
+        let y = concat_channels(&[&a, &b]);
+        assert_eq!(y.dims(), &[2, 3, 2, 2]);
+        for ni in 0..2 {
+            assert_eq!(y.at4(ni, 0, 0, 0), 1.0);
+            assert_eq!(y.at4(ni, 1, 1, 1), 2.0);
+            assert_eq!(y.at4(ni, 2, 0, 1), 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution mismatch")]
+    fn concat_rejects_mixed_resolutions() {
+        let a = Tensor::<f32>::zeros(&[1, 1, 2, 2]);
+        let b = Tensor::<f32>::zeros(&[1, 1, 4, 4]);
+        let _ = concat_channels(&[&a, &b]);
+    }
+}
