@@ -43,6 +43,34 @@ pub struct SynthCache {
 /// Cache key: (is-Kaiming, dims, seed).
 type SynthKey = (bool, Vec<usize>, u64);
 
+/// Point-in-time counters of a [`SynthCache`].
+///
+/// A public snapshot so the serving stats and the benches can report cache
+/// effectiveness without reaching into executor internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SynthStats {
+    /// Requests served from the cache.
+    pub hits: usize,
+    /// Requests that ran the synthesizer.
+    pub misses: usize,
+    /// Tensors currently cached.
+    pub entries: usize,
+    /// Bytes of tensor data currently cached.
+    pub bytes: usize,
+}
+
+impl SynthStats {
+    /// Hits as a fraction of all requests (0 when nothing was requested).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct SynthInner {
     map: HashMap<SynthKey, Arc<Tensor<f32>>>,
@@ -116,6 +144,17 @@ impl SynthCache {
             }
         }
         t
+    }
+
+    /// A point-in-time snapshot of the cache counters.
+    pub fn stats(&self) -> SynthStats {
+        let inner = self.inner.lock().expect("synth cache poisoned");
+        SynthStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+        }
     }
 
     /// Cache hits so far.

@@ -129,7 +129,37 @@ impl PreparedGraph {
             .map(|c| c.weights.len() * std::mem::size_of::<f32>())
             .sum()
     }
+
+    /// Number of conv nodes running the integer tap-wise pipeline.
+    pub fn int_conv_count(&self) -> usize {
+        self.convs
+            .iter()
+            .flatten()
+            .filter(|c| matches!(c.state, ConvState::IntWinograd(_)))
+            .count()
+    }
+
+    /// Whether every integer conv node has frozen calibration state.
+    ///
+    /// A float or reference graph (no integer nodes) is trivially calibrated.
+    /// A quantized graph becomes calibrated after its first run — or, for
+    /// serving, after an explicit [`GraphExecutor::warmup`] /
+    /// [`GraphExecutor::calibrate_with`] pass before workers start.
+    pub fn is_calibrated(&self) -> bool {
+        self.convs.iter().flatten().all(|c| match &c.state {
+            ConvState::IntWinograd(cell) => cell.lock().expect("int state poisoned").is_some(),
+            _ => true,
+        })
+    }
 }
+
+// The serving layer shares one prepared graph (and the executor that made
+// it) across worker threads; keep the `Sync` promise honest at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PreparedGraph>();
+    assert_send_sync::<GraphExecutor>();
+};
 
 /// The outcome of executing one node.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,20 +234,99 @@ impl GraphExecution {
     }
 }
 
+/// Point-in-time counters of an [`ActivationArena`].
+///
+/// `peak_live_bytes` is the maximum across every run the arena has served;
+/// `reuse_hits` / `fresh_allocs` accumulate across runs. The serving layer
+/// (`wino_serve`) folds each worker's arena stats into its server report, and
+/// the benches read them directly — no test-only hooks involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Runs this arena has backed.
+    pub runs: usize,
+    /// Maximum bytes of simultaneously-live activations over all runs.
+    pub peak_live_bytes: usize,
+    /// Allocations served from recycled dead tensors (cumulative).
+    pub reuse_hits: usize,
+    /// Allocations that touched the system allocator (cumulative).
+    pub fresh_allocs: usize,
+    /// Dead buffers currently parked for reuse.
+    pub free_buffers: usize,
+    /// Bytes of capacity parked in those buffers.
+    pub free_bytes: usize,
+}
+
 /// The activation-buffer arena: dead tensors are recycled into later
 /// structural nodes, and live bytes are tracked for the peak-memory report.
+///
+/// An arena can outlive a run: [`GraphExecutor::run_with_inputs_in`] lets a
+/// long-lived worker thread keep one arena across requests, so steady-state
+/// serving recycles the previous batch's buffers instead of touching the
+/// allocator. Per-run counters reset at the start of each run; the
+/// cumulative view is [`ActivationArena::stats`].
 #[derive(Debug, Default)]
-struct Arena {
+pub struct ActivationArena {
     free: Vec<Vec<f32>>,
     live_bytes: usize,
     peak_bytes: usize,
     reuse_hits: usize,
     fresh_allocs: usize,
+    runs: usize,
+    max_peak_bytes: usize,
+    total_reuse_hits: usize,
+    total_fresh_allocs: usize,
 }
 
-impl Arena {
-    /// A zeroed buffer of `len` floats, recycled if a dead tensor fits.
+impl ActivationArena {
+    /// An empty arena with no parked buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative counters across every run this arena has backed.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            runs: self.runs,
+            peak_live_bytes: self.max_peak_bytes,
+            reuse_hits: self.total_reuse_hits,
+            fresh_allocs: self.total_fresh_allocs,
+            free_buffers: self.free.len(),
+            free_bytes: self
+                .free
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<f32>())
+                .sum(),
+        }
+    }
+
+    /// Resets the per-run counters; parked buffers stay available.
+    fn begin_run(&mut self) {
+        self.live_bytes = 0;
+        self.peak_bytes = 0;
+        self.reuse_hits = 0;
+        self.fresh_allocs = 0;
+        self.runs += 1;
+    }
+
+    /// Folds the finished run's counters into the cumulative totals.
+    fn end_run(&mut self) {
+        self.max_peak_bytes = self.max_peak_bytes.max(self.peak_bytes);
+        self.total_reuse_hits += self.reuse_hits;
+        self.total_fresh_allocs += self.fresh_allocs;
+    }
+    /// A zeroed buffer of `len` floats, recycled if a dead tensor fits
+    /// (for the `*_into` helpers, which require a full-length slice).
     fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_empty(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// An empty buffer with capacity for `len` floats, recycled if a dead
+    /// tensor fits. Callers that rebuild the whole activation by `extend`
+    /// use this to skip the zero-fill `take` would pay.
+    fn take_empty(&mut self, len: usize) -> Vec<f32> {
+        // Prefer the tightest-fitting parked buffer.
         let mut best: Option<usize> = None;
         for (i, b) in self.free.iter().enumerate() {
             if b.capacity() >= len
@@ -231,12 +340,11 @@ impl Arena {
                 self.reuse_hits += 1;
                 let mut buf = self.free.swap_remove(i);
                 buf.clear();
-                buf.resize(len, 0.0);
                 buf
             }
             None => {
                 self.fresh_allocs += 1;
-                vec![0.0; len]
+                Vec::with_capacity(len)
             }
         }
     }
@@ -407,40 +515,109 @@ impl GraphExecutor {
 
     /// Runs the prepared graph on its synthesized inputs.
     pub fn run(&self, prepared: &PreparedGraph) -> GraphExecution {
-        self.run_impl(prepared, None)
+        self.run_impl(prepared, None, &mut ActivationArena::new())
     }
 
     /// Runs the prepared graph on caller-provided activations, one NCHW
     /// tensor per [`GraphOp::Input`] node in node order (the serving loop:
     /// prepare once, feed fresh batches).
     ///
+    /// The inputs may carry any batch size (all must agree); the prepared
+    /// state is batch-independent, so one [`PreparedGraph`] serves batch-1
+    /// probes and coalesced batch-N runs alike.
+    ///
     /// # Panics
     ///
-    /// Panics if the tensor count or any shape disagrees with the graph.
+    /// Panics if the tensor count or any per-image shape disagrees with the
+    /// graph, or the inputs disagree on batch size.
     pub fn run_with_inputs(
         &self,
         prepared: &PreparedGraph,
         inputs: &[Tensor<f32>],
     ) -> GraphExecution {
-        self.run_impl(prepared, Some(inputs))
+        self.run_impl(prepared, Some(inputs), &mut ActivationArena::new())
     }
 
-    fn run_impl(&self, prepared: &PreparedGraph, inputs: Option<&[Tensor<f32>]>) -> GraphExecution {
+    /// Calibrates every integer conv node on the graph's synthesized inputs
+    /// and returns the warmup run's report.
+    ///
+    /// The tap-wise pipeline freezes its input quantizer and tap scales from
+    /// the **first** activations each node sees (first-batch-only
+    /// calibration — there are no running statistics; see the paper's §IV-B
+    /// static calibration). Under a multi-threaded server that would make
+    /// the frozen scales depend on whichever live request won the race, so
+    /// serving code must calibrate on a designated warmup batch *before*
+    /// workers start (the `wino_serve` server does this automatically).
+    /// After it returns, [`PreparedGraph::is_calibrated`] is `true` and
+    /// later runs never mutate the prepared state.
+    ///
+    /// Float and reference graphs have nothing to calibrate; the call is
+    /// then just a synthesized-input run.
+    pub fn warmup(&self, prepared: &PreparedGraph) -> GraphExecution {
+        let run = self.run(prepared);
+        debug_assert!(prepared.is_calibrated(), "warmup left nodes uncalibrated");
+        run
+    }
+
+    /// [`GraphExecutor::warmup`] on caller-provided activations: freezes the
+    /// integer calibration from a representative batch of the caller's
+    /// choosing (one NCHW tensor per input node, any batch size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor count or any per-image shape disagrees with the
+    /// graph (see [`GraphExecutor::run_with_inputs`]).
+    pub fn calibrate_with(
+        &self,
+        prepared: &PreparedGraph,
+        inputs: &[Tensor<f32>],
+    ) -> GraphExecution {
+        let run = self.run_with_inputs(prepared, inputs);
+        debug_assert!(prepared.is_calibrated(), "warmup left nodes uncalibrated");
+        run
+    }
+
+    /// [`GraphExecutor::run_with_inputs`] backed by a caller-owned arena.
+    ///
+    /// A worker thread that keeps one [`ActivationArena`] across requests
+    /// recycles the previous batch's buffers instead of allocating afresh;
+    /// [`ActivationArena::stats`] reports the cumulative effect.
+    pub fn run_with_inputs_in(
+        &self,
+        prepared: &PreparedGraph,
+        inputs: &[Tensor<f32>],
+        arena: &mut ActivationArena,
+    ) -> GraphExecution {
+        self.run_impl(prepared, Some(inputs), arena)
+    }
+
+    fn run_impl(
+        &self,
+        prepared: &PreparedGraph,
+        inputs: Option<&[Tensor<f32>]>,
+        arena: &mut ActivationArena,
+    ) -> GraphExecution {
         let graph = &prepared.graph;
         let n_nodes = graph.nodes().len();
-        if let Some(ins) = inputs {
-            assert_eq!(
-                ins.len(),
-                graph.input_ids().len(),
-                "run_with_inputs: graph {} expects {} input tensor(s)",
-                graph.name,
-                graph.input_ids().len()
-            );
-        }
+        let batch = match inputs {
+            Some(ins) => {
+                assert_eq!(
+                    ins.len(),
+                    graph.input_ids().len(),
+                    "run_with_inputs: graph {} expects {} input tensor(s)",
+                    graph.name,
+                    graph.input_ids().len()
+                );
+                let b = ins.first().map_or(prepared.batch, |t| t.dims()[0]);
+                assert!(b > 0, "run_with_inputs: empty batch");
+                b
+            }
+            None => prepared.batch,
+        };
         let mut next_input = 0usize;
         let mut values: Vec<Option<Tensor<f32>>> = (0..n_nodes).map(|_| None).collect();
         let mut refs = prepared.consumers.clone();
-        let mut arena = Arena::default();
+        arena.begin_run();
         let mut nodes = Vec::with_capacity(n_nodes);
         let mut total = 0.0;
         let mut outputs = Vec::new();
@@ -457,7 +634,7 @@ impl GraphExecutor {
                             let (c, h, w) = prepared.shapes[id];
                             assert_eq!(
                                 t.dims(),
-                                &[prepared.batch, c, h, w],
+                                &[batch, c, h, w],
                                 "run_with_inputs: input {:?} has the wrong shape",
                                 node.name
                             );
@@ -492,17 +669,15 @@ impl GraphExecutor {
                         t
                     } else {
                         let x = values[src].as_ref().expect("producer ran");
-                        let mut buf = arena.take(x.len());
-                        for (d, &s) in buf.iter_mut().zip(x.as_slice()) {
-                            *d = s.max(0.0);
-                        }
+                        let mut buf = arena.take_empty(x.len());
+                        buf.extend(x.as_slice().iter().map(|&s| s.max(0.0)));
                         Tensor::from_vec(buf, x.dims()).expect("relu shape")
                     }
                 }
                 GraphOp::Add => {
                     let first = values[node.inputs[0]].as_ref().expect("producer ran");
-                    let mut buf = arena.take(first.len());
-                    buf.copy_from_slice(first.as_slice());
+                    let mut buf = arena.take_empty(first.len());
+                    buf.extend_from_slice(first.as_slice());
                     for &i in &node.inputs[1..] {
                         let t = values[i].as_ref().expect("producer ran");
                         for (d, &s) in buf.iter_mut().zip(t.as_slice()) {
@@ -518,9 +693,9 @@ impl GraphExecutor {
                         .map(|&i| values[i].as_ref().expect("producer ran"))
                         .collect();
                     let (c, h, w) = prepared.shapes[id];
-                    let mut buf = arena.take(prepared.batch * c * h * w);
+                    let mut buf = arena.take(batch * c * h * w);
                     concat_channels_into(&parts, &mut buf);
-                    Tensor::from_vec(buf, &[prepared.batch, c, h, w]).expect("concat shape")
+                    Tensor::from_vec(buf, &[batch, c, h, w]).expect("concat shape")
                 }
                 GraphOp::MaxPool {
                     kernel: k,
@@ -585,6 +760,7 @@ impl GraphExecutor {
             outputs.push((graph.nodes()[id].name.clone(), t));
         }
 
+        arena.end_run();
         GraphExecution {
             graph: graph.name.clone(),
             nodes,
@@ -633,7 +809,7 @@ impl GraphExecutor {
                         input,
                     }
                 });
-                let xq: Tensor<i8> = x.map(|v| st.input.quantize(v) as i8);
+                let xq = crate::quant::quantize_to_i8(x, st.input);
                 (st.conv.forward(&xq).dequantize(), "int-winograd-tapwise")
             }
             ConvState::Engine => {
@@ -707,5 +883,91 @@ mod tests {
         let p = exec.prepare(&small_resnet20(), &GraphRunOptions::default());
         let x = wino_tensor::normal(&[1, 2, 32, 32], 0.0, 1.0, 99);
         let _ = exec.run_with_inputs(&p, std::slice::from_ref(&x));
+    }
+
+    #[test]
+    fn run_with_inputs_accepts_any_batch_size() {
+        // One prepared graph (prepared at batch 1) serves batch-3 runs, and
+        // the batched run equals the per-image runs stacked — the invariant
+        // the dynamic batcher's coalescing correctness rests on.
+        let graph = small_resnet20();
+        let exec = GraphExecutor::with_defaults();
+        let p = exec.prepare(&graph, &GraphRunOptions::default());
+        let xs: Vec<_> = (0..3)
+            .map(|i| wino_tensor::normal(&[1, 1, 32, 32], 0.0, 1.0, 40 + i))
+            .collect();
+        let stacked = wino_tensor::concat_batch(&xs.iter().collect::<Vec<_>>());
+        let batched = exec.run_with_inputs(&p, std::slice::from_ref(&stacked));
+        assert_eq!(batched.outputs[0].1.dims()[0], 3);
+        for (i, x) in xs.iter().enumerate() {
+            let single = exec.run_with_inputs(&p, std::slice::from_ref(x));
+            let got = wino_tensor::batch_slice(&batched.outputs[0].1, i, 1);
+            let err = got.relative_error(&single.outputs[0].1);
+            assert!(err < 1e-5, "image {i} drifted under batching: {err}");
+        }
+    }
+
+    #[test]
+    fn persistent_arena_recycles_across_runs() {
+        let graph = small_resnet20();
+        let exec = GraphExecutor::with_defaults();
+        let p = exec.prepare(&graph, &GraphRunOptions::default());
+        let x = wino_tensor::normal(&[1, 1, 32, 32], 0.0, 1.0, 7);
+        let mut arena = ActivationArena::new();
+        let first = exec.run_with_inputs_in(&p, std::slice::from_ref(&x), &mut arena);
+        let second = exec.run_with_inputs_in(&p, std::slice::from_ref(&x), &mut arena);
+        assert_eq!(first.outputs[0].1, second.outputs[0].1);
+        // Run 2 starts with run 1's retired buffers parked, so it can only
+        // recycle more (and allocate less) than the cold first run did.
+        assert!(second.arena_fresh_allocs <= first.arena_fresh_allocs);
+        assert!(second.arena_reuse_hits >= first.arena_reuse_hits);
+        assert!(second.arena_reuse_hits > 0, "nothing was recycled");
+        let stats = arena.stats();
+        assert_eq!(stats.runs, 2);
+        assert_eq!(
+            stats.fresh_allocs,
+            first.arena_fresh_allocs + second.arena_fresh_allocs
+        );
+        assert_eq!(
+            stats.peak_live_bytes,
+            first.peak_live_bytes.max(second.peak_live_bytes)
+        );
+        assert!(stats.free_buffers > 0 && stats.free_bytes > 0);
+    }
+
+    #[test]
+    fn warmup_calibrates_every_int_node_once() {
+        use crate::int_winograd::WinogradQuantConfig;
+        let graph = small_resnet20();
+        let exec = GraphExecutor::quantized(WinogradQuantConfig::default());
+        let p = exec.prepare(&graph, &GraphRunOptions::default());
+        assert!(p.int_conv_count() > 0, "no integer nodes to calibrate");
+        assert!(!p.is_calibrated(), "calibration must be lazy");
+        exec.warmup(&p);
+        assert!(p.is_calibrated());
+        // A float executor's graph is trivially calibrated.
+        let fexec = GraphExecutor::with_defaults();
+        let fp = fexec.prepare(&graph, &GraphRunOptions::default());
+        assert_eq!(fp.int_conv_count(), 0);
+        assert!(fp.is_calibrated());
+    }
+
+    #[test]
+    fn calibrate_with_freezes_scales_from_the_given_batch() {
+        use crate::int_winograd::WinogradQuantConfig;
+        let graph = small_resnet20();
+        let exec = GraphExecutor::quantized(WinogradQuantConfig::default());
+        let p = exec.prepare(&graph, &GraphRunOptions::default());
+        let warm = wino_tensor::normal(&[1, 1, 32, 32], 0.0, 1.0, 11);
+        exec.calibrate_with(&p, std::slice::from_ref(&warm));
+        assert!(p.is_calibrated());
+        // Calibration is first-batch-only: a later, larger-amplitude batch
+        // must not change the frozen state, so re-running the warmup batch
+        // reproduces its output bit for bit.
+        let a = exec.run_with_inputs(&p, std::slice::from_ref(&warm));
+        let loud = wino_tensor::normal(&[1, 1, 32, 32], 0.0, 8.0, 12);
+        let _ = exec.run_with_inputs(&p, std::slice::from_ref(&loud));
+        let b = exec.run_with_inputs(&p, std::slice::from_ref(&warm));
+        assert_eq!(a.outputs[0].1, b.outputs[0].1, "frozen state drifted");
     }
 }

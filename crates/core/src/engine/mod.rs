@@ -32,10 +32,11 @@ pub mod planner;
 
 pub use backends::{DirectBackend, Im2colGemmBackend, IntWinogradTapwiseBackend, WinogradBackend};
 pub use executor::{
-    ExecutorOptions, LayerExecution, NetworkExecution, NetworkExecutor, SynthCache,
+    ExecutorOptions, LayerExecution, NetworkExecution, NetworkExecutor, SynthCache, SynthStats,
 };
 pub use graph_exec::{
-    GraphExecution, GraphExecutor, GraphRunOptions, NodeExecution, PreparedGraph,
+    ActivationArena, ArenaStats, GraphExecution, GraphExecutor, GraphRunOptions, NodeExecution,
+    PreparedGraph,
 };
 pub use planner::{ExecutionPlan, LayerPlan, Planner};
 

@@ -55,10 +55,10 @@ pub use analysis::{
 pub use calibration::{MaxCalibrator, TapCalibrator};
 pub use cooktoom::cook_toom_matrices;
 pub use engine::{
-    ConvBackend, DirectBackend, Engine, ExecutionPlan, ExecutorOptions, GraphExecution,
-    GraphExecutor, GraphRunOptions, Im2colGemmBackend, IntWinogradTapwiseBackend, LayerPlan,
-    NetworkExecution, NetworkExecutor, NodeExecution, Planner, PreparedGraph, SynthCache,
-    WinogradBackend,
+    ActivationArena, ArenaStats, ConvBackend, DirectBackend, Engine, ExecutionPlan,
+    ExecutorOptions, GraphExecution, GraphExecutor, GraphRunOptions, Im2colGemmBackend,
+    IntWinogradTapwiseBackend, LayerPlan, NetworkExecution, NetworkExecutor, NodeExecution,
+    Planner, PreparedGraph, SynthCache, SynthStats, WinogradBackend,
 };
 pub use int_winograd::{
     prepare_call_count, IntWinogradConv, IntWinogradOutput, WinogradQuantConfig,

@@ -31,6 +31,27 @@ pub fn zoo_graphs() -> Vec<Graph> {
     ]
 }
 
+/// Builds the zoo graph of the given name, optionally at a non-default input
+/// resolution — the name → topology map a serving config points at.
+///
+/// Accepted names (case-insensitive): `resnet20`, `resnet34`, `resnet50`,
+/// `retinanet`, `ssd`, `unet`, `yolov3`. `resolution` falls back to each
+/// network's paper-scale default; `resnet20` is fixed at CIFAR's 32×32 and
+/// ignores the override. Returns `None` for unknown names.
+pub fn graph_by_name(name: &str, resolution: Option<usize>) -> Option<Graph> {
+    let lower = name.to_ascii_lowercase();
+    Some(match lower.as_str() {
+        "resnet20" => resnet20_graph(),
+        "resnet34" => resnet34_graph(resolution.unwrap_or(224)),
+        "resnet50" => resnet50_graph(resolution.unwrap_or(224)),
+        "retinanet" => retinanet_graph(resolution.unwrap_or(800)),
+        "ssd" => ssd_graph(resolution.unwrap_or(300)),
+        "unet" => unet_graph(resolution.unwrap_or(560)),
+        "yolov3" => yolov3_graph(resolution.unwrap_or(416)),
+        _ => return None,
+    })
+}
+
 /// A ResNet basic block (two 3×3 convolutions) with an identity or
 /// 1×1-projection shortcut; returns the id of the post-add ReLU.
 fn basic_block(
@@ -638,5 +659,23 @@ mod tests {
     #[should_panic(expected = "multiple of 16")]
     fn unet_rejects_uncroppable_resolutions() {
         let _ = unet_graph(572);
+    }
+
+    #[test]
+    fn graph_by_name_covers_the_zoo() {
+        for name in [
+            "resnet20",
+            "resnet34",
+            "resnet50",
+            "retinanet",
+            "ssd",
+            "unet",
+            "yolov3",
+        ] {
+            let g = graph_by_name(name, None).unwrap_or_else(|| panic!("{name} missing"));
+            g.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert_eq!(graph_by_name("YOLOv3", Some(256)).unwrap().name, "YOLOv3");
+        assert!(graph_by_name("alexnet", None).is_none());
     }
 }

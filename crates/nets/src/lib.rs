@@ -29,8 +29,8 @@ pub mod zoo;
 
 pub use graph::{Graph, GraphBuilder, GraphError, GraphNode, GraphOp, NodeId, NodeShape};
 pub use graph_builders::{
-    resnet20_graph, resnet34_graph, resnet50_graph, retinanet_graph, ssd_graph, unet_graph,
-    yolov3_graph, zoo_graphs,
+    graph_by_name, resnet20_graph, resnet34_graph, resnet50_graph, retinanet_graph, ssd_graph,
+    unet_graph, yolov3_graph, zoo_graphs,
 };
 pub use kernel::{Kernel, KernelChoice};
 pub use layer::{ConvLayer, LayerKind, Network};

@@ -1,0 +1,47 @@
+//! Batched inference serving over a shared prepared graph.
+//!
+//! The paper motivates its kernels by deployment throughput; this crate is
+//! the serving layer that turns one [`wino_core::PreparedGraph`] into a
+//! multi-client, batch-scheduled service:
+//!
+//! ```text
+//!  clients ──submit──▶ BatchScheduler ──batches──▶ worker pool ──▶ replies
+//!                       (queue + deadline)          │ each worker:
+//!                                                   │  Arc<PreparedGraph>
+//!                                                   │  own ActivationArena
+//!                                                   ▼
+//!                                               ServerStats
+//!                                  (latency p50/p95/p99, batch sizes,
+//!                                   queue depth, throughput, arenas)
+//! ```
+//!
+//! * [`BatchScheduler`] coalesces single-image requests into batch-size-`B`
+//!   runs under a max-wait deadline — *dynamic batching*: a batch dispatches
+//!   early the moment the queue holds `max_batch` requests, and a partial
+//!   batch flushes when the oldest request has waited `max_wait`.
+//! * [`InferenceServer`] owns `N` worker threads sharing one
+//!   `Arc<PreparedGraph>` (the prepared state is `Sync`; calibration is
+//!   frozen by an explicit warmup *before* the workers start, so no live
+//!   request ever mutates it). Each worker keeps its own
+//!   [`wino_core::ActivationArena`], so steady-state batches recycle the
+//!   previous batch's activation buffers.
+//! * [`ServerStats`] aggregates per-request latency and queue-wait
+//!   histograms (p50/p95/p99), the observed batch-size distribution, queue
+//!   depth, aggregate requests/sec, and the per-worker arena plus
+//!   synthesis-cache counters ([`wino_core::ArenaStats`],
+//!   [`wino_core::SynthStats`]).
+//!
+//! The scheduler is generic over the queued item, so its batching policy is
+//! unit-testable without tensors or threads; the server instantiates it with
+//! real requests.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod scheduler;
+pub mod server;
+pub mod stats;
+
+pub use scheduler::{Batch, BatchPolicy, BatchScheduler};
+pub use server::{InferenceReply, InferenceServer, PendingInference, ServeClient, ServerConfig};
+pub use stats::{LatencySummary, ServerStats, StatsReport};

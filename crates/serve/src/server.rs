@@ -1,0 +1,429 @@
+//! The worker-pool inference server.
+//!
+//! [`InferenceServer::start`] warms up (calibrates) the prepared graph, then
+//! spawns `N` worker threads that loop on the [`BatchScheduler`]: take a
+//! coalesced batch, stack its single-image requests along the batch
+//! dimension, run the shared [`PreparedGraph`] once, slice the outputs back
+//! per request and reply. Clients are cheap clones of [`ServeClient`] and
+//! may submit from any thread.
+//!
+//! Everything shared across threads is `Sync` by construction (audited in
+//! `wino_core::engine::graph_exec`): the prepared state is read-only after
+//! warmup, the scheduler and stats are lock-protected, and each worker owns
+//! its mutable pieces (the activation arena) privately.
+
+use crate::scheduler::{BatchPolicy, BatchScheduler};
+use crate::stats::{ServerStats, StatsReport};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wino_core::{ActivationArena, GraphExecutor, PreparedGraph};
+use wino_tensor::{batch_slice, concat_batch, Tensor};
+
+/// How the server runs: pool width and batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads sharing the prepared graph.
+    pub workers: usize,
+    /// Dynamic-batching policy of the request queue.
+    pub policy: BatchPolicy,
+    /// Calibrate the graph on its synthesized warmup batch before workers
+    /// start (see [`GraphExecutor::warmup`]); on by default. Turn off only
+    /// if the graph is already calibrated via
+    /// [`GraphExecutor::calibrate_with`] on a representative batch.
+    pub warmup: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            policy: BatchPolicy::default(),
+            warmup: true,
+        }
+    }
+}
+
+/// One queued inference request.
+#[derive(Debug)]
+struct Request {
+    /// One NCHW tensor per graph input node.
+    inputs: Vec<Tensor<f32>>,
+    /// When the client submitted (end-to-end latency starts here).
+    submitted: Instant,
+    reply: mpsc::Sender<InferenceReply>,
+}
+
+/// A completed inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReply {
+    /// The graph's outputs for this request's images, in output-node order.
+    pub outputs: Vec<(String, Tensor<f32>)>,
+    /// Submit-to-reply latency.
+    pub latency: Duration,
+    /// Images in the coalesced batch this request rode in (> its own image
+    /// count when dynamic batching merged it with neighbours).
+    pub batch_images: usize,
+}
+
+impl InferenceReply {
+    /// The output tensor of the output node with the given name.
+    pub fn output(&self, name: &str) -> Option<&Tensor<f32>> {
+        self.outputs.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+}
+
+/// A pending reply; redeem it with [`PendingInference::wait`].
+#[derive(Debug)]
+pub struct PendingInference {
+    rx: mpsc::Receiver<InferenceReply>,
+}
+
+impl PendingInference {
+    /// Blocks until the reply arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server shut down before serving this request.
+    pub fn wait(self) -> InferenceReply {
+        self.rx
+            .recv()
+            .expect("server shut down before serving this request")
+    }
+}
+
+/// A cheap, cloneable handle for submitting requests from any thread.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    scheduler: Arc<BatchScheduler<Request>>,
+    stats: Arc<ServerStats>,
+    prepared: Arc<PreparedGraph>,
+}
+
+impl ServeClient {
+    /// Submits one request (one NCHW tensor per graph input node; any batch
+    /// size, single-image `[1, C, H, W]` in the common case) and returns the
+    /// pending reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics in the *calling* thread if the tensors do not match the graph
+    /// (count, rank, per-image shape, or disagreeing batch sizes) or the
+    /// server has shut down — a malformed request never reaches a worker,
+    /// so one bad client cannot take down the pool.
+    pub fn submit(&self, inputs: Vec<Tensor<f32>>) -> PendingInference {
+        let graph = self.prepared.graph();
+        let input_ids = graph.input_ids();
+        assert_eq!(
+            inputs.len(),
+            input_ids.len(),
+            "request carries {} input tensor(s), graph {} expects {}",
+            inputs.len(),
+            graph.name,
+            input_ids.len()
+        );
+        let batch = inputs
+            .first()
+            .map_or(0, |t| t.dims().first().copied().unwrap_or(0));
+        assert!(batch > 0, "request has an empty batch");
+        for (t, &id) in inputs.iter().zip(&input_ids) {
+            let (c, h, w) = self.prepared.shapes()[id];
+            assert_eq!(
+                t.dims(),
+                &[batch, c, h, w],
+                "input {:?} of graph {} has the wrong shape",
+                graph.nodes()[id].name,
+                graph.name
+            );
+        }
+        let (tx, rx) = mpsc::channel();
+        let accepted = self.scheduler.submit(Request {
+            inputs,
+            submitted: Instant::now(),
+            reply: tx,
+        });
+        assert!(accepted, "server has shut down");
+        PendingInference { rx }
+    }
+
+    /// Submits and blocks for the reply.
+    pub fn infer(&self, inputs: Vec<Tensor<f32>>) -> InferenceReply {
+        self.submit(inputs).wait()
+    }
+
+    /// Requests currently queued behind this handle's server.
+    pub fn queue_depth(&self) -> usize {
+        self.scheduler.depth()
+    }
+
+    /// A live snapshot of the serving telemetry.
+    pub fn stats(&self) -> StatsReport {
+        self.stats.report()
+    }
+}
+
+/// The batched inference server: `N` workers over one shared
+/// [`PreparedGraph`].
+#[derive(Debug)]
+pub struct InferenceServer {
+    scheduler: Arc<BatchScheduler<Request>>,
+    stats: Arc<ServerStats>,
+    workers: Vec<JoinHandle<()>>,
+    executor: Arc<GraphExecutor>,
+    prepared: Arc<PreparedGraph>,
+}
+
+impl InferenceServer {
+    /// Warms up the prepared graph and starts the worker pool.
+    ///
+    /// Calibration happens *here*, once, on the designated warmup batch —
+    /// never on a live request — so the prepared state is immutable by the
+    /// time any worker can touch it and every worker computes the same
+    /// function (see [`GraphExecutor::warmup`] for the first-batch-only
+    /// limitation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero.
+    pub fn start(
+        executor: Arc<GraphExecutor>,
+        prepared: Arc<PreparedGraph>,
+        config: ServerConfig,
+    ) -> Self {
+        assert!(config.workers > 0, "a server needs at least one worker");
+        if config.warmup && !prepared.is_calibrated() {
+            executor.warmup(&prepared);
+        }
+        let scheduler = Arc::new(BatchScheduler::new(config.policy));
+        let stats = Arc::new(ServerStats::new());
+        let workers = (0..config.workers)
+            .map(|i| {
+                let scheduler = Arc::clone(&scheduler);
+                let stats = Arc::clone(&stats);
+                let executor = Arc::clone(&executor);
+                let prepared = Arc::clone(&prepared);
+                std::thread::Builder::new()
+                    .name(format!("wino-serve-{i}"))
+                    .spawn(move || worker_loop(&scheduler, &stats, &executor, &prepared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            scheduler,
+            stats,
+            workers,
+            executor,
+            prepared,
+        }
+    }
+
+    /// A new client handle.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            scheduler: Arc::clone(&self.scheduler),
+            stats: Arc::clone(&self.stats),
+            prepared: Arc::clone(&self.prepared),
+        }
+    }
+
+    /// The shared prepared graph.
+    pub fn prepared(&self) -> &PreparedGraph {
+        &self.prepared
+    }
+
+    /// A live snapshot of the serving telemetry.
+    pub fn stats(&self) -> StatsReport {
+        self.stats.report()
+    }
+
+    /// Stops accepting requests, drains the queue, joins the workers and
+    /// returns the final report (worker arenas and the synthesis cache
+    /// folded in).
+    pub fn shutdown(mut self) -> StatsReport {
+        self.scheduler.close();
+        for w in std::mem::take(&mut self.workers) {
+            w.join().expect("worker panicked");
+        }
+        self.stats.set_synth(self.executor.synth().stats());
+        self.stats.report()
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        // A dropped (not shut down) server must not leave workers blocked on
+        // the queue forever; close() lets them drain and exit.
+        self.scheduler.close();
+    }
+}
+
+/// One worker: take batches until shutdown, run them on the shared graph,
+/// slice replies back out, keep a private arena across batches.
+fn worker_loop(
+    scheduler: &BatchScheduler<Request>,
+    stats: &ServerStats,
+    executor: &GraphExecutor,
+    prepared: &PreparedGraph,
+) {
+    let n_inputs = prepared.graph().input_ids().len();
+    let mut arena = ActivationArena::new();
+    while let Some(batch) = scheduler.next_batch() {
+        // Coalesce: stack every request's tensor for each input position
+        // (shapes were validated at submit time). A single-request batch
+        // moves its tensors straight through, copy-free.
+        let run_start = Instant::now();
+        let mut items = batch.items;
+        let counts: Vec<usize> = items.iter().map(|r| r.inputs[0].dims()[0]).collect();
+        let stacked: Vec<Tensor<f32>> = if items.len() == 1 {
+            std::mem::take(&mut items[0].inputs)
+        } else {
+            (0..n_inputs)
+                .map(|pos| {
+                    let parts: Vec<&Tensor<f32>> = items.iter().map(|r| &r.inputs[pos]).collect();
+                    concat_batch(&parts)
+                })
+                .collect()
+        };
+        let run = executor.run_with_inputs_in(prepared, &stacked, &mut arena);
+        let run_time = run_start.elapsed();
+        let images = stacked[0].dims()[0];
+        stats.record_batch(images, batch.depth_after, run_time, &batch.waits);
+        // De-coalesce: each request gets its own images back.
+        let mut offset = 0usize;
+        for (req, count) in items.into_iter().zip(counts) {
+            let outputs = run
+                .outputs
+                .iter()
+                .map(|(name, t)| (name.clone(), batch_slice(t, offset, count)))
+                .collect();
+            offset += count;
+            let latency = req.submitted.elapsed();
+            stats.record_completion(latency);
+            // A client that dropped its PendingInference is not an error.
+            let _ = req.reply.send(InferenceReply {
+                outputs,
+                latency,
+                batch_images: images,
+            });
+        }
+    }
+    stats.merge_arena(arena.stats());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_core::{GraphExecutor, GraphRunOptions};
+    use wino_nets::resnet20_graph;
+    use wino_tensor::normal;
+
+    fn small_server(workers: usize, max_batch: usize) -> (InferenceServer, ServeClient) {
+        let graph = resnet20_graph().with_channel_div(4);
+        let executor = Arc::new(GraphExecutor::with_defaults());
+        let prepared = Arc::new(executor.prepare(&graph, &GraphRunOptions::default()));
+        let server = InferenceServer::start(
+            executor,
+            prepared,
+            ServerConfig {
+                workers,
+                policy: BatchPolicy {
+                    max_batch,
+                    max_wait: Duration::from_millis(1),
+                },
+                warmup: true,
+            },
+        );
+        let client = server.client();
+        (server, client)
+    }
+
+    #[test]
+    fn replies_match_the_direct_submission_path() {
+        let graph = resnet20_graph().with_channel_div(4);
+        let executor = Arc::new(GraphExecutor::with_defaults());
+        let prepared = Arc::new(executor.prepare(&graph, &GraphRunOptions::default()));
+        let expected: Vec<_> = (0..6)
+            .map(|i| {
+                let x = normal(&[1, 1, 32, 32], 0.0, 1.0, 100 + i);
+                let run = executor.run_with_inputs(&prepared, std::slice::from_ref(&x));
+                (x, run.outputs[0].1.clone())
+            })
+            .collect();
+        let server =
+            InferenceServer::start(Arc::clone(&executor), prepared, ServerConfig::default());
+        let client = server.client();
+        let pending: Vec<_> = expected
+            .iter()
+            .map(|(x, _)| client.submit(vec![x.clone()]))
+            .collect();
+        for (p, (_, want)) in pending.into_iter().zip(&expected) {
+            let reply = p.wait();
+            assert_eq!(reply.outputs.len(), 1);
+            assert_eq!(
+                &reply.outputs[0].1, want,
+                "served output differs from the sequential path"
+            );
+            assert!(reply.latency > Duration::ZERO);
+            assert!(reply.batch_images >= 1);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.requests, 6);
+        assert_eq!(report.images, 6);
+    }
+
+    #[test]
+    fn shutdown_report_folds_in_every_worker_arena() {
+        let (server, client) = small_server(2, 2);
+        for i in 0..8 {
+            let x = normal(&[1, 1, 32, 32], 0.0, 1.0, i);
+            let _ = client.infer(vec![x]);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.workers_reported, 2);
+        assert_eq!(report.requests, 8);
+        assert!(report.arena.runs >= 8 / 2, "batches ran through the arenas");
+        assert!(report.throughput_rps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "server has shut down")]
+    fn submitting_after_shutdown_panics() {
+        let (server, client) = small_server(1, 2);
+        let _ = server.shutdown();
+        let x = normal(&[1, 1, 32, 32], 0.0, 1.0, 0);
+        let _ = client.submit(vec![x]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong shape")]
+    fn malformed_shapes_panic_the_caller_at_submit() {
+        let (_server, client) = small_server(1, 2);
+        let bad = normal(&[1, 2, 32, 32], 0.0, 1.0, 0);
+        let _ = client.submit(vec![bad]);
+    }
+
+    #[test]
+    fn a_rejected_submit_leaves_the_pool_serving() {
+        let (server, client) = small_server(1, 2);
+        let bad = client.clone();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            bad.submit(vec![normal(&[1, 1, 16, 16], 0.0, 1.0, 0)])
+        }));
+        assert!(panicked.is_err(), "bad shape must be rejected at submit");
+        // The workers never saw the malformed request; service continues.
+        let reply = client.infer(vec![normal(&[1, 1, 32, 32], 0.0, 1.0, 1)]);
+        assert_eq!(reply.outputs.len(), 1);
+        let report = server.shutdown();
+        assert_eq!(report.requests, 1);
+    }
+
+    #[test]
+    fn multi_image_requests_are_sliced_back_whole() {
+        let (server, client) = small_server(1, 4);
+        let x = normal(&[3, 1, 32, 32], 0.0, 1.0, 5);
+        let reply = client.infer(vec![x]);
+        assert_eq!(reply.outputs[0].1.dims()[0], 3);
+        let _ = server.shutdown();
+    }
+}

@@ -1,0 +1,357 @@
+//! Latency and throughput accounting for the server.
+//!
+//! Every reply records its end-to-end latency and queue wait; every dispatch
+//! records the batch size and the backlog left behind; every worker folds in
+//! its arena counters at shutdown. [`ServerStats::report`] reduces all of it
+//! to the numbers a capacity planner asks for: p50/p95/p99 latency,
+//! requests/sec, the observed batch-size distribution, mean queue depth, and
+//! the memory-reuse counters of the executor underneath.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use wino_core::{ArenaStats, SynthStats};
+
+/// Order statistics of one duration population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Nearest-rank order statistics of `samples` (all zero when empty).
+    fn of(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        let sum: Duration = sorted.iter().sum();
+        Self {
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            mean: sum / sorted.len() as u32,
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    latencies: Vec<Duration>,
+    queue_waits: Vec<Duration>,
+    run_times: Vec<Duration>,
+    batch_sizes: Vec<usize>,
+    depth_samples: Vec<usize>,
+    arena: ArenaStats,
+    workers_reported: usize,
+    synth: SynthStats,
+}
+
+/// Thread-shared accumulator of serving telemetry.
+///
+/// Workers and the reply path record into it concurrently; a
+/// [`ServerStats::report`] snapshot can be taken at any time (the server
+/// takes a final one at shutdown).
+#[derive(Debug)]
+pub struct ServerStats {
+    inner: Mutex<StatsInner>,
+    started: Instant,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerStats {
+    /// An empty accumulator; the throughput clock starts now.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(StatsInner::default()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one dispatched batch: its image count, the backlog it left,
+    /// its graph-run wall time and its items' queue waits.
+    pub fn record_batch(
+        &self,
+        images: usize,
+        depth_after: usize,
+        run: Duration,
+        queue_waits: &[Duration],
+    ) {
+        let mut g = self.inner.lock().expect("stats poisoned");
+        g.batch_sizes.push(images);
+        g.depth_samples.push(depth_after);
+        g.run_times.push(run);
+        g.queue_waits.extend_from_slice(queue_waits);
+    }
+
+    /// Records one completed request's submit-to-reply latency.
+    pub fn record_completion(&self, latency: Duration) {
+        let mut g = self.inner.lock().expect("stats poisoned");
+        g.latencies.push(latency);
+    }
+
+    /// Folds one worker's arena counters into the aggregate (summed across
+    /// workers; peak is the max of the workers' peaks).
+    pub fn merge_arena(&self, arena: ArenaStats) {
+        let mut g = self.inner.lock().expect("stats poisoned");
+        g.workers_reported += 1;
+        g.arena.runs += arena.runs;
+        g.arena.reuse_hits += arena.reuse_hits;
+        g.arena.fresh_allocs += arena.fresh_allocs;
+        g.arena.free_buffers += arena.free_buffers;
+        g.arena.free_bytes += arena.free_bytes;
+        g.arena.peak_live_bytes = g.arena.peak_live_bytes.max(arena.peak_live_bytes);
+    }
+
+    /// Attaches the executor's synthesis-cache snapshot to the report.
+    pub fn set_synth(&self, synth: SynthStats) {
+        self.inner.lock().expect("stats poisoned").synth = synth;
+    }
+
+    /// Reduces everything recorded so far into a [`StatsReport`].
+    pub fn report(&self) -> StatsReport {
+        let g = self.inner.lock().expect("stats poisoned");
+        let elapsed = self.started.elapsed();
+        let requests = g.latencies.len();
+        let images: usize = g.batch_sizes.iter().sum();
+        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        for &b in &g.batch_sizes {
+            *histogram.entry(b).or_insert(0) += 1;
+        }
+        let mean = |xs: &[usize]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<usize>() as f64 / xs.len() as f64
+            }
+        };
+        StatsReport {
+            requests,
+            images,
+            batches: g.batch_sizes.len(),
+            elapsed,
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                requests as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency: LatencySummary::of(&g.latencies),
+            queue_wait: LatencySummary::of(&g.queue_waits),
+            run_time: LatencySummary::of(&g.run_times),
+            batch_histogram: histogram.into_iter().collect(),
+            mean_batch: mean(&g.batch_sizes),
+            mean_queue_depth: mean(&g.depth_samples),
+            workers_reported: g.workers_reported,
+            arena: g.arena,
+            synth: g.synth,
+        }
+    }
+}
+
+/// A point-in-time reduction of the serving telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Requests completed (replies sent).
+    pub requests: usize,
+    /// Images executed (= requests when every request is single-image).
+    pub images: usize,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Wall time since the stats clock started.
+    pub elapsed: Duration,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// End-to-end (submit → reply) request latency.
+    pub latency: LatencySummary,
+    /// Time requests sat in the queue before dispatch.
+    pub queue_wait: LatencySummary,
+    /// Wall time of the batched graph runs.
+    pub run_time: LatencySummary,
+    /// `(batch size, count)` pairs, ascending by size.
+    pub batch_histogram: Vec<(usize, usize)>,
+    /// Mean images per batch.
+    pub mean_batch: f64,
+    /// Mean backlog observed at dispatch time.
+    pub mean_queue_depth: f64,
+    /// Workers whose arenas were folded in (shutdown only).
+    pub workers_reported: usize,
+    /// Worker activation arenas, aggregated.
+    pub arena: ArenaStats,
+    /// The executor's tensor-synthesis cache.
+    pub synth: SynthStats,
+}
+
+impl StatsReport {
+    /// Largest batch size observed (0 when nothing dispatched).
+    pub fn max_batch_observed(&self) -> usize {
+        self.batch_histogram.last().map_or(0, |&(b, _)| b)
+    }
+
+    /// The report as an aligned, human-readable table.
+    pub fn render(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "requests        {:>10}    ({} images in {} batches)",
+            self.requests, self.images, self.batches
+        );
+        let _ = writeln!(
+            out,
+            "throughput      {:>10.1}    req/s over {:.1} ms",
+            self.throughput_rps,
+            ms(self.elapsed)
+        );
+        let _ = writeln!(
+            out,
+            "latency ms      p50 {:>7.2}  p95 {:>7.2}  p99 {:>7.2}  max {:>7.2}",
+            ms(self.latency.p50),
+            ms(self.latency.p95),
+            ms(self.latency.p99),
+            ms(self.latency.max)
+        );
+        let _ = writeln!(
+            out,
+            "queue wait ms   p50 {:>7.2}  p95 {:>7.2}  p99 {:>7.2}  max {:>7.2}",
+            ms(self.queue_wait.p50),
+            ms(self.queue_wait.p95),
+            ms(self.queue_wait.p99),
+            ms(self.queue_wait.max)
+        );
+        let _ = writeln!(
+            out,
+            "batch sizes     {}    (mean {:.2}, mean backlog {:.2})",
+            self.batch_histogram
+                .iter()
+                .map(|(b, n)| format!("{b}x{n}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            self.mean_batch,
+            self.mean_queue_depth
+        );
+        let _ = writeln!(
+            out,
+            "arena           peak {:.1} KiB live, {} reuses / {} fresh allocs over {} runs ({} workers)",
+            self.arena.peak_live_bytes as f64 / 1024.0,
+            self.arena.reuse_hits,
+            self.arena.fresh_allocs,
+            self.arena.runs,
+            self.workers_reported
+        );
+        let _ = writeln!(
+            out,
+            "synth cache     {} hits / {} misses ({:.0}% hit rate), {:.1} KiB cached",
+            self.synth.hits,
+            self.synth.misses,
+            self.synth.hit_rate() * 100.0,
+            self.synth.bytes as f64 / 1024.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencySummary::of(&samples);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p95, Duration::from_millis(95));
+        assert_eq!(s.p99, Duration::from_millis(99));
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert_eq!(s.mean, Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn tiny_populations_saturate_to_the_extremes() {
+        let one = LatencySummary::of(&[Duration::from_millis(7)]);
+        assert_eq!(one.p50, Duration::from_millis(7));
+        assert_eq!(one.p99, Duration::from_millis(7));
+        assert_eq!(LatencySummary::of(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn report_reduces_batches_and_latencies() {
+        let stats = ServerStats::new();
+        stats.record_batch(
+            4,
+            3,
+            Duration::from_millis(8),
+            &[Duration::from_millis(1); 4],
+        );
+        stats.record_batch(
+            3,
+            0,
+            Duration::from_millis(6),
+            &[Duration::from_millis(2); 3],
+        );
+        for _ in 0..7 {
+            stats.record_completion(Duration::from_millis(10));
+        }
+        let r = stats.report();
+        assert_eq!(r.requests, 7);
+        assert_eq!(r.images, 7);
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.batch_histogram, vec![(3, 1), (4, 1)]);
+        assert_eq!(r.max_batch_observed(), 4);
+        assert!((r.mean_batch - 3.5).abs() < 1e-9);
+        assert!((r.mean_queue_depth - 1.5).abs() < 1e-9);
+        assert_eq!(r.latency.p99, Duration::from_millis(10));
+        assert!(r.throughput_rps > 0.0);
+        let table = r.render();
+        assert!(table.contains("p99"), "table must show tail latency");
+        assert!(table.contains("4x1"), "table must show the batch histogram");
+    }
+
+    #[test]
+    fn arena_merge_sums_counters_and_maxes_peaks() {
+        let stats = ServerStats::new();
+        stats.merge_arena(ArenaStats {
+            runs: 3,
+            peak_live_bytes: 100,
+            reuse_hits: 5,
+            fresh_allocs: 2,
+            free_buffers: 1,
+            free_bytes: 64,
+        });
+        stats.merge_arena(ArenaStats {
+            runs: 2,
+            peak_live_bytes: 250,
+            reuse_hits: 1,
+            fresh_allocs: 4,
+            free_buffers: 2,
+            free_bytes: 32,
+        });
+        let r = stats.report();
+        assert_eq!(r.workers_reported, 2);
+        assert_eq!(r.arena.runs, 5);
+        assert_eq!(r.arena.peak_live_bytes, 250);
+        assert_eq!(r.arena.reuse_hits, 6);
+        assert_eq!(r.arena.fresh_allocs, 6);
+        assert_eq!(r.arena.free_bytes, 96);
+    }
+}

@@ -50,6 +50,9 @@ pub use linear::linear_forward;
 pub use norm::BatchNorm2d;
 pub use parallel::{max_threads, parallel_chunks_mut, parallel_map, set_max_threads};
 pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};
-pub use resize::{concat_channels, concat_channels_into, upsample_nearest, upsample_nearest_into};
+pub use resize::{
+    batch_slice, concat_batch, concat_channels, concat_channels_into, upsample_nearest,
+    upsample_nearest_into,
+};
 pub use shape::{conv_output_hw, Shape4};
 pub use tensor::{Element, Tensor, TensorError};

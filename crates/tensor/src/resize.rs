@@ -11,6 +11,7 @@ use crate::tensor::{Element, Tensor};
 ///
 /// Panics if `x` is not 4-D or `factor` is zero.
 pub fn upsample_nearest<T: Element>(x: &Tensor<T>, factor: usize) -> Tensor<T> {
+    assert_eq!(x.rank(), 4, "upsample_nearest: input must be NCHW");
     let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
     let mut y = Tensor::<T>::zeros(&[n, c, h * factor, w * factor]);
     upsample_nearest_into(x, factor, y.as_mut_slice());
@@ -55,6 +56,7 @@ pub fn upsample_nearest_into<T: Element>(x: &Tensor<T>, factor: usize, dst: &mut
 /// dimensions disagree.
 pub fn concat_channels<T: Element>(parts: &[&Tensor<T>]) -> Tensor<T> {
     assert!(!parts.is_empty(), "concat_channels: no inputs");
+    assert_eq!(parts[0].rank(), 4, "concat_channels: inputs must be NCHW");
     let (n, h, w) = (parts[0].dims()[0], parts[0].dims()[2], parts[0].dims()[3]);
     let c_total: usize = parts.iter().map(|p| p.dims()[1]).sum();
     let mut y = Tensor::<T>::zeros(&[n, c_total, h, w]);
@@ -93,6 +95,62 @@ pub fn concat_channels_into<T: Element>(parts: &[&Tensor<T>], dst: &mut [T]) {
             c_base += c;
         }
     }
+}
+
+/// Concatenates NCHW tensors along the batch dimension.
+///
+/// All parts must share channels and spatial resolution; the output carries
+/// the summed batch count in part order. Because NCHW is batch-major, each
+/// part is one contiguous `memcpy` — this is the request-coalescing step of
+/// the dynamic batcher (`wino_serve`), which stacks single-image requests
+/// into one batched run.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, any part is not 4-D, or the per-image
+/// `(C, H, W)` dimensions disagree.
+pub fn concat_batch<T: Element>(parts: &[&Tensor<T>]) -> Tensor<T> {
+    assert!(!parts.is_empty(), "concat_batch: no inputs");
+    assert_eq!(parts[0].rank(), 4, "concat_batch: inputs must be NCHW");
+    let (c, h, w) = (parts[0].dims()[1], parts[0].dims()[2], parts[0].dims()[3]);
+    for p in parts {
+        assert_eq!(p.rank(), 4, "concat_batch: inputs must be NCHW");
+        assert_eq!(
+            (p.dims()[1], p.dims()[2], p.dims()[3]),
+            (c, h, w),
+            "concat_batch: per-image shape mismatch"
+        );
+    }
+    let n_total: usize = parts.iter().map(|p| p.dims()[0]).sum();
+    let image = c * h * w;
+    let mut data = Vec::with_capacity(n_total * image);
+    for p in parts {
+        data.extend_from_slice(p.as_slice());
+    }
+    Tensor::from_vec(data, &[n_total, c, h, w]).expect("concat_batch shape")
+}
+
+/// Copies images `[start, start + len)` of an NCHW tensor into a new tensor.
+///
+/// The inverse of [`concat_batch`]: a batched run's output is sliced back
+/// into per-request responses. The slice is one contiguous range, so this is
+/// a single `memcpy`.
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D, `len` is zero, or the range exceeds the batch.
+pub fn batch_slice<T: Element>(x: &Tensor<T>, start: usize, len: usize) -> Tensor<T> {
+    assert_eq!(x.rank(), 4, "batch_slice: input must be NCHW");
+    assert!(len > 0, "batch_slice: empty slice");
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    assert!(
+        start + len <= n,
+        "batch_slice: images [{start}, {}) out of a batch of {n}",
+        start + len
+    );
+    let image = c * h * w;
+    let data = x.as_slice()[start * image..(start + len) * image].to_vec();
+    Tensor::from_vec(data, &[len, c, h, w]).expect("batch_slice shape")
 }
 
 #[cfg(test)]
@@ -135,5 +193,31 @@ mod tests {
         let a = Tensor::<f32>::zeros(&[1, 1, 2, 2]);
         let b = Tensor::<f32>::zeros(&[1, 1, 4, 4]);
         let _ = concat_channels(&[&a, &b]);
+    }
+
+    #[test]
+    fn batch_concat_then_slice_roundtrips() {
+        let a = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let b = Tensor::from_fn(&[2, 2, 2, 2], |i| 100.0 + i as f32);
+        let y = concat_batch(&[&a, &b]);
+        assert_eq!(y.dims(), &[3, 2, 2, 2]);
+        assert_eq!(batch_slice(&y, 0, 1), a);
+        assert_eq!(batch_slice(&y, 1, 2), b);
+        assert_eq!(batch_slice(&y, 2, 1).at4(0, 0, 0, 0), 100.0 + 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-image shape mismatch")]
+    fn batch_concat_rejects_mixed_channels() {
+        let a = Tensor::<f32>::zeros(&[1, 1, 2, 2]);
+        let b = Tensor::<f32>::zeros(&[1, 2, 2, 2]);
+        let _ = concat_batch(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of a batch")]
+    fn batch_slice_rejects_overrun() {
+        let a = Tensor::<f32>::zeros(&[2, 1, 2, 2]);
+        let _ = batch_slice(&a, 1, 2);
     }
 }

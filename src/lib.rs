@@ -7,5 +7,6 @@ pub use accel_sim;
 pub use nvdla_sim;
 pub use wino_core;
 pub use wino_nets;
+pub use wino_serve;
 pub use wino_tensor;
 pub use wino_train;

@@ -1,0 +1,192 @@
+//! The serving layer's end-to-end contract: worker threads sharing one
+//! prepared graph compute exactly the function the sequential path computes,
+//! the dynamic batcher actually coalesces, and calibration is frozen before
+//! any live request can race on it.
+
+use std::sync::Arc;
+use std::time::Duration;
+use winograd_tapwise::wino_core::{GraphExecutor, GraphRunOptions, TileSize, WinogradQuantConfig};
+use winograd_tapwise::wino_nets::resnet20_graph;
+use winograd_tapwise::wino_serve::{BatchPolicy, InferenceServer, ServerConfig};
+use winograd_tapwise::wino_tensor::{normal, Tensor};
+
+fn quantized_pair() -> (
+    Arc<GraphExecutor>,
+    Arc<winograd_tapwise::wino_core::PreparedGraph>,
+) {
+    let graph = resnet20_graph().with_channel_div(4);
+    let exec = Arc::new(GraphExecutor::quantized(WinogradQuantConfig::tapwise_po2(
+        TileSize::F4,
+        10,
+    )));
+    let prepared = Arc::new(exec.prepare(&graph, &GraphRunOptions::default()));
+    (exec, prepared)
+}
+
+fn probe(seed: u64) -> Tensor<f32> {
+    normal(&[1, 1, 32, 32], 0.0, 1.0, seed)
+}
+
+/// The headline concurrency contract: N worker threads sharing one
+/// `Arc<PreparedGraph>` (quantized, so with interior calibration state)
+/// return outputs bit-identical to running the same inputs sequentially.
+#[test]
+fn concurrent_workers_match_the_sequential_path_bitwise() {
+    let (exec, prepared) = quantized_pair();
+    // Freeze calibration first so the sequential reference and the server
+    // share one prepared state.
+    exec.warmup(&prepared);
+    let cases: Vec<(Tensor<f32>, Tensor<f32>)> = (0..24)
+        .map(|i| {
+            let x = probe(1000 + i);
+            let run = exec.run_with_inputs(&prepared, std::slice::from_ref(&x));
+            (x, run.outputs[0].1.clone())
+        })
+        .collect();
+
+    let server = InferenceServer::start(
+        Arc::clone(&exec),
+        Arc::clone(&prepared),
+        ServerConfig {
+            workers: 3,
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+            },
+            warmup: true, // no-op: already calibrated above
+        },
+    );
+    // Hammer the queue from four client threads at once.
+    let handles: Vec<_> = cases
+        .chunks(6)
+        .map(|chunk| {
+            let client = server.client();
+            let chunk = chunk.to_vec();
+            std::thread::spawn(move || {
+                chunk
+                    .into_iter()
+                    .map(|(x, want)| (client.submit(vec![x]), want))
+                    .map(|(pending, want)| (pending.wait(), want))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for h in handles {
+        for (reply, want) in h.join().expect("client thread") {
+            assert_eq!(
+                reply.outputs[0].1, want,
+                "served output differs bitwise from the sequential reference"
+            );
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.requests, 24);
+    assert_eq!(report.images, 24);
+    assert_eq!(report.workers_reported, 3);
+}
+
+/// Starting a server on an uncalibrated quantized graph must calibrate it on
+/// the warmup batch before any worker can take a request.
+#[test]
+fn server_startup_calibrates_before_serving() {
+    let (exec, prepared) = quantized_pair();
+    assert!(!prepared.is_calibrated(), "calibration must start lazy");
+    let server = InferenceServer::start(
+        Arc::clone(&exec),
+        Arc::clone(&prepared),
+        ServerConfig::default(),
+    );
+    assert!(
+        server.prepared().is_calibrated(),
+        "workers started on an uncalibrated graph"
+    );
+    // And the live request path never re-calibrates: the same input twice is
+    // bit-identical even with a loud batch in between.
+    let client = server.client();
+    let x = probe(7);
+    let a = client.infer(vec![x.clone()]);
+    let _ = client.infer(vec![normal(&[1, 1, 32, 32], 0.0, 10.0, 8)]);
+    let b = client.infer(vec![x]);
+    assert_eq!(a.outputs[0].1, b.outputs[0].1, "prepared state mutated");
+    let _ = server.shutdown();
+}
+
+/// A burst of 7 requests against max-batch 4 coalesces into batches of 4+3
+/// once the worker is past its first dispatch.
+#[test]
+fn bursty_load_coalesces_into_dynamic_batches() {
+    let (exec, prepared) = quantized_pair();
+    let server = InferenceServer::start(
+        exec,
+        prepared,
+        ServerConfig {
+            workers: 1,
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(50),
+            },
+            warmup: true,
+        },
+    );
+    let client = server.client();
+    let pending: Vec<_> = (0..7).map(|i| client.submit(vec![probe(i)])).collect();
+    for p in pending {
+        let _ = p.wait();
+    }
+    let report = server.shutdown();
+    assert_eq!(report.images, 7);
+    assert_eq!(report.batch_histogram, vec![(3, 1), (4, 1)], "expected 4+3");
+    assert_eq!(report.max_batch_observed(), 4);
+    assert!(report.mean_batch > 1.0, "dynamic batching never coalesced");
+}
+
+/// A partial batch must not wait forever: the deadline flushes it.
+#[test]
+fn a_lone_request_is_flushed_by_the_deadline() {
+    let (exec, prepared) = quantized_pair();
+    let max_wait = Duration::from_millis(25);
+    let server = InferenceServer::start(
+        exec,
+        prepared,
+        ServerConfig {
+            workers: 1,
+            policy: BatchPolicy {
+                max_batch: 64,
+                max_wait,
+            },
+            warmup: true,
+        },
+    );
+    let client = server.client();
+    let reply = client.infer(vec![probe(3)]);
+    assert_eq!(reply.batch_images, 1);
+    assert!(
+        reply.latency >= max_wait,
+        "partial batch dispatched before its {max_wait:?} deadline ({:?})",
+        reply.latency
+    );
+    let report = server.shutdown();
+    assert_eq!(report.batch_histogram, vec![(1, 1)]);
+    assert!(report.queue_wait.max >= max_wait);
+}
+
+/// Per-request latency accounting covers queue wait plus run time, and the
+/// report's percentiles are ordered.
+#[test]
+fn latency_percentiles_are_ordered_and_positive() {
+    let (exec, prepared) = quantized_pair();
+    let server = InferenceServer::start(exec, prepared, ServerConfig::default());
+    let client = server.client();
+    for i in 0..16 {
+        let _ = client.infer(vec![probe(i)]);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.requests, 16);
+    assert!(report.latency.p50 > Duration::ZERO);
+    assert!(report.latency.p50 <= report.latency.p95);
+    assert!(report.latency.p95 <= report.latency.p99);
+    assert!(report.latency.p99 <= report.latency.max);
+    assert!(report.throughput_rps > 0.0);
+    // The synthesis cache snapshot rode along (warmup synthesized tensors).
+    assert!(report.synth.misses > 0);
+}
