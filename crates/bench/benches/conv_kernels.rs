@@ -5,11 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wino_core::{
-    winograd_conv2d, Engine, IntWinogradConv, Planner, QuantBits, QuantParams, TapwiseScales,
-    TileSize, WinogradMatrices, WinogradQuantConfig,
+    winograd_conv2d, Engine, IntWinogradConv, Planner, PreparedWinogradConv, QuantBits,
+    QuantParams, TapwiseScales, TileSize, WinogradMatrices, WinogradQuantConfig,
 };
 use wino_nets::{ConvLayer, Kernel};
-use wino_tensor::{conv2d_direct, conv2d_im2col, normal, parallel, ConvParams};
+use wino_tensor::{conv2d_direct, conv2d_im2col, normal, parallel, relu_inplace, ConvParams};
 
 fn bench_conv_kernels(c: &mut Criterion) {
     let x = normal(&[1, 16, 32, 32], 0.0, 1.0, 1);
@@ -88,5 +88,64 @@ fn bench_engine_dispatch(c: &mut Criterion) {
     threads.finish();
 }
 
-criterion_group!(benches, bench_conv_kernels, bench_engine_dispatch);
+/// The tap-major batched-GEMM forward passes against the per-tile reference
+/// loops they replaced, on the ResNet-34 layer2 shape (128→128 @ 28×28) —
+/// the headline numbers of the tap-major rewrite.
+fn bench_tap_major(c: &mut Criterion) {
+    let layer = ConvLayer::conv3x3("resnet34.layer2", 128, 128, 28);
+    let (h_in, w_in) = layer.input_hw();
+    let x = normal(&[1, layer.c_in, h_in, w_in], 0.0, 1.0, 21);
+    let w = normal(&[layer.c_out, layer.c_in, 3, 3], 0.0, 0.2, 22);
+
+    let mut group = c.benchmark_group("tap_major_vs_per_tile");
+    group.sample_size(10);
+    let prep = PreparedWinogradConv::prepare(&w, TileSize::F4);
+    group.bench_function("float_f4_tap_major", |b| b.iter(|| prep.forward(&x)));
+    group.bench_function("float_f4_per_tile", |b| {
+        b.iter(|| prep.forward_per_tile(&x))
+    });
+
+    let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
+    let mats = WinogradMatrices::for_tile(TileSize::F4);
+    let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+    let xp = QuantParams::from_max(x.abs_max(), QuantBits::int8()).to_power_of_two();
+    let xq = x.map(|v| xp.quantize(v) as i8);
+    let conv = IntWinogradConv::prepare(&w, &scales, xp, 10.0, cfg);
+    group.bench_function("int_f4_tap_major", |b| b.iter(|| conv.forward(&xq)));
+    group.bench_function("int_f4_per_tile", |b| b.iter(|| conv.forward_per_tile(&xq)));
+    group.finish();
+
+    // Conv + ReLU as one fused epilogue versus a second pass over the
+    // activation (what the graph executor saves per fused node pair).
+    let mut fused = c.benchmark_group("fused_relu");
+    fused.sample_size(10);
+    fused.bench_function("float_f4_fused", |b| {
+        b.iter(|| prep.forward_fused(&x, None, true))
+    });
+    fused.bench_function("float_f4_separate", |b| {
+        b.iter(|| {
+            let mut y = prep.forward(&x);
+            relu_inplace(&mut y);
+            y
+        })
+    });
+    fused.bench_function("int_f4_fused", |b| {
+        b.iter(|| conv.forward_fused(&xq, true).dequantize())
+    });
+    fused.bench_function("int_f4_separate", |b| {
+        b.iter(|| {
+            let mut y = conv.forward(&xq).dequantize();
+            relu_inplace(&mut y);
+            y
+        })
+    });
+    fused.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conv_kernels,
+    bench_engine_dispatch,
+    bench_tap_major
+);
 criterion_main!(benches);

@@ -37,6 +37,15 @@ fn bench_graph_forward(c: &mut Criterion) {
         })
     });
 
+    // The pre-tap-major execution (per-tile kernels, no conv→ReLU fusion):
+    // the end-to-end baseline the tap-major rewrite is measured against.
+    let legacy = GraphExecutor::quantized(cfg).legacy();
+    let legacy_prepared = legacy.prepare(&graph, &opts);
+    let _ = legacy.run(&legacy_prepared);
+    group.bench_function("resnet20_quant_legacy_per_tile", |b| {
+        b.iter(|| legacy.run(&legacy_prepared))
+    });
+
     let unet = unet_graph(32).with_channel_div(8);
     let unet_prepared = float.prepare(&unet, &opts);
     group.bench_function("unet32_float", |b| b.iter(|| float.run(&unet_prepared)));

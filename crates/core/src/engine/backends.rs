@@ -11,7 +11,7 @@ use crate::int_winograd::{IntWinogradConv, WinogradQuantConfig};
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::QuantParams;
 use crate::tapwise::TapwiseScales;
-use crate::winograd::winograd_conv2d;
+use crate::winograd::PreparedWinogradConv;
 use wino_nets::Kernel;
 use wino_tensor::{conv2d_direct, conv2d_im2col, ConvParams, Tensor};
 
@@ -136,11 +136,9 @@ impl ConvBackend for WinogradBackend {
             self.supports(params),
             "winograd backend: unsupported geometry {params:?}"
         );
-        let mut y = winograd_conv2d(x, w, self.tile);
-        if let Some(b) = bias {
-            add_bias(&mut y, b);
-        }
-        y
+        // The bias rides in the tap-major output epilogue instead of a second
+        // pass over the feature map.
+        PreparedWinogradConv::prepare(w, self.tile).forward_fused(x, bias, false)
     }
 }
 

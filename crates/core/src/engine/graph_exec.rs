@@ -83,13 +83,17 @@ struct PreparedConv {
     plan: LayerPlan,
     weights: Arc<Tensor<f32>>,
     state: ConvState,
+    /// Whether this node's sole consumer is a ReLU that the planner fused
+    /// into the conv's output epilogue.
+    fused_relu: bool,
 }
 
 /// A graph planned and weighted once, runnable many times.
 ///
 /// Created by [`GraphExecutor::prepare`]; holds everything that does not
 /// depend on the run's activations (plans, weights, float Winograd weight
-/// transforms, synthesized inputs) plus the lazily-calibrated integer state.
+/// transforms, synthesized inputs, the conv → ReLU fusion decisions) plus the
+/// lazily-calibrated integer state.
 #[derive(Debug)]
 pub struct PreparedGraph {
     graph: Graph,
@@ -97,6 +101,9 @@ pub struct PreparedGraph {
     consumers: Vec<usize>,
     convs: Vec<Option<PreparedConv>>,
     inputs: Vec<Option<Arc<Tensor<f32>>>>,
+    /// For every ReLU node that a conv's fused epilogue already covers, the
+    /// id of that conv; the executor passes such nodes through untouched.
+    fused_from: Vec<Option<usize>>,
     batch: usize,
 }
 
@@ -137,6 +144,46 @@ impl PreparedGraph {
             .flatten()
             .filter(|c| matches!(c.state, ConvState::IntWinograd(_)))
             .count()
+    }
+
+    /// How many conv nodes execute with a ReLU fused into their epilogue.
+    pub fn fused_relu_count(&self) -> usize {
+        self.convs.iter().flatten().filter(|c| c.fused_relu).count()
+    }
+
+    /// Peak per-worker bytes of tap-major Winograd scratch (`V` + `M` panels)
+    /// any conv node of this graph uses, complementing the activation-arena
+    /// peak for memory sizing. Zero when no node runs a Winograd kernel.
+    pub fn scratch_bytes(&self) -> usize {
+        self.graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter_map(|(id, node)| {
+                let pc = self.convs[id].as_ref()?;
+                let tile_t = match &pc.state {
+                    ConvState::FloatWinograd(prep) => prep.tile().input_tile(),
+                    ConvState::IntWinograd(_) => match pc.plan.kernel {
+                        Kernel::WinogradF2 => 4,
+                        _ => 6,
+                    },
+                    _ => return None,
+                };
+                let (_, h, w) = self.shapes[id];
+                let c_in = match &node.op {
+                    GraphOp::Conv(layer) => layer.c_in,
+                    _ => return None,
+                };
+                Some(crate::scratch::tap_scratch_bytes(
+                    c_in,
+                    pc.weights.dims()[0],
+                    tile_t,
+                    h,
+                    w,
+                ))
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether every integer conv node has frozen calibration state.
@@ -375,6 +422,10 @@ pub struct GraphExecutor {
     planner: Planner,
     quant: Option<WinogradQuantConfig>,
     reference: bool,
+    /// Whether conv → ReLU pairs are planned as one fused node.
+    fuse: bool,
+    /// Whether Winograd nodes run the legacy per-tile kernels (benchmarking).
+    per_tile: bool,
     synth: SynthCache,
 }
 
@@ -386,6 +437,8 @@ impl GraphExecutor {
             planner: Planner::default(),
             quant: None,
             reference: false,
+            fuse: true,
+            per_tile: false,
             synth: SynthCache::new(),
         }
     }
@@ -402,6 +455,8 @@ impl GraphExecutor {
             planner: Planner::default(),
             quant: Some(cfg),
             reference: false,
+            fuse: true,
+            per_tile: false,
             synth: SynthCache::new(),
         }
     }
@@ -413,8 +468,29 @@ impl GraphExecutor {
             planner: Planner::default(),
             quant: None,
             reference: true,
+            fuse: true,
+            per_tile: false,
             synth: SynthCache::new(),
         }
+    }
+
+    /// Disables conv → ReLU fusion: every ReLU runs as its own pass over the
+    /// activation. Fused and unfused execution are bitwise identical (pinned
+    /// by the integration tests); this switch exists to measure the fusion
+    /// win and to A/B the planner's decision.
+    pub fn without_fusion(mut self) -> Self {
+        self.fuse = false;
+        self
+    }
+
+    /// Reverts to the pre-tap-major execution: per-tile Winograd kernels and
+    /// no conv → ReLU fusion. A benchmarking aid (`bench_dump`, the
+    /// `graph_forward` criterion group) that quantifies the tap-major rewrite
+    /// end to end; never the right choice for serving.
+    pub fn legacy(mut self) -> Self {
+        self.fuse = false;
+        self.per_tile = true;
+        self
     }
 
     /// The engine backing this executor.
@@ -453,6 +529,19 @@ impl GraphExecutor {
             .unwrap_or_else(|e| panic!("invalid graph {}: {e}", graph.name));
         let consumers = graph.consumer_counts();
         let int_kernel = self.int_kernel();
+        // Fusion decision: conv nodes whose sole consumer is a ReLU absorb it
+        // into their output epilogue; the ReLU node becomes a pass-through.
+        let fusions = if self.fuse {
+            self.planner.fuse_conv_relu(graph)
+        } else {
+            vec![None; graph.nodes().len()]
+        };
+        let mut fused_from: Vec<Option<usize>> = vec![None; graph.nodes().len()];
+        for (conv_id, relu_id) in fusions.iter().enumerate() {
+            if let Some(relu_id) = relu_id {
+                fused_from[*relu_id] = Some(conv_id);
+            }
+        }
         let mut convs: Vec<Option<PreparedConv>> = Vec::with_capacity(graph.nodes().len());
         let mut inputs: Vec<Option<Arc<Tensor<f32>>>> = Vec::with_capacity(graph.nodes().len());
         for (id, node) in graph.nodes().iter().enumerate() {
@@ -498,6 +587,7 @@ impl GraphExecutor {
                         plan,
                         weights,
                         state,
+                        fused_relu: fusions[id].is_some(),
                     })
                 }
                 _ => None,
@@ -509,6 +599,7 @@ impl GraphExecutor {
             consumers,
             convs,
             inputs,
+            fused_from,
             batch: opts.batch,
         }
     }
@@ -659,7 +750,17 @@ impl GraphExecutor {
                 }
                 GraphOp::Relu => {
                     let src = node.inputs[0];
-                    if refs[src] == 1 {
+                    if prepared.fused_from[id].is_some() {
+                        // Already applied inside the producing conv's fused
+                        // epilogue: pass the tensor through untouched. The
+                        // fusion condition guarantees this ReLU is the sole
+                        // consumer.
+                        backend = Some("fused");
+                        refs[src] = 0;
+                        let t = values[src].take().expect("producer ran");
+                        arena.transfer(t.len());
+                        t
+                    } else if refs[src] == 1 {
                         // Sole consumer: steal the tensor and rectify in
                         // place — no allocation, no copy.
                         refs[src] = 0;
@@ -772,18 +873,37 @@ impl GraphExecutor {
         }
     }
 
-    /// Executes one conv node through its prepared state.
+    /// Executes one conv node through its prepared state, applying the fused
+    /// ReLU epilogue when the planner absorbed the node's trailing ReLU.
     fn run_conv(&self, pc: &PreparedConv, x: &Tensor<f32>) -> (Tensor<f32>, &'static str) {
         let params = pc.plan.params;
+        let relu = pc.fused_relu;
         match &pc.state {
-            ConvState::Direct => (conv2d_direct(x, &pc.weights, None, params), "direct"),
+            ConvState::Direct => {
+                let mut y = conv2d_direct(x, &pc.weights, None, params);
+                if relu {
+                    relu_inplace(&mut y);
+                }
+                (y, "direct")
+            }
             ConvState::FloatWinograd(prep) => {
                 let name = match prep.tile() {
                     TileSize::F2 => "winograd-f2",
                     TileSize::F4 => "winograd-f4",
                     TileSize::F6 => "winograd-f6",
                 };
-                (prep.forward(x), name)
+                if self.per_tile {
+                    // Legacy benchmarking mode. A `legacy()` executor plans
+                    // without fusion, but the prepared graph may come from a
+                    // fusing executor — honour its fused ReLU either way.
+                    let mut y = prep.forward_per_tile(x);
+                    if relu {
+                        relu_inplace(&mut y);
+                    }
+                    (y, name)
+                } else {
+                    (prep.forward_fused(x, None, relu), name)
+                }
             }
             ConvState::IntWinograd(cell) => {
                 let cfg = self.quant.expect("int state implies quant config");
@@ -810,7 +930,18 @@ impl GraphExecutor {
                     }
                 });
                 let xq = crate::quant::quantize_to_i8(x, st.input);
-                (st.conv.forward(&xq).dequantize(), "int-winograd-tapwise")
+                let out = if self.per_tile {
+                    // As on the float path: honour a fused ReLU baked into
+                    // the prepared graph even in legacy mode.
+                    let mut out = st.conv.forward_per_tile(&xq);
+                    if relu {
+                        out.codes = out.codes.map(|c| c.max(0));
+                    }
+                    out
+                } else {
+                    st.conv.forward_fused(&xq, relu)
+                };
+                (out.dequantize(), "int-winograd-tapwise")
             }
             ConvState::Engine => {
                 let backend = self
@@ -818,7 +949,11 @@ impl GraphExecutor {
                     .backend_for(pc.plan.kernel, params)
                     .or_else(|| self.engine.backend_for(Kernel::Im2col, params))
                     .expect("engine has no backend for this node");
-                (backend.conv2d(x, &pc.weights, None, params), backend.name())
+                let mut y = backend.conv2d(x, &pc.weights, None, params);
+                if relu {
+                    relu_inplace(&mut y);
+                }
+                (y, backend.name())
             }
         }
     }

@@ -12,7 +12,7 @@
 //! `engine_dispatch` integration test pins down.
 
 use serde::{Deserialize, Serialize};
-use wino_nets::{ConvLayer, Kernel, KernelChoice, Network};
+use wino_nets::{ConvLayer, Graph, GraphOp, Kernel, KernelChoice, Network};
 use wino_tensor::ConvParams;
 
 /// Relative cost of transforming one Winograd-domain element versus one MAC.
@@ -149,6 +149,33 @@ impl Planner {
         }
     }
 
+    /// Decides conv → ReLU fusion over a graph: for every node id the result
+    /// holds `Some(relu_id)` when that node is a convolution whose output is
+    /// consumed by exactly one node and that consumer is a ReLU, `None`
+    /// otherwise.
+    ///
+    /// Fusing is always profitable under that condition — the ReLU runs
+    /// in-register inside the conv's output epilogue instead of as a second
+    /// pass over the activation — and it is exact: `max(0, ·)` commutes with
+    /// nothing the epilogue reorders (float path) and with the positive
+    /// output scale (integer path), so fused and separate execution are
+    /// bitwise identical. A conv with more than one consumer must keep its
+    /// pre-activation output live and is never fused.
+    pub fn fuse_conv_relu(&self, graph: &Graph) -> Vec<Option<usize>> {
+        let nodes = graph.nodes();
+        let consumers = graph.consumer_counts();
+        let mut fused = vec![None; nodes.len()];
+        for (id, node) in nodes.iter().enumerate() {
+            if matches!(node.op, GraphOp::Relu) {
+                let src = node.inputs[0];
+                if consumers[src] == 1 && matches!(nodes[src].op, GraphOp::Conv(_)) {
+                    fused[src] = Some(id);
+                }
+            }
+        }
+        fused
+    }
+
     /// Plans a whole network.
     pub fn plan(&self, network: &Network) -> ExecutionPlan {
         ExecutionPlan {
@@ -203,6 +230,26 @@ mod tests {
         let plan = planner.plan(&resnet34());
         assert!(plan.layers.iter().all(|l| l.kernel == Kernel::Im2col));
         assert!((plan.modelled_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fusion_covers_sole_consumer_relus_only() {
+        use wino_nets::GraphBuilder;
+        let mut g = GraphBuilder::new("fuse-test", 8);
+        let x = g.input("in", 4, 8, 8);
+        // Fusable: conv whose only consumer is the relu.
+        let c1 = g.conv(ConvLayer::conv3x3("c1", 4, 4, 8), x);
+        let r1 = g.relu("r1", c1);
+        // Not fusable: conv feeding both a relu and a residual add.
+        let c2 = g.conv(ConvLayer::conv3x3("c2", 4, 4, 8), r1);
+        let r2 = g.relu("r2", c2);
+        let a = g.add("res", vec![c2, r2]);
+        g.output("out", a);
+        let graph = g.finish();
+        let fused = Planner::default().fuse_conv_relu(&graph);
+        assert_eq!(fused[c1], Some(r1), "sole-consumer relu must fuse");
+        assert_eq!(fused[c2], None, "multi-consumer conv must not fuse");
+        assert!(fused[r1].is_none() && fused[x].is_none());
     }
 
     #[test]

@@ -16,11 +16,16 @@
 
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::{QuantBits, QuantParams};
+use crate::scratch::{strip_group_len, with_tap_scratch};
 use crate::tapwise::{ScaleMode, TapwiseScales};
 use crate::transform::{weight_transform, TileGrid};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use wino_tensor::{parallel_map, Tensor};
+use wino_tensor::{gemm_i16_i32_into, parallel_map, split_ranges, Tensor};
+
+/// Largest input-tile area on the integer path (F4: `t = 6`), sizing the
+/// fixed per-tap scale table.
+const INT_MAX_TT: usize = 36;
 
 /// Process-wide count of [`IntWinogradConv::prepare`] invocations.
 static PREPARE_CALLS: AtomicUsize = AtomicUsize::new(0);
@@ -111,6 +116,9 @@ pub struct IntWinogradConv {
     c_in: usize,
     /// Quantized Winograd-domain weights, `[C_out, C_in, t, t]` codes.
     wq: Tensor<i32>,
+    /// The same codes in the tap-major GEMM layout `[tap][co][ci]` (`i16` is
+    /// exact: Winograd-domain bit-widths are at most 16).
+    wq_tap: Vec<i16>,
     /// Tap-wise scales of the quantized weights.
     weight_scales: Tensor<f32>,
     /// Tap-wise scales applied to the *integer* transformed input
@@ -156,8 +164,10 @@ impl IntWinogradConv {
         let t = mats.input_tile();
         let (c_out, c_in) = (weights.dims()[0], weights.dims()[1]);
 
-        // Offline weight transformation + tap-wise quantization.
+        // Offline weight transformation + tap-wise quantization, kept in both
+        // the per-tile `[co][ci][tap]` layout and the tap-major GEMM layout.
         let mut wq = Tensor::<i32>::zeros(&[c_out, c_in, t, t]);
+        let mut wq_tap = vec![0_i16; t * t * c_out * c_in];
         for co in 0..c_out {
             for ci in 0..c_in {
                 let mut k = Tensor::<f32>::zeros(&[3, 3]);
@@ -171,6 +181,7 @@ impl IntWinogradConv {
                 for r in 0..t {
                     for c in 0..t {
                         wq.set(&[co, ci, r, c], q.at2(r, c));
+                        wq_tap[((r * t + c) * c_out + co) * c_in + ci] = q.at2(r, c) as i16;
                     }
                 }
             }
@@ -199,6 +210,7 @@ impl IntWinogradConv {
             c_out,
             c_in,
             wq,
+            wq_tap,
             weight_scales: scales.weight.scales().clone(),
             input_tap_scales,
             input_scale: input_params.scale,
@@ -218,10 +230,298 @@ impl IntWinogradConv {
 
     /// Runs integer-only inference on an int8 NCHW input.
     ///
+    /// The tap-major pipeline: tiles of a strip group are transformed and
+    /// requantized into a `V[tap][c_in][tile]` panel of `i16` codes, each tap
+    /// runs one `i16 × i16 → i32` GEMM against the tap-major weights (the
+    /// Cube Unit's batched MatMul), and the accumulators are rescaled and
+    /// back-transformed per tile. Bit-identical to
+    /// [`IntWinogradConv::forward_per_tile`] (integer accumulation is exact
+    /// under reordering and the float epilogue is evaluated in the same
+    /// order).
+    ///
     /// # Panics
     ///
     /// Panics if the channel count differs from the prepared weights.
     pub fn forward(&self, x: &Tensor<i8>) -> IntWinogradOutput {
+        self.forward_fused(x, false)
+    }
+
+    /// [`IntWinogradConv::forward`] with an optional ReLU fused into the
+    /// output epilogue: negative output codes are clamped to zero before they
+    /// are stored, which is exactly `relu(dequantize(codes))` because the
+    /// output scale is positive. The graph executor uses this to run a
+    /// `conv → relu` pair as one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count differs from the prepared weights.
+    pub fn forward_fused(&self, x: &Tensor<i8>, relu: bool) -> IntWinogradOutput {
+        if !self.tap_major_is_exact() {
+            // i32 tap accumulators could overflow at this bit-width × channel
+            // count; run the i64-accumulating per-tile path instead.
+            let mut out = self.forward_per_tile(x);
+            if relu {
+                out.codes = out.codes.map(|c| c.max(0));
+            }
+            return out;
+        }
+        assert_eq!(x.rank(), 4, "input must be NCHW");
+        assert_eq!(x.dims()[1], self.c_in, "channel mismatch");
+        let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+        let m = self.mats.output_tile();
+        let t = self.mats.input_tile();
+        let tt = t * t;
+        let grid = TileGrid::new(h, w, m, 1);
+
+        // Integer B^T / A^T (exact for F2/F4).
+        let bt_i: Vec<i32> = self.mats.bt.as_slice().iter().map(|&v| v as i32).collect();
+        let at_i: Vec<i32> = self.mats.at.as_slice().iter().map(|&v| v as i32).collect();
+        let (wino_lo, wino_hi) = (
+            self.cfg.wino_bits.min_value(),
+            self.cfg.wino_bits.max_value(),
+        );
+        // Per-tap rescale S_BG, hoisted with the exact expression of the
+        // per-tile path so the epilogue stays bit-identical.
+        let mut sbg = [0.0_f32; INT_MAX_TT];
+        for r in 0..t {
+            for c in 0..t {
+                sbg[r * t + c] = self.input_scale
+                    * self.input_tap_scales.at2(r, c)
+                    * self.weight_scales.at2(r, c);
+            }
+        }
+
+        let strips = n * grid.tiles_h;
+        let group = strip_group_len(grid.tiles_w, self.c_in, self.c_out, tt);
+        let ranges = split_ranges(strips, group);
+        let (bt_ref, at_ref) = (&bt_i, &at_i);
+        let bufs = parallel_map(ranges.len(), |gi| {
+            let range = ranges[gi].clone();
+            let ntiles = range.len() * grid.tiles_w;
+            let buf_len: usize = range
+                .clone()
+                .map(|s| self.c_out * m.min(h - (s % grid.tiles_h) * m) * w)
+                .sum();
+            let mut buf = vec![0_i8; buf_len];
+            with_tap_scratch(|scr| {
+                let (v, mm, da, db, ea, eb) = scr.int_panels(
+                    tt * self.c_in * ntiles,
+                    tt * self.c_out * ntiles,
+                    tt * ntiles,
+                );
+                let x_s = x.as_slice();
+
+                // --- gather: integer transform (SoA over tile lanes) +
+                //     tap-wise requantization into V[tap][c_in][tile] ---
+                for ci in 0..self.c_in {
+                    // Extract this channel's tiles into SoA lanes with zero
+                    // padding: da[(dy·t + dx)·ntiles + tile].
+                    da.fill(0);
+                    for (si, s) in range.clone().enumerate() {
+                        let ni = s / grid.tiles_h;
+                        let ty = s % grid.tiles_h;
+                        let y0 = (ty * m) as isize - 1;
+                        let plane = (ni * self.c_in + ci) * h * w;
+                        for dy in 0..t {
+                            let iy = y0 + dy as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let row = plane + iy as usize * w;
+                            for tx in 0..grid.tiles_w {
+                                let tile_idx = si * grid.tiles_w + tx;
+                                let x0 = (tx * m) as isize - 1;
+                                for dx in 0..t {
+                                    let ix = x0 + dx as isize;
+                                    if ix >= 0 && ix < w as isize {
+                                        da[(dy * t + dx) * ntiles + tile_idx] =
+                                            i32::from(x_s[row + ix as usize]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Stage 1: db[r][c] = Σ_k Bᵀ[r,k] · da[k][c]. `i32` is
+                    // exact: |d| < 2¹⁵ and the F2/F4 Bᵀ entries are tiny.
+                    for r in 0..t {
+                        for c in 0..t {
+                            let dst = &mut db[(r * t + c) * ntiles..(r * t + c + 1) * ntiles];
+                            dst.fill(0);
+                            for k in 0..t {
+                                let coeff = bt_ref[r * t + k];
+                                if coeff != 0 {
+                                    let src = &da[(k * t + c) * ntiles..(k * t + c + 1) * ntiles];
+                                    for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
+                                        *d2 += coeff * s2;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Stage 2 + requantization: the tap's code row.
+                    for r in 0..t {
+                        for c in 0..t {
+                            let dst = &mut da[(r * t + c) * ntiles..(r * t + c + 1) * ntiles];
+                            dst.fill(0);
+                            for k in 0..t {
+                                let coeff = bt_ref[c * t + k];
+                                if coeff != 0 {
+                                    let src = &db[(r * t + k) * ntiles..(r * t + k + 1) * ntiles];
+                                    for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
+                                        *d2 += coeff * s2;
+                                    }
+                                }
+                            }
+                            let sc = self.input_tap_scales.at2(r, c);
+                            let out = &mut v[((r * t + c) * self.c_in + ci) * ntiles
+                                ..((r * t + c) * self.c_in + ci + 1) * ntiles];
+                            for (o, &s2) in out.iter_mut().zip(dst.iter()) {
+                                let q = ((s2 as f32) / sc).round() as i32;
+                                *o = q.clamp(wino_lo, wino_hi) as i16;
+                            }
+                        }
+                    }
+                }
+
+                // --- one integer GEMM per tap (the batched MatMul) ---
+                for tap in 0..tt {
+                    gemm_i16_i32_into(
+                        &mut mm[tap * self.c_out * ntiles..(tap + 1) * self.c_out * ntiles],
+                        &self.wq_tap
+                            [tap * self.c_out * self.c_in..(tap + 1) * self.c_out * self.c_in],
+                        &v[tap * self.c_in * ntiles..(tap + 1) * self.c_in * ntiles],
+                        self.c_out,
+                        self.c_in,
+                        ntiles,
+                    );
+                }
+
+                // --- per-tap rescale, back-transformation (SoA), epilogue ---
+                let strip_offs: Vec<usize> = range
+                    .clone()
+                    .scan(0usize, |off, s| {
+                        let cur = *off;
+                        *off += self.c_out * m.min(h - (s % grid.tiles_h) * m) * w;
+                        Some(cur)
+                    })
+                    .collect();
+                for co in 0..self.c_out {
+                    // ea[tap] = M[tap][co] · S_BG[tap] (float, per lane).
+                    for tap in 0..tt {
+                        let src = &mm[(tap * self.c_out + co) * ntiles
+                            ..(tap * self.c_out + co + 1) * ntiles];
+                        let dst = &mut ea[tap * ntiles..(tap + 1) * ntiles];
+                        for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
+                            *d2 = s2 as f32 * sbg[tap];
+                        }
+                    }
+                    // Stage 1: eb[r][c] = Σ_k Aᵀ[r,k] · ea[k·t+c], r < m.
+                    for r in 0..m {
+                        for c in 0..t {
+                            let dst = &mut eb[(r * t + c) * ntiles..(r * t + c + 1) * ntiles];
+                            dst.fill(0.0);
+                            for k in 0..t {
+                                let coeff = at_ref[r * t + k];
+                                if coeff != 0 {
+                                    let cf = coeff as f32;
+                                    let src = &ea[(k * t + c) * ntiles..(k * t + c + 1) * ntiles];
+                                    for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
+                                        *d2 += cf * s2;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Stage 2: ea[r·m+c] = Σ_k eb[r·t+k] · Aᵀ[c,k].
+                    for r in 0..m {
+                        for c in 0..m {
+                            let dst = &mut ea[(r * m + c) * ntiles..(r * m + c + 1) * ntiles];
+                            dst.fill(0.0);
+                            for k in 0..t {
+                                let coeff = at_ref[c * t + k];
+                                if coeff != 0 {
+                                    let cf = coeff as f32;
+                                    let src = &eb[(r * t + k) * ntiles..(r * t + k + 1) * ntiles];
+                                    for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
+                                        *d2 += cf * s2;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Quantize + fused ReLU + scatter into the strip rows.
+                    for (si, s) in range.clone().enumerate() {
+                        let ty = s % grid.tiles_h;
+                        let strip_h = m.min(h - ty * m);
+                        let base = strip_offs[si] + co * strip_h * w;
+                        for tx in 0..grid.tiles_w {
+                            let tile_idx = si * grid.tiles_w + tx;
+                            let cols = m.min(w - tx * m);
+                            for r in 0..strip_h {
+                                let row = base + r * w + tx * m;
+                                for c in 0..cols {
+                                    let val = ea[(r * m + c) * ntiles + tile_idx];
+                                    let mut code = self.output_params.quantize(val) as i8;
+                                    if relu {
+                                        code = code.max(0);
+                                    }
+                                    buf[row + c] = code;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+            buf
+        });
+
+        let mut y = Tensor::<i8>::zeros(&[n, self.c_out, h, w]);
+        let y_s = y.as_mut_slice();
+        for (range, buf) in ranges.iter().zip(bufs.iter()) {
+            let mut off = 0usize;
+            for s in range.clone() {
+                let ni = s / grid.tiles_h;
+                let ty = s % grid.tiles_h;
+                let strip_h = m.min(h - ty * m);
+                for co in 0..self.c_out {
+                    for dy in 0..strip_h {
+                        let oy = ty * m + dy;
+                        let dst = ((ni * self.c_out + co) * h + oy) * w;
+                        let src = off + (co * strip_h + dy) * w;
+                        y_s[dst..dst + w].copy_from_slice(&buf[src..src + w]);
+                    }
+                }
+                off += self.c_out * strip_h * w;
+            }
+        }
+        IntWinogradOutput {
+            codes: y,
+            scale: self.output_params.scale,
+        }
+    }
+
+    /// Whether the tap-major `i32` accumulators are provably exact: the worst
+    /// case `C_in · 2^(2·(wino_bits − 1))` must stay inside `i32`. True for
+    /// every configuration the paper uses (8–10 bits); exotic calibrations
+    /// beyond that fall back to the `i64`-accumulating per-tile path.
+    fn tap_major_is_exact(&self) -> bool {
+        let wb = u32::from(self.cfg.wino_bits.bits());
+        (self.c_in as i64) << (2 * wb - 2) <= i64::from(i32::MAX)
+    }
+
+    /// The original per-tile integer forward pass (scalar elementwise
+    /// multiply–accumulate per tile, `i64` accumulators).
+    ///
+    /// Kept as the numerical reference: [`IntWinogradConv::forward`] must be
+    /// bit-identical to this path (pinned by the equivalence tests), and the
+    /// `tap_major_vs_per_tile` bench group measures one against the other.
+    /// Also the fallback when [`IntWinogradConv::forward`] cannot prove its
+    /// `i32` accumulators exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count differs from the prepared weights.
+    pub fn forward_per_tile(&self, x: &Tensor<i8>) -> IntWinogradOutput {
         assert_eq!(x.rank(), 4, "input must be NCHW");
         assert_eq!(x.dims()[1], self.c_in, "channel mismatch");
         let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
@@ -421,6 +721,38 @@ mod tests {
             y10.relative_error(&reference) < y8.relative_error(&reference),
             "int8/10 should reduce the error"
         );
+    }
+
+    #[test]
+    fn tap_major_forward_is_bit_identical_to_per_tile() {
+        let x = normal(&[2, 5, 13, 9], 0.0, 1.0, 210);
+        let w = normal(&[7, 5, 3, 3], 0.0, 0.3, 211);
+        for tile in [TileSize::F2, TileSize::F4] {
+            for bits in [8u8, 10u8] {
+                let cfg = WinogradQuantConfig::tapwise_po2(tile, bits);
+                let mats = WinogradMatrices::for_tile(tile);
+                let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+                let (xq, xp) = quantize_input(&x, cfg.spatial_bits);
+                let conv = IntWinogradConv::prepare(&w, &scales, xp, 8.0, cfg);
+                let fast = conv.forward(&xq);
+                let slow = conv.forward_per_tile(&xq);
+                assert_eq!(fast, slow, "{tile}/int{bits}: tap-major codes drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_relu_equals_relu_on_dequantized_output() {
+        let x = normal(&[1, 4, 12, 12], 0.0, 1.0, 220);
+        let w = normal(&[6, 4, 3, 3], 0.0, 0.3, 221);
+        let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
+        let mats = WinogradMatrices::for_tile(TileSize::F4);
+        let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+        let (xq, xp) = quantize_input(&x, cfg.spatial_bits);
+        let conv = IntWinogradConv::prepare(&w, &scales, xp, 8.0, cfg);
+        let fused = conv.forward_fused(&xq, true).dequantize();
+        let separate = conv.forward(&xq).dequantize().map(|v| v.max(0.0));
+        assert_eq!(fused, separate, "fused ReLU must be bitwise identical");
     }
 
     #[test]

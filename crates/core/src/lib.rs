@@ -45,6 +45,7 @@ pub mod int_winograd;
 pub mod matrices;
 pub mod pinv;
 pub mod quant;
+pub mod scratch;
 pub mod tapwise;
 pub mod transform;
 pub mod winograd;
@@ -66,6 +67,7 @@ pub use int_winograd::{
 pub use matrices::{TileSize, WinogradMatrices};
 pub use pinv::pseudo_inverse;
 pub use quant::{dequantize, quantize_symmetric, QuantBits, QuantParams};
+pub use scratch::tap_scratch_bytes;
 pub use tapwise::{ScaleMode, TapScaleMatrix, TapwiseScales};
 pub use transform::{input_transform, output_transform, weight_transform};
 pub use winograd::{winograd_conv2d, winograd_conv2d_fake_quant, PreparedWinogradConv};

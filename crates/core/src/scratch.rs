@@ -1,0 +1,176 @@
+//! Thread-local scratch for the tap-major Winograd pipelines.
+//!
+//! The tap-major forward passes ([`crate::winograd`], [`crate::int_winograd`])
+//! stage every tile of a strip group in a `V[tap][c_in][tile]` layout and run
+//! one GEMM per tap into an `M[tap][c_out][tile]` buffer. Those buffers are
+//! sized per strip group (bounded by [`GROUP_SCRATCH_BUDGET`]) and are needed
+//! again for the very next group and the very next conv node, so they are
+//! parked per thread instead of being reallocated: on a single-CPU host the
+//! parallel helpers run inline on the caller thread and every conv node of a
+//! graph run reuses one warm allocation; on multi-core hosts each scoped
+//! worker pays one allocation per `parallel_map` call at most.
+
+use std::cell::RefCell;
+
+/// Soft cap on the bytes of tap-major scratch (`V` plus `M`) per strip group,
+/// chosen so both panels stay cache-resident while the per-tap GEMMs sweep
+/// them and the GEMM `N` dimension (tiles per group) stays wide enough for
+/// full microkernel blocks.
+pub(crate) const GROUP_SCRATCH_BUDGET: usize = 2 << 20;
+
+/// Grows `v` to at least `len` elements and returns the `len`-prefix.
+fn grown<T: Copy + Default>(v: &mut Vec<T>, len: usize) -> &mut [T] {
+    if v.len() < len {
+        v.resize(len, T::default());
+    }
+    &mut v[..len]
+}
+
+/// The reusable tap-major buffers of one thread.
+#[derive(Debug, Default)]
+pub(crate) struct TapScratch {
+    /// Float transformed-input panel `V[tap][c_in][tile]`.
+    v_f: Vec<f32>,
+    /// Float per-tap GEMM output panel `M[tap][c_out][tile]`.
+    m_f: Vec<f32>,
+    /// Float transform staging, SoA over tiles (`[t² rows][tile lanes]`).
+    aux_a_f: Vec<f32>,
+    /// Second float staging buffer (the two-stage congruence ping-pongs).
+    aux_b_f: Vec<f32>,
+    /// Integer requantized-code panel `V[tap][c_in][tile]`.
+    v_i: Vec<i16>,
+    /// Integer per-tap accumulator panel `M[tap][c_out][tile]`.
+    m_i: Vec<i32>,
+    /// Integer transform staging, SoA over tiles.
+    aux_a_i: Vec<i32>,
+    /// Second integer staging buffer.
+    aux_b_i: Vec<i32>,
+}
+
+impl TapScratch {
+    /// The float-path buffers, grown (never shrunk) to the requested element
+    /// counts: the `V` panel, the `M` panel and the two SoA staging buffers
+    /// (each `aux_len`).
+    pub fn float_panels(
+        &mut self,
+        v_len: usize,
+        m_len: usize,
+        aux_len: usize,
+    ) -> (&mut [f32], &mut [f32], &mut [f32], &mut [f32]) {
+        (
+            grown(&mut self.v_f, v_len),
+            grown(&mut self.m_f, m_len),
+            grown(&mut self.aux_a_f, aux_len),
+            grown(&mut self.aux_b_f, aux_len),
+        )
+    }
+
+    /// The integer-path buffers, grown (never shrunk) to the requested
+    /// element counts: the `i16` code panel, the `i32` accumulator panel, two
+    /// integer SoA staging buffers and two float staging buffers for the
+    /// rescale + back-transformation epilogue.
+    #[allow(clippy::type_complexity)]
+    pub fn int_panels(
+        &mut self,
+        v_len: usize,
+        m_len: usize,
+        aux_len: usize,
+    ) -> (
+        &mut [i16],
+        &mut [i32],
+        &mut [i32],
+        &mut [i32],
+        &mut [f32],
+        &mut [f32],
+    ) {
+        (
+            grown(&mut self.v_i, v_len),
+            grown(&mut self.m_i, m_len),
+            grown(&mut self.aux_a_i, aux_len),
+            grown(&mut self.aux_b_i, aux_len),
+            grown(&mut self.aux_a_f, aux_len),
+            grown(&mut self.aux_b_f, aux_len),
+        )
+    }
+}
+
+thread_local! {
+    static TAP_SCRATCH: RefCell<TapScratch> = RefCell::new(TapScratch::default());
+}
+
+/// Runs `f` with this thread's tap-major scratch.
+///
+/// Not reentrant: `f` must not call back into a tap-major forward pass (the
+/// GEMM kernels it invokes do not).
+pub(crate) fn with_tap_scratch<R>(f: impl FnOnce(&mut TapScratch) -> R) -> R {
+    TAP_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// How many strips (tile rows) one tap-major work item covers for a layer
+/// with `tiles_w` tile columns and the given channel counts, such that the
+/// `V` + `M` panels fit [`GROUP_SCRATCH_BUDGET`] (always at least one strip).
+pub(crate) fn strip_group_len(tiles_w: usize, c_in: usize, c_out: usize, tt: usize) -> usize {
+    let bytes_per_tile = (c_in + c_out) * tt * std::mem::size_of::<f32>();
+    let max_tiles = (GROUP_SCRATCH_BUDGET / bytes_per_tile.max(1)).max(tiles_w);
+    (max_tiles / tiles_w).max(1)
+}
+
+/// The peak tap-major scratch bytes (`V` + `M` panels) a forward pass of the
+/// given geometry uses per worker thread. This is what
+/// `PreparedGraph::scratch_bytes` reports so deployments can size memory for
+/// the executor beyond the activation arena.
+pub fn tap_scratch_bytes(c_in: usize, c_out: usize, tile_t: usize, h: usize, w: usize) -> usize {
+    let tt = tile_t * tile_t;
+    let m = tile_t - 2;
+    let tiles_w = w.div_ceil(m);
+    let tiles_h = h.div_ceil(m);
+    let group = strip_group_len(tiles_w, c_in, c_out, tt).min(tiles_h);
+    let ntiles = group * tiles_w;
+    (c_in + c_out) * tt * ntiles * std::mem::size_of::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_len_respects_budget_and_floor() {
+        // Tiny layer: whole image fits the budget in one group.
+        assert!(strip_group_len(2, 4, 4, 36) >= 1);
+        // Huge channels: the floor of one strip still holds.
+        assert_eq!(strip_group_len(64, 4096, 4096, 36), 1);
+        // ResNet-34 layer2 (28×28, 128→128, F4): a group of several strips
+        // stays under the budget.
+        let g = strip_group_len(7, 128, 128, 36);
+        assert!(g >= 2, "expected multi-strip groups, got {g}");
+        assert!((128 + 128) * 36 * g * 7 * 4 <= GROUP_SCRATCH_BUDGET);
+    }
+
+    #[test]
+    fn scratch_bytes_are_positive_and_budget_bounded() {
+        let b = tap_scratch_bytes(128, 128, 6, 28, 28);
+        assert!(b > 0);
+        // One tile row can exceed the soft budget only on degenerate
+        // geometries; this one must respect it.
+        assert!(b <= GROUP_SCRATCH_BUDGET, "{b}");
+    }
+
+    #[test]
+    fn panels_grow_and_are_reused() {
+        let mut s = TapScratch::default();
+        {
+            let (v, m, a, b) = s.float_panels(16, 8, 4);
+            assert_eq!((v.len(), m.len(), a.len(), b.len()), (16, 8, 4, 4));
+            v[0] = 1.0;
+        }
+        let cap = s.v_f.capacity();
+        let (v, _, _, _) = s.float_panels(8, 4, 2);
+        assert_eq!(v.len(), 8);
+        assert_eq!(s.v_f.capacity(), cap, "shrink must not reallocate");
+        let (vi, mi, ai, bi, af, bf) = s.int_panels(10, 10, 6);
+        assert_eq!(
+            (vi.len(), mi.len(), ai.len(), bi.len(), af.len(), bf.len()),
+            (10, 10, 6, 6, 6, 6)
+        );
+    }
+}

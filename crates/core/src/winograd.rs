@@ -6,13 +6,36 @@
 //! quantized pipeline in floating point (quantize–dequantize at every place the
 //! paper's integer datapath quantizes), which is what Winograd-aware training
 //! needs.
+//!
+//! # Tap-major execution
+//!
+//! The forward pass mirrors the accelerator's batched-MatMul formulation
+//! (Section IV-A): instead of accumulating each tile across channels one
+//! scalar at a time, a group of tile-row strips is gathered into a tap-major
+//! panel `V[tap][c_in][tile]`, each of the `t²` taps runs one dense GEMM
+//! `U[tap] · V[tap]` (`[C_out × C_in] · [C_in × tiles]`, the Cube Unit's
+//! batched MatMul), and the resulting `M[tap][c_out][tile]` panel is scattered
+//! through the output transformation with an epilogue that can fuse a bias add
+//! and a ReLU in-register ([`PreparedWinogradConv::forward_fused`]). The
+//! original per-tile loop survives as
+//! [`PreparedWinogradConv::forward_per_tile`] — the reference the tap-major
+//! path is benchmarked and equivalence-tested against.
 
 use crate::int_winograd::WinogradQuantConfig;
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::QuantParams;
+use crate::scratch::{strip_group_len, with_tap_scratch};
 use crate::tapwise::{TapScaleMatrix, TapwiseScales};
 use crate::transform::{congruence_into, TileGrid};
-use wino_tensor::{parallel_map, Tensor};
+use wino_tensor::{gemm_f32_into, parallel_map, split_ranges, Tensor};
+
+/// Below this many total tiles per call the float path keeps the per-tile
+/// kernel: the per-tap GEMM's `N` dimension equals the tile count, and a
+/// handful of tiles cannot fill the microkernel lanes (e.g. a 7×7 / F4 layer
+/// has 4 tiles per image), so the batched formulation loses to the scalar
+/// loop it replaces. Batched inputs raise the tile count and flip back to
+/// tap-major automatically.
+const MIN_TAP_MAJOR_TILES: usize = 8;
 
 /// Tap-wise fake quantization of a flat `t×t` Winograd-domain tile, matching
 /// [`TapScaleMatrix::fake_quantize_tile`] without the tensor round trip.
@@ -55,7 +78,32 @@ fn winograd_conv2d_with(
     assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
     let c_out = w.dims()[0];
     let u = transform_weights_flat(w, mats, scales.map(|s| &s.weight));
-    winograd_forward_flat(x, &u, c_out, mats, scales.map(|s| &s.input), spatial_input)
+    if total_tiles(x, mats.output_tile()) < MIN_TAP_MAJOR_TILES {
+        return winograd_forward_flat_per_tile(
+            x,
+            &u,
+            c_out,
+            mats,
+            scales.map(|s| &s.input),
+            spatial_input,
+        );
+    }
+    let u_tap = tap_major_weights(&u, c_out, w.dims()[1], mats.input_tile());
+    winograd_forward_tap_major(
+        x,
+        &u_tap,
+        c_out,
+        mats,
+        scales.map(|s| &s.input),
+        spatial_input,
+        None,
+        false,
+    )
+}
+
+/// Total Winograd tiles of one forward call (all images of the batch).
+fn total_tiles(x: &Tensor<f32>, m: usize) -> usize {
+    x.dims()[0] * x.dims()[2].div_ceil(m) * x.dims()[3].div_ceil(m)
 }
 
 /// Pre-transforms all OIHW 3×3 weights into one flat Winograd-domain buffer:
@@ -98,8 +146,292 @@ fn transform_weights_flat(
     u
 }
 
-/// The Winograd forward pass over pre-transformed flat weights `u`.
-fn winograd_forward_flat(
+/// Transposes flat `U[co][ci][tap]` weights into the tap-major GEMM layout
+/// `U[tap][co][ci]`, so each tap's `[C_out × C_in]` operand is one contiguous
+/// row-major matrix.
+fn tap_major_weights(u: &[f32], c_out: usize, c_in: usize, t: usize) -> Vec<f32> {
+    let tt = t * t;
+    debug_assert_eq!(u.len(), c_out * c_in * tt);
+    let mut u_tap = vec![0.0_f32; u.len()];
+    for co in 0..c_out {
+        for ci in 0..c_in {
+            let src = &u[(co * c_in + ci) * tt..(co * c_in + ci + 1) * tt];
+            for (tap, &v) in src.iter().enumerate() {
+                u_tap[(tap * c_out + co) * c_in + ci] = v;
+            }
+        }
+    }
+    u_tap
+}
+
+/// `dst[lane] += coeff · src[lane]` over SoA tile lanes — the vectorized
+/// inner step of the batched congruence transforms. Zero coefficients are
+/// skipped by the *callers* (the Winograd matrices are sparse, and the branch
+/// is per structural coefficient, not per data element).
+#[inline]
+fn axpy(dst: &mut [f32], coeff: f32, src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d += coeff * s;
+    }
+}
+
+/// The tap-major Winograd forward pass over `U[tap][co][ci]` weights.
+///
+/// Strip groups (contiguous ranges of `(batch, tile-row)` strips, sized by
+/// [`strip_group_len`] so the tap-major panels stay cache-resident) are
+/// processed in parallel. Each group gathers its tiles into an SoA staging
+/// buffer (`[t² elements][tile lanes]`), runs both congruence-transform
+/// stages as vector operations over the tile lanes, executes one
+/// [`gemm_f32_into`] per tap (`M[tap] = U[tap] · V[tap]`), and
+/// back-transforms `M[tap][c_out][tile]` the same SoA way with the optional
+/// fused bias/ReLU epilogue applied in-register.
+#[allow(clippy::too_many_arguments)]
+fn winograd_forward_tap_major(
+    x: &Tensor<f32>,
+    u_tap: &[f32],
+    c_out: usize,
+    mats: &WinogradMatrices,
+    input_scales: Option<&TapScaleMatrix>,
+    spatial_input: Option<QuantParams>,
+    bias: Option<&Tensor<f32>>,
+    fuse_relu: bool,
+) -> Tensor<f32> {
+    assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
+    let (n, c_in, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let m = mats.output_tile();
+    let t = mats.input_tile();
+    let grid = TileGrid::new(h, wd, m, 1);
+    let tt = t * t;
+    assert_eq!(
+        u_tap.len(),
+        c_out * c_in * tt,
+        "winograd_conv2d: channel mismatch"
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), c_out, "winograd_conv2d: bias length mismatch");
+    }
+
+    // Spatially (fake-)quantized input if requested; borrowed otherwise (the
+    // pure-float path must not clone every activation).
+    let quantized;
+    let x_ref: &Tensor<f32> = match spatial_input {
+        Some(p) => {
+            quantized = x.map(|v| p.fake_quantize(v));
+            &quantized
+        }
+        None => x,
+    };
+
+    let strips = n * grid.tiles_h;
+    let group = strip_group_len(grid.tiles_w, c_in, c_out, tt);
+    let ranges = split_ranges(strips, group);
+    let bt = mats.bt.as_slice();
+    let at = mats.at.as_slice();
+    let bufs = parallel_map(ranges.len(), |g| {
+        let range = ranges[g].clone();
+        let ntiles = range.len() * grid.tiles_w;
+        let buf_len: usize = range
+            .clone()
+            .map(|s| c_out * m.min(h - (s % grid.tiles_h) * m) * wd)
+            .sum();
+        let mut buf = vec![0.0_f32; buf_len];
+        with_tap_scratch(|scr| {
+            let (v, mm, da, db) =
+                scr.float_panels(tt * c_in * ntiles, tt * c_out * ntiles, tt * ntiles);
+            let x_s = x_ref.as_slice();
+
+            // --- gather + input transformation into V[tap][c_in][tile] ---
+            for ci in 0..c_in {
+                // Extract this channel's tiles into SoA lanes:
+                // da[(dy·t + dx)·ntiles + tile] with zero padding.
+                da.fill(0.0);
+                for (si, s) in range.clone().enumerate() {
+                    let ni = s / grid.tiles_h;
+                    let ty = s % grid.tiles_h;
+                    let y0 = (ty * m) as isize - grid.padding as isize;
+                    let plane = (ni * c_in + ci) * h * wd;
+                    for dy in 0..t {
+                        let iy = y0 + dy as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let row = plane + iy as usize * wd;
+                        for tx in 0..grid.tiles_w {
+                            let tile_idx = si * grid.tiles_w + tx;
+                            let x0 = (tx * m) as isize - grid.padding as isize;
+                            for dx in 0..t {
+                                let ix = x0 + dx as isize;
+                                if ix >= 0 && ix < wd as isize {
+                                    da[(dy * t + dx) * ntiles + tile_idx] = x_s[row + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+                // Stage 1: db[r][c] = Σ_k Bᵀ[r,k] · da[k][c], vector over tiles.
+                for r in 0..t {
+                    for c in 0..t {
+                        let dst = &mut db[(r * t + c) * ntiles..(r * t + c + 1) * ntiles];
+                        dst.fill(0.0);
+                        for k in 0..t {
+                            let coeff = bt[r * t + k];
+                            if coeff != 0.0 {
+                                axpy(
+                                    dst,
+                                    coeff,
+                                    &da[(k * t + c) * ntiles..(k * t + c + 1) * ntiles],
+                                );
+                            }
+                        }
+                    }
+                }
+                // Stage 2: V[r·t+c][ci] = Σ_k db[r][k] · Bᵀ[c,k], written
+                // straight into the tap's GEMM operand row.
+                for r in 0..t {
+                    for c in 0..t {
+                        let tap = r * t + c;
+                        let dst =
+                            &mut v[(tap * c_in + ci) * ntiles..(tap * c_in + ci + 1) * ntiles];
+                        dst.fill(0.0);
+                        for k in 0..t {
+                            let coeff = bt[c * t + k];
+                            if coeff != 0.0 {
+                                axpy(
+                                    dst,
+                                    coeff,
+                                    &db[(r * t + k) * ntiles..(r * t + k + 1) * ntiles],
+                                );
+                            }
+                        }
+                        if let Some(sc) = input_scales {
+                            let s = sc.scale(r, c);
+                            let (lo, hi) = (sc.bits().min_value(), sc.bits().max_value());
+                            for vv in dst.iter_mut() {
+                                let q = ((*vv / s).round() as i32).clamp(lo, hi);
+                                *vv = q as f32 * s;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- one dense GEMM per tap: M[tap] = U[tap] · V[tap] ---
+            for tap in 0..tt {
+                gemm_f32_into(
+                    &mut mm[tap * c_out * ntiles..(tap + 1) * c_out * ntiles],
+                    &u_tap[tap * c_out * c_in..(tap + 1) * c_out * c_in],
+                    &v[tap * c_in * ntiles..(tap + 1) * c_in * ntiles],
+                    c_out,
+                    c_in,
+                    ntiles,
+                );
+            }
+
+            // --- output transformation (SoA) + fused epilogue ---
+            // Per-strip offsets into the group buffer.
+            let strip_offs: Vec<usize> = range
+                .clone()
+                .scan(0usize, |off, s| {
+                    let cur = *off;
+                    *off += c_out * m.min(h - (s % grid.tiles_h) * m) * wd;
+                    Some(cur)
+                })
+                .collect();
+            for co in 0..c_out {
+                // Stage 1: db[r][c] = Σ_k Aᵀ[r,k] · M[k·t+c][co], r < m.
+                for r in 0..m {
+                    for c in 0..t {
+                        let dst = &mut db[(r * t + c) * ntiles..(r * t + c + 1) * ntiles];
+                        dst.fill(0.0);
+                        for k in 0..t {
+                            let coeff = at[r * t + k];
+                            if coeff != 0.0 {
+                                let tap = k * t + c;
+                                axpy(
+                                    dst,
+                                    coeff,
+                                    &mm[(tap * c_out + co) * ntiles
+                                        ..(tap * c_out + co + 1) * ntiles],
+                                );
+                            }
+                        }
+                    }
+                }
+                // Stage 2 + epilogue: da[r][c] = Σ_k db[r][k] · Aᵀ[c,k],
+                // then bias + ReLU while the row is hot.
+                let bv = bias.map_or(0.0, |b| b.as_slice()[co]);
+                let epilogue = bias.is_some() || fuse_relu;
+                for r in 0..m {
+                    for c in 0..m {
+                        let dst = &mut da[(r * m + c) * ntiles..(r * m + c + 1) * ntiles];
+                        dst.fill(0.0);
+                        for k in 0..t {
+                            let coeff = at[c * t + k];
+                            if coeff != 0.0 {
+                                axpy(
+                                    dst,
+                                    coeff,
+                                    &db[(r * t + k) * ntiles..(r * t + k + 1) * ntiles],
+                                );
+                            }
+                        }
+                        if epilogue {
+                            for vv in dst.iter_mut() {
+                                let val = *vv + bv;
+                                *vv = if fuse_relu { val.max(0.0) } else { val };
+                            }
+                        }
+                    }
+                }
+                // Scatter the SoA rows into the strip rows, cropping ragged
+                // borders.
+                for (si, s) in range.clone().enumerate() {
+                    let ty = s % grid.tiles_h;
+                    let strip_h = m.min(h - ty * m);
+                    let base = strip_offs[si] + co * strip_h * wd;
+                    for tx in 0..grid.tiles_w {
+                        let tile_idx = si * grid.tiles_w + tx;
+                        let cols = m.min(wd - tx * m);
+                        for dy in 0..strip_h {
+                            let row = base + dy * wd + tx * m;
+                            for dx in 0..cols {
+                                buf[row + dx] = da[(dy * m + dx) * ntiles + tile_idx];
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        buf
+    });
+
+    let mut y = Tensor::<f32>::zeros(&[n, c_out, h, wd]);
+    let y_s = y.as_mut_slice();
+    for (range, buf) in ranges.iter().zip(bufs.iter()) {
+        let mut off = 0usize;
+        for s in range.clone() {
+            let ni = s / grid.tiles_h;
+            let ty = s % grid.tiles_h;
+            let strip_h = m.min(h - ty * m);
+            for co in 0..c_out {
+                for dy in 0..strip_h {
+                    let oy = ty * m + dy;
+                    let dst = ((ni * c_out + co) * h + oy) * wd;
+                    let src = off + (co * strip_h + dy) * wd;
+                    y_s[dst..dst + wd].copy_from_slice(&buf[src..src + wd]);
+                }
+            }
+            off += c_out * strip_h * wd;
+        }
+    }
+    y
+}
+
+/// The original per-tile Winograd forward pass over pre-transformed flat
+/// `U[co][ci][tap]` weights: each tile accumulates over the input channels
+/// with scalar elementwise MACs. Kept as the reference the tap-major path is
+/// equivalence-tested and benchmarked against (`tap_major_vs_per_tile`).
+fn winograd_forward_flat_per_tile(
     x: &Tensor<f32>,
     u: &[f32],
     c_out: usize,
@@ -120,10 +452,14 @@ fn winograd_forward_flat(
         "winograd_conv2d: channel mismatch"
     );
 
-    // Spatially (fake-)quantized input, if requested.
-    let x_eff: Tensor<f32> = match spatial_input {
-        Some(p) => x.map(|v| p.fake_quantize(v)),
-        None => x.clone(),
+    // Spatially (fake-)quantized input if requested; borrowed otherwise.
+    let quantized;
+    let x_eff: &Tensor<f32> = match spatial_input {
+        Some(p) => {
+            quantized = x.map(|v| p.fake_quantize(v));
+            &quantized
+        }
+        None => x,
     };
 
     // Tile rows of distinct (batch, ty) pairs touch disjoint output rows, so
@@ -227,7 +563,10 @@ pub struct PreparedWinogradConv {
     mats: WinogradMatrices,
     c_out: usize,
     c_in: usize,
+    /// Flat `U[co][ci][tap]` weights (the per-tile reference layout).
     u: Vec<f32>,
+    /// Tap-major `U[tap][co][ci]` weights (the GEMM layout).
+    u_tap: Vec<f32>,
 }
 
 impl PreparedWinogradConv {
@@ -239,12 +578,15 @@ impl PreparedWinogradConv {
     pub fn prepare(weights: &Tensor<f32>, tile: TileSize) -> Self {
         let mats = WinogradMatrices::for_tile(tile);
         let u = transform_weights_flat(weights, &mats, None);
+        let (c_out, c_in) = (weights.dims()[0], weights.dims()[1]);
+        let u_tap = tap_major_weights(&u, c_out, c_in, mats.input_tile());
         Self {
             tile,
-            c_out: weights.dims()[0],
-            c_in: weights.dims()[1],
+            c_out,
+            c_in,
             mats,
             u,
+            u_tap,
         }
     }
 
@@ -264,9 +606,67 @@ impl PreparedWinogradConv {
     ///
     /// Panics if the input channel count differs from the prepared weights.
     pub fn forward(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.forward_fused(x, None, false)
+    }
+
+    /// Runs the convolution with the bias add and/or ReLU fused into the
+    /// output-transformation epilogue: each output tile is rectified while it
+    /// is still in registers, so a `conv → relu` pair costs no extra pass
+    /// over the activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count or bias length disagrees with the
+    /// prepared weights.
+    pub fn forward_fused(
+        &self,
+        x: &Tensor<f32>,
+        bias: Option<&Tensor<f32>>,
+        relu: bool,
+    ) -> Tensor<f32> {
         assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
         assert_eq!(x.dims()[1], self.c_in, "winograd_conv2d: channel mismatch");
-        winograd_forward_flat(x, &self.u, self.c_out, &self.mats, None, None)
+        if total_tiles(x, self.mats.output_tile()) < MIN_TAP_MAJOR_TILES {
+            // Too few tiles to feed the per-tap GEMMs; run the per-tile
+            // kernel and apply the epilogue as a pass (identical values: the
+            // per-element update is the same `(v + bias).max(0)`).
+            let mut y =
+                winograd_forward_flat_per_tile(x, &self.u, self.c_out, &self.mats, None, None);
+            if bias.is_some() || relu {
+                let hw = y.dims()[2] * y.dims()[3];
+                let y_s = y.as_mut_slice();
+                for (chunk, co) in y_s.chunks_mut(hw).zip((0..self.c_out).cycle()) {
+                    let bv = bias.map_or(0.0, |b| b.as_slice()[co]);
+                    for v in chunk.iter_mut() {
+                        let val = *v + bv;
+                        *v = if relu { val.max(0.0) } else { val };
+                    }
+                }
+            }
+            return y;
+        }
+        winograd_forward_tap_major(
+            x,
+            &self.u_tap,
+            self.c_out,
+            &self.mats,
+            None,
+            None,
+            bias,
+            relu,
+        )
+    }
+
+    /// The original per-tile forward pass (scalar channel-accumulate loops).
+    ///
+    /// Kept as the numerical reference for the tap-major rewrite: the
+    /// `tap_major_vs_per_tile` bench group measures one against the other,
+    /// and the equivalence tests bound their difference. Not used by any
+    /// production path.
+    pub fn forward_per_tile(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
+        assert_eq!(x.dims()[1], self.c_in, "winograd_conv2d: channel mismatch");
+        winograd_forward_flat_per_tile(x, &self.u, self.c_out, &self.mats, None, None)
     }
 }
 
@@ -333,6 +733,39 @@ mod tests {
         let reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
         let y = winograd_conv2d(&x, &w, TileSize::F4);
         assert!(y.max_abs_diff(&reference) < 1e-5);
+    }
+
+    #[test]
+    fn tap_major_tracks_per_tile_reference() {
+        let x = normal(&[2, 5, 13, 9], 0.0, 1.0, 140);
+        let w = normal(&[7, 5, 3, 3], 0.0, 0.4, 141);
+        for tile in TileSize::all() {
+            let prep = PreparedWinogradConv::prepare(&w, tile);
+            let fast = prep.forward(&x);
+            let slow = prep.forward_per_tile(&x);
+            let err = fast.relative_error(&slow);
+            assert!(err < 1e-5, "{tile}: tap-major drifted from per-tile {err}");
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_equals_separate_bias_and_relu() {
+        let x = normal(&[1, 4, 11, 11], 0.0, 1.0, 142);
+        let w = normal(&[6, 4, 3, 3], 0.0, 0.4, 143);
+        let bias = normal(&[6], 0.0, 0.5, 144);
+        let prep = PreparedWinogradConv::prepare(&w, TileSize::F4);
+        let fused = prep.forward_fused(&x, Some(&bias), true);
+        // Separate: plain forward, then bias broadcast, then ReLU — must be
+        // bitwise identical (the epilogue only reorders nothing, it appends).
+        let mut separate = prep.forward(&x);
+        let (hw, c_out) = (11 * 11, 6);
+        for co in 0..c_out {
+            let bv = bias.as_slice()[co];
+            for v in &mut separate.as_mut_slice()[co * hw..(co + 1) * hw] {
+                *v = (*v + bv).max(0.0);
+            }
+        }
+        assert_eq!(fused, separate, "fused epilogue must be bitwise identical");
     }
 
     #[test]

@@ -1,18 +1,34 @@
 //! General matrix multiplication kernels.
 //!
-//! Two kernels are provided: an `f32` GEMM used by the reference im2col
-//! convolution and the training substrate, and an `i8 × i8 → i32` GEMM that
-//! mirrors the Cube Unit of the accelerator (Section IV-A of the paper), which
-//! multiplies two int8 matrices and accumulates into int32. Both are cache
-//! blocked and parallelised over row blocks of `C` (see [`gemm_f32`]).
+//! Three element types share one kernel structure: an `f32` GEMM used by the
+//! reference im2col convolution, the training substrate and the tap-major
+//! Winograd pipeline; an `i8 × i8 → i32` GEMM that mirrors the Cube Unit of
+//! the accelerator (Section IV-A of the paper: int8 operands, int32
+//! accumulators); and an `i16 × i16 → i32` GEMM for Winograd-domain codes
+//! wider than 8 bits (the paper's `int8/10` configurations).
+//!
+//! The slice-based `*_into` variants are the hot entry points: they pack the
+//! left operand into [`MR`]-row panels and run an unrolled `MR × NR`
+//! register-blocked microkernel over the right operand, accumulating a full
+//! register tile before touching `C`. There is deliberately no zero-skip
+//! branch in the inner loop — Winograd-domain and im2col operands are dense,
+//! and a data-dependent branch per multiply defeats vectorization. The
+//! `Tensor` wrappers add [`BLOCK_M`]-row parallelism on top
+//! ([`crate::parallel::parallel_chunks_mut`]); the `*_into` kernels themselves
+//! are sequential so callers that are already inside a parallel region (the
+//! Winograd strip workers) can use them without nesting thread pools.
 
 use crate::parallel::parallel_chunks_mut;
 use crate::tensor::Tensor;
 
-/// Rows of `C` per cache block — one block of `A` (MC × KC floats) stays in L1.
+/// Rows of `C` per parallel block — one block of `A` (MC × KC) stays in L1.
 const BLOCK_M: usize = 32;
 /// Depth of the shared `K` blocking.
 const BLOCK_K: usize = 256;
+/// Rows per packed `A` panel / microkernel tile.
+const MR: usize = 8;
+/// Columns per packed `B` panel / microkernel tile (accumulated in registers).
+const NR: usize = 8;
 
 /// Convenience façade bundling the GEMM kernels behind one type.
 ///
@@ -38,15 +54,143 @@ impl Gemm {
     }
 }
 
+macro_rules! define_gemm_into {
+    ($(#[$doc:meta])* $name:ident, $t_in:ty, $t_acc:ty) => {
+        $(#[$doc])*
+        pub fn $name(c: &mut [$t_acc], a: &[$t_in], b: &[$t_in], m: usize, k: usize, n: usize) {
+            assert_eq!(a.len(), m * k, concat!(stringify!($name), ": A length"));
+            assert_eq!(b.len(), k * n, concat!(stringify!($name), ": B length"));
+            assert_eq!(c.len(), m * n, concat!(stringify!($name), ": C length"));
+            c.fill(<$t_acc>::default());
+            if m == 0 || n == 0 || k == 0 {
+                return;
+            }
+            // Panel scratch is parked per thread so repeated calls (one per
+            // Winograd tap) stay allocation-free.
+            thread_local! {
+                static B_PANEL: std::cell::RefCell<Vec<$t_in>> =
+                    const { std::cell::RefCell::new(Vec::new()) };
+            }
+            B_PANEL.with(|cell| {
+                let mut bpack_store = cell.borrow_mut();
+                let nblocks = n.div_ceil(NR);
+                let bpack_len = BLOCK_K.min(k) * nblocks * NR;
+                if bpack_store.len() < bpack_len {
+                    bpack_store.resize(bpack_len, <$t_in>::default());
+                }
+                let bpack = &mut bpack_store[..];
+                // One packed panel of A: MR rows × BLOCK_K depth,
+                // row-interleaved so the microkernel reads MR consecutive
+                // values per k step.
+                let mut pack = [<$t_in>::default(); MR * BLOCK_K];
+                for k0 in (0..k).step_by(BLOCK_K) {
+                    let kc = (k0 + BLOCK_K).min(k) - k0;
+                    // Pack B into NR-wide column panels `[jb][kk][NR]`,
+                    // zero-padding the ragged last block: the microkernel
+                    // then reads both operands as contiguous fixed-width
+                    // rows with no tail path.
+                    for jb in 0..nblocks {
+                        for kk in 0..kc {
+                            let dst = &mut bpack[(jb * kc + kk) * NR..(jb * kc + kk + 1) * NR];
+                            let j0 = jb * NR;
+                            let cols = NR.min(n - j0);
+                            let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + cols];
+                            dst[..cols].copy_from_slice(src);
+                            dst[cols..].fill(<$t_in>::default());
+                        }
+                    }
+                    for i0 in (0..m).step_by(MR) {
+                        let rows = MR.min(m - i0);
+                        for kk in 0..kc {
+                            for r in 0..MR {
+                                pack[kk * MR + r] = if r < rows {
+                                    a[(i0 + r) * k + k0 + kk]
+                                } else {
+                                    <$t_in>::default()
+                                };
+                            }
+                        }
+                        for jb in 0..nblocks {
+                            // The MR×NR accumulator tile lives in registers
+                            // for the whole kc sweep.
+                            let mut acc = [[<$t_acc>::default(); NR]; MR];
+                            for kk in 0..kc {
+                                let ap: &[$t_in; MR] =
+                                    pack[kk * MR..kk * MR + MR].try_into().unwrap();
+                                let bp: &[$t_in; NR] = bpack
+                                    [(jb * kc + kk) * NR..(jb * kc + kk + 1) * NR]
+                                    .try_into()
+                                    .unwrap();
+                                for r in 0..MR {
+                                    let av = ap[r] as $t_acc;
+                                    for j in 0..NR {
+                                        acc[r][j] += av * (bp[j] as $t_acc);
+                                    }
+                                }
+                            }
+                            let j0 = jb * NR;
+                            let cols = NR.min(n - j0);
+                            for r in 0..rows {
+                                let crow = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + cols];
+                                for (cv, av) in crow.iter_mut().zip(acc[r][..cols].iter()) {
+                                    *cv += *av;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    };
+}
+
+define_gemm_into!(
+    /// `C[M×N] = A[M×K] · B[K×N]` on flat row-major `f32` slices, overwriting
+    /// `C`. This is the packed sequential kernel behind [`gemm_f32`] and the
+    /// per-tap GEMMs of the tap-major Winograd pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length disagrees with the given dimensions.
+    gemm_f32_into,
+    f32,
+    f32
+);
+
+define_gemm_into!(
+    /// `C[M×N] = A[M×K] · B[K×N]` over `i8` operands with exact `i32`
+    /// accumulation — the Cube Unit's datapath on flat slices. No saturation:
+    /// `K ≤ 2^15` keeps the result well inside `i32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length disagrees with the given dimensions.
+    gemm_i8_i32_into,
+    i8,
+    i32
+);
+
+define_gemm_into!(
+    /// `C[M×N] = A[M×K] · B[K×N]` over `i16` operands with exact `i32`
+    /// accumulation. The integer tap-major Winograd path uses this for
+    /// Winograd-domain codes wider than 8 bits (`int8/9`, `int8/10`); callers
+    /// must keep `K · max|A| · max|B|` inside `i32`
+    /// (`IntWinogradConv` checks this and falls back to the per-tile path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length disagrees with the given dimensions.
+    gemm_i16_i32_into,
+    i16,
+    i32
+);
+
 /// Multiplies two row-major `f32` matrices: `C[M×N] = A[M×K] · B[K×N]`.
 ///
-/// The kernel blocks the `M` dimension in [`BLOCK_M`]-row tiles and the shared
-/// `K` dimension in [`BLOCK_K`]-deep panels, so each pass streams one panel of
-/// `B` against a resident block of `A`; row blocks of `C` are independent and
-/// are distributed over the worker threads
-/// ([`crate::parallel::parallel_chunks_mut`]). Within a block the i-k-j loop
-/// order keeps the innermost loop streaming contiguously through a row of `B`
-/// and a row of `C`.
+/// Row blocks of `C` ([`BLOCK_M`] rows each) are independent and are
+/// distributed over the worker threads
+/// ([`crate::parallel::parallel_chunks_mut`]); each block runs the packed
+/// sequential kernel [`gemm_f32_into`] on its row slice of `A`.
 ///
 /// # Panics
 ///
@@ -59,31 +203,15 @@ pub fn gemm_f32(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
     assert_eq!(k, kb, "gemm_f32: inner dimensions disagree ({k} vs {kb})");
 
     let mut c = vec![0.0_f32; m * n];
-    let a_s = a.as_slice();
-    let b_s = b.as_slice();
-    // Each chunk is one BLOCK_M-row block of C; blocks are disjoint, so they
-    // parallelise without synchronisation.
-    parallel_chunks_mut(&mut c, BLOCK_M * n.max(1), |blk, c_block| {
-        let i0 = blk * BLOCK_M;
-        let rows = c_block.len() / n.max(1);
-        for k0 in (0..k).step_by(BLOCK_K) {
-            let k1 = (k0 + BLOCK_K).min(k);
-            for di in 0..rows {
-                let i = i0 + di;
-                let c_row = &mut c_block[di * n..(di + 1) * n];
-                for kk in k0..k1 {
-                    let a_ik = a_s[i * k + kk];
-                    if a_ik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b_s[kk * n..(kk + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                        *cv += a_ik * bv;
-                    }
-                }
-            }
-        }
-    });
+    if m > 0 && n > 0 {
+        let a_s = a.as_slice();
+        let b_s = b.as_slice();
+        parallel_chunks_mut(&mut c, BLOCK_M * n, |blk, c_block| {
+            let i0 = blk * BLOCK_M;
+            let rows = c_block.len() / n;
+            gemm_f32_into(c_block, &a_s[i0 * k..(i0 + rows) * k], b_s, rows, k, n);
+        });
+    }
     Tensor::from_vec(c, &[m, n]).expect("gemm_f32 output shape")
 }
 
@@ -109,29 +237,15 @@ pub fn gemm_i8_i32(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i32> {
     );
 
     let mut c = vec![0_i32; m * n];
-    let a_s = a.as_slice();
-    let b_s = b.as_slice();
-    parallel_chunks_mut(&mut c, BLOCK_M * n.max(1), |blk, c_block| {
-        let i0 = blk * BLOCK_M;
-        let rows = c_block.len() / n.max(1);
-        for k0 in (0..k).step_by(BLOCK_K) {
-            let k1 = (k0 + BLOCK_K).min(k);
-            for di in 0..rows {
-                let i = i0 + di;
-                let c_row = &mut c_block[di * n..(di + 1) * n];
-                for kk in k0..k1 {
-                    let a_ik = i32::from(a_s[i * k + kk]);
-                    if a_ik == 0 {
-                        continue;
-                    }
-                    let b_row = &b_s[kk * n..(kk + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                        *cv += a_ik * i32::from(bv);
-                    }
-                }
-            }
-        }
-    });
+    if m > 0 && n > 0 {
+        let a_s = a.as_slice();
+        let b_s = b.as_slice();
+        parallel_chunks_mut(&mut c, BLOCK_M * n, |blk, c_block| {
+            let i0 = blk * BLOCK_M;
+            let rows = c_block.len() / n;
+            gemm_i8_i32_into(c_block, &a_s[i0 * k..(i0 + rows) * k], b_s, rows, k, n);
+        });
+    }
     Tensor::from_vec(c, &[m, n]).expect("gemm_i8_i32 output shape")
 }
 
@@ -167,13 +281,50 @@ mod tests {
     fn matches_naive_on_random_shapes() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (8, 8, 8), (13, 7, 9)] {
+        // Shapes straddle every microkernel boundary: sub-MR row counts,
+        // sub-NR column counts, exact multiples and ragged tails of both.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (8, 8, 8),
+            (13, 7, 9),
+            (4, 300, 8),
+            (5, 257, 17),
+            (33, 9, 31),
+        ] {
             let a = Tensor::from_fn(&[m, k], |_| rng.gen_range(-2.0_f32..2.0));
             let b = Tensor::from_fn(&[k, n], |_| rng.gen_range(-2.0_f32..2.0));
             let fast = gemm_f32(&a, &b);
             let slow = naive_f32(&a, &b);
-            assert!(fast.max_abs_diff(&slow) < 1e-4, "mismatch at ({m},{k},{n})");
+            assert!(fast.max_abs_diff(&slow) < 1e-3, "mismatch at ({m},{k},{n})");
         }
+    }
+
+    #[test]
+    fn into_variant_matches_wrapper() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        for &(m, k, n) in &[(6, 11, 7), (16, 32, 24), (2, 3, 1)] {
+            let a = Tensor::from_fn(&[m, k], |_| rng.gen_range(-1.0_f32..1.0));
+            let b = Tensor::from_fn(&[k, n], |_| rng.gen_range(-1.0_f32..1.0));
+            let mut c = vec![7.0_f32; m * n]; // junk: _into must overwrite
+            gemm_f32_into(&mut c, a.as_slice(), b.as_slice(), m, k, n);
+            let expect = gemm_f32(&a, &b);
+            for (x, y) in c.iter().zip(expect.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_rows_with_zeros_are_exact() {
+        // Regression for the removed `a_ik == 0` skip: zeros in A must simply
+        // contribute nothing, on every microkernel path.
+        let a = Tensor::from_vec(vec![0.0_f32, 2.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]).unwrap();
+        let b = Tensor::from_fn(&[3, 9], |i| i as f32);
+        let fast = gemm_f32(&a, &b);
+        let slow = naive_f32(&a, &b);
+        assert_eq!(fast.as_slice(), slow.as_slice());
     }
 
     #[test]
@@ -202,6 +353,41 @@ mod tests {
         for (iv, fv) in ci.as_slice().iter().zip(cf.as_slice().iter()) {
             assert_eq!(*iv as f32, *fv);
         }
+    }
+
+    #[test]
+    fn i16_gemm_matches_i8_on_shared_range_and_covers_wide_codes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let (m, k, n) = (5, 19, 11);
+        let a8: Vec<i8> = (0..m * k)
+            .map(|_| rng.gen_range(-100_i32..100) as i8)
+            .collect();
+        let b8: Vec<i8> = (0..k * n)
+            .map(|_| rng.gen_range(-100_i32..100) as i8)
+            .collect();
+        let a16: Vec<i16> = a8.iter().map(|&v| i16::from(v)).collect();
+        let b16: Vec<i16> = b8.iter().map(|&v| i16::from(v)).collect();
+        let mut c8 = vec![0_i32; m * n];
+        let mut c16 = vec![0_i32; m * n];
+        gemm_i8_i32_into(&mut c8, &a8, &b8, m, k, n);
+        gemm_i16_i32_into(&mut c16, &a16, &b16, m, k, n);
+        assert_eq!(c8, c16);
+        // 10-bit codes exceed i8: the i16 kernel must stay exact.
+        let a_w = vec![511_i16; 2 * 3];
+        let b_w = vec![-511_i16; 3 * 2];
+        let mut c_w = vec![0_i32; 2 * 2];
+        gemm_i16_i32_into(&mut c_w, &a_w, &b_w, 2, 3, 2);
+        assert!(c_w.iter().all(|&v| v == 3 * 511 * -511));
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_handled() {
+        let mut c = vec![9.0_f32; 0];
+        gemm_f32_into(&mut c, &[], &[], 0, 4, 0);
+        let mut c = vec![9.0_f32; 6];
+        gemm_f32_into(&mut c, &[], &[], 2, 0, 3);
+        assert!(c.iter().all(|&v| v == 0.0), "k = 0 must produce zeros");
     }
 
     #[test]

@@ -43,12 +43,12 @@ pub mod tensor;
 
 pub use activation::{relu, relu_inplace, softmax_rows};
 pub use conv::{conv2d_direct, conv2d_direct_i8, ConvParams};
-pub use gemm::{gemm_f32, gemm_i8_i32, Gemm};
+pub use gemm::{gemm_f32, gemm_f32_into, gemm_i16_i32_into, gemm_i8_i32, gemm_i8_i32_into, Gemm};
 pub use im2col::{conv2d_im2col, im2col};
 pub use init::{kaiming_normal, normal, uniform, TensorInit};
 pub use linear::linear_forward;
 pub use norm::BatchNorm2d;
-pub use parallel::{max_threads, parallel_chunks_mut, parallel_map, set_max_threads};
+pub use parallel::{max_threads, parallel_chunks_mut, parallel_map, set_max_threads, split_ranges};
 pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};
 pub use resize::{
     batch_slice, concat_batch, concat_channels, concat_channels_into, upsample_nearest,

@@ -83,6 +83,32 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Splits `0..n` into contiguous ranges of at most `max_chunk` items, using at
+/// least one range per worker thread whenever `n` allows, with the items
+/// spread as evenly as possible (range lengths differ by at most one).
+///
+/// This is the strip scheduler of the tap-major Winograd paths: a range of
+/// tile-row strips is one work item, sized so the per-group tap-major scratch
+/// stays cache-resident (`max_chunk`) while still feeding every worker.
+pub fn split_ranges(n: usize, max_chunk: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(max_chunk > 0, "split_ranges: max_chunk must be positive");
+    if n == 0 {
+        return Vec::new();
+    }
+    let by_chunk = n.div_ceil(max_chunk);
+    let pieces = by_chunk.max(max_threads().min(n));
+    let base = n / pieces;
+    let extra = n % pieces;
+    let mut ranges = Vec::with_capacity(pieces);
+    let mut start = 0usize;
+    for p in 0..pieces {
+        let len = base + usize::from(p < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
 /// Splits `data` into consecutive chunks of `chunk_len` elements (the last may
 /// be shorter) and runs `f(chunk_index, chunk)` on the worker threads, each
 /// chunk exactly once.
@@ -195,6 +221,29 @@ mod tests {
                     data.iter().all(|&v| v == 1),
                     "workers={workers} n_chunks={n_chunks}: uncovered or doubled chunks"
                 );
+            }
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn split_ranges_covers_everything_in_order() {
+        let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        for workers in [1usize, 3] {
+            set_max_threads(workers);
+            for (n, max_chunk) in [(0usize, 4usize), (1, 4), (7, 3), (12, 4), (5, 100)] {
+                let ranges = split_ranges(n, max_chunk);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap at {r:?}");
+                    assert!(r.len() <= max_chunk, "range {r:?} exceeds {max_chunk}");
+                    assert!(!r.is_empty(), "empty range");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "workers={workers} n={n}");
+                if n >= workers {
+                    assert!(ranges.len() >= workers, "fewer ranges than workers");
+                }
             }
         }
         set_max_threads(0);

@@ -1,0 +1,132 @@
+//! Dumps `BENCH_winograd.json`: nanosecond medians of the tap-major Winograd
+//! paths against the legacy per-tile paths on the ResNet-34 3×3 layer shapes,
+//! plus the quantized ResNet-20 end-to-end graph forward — the perf
+//! trajectory file tracked across PRs.
+//!
+//! ```text
+//! cargo run --release --example bench_dump            # full iteration counts
+//! cargo run --release --example bench_dump -- --quick # CI smoke mode
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use winograd_tapwise::wino_core::{
+    GraphExecutor, GraphRunOptions, IntWinogradConv, PreparedWinogradConv, QuantParams,
+    TapwiseScales, TileSize, WinogradMatrices, WinogradQuantConfig,
+};
+use winograd_tapwise::wino_nets::resnet20_graph;
+use winograd_tapwise::wino_tensor::{normal, Tensor};
+
+/// Median wall-clock nanoseconds of `iters` runs of `f`.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn json_pair(tap_ns: u128, per_tile_ns: u128) -> String {
+    format!(
+        "{{\"tap_major_ns\": {tap_ns}, \"per_tile_ns\": {per_tile_ns}, \"speedup\": {:.2}}}",
+        per_tile_ns as f64 / tap_ns.max(1) as f64
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || std::env::var("BENCH_QUICK").is_ok();
+    let iters = if quick { 2 } else { 7 };
+    // The distinct 3×3 stride-1 layer shapes of ResNet-34: (C, H=W).
+    let shapes: &[(usize, usize)] = if quick {
+        &[(64, 56), (128, 28)]
+    } else {
+        &[(64, 56), (128, 28), (256, 14), (512, 7)]
+    };
+
+    let mut float_rows = Vec::new();
+    let mut int_rows = Vec::new();
+    for &(c, hw) in shapes {
+        let label = format!("{c}x{c}x{hw}");
+        let x = normal(&[1, c, hw, hw], 0.0, 1.0, 3);
+        let w = normal(&[c, c, 3, 3], 0.0, 0.2, 4);
+
+        let prep = PreparedWinogradConv::prepare(&w, TileSize::F4);
+        let tap = median_ns(iters, || {
+            std::hint::black_box(prep.forward(&x));
+        });
+        let per_tile = median_ns(iters, || {
+            std::hint::black_box(prep.forward_per_tile(&x));
+        });
+        eprintln!(
+            "float_f4 {label}: tap-major {:.2} ms vs per-tile {:.2} ms ({:.2}x)",
+            tap as f64 / 1e6,
+            per_tile as f64 / 1e6,
+            per_tile as f64 / tap.max(1) as f64
+        );
+        float_rows.push(format!("\"{label}\": {}", json_pair(tap, per_tile)));
+
+        let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
+        let mats = WinogradMatrices::for_tile(TileSize::F4);
+        let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+        let xp = QuantParams::from_max(x.abs_max(), cfg.spatial_bits).to_power_of_two();
+        let xq: Tensor<i8> = x.map(|v| xp.quantize(v) as i8);
+        let conv = IntWinogradConv::prepare(&w, &scales, xp, 8.0, cfg);
+        let tap = median_ns(iters, || {
+            std::hint::black_box(conv.forward(&xq));
+        });
+        let per_tile = median_ns(iters, || {
+            std::hint::black_box(conv.forward_per_tile(&xq));
+        });
+        eprintln!(
+            "int_f4   {label}: tap-major {:.2} ms vs per-tile {:.2} ms ({:.2}x)",
+            tap as f64 / 1e6,
+            per_tile as f64 / 1e6,
+            per_tile as f64 / tap.max(1) as f64
+        );
+        int_rows.push(format!("\"{label}\": {}", json_pair(tap, per_tile)));
+    }
+
+    // Quantized ResNet-20 end to end: one prepared + calibrated graph per
+    // executor mode, then timed cached runs (the serving steady state).
+    let graph = resnet20_graph();
+    let opts = GraphRunOptions::default();
+    let graph_iters = if quick { 1 } else { 5 };
+    let fused = GraphExecutor::quantized(WinogradQuantConfig::default());
+    let p_fused = fused.prepare(&graph, &opts);
+    fused.warmup(&p_fused);
+    let tap = median_ns(graph_iters, || {
+        std::hint::black_box(fused.run(&p_fused));
+    });
+    let legacy = GraphExecutor::quantized(WinogradQuantConfig::default()).legacy();
+    let p_legacy = legacy.prepare(&graph, &opts);
+    legacy.warmup(&p_legacy);
+    let per_tile = median_ns(graph_iters, || {
+        std::hint::black_box(legacy.run(&p_legacy));
+    });
+    eprintln!(
+        "graph resnet20_int_e2e: tap-major+fusion {:.2} ms vs per-tile {:.2} ms ({:.2}x), \
+         fused relus {}, tap scratch {} KiB",
+        tap as f64 / 1e6,
+        per_tile as f64 / 1e6,
+        per_tile as f64 / tap.max(1) as f64,
+        p_fused.fused_relu_count(),
+        p_fused.scratch_bytes() / 1024,
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"float_f4\": {{{}}},", float_rows.join(", "));
+    let _ = writeln!(json, "  \"int_f4\": {{{}}},", int_rows.join(", "));
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{\"resnet20_int_e2e\": {}}}",
+        json_pair(tap, per_tile)
+    );
+    json.push('}');
+    std::fs::write("BENCH_winograd.json", &json).expect("write BENCH_winograd.json");
+    println!("{json}");
+}
