@@ -7,6 +7,7 @@
 //! [`crate::engine::Planner`] and cross-checked against each other in tests.
 
 use crate::engine::ConvBackend;
+use crate::epilogue::{add_bias, apply_epilogue, EpilogueOps};
 use crate::int_winograd::{IntWinogradConv, WinogradQuantConfig};
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::QuantParams;
@@ -140,22 +141,21 @@ impl ConvBackend for WinogradBackend {
         // pass over the feature map.
         PreparedWinogradConv::prepare(w, self.tile).forward_fused(x, bias, false)
     }
-}
 
-/// Broadcasts a per-output-channel bias over an NCHW feature map.
-fn add_bias(y: &mut Tensor<f32>, bias: &Tensor<f32>) {
-    let (n, c_out) = (y.dims()[0], y.dims()[1]);
-    let hw = y.dims()[2] * y.dims()[3];
-    assert_eq!(bias.len(), c_out, "add_bias: bias length mismatch");
-    let y_s = y.as_mut_slice();
-    for ni in 0..n {
-        for co in 0..c_out {
-            let bv = bias.as_slice()[co];
-            let base = (ni * c_out + co) * hw;
-            for v in &mut y_s[base..base + hw] {
-                *v += bv;
-            }
-        }
+    fn conv2d_epilogue(
+        &self,
+        x: &Tensor<f32>,
+        w: &Tensor<f32>,
+        params: ConvParams,
+        ops: &EpilogueOps,
+    ) -> Tensor<f32> {
+        assert!(
+            self.supports(params),
+            "winograd backend: unsupported geometry {params:?}"
+        );
+        // The whole tail — bias, residual, ReLUs — rides the tap-major
+        // output transformation in-register.
+        PreparedWinogradConv::prepare(w, self.tile).forward_with_epilogue(x, ops)
     }
 }
 
@@ -229,6 +229,37 @@ impl ConvBackend for IntWinogradTapwiseBackend {
             add_bias(&mut y, b);
         }
         y
+    }
+
+    fn conv2d_epilogue(
+        &self,
+        x: &Tensor<f32>,
+        w: &Tensor<f32>,
+        params: ConvParams,
+        ops: &EpilogueOps,
+    ) -> Tensor<f32> {
+        assert!(
+            self.supports(params),
+            "int winograd backend: unsupported geometry {params:?}"
+        );
+        let mats = WinogradMatrices::for_tile(self.cfg.tile);
+        let scales = TapwiseScales::calibrate(w, x, &mats, self.cfg.wino_bits, self.cfg.mode);
+        let input_params =
+            QuantParams::from_max(x.abs_max(), self.cfg.spatial_bits).to_power_of_two();
+        let xq: Tensor<i8> = x.map(|v| input_params.quantize(v) as i8);
+        let output_max = estimate_output_max(x, w);
+        let conv = IntWinogradConv::prepare(w, &scales, input_params, output_max, self.cfg);
+        if ops.bias.is_none() {
+            // Requantization, residual and ReLUs all fuse into the integer
+            // scatter stage.
+            conv.forward_epilogue(&xq, ops)
+        } else {
+            // The integer epilogue has no bias stage (the fp32 bias is added
+            // after dequantization); fall back to separate tail passes.
+            let mut y = conv.forward(&xq).dequantize();
+            apply_epilogue(&mut y, ops);
+            y
+        }
     }
 }
 

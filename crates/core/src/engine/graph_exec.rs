@@ -25,8 +25,9 @@
 
 use crate::engine::backends::estimate_output_max;
 use crate::engine::executor::SynthCache;
-use crate::engine::planner::{LayerPlan, Planner};
+use crate::engine::planner::{Activation, EpiloguePlan, FusionClasses, LayerPlan, Planner};
 use crate::engine::Engine;
+use crate::epilogue::{apply_epilogue, EpilogueOps};
 use crate::int_winograd::{IntWinogradConv, WinogradQuantConfig};
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::QuantParams;
@@ -83,16 +84,46 @@ struct PreparedConv {
     plan: LayerPlan,
     weights: Arc<Tensor<f32>>,
     state: ConvState,
-    /// Whether this node's sole consumer is a ReLU that the planner fused
-    /// into the conv's output epilogue.
-    fused_relu: bool,
+    /// The epilogue the planner fused into this conv: trailing ReLU,
+    /// residual add operand, and (on the integer path) the output
+    /// requantization — all applied before the kernel's single store.
+    epilogue: EpiloguePlan,
+}
+
+impl PreparedConv {
+    /// Whether this node's kernel will actually write the fused epilogue
+    /// output into the residual's own buffer for a run at `batch` producing
+    /// `shape`: only the Winograd tap-major paths can, and only when they
+    /// will not fall back internally (the float small-tile per-tile path and
+    /// the non-`i32`-exact integer path allocate their own output, which
+    /// would silently drop a stolen buffer instead of recycling it).
+    fn in_place_capable(
+        &self,
+        batch: usize,
+        shape: wino_nets::NodeShape,
+        quant: Option<WinogradQuantConfig>,
+    ) -> bool {
+        match &self.state {
+            ConvState::FloatWinograd(prep) => {
+                // Winograd nodes are stride-1 same-padded, so the output
+                // shape equals the kernel's input shape.
+                let (_, h, w) = shape;
+                prep.uses_tap_major(batch, h, w)
+            }
+            ConvState::IntWinograd(_) => {
+                let c_in = self.weights.dims()[1];
+                quant.is_some_and(|cfg| IntWinogradConv::i32_exact_for(c_in, cfg.wino_bits))
+            }
+            _ => false,
+        }
+    }
 }
 
 /// A graph planned and weighted once, runnable many times.
 ///
 /// Created by [`GraphExecutor::prepare`]; holds everything that does not
 /// depend on the run's activations (plans, weights, float Winograd weight
-/// transforms, synthesized inputs, the conv → ReLU fusion decisions) plus the
+/// transforms, synthesized inputs, the epilogue-fusion decisions) plus the
 /// lazily-calibrated integer state.
 #[derive(Debug)]
 pub struct PreparedGraph {
@@ -101,9 +132,10 @@ pub struct PreparedGraph {
     consumers: Vec<usize>,
     convs: Vec<Option<PreparedConv>>,
     inputs: Vec<Option<Arc<Tensor<f32>>>>,
-    /// For every ReLU node that a conv's fused epilogue already covers, the
-    /// id of that conv; the executor passes such nodes through untouched.
-    fused_from: Vec<Option<usize>>,
+    /// For every tail node (ReLU, residual add) a conv's fused epilogue
+    /// already covers, the id of that conv; the executor passes such nodes
+    /// through untouched.
+    absorbed_into: Vec<Option<usize>>,
     batch: usize,
 }
 
@@ -146,9 +178,60 @@ impl PreparedGraph {
             .count()
     }
 
-    /// How many conv nodes execute with a ReLU fused into their epilogue.
+    /// The epilogue plan of the conv node with the given id, if it is one.
+    pub fn epilogue_for(&self, id: usize) -> Option<&EpiloguePlan> {
+        self.convs
+            .get(id)
+            .and_then(|c| c.as_ref())
+            .map(|c| &c.epilogue)
+    }
+
+    /// How many conv nodes execute with a ReLU fused into their epilogue
+    /// (pre- or post-residual).
     pub fn fused_relu_count(&self) -> usize {
-        self.convs.iter().flatten().filter(|c| c.fused_relu).count()
+        self.convs
+            .iter()
+            .flatten()
+            .filter(|c| c.epilogue.has_relu())
+            .count()
+    }
+
+    /// How many conv nodes read a residual operand in their epilogue (a
+    /// fused `conv → add` tail).
+    pub fn fused_residual_count(&self) -> usize {
+        self.convs
+            .iter()
+            .flatten()
+            .filter(|c| c.epilogue.residual.is_some())
+            .count()
+    }
+
+    /// Total graph nodes elided by epilogue fusion: every ReLU and residual
+    /// add that executes inside a conv's output transform instead of as its
+    /// own pass over the activation.
+    pub fn fused_node_count(&self) -> usize {
+        self.absorbed_into.iter().flatten().count()
+    }
+
+    /// Bytes of pre-activation tensors that fusion prevents from ever being
+    /// materialized, at the prepared batch size: each fused residual tail
+    /// elides one full conv output (the separate-node execution writes the
+    /// pre-activation map, reads it back in the add, and allocates the sum
+    /// into a third buffer; the fused epilogue stores the finished value
+    /// once). ReLU-only fusions elide a pass but no buffer (the separate
+    /// ReLU runs in place) and therefore contribute nothing here — this
+    /// figure is deliberately honest about *memory*, not traffic.
+    pub fn elided_bytes(&self) -> usize {
+        self.convs
+            .iter()
+            .enumerate()
+            .filter_map(|(id, c)| {
+                let pc = c.as_ref()?;
+                pc.epilogue.residual?;
+                let (ch, h, w) = self.shapes[id];
+                Some(self.batch * ch * h * w * std::mem::size_of::<f32>())
+            })
+            .sum()
     }
 
     /// Peak per-worker bytes of tap-major Winograd scratch (`V` + `M` panels)
@@ -422,8 +505,8 @@ pub struct GraphExecutor {
     planner: Planner,
     quant: Option<WinogradQuantConfig>,
     reference: bool,
-    /// Whether conv → ReLU pairs are planned as one fused node.
-    fuse: bool,
+    /// Which epilogue fusion classes the planner may apply.
+    fusion: FusionClasses,
     /// Whether Winograd nodes run the legacy per-tile kernels (benchmarking).
     per_tile: bool,
     synth: SynthCache,
@@ -437,7 +520,7 @@ impl GraphExecutor {
             planner: Planner::default(),
             quant: None,
             reference: false,
-            fuse: true,
+            fusion: FusionClasses::all(),
             per_tile: false,
             synth: SynthCache::new(),
         }
@@ -455,7 +538,7 @@ impl GraphExecutor {
             planner: Planner::default(),
             quant: Some(cfg),
             reference: false,
-            fuse: true,
+            fusion: FusionClasses::all(),
             per_tile: false,
             synth: SynthCache::new(),
         }
@@ -468,27 +551,39 @@ impl GraphExecutor {
             planner: Planner::default(),
             quant: None,
             reference: true,
-            fuse: true,
+            fusion: FusionClasses::all(),
             per_tile: false,
             synth: SynthCache::new(),
         }
     }
 
-    /// Disables conv → ReLU fusion: every ReLU runs as its own pass over the
-    /// activation. Fused and unfused execution are bitwise identical (pinned
-    /// by the integration tests); this switch exists to measure the fusion
-    /// win and to A/B the planner's decision.
-    pub fn without_fusion(mut self) -> Self {
-        self.fuse = false;
+    /// Disables **every** epilogue fusion class: every ReLU and residual add
+    /// runs as its own node. Fused and unfused execution are bitwise
+    /// identical (pinned by the integration tests); this switch exists to
+    /// measure the fusion win and to A/B the planner's decision.
+    pub fn without_fusion(self) -> Self {
+        self.with_fusion(FusionClasses::none())
+    }
+
+    /// Selects which epilogue fusion classes the planner may apply — each
+    /// class ([`FusionClasses::relu`], [`FusionClasses::residual`]) can be
+    /// disabled independently for A/B measurement.
+    pub fn with_fusion(mut self, classes: FusionClasses) -> Self {
+        self.fusion = classes;
         self
     }
 
+    /// The fusion classes this executor plans with.
+    pub fn fusion(&self) -> FusionClasses {
+        self.fusion
+    }
+
     /// Reverts to the pre-tap-major execution: per-tile Winograd kernels and
-    /// no conv → ReLU fusion. A benchmarking aid (`bench_dump`, the
-    /// `graph_forward` criterion group) that quantifies the tap-major rewrite
-    /// end to end; never the right choice for serving.
+    /// no epilogue fusion of any class. A benchmarking aid (`bench_dump`,
+    /// the `graph_forward` criterion group) that quantifies the tap-major
+    /// rewrite end to end; never the right choice for serving.
     pub fn legacy(mut self) -> Self {
-        self.fuse = false;
+        self.fusion = FusionClasses::none();
         self.per_tile = true;
         self
     }
@@ -529,19 +624,10 @@ impl GraphExecutor {
             .unwrap_or_else(|e| panic!("invalid graph {}: {e}", graph.name));
         let consumers = graph.consumer_counts();
         let int_kernel = self.int_kernel();
-        // Fusion decision: conv nodes whose sole consumer is a ReLU absorb it
-        // into their output epilogue; the ReLU node becomes a pass-through.
-        let fusions = if self.fuse {
-            self.planner.fuse_conv_relu(graph)
-        } else {
-            vec![None; graph.nodes().len()]
-        };
-        let mut fused_from: Vec<Option<usize>> = vec![None; graph.nodes().len()];
-        for (conv_id, relu_id) in fusions.iter().enumerate() {
-            if let Some(relu_id) = relu_id {
-                fused_from[*relu_id] = Some(conv_id);
-            }
-        }
+        // Fusion decision: `conv → [add residual] → [relu]` chains collapse
+        // into the conv's output epilogue; the absorbed tail nodes become
+        // pass-throughs.
+        let fusion = self.planner.fuse_epilogues(graph, self.fusion);
         let mut convs: Vec<Option<PreparedConv>> = Vec::with_capacity(graph.nodes().len());
         let mut inputs: Vec<Option<Arc<Tensor<f32>>>> = Vec::with_capacity(graph.nodes().len());
         for (id, node) in graph.nodes().iter().enumerate() {
@@ -583,11 +669,16 @@ impl GraphExecutor {
                     } else {
                         ConvState::Engine
                     };
+                    let mut epilogue = fusion.plans[id].clone();
+                    // The integer pipeline requantizes its output inside the
+                    // same epilogue stage; record it so reports (and backend
+                    // opt-ins) see the complete fused tail.
+                    epilogue.requant = matches!(state, ConvState::IntWinograd(_));
                     Some(PreparedConv {
                         plan,
                         weights,
                         state,
-                        fused_relu: fusions[id].is_some(),
+                        epilogue,
                     })
                 }
                 _ => None,
@@ -599,7 +690,7 @@ impl GraphExecutor {
             consumers,
             convs,
             inputs,
-            fused_from,
+            absorbed_into: fusion.absorbed_into,
             batch: opts.batch,
         }
     }
@@ -742,25 +833,64 @@ impl GraphExecutor {
                 }
                 GraphOp::Conv(_) => {
                     let pc = prepared.convs[id].as_ref().expect("conv prepared");
-                    let x = values[node.inputs[0]].as_ref().expect("producer ran");
                     kernel = Some(pc.plan.kernel);
-                    let (y, b) = self.run_conv(pc, x);
+                    // In-place accumulation: when the elided add was the
+                    // residual's last consumer and the kernel can write its
+                    // fused output into that buffer, steal the tensor — the
+                    // tail then allocates nothing at all.
+                    let steal = pc.epilogue.in_place
+                        && !self.per_tile
+                        && pc.in_place_capable(batch, prepared.shapes[id], self.quant);
+                    let owned = if steal {
+                        let rid = pc.epilogue.residual.expect("in_place implies residual");
+                        debug_assert_eq!(refs[rid], 1, "in-place residual still has readers");
+                        refs[rid] = 0;
+                        let t = values[rid].take().expect("residual producer ran");
+                        arena.transfer(t.len());
+                        Some(t)
+                    } else {
+                        None
+                    };
+                    let x = values[node.inputs[0]].as_ref().expect("producer ran");
+                    // A borrowed residual operand is resolved to its live
+                    // arena tensor here — the planner guaranteed it was
+                    // produced before this conv runs, and its refcount (held
+                    // by the elided add node) keeps it alive until then.
+                    let residual = if owned.is_some() {
+                        None
+                    } else {
+                        pc.epilogue
+                            .residual
+                            .map(|rid| values[rid].as_ref().expect("residual producer ran"))
+                    };
+                    let (y, b) = self.run_conv(pc, x, residual, owned);
                     backend = Some(b);
                     y
                 }
+                GraphOp::Relu | GraphOp::Add if prepared.absorbed_into[id].is_some() => {
+                    // Already applied inside the producing conv's fused
+                    // epilogue: pass the tensor through untouched. For an
+                    // absorbed add, the flowing operand is the conv's output
+                    // (possibly via its absorbed ReLU); the residual operand
+                    // is retired by the normal last-consumer accounting
+                    // below, exactly where the separate add would have
+                    // retired it.
+                    let conv_id = prepared.absorbed_into[id].expect("absorbed");
+                    let src = node
+                        .inputs
+                        .iter()
+                        .copied()
+                        .find(|&i| i == conv_id || prepared.absorbed_into[i] == Some(conv_id))
+                        .expect("fused tail has a flowing operand");
+                    backend = Some("fused");
+                    refs[src] = 0;
+                    let t = values[src].take().expect("producer ran");
+                    arena.transfer(t.len());
+                    t
+                }
                 GraphOp::Relu => {
                     let src = node.inputs[0];
-                    if prepared.fused_from[id].is_some() {
-                        // Already applied inside the producing conv's fused
-                        // epilogue: pass the tensor through untouched. The
-                        // fusion condition guarantees this ReLU is the sole
-                        // consumer.
-                        backend = Some("fused");
-                        refs[src] = 0;
-                        let t = values[src].take().expect("producer ran");
-                        arena.transfer(t.len());
-                        t
-                    } else if refs[src] == 1 {
+                    if refs[src] == 1 {
                         // Sole consumer: steal the tensor and rectify in
                         // place — no allocation, no copy.
                         refs[src] = 0;
@@ -873,17 +1003,32 @@ impl GraphExecutor {
         }
     }
 
-    /// Executes one conv node through its prepared state, applying the fused
-    /// ReLU epilogue when the planner absorbed the node's trailing ReLU.
-    fn run_conv(&self, pc: &PreparedConv, x: &Tensor<f32>) -> (Tensor<f32>, &'static str) {
+    /// Executes one conv node through its prepared state, applying the
+    /// fused [`EpilogueOps`] tail (trailing ReLU, residual add, and on the
+    /// integer path the output requantization) the planner absorbed into it.
+    /// `owned_residual` carries the stolen residual buffer when the run loop
+    /// decided on in-place accumulation; it is `Some` only for Winograd
+    /// states outside legacy mode.
+    fn run_conv(
+        &self,
+        pc: &PreparedConv,
+        x: &Tensor<f32>,
+        residual: Option<&Tensor<f32>>,
+        owned_residual: Option<Tensor<f32>>,
+    ) -> (Tensor<f32>, &'static str) {
         let params = pc.plan.params;
-        let relu = pc.fused_relu;
+        let epi = &pc.epilogue;
+        let ops = EpilogueOps {
+            bias: None,
+            residual,
+            pre_add_relu: epi.pre_add_activation == Activation::Relu,
+            relu: epi.activation == Activation::Relu,
+        };
         match &pc.state {
             ConvState::Direct => {
+                debug_assert!(owned_residual.is_none());
                 let mut y = conv2d_direct(x, &pc.weights, None, params);
-                if relu {
-                    relu_inplace(&mut y);
-                }
+                apply_epilogue(&mut y, &ops);
                 (y, "direct")
             }
             ConvState::FloatWinograd(prep) => {
@@ -895,14 +1040,17 @@ impl GraphExecutor {
                 if self.per_tile {
                     // Legacy benchmarking mode. A `legacy()` executor plans
                     // without fusion, but the prepared graph may come from a
-                    // fusing executor — honour its fused ReLU either way.
+                    // fusing executor — honour its fused epilogue either way.
                     let mut y = prep.forward_per_tile(x);
-                    if relu {
-                        relu_inplace(&mut y);
-                    }
+                    apply_epilogue(&mut y, &ops);
                     (y, name)
+                } else if let Some(t) = owned_residual {
+                    (
+                        prep.forward_with_epilogue_into(x, None, ops.pre_add_relu, ops.relu, t),
+                        name,
+                    )
                 } else {
-                    (prep.forward_fused(x, None, relu), name)
+                    (prep.forward_with_epilogue(x, &ops), name)
                 }
             }
             ConvState::IntWinograd(cell) => {
@@ -911,7 +1059,10 @@ impl GraphExecutor {
                 let st = guard.get_or_insert_with(|| {
                     // First-run calibration: tap-wise scales and the input
                     // quantizer are frozen from the live activations, the
-                    // weight transform + quantization runs once.
+                    // weight transform + quantization runs once. The fused
+                    // epilogue changes nothing here: calibration reads only
+                    // the conv's *input* and weights, which are identical
+                    // under fused and separate execution.
                     let mats = WinogradMatrices::for_tile(cfg.tile);
                     let scales =
                         TapwiseScales::calibrate(&pc.weights, x, &mats, cfg.wino_bits, cfg.mode);
@@ -930,29 +1081,36 @@ impl GraphExecutor {
                     }
                 });
                 let xq = crate::quant::quantize_to_i8(x, st.input);
-                let out = if self.per_tile {
-                    // As on the float path: honour a fused ReLU baked into
-                    // the prepared graph even in legacy mode.
-                    let mut out = st.conv.forward_per_tile(&xq);
-                    if relu {
-                        out.codes = out.codes.map(|c| c.max(0));
-                    }
-                    out
+                let y = if self.per_tile {
+                    // As on the float path: honour the fused epilogue baked
+                    // into the prepared graph even in legacy mode, as
+                    // separate passes over the dequantized output (bitwise
+                    // identical: `max(0, c)·s == max(0, c·s)` for s > 0).
+                    let mut y = st.conv.forward_per_tile(&xq).dequantize();
+                    apply_epilogue(&mut y, &ops);
+                    y
+                } else if let Some(t) = owned_residual {
+                    st.conv
+                        .forward_epilogue_into(&xq, ops.pre_add_relu, ops.relu, t)
+                } else if ops.residual.is_some() {
+                    // Requant, residual and ReLUs fuse into the scatter
+                    // stage; the int8 pre-activation map never exists.
+                    st.conv.forward_epilogue(&xq, &ops)
                 } else {
-                    st.conv.forward_fused(&xq, relu)
+                    st.conv
+                        .forward_fused(&xq, ops.pre_add_relu || ops.relu)
+                        .dequantize()
                 };
-                (out.dequantize(), "int-winograd-tapwise")
+                (y, "int-winograd-tapwise")
             }
             ConvState::Engine => {
+                debug_assert!(owned_residual.is_none());
                 let backend = self
                     .engine
                     .backend_for(pc.plan.kernel, params)
                     .or_else(|| self.engine.backend_for(Kernel::Im2col, params))
                     .expect("engine has no backend for this node");
-                let mut y = backend.conv2d(x, &pc.weights, None, params);
-                if relu {
-                    relu_inplace(&mut y);
-                }
+                let y = backend.conv2d_epilogue(x, &pc.weights, params, &ops);
                 (y, backend.name())
             }
         }

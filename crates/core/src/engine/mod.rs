@@ -38,8 +38,11 @@ pub use graph_exec::{
     ActivationArena, ArenaStats, GraphExecution, GraphExecutor, GraphRunOptions, NodeExecution,
     PreparedGraph,
 };
-pub use planner::{ExecutionPlan, LayerPlan, Planner};
+pub use planner::{
+    Activation, EpilogueFusion, EpiloguePlan, ExecutionPlan, FusionClasses, LayerPlan, Planner,
+};
 
+use crate::epilogue::EpilogueOps;
 use wino_nets::Kernel;
 use wino_tensor::{ConvParams, Tensor};
 
@@ -73,6 +76,35 @@ pub trait ConvBackend: Send + Sync {
         bias: Option<&Tensor<f32>>,
         params: ConvParams,
     ) -> Tensor<f32>;
+
+    /// Runs the convolution with a fused [`EpilogueOps`] tail — bias,
+    /// optional residual add and pre-/post-residual ReLU — applied before
+    /// the output is returned.
+    ///
+    /// The default implementation runs [`ConvBackend::conv2d`] (handing it
+    /// the bias) and then applies the remaining tail as separate passes via
+    /// [`crate::epilogue::apply_epilogue`]; backends with an in-register
+    /// epilogue stage (the Winograd paths) override this to fuse the whole
+    /// tail into their output transformation. Both routes compute the same
+    /// elementwise expression in the same order, so an override must stay —
+    /// and the built-in ones are — bitwise identical to the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor shapes are inconsistent with `params` or the
+    /// epilogue operands (residual shape, bias length) disagree with the
+    /// output geometry.
+    fn conv2d_epilogue(
+        &self,
+        x: &Tensor<f32>,
+        w: &Tensor<f32>,
+        params: ConvParams,
+        ops: &EpilogueOps,
+    ) -> Tensor<f32> {
+        let mut y = self.conv2d(x, w, ops.bias, params);
+        crate::epilogue::apply_epilogue(&mut y, &ops.without_bias());
+        y
+    }
 }
 
 /// A registry of backends with kernel-keyed dispatch.

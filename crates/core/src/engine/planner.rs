@@ -90,6 +90,144 @@ impl ExecutionPlan {
     }
 }
 
+/// An activation function fused into a convolution epilogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation.
+    #[default]
+    None,
+    /// Rectified linear unit, `max(0, ·)`.
+    Relu,
+}
+
+/// Which epilogue fusion classes a planner pass may apply.
+///
+/// Each class can be disabled independently (pinned by the
+/// `epilogue_fusion` integration tests), which is what
+/// `GraphExecutor::without_fusion` and the A/B benchmark rows are built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionClasses {
+    /// Absorb sole-consumer ReLUs into the producing conv's epilogue.
+    pub relu: bool,
+    /// Absorb two-input residual adds into the conv producing one operand.
+    pub residual: bool,
+}
+
+impl FusionClasses {
+    /// Every fusion class enabled (the default).
+    pub fn all() -> Self {
+        Self {
+            relu: true,
+            residual: true,
+        }
+    }
+
+    /// No fusion at all: every node runs separately.
+    pub fn none() -> Self {
+        Self {
+            relu: false,
+            residual: false,
+        }
+    }
+
+    /// Only conv → ReLU fusion (the PR 4 baseline).
+    pub fn relu_only() -> Self {
+        Self {
+            relu: true,
+            residual: false,
+        }
+    }
+
+    /// Only conv → add fusion (no activation absorption).
+    pub fn residual_only() -> Self {
+        Self {
+            relu: false,
+            residual: true,
+        }
+    }
+
+    /// Whether any class is enabled.
+    pub fn any(&self) -> bool {
+        self.relu || self.residual
+    }
+}
+
+impl Default for FusionClasses {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// The plan-time description of one conv node's fused output epilogue:
+/// what the kernel applies to each output element before the single store.
+///
+/// `residual` names the *node* whose activation is added (the executor
+/// resolves it to a live arena buffer at run time); `requant` records that
+/// the node executes on the integer pipeline, where the output
+/// requantization rides the same epilogue stage (set by the executor at
+/// prepare time — the planner is numerics-agnostic). The run-time operand
+/// form is [`crate::epilogue::EpilogueOps`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EpiloguePlan {
+    /// Whether a per-channel bias is applied (graph convs carry none today;
+    /// the field exists for backend callers that fuse one).
+    pub bias: bool,
+    /// Producer of the residual operand added in the epilogue.
+    pub residual: Option<usize>,
+    /// Activation applied *before* the residual sum (`add(x, relu(conv))`).
+    pub pre_add_activation: Activation,
+    /// Activation applied after the residual sum, or directly after bias
+    /// when no residual is fused.
+    pub activation: Activation,
+    /// Whether output requantization happens in the epilogue (integer path).
+    pub requant: bool,
+    /// Whether the elided add was the residual's topologically-last consumer,
+    /// so a fusing kernel may write the finished output **into the residual
+    /// buffer** instead of allocating a third tensor — the accelerator's
+    /// datapath, where the residual sum leaves the array over the operand it
+    /// consumed. Kernels that cannot accumulate in place simply borrow the
+    /// residual as usual; the flag is permission, not obligation.
+    pub in_place: bool,
+}
+
+impl EpiloguePlan {
+    /// Whether this plan fuses nothing beyond the bare convolution.
+    pub fn is_identity(&self) -> bool {
+        !self.bias
+            && self.residual.is_none()
+            && self.pre_add_activation == Activation::None
+            && self.activation == Activation::None
+    }
+
+    /// Whether any ReLU (pre- or post-residual) is fused.
+    pub fn has_relu(&self) -> bool {
+        self.pre_add_activation == Activation::Relu || self.activation == Activation::Relu
+    }
+
+    /// How many graph nodes this epilogue absorbs (elides).
+    pub fn absorbed_nodes(&self) -> usize {
+        usize::from(self.residual.is_some()) + usize::from(self.has_relu())
+    }
+}
+
+/// The outcome of [`Planner::fuse_epilogues`] over one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpilogueFusion {
+    /// One epilogue plan per node id (identity for non-conv nodes and for
+    /// convs nothing fused into).
+    pub plans: Vec<EpiloguePlan>,
+    /// For every absorbed (elided) tail node, the conv whose epilogue now
+    /// performs its work; the executor passes such nodes through untouched.
+    pub absorbed_into: Vec<Option<usize>>,
+}
+
+impl EpilogueFusion {
+    /// Total nodes absorbed into conv epilogues.
+    pub fn fused_node_count(&self) -> usize {
+        self.absorbed_into.iter().flatten().count()
+    }
+}
+
 /// Selects a kernel per layer given the kernels an engine build offers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Planner {
@@ -149,31 +287,144 @@ impl Planner {
         }
     }
 
-    /// Decides conv → ReLU fusion over a graph: for every node id the result
-    /// holds `Some(relu_id)` when that node is a convolution whose output is
-    /// consumed by exactly one node and that consumer is a ReLU, `None`
-    /// otherwise.
+    /// Decides every epilogue fusion over a graph: pattern-matches
+    /// `conv → [add residual] → [relu]` chains (and the Darknet-style
+    /// `add(x, relu(conv))` variant) and emits one [`EpiloguePlan`] per node
+    /// plus the pass-through map of absorbed tail nodes.
     ///
-    /// Fusing is always profitable under that condition — the ReLU runs
-    /// in-register inside the conv's output epilogue instead of as a second
-    /// pass over the activation — and it is exact: `max(0, ·)` commutes with
-    /// nothing the epilogue reorders (float path) and with the positive
-    /// output scale (integer path), so fused and separate execution are
-    /// bitwise identical. A conv with more than one consumer must keep its
-    /// pre-activation output live and is never fused.
-    pub fn fuse_conv_relu(&self, graph: &Graph) -> Vec<Option<usize>> {
+    /// The rules, all resting on sole-consumer guarantees so no elided tensor
+    /// is needed elsewhere:
+    ///
+    /// * **ReLU** (`classes.relu`): a ReLU whose producer is a conv with no
+    ///   other consumer is absorbed as the conv's trailing activation; a ReLU
+    ///   solely consuming an *already absorbed* residual add becomes the
+    ///   fused conv's post-residual activation.
+    /// * **Residual** (`classes.residual`): a two-input add where exactly one
+    ///   operand is a sole-consumer conv tail (the conv itself, or its
+    ///   already-absorbed trailing ReLU) and the *other* operand was produced
+    ///   before that conv runs is absorbed: the conv reads the residual
+    ///   in-register during its output transform. When the conv tail carried
+    ///   a fused ReLU, that activation moves before the residual sum
+    ///   (`add(x, relu(conv))` semantics are preserved exactly).
+    ///
+    /// Negative cases, deliberately left unfused: a conv with more than one
+    /// consumer (its pre-activation output must stay live), an add whose
+    /// operands are *both* sole-consumer conv tails (fusing either side would
+    /// read the other's output before it exists, and the choice would be
+    /// arbitrary — ResNet projection blocks hit this), an add with more than
+    /// two operands, and any chain crossing a structural node (nothing fuses
+    /// through a concat, pool or upsample).
+    ///
+    /// Every fusion is exact: the fused epilogue evaluates the same
+    /// elementwise expression in the same order as the separate nodes
+    /// ([`crate::epilogue::apply_epilogue`] is the reference), so fused and
+    /// separate execution are bitwise identical on both the float and the
+    /// integer path — pinned by `tests/epilogue_fusion.rs`.
+    pub fn fuse_epilogues(&self, graph: &Graph, classes: FusionClasses) -> EpilogueFusion {
         let nodes = graph.nodes();
+        let n = nodes.len();
         let consumers = graph.consumer_counts();
-        let mut fused = vec![None; nodes.len()];
+        let consumer_lists = graph.consumers();
+        let mut fusion = EpilogueFusion {
+            plans: vec![EpiloguePlan::default(); n],
+            absorbed_into: vec![None; n],
+        };
+        if !classes.any() {
+            return fusion;
+        }
+        // The id of the conv whose epilogue an add operand leads back to, if
+        // that operand is a fusable conv tail: either the conv itself or a
+        // ReLU already absorbed into it. `pre` is true when the tail carries
+        // an absorbed activation that must run before the residual sum.
+        let candidate = |fusion: &EpilogueFusion, x: usize| -> Option<(usize, bool)> {
+            if consumers[x] != 1 {
+                return None;
+            }
+            match nodes[x].op {
+                GraphOp::Conv(_) if fusion.plans[x].residual.is_none() => Some((x, false)),
+                GraphOp::Relu => match fusion.absorbed_into[x] {
+                    Some(c) if fusion.plans[c].residual.is_none() => Some((c, true)),
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
         for (id, node) in nodes.iter().enumerate() {
-            if matches!(node.op, GraphOp::Relu) {
-                let src = node.inputs[0];
-                if consumers[src] == 1 && matches!(nodes[src].op, GraphOp::Conv(_)) {
-                    fused[src] = Some(id);
+            match node.op {
+                GraphOp::Relu if classes.relu => {
+                    let src = node.inputs[0];
+                    if consumers[src] != 1 {
+                        continue;
+                    }
+                    match nodes[src].op {
+                        // Plain conv → relu: the PR 4 fusion class.
+                        GraphOp::Conv(_)
+                            if fusion.plans[src].residual.is_none()
+                                && fusion.plans[src].activation == Activation::None =>
+                        {
+                            fusion.plans[src].activation = Activation::Relu;
+                            fusion.absorbed_into[id] = Some(src);
+                        }
+                        // relu(add(conv, x)) where the add is already fused:
+                        // the ReLU becomes the conv's post-residual epilogue.
+                        GraphOp::Add => {
+                            if let Some(c) = fusion.absorbed_into[src] {
+                                if fusion.plans[c].activation == Activation::None {
+                                    fusion.plans[c].activation = Activation::Relu;
+                                    fusion.absorbed_into[id] = Some(c);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
                 }
+                GraphOp::Add if classes.residual => {
+                    if node.inputs.len() != 2 || node.inputs[0] == node.inputs[1] {
+                        continue;
+                    }
+                    let (p, q) = (node.inputs[0], node.inputs[1]);
+                    let (conv, pre, residual) = match (candidate(&fusion, p), candidate(&fusion, q))
+                    {
+                        // Both operands are conv tails: ambiguous, and the
+                        // later conv cannot read the earlier one's output
+                        // before both exist as separate nodes. Keep apart.
+                        (Some(_), Some(_)) | (None, None) => continue,
+                        (Some((c, pre)), None) => (c, pre, q),
+                        (None, Some((c, pre))) => (c, pre, p),
+                    };
+                    // The residual operand must already be computed when the
+                    // conv runs (graphs execute in topological order).
+                    if residual >= conv {
+                        continue;
+                    }
+                    // In-place accumulation is safe when this add is the
+                    // residual's last consumer (everyone else has already
+                    // read it by the time the conv runs), the residual is
+                    // not the conv's own input (which the kernel still reads
+                    // while writing), and the residual is not itself an
+                    // Output node (whose tensor the executor must keep for
+                    // the run's result set).
+                    let in_place = residual != nodes[conv].inputs[0]
+                        && !matches!(nodes[residual].op, GraphOp::Output)
+                        && consumer_lists[residual]
+                            .iter()
+                            .all(|&c| c == id || c < conv);
+                    let plan = &mut fusion.plans[conv];
+                    plan.residual = Some(residual);
+                    plan.in_place = in_place;
+                    if pre {
+                        // The tail's absorbed ReLU ran before the add in the
+                        // separate graph; keep it before the residual sum.
+                        debug_assert_eq!(plan.activation, Activation::Relu);
+                        plan.pre_add_activation = Activation::Relu;
+                        plan.activation = Activation::None;
+                    }
+                    fusion.absorbed_into[id] = Some(conv);
+                }
+                _ => {}
             }
         }
-        fused
+        fusion
     }
 
     /// Plans a whole network.
@@ -233,7 +484,7 @@ mod tests {
     }
 
     #[test]
-    fn fusion_covers_sole_consumer_relus_only() {
+    fn relu_fusion_covers_sole_consumer_relus_only() {
         use wino_nets::GraphBuilder;
         let mut g = GraphBuilder::new("fuse-test", 8);
         let x = g.input("in", 4, 8, 8);
@@ -246,10 +497,151 @@ mod tests {
         let a = g.add("res", vec![c2, r2]);
         g.output("out", a);
         let graph = g.finish();
-        let fused = Planner::default().fuse_conv_relu(&graph);
-        assert_eq!(fused[c1], Some(r1), "sole-consumer relu must fuse");
-        assert_eq!(fused[c2], None, "multi-consumer conv must not fuse");
-        assert!(fused[r1].is_none() && fused[x].is_none());
+        let fusion = Planner::default().fuse_epilogues(&graph, FusionClasses::all());
+        assert_eq!(fusion.absorbed_into[r1], Some(c1), "sole-consumer relu");
+        assert_eq!(fusion.plans[c1].activation, Activation::Relu);
+        assert!(
+            fusion.absorbed_into[r2].is_none() && fusion.plans[c2].is_identity(),
+            "multi-consumer conv must not fuse"
+        );
+        // The add reads c2 (multi-consumer) and r2 (unfused relu): no
+        // residual fusion either.
+        assert!(fusion.absorbed_into[a].is_none());
+        assert_eq!(fusion.fused_node_count(), 1);
+    }
+
+    /// A ResNet-style residual tail: conv → add(identity) → relu.
+    fn residual_tail_graph() -> (Graph, usize, usize, usize, usize) {
+        use wino_nets::GraphBuilder;
+        let mut g = GraphBuilder::new("res-tail", 8);
+        let x = g.input("in", 4, 8, 8);
+        let c1 = g.conv_relu(ConvLayer::conv3x3("c1", 4, 4, 8), x);
+        let c2 = g.conv(ConvLayer::conv3x3("c2", 4, 4, 8), c1);
+        let a = g.add("res", vec![c2, c1]);
+        let r = g.relu("res.relu", a);
+        g.output("out", r);
+        (g.finish(), c1, c2, a, r)
+    }
+
+    #[test]
+    fn residual_tail_fuses_conv_add_relu_as_one_epilogue() {
+        let (graph, _c1, c2, a, r) = residual_tail_graph();
+        let fusion = Planner::default().fuse_epilogues(&graph, FusionClasses::all());
+        let plan = &fusion.plans[c2];
+        assert!(plan.residual.is_some(), "identity residual must fuse");
+        assert_eq!(plan.activation, Activation::Relu, "post-add relu rides");
+        assert_eq!(plan.pre_add_activation, Activation::None);
+        assert_eq!(fusion.absorbed_into[a], Some(c2));
+        assert_eq!(fusion.absorbed_into[r], Some(c2));
+        assert_eq!(plan.absorbed_nodes(), 2);
+    }
+
+    #[test]
+    fn darknet_tail_moves_the_relu_before_the_residual_sum() {
+        // add(x, relu(conv)): the absorbed relu must become pre-add.
+        use wino_nets::GraphBuilder;
+        let mut g = GraphBuilder::new("darknet-tail", 8);
+        let x = g.input("in", 4, 8, 8);
+        let prev = g.conv_relu(ConvLayer::conv3x3("c0", 4, 4, 8), x);
+        let c = g.conv(ConvLayer::conv3x3("c1", 4, 4, 8), prev);
+        let r = g.relu("c1.relu", c);
+        let a = g.add("res", vec![prev, r]);
+        g.output("out", a);
+        let graph = g.finish();
+        let fusion = Planner::default().fuse_epilogues(&graph, FusionClasses::all());
+        let plan = &fusion.plans[c];
+        assert_eq!(plan.residual, Some(prev));
+        assert_eq!(plan.pre_add_activation, Activation::Relu);
+        assert_eq!(plan.activation, Activation::None);
+        assert_eq!(fusion.absorbed_into[a], Some(c));
+        assert_eq!(fusion.absorbed_into[r], Some(c));
+    }
+
+    #[test]
+    fn ambiguous_and_unavailable_residuals_stay_separate() {
+        use wino_nets::GraphBuilder;
+        // Both add inputs are sole-consumer convs (projection block shape):
+        // neither fuses.
+        let mut g = GraphBuilder::new("both-conv", 8);
+        let x = g.input("in", 4, 8, 8);
+        let c1 = g.conv(ConvLayer::conv3x3("c1", 4, 4, 8), x);
+        let c2 = g.conv(ConvLayer::conv1x1("proj", 4, 4, 8), x);
+        let a = g.add("res", vec![c1, c2]);
+        g.output("out", a);
+        let fusion = Planner::default().fuse_epilogues(&g.finish(), FusionClasses::all());
+        assert!(fusion.absorbed_into[a].is_none(), "ambiguous add fused");
+        assert!(fusion.plans[c1].is_identity() && fusion.plans[c2].is_identity());
+
+        // Residual produced *after* the conv (FPN top-down shape): the conv
+        // cannot read it, so nothing fuses.
+        let mut g = GraphBuilder::new("late-residual", 8);
+        let x = g.input("in", 4, 8, 8);
+        let c = g.conv(ConvLayer::conv3x3("lateral", 4, 4, 8), x);
+        let p = g.max_pool("pool", 2, 2, 0, x);
+        let u = g.upsample("up", 2, p);
+        let a = g.add("td", vec![c, u]);
+        g.output("out", a);
+        let fusion = Planner::default().fuse_epilogues(&g.finish(), FusionClasses::all());
+        assert!(fusion.absorbed_into[a].is_none(), "late residual fused");
+    }
+
+    #[test]
+    fn in_place_is_granted_only_when_the_add_was_the_last_consumer() {
+        use wino_nets::GraphBuilder;
+        // Real basic-block shape: the block input feeds c1 and the add, and
+        // c1 (not the block input) feeds c2 — the add is the block input's
+        // last consumer, so the kernel may overwrite it.
+        let (graph, _c1, c2, _a, _r) = residual_tail_graph();
+        let fusion = Planner::default().fuse_epilogues(&graph, FusionClasses::all());
+        // In residual_tail_graph the residual IS c2's direct input (c1), so
+        // in-place must be refused: the kernel still reads that tensor.
+        assert!(fusion.plans[c2].residual.is_some());
+        assert!(!fusion.plans[c2].in_place, "conv input must not be stolen");
+
+        // Distinct residual whose last consumer is the elided add: granted.
+        let mut g = GraphBuilder::new("steal-ok", 8);
+        let x = g.input("in", 4, 8, 8);
+        let c1 = g.conv_relu(ConvLayer::conv3x3("c1", 4, 4, 8), x);
+        let c2 = g.conv(ConvLayer::conv3x3("c2", 4, 4, 8), c1);
+        let a = g.add("res", vec![c2, x]);
+        g.output("out", a);
+        let fusion = Planner::default().fuse_epilogues(&g.finish(), FusionClasses::all());
+        assert_eq!(fusion.plans[c2].residual, Some(x));
+        assert!(fusion.plans[c2].in_place, "last-consumer residual steals");
+
+        // Residual with a consumer *after* the conv (a route/tap): borrowed.
+        let mut g = GraphBuilder::new("steal-no", 8);
+        let x = g.input("in", 4, 8, 8);
+        let c1 = g.conv_relu(ConvLayer::conv3x3("c1", 4, 4, 8), x);
+        let c2 = g.conv(ConvLayer::conv3x3("c2", 4, 4, 8), c1);
+        let a = g.add("res", vec![c2, x]);
+        let cat = g.concat("route", vec![a, x]);
+        g.output("out", cat);
+        let fusion = Planner::default().fuse_epilogues(&g.finish(), FusionClasses::all());
+        assert_eq!(fusion.plans[c2].residual, Some(x));
+        assert!(
+            !fusion.plans[c2].in_place,
+            "later consumer forbids stealing"
+        );
+    }
+
+    #[test]
+    fn fusion_classes_disable_independently() {
+        let (graph, _c1, c2, a, r) = residual_tail_graph();
+        let planner = Planner::default();
+        let none = planner.fuse_epilogues(&graph, FusionClasses::none());
+        assert_eq!(none.fused_node_count(), 0);
+        let relu_only = planner.fuse_epilogues(&graph, FusionClasses::relu_only());
+        assert!(relu_only.absorbed_into[a].is_none(), "residual class off");
+        assert!(
+            relu_only.absorbed_into[r].is_none(),
+            "post-add relu needs the add fused first"
+        );
+        assert!(relu_only.fused_node_count() > 0, "c1's relu still fuses");
+        let res_only = planner.fuse_epilogues(&graph, FusionClasses::residual_only());
+        assert_eq!(res_only.absorbed_into[a], Some(c2), "residual class on");
+        assert!(res_only.absorbed_into[r].is_none(), "relu class off");
+        assert!(!res_only.plans[c2].has_relu());
     }
 
     #[test]

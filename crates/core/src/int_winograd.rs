@@ -14,6 +14,7 @@
 //!    with the integer `Aᵀ · M · A`,
 //! 5. the spatial-domain output is re-quantized to int8.
 
+use crate::epilogue::{apply_epilogue, EpilogueOps};
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::{QuantBits, QuantParams};
 use crate::scratch::{strip_group_len, with_tap_scratch};
@@ -21,7 +22,7 @@ use crate::tapwise::{ScaleMode, TapwiseScales};
 use crate::transform::{weight_transform, TileGrid};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use wino_tensor::{gemm_i16_i32_into, parallel_map, split_ranges, Tensor};
+use wino_tensor::{gemm_i16_i32_into, parallel_map, split_ranges, Element, Tensor};
 
 /// Largest input-tile area on the integer path (F4: `t = 6`), sizing the
 /// fixed per-tap scale table.
@@ -265,6 +266,175 @@ impl IntWinogradConv {
             }
             return out;
         }
+        let params = self.output_params;
+        let codes = self.forward_tap_major_with(x, |val, _| {
+            let mut code = params.quantize(val) as i8;
+            if relu {
+                code = code.max(0);
+            }
+            code
+        });
+        IntWinogradOutput {
+            codes,
+            scale: params.scale,
+        }
+    }
+
+    /// Runs the integer pipeline with a full [`EpilogueOps`] tail and returns
+    /// the **dequantized** FP32 output directly: the output requantization,
+    /// any pre-residual ReLU (a code clamp), the dequantization into the
+    /// output scale, the residual add and the post-residual ReLU all happen
+    /// in the scatter stage before the single store. A `conv → add → relu`
+    /// residual tail therefore never materializes the int8 pre-activation
+    /// map, its dequantized FP32 copy, or the separate sum tensor.
+    ///
+    /// Bitwise identical to `forward_fused(…).dequantize()` followed by
+    /// [`apply_epilogue`] (the separate-node execution), because every
+    /// elementwise step runs in the same order on the same values; pinned by
+    /// the unit tests and `tests/epilogue_fusion.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count or residual shape disagrees with the
+    /// prepared weights, or if a bias is passed (the integer epilogue has no
+    /// bias stage — quantized graph convs carry none).
+    pub fn forward_epilogue(&self, x: &Tensor<i8>, epi: &EpilogueOps) -> Tensor<f32> {
+        assert!(
+            epi.bias.is_none(),
+            "integer epilogue has no bias stage (fold it into the weights)"
+        );
+        let Some(res) = epi.residual else {
+            // No residual: the code path already fuses the ReLU (pre- and
+            // post-residual coincide when there is nothing between them).
+            return self
+                .forward_fused(x, epi.pre_add_relu || epi.relu)
+                .dequantize();
+        };
+        if !self.tap_major_is_exact() {
+            let mut y = self.forward_per_tile(x).dequantize();
+            apply_epilogue(&mut y, epi);
+            return y;
+        }
+        assert_eq!(x.rank(), 4, "input must be NCHW");
+        assert_eq!(
+            res.dims(),
+            &[x.dims()[0], self.c_out, x.dims()[2], x.dims()[3]],
+            "residual shape mismatch"
+        );
+        self.forward_tap_major_with(
+            x,
+            self.residual_emit(res.as_slice(), epi.pre_add_relu, epi.relu),
+        )
+    }
+
+    /// The scatter-stage emit of a residual-fused epilogue — requantize,
+    /// pre-add code clamp, dequantize into the output scale, residual add,
+    /// post ReLU. One constructor serves both the borrowed
+    /// ([`IntWinogradConv::forward_epilogue`]) and the owned
+    /// ([`IntWinogradConv::forward_epilogue_into`]) path, so their
+    /// element-wise expressions cannot drift apart.
+    fn residual_emit<'a>(
+        &self,
+        res_s: &'a [f32],
+        pre_add_relu: bool,
+        relu: bool,
+    ) -> impl Fn(f32, usize) -> f32 + Sync + 'a {
+        let params = self.output_params;
+        let scale = params.scale;
+        move |val, idx| {
+            let mut code = params.quantize(val) as i8;
+            if pre_add_relu {
+                code = code.max(0);
+            }
+            let mut f = f32::from(code) * scale + res_s[idx];
+            if relu {
+                f = f.max(0.0);
+            }
+            f
+        }
+    }
+
+    /// [`IntWinogradConv::forward_epilogue`] with an **owned** residual: the
+    /// fused FP32 output is written into the residual's own buffer (read in
+    /// the scatter phase, overwritten in the merge), so the tail allocates
+    /// no third activation. Bitwise identical to the borrowing path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count or residual shape disagrees with the
+    /// prepared weights.
+    pub fn forward_epilogue_into(
+        &self,
+        x: &Tensor<i8>,
+        pre_add_relu: bool,
+        relu: bool,
+        residual: Tensor<f32>,
+    ) -> Tensor<f32> {
+        if !self.tap_major_is_exact() {
+            let mut y = self.forward_per_tile(x).dequantize();
+            apply_epilogue(
+                &mut y,
+                &EpilogueOps {
+                    bias: None,
+                    residual: Some(&residual),
+                    pre_add_relu,
+                    relu,
+                },
+            );
+            return y;
+        }
+        assert_eq!(x.rank(), 4, "input must be NCHW");
+        assert_eq!(
+            residual.dims(),
+            &[x.dims()[0], self.c_out, x.dims()[2], x.dims()[3]],
+            "residual shape mismatch"
+        );
+        let bufs = {
+            let emit = self.residual_emit(residual.as_slice(), pre_add_relu, relu);
+            self.tap_major_strip_bufs(x, &emit)
+        };
+        let mut y = residual;
+        self.tap_major_merge(&bufs, &mut y);
+        y
+    }
+
+    /// Whether the tap-major pipeline's `i32` accumulators are exact for a
+    /// layer with `c_in` input channels at `wino_bits` — the static form of
+    /// [`IntWinogradConv::tap_major_is_exact`], usable before any prepared
+    /// state exists (the graph executor's in-place fusion decision).
+    pub fn i32_exact_for(c_in: usize, wino_bits: QuantBits) -> bool {
+        let wb = u32::from(wino_bits.bits());
+        (c_in as i64) << (2 * wb - 2) <= i64::from(i32::MAX)
+    }
+
+    /// The tap-major integer pipeline, generic over the element the scatter
+    /// stage emits: `emit(value, flat_output_index)` receives the FP32
+    /// back-transformed output value and the NCHW index it lands on, and
+    /// produces the stored element (int8 codes for
+    /// [`IntWinogradConv::forward_fused`], epilogue-fused FP32 for
+    /// [`IntWinogradConv::forward_epilogue`]). Callers must have checked
+    /// [`IntWinogradConv::tap_major_is_exact`].
+    fn forward_tap_major_with<O, F>(&self, x: &Tensor<i8>, emit: F) -> Tensor<O>
+    where
+        O: Element,
+        F: Fn(f32, usize) -> O + Sync,
+    {
+        let bufs = self.tap_major_strip_bufs(x, &emit);
+        let mut y = Tensor::<O>::zeros(&[x.dims()[0], self.c_out, x.dims()[2], x.dims()[3]]);
+        self.tap_major_merge(&bufs, &mut y);
+        y
+    }
+
+    /// The parallel phase of the tap-major pipeline: gather + integer
+    /// transforms, one GEMM per tap, rescale + back-transformation, and the
+    /// `emit` scatter into per-group strip buffers. Split from the merge so
+    /// an in-place caller ([`IntWinogradConv::forward_epilogue_into`]) can
+    /// read the residual here and hand its buffer to the merge afterwards.
+    fn tap_major_strip_bufs<O, F>(&self, x: &Tensor<i8>, emit: &F) -> Vec<Vec<O>>
+    where
+        O: Element,
+        F: Fn(f32, usize) -> O + Sync,
+    {
         assert_eq!(x.rank(), 4, "input must be NCHW");
         assert_eq!(x.dims()[1], self.c_in, "channel mismatch");
         let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
@@ -302,7 +472,7 @@ impl IntWinogradConv {
                 .clone()
                 .map(|s| self.c_out * m.min(h - (s % grid.tiles_h) * m) * w)
                 .sum();
-            let mut buf = vec![0_i8; buf_len];
+            let mut buf = vec![O::default(); buf_len];
             with_tap_scratch(|scr| {
                 let (v, mm, da, db, ea, eb) = scr.int_panels(
                     tt * self.c_in * ntiles,
@@ -449,23 +619,24 @@ impl IntWinogradConv {
                             }
                         }
                     }
-                    // Quantize + fused ReLU + scatter into the strip rows.
+                    // Emit (quantize + epilogue) + scatter into the strip
+                    // rows; `emit` sees the global NCHW index so a fused
+                    // residual can be read in-register before the store.
                     for (si, s) in range.clone().enumerate() {
+                        let ni = s / grid.tiles_h;
                         let ty = s % grid.tiles_h;
                         let strip_h = m.min(h - ty * m);
                         let base = strip_offs[si] + co * strip_h * w;
+                        let out_plane = (ni * self.c_out + co) * h * w;
                         for tx in 0..grid.tiles_w {
                             let tile_idx = si * grid.tiles_w + tx;
                             let cols = m.min(w - tx * m);
                             for r in 0..strip_h {
                                 let row = base + r * w + tx * m;
+                                let out_row = out_plane + (ty * m + r) * w + tx * m;
                                 for c in 0..cols {
                                     let val = ea[(r * m + c) * ntiles + tile_idx];
-                                    let mut code = self.output_params.quantize(val) as i8;
-                                    if relu {
-                                        code = code.max(0);
-                                    }
-                                    buf[row + c] = code;
+                                    buf[row + c] = emit(val, out_row + c);
                                 }
                             }
                         }
@@ -474,8 +645,22 @@ impl IntWinogradConv {
             });
             buf
         });
+        bufs
+    }
 
-        let mut y = Tensor::<i8>::zeros(&[n, self.c_out, h, w]);
+    /// The sequential merge of the tap-major strip buffers into `y`, which
+    /// may be a fresh tensor or (for in-place residual accumulation) the
+    /// residual operand itself — every element is overwritten, and the
+    /// scatter phase has already read everything it needed.
+    fn tap_major_merge<O: Element>(&self, bufs: &[Vec<O>], y: &mut Tensor<O>) {
+        let (n, h, w) = (y.dims()[0], y.dims()[2], y.dims()[3]);
+        let m = self.mats.output_tile();
+        let t = self.mats.input_tile();
+        let grid = TileGrid::new(h, w, m, 1);
+        let strips = n * grid.tiles_h;
+        let group = strip_group_len(grid.tiles_w, self.c_in, self.c_out, t * t);
+        let ranges = split_ranges(strips, group);
+        debug_assert_eq!(ranges.len(), bufs.len(), "strip grouping drifted");
         let y_s = y.as_mut_slice();
         for (range, buf) in ranges.iter().zip(bufs.iter()) {
             let mut off = 0usize;
@@ -494,10 +679,6 @@ impl IntWinogradConv {
                 off += self.c_out * strip_h * w;
             }
         }
-        IntWinogradOutput {
-            codes: y,
-            scale: self.output_params.scale,
-        }
     }
 
     /// Whether the tap-major `i32` accumulators are provably exact: the worst
@@ -505,8 +686,7 @@ impl IntWinogradConv {
     /// every configuration the paper uses (8–10 bits); exotic calibrations
     /// beyond that fall back to the `i64`-accumulating per-tile path.
     fn tap_major_is_exact(&self) -> bool {
-        let wb = u32::from(self.cfg.wino_bits.bits());
-        (self.c_in as i64) << (2 * wb - 2) <= i64::from(i32::MAX)
+        Self::i32_exact_for(self.c_in, self.cfg.wino_bits)
     }
 
     /// The original per-tile integer forward pass (scalar elementwise
@@ -753,6 +933,46 @@ mod tests {
         let fused = conv.forward_fused(&xq, true).dequantize();
         let separate = conv.forward(&xq).dequantize().map(|v| v.max(0.0));
         assert_eq!(fused, separate, "fused ReLU must be bitwise identical");
+    }
+
+    #[test]
+    fn residual_epilogue_is_bitwise_equal_to_separate_passes() {
+        use crate::epilogue::{apply_epilogue, EpilogueOps};
+        let x = normal(&[2, 4, 13, 9], 0.0, 1.0, 230);
+        let w = normal(&[6, 4, 3, 3], 0.0, 0.3, 231);
+        let res = normal(&[2, 6, 13, 9], 0.0, 1.0, 232);
+        for tile in [TileSize::F2, TileSize::F4] {
+            let cfg = WinogradQuantConfig::tapwise_po2(tile, 8);
+            let mats = WinogradMatrices::for_tile(tile);
+            let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+            let (xq, xp) = quantize_input(&x, cfg.spatial_bits);
+            let conv = IntWinogradConv::prepare(&w, &scales, xp, 8.0, cfg);
+            for (pre, post) in [(false, false), (false, true), (true, false)] {
+                let ops = EpilogueOps {
+                    bias: None,
+                    residual: Some(&res),
+                    pre_add_relu: pre,
+                    relu: post,
+                };
+                let fused = conv.forward_epilogue(&xq, &ops);
+                // Separate: conv (with any pre-add ReLU as a code clamp),
+                // dequantize, then the residual add and post-ReLU passes.
+                let mut separate = conv.forward_fused(&xq, pre).dequantize();
+                apply_epilogue(
+                    &mut separate,
+                    &EpilogueOps {
+                        bias: None,
+                        residual: Some(&res),
+                        pre_add_relu: false,
+                        relu: post,
+                    },
+                );
+                assert_eq!(
+                    fused, separate,
+                    "{tile} pre={pre} post={post}: fused epilogue drifted"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * the unified execution engine ([`engine`]): every convolution path behind
 //!   one [`ConvBackend`] contract, a [`Planner`] that picks a kernel per layer
 //!   with the same taxonomy as the cycle simulator, and a [`NetworkExecutor`]
-//!   that runs whole layer inventories with real tensors.
+//!   that runs whole layer inventories with real tensors;
+//! * composable convolution epilogues ([`epilogue`]): the bias / requant /
+//!   residual / ReLU tail every backend can fuse into its output transform,
+//!   with [`apply_epilogue`] as the bitwise reference.
 //!
 //! # Quick example
 //!
@@ -41,6 +44,7 @@ pub mod analysis;
 pub mod calibration;
 pub mod cooktoom;
 pub mod engine;
+pub mod epilogue;
 pub mod int_winograd;
 pub mod matrices;
 pub mod pinv;
@@ -56,11 +60,13 @@ pub use analysis::{
 pub use calibration::{MaxCalibrator, TapCalibrator};
 pub use cooktoom::cook_toom_matrices;
 pub use engine::{
-    ActivationArena, ArenaStats, ConvBackend, DirectBackend, Engine, ExecutionPlan,
-    ExecutorOptions, GraphExecution, GraphExecutor, GraphRunOptions, Im2colGemmBackend,
-    IntWinogradTapwiseBackend, LayerPlan, NetworkExecution, NetworkExecutor, NodeExecution,
-    Planner, PreparedGraph, SynthCache, SynthStats, WinogradBackend,
+    Activation, ActivationArena, ArenaStats, ConvBackend, DirectBackend, Engine, EpilogueFusion,
+    EpiloguePlan, ExecutionPlan, ExecutorOptions, FusionClasses, GraphExecution, GraphExecutor,
+    GraphRunOptions, Im2colGemmBackend, IntWinogradTapwiseBackend, LayerPlan, NetworkExecution,
+    NetworkExecutor, NodeExecution, Planner, PreparedGraph, SynthCache, SynthStats,
+    WinogradBackend,
 };
+pub use epilogue::{add_bias, apply_epilogue, EpilogueOps};
 pub use int_winograd::{
     prepare_call_count, IntWinogradConv, IntWinogradOutput, WinogradQuantConfig,
 };

@@ -9,6 +9,16 @@
 //! parallel helpers run inline on the caller thread and every conv node of a
 //! graph run reuses one warm allocation; on multi-core hosts each scoped
 //! worker pays one allocation per `parallel_map` call at most.
+//!
+//! The fused epilogue (`crate::epilogue::EpilogueOps` — bias, residual add,
+//! ReLU, and on the integer path the output requantization) adds **no**
+//! scratch: the residual operand is streamed element-by-element from the
+//! caller's live activation at scatter time, never gathered into a panel, so
+//! [`tap_scratch_bytes`] is the same with or without an epilogue. The one
+//! footprint change a fused residual makes is to the *output staging*: the
+//! integer path's per-group strip buffers widen from `i8` codes to the `f32`
+//! post-epilogue values (they become the final activation, so this is a
+//! move of bytes from a dequantize pass into the kernel, not an addition).
 
 use std::cell::RefCell;
 

@@ -21,6 +21,7 @@
 //! [`PreparedWinogradConv::forward_per_tile`] — the reference the tap-major
 //! path is benchmarked and equivalence-tested against.
 
+use crate::epilogue::{apply_epilogue, EpilogueOps};
 use crate::int_winograd::WinogradQuantConfig;
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::QuantParams;
@@ -35,7 +36,7 @@ use wino_tensor::{gemm_f32_into, parallel_map, split_ranges, Tensor};
 /// has 4 tiles per image), so the batched formulation loses to the scalar
 /// loop it replaces. Batched inputs raise the tile count and flip back to
 /// tap-major automatically.
-const MIN_TAP_MAJOR_TILES: usize = 8;
+pub(crate) const MIN_TAP_MAJOR_TILES: usize = 8;
 
 /// Tap-wise fake quantization of a flat `t×t` Winograd-domain tile, matching
 /// [`TapScaleMatrix::fake_quantize_tile`] without the tensor round trip.
@@ -96,8 +97,7 @@ fn winograd_conv2d_with(
         mats,
         scales.map(|s| &s.input),
         spatial_input,
-        None,
-        false,
+        &EpilogueOps::none(),
     )
 }
 
@@ -183,9 +183,11 @@ fn axpy(dst: &mut [f32], coeff: f32, src: &[f32]) {
 /// buffer (`[t² elements][tile lanes]`), runs both congruence-transform
 /// stages as vector operations over the tile lanes, executes one
 /// [`gemm_f32_into`] per tap (`M[tap] = U[tap] · V[tap]`), and
-/// back-transforms `M[tap][c_out][tile]` the same SoA way with the optional
-/// fused bias/ReLU epilogue applied in-register.
-#[allow(clippy::too_many_arguments)]
+/// back-transforms `M[tap][c_out][tile]` the same SoA way with the fused
+/// [`EpilogueOps`] applied before the single store: bias and any
+/// pre-residual ReLU while the SoA row is hot, the residual read and the
+/// post-residual ReLU at scatter time (where the output coordinate — and
+/// with it the residual element — is known).
 fn winograd_forward_tap_major(
     x: &Tensor<f32>,
     u_tap: &[f32],
@@ -193,8 +195,35 @@ fn winograd_forward_tap_major(
     mats: &WinogradMatrices,
     input_scales: Option<&TapScaleMatrix>,
     spatial_input: Option<QuantParams>,
-    bias: Option<&Tensor<f32>>,
-    fuse_relu: bool,
+    epi: &EpilogueOps,
+) -> Tensor<f32> {
+    winograd_forward_tap_major_impl(
+        x,
+        u_tap,
+        c_out,
+        mats,
+        input_scales,
+        spatial_input,
+        epi,
+        None,
+    )
+}
+
+/// [`winograd_forward_tap_major`] with an optional **owned** residual: when
+/// `reuse` is `Some`, `epi.residual` must be `None` — the owned tensor is the
+/// residual operand, its values are read during the scatter stage, and the
+/// finished output is merged **into its buffer**, so a fused residual tail
+/// allocates no third activation (the accelerator's in-place accumulation).
+#[allow(clippy::too_many_arguments)]
+fn winograd_forward_tap_major_impl(
+    x: &Tensor<f32>,
+    u_tap: &[f32],
+    c_out: usize,
+    mats: &WinogradMatrices,
+    input_scales: Option<&TapScaleMatrix>,
+    spatial_input: Option<QuantParams>,
+    epi: &EpilogueOps,
+    reuse: Option<Tensor<f32>>,
 ) -> Tensor<f32> {
     assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
     let (n, c_in, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
@@ -207,9 +236,33 @@ fn winograd_forward_tap_major(
         c_out * c_in * tt,
         "winograd_conv2d: channel mismatch"
     );
-    if let Some(b) = bias {
+    if let Some(b) = epi.bias {
         assert_eq!(b.len(), c_out, "winograd_conv2d: bias length mismatch");
     }
+    debug_assert!(
+        epi.residual.is_none() || reuse.is_none(),
+        "borrowed and owned residuals are mutually exclusive"
+    );
+    let residual_slice: Option<&[f32]> = epi
+        .residual
+        .map(|r| {
+            assert_eq!(
+                r.dims(),
+                &[n, c_out, h, wd],
+                "winograd_conv2d: residual shape mismatch"
+            );
+            r.as_slice()
+        })
+        .or_else(|| {
+            reuse.as_ref().map(|r| {
+                assert_eq!(
+                    r.dims(),
+                    &[n, c_out, h, wd],
+                    "winograd_conv2d: residual shape mismatch"
+                );
+                r.as_slice()
+            })
+        });
 
     // Spatially (fake-)quantized input if requested; borrowed otherwise (the
     // pure-float path must not clone every activation).
@@ -358,9 +411,12 @@ fn winograd_forward_tap_major(
                     }
                 }
                 // Stage 2 + epilogue: da[r][c] = Σ_k db[r][k] · Aᵀ[c,k],
-                // then bias + ReLU while the row is hot.
-                let bv = bias.map_or(0.0, |b| b.as_slice()[co]);
-                let epilogue = bias.is_some() || fuse_relu;
+                // then bias (and any ReLU that precedes the residual) while
+                // the row is hot. A post-residual ReLU must wait for the
+                // scatter, where the residual element is read.
+                let bv = epi.bias.map_or(0.0, |b| b.as_slice()[co]);
+                let soa_relu = epi.pre_add_relu || (epi.relu && residual_slice.is_none());
+                let soa_epilogue = epi.bias.is_some() || soa_relu;
                 for r in 0..m {
                     for c in 0..m {
                         let dst = &mut da[(r * m + c) * ntiles..(r * m + c + 1) * ntiles];
@@ -375,27 +431,40 @@ fn winograd_forward_tap_major(
                                 );
                             }
                         }
-                        if epilogue {
+                        if soa_epilogue {
                             for vv in dst.iter_mut() {
                                 let val = *vv + bv;
-                                *vv = if fuse_relu { val.max(0.0) } else { val };
+                                *vv = if soa_relu { val.max(0.0) } else { val };
                             }
                         }
                     }
                 }
                 // Scatter the SoA rows into the strip rows, cropping ragged
-                // borders.
+                // borders; the residual tail rides here, in-register between
+                // load and store.
+                let res_s = residual_slice;
+                let post_relu = epi.relu && residual_slice.is_some();
                 for (si, s) in range.clone().enumerate() {
+                    let ni = s / grid.tiles_h;
                     let ty = s % grid.tiles_h;
                     let strip_h = m.min(h - ty * m);
                     let base = strip_offs[si] + co * strip_h * wd;
+                    let res_plane = (ni * c_out + co) * h * wd;
                     for tx in 0..grid.tiles_w {
                         let tile_idx = si * grid.tiles_w + tx;
                         let cols = m.min(wd - tx * m);
                         for dy in 0..strip_h {
                             let row = base + dy * wd + tx * m;
+                            let res_row = res_plane + (ty * m + dy) * wd + tx * m;
                             for dx in 0..cols {
-                                buf[row + dx] = da[(dy * m + dx) * ntiles + tile_idx];
+                                let mut val = da[(dy * m + dx) * ntiles + tile_idx];
+                                if let Some(rs) = res_s {
+                                    val += rs[res_row + dx];
+                                    if post_relu {
+                                        val = val.max(0.0);
+                                    }
+                                }
+                                buf[row + dx] = val;
                             }
                         }
                     }
@@ -405,7 +474,13 @@ fn winograd_forward_tap_major(
         buf
     });
 
-    let mut y = Tensor::<f32>::zeros(&[n, c_out, h, wd]);
+    // The scatter above has read every residual element it needs; an owned
+    // residual can now become the output, its buffer overwritten row by row
+    // (the merge covers every element, so no stale value survives).
+    let mut y = match reuse {
+        Some(t) => t,
+        None => Tensor::<f32>::zeros(&[n, c_out, h, wd]),
+    };
     let y_s = y.as_mut_slice();
     for (range, buf) in ranges.iter().zip(bufs.iter()) {
         let mut off = 0usize;
@@ -595,6 +670,16 @@ impl PreparedWinogradConv {
         self.tile
     }
 
+    /// Whether a forward pass over a `batch × … × h × w` input runs the
+    /// tap-major pipeline (rather than the per-tile small-tile fallback).
+    /// The single source of truth for that decision — the graph executor's
+    /// in-place residual stealing must agree with the kernel's own fallback,
+    /// or a stolen buffer would be dropped instead of written into.
+    pub(crate) fn uses_tap_major(&self, batch: usize, h: usize, w: usize) -> bool {
+        let m = self.mats.output_tile();
+        batch * h.div_ceil(m) * w.div_ceil(m) >= MIN_TAP_MAJOR_TILES
+    }
+
     /// Output channels of the prepared layer.
     pub fn c_out(&self) -> usize {
         self.c_out
@@ -624,36 +709,92 @@ impl PreparedWinogradConv {
         bias: Option<&Tensor<f32>>,
         relu: bool,
     ) -> Tensor<f32> {
+        self.forward_with_epilogue(x, &EpilogueOps::bias_relu(bias, relu))
+    }
+
+    /// Runs the convolution with the full [`EpilogueOps`] tail — bias,
+    /// optional residual add and pre-/post-residual ReLU — fused into the
+    /// output-transformation epilogue, eliminating the separate
+    /// pre-activation write+read a `conv → add → relu` chain would pay.
+    ///
+    /// Bitwise identical to running the bare convolution followed by
+    /// [`apply_epilogue`] (pinned by tests): the fused stage evaluates the
+    /// same elementwise expression in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count, bias length or residual shape
+    /// disagrees with the prepared weights and input geometry.
+    pub fn forward_with_epilogue(&self, x: &Tensor<f32>, epi: &EpilogueOps) -> Tensor<f32> {
         assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
         assert_eq!(x.dims()[1], self.c_in, "winograd_conv2d: channel mismatch");
-        if total_tiles(x, self.mats.output_tile()) < MIN_TAP_MAJOR_TILES {
+        if !self.uses_tap_major(x.dims()[0], x.dims()[2], x.dims()[3]) {
             // Too few tiles to feed the per-tap GEMMs; run the per-tile
-            // kernel and apply the epilogue as a pass (identical values: the
-            // per-element update is the same `(v + bias).max(0)`).
+            // kernel and apply the epilogue as passes (identical values: the
+            // per-element updates are the same, in the same order).
             let mut y =
                 winograd_forward_flat_per_tile(x, &self.u, self.c_out, &self.mats, None, None);
-            if bias.is_some() || relu {
-                let hw = y.dims()[2] * y.dims()[3];
-                let y_s = y.as_mut_slice();
-                for (chunk, co) in y_s.chunks_mut(hw).zip((0..self.c_out).cycle()) {
-                    let bv = bias.map_or(0.0, |b| b.as_slice()[co]);
-                    for v in chunk.iter_mut() {
-                        let val = *v + bv;
-                        *v = if relu { val.max(0.0) } else { val };
-                    }
-                }
-            }
+            apply_epilogue(&mut y, epi);
             return y;
         }
-        winograd_forward_tap_major(
+        winograd_forward_tap_major(x, &self.u_tap, self.c_out, &self.mats, None, None, epi)
+    }
+
+    /// [`PreparedWinogradConv::forward_with_epilogue`] with an **owned**
+    /// residual: the fused output is written into the residual's own buffer,
+    /// so a `conv → add → relu` tail whose add was the residual's last
+    /// consumer allocates no third activation. Returns the residual tensor,
+    /// now holding the finished output — bitwise identical to the borrowing
+    /// path (same expression, same order; the buffer reuse is invisible to
+    /// the values).
+    ///
+    /// On the small-tile fallback the per-tile kernel still allocates its
+    /// own output and the residual buffer is dropped; the values are the
+    /// same either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count, bias length or residual shape
+    /// disagrees with the prepared weights and input geometry.
+    pub fn forward_with_epilogue_into(
+        &self,
+        x: &Tensor<f32>,
+        bias: Option<&Tensor<f32>>,
+        pre_add_relu: bool,
+        relu: bool,
+        residual: Tensor<f32>,
+    ) -> Tensor<f32> {
+        assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
+        assert_eq!(x.dims()[1], self.c_in, "winograd_conv2d: channel mismatch");
+        if !self.uses_tap_major(x.dims()[0], x.dims()[2], x.dims()[3]) {
+            let mut y =
+                winograd_forward_flat_per_tile(x, &self.u, self.c_out, &self.mats, None, None);
+            apply_epilogue(
+                &mut y,
+                &EpilogueOps {
+                    bias,
+                    residual: Some(&residual),
+                    pre_add_relu,
+                    relu,
+                },
+            );
+            return y;
+        }
+        let epi = EpilogueOps {
+            bias,
+            residual: None,
+            pre_add_relu,
+            relu,
+        };
+        winograd_forward_tap_major_impl(
             x,
             &self.u_tap,
             self.c_out,
             &self.mats,
             None,
             None,
-            bias,
-            relu,
+            &epi,
+            Some(residual),
         )
     }
 
@@ -766,6 +907,36 @@ mod tests {
             }
         }
         assert_eq!(fused, separate, "fused epilogue must be bitwise identical");
+    }
+
+    #[test]
+    fn residual_epilogue_is_bitwise_equal_to_separate_passes() {
+        use crate::epilogue::{apply_epilogue, EpilogueOps};
+        // Both the tap-major path (13×13 ⇒ many tiles) and the per-tile
+        // fallback (3×3 ⇒ below MIN_TAP_MAJOR_TILES) must match the
+        // separate-pass reference bit for bit, for every epilogue shape.
+        for (h, w) in [(13usize, 11usize), (3, 3)] {
+            let x = normal(&[2, 4, h, w], 0.0, 1.0, 150);
+            let wt = normal(&[6, 4, 3, 3], 0.0, 0.4, 151);
+            let res = normal(&[2, 6, h, w], 0.0, 1.0, 152);
+            let bias = normal(&[6], 0.0, 0.5, 153);
+            let prep = PreparedWinogradConv::prepare(&wt, TileSize::F4);
+            for (pre, post) in [(false, false), (false, true), (true, false)] {
+                let ops = EpilogueOps {
+                    bias: Some(&bias),
+                    residual: Some(&res),
+                    pre_add_relu: pre,
+                    relu: post,
+                };
+                let fused = prep.forward_with_epilogue(&x, &ops);
+                let mut separate = prep.forward(&x);
+                apply_epilogue(&mut separate, &ops);
+                assert_eq!(
+                    fused, separate,
+                    "{h}x{w} pre={pre} post={post}: fused epilogue drifted"
+                );
+            }
+        }
     }
 
     #[test]

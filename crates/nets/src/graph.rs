@@ -227,6 +227,21 @@ impl Graph {
         counts
     }
 
+    /// The consumers of every node's output, in topological order — the
+    /// inverse adjacency the epilogue-fusion planner pattern-matches over.
+    ///
+    /// Unlike [`Graph::consumer_counts`] this does not add the synthetic
+    /// self-consumption of output nodes; it reports real edges only.
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for &i in &node.inputs {
+                out[i].push(id);
+            }
+        }
+        out
+    }
+
     /// Validates the graph and infers the `(C, H, W)` output shape of every
     /// node.
     ///
@@ -543,6 +558,29 @@ mod tests {
         assert_eq!(counts[0], 2);
         // The output node's tensor is kept alive.
         assert_eq!(counts[g.output_ids()[0]], 1);
+    }
+
+    #[test]
+    fn consumer_lists_report_real_edges() {
+        let g = tiny_residual();
+        let consumers = g.consumers();
+        // The input feeds c1 and the residual add (ids 1 and 4).
+        assert_eq!(consumers[0].len(), 2);
+        // c2 (id 3) is read only by the add (id 4).
+        let add = consumers[3][0];
+        assert_eq!(consumers[3], vec![add]);
+        // The output node's tensor has no graph consumers (the executor's
+        // keep-alive self-count lives in consumer_counts only).
+        let out = g.output_ids()[0];
+        assert!(consumers[out].is_empty());
+        assert_eq!(g.consumer_counts()[out], 1);
+        // A node read twice by the same consumer contributes two edges.
+        let mut b = GraphBuilder::new("double", 4);
+        let x = b.input("in", 1, 4, 4);
+        let s = b.add("sum", vec![x, x]);
+        b.output("out", s);
+        let g2 = b.finish();
+        assert_eq!(g2.consumers()[x], vec![s, s]);
     }
 
     #[test]

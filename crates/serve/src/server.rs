@@ -197,6 +197,7 @@ impl InferenceServer {
         }
         let scheduler = Arc::new(BatchScheduler::new(config.policy));
         let stats = Arc::new(ServerStats::new());
+        stats.set_fusion(prepared.fused_node_count(), prepared.elided_bytes());
         let workers = (0..config.workers)
             .map(|i| {
                 let scheduler = Arc::clone(&scheduler);

@@ -61,6 +61,8 @@ struct StatsInner {
     arena: ArenaStats,
     workers_reported: usize,
     synth: SynthStats,
+    fused_nodes: usize,
+    elided_bytes: usize,
 }
 
 /// Thread-shared accumulator of serving telemetry.
@@ -129,6 +131,17 @@ impl ServerStats {
         self.inner.lock().expect("stats poisoned").synth = synth;
     }
 
+    /// Attaches the served graph's epilogue-fusion figures: how many tail
+    /// nodes (ReLUs, residual adds) execute inside conv epilogues, and the
+    /// bytes of pre-activation tensors fusion keeps from ever being
+    /// materialized per run (`PreparedGraph::fused_node_count` /
+    /// `PreparedGraph::elided_bytes`).
+    pub fn set_fusion(&self, fused_nodes: usize, elided_bytes: usize) {
+        let mut g = self.inner.lock().expect("stats poisoned");
+        g.fused_nodes = fused_nodes;
+        g.elided_bytes = elided_bytes;
+    }
+
     /// Reduces everything recorded so far into a [`StatsReport`].
     pub fn report(&self) -> StatsReport {
         let g = self.inner.lock().expect("stats poisoned");
@@ -165,6 +178,8 @@ impl ServerStats {
             workers_reported: g.workers_reported,
             arena: g.arena,
             synth: g.synth,
+            fused_nodes: g.fused_nodes,
+            elided_bytes: g.elided_bytes,
         }
     }
 }
@@ -200,6 +215,11 @@ pub struct StatsReport {
     pub arena: ArenaStats,
     /// The executor's tensor-synthesis cache.
     pub synth: SynthStats,
+    /// Tail nodes (ReLUs, residual adds) fused into conv epilogues of the
+    /// served graph.
+    pub fused_nodes: usize,
+    /// Pre-activation bytes per run that fusion never materializes.
+    pub elided_bytes: usize,
 }
 
 impl StatsReport {
@@ -267,6 +287,12 @@ impl StatsReport {
             self.synth.hit_rate() * 100.0,
             self.synth.bytes as f64 / 1024.0
         );
+        let _ = writeln!(
+            out,
+            "epilogue fusion {:>10} nodes fused, {:.1} KiB pre-activations elided per run",
+            self.fused_nodes,
+            self.elided_bytes as f64 / 1024.0
+        );
         out
     }
 }
@@ -325,6 +351,20 @@ mod tests {
         let table = r.render();
         assert!(table.contains("p99"), "table must show tail latency");
         assert!(table.contains("4x1"), "table must show the batch histogram");
+    }
+
+    #[test]
+    fn fusion_figures_ride_the_report_and_table() {
+        let stats = ServerStats::new();
+        stats.set_fusion(19, 64 * 1024);
+        let r = stats.report();
+        assert_eq!(r.fused_nodes, 19);
+        assert_eq!(r.elided_bytes, 64 * 1024);
+        let table = r.render();
+        assert!(
+            table.contains("19 nodes fused") && table.contains("64.0 KiB"),
+            "table must show the fusion line:\n{table}"
+        );
     }
 
     #[test]

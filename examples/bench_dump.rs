@@ -1,7 +1,9 @@
 //! Dumps `BENCH_winograd.json`: nanosecond medians of the tap-major Winograd
 //! paths against the legacy per-tile paths on the ResNet-34 3×3 layer shapes,
-//! plus the quantized ResNet-20 end-to-end graph forward — the perf
-//! trajectory file tracked across PRs.
+//! the quantized ResNet-20 end-to-end graph forward, and the residual-tail
+//! epilogue-fusion rows (quantized ResNet-20/34, full fusion vs the relu-only
+//! baseline vs no fusion, with arena peaks and elided pre-activation bytes) —
+//! the perf trajectory file tracked across PRs.
 //!
 //! ```text
 //! cargo run --release --example bench_dump            # full iteration counts
@@ -11,10 +13,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use winograd_tapwise::wino_core::{
-    GraphExecutor, GraphRunOptions, IntWinogradConv, PreparedWinogradConv, QuantParams,
-    TapwiseScales, TileSize, WinogradMatrices, WinogradQuantConfig,
+    FusionClasses, GraphExecutor, GraphRunOptions, IntWinogradConv, PreparedWinogradConv,
+    QuantParams, TapwiseScales, TileSize, WinogradMatrices, WinogradQuantConfig,
 };
-use winograd_tapwise::wino_nets::resnet20_graph;
+use winograd_tapwise::wino_nets::{resnet20_graph, resnet34_graph};
 use winograd_tapwise::wino_tensor::{normal, Tensor};
 
 /// Median wall-clock nanoseconds of `iters` runs of `f`.
@@ -117,14 +119,96 @@ fn main() {
         p_fused.scratch_bytes() / 1024,
     );
 
+    // Residual-tail fusion rows: the full epilogue (conv→add→relu fused,
+    // in-place accumulation) against the PR 4 relu-only baseline and plain
+    // separate-node execution, quantized end to end. Peaks come from the
+    // activation arena; the elided bytes are the pre-activation maps the
+    // fused tails never materialize.
+    let mut residual_rows = Vec::new();
+    let residual_iters = if quick { 3 } else { 9 };
+    let residual_nets = [
+        ("resnet20_int_e2e", resnet20_graph()),
+        (
+            "resnet34_int_e2e",
+            resnet34_graph(if quick { 64 } else { 224 }),
+        ),
+    ];
+    for (label, graph) in residual_nets {
+        // All three modes are prepared and calibrated up front, then sampled
+        // round-robin: single-core wall-clock drifts, and measuring the modes
+        // in separate sequential blocks would bias whichever ran during a
+        // noisy stretch. Interleaving cancels the drift; medians do the rest.
+        let modes: Vec<_> = [
+            FusionClasses::all(),
+            FusionClasses::relu_only(),
+            FusionClasses::none(),
+        ]
+        .into_iter()
+        .map(|classes| {
+            let exec =
+                GraphExecutor::quantized(WinogradQuantConfig::default()).with_fusion(classes);
+            let p = exec.prepare(&graph, &opts);
+            exec.warmup(&p);
+            (exec, p)
+        })
+        .collect();
+        let mut samples: Vec<Vec<u128>> = vec![Vec::new(); modes.len()];
+        let mut mode_peak: Vec<usize> = vec![0; modes.len()];
+        for _ in 0..residual_iters {
+            for (mi, (exec, p)) in modes.iter().enumerate() {
+                let t0 = Instant::now();
+                let run = std::hint::black_box(exec.run(p));
+                samples[mi].push(t0.elapsed().as_nanos());
+                mode_peak[mi] = run.peak_live_bytes;
+            }
+        }
+        let mode_ns: Vec<u128> = samples
+            .iter_mut()
+            .map(|s| {
+                s.sort_unstable();
+                s[s.len() / 2]
+            })
+            .collect();
+        let (fused_nodes, elided) = (modes[0].1.fused_node_count(), modes[0].1.elided_bytes());
+        eprintln!(
+            "graph {label}: fused {:.2} ms vs relu-only {:.2} ms vs no-fusion {:.2} ms; \
+             peak {} KiB vs {} KiB ({} nodes fused, {} KiB elided)",
+            mode_ns[0] as f64 / 1e6,
+            mode_ns[1] as f64 / 1e6,
+            mode_ns[2] as f64 / 1e6,
+            mode_peak[0] / 1024,
+            mode_peak[1] / 1024,
+            fused_nodes,
+            elided / 1024,
+        );
+        residual_rows.push(format!(
+            "\"{label}\": {{\"fused_ns\": {}, \"relu_only_ns\": {}, \"no_fusion_ns\": {}, \
+             \"speedup_vs_relu_only\": {:.3}, \"speedup_vs_no_fusion\": {:.3}, \
+             \"fused_nodes\": {fused_nodes}, \"elided_bytes\": {elided}, \
+             \"fused_peak_bytes\": {}, \"relu_only_peak_bytes\": {}}}",
+            mode_ns[0],
+            mode_ns[1],
+            mode_ns[2],
+            mode_ns[1] as f64 / mode_ns[0].max(1) as f64,
+            mode_ns[2] as f64 / mode_ns[0].max(1) as f64,
+            mode_peak[0],
+            mode_peak[1],
+        ));
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"float_f4\": {{{}}},", float_rows.join(", "));
     let _ = writeln!(json, "  \"int_f4\": {{{}}},", int_rows.join(", "));
     let _ = writeln!(
         json,
-        "  \"graph\": {{\"resnet20_int_e2e\": {}}}",
+        "  \"graph\": {{\"resnet20_int_e2e\": {}}},",
         json_pair(tap, per_tile)
+    );
+    let _ = writeln!(
+        json,
+        "  \"graph_residual\": {{{}}}",
+        residual_rows.join(", ")
     );
     json.push('}');
     std::fs::write("BENCH_winograd.json", &json).expect("write BENCH_winograd.json");

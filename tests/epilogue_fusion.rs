@@ -1,0 +1,318 @@
+//! Equivalence and negative-case suite for the composable epilogue fusion.
+//!
+//! Contract under test: `conv → [add residual] → [relu]` chains planned as
+//! one fused node execute **bitwise identically** to separate-node execution
+//! on both the float and the integer path, across the residual topologies of
+//! the zoo (ResNet-20/34/50 basic + bottleneck blocks, YOLOv3 Darknet
+//! residuals); the negative cases (multi-consumer conv, add with both inputs
+//! conv, add feeding a concat) never cross-fuse; every fusion class can be
+//! disabled independently; and fused runs report honest arena accounting —
+//! the elided pre-activation buffer must lower the peak, never inflate it.
+
+use winograd_tapwise::wino_core::{
+    FusionClasses, GraphExecutor, GraphRunOptions, WinogradQuantConfig,
+};
+use winograd_tapwise::wino_nets::{
+    resnet20_graph, resnet34_graph, resnet50_graph, yolov3_graph, ConvLayer, Graph, GraphBuilder,
+};
+use winograd_tapwise::wino_tensor::normal;
+
+/// Shrunken residual topologies that still contain every fusion shape:
+/// identity tails (fusable), projection tails (both-conv negative), Darknet
+/// pre-add ReLUs, and YOLO's route concats.
+fn residual_zoo() -> Vec<Graph> {
+    vec![
+        resnet20_graph().with_channel_div(4),
+        resnet34_graph(64).with_channel_div(8),
+        resnet50_graph(64).with_channel_div(8),
+        yolov3_graph(64).with_channel_div(8),
+    ]
+}
+
+/// Runs `graph` under both executors (same kernel config, fusion on vs off)
+/// and asserts every output tensor is bitwise identical.
+fn assert_fused_equals_separate(
+    graph: &Graph,
+    fused: &GraphExecutor,
+    separate: &GraphExecutor,
+    seed: u64,
+    quantized: bool,
+) {
+    let opts = GraphRunOptions { batch: 1, seed };
+    let pf = fused.prepare(graph, &opts);
+    let ps = separate.prepare(graph, &opts);
+    assert!(
+        pf.fused_residual_count() > 0,
+        "{}: no residual tail fused",
+        graph.name
+    );
+    assert_eq!(ps.fused_node_count(), 0, "{}", graph.name);
+    // Quantized graphs calibrate from the same synthesized warmup inputs;
+    // float graphs just run. Compare the calibration run *and* the cached
+    // steady-state run.
+    let (a, b) = if quantized {
+        (fused.warmup(&pf), separate.warmup(&ps))
+    } else {
+        (fused.run(&pf), separate.run(&ps))
+    };
+    assert_eq!(a.outputs.len(), b.outputs.len());
+    for ((name, ta), (_, tb)) in a.outputs.iter().zip(b.outputs.iter()) {
+        assert_eq!(ta, tb, "{}/{name} (seed {seed}): fused drifted", graph.name);
+    }
+    let a2 = fused.run(&pf);
+    let b2 = separate.run(&ps);
+    for ((name, ta), (_, tb)) in a2.outputs.iter().zip(b2.outputs.iter()) {
+        assert_eq!(
+            ta, tb,
+            "{}/{name} (seed {seed}): cached fused run drifted",
+            graph.name
+        );
+    }
+}
+
+#[test]
+fn float_residual_tails_fuse_bitwise_across_the_zoo() {
+    for graph in residual_zoo() {
+        for seed in [0u64, 41] {
+            let fused = GraphExecutor::with_defaults();
+            let separate = GraphExecutor::with_defaults().without_fusion();
+            assert_fused_equals_separate(&graph, &fused, &separate, seed, false);
+        }
+    }
+}
+
+#[test]
+fn int_residual_tails_fuse_bitwise_across_the_zoo() {
+    for graph in residual_zoo() {
+        let fused = GraphExecutor::quantized(WinogradQuantConfig::default());
+        let separate = GraphExecutor::quantized(WinogradQuantConfig::default()).without_fusion();
+        assert_fused_equals_separate(&graph, &fused, &separate, 7, true);
+    }
+}
+
+#[test]
+fn randomized_inputs_stay_bitwise_through_fused_residual_graphs() {
+    // Same prepared graphs, fresh random batches through the serving loop:
+    // the fusion decision must hold for arbitrary activations, not just the
+    // synthesized prepare-time ones.
+    let graph = resnet20_graph().with_channel_div(4);
+    let fused = GraphExecutor::with_defaults();
+    let separate = GraphExecutor::with_defaults().without_fusion();
+    let opts = GraphRunOptions::default();
+    let pf = fused.prepare(&graph, &opts);
+    let ps = separate.prepare(&graph, &opts);
+    for i in 0..4 {
+        let x = normal(&[1, 1, 32, 32], 0.0, 1.0 + i as f32, 900 + i as u64);
+        let a = fused.run_with_inputs(&pf, std::slice::from_ref(&x));
+        let b = separate.run_with_inputs(&ps, std::slice::from_ref(&x));
+        assert_eq!(a.outputs[0].1, b.outputs[0].1, "batch {i} drifted");
+    }
+}
+
+#[test]
+fn zoo_fusion_counts_match_the_topologies() {
+    // ResNet-20: nine basic blocks, two of which project (both-conv adds,
+    // negative) — seven identity tails fuse, each eliding an add and a relu.
+    let exec = GraphExecutor::with_defaults();
+    let p = exec.prepare(
+        &resnet20_graph().with_channel_div(4),
+        &GraphRunOptions::default(),
+    );
+    assert_eq!(p.fused_residual_count(), 7, "resnet20 identity tails");
+    // Each fused tail absorbs add + post-relu; every other conv→relu pair
+    // fuses as before.
+    assert!(p.fused_node_count() >= 12);
+    assert!(p.elided_bytes() > 0);
+    // YOLOv3: all 23 Darknet residuals are identity adds over relu tails.
+    let py = exec.prepare(
+        &yolov3_graph(64).with_channel_div(8),
+        &GraphRunOptions::default(),
+    );
+    assert_eq!(py.fused_residual_count(), 23, "darknet residuals");
+    for id in 0..py.graph().nodes().len() {
+        if let Some(epi) = py.epilogue_for(id) {
+            if epi.residual.is_some() {
+                // Darknet tails rectify before the sum: add(x, relu(conv)).
+                assert!(
+                    epi.pre_add_activation == winograd_tapwise::wino_core::Activation::Relu,
+                    "darknet tail must keep its relu before the add"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn negative_multi_consumer_conv_does_not_fuse() {
+    // The conv feeds the add *and* a second consumer: its pre-activation
+    // output must stay live, so nothing fuses — and execution still matches.
+    let mut g = GraphBuilder::new("multi-consumer", 16);
+    let x = g.input("in", 3, 16, 16);
+    let c1 = g.conv_relu(ConvLayer::conv3x3("c1", 3, 8, 16), x);
+    let c2 = g.conv(ConvLayer::conv3x3("c2", 8, 8, 16), c1);
+    let a = g.add("res", vec![c2, c1]);
+    let cat = g.concat("tap", vec![a, c2]); // second consumer of c2
+    g.output("out", cat);
+    let graph = g.finish();
+    let exec = GraphExecutor::with_defaults();
+    let p = exec.prepare(&graph, &GraphRunOptions::default());
+    assert_eq!(p.fused_residual_count(), 0, "multi-consumer conv fused");
+    let separate = GraphExecutor::with_defaults().without_fusion();
+    let ps = separate.prepare(&graph, &GraphRunOptions::default());
+    assert_eq!(
+        exec.run(&p).outputs[0].1,
+        separate.run(&ps).outputs[0].1,
+        "negative case must still execute identically"
+    );
+}
+
+#[test]
+fn negative_add_with_both_inputs_conv_does_not_fuse() {
+    // Projection-block shape: both add operands are sole-consumer convs.
+    // Fusing either would read the other's output before it exists; the
+    // planner must keep them separate.
+    let mut g = GraphBuilder::new("both-conv", 16);
+    let x = g.input("in", 3, 16, 16);
+    let c1 = g.conv(ConvLayer::conv3x3("c1", 3, 8, 16), x);
+    let proj = g.conv(ConvLayer::conv1x1("proj", 3, 8, 16), x);
+    let a = g.add("res", vec![c1, proj]);
+    let r = g.relu("res.relu", a);
+    g.output("out", r);
+    let graph = g.finish();
+    let exec = GraphExecutor::with_defaults();
+    let p = exec.prepare(&graph, &GraphRunOptions::default());
+    assert_eq!(p.fused_residual_count(), 0, "ambiguous add fused");
+    // The post-add relu has nothing to attach to either (its producer is a
+    // real add node, not an absorbed one).
+    assert_eq!(p.fused_node_count(), 0);
+    let separate = GraphExecutor::with_defaults().without_fusion();
+    let ps = separate.prepare(&graph, &GraphRunOptions::default());
+    assert_eq!(exec.run(&p).outputs[0].1, separate.run(&ps).outputs[0].1);
+}
+
+#[test]
+fn negative_add_feeding_concat_fuses_the_add_but_never_beyond() {
+    // The residual add's consumer is a concat: the conv→add tail itself is
+    // safe to fuse, but nothing may cross the structural node — the concat
+    // stays a real node and a relu *after* it must not be absorbed.
+    let mut g = GraphBuilder::new("add-concat", 16);
+    let x = g.input("in", 3, 16, 16);
+    let c0 = g.conv_relu(ConvLayer::conv3x3("c0", 3, 8, 16), x);
+    let c1 = g.conv(ConvLayer::conv3x3("c1", 8, 8, 16), c0);
+    let a = g.add("res", vec![c1, c0]);
+    let side = g.conv(ConvLayer::conv3x3("side", 8, 4, 16), c0);
+    let cat = g.concat("cat", vec![a, side]);
+    let r = g.relu("cat.relu", cat);
+    g.output("out", r);
+    let graph = g.finish();
+    let exec = GraphExecutor::with_defaults();
+    let p = exec.prepare(&graph, &GraphRunOptions::default());
+    assert_eq!(p.fused_residual_count(), 1, "conv→add tail is fusable");
+    let epi = p.epilogue_for(c1).expect("c1 is a conv");
+    assert_eq!(epi.residual, Some(c0));
+    assert!(!epi.has_relu(), "no relu may cross the concat");
+    assert!(
+        p.epilogue_for(side).is_none_or(|e| e.residual.is_none()),
+        "side conv has no residual"
+    );
+    // The concat and the trailing relu stay real nodes.
+    assert!(
+        exec.prepare(&graph, &GraphRunOptions::default())
+            .fused_node_count()
+            <= 2,
+        "only c0's relu and the res add may be absorbed"
+    );
+    let separate = GraphExecutor::with_defaults().without_fusion();
+    let ps = separate.prepare(&graph, &GraphRunOptions::default());
+    assert_eq!(exec.run(&p).outputs[0].1, separate.run(&ps).outputs[0].1);
+}
+
+#[test]
+fn every_fusion_class_disables_independently_through_the_executor() {
+    let graph = resnet20_graph().with_channel_div(4);
+    let opts = GraphRunOptions::default();
+    let all = GraphExecutor::with_defaults();
+    let relu_only = GraphExecutor::with_defaults().with_fusion(FusionClasses::relu_only());
+    let res_only = GraphExecutor::with_defaults().with_fusion(FusionClasses::residual_only());
+    let none = GraphExecutor::with_defaults().without_fusion();
+
+    let p_all = all.prepare(&graph, &opts);
+    assert!(p_all.fused_relu_count() > 0 && p_all.fused_residual_count() > 0);
+
+    let p_relu = relu_only.prepare(&graph, &opts);
+    assert!(p_relu.fused_relu_count() > 0, "relu class on");
+    assert_eq!(p_relu.fused_residual_count(), 0, "residual class off");
+    assert_eq!(
+        p_relu.elided_bytes(),
+        0,
+        "no buffer elided without residuals"
+    );
+
+    let p_res = res_only.prepare(&graph, &opts);
+    assert!(p_res.fused_residual_count() > 0, "residual class on");
+    assert_eq!(p_res.fused_relu_count(), 0, "relu class off");
+
+    let p_none = none.prepare(&graph, &opts);
+    assert_eq!(p_none.fused_node_count(), 0);
+
+    // All four modes compute the same function, bit for bit.
+    let want = none.run(&p_none).outputs[0].1.clone();
+    for (exec, p, label) in [
+        (&all, &p_all, "all"),
+        (&relu_only, &p_relu, "relu-only"),
+        (&res_only, &p_res, "residual-only"),
+    ] {
+        assert_eq!(exec.run(p).outputs[0].1, want, "{label} drifted");
+    }
+}
+
+#[test]
+fn fused_runs_report_lower_arena_peaks_and_honest_elisions() {
+    // ResNet-20's liveness is bound by its residual blocks (no wide stem),
+    // so in-place accumulation — the fused conv writes its output into the
+    // residual's own buffer when the elided add was that buffer's last
+    // consumer — must cut the peak from {conv input, residual, fresh output}
+    // down to {conv input, residual-turned-output}: one full activation
+    // (16×32×32 f32 = 64 KiB) off the 192 KiB separate-execution peak.
+    let graph = resnet20_graph();
+    let opts = GraphRunOptions::default();
+    for quantized in [false, true] {
+        let (fused, relu_only) = if quantized {
+            (
+                GraphExecutor::quantized(WinogradQuantConfig::default()),
+                GraphExecutor::quantized(WinogradQuantConfig::default())
+                    .with_fusion(FusionClasses::relu_only()),
+            )
+        } else {
+            (
+                GraphExecutor::with_defaults(),
+                GraphExecutor::with_defaults().with_fusion(FusionClasses::relu_only()),
+            )
+        };
+        let pf = fused.prepare(&graph, &opts);
+        let pr = relu_only.prepare(&graph, &opts);
+        let rf = fused.warmup(&pf);
+        let rr = relu_only.warmup(&pr);
+        assert!(pf.elided_bytes() > 0);
+        assert_eq!(pr.elided_bytes(), 0);
+        assert!(
+            rf.peak_live_bytes < rr.peak_live_bytes,
+            "quantized={quantized}: fused peak {} must undercut relu-only peak {} (elided {})",
+            rf.peak_live_bytes,
+            rr.peak_live_bytes,
+            pf.elided_bytes()
+        );
+        assert!(
+            rr.peak_live_bytes - rf.peak_live_bytes >= 16 * 32 * 32 * 4,
+            "quantized={quantized}: saving must cover a stage-1 activation"
+        );
+    }
+    // Stem-bound networks (the peak sits at a downsampling conv, not a
+    // residual tail) must at least never get worse.
+    let g50 = resnet50_graph(64).with_channel_div(2);
+    let fused = GraphExecutor::with_defaults();
+    let relu_only = GraphExecutor::with_defaults().with_fusion(FusionClasses::relu_only());
+    let p50f = fused.prepare(&g50, &opts);
+    let p50r = relu_only.prepare(&g50, &opts);
+    assert!(fused.run(&p50f).peak_live_bytes <= relu_only.run(&p50r).peak_live_bytes);
+}
