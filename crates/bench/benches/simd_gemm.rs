@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the SIMD GEMM microkernels, one group per
+//! element type, one row per kernel variant the host can execute.
+//!
+//! Shapes mirror the two Winograd formulations: `128×128×196` is a tap-major
+//! GEMM from a 128-channel 28×28 layer (C_out × C_in × tiles), and `4×64×64`
+//! is a channel-laned thin-layer GEMM (tiles × C_in × C_out) that exercises
+//! the sub-MR thin kernel family. The active variant for dispatched callers
+//! is whatever `simd::active()` reports (override with `WINO_FORCE_KERNEL`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wino_tensor::{gemm_f32_into_with, gemm_i16_i32_into_with, gemm_i8_i32_into_with, simd};
+
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("tap_major_128x128x196", 128, 128, 196),
+    ("channel_laned_4x64x64", 4, 64, 64),
+];
+
+fn bench_simd_gemm(c: &mut Criterion) {
+    let variants = simd::available();
+
+    let mut group = c.benchmark_group("simd_gemm_f32");
+    group.sample_size(10);
+    for &(label, m, k, n) in SHAPES {
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 31) as f32 * 0.1 - 1.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 29) as f32 * 0.1 - 1.4).collect();
+        let mut out = vec![0.0f32; m * n];
+        for &variant in &variants {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), label),
+                &variant,
+                |bch, &v| bch.iter(|| gemm_f32_into_with(v, &mut out, &a, &b, m, k, n)),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("simd_gemm_i8_i32");
+    group.sample_size(10);
+    for &(label, m, k, n) in SHAPES {
+        let a: Vec<i8> = (0..m * k).map(|i| (i % 255) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|i| (i % 251) as i8).collect();
+        let mut out = vec![0i32; m * n];
+        for &variant in &variants {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), label),
+                &variant,
+                |bch, &v| bch.iter(|| gemm_i8_i32_into_with(v, &mut out, &a, &b, m, k, n)),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("simd_gemm_i16_i32");
+    group.sample_size(10);
+    for &(label, m, k, n) in SHAPES {
+        let a: Vec<i16> = (0..m * k).map(|i| (i % 801) as i16 - 400).collect();
+        let b: Vec<i16> = (0..k * n).map(|i| (i % 799) as i16 - 399).collect();
+        let mut out = vec![0i32; m * n];
+        for &variant in &variants {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), label),
+                &variant,
+                |bch, &v| bch.iter(|| gemm_i16_i32_into_with(v, &mut out, &a, &b, m, k, n)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simd_gemm);
+criterion_main!(benches);

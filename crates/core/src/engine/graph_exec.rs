@@ -83,6 +83,9 @@ struct IntPrepared {
 struct PreparedConv {
     plan: LayerPlan,
     weights: Arc<Tensor<f32>>,
+    /// Per-output-channel bias, synthesized at prepare time when the layer
+    /// declares one; rides the fused epilogue's bias stage.
+    bias: Option<Arc<Tensor<f32>>>,
     state: ConvState,
     /// The epilogue the planner fused into this conv: trailing ReLU,
     /// residual add operand, and (on the integer path) the output
@@ -267,6 +270,14 @@ impl PreparedGraph {
             })
             .max()
             .unwrap_or(0)
+    }
+
+    /// The name of the SIMD microkernel variant every GEMM and SoA transform
+    /// of this graph executes with (`"scalar"`, `"avx2"`, `"avx512"` or
+    /// `"neon"`) — resolved once per process by [`wino_tensor::simd::active`],
+    /// including the `WINO_FORCE_KERNEL` override.
+    pub fn simd_kernel(&self) -> &'static str {
+        wino_tensor::simd::active().name()
     }
 
     /// Whether every integer conv node has frozen calibration state.
@@ -674,9 +685,23 @@ impl GraphExecutor {
                     // same epilogue stage; record it so reports (and backend
                     // opt-ins) see the complete fused tail.
                     epilogue.requant = matches!(state, ConvState::IntWinograd(_));
+                    // The integer tap-wise scatter has no bias stage (the
+                    // fp32 bias would have to ride the requantized codes);
+                    // refuse loudly rather than silently dropping it.
+                    assert!(
+                        !(layer.bias && matches!(state, ConvState::IntWinograd(_))),
+                        "quantized executor: conv {:?} declares a bias, which the integer \
+                         tap-wise pipeline cannot fuse — fold the bias into the weights or \
+                         run the float executor",
+                        node.name
+                    );
+                    let bias = layer
+                        .bias
+                        .then(|| self.synth.normal(&[layer.c_out], node_seed ^ 0x5bd1e995));
                     Some(PreparedConv {
                         plan,
                         weights,
+                        bias,
                         state,
                         epilogue,
                     })
@@ -1019,7 +1044,7 @@ impl GraphExecutor {
         let params = pc.plan.params;
         let epi = &pc.epilogue;
         let ops = EpilogueOps {
-            bias: None,
+            bias: pc.bias.as_deref(),
             residual,
             pre_add_relu: epi.pre_add_activation == Activation::Relu,
             relu: epi.activation == Activation::Relu,
@@ -1046,7 +1071,7 @@ impl GraphExecutor {
                     (y, name)
                 } else if let Some(t) = owned_residual {
                     (
-                        prep.forward_with_epilogue_into(x, None, ops.pre_add_relu, ops.relu, t),
+                        prep.forward_with_epilogue_into(x, ops.bias, ops.pre_add_relu, ops.relu, t),
                         name,
                     )
                 } else {
@@ -1054,6 +1079,7 @@ impl GraphExecutor {
                 }
             }
             ConvState::IntWinograd(cell) => {
+                debug_assert!(ops.bias.is_none(), "biased int conv rejected at prepare");
                 let cfg = self.quant.expect("int state implies quant config");
                 let mut guard = cell.lock().expect("int state poisoned");
                 let st = guard.get_or_insert_with(|| {
@@ -1226,6 +1252,53 @@ mod tests {
             first.peak_live_bytes.max(second.peak_live_bytes)
         );
         assert!(stats.free_buffers > 0 && stats.free_bytes > 0);
+    }
+
+    /// A residual tail whose convs both declare a per-channel bias. At 8×8 /
+    /// F4 the tail conv has 4 tiles and 8 output channels, so the fused
+    /// epilogue (bias → residual → store) runs on the channel-laned thin
+    /// path, and the in-place residual steal carries the bias too.
+    fn biased_residual_graph(bias: bool) -> Graph {
+        use wino_nets::{ConvLayer, GraphBuilder};
+        let with = |l: ConvLayer| if bias { l.with_bias() } else { l };
+        let mut g = GraphBuilder::new("biased", 8);
+        let x = g.input("in", 8, 8, 8);
+        let c1 = g.conv_relu(with(ConvLayer::conv3x3("c1", 8, 8, 8)), x);
+        let c2 = g.conv(with(ConvLayer::conv3x3("c2", 8, 8, 8)), c1);
+        let a = g.add("res", vec![c2, x]);
+        g.output("out", a);
+        g.finish()
+    }
+
+    #[test]
+    fn biased_graph_matches_reference_and_is_not_a_noop() {
+        let graph = biased_residual_graph(true);
+        let opts = GraphRunOptions::default();
+        let exec = GraphExecutor::with_defaults();
+        let p = exec.prepare(&graph, &opts);
+        // Node ids: input 0, c1 conv 1, c1.relu 2, c2 conv 3, add 4.
+        assert!(p.epilogue_for(1).is_some_and(|e| e.bias), "plan lost bias");
+        assert!(p.epilogue_for(3).is_some_and(|e| e.bias), "plan lost bias");
+        let run = exec.run(&p);
+        let rexec = GraphExecutor::reference();
+        let rrun = rexec.run(&rexec.prepare(&graph, &opts));
+        let err = run.outputs[0].1.relative_error(&rrun.outputs[0].1);
+        assert!(err < 1e-4, "biased graph drifted from reference: {err}");
+        // The bias must actually reach the output: an unbiased twin differs.
+        let unbiased = exec.run(&exec.prepare(&biased_residual_graph(false), &opts));
+        assert_ne!(
+            run.outputs[0].1, unbiased.outputs[0].1,
+            "bias was silently dropped"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fuse")]
+    fn quantized_executor_rejects_biased_winograd_convs_at_prepare() {
+        use crate::int_winograd::WinogradQuantConfig;
+        let graph = biased_residual_graph(true);
+        let exec = GraphExecutor::quantized(WinogradQuantConfig::default());
+        let _ = exec.prepare(&graph, &GraphRunOptions::default());
     }
 
     #[test]

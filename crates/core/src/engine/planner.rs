@@ -169,8 +169,9 @@ impl Default for FusionClasses {
 /// form is [`crate::epilogue::EpilogueOps`].
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct EpiloguePlan {
-    /// Whether a per-channel bias is applied (graph convs carry none today;
-    /// the field exists for backend callers that fuse one).
+    /// Whether a per-channel bias is applied, from the conv layer's own
+    /// [`ConvLayer::bias`] flag (backend callers that fuse a bias outside a
+    /// graph set it directly).
     pub bias: bool,
     /// Producer of the residual operand added in the epilogue.
     pub residual: Option<usize>,
@@ -329,6 +330,14 @@ impl Planner {
             plans: vec![EpiloguePlan::default(); n],
             absorbed_into: vec![None; n],
         };
+        // A conv's own bias is part of its epilogue regardless of which
+        // fusion classes are enabled: it is the layer's semantics, not an
+        // absorbed neighbour node.
+        for (id, node) in nodes.iter().enumerate() {
+            if let GraphOp::Conv(layer) = &node.op {
+                fusion.plans[id].bias = layer.bias;
+            }
+        }
         if !classes.any() {
             return fusion;
         }

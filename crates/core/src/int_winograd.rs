@@ -22,7 +22,7 @@ use crate::tapwise::{ScaleMode, TapwiseScales};
 use crate::transform::{weight_transform, TileGrid};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use wino_tensor::{gemm_i16_i32_into, parallel_map, split_ranges, Element, Tensor};
+use wino_tensor::{gemm_i16_i32_into, parallel_map, simd, split_ranges, Element, Tensor};
 
 /// Largest input-tile area on the integer path (F4: `t = 6`), sizing the
 /// fixed per-tap scale table.
@@ -512,7 +512,9 @@ impl IntWinogradConv {
                         }
                     }
                     // Stage 1: db[r][c] = Σ_k Bᵀ[r,k] · da[k][c]. `i32` is
-                    // exact: |d| < 2¹⁵ and the F2/F4 Bᵀ entries are tiny.
+                    // exact: |d| < 2¹⁵ and the F2/F4 Bᵀ entries are tiny;
+                    // the SIMD lanes are exact too, so every kernel variant
+                    // produces the same codes.
                     for r in 0..t {
                         for c in 0..t {
                             let dst = &mut db[(r * t + c) * ntiles..(r * t + c + 1) * ntiles];
@@ -521,9 +523,7 @@ impl IntWinogradConv {
                                 let coeff = bt_ref[r * t + k];
                                 if coeff != 0 {
                                     let src = &da[(k * t + c) * ntiles..(k * t + c + 1) * ntiles];
-                                    for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
-                                        *d2 += coeff * s2;
-                                    }
+                                    simd::axpy_i32(dst, coeff, src);
                                 }
                             }
                         }
@@ -537,9 +537,7 @@ impl IntWinogradConv {
                                 let coeff = bt_ref[c * t + k];
                                 if coeff != 0 {
                                     let src = &db[(r * t + k) * ntiles..(r * t + k + 1) * ntiles];
-                                    for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
-                                        *d2 += coeff * s2;
-                                    }
+                                    simd::axpy_i32(dst, coeff, src);
                                 }
                             }
                             let sc = self.input_tap_scales.at2(r, c);
@@ -577,15 +575,19 @@ impl IntWinogradConv {
                     .collect();
                 for co in 0..self.c_out {
                     // ea[tap] = M[tap][co] · S_BG[tap] (float, per lane).
+                    // `scale_i32_f32` converts and multiplies with the same
+                    // rounding as the scalar expression on every variant, so
+                    // the bit-identity with the per-tile path is preserved.
                     for tap in 0..tt {
                         let src = &mm[(tap * self.c_out + co) * ntiles
                             ..(tap * self.c_out + co + 1) * ntiles];
                         let dst = &mut ea[tap * ntiles..(tap + 1) * ntiles];
-                        for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
-                            *d2 = s2 as f32 * sbg[tap];
-                        }
+                        simd::scale_i32_f32(dst, src, sbg[tap]);
                     }
                     // Stage 1: eb[r][c] = Σ_k Aᵀ[r,k] · ea[k·t+c], r < m.
+                    // The unfused axpy keeps the multiply and add rounded
+                    // separately, exactly like the per-tile reference — an
+                    // FMA here would break the pinned bit-identity.
                     for r in 0..m {
                         for c in 0..t {
                             let dst = &mut eb[(r * t + c) * ntiles..(r * t + c + 1) * ntiles];
@@ -593,11 +595,8 @@ impl IntWinogradConv {
                             for k in 0..t {
                                 let coeff = at_ref[r * t + k];
                                 if coeff != 0 {
-                                    let cf = coeff as f32;
                                     let src = &ea[(k * t + c) * ntiles..(k * t + c + 1) * ntiles];
-                                    for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
-                                        *d2 += cf * s2;
-                                    }
+                                    simd::axpy_f32_unfused(dst, coeff as f32, src);
                                 }
                             }
                         }
@@ -610,11 +609,8 @@ impl IntWinogradConv {
                             for k in 0..t {
                                 let coeff = at_ref[c * t + k];
                                 if coeff != 0 {
-                                    let cf = coeff as f32;
                                     let src = &eb[(r * t + k) * ntiles..(r * t + k + 1) * ntiles];
-                                    for (d2, &s2) in dst.iter_mut().zip(src.iter()) {
-                                        *d2 += cf * s2;
-                                    }
+                                    simd::axpy_f32_unfused(dst, coeff as f32, src);
                                 }
                             }
                         }

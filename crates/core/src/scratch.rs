@@ -125,8 +125,13 @@ pub(crate) fn strip_group_len(tiles_w: usize, c_in: usize, c_out: usize, tt: usi
     (max_tiles / tiles_w).max(1)
 }
 
-/// The peak tap-major scratch bytes (`V` + `M` panels) a forward pass of the
-/// given geometry uses per worker thread. This is what
+/// The peak tap-major scratch bytes (`V` + `M` panels, plus the per-thread
+/// packed GEMM `B` panel) a forward pass of the given geometry uses per
+/// worker thread. Thin layers that run the channel-laned formulation
+/// (single-image tiles below `MIN_TAP_MAJOR_TILES`, `c_out` at least
+/// `CHANNEL_LANE_MIN_COUT`) double the `M` panel — the GEMM's `[tile][co]`
+/// product and its SoA transpose coexist — and their GEMM `N` dimension is
+/// `c_out`, so the `B` panel widens accordingly. This is what
 /// `PreparedGraph::scratch_bytes` reports so deployments can size memory for
 /// the executor beyond the activation arena.
 pub fn tap_scratch_bytes(c_in: usize, c_out: usize, tile_t: usize, h: usize, w: usize) -> usize {
@@ -136,7 +141,16 @@ pub fn tap_scratch_bytes(c_in: usize, c_out: usize, tile_t: usize, h: usize, w: 
     let tiles_h = h.div_ceil(m);
     let group = strip_group_len(tiles_w, c_in, c_out, tt).min(tiles_h);
     let ntiles = group * tiles_w;
-    (c_in + c_out) * tt * ntiles * std::mem::size_of::<f32>()
+    // Mirrors the winograd module's thin-layer predicate at batch 1 (larger
+    // batches only lower the footprint back to the tile-laned shape).
+    let lane_channels = tiles_h * tiles_w < crate::winograd::MIN_TAP_MAJOR_TILES
+        && c_out >= crate::winograd::CHANNEL_LANE_MIN_COUT;
+    let m_panels = if lane_channels { 2 * c_out } else { c_out };
+    let gemm_n = if lane_channels { c_out } else { ntiles };
+    let gemm_m = if lane_channels { ntiles } else { c_out };
+    let b_panel =
+        wino_tensor::gemm_f32_b_panel_elems(wino_tensor::simd::active(), gemm_m, c_in, gemm_n);
+    ((c_in + m_panels) * tt * ntiles + b_panel) * std::mem::size_of::<f32>()
 }
 
 #[cfg(test)]

@@ -28,15 +28,33 @@ use crate::quant::QuantParams;
 use crate::scratch::{strip_group_len, with_tap_scratch};
 use crate::tapwise::{TapScaleMatrix, TapwiseScales};
 use crate::transform::{congruence_into, TileGrid};
-use wino_tensor::{gemm_f32_into, parallel_map, split_ranges, Tensor};
+use std::sync::OnceLock;
+use wino_tensor::{gemm_f32_into, parallel_map, simd, split_ranges, Tensor};
 
-/// Below this many total tiles per call the float path keeps the per-tile
-/// kernel: the per-tap GEMM's `N` dimension equals the tile count, and a
-/// handful of tiles cannot fill the microkernel lanes (e.g. a 7×7 / F4 layer
-/// has 4 tiles per image), so the batched formulation loses to the scalar
-/// loop it replaces. Batched inputs raise the tile count and flip back to
-/// tap-major automatically.
+/// Below this many total tiles per call the per-tap GEMM's `N` dimension
+/// (the tile count) cannot fill the microkernel lanes (e.g. a 7×7 / F4 layer
+/// has 4 tiles per image). Such thin layers switch to the **channel-laned**
+/// formulation — the tap GEMMs lane over `c_out` instead of tiles — when the
+/// layer is wide enough ([`CHANNEL_LANE_MIN_COUT`]); otherwise they keep the
+/// per-tile kernel. Batched inputs raise the tile count and flip back to
+/// tile-laned tap-major automatically.
 pub(crate) const MIN_TAP_MAJOR_TILES: usize = 8;
+
+/// Minimum output channels for the channel-laned thin-layer formulation: with
+/// fewer, neither GEMM dimension can fill a register block and the per-tile
+/// kernel stays ahead.
+pub(crate) const CHANNEL_LANE_MIN_COUT: usize = 8;
+
+/// The layout of the per-tap GEMM weight operand.
+#[derive(Clone, Copy)]
+enum TapWeights<'a> {
+    /// `U[tap][co][ci]` — the GEMM lanes over tiles:
+    /// `M[tap] = U[tap] · V[tap]` (`[C_out × C_in] · [C_in × tiles]`).
+    TileLanes(&'a [f32]),
+    /// `U[tap][ci][co]` — the GEMM lanes over output channels (thin layers):
+    /// `M'[tap] = V'[tap] · U'[tap]` (`[tiles × C_in] · [C_in × C_out]`).
+    ChannelLanes(&'a [f32]),
+}
 
 /// Tap-wise fake quantization of a flat `t×t` Winograd-domain tile, matching
 /// [`TapScaleMatrix::fake_quantize_tile`] without the tensor round trip.
@@ -77,9 +95,10 @@ fn winograd_conv2d_with(
     spatial_input: Option<QuantParams>,
 ) -> Tensor<f32> {
     assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
-    let c_out = w.dims()[0];
+    let (c_out, c_in) = (w.dims()[0], w.dims()[1]);
     let u = transform_weights_flat(w, mats, scales.map(|s| &s.weight));
-    if total_tiles(x, mats.output_tile()) < MIN_TAP_MAJOR_TILES {
+    let thin = total_tiles(x, mats.output_tile()) < MIN_TAP_MAJOR_TILES;
+    if thin && c_out < CHANNEL_LANE_MIN_COUT {
         return winograd_forward_flat_per_tile(
             x,
             &u,
@@ -89,10 +108,18 @@ fn winograd_conv2d_with(
             spatial_input,
         );
     }
-    let u_tap = tap_major_weights(&u, c_out, w.dims()[1], mats.input_tile());
+    let t = mats.input_tile();
+    let u_tap = tap_major_weights(&u, c_out, c_in, t);
+    let u_tap_t;
+    let weights = if thin {
+        u_tap_t = channel_lane_weights(&u_tap, c_out, c_in, t * t);
+        TapWeights::ChannelLanes(&u_tap_t)
+    } else {
+        TapWeights::TileLanes(&u_tap)
+    };
     winograd_forward_tap_major(
         x,
-        &u_tap,
+        weights,
         c_out,
         mats,
         scales.map(|s| &s.input),
@@ -164,15 +191,32 @@ fn tap_major_weights(u: &[f32], c_out: usize, c_in: usize, t: usize) -> Vec<f32>
     u_tap
 }
 
+/// Transposes tap-major `U[tap][co][ci]` weights into the channel-laned GEMM
+/// layout `U[tap][ci][co]` — the right-hand operand of the thin-layer
+/// formulation's per-tap GEMM `V'[tiles × C_in] · U'[C_in × C_out]`.
+fn channel_lane_weights(u_tap: &[f32], c_out: usize, c_in: usize, tt: usize) -> Vec<f32> {
+    debug_assert_eq!(u_tap.len(), c_out * c_in * tt);
+    let mut u_t = vec![0.0_f32; u_tap.len()];
+    for tap in 0..tt {
+        let src = &u_tap[tap * c_out * c_in..(tap + 1) * c_out * c_in];
+        let dst = &mut u_t[tap * c_out * c_in..(tap + 1) * c_out * c_in];
+        for co in 0..c_out {
+            for (ci, &val) in src[co * c_in..(co + 1) * c_in].iter().enumerate() {
+                dst[ci * c_out + co] = val;
+            }
+        }
+    }
+    u_t
+}
+
 /// `dst[lane] += coeff · src[lane]` over SoA tile lanes — the vectorized
-/// inner step of the batched congruence transforms. Zero coefficients are
+/// inner step of the batched congruence transforms
+/// ([`simd::axpy_f32`], dispatched once per process). Zero coefficients are
 /// skipped by the *callers* (the Winograd matrices are sparse, and the branch
 /// is per structural coefficient, not per data element).
 #[inline]
 fn axpy(dst: &mut [f32], coeff: f32, src: &[f32]) {
-    for (d, &s) in dst.iter_mut().zip(src.iter()) {
-        *d += coeff * s;
-    }
+    simd::axpy_f32(dst, coeff, src);
 }
 
 /// The tap-major Winograd forward pass over `U[tap][co][ci]` weights.
@@ -190,23 +234,14 @@ fn axpy(dst: &mut [f32], coeff: f32, src: &[f32]) {
 /// with it the residual element — is known).
 fn winograd_forward_tap_major(
     x: &Tensor<f32>,
-    u_tap: &[f32],
+    u: TapWeights<'_>,
     c_out: usize,
     mats: &WinogradMatrices,
     input_scales: Option<&TapScaleMatrix>,
     spatial_input: Option<QuantParams>,
     epi: &EpilogueOps,
 ) -> Tensor<f32> {
-    winograd_forward_tap_major_impl(
-        x,
-        u_tap,
-        c_out,
-        mats,
-        input_scales,
-        spatial_input,
-        epi,
-        None,
-    )
+    winograd_forward_tap_major_impl(x, u, c_out, mats, input_scales, spatial_input, epi, None)
 }
 
 /// [`winograd_forward_tap_major`] with an optional **owned** residual: when
@@ -217,7 +252,7 @@ fn winograd_forward_tap_major(
 #[allow(clippy::too_many_arguments)]
 fn winograd_forward_tap_major_impl(
     x: &Tensor<f32>,
-    u_tap: &[f32],
+    u: TapWeights<'_>,
     c_out: usize,
     mats: &WinogradMatrices,
     input_scales: Option<&TapScaleMatrix>,
@@ -231,6 +266,10 @@ fn winograd_forward_tap_major_impl(
     let t = mats.input_tile();
     let grid = TileGrid::new(h, wd, m, 1);
     let tt = t * t;
+    let (u_tap, lane_channels) = match u {
+        TapWeights::TileLanes(w) => (w, false),
+        TapWeights::ChannelLanes(w) => (w, true),
+    };
     assert_eq!(
         u_tap.len(),
         c_out * c_in * tt,
@@ -289,8 +328,15 @@ fn winograd_forward_tap_major_impl(
             .sum();
         let mut buf = vec![0.0_f32; buf_len];
         with_tap_scratch(|scr| {
-            let (v, mm, da, db) =
-                scr.float_panels(tt * c_in * ntiles, tt * c_out * ntiles, tt * ntiles);
+            // Channel-laned groups need a second M panel: the GEMM writes
+            // `[tile][co]` rows which are then transposed into the standard
+            // SoA `[co][tile]` layout the back-transform consumes.
+            let m_len = if lane_channels {
+                2 * tt * c_out * ntiles
+            } else {
+                tt * c_out * ntiles
+            };
+            let (v, mm, da, db) = scr.float_panels(tt * c_in * ntiles, m_len, tt * ntiles);
             let x_s = x_ref.as_slice();
 
             // --- gather + input transformation into V[tap][c_in][tile] ---
@@ -338,13 +384,15 @@ fn winograd_forward_tap_major_impl(
                         }
                     }
                 }
-                // Stage 2: V[r·t+c][ci] = Σ_k db[r][k] · Bᵀ[c,k], written
-                // straight into the tap's GEMM operand row.
-                for r in 0..t {
-                    for c in 0..t {
-                        let tap = r * t + c;
-                        let dst =
-                            &mut v[(tap * c_in + ci) * ntiles..(tap * c_in + ci + 1) * ntiles];
+                // Stage 2: V[r·t+c][ci] = Σ_k db[r][k] · Bᵀ[c,k]. Tile-laned
+                // groups write straight into the tap's GEMM operand row;
+                // channel-laned groups compute the row in a spare `da` lane
+                // (the gather lanes are dead once stage 1 consumed them) and
+                // scatter it tile-major into `V[tap][tile][ci]` — the
+                // transposed left operand of the thin-layer GEMM.
+                {
+                    let db_ro: &[f32] = db;
+                    let compute_row = |dst: &mut [f32], r: usize, c: usize| {
                         dst.fill(0.0);
                         for k in 0..t {
                             let coeff = bt[c * t + k];
@@ -352,7 +400,7 @@ fn winograd_forward_tap_major_impl(
                                 axpy(
                                     dst,
                                     coeff,
-                                    &db[(r * t + k) * ntiles..(r * t + k + 1) * ntiles],
+                                    &db_ro[(r * t + k) * ntiles..(r * t + k + 1) * ntiles],
                                 );
                             }
                         }
@@ -364,21 +412,80 @@ fn winograd_forward_tap_major_impl(
                                 *vv = q as f32 * s;
                             }
                         }
+                    };
+                    if lane_channels {
+                        for r in 0..t {
+                            for c in 0..t {
+                                let tap = r * t + c;
+                                let lane = &mut da[tap * ntiles..(tap + 1) * ntiles];
+                                compute_row(lane, r, c);
+                                for (tile, &val) in lane.iter().enumerate() {
+                                    v[(tap * ntiles + tile) * c_in + ci] = val;
+                                }
+                            }
+                        }
+                    } else {
+                        for r in 0..t {
+                            for c in 0..t {
+                                let tap = r * t + c;
+                                compute_row(
+                                    &mut v[(tap * c_in + ci) * ntiles
+                                        ..(tap * c_in + ci + 1) * ntiles],
+                                    r,
+                                    c,
+                                );
+                            }
+                        }
                     }
                 }
             }
 
-            // --- one dense GEMM per tap: M[tap] = U[tap] · V[tap] ---
-            for tap in 0..tt {
-                gemm_f32_into(
-                    &mut mm[tap * c_out * ntiles..(tap + 1) * c_out * ntiles],
-                    &u_tap[tap * c_out * c_in..(tap + 1) * c_out * c_in],
-                    &v[tap * c_in * ntiles..(tap + 1) * c_in * ntiles],
-                    c_out,
-                    c_in,
-                    ntiles,
-                );
-            }
+            // --- one dense GEMM per tap ---
+            // Tile-laned: M[tap] = U[tap] · V[tap]
+            // (`[C_out × C_in] · [C_in × tiles]`). Channel-laned (thin
+            // layers): the operands are transposed — M'[tap] = V'[tap] ·
+            // U'[tap] (`[tiles × C_in] · [C_in × C_out]`) — so the GEMM's `M`
+            // dimension is the handful of tiles (served by the thin `m ≤ 4`
+            // microkernels) and its `N` dimension is `c_out`, filling the
+            // register lanes a 4-tile call would otherwise waste. The
+            // `[tile][co]` product is then transposed into the standard SoA
+            // `M[tap][co][tile]` panel (the second half of the scratch), so
+            // the back-transform below is layout-agnostic.
+            let mm: &mut [f32] = if lane_channels {
+                let (gout, soa) = mm.split_at_mut(tt * c_out * ntiles);
+                for tap in 0..tt {
+                    gemm_f32_into(
+                        &mut gout[tap * ntiles * c_out..(tap + 1) * ntiles * c_out],
+                        &v[tap * ntiles * c_in..(tap + 1) * ntiles * c_in],
+                        &u_tap[tap * c_in * c_out..(tap + 1) * c_in * c_out],
+                        ntiles,
+                        c_in,
+                        c_out,
+                    );
+                }
+                for tap in 0..tt {
+                    let src = &gout[tap * ntiles * c_out..(tap + 1) * ntiles * c_out];
+                    let dst = &mut soa[tap * c_out * ntiles..(tap + 1) * c_out * ntiles];
+                    for co in 0..c_out {
+                        for tile in 0..ntiles {
+                            dst[co * ntiles + tile] = src[tile * c_out + co];
+                        }
+                    }
+                }
+                soa
+            } else {
+                for tap in 0..tt {
+                    gemm_f32_into(
+                        &mut mm[tap * c_out * ntiles..(tap + 1) * c_out * ntiles],
+                        &u_tap[tap * c_out * c_in..(tap + 1) * c_out * c_in],
+                        &v[tap * c_in * ntiles..(tap + 1) * c_in * ntiles],
+                        c_out,
+                        c_in,
+                        ntiles,
+                    );
+                }
+                mm
+            };
 
             // --- output transformation (SoA) + fused epilogue ---
             // Per-strip offsets into the group buffer.
@@ -642,6 +749,10 @@ pub struct PreparedWinogradConv {
     u: Vec<f32>,
     /// Tap-major `U[tap][co][ci]` weights (the GEMM layout).
     u_tap: Vec<f32>,
+    /// Channel-laned `U[tap][ci][co]` weights, built lazily on the first
+    /// thin-layer forward (most prepared layers never run the thin path, and
+    /// an eager copy would grow every node's weight footprint by a third).
+    u_tap_t: OnceLock<Vec<f32>>,
 }
 
 impl PreparedWinogradConv {
@@ -662,6 +773,7 @@ impl PreparedWinogradConv {
             mats,
             u,
             u_tap,
+            u_tap_t: OnceLock::new(),
         }
     }
 
@@ -671,13 +783,40 @@ impl PreparedWinogradConv {
     }
 
     /// Whether a forward pass over a `batch × … × h × w` input runs the
-    /// tap-major pipeline (rather than the per-tile small-tile fallback).
-    /// The single source of truth for that decision — the graph executor's
-    /// in-place residual stealing must agree with the kernel's own fallback,
-    /// or a stolen buffer would be dropped instead of written into.
+    /// tap-major pipeline — tile-laned for ample tiles, channel-laned for
+    /// thin layers with enough output channels — rather than the per-tile
+    /// fallback. The single source of truth for that decision — the graph
+    /// executor's in-place residual stealing must agree with the kernel's
+    /// own fallback, or a stolen buffer would be dropped instead of written
+    /// into.
     pub(crate) fn uses_tap_major(&self, batch: usize, h: usize, w: usize) -> bool {
         let m = self.mats.output_tile();
-        batch * h.div_ceil(m) * w.div_ceil(m) >= MIN_TAP_MAJOR_TILES
+        let tiles = batch * h.div_ceil(m) * w.div_ceil(m);
+        tiles >= MIN_TAP_MAJOR_TILES || self.c_out >= CHANNEL_LANE_MIN_COUT
+    }
+
+    /// Whether the batched path lanes the per-tap GEMMs over output channels
+    /// rather than tiles for this geometry (thin layers: too few tiles to
+    /// fill the microkernel's `N` lanes, enough output channels to fill them
+    /// the transposed way — the 512×512×7 ResNet shape).
+    pub(crate) fn lanes_channels(&self, batch: usize, h: usize, w: usize) -> bool {
+        let m = self.mats.output_tile();
+        let tiles = batch * h.div_ceil(m) * w.div_ceil(m);
+        tiles < MIN_TAP_MAJOR_TILES && self.c_out >= CHANNEL_LANE_MIN_COUT
+    }
+
+    /// The per-tap GEMM weight operand for this geometry, building the
+    /// channel-laned transpose on first use.
+    fn gemm_weights(&self, batch: usize, h: usize, w: usize) -> TapWeights<'_> {
+        if self.lanes_channels(batch, h, w) {
+            let tt = self.mats.input_tile() * self.mats.input_tile();
+            TapWeights::ChannelLanes(
+                self.u_tap_t
+                    .get_or_init(|| channel_lane_weights(&self.u_tap, self.c_out, self.c_in, tt)),
+            )
+        } else {
+            TapWeights::TileLanes(&self.u_tap)
+        }
     }
 
     /// Output channels of the prepared layer.
@@ -737,7 +876,8 @@ impl PreparedWinogradConv {
             apply_epilogue(&mut y, epi);
             return y;
         }
-        winograd_forward_tap_major(x, &self.u_tap, self.c_out, &self.mats, None, None, epi)
+        let u = self.gemm_weights(x.dims()[0], x.dims()[2], x.dims()[3]);
+        winograd_forward_tap_major(x, u, self.c_out, &self.mats, None, None, epi)
     }
 
     /// [`PreparedWinogradConv::forward_with_epilogue`] with an **owned**
@@ -786,9 +926,10 @@ impl PreparedWinogradConv {
             pre_add_relu,
             relu,
         };
+        let u = self.gemm_weights(x.dims()[0], x.dims()[2], x.dims()[3]);
         winograd_forward_tap_major_impl(
             x,
-            &self.u_tap,
+            u,
             self.c_out,
             &self.mats,
             None,
@@ -937,6 +1078,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn channel_laned_thin_layers_match_per_tile_and_fuse_bitwise() {
+        use crate::epilogue::{apply_epilogue, EpilogueOps};
+        // A 7×7 / F4 input has 4 tiles — below MIN_TAP_MAJOR_TILES — but 16
+        // output channels, so the batched path lanes the tap GEMMs over
+        // c_out instead of falling back to the per-tile kernel.
+        let x = normal(&[1, 8, 7, 7], 0.0, 1.0, 160);
+        let wt = normal(&[16, 8, 3, 3], 0.0, 0.4, 161);
+        let res = normal(&[1, 16, 7, 7], 0.0, 1.0, 162);
+        let bias = normal(&[16], 0.0, 0.5, 163);
+        let prep = PreparedWinogradConv::prepare(&wt, TileSize::F4);
+        assert!(prep.uses_tap_major(1, 7, 7), "thin+wide must batch");
+        assert!(prep.lanes_channels(1, 7, 7), "thin+wide must lane channels");
+        let fast = prep.forward(&x);
+        let slow = prep.forward_per_tile(&x);
+        let err = fast.relative_error(&slow);
+        assert!(err < 1e-5, "channel-laned drifted from per-tile: {err}");
+        // The fused epilogue must stay bitwise equal to separate passes on
+        // the channel-laned path too.
+        let ops = EpilogueOps {
+            bias: Some(&bias),
+            residual: Some(&res),
+            pre_add_relu: false,
+            relu: true,
+        };
+        let fused = prep.forward_with_epilogue(&x, &ops);
+        let mut separate = prep.forward(&x);
+        apply_epilogue(&mut separate, &ops);
+        assert_eq!(fused, separate, "channel-laned fused epilogue drifted");
+        // The owned-residual variant must honour the buffer on this path.
+        let into = prep.forward_with_epilogue_into(&x, Some(&bias), false, true, res.clone());
+        assert_eq!(into, fused, "owned-residual channel-laned path drifted");
     }
 
     #[test]

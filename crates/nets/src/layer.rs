@@ -36,6 +36,9 @@ pub struct ConvLayer {
     pub stride: usize,
     /// How many times this exact layer shape repeats in the network.
     pub repeats: usize,
+    /// Whether the layer carries a per-output-channel bias (folded into the
+    /// convolution epilogue by the executor).
+    pub bias: bool,
 }
 
 impl ConvLayer {
@@ -58,6 +61,7 @@ impl ConvLayer {
             kernel,
             stride,
             repeats: 1,
+            bias: false,
         }
     }
 
@@ -74,6 +78,12 @@ impl ConvLayer {
     /// Marks the layer as repeating `n` times (identical shape).
     pub fn repeated(mut self, n: usize) -> Self {
         self.repeats = n;
+        self
+    }
+
+    /// Marks the layer as carrying a per-output-channel bias.
+    pub fn with_bias(mut self) -> Self {
+        self.bias = true;
         self
     }
 

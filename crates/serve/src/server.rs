@@ -198,6 +198,7 @@ impl InferenceServer {
         let scheduler = Arc::new(BatchScheduler::new(config.policy));
         let stats = Arc::new(ServerStats::new());
         stats.set_fusion(prepared.fused_node_count(), prepared.elided_bytes());
+        stats.set_kernel(prepared.simd_kernel());
         let workers = (0..config.workers)
             .map(|i| {
                 let scheduler = Arc::clone(&scheduler);

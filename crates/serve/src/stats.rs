@@ -63,6 +63,7 @@ struct StatsInner {
     synth: SynthStats,
     fused_nodes: usize,
     elided_bytes: usize,
+    kernel_variant: &'static str,
 }
 
 /// Thread-shared accumulator of serving telemetry.
@@ -142,6 +143,12 @@ impl ServerStats {
         g.elided_bytes = elided_bytes;
     }
 
+    /// Attaches the SIMD microkernel variant every worker's GEMMs run with
+    /// (`PreparedGraph::simd_kernel` — one process-wide selection).
+    pub fn set_kernel(&self, kernel_variant: &'static str) {
+        self.inner.lock().expect("stats poisoned").kernel_variant = kernel_variant;
+    }
+
     /// Reduces everything recorded so far into a [`StatsReport`].
     pub fn report(&self) -> StatsReport {
         let g = self.inner.lock().expect("stats poisoned");
@@ -180,6 +187,7 @@ impl ServerStats {
             synth: g.synth,
             fused_nodes: g.fused_nodes,
             elided_bytes: g.elided_bytes,
+            kernel_variant: g.kernel_variant,
         }
     }
 }
@@ -220,6 +228,9 @@ pub struct StatsReport {
     pub fused_nodes: usize,
     /// Pre-activation bytes per run that fusion never materializes.
     pub elided_bytes: usize,
+    /// The SIMD microkernel variant the workers' GEMMs and SoA transforms
+    /// run with (`""` until the server attaches it).
+    pub kernel_variant: &'static str,
 }
 
 impl StatsReport {
@@ -293,6 +304,15 @@ impl StatsReport {
             self.fused_nodes,
             self.elided_bytes as f64 / 1024.0
         );
+        let _ = writeln!(
+            out,
+            "simd kernel     {:>10}",
+            if self.kernel_variant.is_empty() {
+                "(unset)"
+            } else {
+                self.kernel_variant
+            }
+        );
         out
     }
 }
@@ -364,6 +384,20 @@ mod tests {
         assert!(
             table.contains("19 nodes fused") && table.contains("64.0 KiB"),
             "table must show the fusion line:\n{table}"
+        );
+    }
+
+    #[test]
+    fn kernel_variant_rides_the_report_and_table() {
+        let stats = ServerStats::new();
+        assert!(stats.report().render().contains("(unset)"));
+        stats.set_kernel("avx2");
+        let r = stats.report();
+        assert_eq!(r.kernel_variant, "avx2");
+        let table = r.render();
+        assert!(
+            table.contains("simd kernel") && table.contains("avx2"),
+            "table must show the kernel line:\n{table}"
         );
     }
 

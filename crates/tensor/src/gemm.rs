@@ -1,4 +1,4 @@
-//! General matrix multiplication kernels.
+//! General matrix multiplication kernels with runtime SIMD dispatch.
 //!
 //! Three element types share one kernel structure: an `f32` GEMM used by the
 //! reference im2col convolution, the training substrate and the tap-major
@@ -7,28 +7,50 @@
 //! accumulators); and an `i16 × i16 → i32` GEMM for Winograd-domain codes
 //! wider than 8 bits (the paper's `int8/10` configurations).
 //!
-//! The slice-based `*_into` variants are the hot entry points: they pack the
-//! left operand into [`MR`]-row panels and run an unrolled `MR × NR`
-//! register-blocked microkernel over the right operand, accumulating a full
-//! register tile before touching `C`. There is deliberately no zero-skip
-//! branch in the inner loop — Winograd-domain and im2col operands are dense,
-//! and a data-dependent branch per multiply defeats vectorization. The
-//! `Tensor` wrappers add [`BLOCK_M`]-row parallelism on top
-//! ([`crate::parallel::parallel_chunks_mut`]); the `*_into` kernels themselves
-//! are sequential so callers that are already inside a parallel region (the
-//! Winograd strip workers) can use them without nesting thread pools.
+//! The slice-based `*_into` variants are the hot entry points. A generic
+//! packed driver ([`packed_driver`]) owns the blocking: it packs the left
+//! operand into `MR`-row panels, the right operand into `NR`-wide zero-padded
+//! column panels, and hands fixed-width contiguous rows to a register-blocked
+//! microkernel that accumulates a full `MR × NR` tile before touching `C`.
+//! The microkernel itself is chosen **per process** by
+//! [`crate::simd::active`]: explicit `std::arch` kernels for x86-64 AVX2/FMA
+//! and AVX-512F and for aarch64 NEON, with portable scalar Rust as the
+//! reference fallback (`WINO_FORCE_KERNEL=scalar` pins it). The
+//! `*_into_with` twins take an explicit [`KernelVariant`] so tests and
+//! benchmarks can compare variants inside one process; a variant foreign to
+//! the build architecture falls back to scalar there (the global dispatch
+//! never selects one).
+//!
+//! `f32` additionally has a *thin* microkernel family: when `m ≤` [`MR_THIN`]
+//! the driver switches to 4-row kernels with twice the column width (AVX2
+//! 4×16, AVX-512 4×32, NEON 4×16), so a GEMM whose `M` dimension cannot fill
+//! the standard 8-row block trades the dead rows for live columns. The
+//! channel-laned thin-layer Winograd formulation leans on this: its tap GEMMs
+//! run with `M = tiles ≤ 4` and `N = c_out`, and the thin kernels keep every
+//! accumulator lane busy.
+//!
+//! There is deliberately no zero-skip branch in the inner loops — Winograd
+//! and im2col operands are dense, and a data-dependent branch per multiply
+//! defeats vectorization. The `Tensor` wrappers add [`BLOCK_M`]-row
+//! parallelism on top ([`crate::parallel::parallel_chunks_mut`]); the
+//! `*_into` kernels themselves are sequential so callers already inside a
+//! parallel region (the Winograd strip workers) can use them without nesting
+//! thread pools.
 
 use crate::parallel::parallel_chunks_mut;
+use crate::simd::{self, KernelVariant};
 use crate::tensor::Tensor;
 
 /// Rows of `C` per parallel block — one block of `A` (MC × KC) stays in L1.
 const BLOCK_M: usize = 32;
 /// Depth of the shared `K` blocking.
 const BLOCK_K: usize = 256;
-/// Rows per packed `A` panel / microkernel tile.
+/// Rows per packed `A` panel / standard microkernel tile.
 const MR: usize = 8;
-/// Columns per packed `B` panel / microkernel tile (accumulated in registers).
+/// Columns per standard scalar/AVX2/NEON microkernel tile.
 const NR: usize = 8;
+/// `f32` calls with `m ≤ MR_THIN` use the 4-row wide-column kernel family.
+pub const MR_THIN: usize = 4;
 
 /// Convenience façade bundling the GEMM kernels behind one type.
 ///
@@ -54,136 +76,675 @@ impl Gemm {
     }
 }
 
-macro_rules! define_gemm_into {
-    ($(#[$doc:meta])* $name:ident, $t_in:ty, $t_acc:ty) => {
-        $(#[$doc])*
-        pub fn $name(c: &mut [$t_acc], a: &[$t_in], b: &[$t_in], m: usize, k: usize, n: usize) {
-            assert_eq!(a.len(), m * k, concat!(stringify!($name), ": A length"));
-            assert_eq!(b.len(), k * n, concat!(stringify!($name), ": B length"));
-            assert_eq!(c.len(), m * n, concat!(stringify!($name), ": C length"));
-            c.fill(<$t_acc>::default());
-            if m == 0 || n == 0 || k == 0 {
-                return;
-            }
-            // Panel scratch is parked per thread so repeated calls (one per
-            // Winograd tap) stay allocation-free.
-            thread_local! {
-                static B_PANEL: std::cell::RefCell<Vec<$t_in>> =
-                    const { std::cell::RefCell::new(Vec::new()) };
-            }
-            B_PANEL.with(|cell| {
-                let mut bpack_store = cell.borrow_mut();
-                let nblocks = n.div_ceil(NR);
-                let bpack_len = BLOCK_K.min(k) * nblocks * NR;
-                if bpack_store.len() < bpack_len {
-                    bpack_store.resize(bpack_len, <$t_in>::default());
-                }
-                let bpack = &mut bpack_store[..];
-                // One packed panel of A: MR rows × BLOCK_K depth,
-                // row-interleaved so the microkernel reads MR consecutive
-                // values per k step.
-                let mut pack = [<$t_in>::default(); MR * BLOCK_K];
-                for k0 in (0..k).step_by(BLOCK_K) {
-                    let kc = (k0 + BLOCK_K).min(k) - k0;
-                    // Pack B into NR-wide column panels `[jb][kk][NR]`,
-                    // zero-padding the ragged last block: the microkernel
-                    // then reads both operands as contiguous fixed-width
-                    // rows with no tail path.
-                    for jb in 0..nblocks {
-                        for kk in 0..kc {
-                            let dst = &mut bpack[(jb * kc + kk) * NR..(jb * kc + kk + 1) * NR];
-                            let j0 = jb * NR;
-                            let cols = NR.min(n - j0);
-                            let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + cols];
-                            dst[..cols].copy_from_slice(src);
-                            dst[cols..].fill(<$t_in>::default());
-                        }
-                    }
-                    for i0 in (0..m).step_by(MR) {
-                        let rows = MR.min(m - i0);
-                        for kk in 0..kc {
-                            for r in 0..MR {
-                                pack[kk * MR + r] = if r < rows {
-                                    a[(i0 + r) * k + k0 + kk]
-                                } else {
-                                    <$t_in>::default()
-                                };
-                            }
-                        }
-                        for jb in 0..nblocks {
-                            // The MR×NR accumulator tile lives in registers
-                            // for the whole kc sweep.
-                            let mut acc = [[<$t_acc>::default(); NR]; MR];
-                            for kk in 0..kc {
-                                let ap: &[$t_in; MR] =
-                                    pack[kk * MR..kk * MR + MR].try_into().unwrap();
-                                let bp: &[$t_in; NR] = bpack
-                                    [(jb * kc + kk) * NR..(jb * kc + kk + 1) * NR]
-                                    .try_into()
-                                    .unwrap();
-                                for r in 0..MR {
-                                    let av = ap[r] as $t_acc;
-                                    for j in 0..NR {
-                                        acc[r][j] += av * (bp[j] as $t_acc);
-                                    }
-                                }
-                            }
-                            let j0 = jb * NR;
-                            let cols = NR.min(n - j0);
-                            for r in 0..rows {
-                                let crow = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + cols];
-                                for (cv, av) in crow.iter_mut().zip(acc[r][..cols].iter()) {
-                                    *cv += *av;
-                                }
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    };
+/// Widening conversion from a GEMM operand type to its accumulator type.
+trait Widen<A>: Copy {
+    fn widen(self) -> A;
 }
 
-define_gemm_into!(
-    /// `C[M×N] = A[M×K] · B[K×N]` on flat row-major `f32` slices, overwriting
-    /// `C`. This is the packed sequential kernel behind [`gemm_f32`] and the
-    /// per-tap GEMMs of the tap-major Winograd pipeline.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any slice length disagrees with the given dimensions.
-    gemm_f32_into,
-    f32,
-    f32
-);
+impl Widen<f32> for f32 {
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        self
+    }
+}
 
-define_gemm_into!(
-    /// `C[M×N] = A[M×K] · B[K×N]` over `i8` operands with exact `i32`
-    /// accumulation — the Cube Unit's datapath on flat slices. No saturation:
-    /// `K ≤ 2^15` keeps the result well inside `i32`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any slice length disagrees with the given dimensions.
-    gemm_i8_i32_into,
-    i8,
-    i32
-);
+impl Widen<i32> for i8 {
+    #[inline(always)]
+    fn widen(self) -> i32 {
+        i32::from(self)
+    }
+}
 
-define_gemm_into!(
-    /// `C[M×N] = A[M×K] · B[K×N]` over `i16` operands with exact `i32`
-    /// accumulation. The integer tap-major Winograd path uses this for
-    /// Winograd-domain codes wider than 8 bits (`int8/9`, `int8/10`); callers
-    /// must keep `K · max|A| · max|B|` inside `i32`
-    /// (`IntWinogradConv` checks this and falls back to the per-tile path).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any slice length disagrees with the given dimensions.
-    gemm_i16_i32_into,
-    i16,
-    i32
-);
+impl Widen<i32> for i16 {
+    #[inline(always)]
+    fn widen(self) -> i32 {
+        i32::from(self)
+    }
+}
+
+/// The packed-panel GEMM driver, generic over operand type, accumulator type
+/// and the microkernel's `MRP × NRP` register block.
+///
+/// Packs `A` into `MRP`-row row-interleaved panels (`pack[kk * MRP + r]`) and
+/// `B` into `NRP`-wide zero-padded column panels, then calls `micro` once per
+/// `(row panel, column panel)` pair with `(acc, a_panel, b_panel, kc)`; the
+/// accumulator tile is added into `C` afterwards, honouring ragged edges.
+/// `micro` always sees fixed-width fully padded rows — no tail path.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn packed_driver<T, A, const MRP: usize, const NRP: usize>(
+    c: &mut [A],
+    a: &[T],
+    b: &[T],
+    m: usize,
+    k: usize,
+    n: usize,
+    bpack_store: &mut Vec<T>,
+    mut micro: impl FnMut(&mut [[A; NRP]; MRP], &[T], &[T], usize),
+) where
+    T: Copy + Default,
+    A: Copy + Default + std::ops::AddAssign,
+{
+    let nblocks = n.div_ceil(NRP);
+    let bpack_len = BLOCK_K.min(k) * nblocks * NRP;
+    if bpack_store.len() < bpack_len {
+        bpack_store.resize(bpack_len, T::default());
+    }
+    let bpack = &mut bpack_store[..bpack_len];
+    // One packed panel of A, row-interleaved so the microkernel reads MRP
+    // consecutive values per k step. Sized for the widest (MR-row) family;
+    // thin kernels use a prefix.
+    let mut pack = [T::default(); MR * BLOCK_K];
+    for k0 in (0..k).step_by(BLOCK_K) {
+        let kc = (k0 + BLOCK_K).min(k) - k0;
+        // Pack B into NRP-wide column panels `[jb][kk][NRP]`, zero-padding
+        // the ragged last block.
+        for jb in 0..nblocks {
+            for kk in 0..kc {
+                let dst = &mut bpack[(jb * kc + kk) * NRP..(jb * kc + kk + 1) * NRP];
+                let j0 = jb * NRP;
+                let cols = NRP.min(n - j0);
+                let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + cols];
+                dst[..cols].copy_from_slice(src);
+                dst[cols..].fill(T::default());
+            }
+        }
+        for i0 in (0..m).step_by(MRP) {
+            let rows = MRP.min(m - i0);
+            for kk in 0..kc {
+                for r in 0..MRP {
+                    pack[kk * MRP + r] = if r < rows {
+                        a[(i0 + r) * k + k0 + kk]
+                    } else {
+                        T::default()
+                    };
+                }
+            }
+            let a_panel = &pack[..kc * MRP];
+            for jb in 0..nblocks {
+                let mut acc = [[A::default(); NRP]; MRP];
+                micro(
+                    &mut acc,
+                    a_panel,
+                    &bpack[jb * kc * NRP..(jb * kc + kc) * NRP],
+                    kc,
+                );
+                let j0 = jb * NRP;
+                let cols = NRP.min(n - j0);
+                for r in 0..rows {
+                    let crow = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + cols];
+                    for (cv, av) in crow.iter_mut().zip(acc[r][..cols].iter()) {
+                        *cv += *av;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The portable reference microkernel: a plain `MRP × NRP` multiply-accumulate
+/// sweep the compiler autovectorizes. Every SIMD variant is equivalence-tested
+/// against this.
+#[inline(always)]
+fn scalar_micro<T, A, const MRP: usize, const NRP: usize>(
+    acc: &mut [[A; NRP]; MRP],
+    ap: &[T],
+    bp: &[T],
+    kc: usize,
+) where
+    T: Widen<A>,
+    A: Copy + std::ops::AddAssign + std::ops::Mul<Output = A>,
+{
+    for kk in 0..kc {
+        let a_row: &[T; MRP] = ap[kk * MRP..].first_chunk().unwrap();
+        let b_row: &[T; NRP] = bp[kk * NRP..].first_chunk().unwrap();
+        for r in 0..MRP {
+            let av = a_row[r].widen();
+            for j in 0..NRP {
+                acc[r][j] += av * b_row[j].widen();
+            }
+        }
+    }
+}
+
+/// Element count of the thread-parked packed `B` panel a `k × n` `f32` GEMM
+/// uses under `variant` with an `m`-row left operand — exposed so scratch
+/// accounting can include the GEMM panel footprint.
+pub fn gemm_f32_b_panel_elems(variant: KernelVariant, m: usize, k: usize, n: usize) -> usize {
+    let nrp = f32_nrp(variant, m);
+    BLOCK_K.min(k.max(1)) * n.div_ceil(nrp) * nrp
+}
+
+/// The `N` width of the `f32` microkernel [`gemm_f32_into_with`] would pick.
+fn f32_nrp(variant: KernelVariant, m: usize) -> usize {
+    let thin = m <= MR_THIN;
+    match variant {
+        KernelVariant::Avx512 if cfg!(target_arch = "x86_64") => {
+            if thin {
+                32
+            } else {
+                16
+            }
+        }
+        KernelVariant::Avx2 if cfg!(target_arch = "x86_64") => {
+            if thin {
+                16
+            } else {
+                NR
+            }
+        }
+        KernelVariant::Neon if cfg!(target_arch = "aarch64") => {
+            if thin {
+                16
+            } else {
+                NR
+            }
+        }
+        _ => NR,
+    }
+}
+
+/// Shared slice-length checks + `C` clear for the `*_into` entry points.
+#[inline]
+fn check_and_clear<T, A: Copy + Default>(
+    name: &str,
+    c: &mut [A],
+    a: &[T],
+    b: &[T],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> bool {
+    assert_eq!(a.len(), m * k, "{name}: A length");
+    assert_eq!(b.len(), k * n, "{name}: B length");
+    assert_eq!(c.len(), m * n, "{name}: C length");
+    c.fill(A::default());
+    m > 0 && n > 0 && k > 0
+}
+
+/// `C[M×N] = A[M×K] · B[K×N]` on flat row-major `f32` slices, overwriting
+/// `C`, using the process-wide [`crate::simd::active`] kernel variant. This
+/// is the packed sequential kernel behind [`gemm_f32`] and the per-tap GEMMs
+/// of the tap-major Winograd pipeline.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_f32_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    gemm_f32_into_with(simd::active(), c, a, b, m, k, n);
+}
+
+/// [`gemm_f32_into`] with an explicit kernel variant — the equivalence-test
+/// and benchmark entry point. A variant foreign to this build's architecture
+/// runs the scalar kernels.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_f32_into_with(
+    variant: KernelVariant,
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if !check_and_clear("gemm_f32_into", c, a, b, m, k, n) {
+        return;
+    }
+    // Panel scratch is parked per thread so repeated calls (one per Winograd
+    // tap) stay allocation-free.
+    thread_local! {
+        static B_PANEL: std::cell::RefCell<Vec<f32>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    B_PANEL.with(|cell| {
+        let bp = &mut *cell.borrow_mut();
+        match variant {
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx2 if m <= MR_THIN => {
+                packed_driver::<_, _, 4, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: the caller-selected variant was feature-checked
+                    // (dispatch or the `_with` contract).
+                    unsafe { x86::f32_4x16_avx2(acc, ap, bpn, kc) }
+                })
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx2 => {
+                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: as above.
+                    unsafe { x86::f32_8x8_avx2(acc, ap, bpn, kc) }
+                })
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx512 if m <= MR_THIN => {
+                packed_driver::<_, _, 4, 32>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: as above.
+                    unsafe { x86::f32_4x32_avx512(acc, ap, bpn, kc) }
+                })
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx512 => {
+                packed_driver::<_, _, 8, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: as above.
+                    unsafe { x86::f32_8x16_avx512(acc, ap, bpn, kc) }
+                })
+            }
+            #[cfg(target_arch = "aarch64")]
+            KernelVariant::Neon if m <= MR_THIN => {
+                packed_driver::<_, _, 4, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: as above.
+                    unsafe { neon::f32_4x16_neon(acc, ap, bpn, kc) }
+                })
+            }
+            #[cfg(target_arch = "aarch64")]
+            KernelVariant::Neon => {
+                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: as above.
+                    unsafe { neon::f32_8x8_neon(acc, ap, bpn, kc) }
+                })
+            }
+            _ if m <= MR_THIN => {
+                packed_driver::<_, _, MR_THIN, NR>(c, a, b, m, k, n, bp, scalar_micro)
+            }
+            _ => packed_driver::<_, _, MR, NR>(c, a, b, m, k, n, bp, scalar_micro),
+        }
+    });
+}
+
+/// `C[M×N] = A[M×K] · B[K×N]` over `i8` operands with exact `i32`
+/// accumulation — the Cube Unit's datapath on flat slices, using the
+/// process-wide [`crate::simd::active`] kernel variant. No saturation:
+/// `K ≤ 2^15` keeps the result well inside `i32`.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_i8_i32_into(c: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+    gemm_i8_i32_into_with(simd::active(), c, a, b, m, k, n);
+}
+
+/// [`gemm_i8_i32_into`] with an explicit kernel variant; every variant is
+/// bit-identical (integer arithmetic). A variant foreign to this build's
+/// architecture runs the scalar kernels.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_i8_i32_into_with(
+    variant: KernelVariant,
+    c: &mut [i32],
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if !check_and_clear("gemm_i8_i32_into", c, a, b, m, k, n) {
+        return;
+    }
+    thread_local! {
+        static B_PANEL: std::cell::RefCell<Vec<i8>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    B_PANEL.with(|cell| {
+        let bp = &mut *cell.borrow_mut();
+        match variant {
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx2 => {
+                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: the caller-selected variant was feature-checked.
+                    unsafe { x86::i8_8x8_avx2(acc, ap, bpn, kc) }
+                })
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx512 => {
+                packed_driver::<_, _, 8, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: as above.
+                    unsafe { x86::i8_8x16_avx512(acc, ap, bpn, kc) }
+                })
+            }
+            #[cfg(target_arch = "aarch64")]
+            KernelVariant::Neon => {
+                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: as above.
+                    unsafe { neon::i8_8x8_neon(acc, ap, bpn, kc) }
+                })
+            }
+            _ => packed_driver::<_, _, MR, NR>(c, a, b, m, k, n, bp, scalar_micro),
+        }
+    });
+}
+
+/// `C[M×N] = A[M×K] · B[K×N]` over `i16` operands with exact `i32`
+/// accumulation, using the process-wide [`crate::simd::active`] kernel
+/// variant. The integer tap-major Winograd path uses this for
+/// Winograd-domain codes wider than 8 bits (`int8/9`, `int8/10`); callers
+/// must keep `K · max|A| · max|B|` inside `i32`
+/// (`IntWinogradConv` checks this and falls back to the per-tile path).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_i16_i32_into(c: &mut [i32], a: &[i16], b: &[i16], m: usize, k: usize, n: usize) {
+    gemm_i16_i32_into_with(simd::active(), c, a, b, m, k, n);
+}
+
+/// [`gemm_i16_i32_into`] with an explicit kernel variant; every variant is
+/// bit-identical (integer arithmetic). A variant foreign to this build's
+/// architecture runs the scalar kernels.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_i16_i32_into_with(
+    variant: KernelVariant,
+    c: &mut [i32],
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if !check_and_clear("gemm_i16_i32_into", c, a, b, m, k, n) {
+        return;
+    }
+    thread_local! {
+        static B_PANEL: std::cell::RefCell<Vec<i16>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    B_PANEL.with(|cell| {
+        let bp = &mut *cell.borrow_mut();
+        match variant {
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx2 => {
+                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: the caller-selected variant was feature-checked.
+                    unsafe { x86::i16_8x8_avx2(acc, ap, bpn, kc) }
+                })
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx512 => {
+                packed_driver::<_, _, 8, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: as above.
+                    unsafe { x86::i16_8x16_avx512(acc, ap, bpn, kc) }
+                })
+            }
+            #[cfg(target_arch = "aarch64")]
+            KernelVariant::Neon => {
+                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                    // SAFETY: as above.
+                    unsafe { neon::i16_8x8_neon(acc, ap, bpn, kc) }
+                })
+            }
+            _ => packed_driver::<_, _, MR, NR>(c, a, b, m, k, n, bp, scalar_micro),
+        }
+    });
+}
+
+/// x86-64 microkernels. Every function is `unsafe` because it requires its
+/// `target_feature` set; the dispatch layer (or the `_with` caller) verifies
+/// support before any call. All panel loads are exactly in-bounds: the driver
+/// zero-pads both operands to the kernel's fixed row widths.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// 8×8 `f32` FMA kernel: one broadcast per A row, 8 ymm accumulators.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn f32_8x8_avx2(acc: &mut [[f32; 8]; 8], ap: &[f32], bp: &[f32], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut regs = [_mm256_setzero_ps(); 8];
+        for kk in 0..kc {
+            let bv = _mm256_loadu_ps(b.add(kk * 8));
+            for (r, reg) in regs.iter_mut().enumerate() {
+                *reg = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(kk * 8 + r)), bv, *reg);
+            }
+        }
+        for (r, reg) in regs.iter().enumerate() {
+            _mm256_storeu_ps(acc[r].as_mut_ptr(), *reg);
+        }
+    }
+
+    /// Thin 4×16 `f32` FMA kernel (two ymm columns × four rows) for `m ≤ 4`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn f32_4x16_avx2(acc: &mut [[f32; 16]; 4], ap: &[f32], bp: &[f32], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut lo = [_mm256_setzero_ps(); 4];
+        let mut hi = [_mm256_setzero_ps(); 4];
+        for kk in 0..kc {
+            let b0 = _mm256_loadu_ps(b.add(kk * 16));
+            let b1 = _mm256_loadu_ps(b.add(kk * 16 + 8));
+            for r in 0..4 {
+                let av = _mm256_set1_ps(*a.add(kk * 4 + r));
+                lo[r] = _mm256_fmadd_ps(av, b0, lo[r]);
+                hi[r] = _mm256_fmadd_ps(av, b1, hi[r]);
+            }
+        }
+        for r in 0..4 {
+            _mm256_storeu_ps(acc[r].as_mut_ptr(), lo[r]);
+            _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), hi[r]);
+        }
+    }
+
+    /// 8×16 `f32` FMA kernel on zmm registers.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn f32_8x16_avx512(acc: &mut [[f32; 16]; 8], ap: &[f32], bp: &[f32], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut regs = [_mm512_setzero_ps(); 8];
+        for kk in 0..kc {
+            let bv = _mm512_loadu_ps(b.add(kk * 16));
+            for (r, reg) in regs.iter_mut().enumerate() {
+                *reg = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(kk * 8 + r)), bv, *reg);
+            }
+        }
+        for (r, reg) in regs.iter().enumerate() {
+            _mm512_storeu_ps(acc[r].as_mut_ptr(), *reg);
+        }
+    }
+
+    /// Thin 4×32 `f32` FMA kernel (two zmm columns × four rows) for `m ≤ 4`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn f32_4x32_avx512(acc: &mut [[f32; 32]; 4], ap: &[f32], bp: &[f32], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut lo = [_mm512_setzero_ps(); 4];
+        let mut hi = [_mm512_setzero_ps(); 4];
+        for kk in 0..kc {
+            let b0 = _mm512_loadu_ps(b.add(kk * 32));
+            let b1 = _mm512_loadu_ps(b.add(kk * 32 + 16));
+            for r in 0..4 {
+                let av = _mm512_set1_ps(*a.add(kk * 4 + r));
+                lo[r] = _mm512_fmadd_ps(av, b0, lo[r]);
+                hi[r] = _mm512_fmadd_ps(av, b1, hi[r]);
+            }
+        }
+        for r in 0..4 {
+            _mm512_storeu_ps(acc[r].as_mut_ptr(), lo[r]);
+            _mm512_storeu_ps(acc[r].as_mut_ptr().add(16), hi[r]);
+        }
+    }
+
+    /// 8×8 `i8 → i32` kernel: sign-extend 8 codes to a ymm of i32, multiply
+    /// low 32 bits, add — exact, matching the scalar widening product.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn i8_8x8_avx2(acc: &mut [[i32; 8]; 8], ap: &[i8], bp: &[i8], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut regs = [_mm256_setzero_si256(); 8];
+        for kk in 0..kc {
+            let bv = _mm256_cvtepi8_epi32(_mm_loadl_epi64(b.add(kk * 8) as *const __m128i));
+            for (r, reg) in regs.iter_mut().enumerate() {
+                let av = _mm256_set1_epi32(i32::from(*a.add(kk * 8 + r)));
+                *reg = _mm256_add_epi32(*reg, _mm256_mullo_epi32(av, bv));
+            }
+        }
+        for (r, reg) in regs.iter().enumerate() {
+            _mm256_storeu_si256(acc[r].as_mut_ptr() as *mut __m256i, *reg);
+        }
+    }
+
+    /// 8×16 `i8 → i32` kernel on zmm registers.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn i8_8x16_avx512(acc: &mut [[i32; 16]; 8], ap: &[i8], bp: &[i8], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut regs = [_mm512_setzero_si512(); 8];
+        for kk in 0..kc {
+            let bv = _mm512_cvtepi8_epi32(_mm_loadu_si128(b.add(kk * 16) as *const __m128i));
+            for (r, reg) in regs.iter_mut().enumerate() {
+                let av = _mm512_set1_epi32(i32::from(*a.add(kk * 8 + r)));
+                *reg = _mm512_add_epi32(*reg, _mm512_mullo_epi32(av, bv));
+            }
+        }
+        for (r, reg) in regs.iter().enumerate() {
+            _mm512_storeu_si512(acc[r].as_mut_ptr() as *mut __m512i, *reg);
+        }
+    }
+
+    /// 8×8 `i16 → i32` kernel (Winograd-domain codes wider than 8 bits).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn i16_8x8_avx2(acc: &mut [[i32; 8]; 8], ap: &[i16], bp: &[i16], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut regs = [_mm256_setzero_si256(); 8];
+        for kk in 0..kc {
+            let bv = _mm256_cvtepi16_epi32(_mm_loadu_si128(b.add(kk * 8) as *const __m128i));
+            for (r, reg) in regs.iter_mut().enumerate() {
+                let av = _mm256_set1_epi32(i32::from(*a.add(kk * 8 + r)));
+                *reg = _mm256_add_epi32(*reg, _mm256_mullo_epi32(av, bv));
+            }
+        }
+        for (r, reg) in regs.iter().enumerate() {
+            _mm256_storeu_si256(acc[r].as_mut_ptr() as *mut __m256i, *reg);
+        }
+    }
+
+    /// 8×16 `i16 → i32` kernel on zmm registers.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn i16_8x16_avx512(acc: &mut [[i32; 16]; 8], ap: &[i16], bp: &[i16], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut regs = [_mm512_setzero_si512(); 8];
+        for kk in 0..kc {
+            let bv = _mm512_cvtepi16_epi32(_mm256_loadu_si256(b.add(kk * 16) as *const __m256i));
+            for (r, reg) in regs.iter_mut().enumerate() {
+                let av = _mm512_set1_epi32(i32::from(*a.add(kk * 8 + r)));
+                *reg = _mm512_add_epi32(*reg, _mm512_mullo_epi32(av, bv));
+            }
+        }
+        for (r, reg) in regs.iter().enumerate() {
+            _mm512_storeu_si512(acc[r].as_mut_ptr() as *mut __m512i, *reg);
+        }
+    }
+}
+
+/// aarch64 NEON microkernels; same contract as the x86 module.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use core::arch::aarch64::*;
+
+    /// 8×8 `f32` kernel: two q-register columns per row, fused accumulate.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn f32_8x8_neon(acc: &mut [[f32; 8]; 8], ap: &[f32], bp: &[f32], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut lo = [vdupq_n_f32(0.0); 8];
+        let mut hi = [vdupq_n_f32(0.0); 8];
+        for kk in 0..kc {
+            let b0 = vld1q_f32(b.add(kk * 8));
+            let b1 = vld1q_f32(b.add(kk * 8 + 4));
+            for r in 0..8 {
+                let av = *a.add(kk * 8 + r);
+                lo[r] = vfmaq_n_f32(lo[r], b0, av);
+                hi[r] = vfmaq_n_f32(hi[r], b1, av);
+            }
+        }
+        for r in 0..8 {
+            vst1q_f32(acc[r].as_mut_ptr(), lo[r]);
+            vst1q_f32(acc[r].as_mut_ptr().add(4), hi[r]);
+        }
+    }
+
+    /// Thin 4×16 `f32` kernel (four q-register columns × four rows).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn f32_4x16_neon(acc: &mut [[f32; 16]; 4], ap: &[f32], bp: &[f32], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut regs = [[vdupq_n_f32(0.0); 4]; 4];
+        for kk in 0..kc {
+            let bv = [
+                vld1q_f32(b.add(kk * 16)),
+                vld1q_f32(b.add(kk * 16 + 4)),
+                vld1q_f32(b.add(kk * 16 + 8)),
+                vld1q_f32(b.add(kk * 16 + 12)),
+            ];
+            for r in 0..4 {
+                let av = *a.add(kk * 4 + r);
+                for c in 0..4 {
+                    regs[r][c] = vfmaq_n_f32(regs[r][c], bv[c], av);
+                }
+            }
+        }
+        for r in 0..4 {
+            for c in 0..4 {
+                vst1q_f32(acc[r].as_mut_ptr().add(c * 4), regs[r][c]);
+            }
+        }
+    }
+
+    /// 8×8 `i8 → i32` kernel: widen codes to i16, multiply-accumulate into
+    /// i32 lanes via `vmlal_s16` — exact.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn i8_8x8_neon(acc: &mut [[i32; 8]; 8], ap: &[i8], bp: &[i8], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut lo = [vdupq_n_s32(0); 8];
+        let mut hi = [vdupq_n_s32(0); 8];
+        for kk in 0..kc {
+            let bw = vmovl_s8(vld1_s8(b.add(kk * 8)));
+            let bl = vget_low_s16(bw);
+            let bh = vget_high_s16(bw);
+            for r in 0..8 {
+                let av = vdup_n_s16(i16::from(*a.add(kk * 8 + r)));
+                lo[r] = vmlal_s16(lo[r], bl, av);
+                hi[r] = vmlal_s16(hi[r], bh, av);
+            }
+        }
+        for r in 0..8 {
+            vst1q_s32(acc[r].as_mut_ptr(), lo[r]);
+            vst1q_s32(acc[r].as_mut_ptr().add(4), hi[r]);
+        }
+    }
+
+    /// 8×8 `i16 → i32` kernel via widening multiply-accumulate — exact for
+    /// the ≤ 15-bit Winograd-domain codes the integer pipeline admits.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn i16_8x8_neon(acc: &mut [[i32; 8]; 8], ap: &[i16], bp: &[i16], kc: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut lo = [vdupq_n_s32(0); 8];
+        let mut hi = [vdupq_n_s32(0); 8];
+        for kk in 0..kc {
+            let bw = vld1q_s16(b.add(kk * 8));
+            let bl = vget_low_s16(bw);
+            let bh = vget_high_s16(bw);
+            for r in 0..8 {
+                let av = vdup_n_s16(*a.add(kk * 8 + r));
+                lo[r] = vmlal_s16(lo[r], bl, av);
+                hi[r] = vmlal_s16(hi[r], bh, av);
+            }
+        }
+        for r in 0..8 {
+            vst1q_s32(acc[r].as_mut_ptr(), lo[r]);
+            vst1q_s32(acc[r].as_mut_ptr().add(4), hi[r]);
+        }
+    }
+}
 
 /// Multiplies two row-major `f32` matrices: `C[M×N] = A[M×K] · B[K×N]`.
 ///
@@ -281,14 +842,16 @@ mod tests {
     fn matches_naive_on_random_shapes() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-        // Shapes straddle every microkernel boundary: sub-MR row counts,
-        // sub-NR column counts, exact multiples and ragged tails of both.
+        // Shapes straddle every microkernel boundary: sub-MR row counts
+        // (including the thin m ≤ 4 kernel family), sub-NR column counts,
+        // exact multiples and ragged tails of both.
         for &(m, k, n) in &[
             (1, 1, 1),
             (3, 5, 2),
             (8, 8, 8),
             (13, 7, 9),
             (4, 300, 8),
+            (4, 300, 37),
             (5, 257, 17),
             (33, 9, 31),
         ] {
@@ -312,6 +875,37 @@ mod tests {
             let expect = gemm_f32(&a, &b);
             for (x, y) in c.iter().zip(expect.as_slice()) {
                 assert!((x - y).abs() < 1e-4, "({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn every_available_variant_matches_scalar() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(97);
+        for &(m, k, n) in &[(1, 7, 3), (4, 64, 40), (8, 256, 16), (13, 300, 21)] {
+            let af: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0_f32..2.0)).collect();
+            let bf: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-2.0_f32..2.0)).collect();
+            let ai: Vec<i8> = (0..m * k)
+                .map(|_| rng.gen_range(-128_i32..128) as i8)
+                .collect();
+            let bi: Vec<i8> = (0..k * n)
+                .map(|_| rng.gen_range(-128_i32..128) as i8)
+                .collect();
+            let mut cf_ref = vec![0.0_f32; m * n];
+            let mut ci_ref = vec![0_i32; m * n];
+            gemm_f32_into_with(KernelVariant::Scalar, &mut cf_ref, &af, &bf, m, k, n);
+            gemm_i8_i32_into_with(KernelVariant::Scalar, &mut ci_ref, &ai, &bi, m, k, n);
+            for v in simd::available() {
+                let mut cf = vec![1.0_f32; m * n];
+                gemm_f32_into_with(v, &mut cf, &af, &bf, m, k, n);
+                for (x, y) in cf.iter().zip(cf_ref.iter()) {
+                    let tol = 1e-5 * (k as f32).max(1.0);
+                    assert!((x - y).abs() <= tol, "{} f32 ({m},{k},{n})", v.name());
+                }
+                let mut ci = vec![1_i32; m * n];
+                gemm_i8_i32_into_with(v, &mut ci, &ai, &bi, m, k, n);
+                assert_eq!(ci, ci_ref, "{} i8 ({m},{k},{n})", v.name());
             }
         }
     }
@@ -388,6 +982,17 @@ mod tests {
         let mut c = vec![9.0_f32; 6];
         gemm_f32_into(&mut c, &[], &[], 2, 0, 3);
         assert!(c.iter().all(|&v| v == 0.0), "k = 0 must produce zeros");
+    }
+
+    #[test]
+    fn b_panel_sizing_covers_padded_blocks() {
+        for v in simd::available() {
+            for &(m, k, n) in &[(4, 512, 512), (8, 64, 7), (32, 300, 56)] {
+                let elems = gemm_f32_b_panel_elems(v, m, k, n);
+                assert!(elems >= k.min(256) * n, "panel must cover B's block");
+                assert_eq!(elems % 8, 0, "panels are NR-padded");
+            }
+        }
     }
 
     #[test]

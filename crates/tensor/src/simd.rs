@@ -1,0 +1,584 @@
+//! Runtime SIMD kernel dispatch.
+//!
+//! The GEMM microkernels ([`crate::gemm`]) and the SoA transform primitives
+//! below exist in several instruction-set variants: a portable scalar
+//! fallback, x86-64 AVX2/FMA and AVX-512F, and aarch64 NEON. One variant is
+//! selected **once per process** — the first call to [`active`] probes the
+//! CPU (`is_x86_feature_detected!` / the aarch64 equivalent) and caches the
+//! best supported [`KernelVariant`]; every hot call after that is a branch
+//! on a loaded value, never a re-probe.
+//!
+//! The environment variable [`FORCE_ENV`] (`WINO_FORCE_KERNEL`) overrides
+//! detection: `WINO_FORCE_KERNEL=scalar` pins the portable kernels (the
+//! reference every SIMD variant is equivalence-tested against),
+//! `avx2`/`avx512`/`neon` pin a specific ISA. Forcing a variant the host
+//! does not support panics at first use rather than silently falling back —
+//! a forced run must mean what it says.
+//!
+//! Tests and benchmarks that want to compare variants inside one process
+//! bypass the global selection entirely: [`available`] lists the variants
+//! this host can run, and the `gemm_*_into_with` entry points take an
+//! explicit variant.
+//!
+//! # Adding an ISA variant
+//!
+//! 1. Add the enum case and its [`KernelVariant::name`] /
+//!    [`KernelVariant::is_supported`] arms (compile-gate the probe on the
+//!    target architecture).
+//! 2. Rank it in [`detected`] (best first).
+//! 3. Provide microkernels in `gemm.rs` and dispatch arms in the
+//!    `gemm_*_into_with` functions, plus SoA arms in this module's
+//!    [`axpy_f32`]-family dispatch.
+//! 4. The randomized equivalence suite (`tests/simd_kernels.rs`) picks the
+//!    new variant up automatically through [`available`].
+
+use std::sync::OnceLock;
+
+/// Environment variable that overrides kernel detection
+/// (`scalar`, `avx2`, `avx512` or `neon`).
+pub const FORCE_ENV: &str = "WINO_FORCE_KERNEL";
+
+/// One instruction-set implementation of the hot kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// Portable scalar Rust (the reference all SIMD variants must match).
+    Scalar,
+    /// x86-64 AVX2 + FMA (256-bit lanes).
+    Avx2,
+    /// x86-64 AVX-512F (512-bit lanes).
+    Avx512,
+    /// aarch64 NEON (128-bit lanes).
+    Neon,
+}
+
+impl KernelVariant {
+    /// Every variant, in detection order (worst first).
+    pub const ALL: [KernelVariant; 4] = [
+        KernelVariant::Scalar,
+        KernelVariant::Neon,
+        KernelVariant::Avx2,
+        KernelVariant::Avx512,
+    ];
+
+    /// The lowercase name used by [`FORCE_ENV`], stats tables and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Avx2 => "avx2",
+            KernelVariant::Avx512 => "avx512",
+            KernelVariant::Neon => "neon",
+        }
+    }
+
+    /// Parses a [`FORCE_ENV`] value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelVariant::Scalar),
+            "avx2" => Some(KernelVariant::Avx2),
+            "avx512" => Some(KernelVariant::Avx512),
+            "neon" => Some(KernelVariant::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this host can execute the variant.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelVariant::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx2 => {
+                is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx512 => is_x86_feature_detected!("avx512f"),
+            #[cfg(target_arch = "aarch64")]
+            KernelVariant::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// The `N` width (columns per register block) of this variant's standard
+    /// `f32` GEMM microkernel. The Winograd planner uses this to size panels:
+    /// a tap GEMM whose `N` dimension cannot reach this width wastes lanes,
+    /// which is what the channel-laned thin-layer formulation fixes.
+    pub fn nr_f32(self) -> usize {
+        match self {
+            KernelVariant::Avx512 => 16,
+            _ => 8,
+        }
+    }
+}
+
+/// The best variant this host supports (ignores [`FORCE_ENV`]).
+pub fn detected() -> KernelVariant {
+    KernelVariant::ALL
+        .into_iter()
+        .rev()
+        .find(|v| v.is_supported())
+        .unwrap_or(KernelVariant::Scalar)
+}
+
+/// Every variant this host can execute, scalar first.
+pub fn available() -> Vec<KernelVariant> {
+    KernelVariant::ALL
+        .into_iter()
+        .filter(|v| v.is_supported())
+        .collect()
+}
+
+/// The process-wide active kernel variant: [`detected`] unless [`FORCE_ENV`]
+/// overrides it. Resolved once; subsequent calls are a cached load.
+///
+/// # Panics
+///
+/// Panics on first use if [`FORCE_ENV`] names an unknown variant or one this
+/// host cannot execute.
+pub fn active() -> KernelVariant {
+    static ACTIVE: OnceLock<KernelVariant> = OnceLock::new();
+    *ACTIVE.get_or_init(|| match std::env::var(FORCE_ENV) {
+        Ok(raw) => {
+            let v = KernelVariant::parse(&raw).unwrap_or_else(|| {
+                panic!("{FORCE_ENV}={raw}: expected one of scalar|avx2|avx512|neon")
+            });
+            assert!(
+                v.is_supported(),
+                "{FORCE_ENV}={raw}: this host does not support the {} kernels",
+                v.name()
+            );
+            v
+        }
+        Err(_) => detected(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// SoA transform primitives.
+//
+// The batched Winograd congruence transforms operate on contiguous tile
+// lanes (`dst[lane] ⊕= coeff · src[lane]`); these are their dispatched inner
+// steps. Each is a safe wrapper around a per-variant implementation chosen
+// through one cached function pointer, so the per-call overhead is a single
+// indirect call over hundreds of lanes.
+// ---------------------------------------------------------------------------
+
+/// The resolved SoA primitive implementations of the active variant.
+struct SoaOps {
+    axpy_f32: fn(&mut [f32], f32, &[f32]),
+    axpy_f32_unfused: fn(&mut [f32], f32, &[f32]),
+    axpy_i32: fn(&mut [i32], i32, &[i32]),
+    scale_i32_f32: fn(&mut [f32], &[i32], f32),
+}
+
+fn soa_ops() -> &'static SoaOps {
+    static OPS: OnceLock<SoaOps> = OnceLock::new();
+    OPS.get_or_init(|| match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelVariant::Avx2 => SoaOps {
+            axpy_f32: x86::axpy_f32_avx2,
+            axpy_f32_unfused: x86::axpy_f32_unfused_avx2,
+            axpy_i32: x86::axpy_i32_avx2,
+            scale_i32_f32: x86::scale_i32_f32_avx2,
+        },
+        #[cfg(target_arch = "x86_64")]
+        KernelVariant::Avx512 => SoaOps {
+            axpy_f32: x86::axpy_f32_avx512,
+            axpy_f32_unfused: x86::axpy_f32_unfused_avx512,
+            axpy_i32: x86::axpy_i32_avx512,
+            scale_i32_f32: x86::scale_i32_f32_avx512,
+        },
+        #[cfg(target_arch = "aarch64")]
+        KernelVariant::Neon => SoaOps {
+            axpy_f32: neon::axpy_f32_neon,
+            axpy_f32_unfused: neon::axpy_f32_unfused_neon,
+            axpy_i32: neon::axpy_i32_neon,
+            scale_i32_f32: neon::scale_i32_f32_neon,
+        },
+        _ => SoaOps {
+            axpy_f32: axpy_f32_scalar,
+            axpy_f32_unfused: axpy_f32_scalar,
+            axpy_i32: axpy_i32_scalar,
+            scale_i32_f32: scale_i32_f32_scalar,
+        },
+    })
+}
+
+/// `dst[i] += coeff · src[i]`. The float Winograd transforms use this; SIMD
+/// variants may contract the multiply-add (FMA), so results can differ from
+/// the scalar build in the last ulp — callers on bit-pinned paths use
+/// [`axpy_f32_unfused`] instead.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn axpy_f32(dst: &mut [f32], coeff: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "axpy_f32: length mismatch");
+    (soa_ops().axpy_f32)(dst, coeff, src);
+}
+
+/// [`axpy_f32`] with the multiply and add rounded separately on every
+/// variant — bit-identical to the scalar loop. The integer Winograd
+/// pipeline's float back-transform uses this to stay bit-identical to its
+/// per-tile reference.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn axpy_f32_unfused(dst: &mut [f32], coeff: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "axpy_f32_unfused: length mismatch");
+    (soa_ops().axpy_f32_unfused)(dst, coeff, src);
+}
+
+/// `dst[i] += coeff · src[i]` over `i32` lanes — exact on every variant
+/// (integer arithmetic; callers guarantee no overflow, as the scalar loop
+/// already required).
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn axpy_i32(dst: &mut [i32], coeff: i32, src: &[i32]) {
+    assert_eq!(dst.len(), src.len(), "axpy_i32: length mismatch");
+    (soa_ops().axpy_i32)(dst, coeff, src);
+}
+
+/// `dst[i] = src[i] as f32 · scale` — the integer pipeline's per-tap `S_BG`
+/// rescale. The `i32 → f32` conversion and the multiply round identically
+/// to the scalar expression on every variant, so this is bit-identical
+/// everywhere.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn scale_i32_f32(dst: &mut [f32], src: &[i32], scale: f32) {
+    assert_eq!(dst.len(), src.len(), "scale_i32_f32: length mismatch");
+    (soa_ops().scale_i32_f32)(dst, src, scale);
+}
+
+fn axpy_f32_scalar(dst: &mut [f32], coeff: f32, src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d += coeff * s;
+    }
+}
+
+/// Scalar tail of the *fused* vector bodies: `mul_add` rounds exactly like
+/// a hardware FMA lane, so an element's bits do not depend on whether its
+/// lane index fell in the vector body or the tail. (Callers that lane the
+/// same tile at different positions — tile-laned vs channel-laned Winograd —
+/// rely on this for batch-size-independent results within one variant.)
+#[allow(dead_code)] // unused on ISAs with no fused body
+fn axpy_f32_fused_tail(dst: &mut [f32], coeff: f32, src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = coeff.mul_add(s, *d);
+    }
+}
+
+fn axpy_i32_scalar(dst: &mut [i32], coeff: i32, src: &[i32]) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d += coeff * s;
+    }
+}
+
+fn scale_i32_f32_scalar(dst: &mut [f32], src: &[i32], scale: f32) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = s as f32 * scale;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{axpy_f32_scalar, axpy_i32_scalar, scale_i32_f32_scalar};
+    use core::arch::x86_64::*;
+
+    pub fn axpy_f32_avx2(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        // SAFETY: dispatch verified avx2+fma support.
+        unsafe { axpy_f32_avx2_impl(dst, coeff, src) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn axpy_f32_avx2_impl(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let c = _mm256_set1_ps(coeff);
+        let mut i = 0;
+        while i + 8 <= n {
+            let acc = _mm256_fmadd_ps(c, _mm256_loadu_ps(s.add(i)), _mm256_loadu_ps(d.add(i)));
+            _mm256_storeu_ps(d.add(i), acc);
+            i += 8;
+        }
+        super::axpy_f32_fused_tail(&mut dst[i..], coeff, &src[i..]);
+    }
+
+    pub fn axpy_f32_unfused_avx2(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        // SAFETY: dispatch verified avx2 support.
+        unsafe { axpy_f32_unfused_avx2_impl(dst, coeff, src) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_f32_unfused_avx2_impl(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let c = _mm256_set1_ps(coeff);
+        let mut i = 0;
+        while i + 8 <= n {
+            // Separate multiply and add: bit-identical to the scalar loop.
+            let prod = _mm256_mul_ps(c, _mm256_loadu_ps(s.add(i)));
+            _mm256_storeu_ps(d.add(i), _mm256_add_ps(_mm256_loadu_ps(d.add(i)), prod));
+            i += 8;
+        }
+        axpy_f32_scalar(&mut dst[i..], coeff, &src[i..]);
+    }
+
+    pub fn axpy_i32_avx2(dst: &mut [i32], coeff: i32, src: &[i32]) {
+        // SAFETY: dispatch verified avx2 support.
+        unsafe { axpy_i32_avx2_impl(dst, coeff, src) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_i32_avx2_impl(dst: &mut [i32], coeff: i32, src: &[i32]) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let c = _mm256_set1_epi32(coeff);
+        let mut i = 0;
+        while i + 8 <= n {
+            let prod = _mm256_mullo_epi32(c, _mm256_loadu_si256(s.add(i) as *const __m256i));
+            let acc = _mm256_add_epi32(_mm256_loadu_si256(d.add(i) as *const __m256i), prod);
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, acc);
+            i += 8;
+        }
+        axpy_i32_scalar(&mut dst[i..], coeff, &src[i..]);
+    }
+
+    pub fn scale_i32_f32_avx2(dst: &mut [f32], src: &[i32], scale: f32) {
+        // SAFETY: dispatch verified avx2 support.
+        unsafe { scale_i32_f32_avx2_impl(dst, src, scale) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_i32_f32_avx2_impl(dst: &mut [f32], src: &[i32], scale: f32) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let c = _mm256_set1_ps(scale);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_cvtepi32_ps(_mm256_loadu_si256(s.add(i) as *const __m256i));
+            _mm256_storeu_ps(d.add(i), _mm256_mul_ps(v, c));
+            i += 8;
+        }
+        scale_i32_f32_scalar(&mut dst[i..], &src[i..], scale);
+    }
+
+    pub fn axpy_f32_avx512(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        // SAFETY: dispatch verified avx512f support.
+        unsafe { axpy_f32_avx512_impl(dst, coeff, src) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpy_f32_avx512_impl(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let c = _mm512_set1_ps(coeff);
+        let mut i = 0;
+        while i + 16 <= n {
+            let acc = _mm512_fmadd_ps(c, _mm512_loadu_ps(s.add(i)), _mm512_loadu_ps(d.add(i)));
+            _mm512_storeu_ps(d.add(i), acc);
+            i += 16;
+        }
+        super::axpy_f32_fused_tail(&mut dst[i..], coeff, &src[i..]);
+    }
+
+    pub fn axpy_f32_unfused_avx512(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        // SAFETY: dispatch verified avx512f support.
+        unsafe { axpy_f32_unfused_avx512_impl(dst, coeff, src) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpy_f32_unfused_avx512_impl(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let c = _mm512_set1_ps(coeff);
+        let mut i = 0;
+        while i + 16 <= n {
+            let prod = _mm512_mul_ps(c, _mm512_loadu_ps(s.add(i)));
+            _mm512_storeu_ps(d.add(i), _mm512_add_ps(_mm512_loadu_ps(d.add(i)), prod));
+            i += 16;
+        }
+        axpy_f32_scalar(&mut dst[i..], coeff, &src[i..]);
+    }
+
+    pub fn axpy_i32_avx512(dst: &mut [i32], coeff: i32, src: &[i32]) {
+        // SAFETY: dispatch verified avx512f support.
+        unsafe { axpy_i32_avx512_impl(dst, coeff, src) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn axpy_i32_avx512_impl(dst: &mut [i32], coeff: i32, src: &[i32]) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let c = _mm512_set1_epi32(coeff);
+        let mut i = 0;
+        while i + 16 <= n {
+            let prod = _mm512_mullo_epi32(c, _mm512_loadu_si512(s.add(i) as *const __m512i));
+            let acc = _mm512_add_epi32(_mm512_loadu_si512(d.add(i) as *const __m512i), prod);
+            _mm512_storeu_si512(d.add(i) as *mut __m512i, acc);
+            i += 16;
+        }
+        axpy_i32_scalar(&mut dst[i..], coeff, &src[i..]);
+    }
+
+    pub fn scale_i32_f32_avx512(dst: &mut [f32], src: &[i32], scale: f32) {
+        // SAFETY: dispatch verified avx512f support.
+        unsafe { scale_i32_f32_avx512_impl(dst, src, scale) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn scale_i32_f32_avx512_impl(dst: &mut [f32], src: &[i32], scale: f32) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let c = _mm512_set1_ps(scale);
+        let mut i = 0;
+        while i + 16 <= n {
+            let v = _mm512_cvtepi32_ps(_mm512_loadu_si512(s.add(i) as *const __m512i));
+            _mm512_storeu_ps(d.add(i), _mm512_mul_ps(v, c));
+            i += 16;
+        }
+        scale_i32_f32_scalar(&mut dst[i..], &src[i..], scale);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{axpy_f32_scalar, axpy_i32_scalar, scale_i32_f32_scalar};
+    use core::arch::aarch64::*;
+
+    pub fn axpy_f32_neon(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        // SAFETY: dispatch verified NEON support.
+        unsafe { axpy_f32_neon_impl(dst, coeff, src) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn axpy_f32_neon_impl(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let acc = vfmaq_n_f32(vld1q_f32(d.add(i)), vld1q_f32(s.add(i)), coeff);
+            vst1q_f32(d.add(i), acc);
+            i += 4;
+        }
+        super::axpy_f32_fused_tail(&mut dst[i..], coeff, &src[i..]);
+    }
+
+    pub fn axpy_f32_unfused_neon(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        // SAFETY: dispatch verified NEON support.
+        unsafe { axpy_f32_unfused_neon_impl(dst, coeff, src) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn axpy_f32_unfused_neon_impl(dst: &mut [f32], coeff: f32, src: &[f32]) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let c = vdupq_n_f32(coeff);
+        let mut i = 0;
+        while i + 4 <= n {
+            // Separate multiply and add: bit-identical to the scalar loop.
+            let prod = vmulq_f32(c, vld1q_f32(s.add(i)));
+            vst1q_f32(d.add(i), vaddq_f32(vld1q_f32(d.add(i)), prod));
+            i += 4;
+        }
+        axpy_f32_scalar(&mut dst[i..], coeff, &src[i..]);
+    }
+
+    pub fn axpy_i32_neon(dst: &mut [i32], coeff: i32, src: &[i32]) {
+        // SAFETY: dispatch verified NEON support.
+        unsafe { axpy_i32_neon_impl(dst, coeff, src) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn axpy_i32_neon_impl(dst: &mut [i32], coeff: i32, src: &[i32]) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let acc = vmlaq_n_s32(vld1q_s32(d.add(i)), vld1q_s32(s.add(i)), coeff);
+            vst1q_s32(d.add(i), acc);
+            i += 4;
+        }
+        axpy_i32_scalar(&mut dst[i..], coeff, &src[i..]);
+    }
+
+    pub fn scale_i32_f32_neon(dst: &mut [f32], src: &[i32], scale: f32) {
+        // SAFETY: dispatch verified NEON support.
+        unsafe { scale_i32_f32_neon_impl(dst, src, scale) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn scale_i32_f32_neon_impl(dst: &mut [f32], src: &[i32], scale: f32) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = vcvtq_f32_s32(vld1q_s32(s.add(i)));
+            vst1q_f32(d.add(i), vmulq_n_f32(v, scale));
+            i += 4;
+        }
+        scale_i32_f32_scalar(&mut dst[i..], &src[i..], scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_names() {
+        for v in KernelVariant::ALL {
+            assert_eq!(KernelVariant::parse(v.name()), Some(v));
+        }
+        assert_eq!(KernelVariant::parse("AVX2"), Some(KernelVariant::Avx2));
+        assert_eq!(KernelVariant::parse("mmx"), None);
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_detection_is_sane() {
+        assert!(KernelVariant::Scalar.is_supported());
+        let avail = available();
+        assert!(avail.contains(&KernelVariant::Scalar));
+        assert!(avail.contains(&detected()));
+        assert!(avail.contains(&active()));
+    }
+
+    #[test]
+    fn soa_primitives_match_scalar_on_every_length() {
+        // Length sweep covers the vector body, the ragged tail and the
+        // all-tail case on every variant the dispatch may have picked.
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 100] {
+            let src_f: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37) - 3.0).collect();
+            let mut d1: Vec<f32> = (0..n).map(|i| i as f32 * 0.11).collect();
+            let mut d2 = d1.clone();
+            axpy_f32(&mut d1, 1.625, &src_f);
+            axpy_f32_scalar(&mut d2, 1.625, &src_f);
+            for (a, b) in d1.iter().zip(d2.iter()) {
+                assert!((a - b).abs() <= 1e-5, "axpy_f32 drift at n={n}");
+            }
+
+            let mut u1: Vec<f32> = (0..n).map(|i| i as f32 * 0.11).collect();
+            let mut u2 = u1.clone();
+            axpy_f32_unfused(&mut u1, 1.625, &src_f);
+            axpy_f32_scalar(&mut u2, 1.625, &src_f);
+            assert_eq!(u1, u2, "axpy_f32_unfused must be bit-identical, n={n}");
+
+            let src_i: Vec<i32> = (0..n).map(|i| i as i32 * 7 - 50).collect();
+            let mut i1: Vec<i32> = (0..n).map(|i| i as i32).collect();
+            let mut i2 = i1.clone();
+            axpy_i32(&mut i1, -3, &src_i);
+            axpy_i32_scalar(&mut i2, -3, &src_i);
+            assert_eq!(i1, i2, "axpy_i32 must be exact, n={n}");
+
+            let mut f1 = vec![0.0_f32; n];
+            let mut f2 = vec![0.0_f32; n];
+            scale_i32_f32(&mut f1, &src_i, 0.03125);
+            scale_i32_f32_scalar(&mut f2, &src_i, 0.03125);
+            assert_eq!(f1, f2, "scale_i32_f32 must be bit-identical, n={n}");
+        }
+    }
+}

@@ -17,7 +17,9 @@ use winograd_tapwise::wino_core::{
     QuantParams, TapwiseScales, TileSize, WinogradMatrices, WinogradQuantConfig,
 };
 use winograd_tapwise::wino_nets::{resnet20_graph, resnet34_graph};
-use winograd_tapwise::wino_tensor::{normal, Tensor};
+use winograd_tapwise::wino_tensor::{
+    gemm_f32_into_with, gemm_i16_i32_into_with, gemm_i8_i32_into_with, normal, simd, Tensor,
+};
 
 /// Median wall-clock nanoseconds of `iters` runs of `f`.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
@@ -196,6 +198,50 @@ fn main() {
         ));
     }
 
+    // SIMD microkernel rows: the process-wide active variant plus a
+    // per-variant GEMM microbench on a tap-GEMM-shaped problem
+    // (M = C_out = 128, K = C_in = 128, N = tiles of a 28×28 F4 strip group),
+    // one row per dtype, so the trajectory file records the dispatch win
+    // and the host's variant inventory.
+    let gemm_iters = if quick { 3 } else { 11 };
+    let (gm, gk, gn) = (128usize, 128usize, 7 * 7);
+    let af: Vec<f32> = (0..gm * gk).map(|i| (i % 13) as f32 * 0.21 - 1.1).collect();
+    let bf: Vec<f32> = (0..gk * gn).map(|i| (i % 11) as f32 * 0.17 - 0.8).collect();
+    let a8: Vec<i8> = (0..gm * gk).map(|i| (i % 251) as i8).collect();
+    let b8: Vec<i8> = (0..gk * gn).map(|i| (i % 241) as i8).collect();
+    let a16: Vec<i16> = (0..gm * gk).map(|i| (i % 1021) as i16 - 500).collect();
+    let b16: Vec<i16> = (0..gk * gn).map(|i| (i % 1013) as i16 - 500).collect();
+    let mut cf = vec![0.0f32; gm * gn];
+    let mut ci = vec![0i32; gm * gn];
+    let mut simd_rows = Vec::new();
+    for variant in simd::available() {
+        let f32_ns = median_ns(gemm_iters, || {
+            gemm_f32_into_with(variant, &mut cf, &af, &bf, gm, gk, gn);
+            std::hint::black_box(&cf);
+        });
+        let i8_ns = median_ns(gemm_iters, || {
+            gemm_i8_i32_into_with(variant, &mut ci, &a8, &b8, gm, gk, gn);
+            std::hint::black_box(&ci);
+        });
+        let i16_ns = median_ns(gemm_iters, || {
+            gemm_i16_i32_into_with(variant, &mut ci, &a16, &b16, gm, gk, gn);
+            std::hint::black_box(&ci);
+        });
+        eprintln!(
+            "simd gemm {:>6} ({gm}x{gk}x{gn}): f32 {:.1} us, i8 {:.1} us, i16 {:.1} us",
+            variant.name(),
+            f32_ns as f64 / 1e3,
+            i8_ns as f64 / 1e3,
+            i16_ns as f64 / 1e3,
+        );
+        simd_rows.push(format!(
+            "\"{}\": {{\"gemm_f32_ns\": {f32_ns}, \"gemm_i8_i32_ns\": {i8_ns}, \
+             \"gemm_i16_i32_ns\": {i16_ns}}}",
+            variant.name()
+        ));
+    }
+    eprintln!("simd active kernel: {}", simd::active().name());
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"float_f4\": {{{}}},", float_rows.join(", "));
@@ -207,8 +253,14 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"graph_residual\": {{{}}}",
+        "  \"graph_residual\": {{{}}},",
         residual_rows.join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd\": {{\"active\": \"{}\", \"gemm_{gm}x{gk}x{gn}\": {{{}}}}}",
+        simd::active().name(),
+        simd_rows.join(", ")
     );
     json.push('}');
     std::fs::write("BENCH_winograd.json", &json).expect("write BENCH_winograd.json");

@@ -1,0 +1,147 @@
+//! SIMD microkernel equivalence: every variant the host can execute against
+//! the portable scalar reference.
+//!
+//! The dispatch module (`wino_tensor::simd`) selects one kernel variant per
+//! process; these tests bypass the global selection through the
+//! `gemm_*_into_with` entry points and `simd::available()`, so a single run
+//! pins every variant the hardware offers (CI repeats the whole suite under
+//! `WINO_FORCE_KERNEL=scalar` and the best detected variant to cover the
+//! dispatched paths too). Integer kernels must be **bit-identical** to
+//! scalar — integer arithmetic has one right answer — while `f32` kernels
+//! get a tight accumulation-order tolerance (the SIMD register blocks and
+//! FMA change rounding, not math). The channel-laned thin-layer formulation
+//! is exercised end to end through a `GraphExecutor` run against the direct
+//! reference.
+
+use winograd_tapwise::wino_core::{GraphExecutor, GraphRunOptions};
+use winograd_tapwise::wino_nets::{ConvLayer, GraphBuilder};
+use winograd_tapwise::wino_tensor::{
+    gemm_f32_into_with, gemm_i16_i32_into_with, gemm_i8_i32_into_with, normal, simd,
+    simd::KernelVariant,
+};
+
+/// Shapes straddling every microkernel edge: sub-MR thin rows (m ≤ 4, the
+/// channel-laned family), exact register blocks, ragged M/N/K remainders,
+/// and K spans crossing the packing block size.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 7, 3),
+    (2, 5, 100),
+    (3, 64, 33),
+    (4, 300, 37),
+    (4, 64, 40),
+    (5, 31, 8),
+    (8, 256, 16),
+    (9, 129, 17),
+    (13, 300, 21),
+    (16, 17, 64),
+];
+
+fn det(i: usize, m: usize) -> i32 {
+    ((i * 2654435761) % m) as i32 - (m as i32 / 2)
+}
+
+#[test]
+fn f32_gemm_variants_match_scalar_within_accumulation_tolerance() {
+    for &(m, k, n) in SHAPES {
+        let a: Vec<f32> = (0..m * k).map(|i| det(i, 97) as f32 * 0.03).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| det(i + 5, 89) as f32 * 0.05).collect();
+        let mut want = vec![0.0f32; m * n];
+        gemm_f32_into_with(KernelVariant::Scalar, &mut want, &a, &b, m, k, n);
+        for variant in simd::available() {
+            let mut got = vec![0.0f32; m * n];
+            gemm_f32_into_with(variant, &mut got, &a, &b, m, k, n);
+            let tol = 1e-5 * (k as f32).max(1.0);
+            for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert!(
+                    (g - w).abs() <= tol * w.abs().max(1.0),
+                    "f32 {m}x{k}x{n} {} drifted at {i}: {g} vs {w}",
+                    variant.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn integer_gemm_variants_are_bit_identical_to_scalar() {
+    for &(m, k, n) in SHAPES {
+        let a8: Vec<i8> = (0..m * k).map(|i| det(i, 255) as i8).collect();
+        let b8: Vec<i8> = (0..k * n).map(|i| det(i + 3, 251) as i8).collect();
+        // Magnitudes sized so k=300 dot products stay inside the i32
+        // accumulator: |a|,|b| ≤ 800 → 300·800² ≈ 1.9e8.
+        let a16: Vec<i16> = (0..m * k).map(|i| det(i, 1601) as i16).collect();
+        let b16: Vec<i16> = (0..k * n).map(|i| det(i + 7, 1499) as i16).collect();
+        let mut want = vec![0i32; m * n];
+        let mut got = vec![0i32; m * n];
+        gemm_i8_i32_into_with(KernelVariant::Scalar, &mut want, &a8, &b8, m, k, n);
+        for variant in simd::available() {
+            gemm_i8_i32_into_with(variant, &mut got, &a8, &b8, m, k, n);
+            assert_eq!(got, want, "i8 {m}x{k}x{n} {} not exact", variant.name());
+        }
+        gemm_i16_i32_into_with(KernelVariant::Scalar, &mut want, &a16, &b16, m, k, n);
+        for variant in simd::available() {
+            gemm_i16_i32_into_with(variant, &mut got, &a16, &b16, m, k, n);
+            assert_eq!(got, want, "i16 {m}x{k}x{n} {} not exact", variant.name());
+        }
+    }
+}
+
+/// A 7×7 / F4 graph layer has 4 tiles — below the tap-major floor — but
+/// enough output channels to lane the tap GEMMs over `c_out` instead. The
+/// executor must route it through the channel-laned path and still match
+/// the direct reference, with the epilogue (fused ReLU + residual) intact.
+#[test]
+fn channel_laned_thin_layer_matches_reference_through_the_graph_executor() {
+    let mut g = GraphBuilder::new("thin", 7);
+    let x = g.input("in", 32, 7, 7);
+    let c1 = g.conv_relu(ConvLayer::conv3x3("c1", 32, 64, 7), x);
+    let c2 = g.conv(ConvLayer::conv3x3("c2", 64, 64, 7).with_bias(), c1);
+    let skip = g.conv_relu(ConvLayer::conv1x1("skip", 32, 64, 7), x);
+    let a = g.add("res", vec![c2, skip]);
+    let r = g.relu("res.relu", a);
+    g.output("out", r);
+    let graph = g.finish();
+
+    let opts = GraphRunOptions::default();
+    let fast = GraphExecutor::with_defaults();
+    let p = fast.prepare(&graph, &opts);
+    // The 3×3 nodes must actually be planned onto a Winograd kernel for this
+    // test to say anything about the thin path.
+    assert!(
+        p.plan_for(1).is_some_and(|lp| lp.kernel.tile_m().is_some()),
+        "thin 3x3 layer was not planned onto Winograd"
+    );
+    let run = fast.run(&p);
+    let reference = GraphExecutor::reference();
+    let want = reference.run(&reference.prepare(&graph, &opts));
+    let err = run.outputs[0].1.relative_error(&want.outputs[0].1);
+    assert!(err < 1e-4, "channel-laned graph run drifted: {err}");
+}
+
+#[test]
+fn batch_size_does_not_change_the_bits_of_a_thin_layer() {
+    // Batch 1 runs the channel-laned formulation, batch 4 crosses the tile
+    // floor and runs tile-laned — within one kernel variant the two must
+    // agree bitwise per image (the serving layer's coalescing invariant).
+    let mut g = GraphBuilder::new("thin-batch", 7);
+    let x = g.input("in", 16, 7, 7);
+    let c = g.conv_relu(ConvLayer::conv3x3("c", 16, 16, 7), x);
+    g.output("out", c);
+    let graph = g.finish();
+    let exec = GraphExecutor::with_defaults();
+    let p = exec.prepare(&graph, &GraphRunOptions::default());
+    let xs: Vec<_> = (0..4)
+        .map(|i| normal(&[1, 16, 7, 7], 0.0, 1.0, 70 + i))
+        .collect();
+    let stacked = winograd_tapwise::wino_tensor::concat_batch(&xs.iter().collect::<Vec<_>>());
+    let batched = exec.run_with_inputs(&p, std::slice::from_ref(&stacked));
+    for (i, x) in xs.iter().enumerate() {
+        let single = exec.run_with_inputs(&p, std::slice::from_ref(x));
+        let got = winograd_tapwise::wino_tensor::batch_slice(&batched.outputs[0].1, i, 1);
+        assert_eq!(
+            got, single.outputs[0].1,
+            "image {i} changed bits under batching"
+        );
+    }
+}
