@@ -26,12 +26,13 @@
 use crate::engine::backends::estimate_output_max;
 use crate::engine::executor::SynthCache;
 use crate::engine::planner::{Activation, EpiloguePlan, FusionClasses, LayerPlan, Planner};
+use crate::engine::running::{CalibrationPolicy, RunningCalibration};
 use crate::engine::Engine;
 use crate::epilogue::{apply_epilogue, EpilogueOps};
 use crate::int_winograd::{IntWinogradConv, WinogradQuantConfig};
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::QuantParams;
-use crate::tapwise::TapwiseScales;
+use crate::tapwise::{TapScaleMatrix, TapwiseScales};
 use crate::winograd::PreparedWinogradConv;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -722,7 +723,7 @@ impl GraphExecutor {
 
     /// Runs the prepared graph on its synthesized inputs.
     pub fn run(&self, prepared: &PreparedGraph) -> GraphExecution {
-        self.run_impl(prepared, None, &mut ActivationArena::new())
+        self.run_impl(prepared, None, None, &mut ActivationArena::new())
     }
 
     /// Runs the prepared graph on caller-provided activations, one NCHW
@@ -742,7 +743,7 @@ impl GraphExecutor {
         prepared: &PreparedGraph,
         inputs: &[Tensor<f32>],
     ) -> GraphExecution {
-        self.run_impl(prepared, Some(inputs), &mut ActivationArena::new())
+        self.run_impl(prepared, Some(inputs), None, &mut ActivationArena::new())
     }
 
     /// Calibrates every integer conv node on the graph's synthesized inputs
@@ -795,13 +796,118 @@ impl GraphExecutor {
         inputs: &[Tensor<f32>],
         arena: &mut ActivationArena,
     ) -> GraphExecution {
-        self.run_impl(prepared, Some(inputs), arena)
+        self.run_impl(prepared, Some(inputs), None, arena)
+    }
+
+    /// Creates a [`RunningCalibration`] for the prepared graph: one range
+    /// tracker per integer conv node whose calibration is still open. A
+    /// float or reference executor (or an already-warmed graph) yields a
+    /// [`crate::CalibrationState::Static`] calibrator with nothing to do.
+    ///
+    /// Feed it observation batches through [`GraphExecutor::observe_with`];
+    /// once the [`CalibrationPolicy`] freezes, the integer state is built
+    /// from the running statistics instead of first-batch maxima.
+    pub fn running_calibration(
+        &self,
+        prepared: &PreparedGraph,
+        policy: CalibrationPolicy,
+    ) -> RunningCalibration {
+        let nodes: Vec<(usize, Arc<Tensor<f32>>)> = prepared
+            .convs
+            .iter()
+            .enumerate()
+            .filter_map(|(id, c)| {
+                let pc = c.as_ref()?;
+                match &pc.state {
+                    ConvState::IntWinograd(cell)
+                        if cell.lock().expect("int state poisoned").is_none() =>
+                    {
+                        Some((id, Arc::clone(&pc.weights)))
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        RunningCalibration::from_nodes(policy, self.quant, nodes)
+    }
+
+    /// Runs one batch under running-statistics calibration.
+    ///
+    /// While `cal` is warming, integer conv nodes execute as direct FP32
+    /// convolutions (their fused epilogues still apply) and every batch's
+    /// activation ranges fold into the per-node EMAs. When the
+    /// [`CalibrationPolicy`] freeze criterion fires, the converged statistics
+    /// are compiled into each node's [`IntWinogradConv`] and installed into
+    /// the prepared graph before the call returns. Once `cal` is frozen
+    /// (or static) this is exactly [`GraphExecutor::run_with_inputs`] — the
+    /// recalibration guard: served outputs are bitwise reproducible from the
+    /// freeze on, no matter what later batches look like.
+    pub fn observe_with(
+        &self,
+        prepared: &PreparedGraph,
+        inputs: &[Tensor<f32>],
+        cal: &RunningCalibration,
+    ) -> GraphExecution {
+        self.observe_with_in(prepared, inputs, cal, &mut ActivationArena::new())
+    }
+
+    /// [`GraphExecutor::observe_with`] backed by a caller-owned arena (the
+    /// serving worker loop keeps one arena across requests either way).
+    ///
+    /// The observe-or-run decision is made **once per call**: a batch that
+    /// enters while the calibrator is warming runs every integer node on the
+    /// FP32 observation path even if a concurrent worker freezes the
+    /// calibrator mid-run, so no reply ever mixes FP32 and integer layers.
+    pub fn observe_with_in(
+        &self,
+        prepared: &PreparedGraph,
+        inputs: &[Tensor<f32>],
+        cal: &RunningCalibration,
+        arena: &mut ActivationArena,
+    ) -> GraphExecution {
+        if !cal.observing() {
+            return self.run_impl(prepared, Some(inputs), None, arena);
+        }
+        let run = self.run_impl(prepared, Some(inputs), Some(cal), arena);
+        if cal.finish_batch() {
+            // Install first, then flip the public state: a concurrent run
+            // that sees "frozen" must find every integer node prepared.
+            self.install_frozen(prepared, cal);
+            cal.mark_frozen();
+            debug_assert!(prepared.is_calibrated(), "freeze left nodes open");
+        }
+        run
+    }
+
+    /// Compiles the calibrator's converged running statistics into each
+    /// tracked node's integer state — the same construction as first-run
+    /// calibration, with EMA maxima in place of single-batch maxima.
+    fn install_frozen(&self, prepared: &PreparedGraph, cal: &RunningCalibration) {
+        let cfg = cal
+            .quant_config()
+            .expect("freeze fired on a non-quantized calibrator");
+        for fr in cal.frozen_ranges() {
+            let pc = prepared.convs[fr.node]
+                .as_ref()
+                .expect("tracked node is a conv");
+            let ConvState::IntWinograd(cell) = &pc.state else {
+                unreachable!("tracked node lost its integer state");
+            };
+            let scales = TapwiseScales {
+                input: TapScaleMatrix::from_max_matrix(&fr.input_taps, cfg.wino_bits, cfg.mode),
+                weight: TapScaleMatrix::from_max_matrix(&fr.weight_taps, cfg.wino_bits, cfg.mode),
+            };
+            let input = QuantParams::from_max(fr.input_max, cfg.spatial_bits).to_power_of_two();
+            let conv = IntWinogradConv::prepare(&fr.weights, &scales, input, fr.output_max, cfg);
+            *cell.lock().expect("int state poisoned") = Some(IntPrepared { conv, input });
+        }
     }
 
     fn run_impl(
         &self,
         prepared: &PreparedGraph,
         inputs: Option<&[Tensor<f32>]>,
+        observer: Option<&RunningCalibration>,
         arena: &mut ActivationArena,
     ) -> GraphExecution {
         let graph = &prepared.graph;
@@ -863,8 +969,12 @@ impl GraphExecutor {
                     // residual's last consumer and the kernel can write its
                     // fused output into that buffer, steal the tensor — the
                     // tail then allocates nothing at all.
+                    // Observation runs route integer nodes through the FP32
+                    // direct path, which cannot consume a stolen buffer —
+                    // keep every residual operand borrowed while observing.
                     let steal = pc.epilogue.in_place
                         && !self.per_tile
+                        && observer.is_none()
                         && pc.in_place_capable(batch, prepared.shapes[id], self.quant);
                     let owned = if steal {
                         let rid = pc.epilogue.residual.expect("in_place implies residual");
@@ -888,7 +998,7 @@ impl GraphExecutor {
                             .residual
                             .map(|rid| values[rid].as_ref().expect("residual producer ran"))
                     };
-                    let (y, b) = self.run_conv(pc, x, residual, owned);
+                    let (y, b) = self.run_conv(id, pc, x, residual, owned, observer);
                     backend = Some(b);
                     y
                 }
@@ -1036,10 +1146,12 @@ impl GraphExecutor {
     /// states outside legacy mode.
     fn run_conv(
         &self,
+        id: usize,
         pc: &PreparedConv,
         x: &Tensor<f32>,
         residual: Option<&Tensor<f32>>,
         owned_residual: Option<Tensor<f32>>,
+        observer: Option<&RunningCalibration>,
     ) -> (Tensor<f32>, &'static str) {
         let params = pc.plan.params;
         let epi = &pc.epilogue;
@@ -1080,6 +1192,21 @@ impl GraphExecutor {
             }
             ConvState::IntWinograd(cell) => {
                 debug_assert!(ops.bias.is_none(), "biased int conv rejected at prepare");
+                if let Some(cal) = observer {
+                    // Warming under running-statistics calibration: fold this
+                    // batch's ranges into the node's EMAs and serve the exact
+                    // FP32 answer — nothing quantizes against scales that
+                    // are still converging. The decision to observe was
+                    // snapshotted when the run started: even if a concurrent
+                    // run freezes the calibrator mid-flight, this batch
+                    // finishes on the FP32 path rather than mixing backends
+                    // (the guard in `observe_node` discards its late folds).
+                    debug_assert!(owned_residual.is_none(), "steal disabled while observing");
+                    cal.observe_node(id, x);
+                    let mut y = conv2d_direct(x, &pc.weights, None, params);
+                    apply_epilogue(&mut y, &ops);
+                    return (y, "observe-direct");
+                }
                 let cfg = self.quant.expect("int state implies quant config");
                 let mut guard = cell.lock().expect("int state poisoned");
                 let st = guard.get_or_insert_with(|| {

@@ -29,6 +29,7 @@ pub mod backends;
 pub mod executor;
 pub mod graph_exec;
 pub mod planner;
+pub mod running;
 
 pub use backends::{DirectBackend, Im2colGemmBackend, IntWinogradTapwiseBackend, WinogradBackend};
 pub use executor::{
@@ -41,6 +42,7 @@ pub use graph_exec::{
 pub use planner::{
     Activation, EpilogueFusion, EpiloguePlan, ExecutionPlan, FusionClasses, LayerPlan, Planner,
 };
+pub use running::{CalibrationPolicy, CalibrationState, RunningCalibration};
 
 use crate::epilogue::EpilogueOps;
 use wino_nets::Kernel;

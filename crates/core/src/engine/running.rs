@@ -1,0 +1,549 @@
+//! Running-statistics calibration of the integer graph pipeline.
+//!
+//! The first-batch-only calibration of [`super::GraphExecutor`] freezes every
+//! integer node's quantizers from whatever activations the very first run
+//! happens to carry — fine for a curated warmup batch, unsafe for
+//! heterogeneous live traffic whose activation ranges drift beyond it (the
+//! paper itself calibrates `x_max` with "a running average of the maximum
+//! values"; §III). This module lifts the limitation: a
+//! [`RunningCalibration`] tracks, per integer conv node, an exponential
+//! running average of
+//!
+//! * the spatial input range (`|x|_max` — the input quantizer),
+//! * the per-tap maxima of the Winograd-transformed input (`Bᵀ·x·B` — the
+//!   tap-wise `S_B` scales), and
+//! * the output-range estimate (the output quantizer),
+//!
+//! folded in once per observed batch, exactly the per-iteration semantics of
+//! [`crate::calibration::MaxCalibrator`]. While warming, observed graphs run
+//! their integer nodes as direct FP32 convolutions (so replies stay
+//! rangelimit-safe and nothing quantizes against half-converged scales); the
+//! Winograd-domain weight tap maxima are peak-tracked once, since weights do
+//! not drift.
+//!
+//! **Freezing** happens when the [`CalibrationPolicy`] is satisfied: at least
+//! `min_batches` observed *and* no tracked range moved by more than
+//! `stability_tol` (relative) in the last batch — or unconditionally at
+//! `max_batches`, so a pathologically drifting client cannot keep a model
+//! uncalibrated forever. At that point
+//! [`super::GraphExecutor::observe_with`] builds each node's
+//! [`crate::IntWinogradConv`] from the converged ranges, installs it into the
+//! prepared graph, and the **recalibration guard** engages: the state is
+//! immutable from then on, every later run takes the normal cached integer
+//! path, and served outputs are bitwise reproducible.
+
+use crate::calibration::MaxCalibrator;
+use crate::int_winograd::WinogradQuantConfig;
+use crate::matrices::WinogradMatrices;
+use crate::transform::{extract_input_tile, input_transform, weight_transform, TileGrid};
+use std::sync::Arc;
+use std::sync::Mutex;
+use wino_tensor::Tensor;
+
+/// When running-statistics calibration freezes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationPolicy {
+    /// EMA weight of the newest batch's maxima (the paper-style running
+    /// average uses small momenta; serving warmups converge faster with
+    /// moderate ones).
+    pub momentum: f32,
+    /// Never freeze before this many observed batches.
+    pub min_batches: usize,
+    /// Freeze once every tracked range moved less than this fraction of
+    /// itself in the last observed batch.
+    pub stability_tol: f32,
+    /// Force-freeze after this many batches even if ranges still drift, so a
+    /// model cannot stay uncalibrated indefinitely.
+    pub max_batches: usize,
+}
+
+impl Default for CalibrationPolicy {
+    fn default() -> Self {
+        Self {
+            momentum: 0.2,
+            min_batches: 8,
+            stability_tol: 0.02,
+            max_batches: 64,
+        }
+    }
+}
+
+impl CalibrationPolicy {
+    /// A policy tuned for tests and smoke runs: freeze after `min_batches`
+    /// stable batches with a loose 10% stability criterion.
+    pub fn quick(min_batches: usize) -> Self {
+        Self {
+            momentum: 0.3,
+            min_batches,
+            stability_tol: 0.1,
+            max_batches: min_batches * 8,
+        }
+    }
+}
+
+/// Where a model's calibration lifecycle stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationState {
+    /// Nothing to calibrate: the graph has no integer nodes, or its integer
+    /// state was already frozen (first-batch warmup) when the calibrator was
+    /// created.
+    Static,
+    /// Observing batches; integer nodes run as direct FP32 and ranges are
+    /// still moving.
+    Warming {
+        /// Batches observed so far.
+        batches: usize,
+    },
+    /// Ranges converged and the integer state is installed; runs are bitwise
+    /// reproducible from here on.
+    Frozen {
+        /// Batches that were observed before the freeze.
+        batches: usize,
+    },
+}
+
+impl CalibrationState {
+    /// Whether observation is over (nothing will ever mutate again).
+    pub fn is_frozen(&self) -> bool {
+        !matches!(self, CalibrationState::Warming { .. })
+    }
+
+    /// Compact human-readable label (`static`, `warming(3)`, `frozen@7`)
+    /// for stats tables.
+    pub fn label(&self) -> String {
+        match self {
+            CalibrationState::Static => "static".to_string(),
+            CalibrationState::Warming { batches } => format!("warming({batches})"),
+            CalibrationState::Frozen { batches } => format!("frozen@{batches}"),
+        }
+    }
+}
+
+/// Per-integer-node running trackers.
+#[derive(Debug)]
+pub(crate) struct NodeTrackers {
+    /// Graph node id of the integer conv.
+    pub(crate) node: usize,
+    /// The node's FP32 weights (shared with the prepared graph).
+    pub(crate) weights: Arc<Tensor<f32>>,
+    /// EMA of the spatial input range per batch.
+    input_max: MaxCalibrator,
+    /// EMA per Winograd tap of the transformed-input batch maxima.
+    input_taps: Vec<MaxCalibrator>,
+    /// EMA of the output-range estimate per batch.
+    output_max: MaxCalibrator,
+    /// Peak per-tap maxima of the transformed weights (computed once).
+    weight_taps: Option<Tensor<f32>>,
+}
+
+/// The converged ranges of one node, handed to the freeze step.
+#[derive(Debug, Clone)]
+pub(crate) struct FrozenRanges {
+    pub(crate) node: usize,
+    pub(crate) weights: Arc<Tensor<f32>>,
+    pub(crate) input_max: f32,
+    pub(crate) input_taps: Tensor<f32>,
+    pub(crate) weight_taps: Tensor<f32>,
+    pub(crate) output_max: f32,
+}
+
+#[derive(Debug)]
+struct Inner {
+    batches: usize,
+    frozen_at: Option<usize>,
+    /// Set once the freeze decision fired, so exactly one caller installs.
+    freeze_claimed: bool,
+    nodes: Vec<NodeTrackers>,
+    /// Flat snapshot of every tracked range after the previous batch, for
+    /// the stability criterion.
+    last_ranges: Option<Vec<f32>>,
+    /// Largest relative range movement observed in the last batch.
+    last_drift: f32,
+}
+
+/// Running-statistics calibration state for one [`super::PreparedGraph`].
+///
+/// Create it with [`super::GraphExecutor::running_calibration`], feed batches
+/// through [`super::GraphExecutor::observe_with`], and read the lifecycle
+/// from [`RunningCalibration::state`]. Once frozen it is inert: further
+/// `observe_with` calls are plain runs (the recalibration guard).
+#[derive(Debug)]
+pub struct RunningCalibration {
+    policy: CalibrationPolicy,
+    cfg: Option<WinogradQuantConfig>,
+    inner: Mutex<Inner>,
+}
+
+impl RunningCalibration {
+    /// Built by the executor: one tracker per *uncalibrated* integer node.
+    /// With no nodes (float graph, or already-warmed state) the calibrator is
+    /// born [`CalibrationState::Static`].
+    pub(crate) fn from_nodes(
+        policy: CalibrationPolicy,
+        cfg: Option<WinogradQuantConfig>,
+        nodes: Vec<(usize, Arc<Tensor<f32>>)>,
+    ) -> Self {
+        assert!(
+            policy.momentum > 0.0 && policy.momentum <= 1.0,
+            "momentum must be in (0, 1]"
+        );
+        assert!(
+            policy.max_batches >= policy.min_batches.max(1),
+            "max_batches must be >= min_batches and >= 1"
+        );
+        let t = cfg.map_or(0, |c| WinogradMatrices::for_tile(c.tile).input_tile());
+        let trackers: Vec<NodeTrackers> = nodes
+            .into_iter()
+            .map(|(node, weights)| NodeTrackers {
+                node,
+                weights,
+                input_max: MaxCalibrator::new(policy.momentum),
+                input_taps: vec![MaxCalibrator::new(policy.momentum); t * t],
+                output_max: MaxCalibrator::new(policy.momentum),
+                weight_taps: None,
+            })
+            .collect();
+        let is_static = trackers.is_empty() || cfg.is_none();
+        Self {
+            policy,
+            cfg,
+            inner: Mutex::new(Inner {
+                batches: 0,
+                frozen_at: is_static.then_some(0),
+                freeze_claimed: is_static,
+                nodes: trackers,
+                last_ranges: None,
+                last_drift: f32::INFINITY,
+            }),
+        }
+    }
+
+    /// The freeze policy.
+    pub fn policy(&self) -> CalibrationPolicy {
+        self.policy
+    }
+
+    /// The lifecycle position: static, warming or frozen.
+    pub fn state(&self) -> CalibrationState {
+        let g = self.inner.lock().expect("calibration poisoned");
+        match g.frozen_at {
+            Some(0) if g.nodes.is_empty() || self.cfg.is_none() => CalibrationState::Static,
+            Some(b) => CalibrationState::Frozen { batches: b },
+            None => CalibrationState::Warming { batches: g.batches },
+        }
+    }
+
+    /// Whether integer nodes should still run the FP32 observation path.
+    pub(crate) fn observing(&self) -> bool {
+        self.inner
+            .lock()
+            .expect("calibration poisoned")
+            .frozen_at
+            .is_none()
+    }
+
+    /// The largest relative range movement seen in the last observed batch
+    /// (`inf` before the second batch — nothing to compare yet).
+    pub fn last_drift(&self) -> f32 {
+        self.inner.lock().expect("calibration poisoned").last_drift
+    }
+
+    /// The EMA'd spatial input range of the integer node with the given
+    /// graph id, if it is tracked and has observed at least one batch.
+    /// Exposed so tests (and capacity dashboards) can see what the frozen
+    /// quantizers were actually built from.
+    pub fn input_max_for(&self, node: usize) -> Option<f32> {
+        let g = self.inner.lock().expect("calibration poisoned");
+        g.nodes
+            .iter()
+            .find(|n| n.node == node)
+            .and_then(|n| n.input_max.max())
+    }
+
+    /// Graph node ids under calibration.
+    pub fn tracked_nodes(&self) -> Vec<usize> {
+        let g = self.inner.lock().expect("calibration poisoned");
+        g.nodes.iter().map(|n| n.node).collect()
+    }
+
+    /// Folds one node's activations into its running trackers (called from
+    /// the executor's observation run; a no-op for untracked nodes).
+    pub(crate) fn observe_node(&self, node: usize, x: &Tensor<f32>) {
+        let cfg = match self.cfg {
+            Some(c) => c,
+            None => return,
+        };
+        let mats = WinogradMatrices::for_tile(cfg.tile);
+        let t = mats.input_tile();
+        let mut g = self.inner.lock().expect("calibration poisoned");
+        if g.frozen_at.is_some() {
+            return; // recalibration guard: frozen state never moves again
+        }
+        let Some(n) = g.nodes.iter_mut().find(|n| n.node == node) else {
+            return;
+        };
+        // Weight tap maxima once: weights are immutable across batches.
+        if n.weight_taps.is_none() {
+            let w = &n.weights;
+            let (c_out, c_in) = (w.dims()[0], w.dims()[1]);
+            let mut maxima = vec![0.0_f32; t * t];
+            let mut k = Tensor::<f32>::zeros(&[3, 3]);
+            for co in 0..c_out {
+                for ci in 0..c_in {
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            k.set2(ky, kx, w.at4(co, ci, ky, kx));
+                        }
+                    }
+                    let u = weight_transform(&k, &mats);
+                    for (m, &v) in maxima.iter_mut().zip(u.as_slice()) {
+                        *m = m.max(v.abs());
+                    }
+                }
+            }
+            n.weight_taps = Some(Tensor::from_vec(maxima, &[t, t]).expect("tap matrix"));
+        }
+        // Batch maxima per tap of the transformed input, then one EMA fold —
+        // the per-iteration running-average semantics of the paper.
+        let grid = TileGrid::new(x.dims()[2], x.dims()[3], mats.output_tile(), 1);
+        let mut batch_taps = vec![0.0_f32; t * t];
+        for img in 0..x.dims()[0] {
+            for c in 0..x.dims()[1] {
+                for ty in 0..grid.tiles_h {
+                    for tx in 0..grid.tiles_w {
+                        let tile = extract_input_tile(x, img, c, ty, tx, &grid);
+                        let v = input_transform(&tile, &mats);
+                        for (m, &s) in batch_taps.iter_mut().zip(v.as_slice()) {
+                            *m = m.max(s.abs());
+                        }
+                    }
+                }
+            }
+        }
+        for (cal, &m) in n.input_taps.iter_mut().zip(&batch_taps) {
+            cal.observe_max(m);
+        }
+        n.input_max.observe_max(x.abs_max());
+        n.output_max
+            .observe_max(super::backends::estimate_output_max(x, &n.weights));
+    }
+
+    /// Closes one observed batch: advances the batch count, evaluates the
+    /// stability criterion and returns `true` exactly once, when the freeze
+    /// decision fires — the caller must then install the frozen integer
+    /// state and call [`RunningCalibration::mark_frozen`].
+    pub(crate) fn finish_batch(&self) -> bool {
+        let mut g = self.inner.lock().expect("calibration poisoned");
+        if g.frozen_at.is_some() || g.freeze_claimed {
+            return false;
+        }
+        g.batches += 1;
+        let ranges: Vec<f32> = g
+            .nodes
+            .iter()
+            .flat_map(|n| {
+                let mut v = vec![n.input_max.max_or_default(), n.output_max.max_or_default()];
+                v.extend(n.input_taps.iter().map(|c| c.max_or_default()));
+                v
+            })
+            .collect();
+        g.last_drift = match &g.last_ranges {
+            None => f32::INFINITY,
+            Some(prev) => ranges
+                .iter()
+                .zip(prev)
+                .map(|(&now, &was)| (now - was).abs() / now.abs().max(f32::EPSILON))
+                .fold(0.0_f32, f32::max),
+        };
+        g.last_ranges = Some(ranges);
+        let stable =
+            g.batches >= self.policy.min_batches && g.last_drift <= self.policy.stability_tol;
+        let forced = g.batches >= self.policy.max_batches;
+        if stable || forced {
+            g.freeze_claimed = true;
+            return true;
+        }
+        false
+    }
+
+    /// Snapshot of every node's converged ranges for the freeze step.
+    pub(crate) fn frozen_ranges(&self) -> Vec<FrozenRanges> {
+        let g = self.inner.lock().expect("calibration poisoned");
+        g.nodes
+            .iter()
+            .map(|n| FrozenRanges {
+                node: n.node,
+                weights: Arc::clone(&n.weights),
+                input_max: n.input_max.max_or_default(),
+                input_taps: Tensor::from_fn(
+                    &[
+                        (n.input_taps.len() as f64).sqrt() as usize,
+                        (n.input_taps.len() as f64).sqrt() as usize,
+                    ],
+                    |i| n.input_taps[i].max_or_default(),
+                ),
+                weight_taps: n
+                    .weight_taps
+                    .clone()
+                    .expect("weight taps computed on first observe"),
+                output_max: n.output_max.max_or_default(),
+            })
+            .collect()
+    }
+
+    /// Flips the public state to frozen; called by the executor *after* the
+    /// integer state is installed, so no reader ever sees "frozen" with
+    /// half-installed nodes.
+    pub(crate) fn mark_frozen(&self) {
+        let mut g = self.inner.lock().expect("calibration poisoned");
+        let batches = g.batches;
+        g.frozen_at.get_or_insert(batches);
+    }
+
+    /// The quantization config calibration prepares for (None on a float
+    /// executor, where the calibrator is static).
+    pub(crate) fn quant_config(&self) -> Option<WinogradQuantConfig> {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::TileSize;
+    use wino_tensor::normal;
+
+    fn one_node_cal(policy: CalibrationPolicy) -> RunningCalibration {
+        let w = Arc::new(normal(&[4, 4, 3, 3], 0.0, 0.2, 1));
+        RunningCalibration::from_nodes(
+            policy,
+            Some(WinogradQuantConfig::tapwise_po2(TileSize::F4, 8)),
+            vec![(3, w)],
+        )
+    }
+
+    #[test]
+    fn empty_node_set_is_static() {
+        let cal = RunningCalibration::from_nodes(
+            CalibrationPolicy::default(),
+            Some(WinogradQuantConfig::default()),
+            vec![],
+        );
+        assert_eq!(cal.state(), CalibrationState::Static);
+        assert!(cal.state().is_frozen());
+        assert!(!cal.observing());
+        assert!(
+            !cal.finish_batch(),
+            "static calibrators never ask to freeze"
+        );
+    }
+
+    #[test]
+    fn stable_ranges_freeze_after_min_batches() {
+        let cal = one_node_cal(CalibrationPolicy {
+            momentum: 0.5,
+            min_batches: 3,
+            stability_tol: 0.05,
+            max_batches: 100,
+        });
+        let x = normal(&[1, 4, 8, 8], 0.0, 1.0, 7);
+        let mut frozen_on = None;
+        for batch in 1..=20 {
+            cal.observe_node(3, &x);
+            if cal.finish_batch() {
+                frozen_on = Some(batch);
+                cal.mark_frozen();
+                break;
+            }
+        }
+        // Identical batches: drift hits zero immediately, so the freeze fires
+        // the moment min_batches is met.
+        assert_eq!(frozen_on, Some(3));
+        assert_eq!(cal.state(), CalibrationState::Frozen { batches: 3 });
+        assert_eq!(cal.state().label(), "frozen@3");
+    }
+
+    #[test]
+    fn drifting_ranges_defer_the_freeze_until_stable() {
+        let cal = one_node_cal(CalibrationPolicy {
+            momentum: 0.5,
+            min_batches: 2,
+            stability_tol: 0.05,
+            max_batches: 100,
+        });
+        let mut frozen_on = None;
+        for batch in 1..=30 {
+            // Amplitude doubles for the first five batches, then traffic
+            // turns stationary (one recurring batch shape).
+            let std = 2.0_f32.powi(batch.min(5));
+            let seed = if batch <= 5 { 60 + batch as u64 } else { 999 };
+            let x = normal(&[1, 4, 8, 8], 0.0, std, seed);
+            cal.observe_node(3, &x);
+            if cal.finish_batch() {
+                frozen_on = Some(batch);
+                cal.mark_frozen();
+                break;
+            }
+        }
+        let frozen_on = frozen_on.expect("must eventually freeze");
+        assert!(
+            frozen_on > 5,
+            "froze at batch {frozen_on}, while ranges were still doubling"
+        );
+        // The frozen range reflects the late, loud batches — not batch one.
+        let frozen_max = cal.input_max_for(3).unwrap();
+        assert!(
+            frozen_max > 2.0,
+            "input range {frozen_max} stuck near the first quiet batch"
+        );
+    }
+
+    #[test]
+    fn max_batches_forces_the_freeze() {
+        let cal = one_node_cal(CalibrationPolicy {
+            momentum: 0.9,
+            min_batches: 2,
+            stability_tol: 1e-6,
+            max_batches: 4,
+        });
+        let mut fired = None;
+        for batch in 1..=10 {
+            // Never stable: amplitude alternates 1x / 3x.
+            let x = normal(
+                &[1, 4, 8, 8],
+                0.0,
+                if batch % 2 == 0 { 3.0 } else { 1.0 },
+                batch as u64,
+            );
+            cal.observe_node(3, &x);
+            if cal.finish_batch() {
+                fired = Some(batch);
+                cal.mark_frozen();
+                break;
+            }
+        }
+        assert_eq!(fired, Some(4), "the max_batches backstop must fire");
+    }
+
+    #[test]
+    fn guard_ignores_observations_after_freeze() {
+        let cal = one_node_cal(CalibrationPolicy::quick(1));
+        let x = normal(&[1, 4, 8, 8], 0.0, 1.0, 5);
+        cal.observe_node(3, &x);
+        // Drift needs a previous batch to compare against, so even a
+        // min_batches=1 policy takes two identical batches to stabilize.
+        assert!(!cal.finish_batch(), "no drift measurement after one batch");
+        cal.observe_node(3, &x);
+        assert!(cal.finish_batch());
+        cal.mark_frozen();
+        let frozen_max = cal.input_max_for(3).unwrap();
+        let loud = normal(&[1, 4, 8, 8], 0.0, 100.0, 6);
+        cal.observe_node(3, &loud);
+        assert!(!cal.finish_batch(), "frozen calibrators never re-freeze");
+        assert_eq!(
+            cal.input_max_for(3).unwrap(),
+            frozen_max,
+            "the recalibration guard let a frozen range move"
+        );
+    }
+}

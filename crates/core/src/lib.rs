@@ -60,11 +60,11 @@ pub use analysis::{
 pub use calibration::{MaxCalibrator, TapCalibrator};
 pub use cooktoom::cook_toom_matrices;
 pub use engine::{
-    Activation, ActivationArena, ArenaStats, ConvBackend, DirectBackend, Engine, EpilogueFusion,
-    EpiloguePlan, ExecutionPlan, ExecutorOptions, FusionClasses, GraphExecution, GraphExecutor,
-    GraphRunOptions, Im2colGemmBackend, IntWinogradTapwiseBackend, LayerPlan, NetworkExecution,
-    NetworkExecutor, NodeExecution, Planner, PreparedGraph, SynthCache, SynthStats,
-    WinogradBackend,
+    Activation, ActivationArena, ArenaStats, CalibrationPolicy, CalibrationState, ConvBackend,
+    DirectBackend, Engine, EpilogueFusion, EpiloguePlan, ExecutionPlan, ExecutorOptions,
+    FusionClasses, GraphExecution, GraphExecutor, GraphRunOptions, Im2colGemmBackend,
+    IntWinogradTapwiseBackend, LayerPlan, NetworkExecution, NetworkExecutor, NodeExecution,
+    Planner, PreparedGraph, RunningCalibration, SynthCache, SynthStats, WinogradBackend,
 };
 pub use epilogue::{add_bias, apply_epilogue, EpilogueOps};
 pub use int_winograd::{

@@ -398,6 +398,14 @@ pub fn ssd_graph(input: usize) -> Graph {
 /// U-Net: 4-level encoder with 2×2 max pools, 1024-channel bottleneck, and a
 /// decoder of nearest-upsample + 3×3 "up-convolutions" with skip concats.
 ///
+/// Every convolution carries a per-output-channel bias
+/// ([`ConvLayer::with_bias`]): the published U-Net has no batch
+/// normalization, so its convs keep their bias terms — unlike the
+/// BN-folded ResNets, where the graphs drop them. The biases ride the
+/// executor's fused conv epilogues on the float paths (the quantized
+/// executor rejects biased Winograd convs at prepare, so this graph serves
+/// float, as the original does).
+///
 /// `input` must be a multiple of 16 so that every upsampled decoder level
 /// lands exactly on its skip connection's resolution; the same-padding
 /// convention replaces the original's unpadded convs + crops (hence 560
@@ -415,36 +423,45 @@ pub fn unet_graph(input: usize) -> Graph {
     let mut skips: Vec<(NodeId, usize, usize)> = Vec::new();
     for (i, c) in [64usize, 128, 256, 512].into_iter().enumerate() {
         cur = g.conv_relu(
-            ConvLayer::conv3x3(&format!("enc{i}.conv1"), c_in, c, r),
+            ConvLayer::conv3x3(&format!("enc{i}.conv1"), c_in, c, r).with_bias(),
             cur,
         );
-        cur = g.conv_relu(ConvLayer::conv3x3(&format!("enc{i}.conv2"), c, c, r), cur);
+        cur = g.conv_relu(
+            ConvLayer::conv3x3(&format!("enc{i}.conv2"), c, c, r).with_bias(),
+            cur,
+        );
         skips.push((cur, c, r));
         cur = g.max_pool(&format!("enc{i}.pool"), 2, 2, 0, cur);
         c_in = c;
         r /= 2;
     }
-    cur = g.conv_relu(ConvLayer::conv3x3("bottleneck.conv1", 512, 1024, r), cur);
-    cur = g.conv_relu(ConvLayer::conv3x3("bottleneck.conv2", 1024, 1024, r), cur);
+    cur = g.conv_relu(
+        ConvLayer::conv3x3("bottleneck.conv1", 512, 1024, r).with_bias(),
+        cur,
+    );
+    cur = g.conv_relu(
+        ConvLayer::conv3x3("bottleneck.conv2", 1024, 1024, r).with_bias(),
+        cur,
+    );
     let mut c_up = 1024;
     for (i, (skip, c, r_out)) in skips.into_iter().enumerate().rev() {
         let up = g.upsample(&format!("dec{i}.up"), 2, cur);
         let upconv = g.conv_relu(
-            ConvLayer::conv3x3(&format!("dec{i}.upconv"), c_up, c, r_out),
+            ConvLayer::conv3x3(&format!("dec{i}.upconv"), c_up, c, r_out).with_bias(),
             up,
         );
         let cat = g.concat(&format!("dec{i}.concat"), vec![skip, upconv]);
         cur = g.conv_relu(
-            ConvLayer::conv3x3(&format!("dec{i}.conv1"), 2 * c, c, r_out),
+            ConvLayer::conv3x3(&format!("dec{i}.conv1"), 2 * c, c, r_out).with_bias(),
             cat,
         );
         cur = g.conv_relu(
-            ConvLayer::conv3x3(&format!("dec{i}.conv2"), c, c, r_out),
+            ConvLayer::conv3x3(&format!("dec{i}.conv2"), c, c, r_out).with_bias(),
             cur,
         );
         c_up = c;
     }
-    let out = g.conv(ConvLayer::conv1x1("out", 64, 2, input), cur);
+    let out = g.conv(ConvLayer::conv1x1("out", 64, 2, input).with_bias(), cur);
     g.output("segmentation", out);
     g.finish()
 }
@@ -599,6 +616,35 @@ mod tests {
                 .count();
             assert_eq!(adds, expected_blocks, "{}", graph.name);
         }
+    }
+
+    #[test]
+    fn unet_convs_carry_biases_through_channel_scaling() {
+        // Satellite: the bias flag is part of the topology — every U-Net
+        // conv declares one (the published model has no batch norm), and
+        // with_channel_div must not drop it while rescaling widths.
+        for graph in [unet_graph(560), unet_graph(32).with_channel_div(16)] {
+            graph.validate().unwrap();
+            let convs: Vec<&ConvLayer> = graph
+                .nodes()
+                .iter()
+                .filter_map(|n| match &n.op {
+                    GraphOp::Conv(l) => Some(l),
+                    _ => None,
+                })
+                .collect();
+            assert!(!convs.is_empty());
+            assert!(
+                convs.iter().all(|l| l.bias),
+                "{}: a U-Net conv lost its bias",
+                graph.name
+            );
+        }
+        // The ResNets stay bias-free (their biases fold into batch norm).
+        assert!(resnet20_graph().nodes().iter().all(|n| match &n.op {
+            GraphOp::Conv(l) => !l.bias,
+            _ => true,
+        }));
     }
 
     #[test]

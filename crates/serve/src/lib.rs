@@ -34,14 +34,25 @@
 //! The scheduler is generic over the queued item, so its batching policy is
 //! unit-testable without tensors or threads; the server instantiates it with
 //! real requests.
+//!
+//! The [`net`] module stacks the network-facing tier on top: a multi-model
+//! [`net::ModelRegistry`] with weighted/priority scheduling, admission
+//! control (bounded queue depth + deadline shedding) and running-statistics
+//! calibration, fronted by a length-prefixed binary wire protocol over
+//! `std::net` TCP ([`net::NetServer`] / [`net::NetClient`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod net;
 pub mod scheduler;
 pub mod server;
 pub mod stats;
 
+pub use net::{
+    AdmissionControl, ModelRegistry, ModelReply, ModelServeConfig, NetClient, NetResponse,
+    NetServer, NetServerConfig, RegistryBuilder, RegistryServer, SubmitError,
+};
 pub use scheduler::{Batch, BatchPolicy, BatchScheduler};
 pub use server::{InferenceReply, InferenceServer, PendingInference, ServeClient, ServerConfig};
-pub use stats::{LatencySummary, ServerStats, StatsReport};
+pub use stats::{LatencySummary, MultiModelReport, ServerStats, StatsReport};

@@ -1,0 +1,176 @@
+//! A minimal blocking client for the wire protocol.
+//!
+//! [`NetClient`] drives one TCP connection: frame out a request, block on
+//! the reply. Requests on a single connection are served in order, so a
+//! client may pipeline with [`NetClient::send_infer`] +
+//! [`NetClient::read_response`]; for concurrency across requests, open more
+//! connections. [`NetClient::send_raw`] exists so tests can put arbitrary
+//! (malformed) bytes on the wire.
+
+use super::protocol::{encode_frame, read_frame, ErrorCode, Frame, FrameRead};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use wino_tensor::Tensor;
+
+/// What the server answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetResponse {
+    /// The model ran; here are its outputs.
+    Reply {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Images in the coalesced batch this request rode in.
+        batch_images: u32,
+        /// `(output node name, tensor)` in output-node order.
+        outputs: Vec<(String, Tensor<f32>)>,
+    },
+    /// The server refused the request with a typed code.
+    Error {
+        /// Echo of the request id (0 for connection-level errors).
+        request_id: u64,
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl NetResponse {
+    /// The output tensor with the given node name, if the request succeeded.
+    pub fn output(&self, name: &str) -> Option<&Tensor<f32>> {
+        match self {
+            Self::Reply { outputs, .. } => outputs.iter().find(|(n, _)| n == name).map(|(_, t)| t),
+            Self::Error { .. } => None,
+        }
+    }
+
+    /// The error code, if the server refused the request.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            Self::Reply { .. } => None,
+            Self::Error { code, .. } => Some(*code),
+        }
+    }
+
+    /// The outputs, if the request succeeded.
+    pub fn into_outputs(self) -> Option<Vec<(String, Tensor<f32>)>> {
+        match self {
+            Self::Reply { outputs, .. } => Some(outputs),
+            Self::Error { .. } => None,
+        }
+    }
+}
+
+/// One blocking client connection.
+#[derive(Debug)]
+pub struct NetClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to a [`super::NetServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self {
+            writer,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one inference request without waiting; returns its request id.
+    /// Replies on a connection come back in request order.
+    pub fn send_infer(&mut self, model: &str, inputs: Vec<Tensor<f32>>) -> io::Result<u64> {
+        let request_id = self.fresh_id();
+        self.writer.write_all(&encode_frame(&Frame::InferRequest {
+            request_id,
+            model: model.to_string(),
+            inputs,
+        }))?;
+        Ok(request_id)
+    }
+
+    /// Reads the next server response (a reply or a typed error).
+    pub fn read_response(&mut self) -> io::Result<NetResponse> {
+        match self.read_server_frame()? {
+            Frame::InferReply {
+                request_id,
+                batch_images,
+                outputs,
+            } => Ok(NetResponse::Reply {
+                request_id,
+                batch_images,
+                outputs,
+            }),
+            Frame::Error {
+                request_id,
+                code,
+                message,
+            } => Ok(NetResponse::Error {
+                request_id,
+                code,
+                message,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn infer(&mut self, model: &str, inputs: Vec<Tensor<f32>>) -> io::Result<NetResponse> {
+        let id = self.send_infer(model, inputs)?;
+        let response = self.read_response()?;
+        match &response {
+            NetResponse::Reply { request_id, .. } if *request_id != id => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reply for request {request_id}, expected {id}"),
+            )),
+            _ => Ok(response),
+        }
+    }
+
+    /// Round-trips a ping; `Ok(true)` means the server echoed the id.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let request_id = self.fresh_id();
+        self.writer
+            .write_all(&encode_frame(&Frame::Ping { request_id }))?;
+        match self.read_server_frame()? {
+            Frame::Pong { request_id: echoed } => Ok(echoed == request_id),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Puts raw bytes on the wire, bypassing the framer — for testing the
+    /// server against malformed input.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)
+    }
+
+    fn read_server_frame(&mut self) -> io::Result<Frame> {
+        match read_frame(&mut self.reader)? {
+            FrameRead::Frame(f) => Ok(f),
+            FrameRead::Closed => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            FrameRead::Garbage(e) | FrameRead::Desync(e) => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+        }
+    }
+}
+
+fn unexpected(frame: &Frame) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected server frame type {frame:?}"),
+    )
+}

@@ -1,0 +1,640 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! ┌──────────┬──────────────┬─────────────────────────────────────────┐
+//! │ magic    │ payload len  │ payload                                 │
+//! │ "WNF1"   │ u32 LE       │ version u8 · frame type u8 ·            │
+//! │ 4 bytes  │              │ request id u64 LE · type-specific body  │
+//! └──────────┴──────────────┴─────────────────────────────────────────┘
+//! ```
+//!
+//! Strings are u16-LE-length-prefixed UTF-8; tensors are `dtype u8` (0 =
+//! f32) · `rank u8` · dims as u32 LE · row-major f32 LE data, with the
+//! element count validated against the remaining payload *before* any
+//! allocation. The payload length is capped at [`MAX_FRAME_BYTES`], so a
+//! hostile length prefix cannot OOM the handler.
+//!
+//! Decoding distinguishes two failure severities, and the distinction is the
+//! protocol's whole error story ([`FrameRead`]):
+//!
+//! * **Garbage** — the frame was well-delimited (magic + sane length) but
+//!   its payload did not decode. The connection is still byte-aligned on the
+//!   next frame, so the server replies with a typed [`Frame::Error`] and the
+//!   connection lives.
+//! * **Desync** — the magic bytes were wrong, the length was insane, or the
+//!   stream ended mid-frame. Framing is lost; the only safe move is to drop
+//!   the connection (the handler thread survives to serve the next one).
+
+use std::io::{self, Read, Write};
+use wino_tensor::Tensor;
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"WNF1";
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Upper bound on a frame payload; larger length prefixes are a desync.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Typed error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request frame decoded but made no sense (bad payload, unexpected
+    /// frame type, empty batch).
+    Malformed = 1,
+    /// The frame's version byte is newer than this server speaks.
+    UnsupportedVersion = 2,
+    /// No registry entry with the requested model name.
+    UnknownModel = 3,
+    /// Tensor count or shapes disagree with the model's graph.
+    BadShape = 4,
+    /// Admission control refused or shed the request; retry with backoff.
+    Overloaded = 5,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown = 6,
+    /// The server failed internally after accepting the request.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => Self::Malformed,
+            2 => Self::UnsupportedVersion,
+            3 => Self::UnknownModel,
+            4 => Self::BadShape,
+            5 => Self::Overloaded,
+            6 => Self::ShuttingDown,
+            7 => Self::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a payload failed to decode (or a stream lost framing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The four magic bytes were not [`MAGIC`].
+    BadMagic,
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    Oversized,
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The payload's version byte is not [`VERSION`].
+    UnsupportedVersion(u8),
+    /// The payload's frame-type byte names no known frame.
+    UnknownFrameType(u8),
+    /// An error frame carried an unknown code byte.
+    UnknownErrorCode(u8),
+    /// A tensor header named an unknown dtype byte.
+    UnknownDtype(u8),
+    /// The payload violated the frame grammar.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad frame magic"),
+            Self::Oversized => write!(f, "frame exceeds {MAX_FRAME_BYTES} bytes"),
+            Self::Truncated => write!(f, "stream ended mid-frame"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            Self::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
+            Self::UnknownDtype(d) => write!(f, "unknown tensor dtype {d}"),
+            Self::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Every message the protocol can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: run `inputs` through the named model.
+    InferRequest {
+        /// Client-chosen id echoed in the reply.
+        request_id: u64,
+        /// Registry name of the model to run.
+        model: String,
+        /// One NCHW tensor per graph input node.
+        inputs: Vec<Tensor<f32>>,
+    },
+    /// Server → client: the model's outputs.
+    InferReply {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Images in the coalesced batch this request rode in.
+        batch_images: u32,
+        /// `(output node name, tensor)` in output-node order.
+        outputs: Vec<(String, Tensor<f32>)>,
+    },
+    /// Server → client: the request failed with a typed code.
+    Error {
+        /// Echo of the request id (0 when no request could be attributed).
+        request_id: u64,
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server: liveness probe.
+    Ping {
+        /// Echoed in the pong.
+        request_id: u64,
+    },
+    /// Server → client: liveness answer.
+    Pong {
+        /// Echo of the ping id.
+        request_id: u64,
+    },
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::InferRequest { .. } => 1,
+            Frame::InferReply { .. } => 2,
+            Frame::Error { .. } => 3,
+            Frame::Ping { .. } => 4,
+            Frame::Pong { .. } => 5,
+        }
+    }
+
+    /// The request id every frame kind carries.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Frame::InferRequest { request_id, .. }
+            | Frame::InferReply { request_id, .. }
+            | Frame::Error { request_id, .. }
+            | Frame::Ping { request_id }
+            | Frame::Pong { request_id } => *request_id,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string too long for wire");
+    buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+fn put_tensor(buf: &mut Vec<u8>, t: &Tensor<f32>) {
+    buf.push(0); // dtype 0 = f32
+    let dims = t.dims();
+    assert!(
+        dims.len() <= u8::MAX as usize,
+        "tensor rank too high for wire"
+    );
+    buf.push(dims.len() as u8);
+    for &d in dims {
+        buf.extend_from_slice(&(u32::try_from(d).expect("dim fits u32")).to_le_bytes());
+    }
+    for &v in t.as_slice() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serializes one frame: magic, length prefix and payload.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(VERSION);
+    payload.push(frame.type_byte());
+    payload.extend_from_slice(&frame.request_id().to_le_bytes());
+    match frame {
+        Frame::InferRequest { model, inputs, .. } => {
+            put_str(&mut payload, model);
+            payload.push(u8::try_from(inputs.len()).expect("input count fits u8"));
+            for t in inputs {
+                put_tensor(&mut payload, t);
+            }
+        }
+        Frame::InferReply {
+            batch_images,
+            outputs,
+            ..
+        } => {
+            payload.extend_from_slice(&batch_images.to_le_bytes());
+            payload.push(u8::try_from(outputs.len()).expect("output count fits u8"));
+            for (name, t) in outputs {
+                put_str(&mut payload, name);
+                put_tensor(&mut payload, t);
+            }
+        }
+        Frame::Error { code, message, .. } => {
+            payload.push(*code as u8);
+            put_str(&mut payload, message);
+        }
+        Frame::Ping { .. } | Frame::Pong { .. } => {}
+    }
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "frame exceeds the wire cap"
+    );
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A zero-copy cursor over one payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Malformed(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16("string length")? as usize;
+        let bytes = self.take(len, "string bytes")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string not UTF-8"))
+    }
+
+    fn tensor(&mut self) -> Result<Tensor<f32>, WireError> {
+        let dtype = self.u8("tensor dtype")?;
+        if dtype != 0 {
+            return Err(WireError::UnknownDtype(dtype));
+        }
+        let rank = self.u8("tensor rank")? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        let mut elems = 1usize;
+        for _ in 0..rank {
+            let d = self.u32("tensor dim")? as usize;
+            elems = elems
+                .checked_mul(d)
+                .ok_or(WireError::Malformed("tensor element count overflows"))?;
+            dims.push(d);
+        }
+        // Validate against the remaining bytes BEFORE allocating: a hostile
+        // header cannot make the decoder reserve memory it never received.
+        let bytes = elems
+            .checked_mul(4)
+            .ok_or(WireError::Malformed("tensor byte count overflows"))?;
+        if self.buf.len() - self.pos < bytes {
+            return Err(WireError::Malformed("tensor data shorter than its dims"));
+        }
+        let data = self.take(bytes, "tensor data")?;
+        let vals: Vec<f32> = data
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Tensor::from_vec(vals, &dims).map_err(|_| WireError::Malformed("tensor dims invalid"))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after frame body"))
+        }
+    }
+}
+
+/// Decodes one payload (the bytes after magic + length prefix).
+pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let version = c.u8("version byte")?;
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let ty = c.u8("frame type byte")?;
+    let request_id = c.u64("request id")?;
+    let frame = match ty {
+        1 => {
+            let model = c.string()?;
+            let n = c.u8("input count")? as usize;
+            let inputs = (0..n).map(|_| c.tensor()).collect::<Result<_, _>>()?;
+            Frame::InferRequest {
+                request_id,
+                model,
+                inputs,
+            }
+        }
+        2 => {
+            let batch_images = c.u32("batch images")?;
+            let n = c.u8("output count")? as usize;
+            let outputs = (0..n)
+                .map(|_| Ok((c.string()?, c.tensor()?)))
+                .collect::<Result<_, WireError>>()?;
+            Frame::InferReply {
+                request_id,
+                batch_images,
+                outputs,
+            }
+        }
+        3 => {
+            let code_byte = c.u8("error code")?;
+            let code =
+                ErrorCode::from_byte(code_byte).ok_or(WireError::UnknownErrorCode(code_byte))?;
+            let message = c.string()?;
+            Frame::Error {
+                request_id,
+                code,
+                message,
+            }
+        }
+        4 => Frame::Ping { request_id },
+        5 => Frame::Pong { request_id },
+        other => return Err(WireError::UnknownFrameType(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// What reading one frame off a stream produced.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// A frame decoded.
+    Frame(Frame),
+    /// A well-delimited frame whose payload failed to decode. The stream is
+    /// still aligned on the next frame: reply with a typed error and keep
+    /// reading.
+    Garbage(WireError),
+    /// Framing is lost (bad magic, insane length, mid-frame EOF). Drop the
+    /// connection.
+    Desync(WireError),
+}
+
+/// Writes one frame to the stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    // Like read_exact, but distinguishes EOF-at-the-boundary (Ok(false))
+    // from mid-buffer EOF (Err(UnexpectedEof)).
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame off the stream, classifying every failure mode.
+///
+/// `Err` is reserved for genuine transport errors (the peer vanished, the
+/// socket broke); every *protocol* problem comes back as a [`FrameRead`]
+/// variant so the caller can choose between replying and disconnecting.
+pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
+    let mut header = [0u8; 8];
+    match read_exact_or(r, &mut header) {
+        Ok(false) => return Ok(FrameRead::Closed),
+        Ok(true) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            return Ok(FrameRead::Desync(WireError::Truncated))
+        }
+        Err(e) => return Err(e),
+    }
+    if header[..4] != MAGIC {
+        return Ok(FrameRead::Desync(WireError::BadMagic));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Ok(FrameRead::Desync(WireError::Oversized));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or(r, &mut payload) {
+        Ok(_) if len == 0 => {}
+        Ok(true) => {}
+        Ok(false) | Err(_) => return Ok(FrameRead::Desync(WireError::Truncated)),
+    }
+    match decode_frame(&payload) {
+        Ok(frame) => Ok(FrameRead::Frame(frame)),
+        Err(e) => Ok(FrameRead::Garbage(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_tensor::normal;
+
+    fn round_trip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        assert_eq!(&bytes[..4], &MAGIC);
+        let decoded = decode_frame(&bytes[8..]).expect("decode");
+        assert_eq!(decoded, frame);
+        // And through the stream reader.
+        let mut cursor = io::Cursor::new(bytes);
+        match read_frame(&mut cursor).expect("io") {
+            FrameRead::Frame(f) => assert_eq!(f, frame),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        round_trip(Frame::Ping { request_id: 7 });
+        round_trip(Frame::Pong { request_id: 7 });
+        round_trip(Frame::Error {
+            request_id: 9,
+            code: ErrorCode::Overloaded,
+            message: "queue full".to_string(),
+        });
+        round_trip(Frame::InferRequest {
+            request_id: 1,
+            model: "resnet20".to_string(),
+            inputs: vec![normal(&[1, 1, 8, 8], 0.0, 1.0, 3)],
+        });
+        round_trip(Frame::InferReply {
+            request_id: 1,
+            batch_images: 4,
+            outputs: vec![
+                ("logits".to_string(), normal(&[1, 10], 0.0, 1.0, 4)),
+                ("aux".to_string(), normal(&[1, 2, 3, 4], 0.0, 1.0, 5)),
+            ],
+        });
+    }
+
+    #[test]
+    fn tensor_payloads_are_bitwise_exact() {
+        let t = normal(&[2, 3, 4, 4], 0.0, 1.0, 11);
+        let frame = Frame::InferRequest {
+            request_id: 2,
+            model: "m".to_string(),
+            inputs: vec![t.clone()],
+        };
+        let bytes = encode_frame(&frame);
+        let Frame::InferRequest { inputs, .. } = decode_frame(&bytes[8..]).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(inputs[0], t, "f32 payload must survive the wire bitwise");
+    }
+
+    #[test]
+    fn bad_magic_is_a_desync() {
+        let mut bytes = encode_frame(&Frame::Ping { request_id: 1 });
+        bytes[0] = b'X';
+        let mut cursor = io::Cursor::new(bytes);
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Desync(WireError::BadMagic) => {}
+            other => panic!("expected desync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_a_desync() {
+        let mut bytes = encode_frame(&Frame::Ping { request_id: 1 });
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = io::Cursor::new(bytes);
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Desync(WireError::Oversized) => {}
+            other => panic!("expected desync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_desync_not_a_transport_error() {
+        let bytes = encode_frame(&Frame::Error {
+            request_id: 3,
+            code: ErrorCode::Internal,
+            message: "boom".to_string(),
+        });
+        // Cut the stream mid-payload and mid-header.
+        for cut in [bytes.len() - 2, 5] {
+            let mut cursor = io::Cursor::new(bytes[..cut].to_vec());
+            match read_frame(&mut cursor).unwrap() {
+                FrameRead::Desync(WireError::Truncated) => {}
+                other => panic!("cut at {cut}: expected truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eof_at_a_boundary_is_closed() {
+        let mut cursor = io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap(),
+            FrameRead::Closed
+        ));
+    }
+
+    #[test]
+    fn garbage_payloads_keep_the_stream_aligned() {
+        // A well-delimited frame with an unknown type byte, followed by a
+        // valid ping: the reader must flag the first and still decode the
+        // second.
+        let mut bad = encode_frame(&Frame::Ping { request_id: 1 });
+        bad[9] = 42; // frame type byte inside the payload
+        let good = encode_frame(&Frame::Ping { request_id: 2 });
+        let mut stream = bad;
+        stream.extend_from_slice(&good);
+        let mut cursor = io::Cursor::new(stream);
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Garbage(WireError::UnknownFrameType(42)) => {}
+            other => panic!("expected garbage, got {other:?}"),
+        }
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Frame(Frame::Ping { request_id: 2 }) => {}
+            other => panic!("stream lost alignment after garbage: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_and_dtype_and_trailing_bytes_are_garbage() {
+        let mut wrong_version = encode_frame(&Frame::Ping { request_id: 1 });
+        wrong_version[8] = VERSION + 1;
+        assert_eq!(
+            decode_frame(&wrong_version[8..]),
+            Err(WireError::UnsupportedVersion(VERSION + 1))
+        );
+
+        let t = normal(&[1, 1, 2, 2], 0.0, 1.0, 1);
+        let mut bad_dtype = encode_frame(&Frame::InferRequest {
+            request_id: 1,
+            model: "m".to_string(),
+            inputs: vec![t],
+        });
+        // dtype byte: version(1) + type(1) + id(8) + strlen(2) + "m"(1) +
+        // input count(1).
+        bad_dtype[8 + 14] = 9;
+        assert_eq!(
+            decode_frame(&bad_dtype[8..]),
+            Err(WireError::UnknownDtype(9))
+        );
+
+        let mut trailing = encode_frame(&Frame::Ping { request_id: 1 });
+        trailing.push(0xEE);
+        let len = (trailing.len() - 8) as u32;
+        trailing[4..8].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(
+            decode_frame(&trailing[8..]),
+            Err(WireError::Malformed("trailing bytes after frame body"))
+        );
+    }
+
+    #[test]
+    fn hostile_dims_cannot_force_allocation() {
+        // A tensor header claiming 2^32-ish elements with a 4-byte body must
+        // be rejected by the pre-allocation length check.
+        let mut payload = vec![VERSION, 1];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.push(b'm');
+        payload.push(1); // one input tensor
+        payload.push(0); // dtype f32
+        payload.push(2); // rank 2
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 4]); // far too little data
+        let err = decode_frame(&payload).unwrap_err();
+        assert!(
+            matches!(err, WireError::Malformed(_)),
+            "hostile dims must be malformed, got {err:?}"
+        );
+    }
+}

@@ -1,0 +1,811 @@
+//! The multi-model registry: N prepared graphs behind per-model queues.
+//!
+//! [`ModelRegistry`] owns one [`BatchScheduler`] per registered model and a
+//! shared worker pool ([`RegistryServer`]) that multiplexes across them:
+//!
+//! * **Scheduling.** A worker asking for work scans every model's queue and
+//!   takes the ready batch of the *highest-priority* model, breaking ties by
+//!   weighted deficit — the model whose `batches served / weight` ratio is
+//!   lowest goes first, so a weight-3 model gets roughly three batches for
+//!   every one batch of a weight-1 peer at equal priority.
+//! * **Admission control.** Each model bounds its queue depth: a submit
+//!   against a full queue is refused *immediately* with
+//!   [`SubmitError::Overloaded`] (never queued, never timed). Queued
+//!   requests whose wait exceeds the model's deadline by dispatch time are
+//!   shed with an explicit [`ModelReply::Overloaded`] instead of being run
+//!   late — the two balk points that keep accepted-request p99 bounded when
+//!   offered load exceeds capacity.
+//! * **Calibration lifecycle.** A model registered via
+//!   [`RegistryBuilder::model_calibrating`] starts warming: its batches run
+//!   through [`GraphExecutor::observe_with_in`], folding activation ranges
+//!   into the running statistics until the policy freezes, after which every
+//!   batch takes the normal frozen integer path. The per-model stats carry
+//!   the lifecycle label the whole way.
+
+use crate::scheduler::{Batch, BatchPolicy, BatchScheduler};
+use crate::server::InferenceReply;
+use crate::stats::{MultiModelReport, ServerStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wino_core::{
+    ActivationArena, CalibrationPolicy, GraphExecutor, PreparedGraph, RunningCalibration,
+};
+use wino_tensor::{batch_slice, concat_batch, Tensor};
+
+/// Load-shedding bounds of one model's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Refuse submits once this many requests are queued (the bound on how
+    /// much latency the queue itself can accumulate).
+    pub max_queue: usize,
+    /// Shed a queued request at dispatch if it already waited longer than
+    /// this — running it would blow its latency budget anyway.
+    pub deadline: Duration,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        Self {
+            max_queue: 64,
+            deadline: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Per-model serving configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelServeConfig {
+    /// Dynamic-batching policy of this model's queue.
+    pub policy: BatchPolicy,
+    /// Queue-depth and deadline bounds.
+    pub admission: AdmissionControl,
+    /// Share of worker capacity relative to same-priority peers (>= 1).
+    pub weight: u32,
+    /// Strict priority: a ready batch of a higher-priority model always
+    /// dispatches before any lower-priority one.
+    pub priority: u8,
+}
+
+impl Default for ModelServeConfig {
+    fn default() -> Self {
+        Self {
+            policy: BatchPolicy::default(),
+            admission: AdmissionControl::default(),
+            weight: 1,
+            priority: 0,
+        }
+    }
+}
+
+/// Why a submit was refused. All variants are expected serving outcomes, not
+/// bugs: the network layer maps each to a typed wire error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No model with the requested name is registered.
+    UnknownModel,
+    /// Tensor count or shapes disagree with the model's graph.
+    BadShape(String),
+    /// The model's queue is at its admission bound; retry with backoff.
+    Overloaded,
+    /// The registry is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownModel => write!(f, "unknown model"),
+            Self::BadShape(why) => write!(f, "bad input shape: {why}"),
+            Self::Overloaded => write!(f, "queue at admission bound"),
+            Self::Shutdown => write!(f, "registry shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The terminal outcome of an accepted (queued) request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelReply {
+    /// The request ran; here are its outputs.
+    Ok(InferenceReply),
+    /// The request was shed at dispatch: it waited `queued_for`, longer than
+    /// the model's deadline.
+    Overloaded {
+        /// How long the request sat in the queue before being shed.
+        queued_for: Duration,
+    },
+}
+
+impl ModelReply {
+    /// The successful reply, if the request was not shed.
+    pub fn ok(self) -> Option<InferenceReply> {
+        match self {
+            Self::Ok(r) => Some(r),
+            Self::Overloaded { .. } => None,
+        }
+    }
+}
+
+/// A pending registry reply; redeem with [`PendingReply::wait`].
+#[derive(Debug)]
+pub struct PendingReply {
+    rx: mpsc::Receiver<ModelReply>,
+}
+
+impl PendingReply {
+    /// Blocks until the reply (or shed notice) arrives; `None` if the
+    /// registry shut down before this request was served.
+    pub fn wait(self) -> Option<ModelReply> {
+        self.rx.recv().ok()
+    }
+}
+
+/// One queued request against a specific model.
+#[derive(Debug)]
+struct ModelRequest {
+    inputs: Vec<Tensor<f32>>,
+    submitted: Instant,
+    reply: mpsc::Sender<ModelReply>,
+}
+
+/// One registered model: its executor, prepared graph, queue and telemetry.
+#[derive(Debug)]
+struct ModelEntry {
+    name: String,
+    executor: Arc<GraphExecutor>,
+    prepared: Arc<PreparedGraph>,
+    calibration: Option<RunningCalibration>,
+    scheduler: BatchScheduler<ModelRequest>,
+    stats: ServerStats,
+    config: ModelServeConfig,
+    served_batches: AtomicU64,
+}
+
+/// N models, their queues and the shared coordination state.
+///
+/// Built via [`RegistryBuilder`]; served by [`RegistryServer`] (in-process)
+/// and [`crate::net::NetServer`] (over TCP).
+#[derive(Debug)]
+pub struct ModelRegistry {
+    models: Vec<ModelEntry>,
+    /// `true` once shutdown started. Workers sleep on `ready` against this
+    /// mutex between queue scans.
+    closed: Mutex<bool>,
+    ready: Condvar,
+    /// Worker-pool-level telemetry (arenas; per-model numbers live on the
+    /// entries).
+    pool: ServerStats,
+}
+
+/// Registers models one by one, then builds the shared [`ModelRegistry`].
+#[derive(Debug, Default)]
+pub struct RegistryBuilder {
+    models: Vec<ModelEntry>,
+}
+
+impl RegistryBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a model with frozen (or trivially absent) calibration. An
+    /// uncalibrated quantized graph is warmed on its synthesized batch here,
+    /// exactly like [`crate::InferenceServer::start`] — by build time every
+    /// model's prepared state is immutable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate model name.
+    pub fn model(
+        self,
+        name: &str,
+        executor: Arc<GraphExecutor>,
+        prepared: Arc<PreparedGraph>,
+        config: ModelServeConfig,
+    ) -> Self {
+        if !prepared.is_calibrated() {
+            executor.warmup(&prepared);
+        }
+        let stats = ServerStats::new();
+        stats.set_calibration("static".to_string());
+        self.push(name, executor, prepared, None, stats, config)
+    }
+
+    /// Registers a model under running-statistics calibration: it starts
+    /// serving immediately (integer nodes run the FP32 observation path),
+    /// folds every batch's activation ranges into per-node running averages,
+    /// and freezes per `policy` — after which its outputs are pinned
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate model name.
+    pub fn model_calibrating(
+        self,
+        name: &str,
+        executor: Arc<GraphExecutor>,
+        prepared: Arc<PreparedGraph>,
+        config: ModelServeConfig,
+        policy: CalibrationPolicy,
+    ) -> Self {
+        let cal = executor.running_calibration(&prepared, policy);
+        let stats = ServerStats::new();
+        stats.set_calibration(cal.state().label());
+        self.push(name, executor, prepared, Some(cal), stats, config)
+    }
+
+    fn push(
+        mut self,
+        name: &str,
+        executor: Arc<GraphExecutor>,
+        prepared: Arc<PreparedGraph>,
+        calibration: Option<RunningCalibration>,
+        stats: ServerStats,
+        config: ModelServeConfig,
+    ) -> Self {
+        assert!(
+            self.models.iter().all(|m| m.name != name),
+            "duplicate model name {name:?}"
+        );
+        assert!(config.weight >= 1, "model weight must be >= 1");
+        stats.set_fusion(prepared.fused_node_count(), prepared.elided_bytes());
+        stats.set_kernel(prepared.simd_kernel());
+        self.models.push(ModelEntry {
+            name: name.to_string(),
+            executor,
+            prepared,
+            calibration,
+            scheduler: BatchScheduler::new(config.policy),
+            stats,
+            config,
+            served_batches: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Finalizes the registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model was registered.
+    pub fn build(self) -> Arc<ModelRegistry> {
+        assert!(
+            !self.models.is_empty(),
+            "a registry needs at least one model"
+        );
+        let pool = ServerStats::new();
+        if let Some(m) = self.models.first() {
+            pool.set_kernel(m.prepared.simd_kernel());
+        }
+        Arc::new(ModelRegistry {
+            models: self.models,
+            closed: Mutex::new(false),
+            ready: Condvar::new(),
+            pool,
+        })
+    }
+}
+
+/// The weighted-priority pick: highest priority wins outright; ties go to
+/// the lowest `served / weight` deficit ratio (then to registry order).
+/// Pure so the scheduling policy is unit-testable without queues or threads.
+fn pick_model(candidates: &[(usize, u8, u32, u64)]) -> Option<usize> {
+    candidates
+        .iter()
+        .min_by(|&&(ia, pa, wa, sa), &&(ib, pb, wb, sb)| {
+            // Higher priority first…
+            pb.cmp(&pa)
+                // …then lower served/weight (cross-multiplied to stay exact)…
+                .then_with(|| (sa * u64::from(wb)).cmp(&(sb * u64::from(wa))))
+                // …then stable registry order.
+                .then_with(|| ia.cmp(&ib))
+        })
+        .map(|&(i, ..)| i)
+}
+
+impl ModelRegistry {
+    /// The registered model names, in registration order.
+    pub fn model_names(&self) -> Vec<String> {
+        self.models.iter().map(|m| m.name.clone()).collect()
+    }
+
+    /// The calibration-lifecycle label of the named model.
+    pub fn calibration_label(&self, model: &str) -> Option<String> {
+        let m = self.models.iter().find(|m| m.name == model)?;
+        Some(match &m.calibration {
+            Some(cal) => cal.state().label(),
+            None => "static".to_string(),
+        })
+    }
+
+    /// Requests currently queued against the named model.
+    pub fn queue_depth(&self, model: &str) -> Option<usize> {
+        self.models
+            .iter()
+            .find(|m| m.name == model)
+            .map(|m| m.scheduler.depth())
+    }
+
+    /// A live snapshot of the named model's telemetry.
+    pub fn model_stats(&self, model: &str) -> Option<crate::stats::StatsReport> {
+        self.models
+            .iter()
+            .find(|m| m.name == model)
+            .map(|m| m.stats.report())
+    }
+
+    /// Validates and enqueues one request against the named model.
+    ///
+    /// Unlike [`crate::ServeClient::submit`], nothing here panics: every
+    /// refusal is a typed [`SubmitError`], because over the network a bad
+    /// request is the *peer's* bug and must come back as a reply, not take
+    /// down a handler.
+    pub fn submit(
+        &self,
+        model: &str,
+        inputs: Vec<Tensor<f32>>,
+    ) -> Result<PendingReply, SubmitError> {
+        let entry = self
+            .models
+            .iter()
+            .find(|m| m.name == model)
+            .ok_or(SubmitError::UnknownModel)?;
+        validate_inputs(&entry.prepared, &inputs).map_err(SubmitError::BadShape)?;
+        if entry.scheduler.depth() >= entry.config.admission.max_queue {
+            entry.stats.record_rejected();
+            return Err(SubmitError::Overloaded);
+        }
+        let (tx, rx) = mpsc::channel();
+        let accepted = entry.scheduler.submit(ModelRequest {
+            inputs,
+            submitted: Instant::now(),
+            reply: tx,
+        });
+        if !accepted {
+            return Err(SubmitError::Shutdown);
+        }
+        // Hand-over-hand with the workers' wait: taking and dropping the
+        // lock orders this submit against any worker that just scanned
+        // empty queues, so the notify cannot be lost.
+        drop(self.closed.lock().expect("registry poisoned"));
+        self.ready.notify_all();
+        Ok(PendingReply { rx })
+    }
+
+    /// Blocks until some model has a ready batch and takes the best one
+    /// (priority, then weighted deficit), or returns `None` at shutdown
+    /// with every queue drained.
+    fn next_batch(&self) -> Option<(usize, Batch<ModelRequest>)> {
+        let mut closed = self.closed.lock().expect("registry poisoned");
+        loop {
+            let ready: Vec<(usize, u8, u32, u64)> = self
+                .models
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.scheduler.has_ready())
+                .map(|(i, m)| {
+                    (
+                        i,
+                        m.config.priority,
+                        m.config.weight,
+                        m.served_batches.load(Ordering::Relaxed),
+                    )
+                })
+                .collect();
+            if let Some(i) = pick_model(&ready) {
+                drop(closed);
+                // Another worker may have raced us to this queue; rescan if
+                // the batch is gone.
+                if let Some(b) = self.models[i].scheduler.poll_batch() {
+                    return Some((i, b));
+                }
+                closed = self.closed.lock().expect("registry poisoned");
+                continue;
+            }
+            if *closed && self.models.iter().all(|m| m.scheduler.depth() == 0) {
+                return None;
+            }
+            // Sleep until the earliest queued deadline (or a safety tick
+            // when every queue is empty), re-woken early by any submit.
+            let now = Instant::now();
+            let wait = self
+                .models
+                .iter()
+                .filter_map(|m| m.scheduler.next_deadline())
+                .min()
+                .map_or(Duration::from_millis(50), |d| {
+                    d.saturating_duration_since(now)
+                })
+                .clamp(Duration::from_micros(100), Duration::from_millis(50));
+            let (g, _) = self
+                .ready
+                .wait_timeout(closed, wait)
+                .expect("registry poisoned");
+            closed = g;
+        }
+    }
+
+    /// Starts shutdown: closes every model queue and wakes every worker.
+    fn close(&self) {
+        let mut closed = self.closed.lock().expect("registry poisoned");
+        *closed = true;
+        for m in &self.models {
+            m.scheduler.close();
+        }
+        drop(closed);
+        self.ready.notify_all();
+    }
+
+    /// The final multi-model report.
+    fn report(&self) -> MultiModelReport {
+        MultiModelReport {
+            models: self
+                .models
+                .iter()
+                .map(|m| {
+                    if let Some(cal) = &m.calibration {
+                        m.stats.set_calibration(cal.state().label());
+                    }
+                    m.stats.set_synth(m.executor.synth().stats());
+                    (m.name.clone(), m.stats.report())
+                })
+                .collect(),
+            pool: self.pool.report(),
+        }
+    }
+}
+
+/// Non-panicking mirror of the `ServeClient::submit` shape checks.
+fn validate_inputs(prepared: &PreparedGraph, inputs: &[Tensor<f32>]) -> Result<(), String> {
+    let graph = prepared.graph();
+    let input_ids = graph.input_ids();
+    if inputs.len() != input_ids.len() {
+        return Err(format!(
+            "request carries {} input tensor(s), graph {} expects {}",
+            inputs.len(),
+            graph.name,
+            input_ids.len()
+        ));
+    }
+    let batch = inputs
+        .first()
+        .map_or(0, |t| t.dims().first().copied().unwrap_or(0));
+    if batch == 0 {
+        return Err("request has an empty batch".to_string());
+    }
+    for (t, &id) in inputs.iter().zip(&input_ids) {
+        let (c, h, w) = prepared.shapes()[id];
+        if t.dims() != [batch, c, h, w] {
+            return Err(format!(
+                "input {:?} of graph {} has shape {:?}, expected {:?}",
+                graph.nodes()[id].name,
+                graph.name,
+                t.dims(),
+                [batch, c, h, w]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The shared worker pool over a [`ModelRegistry`].
+#[derive(Debug)]
+pub struct RegistryServer {
+    registry: Arc<ModelRegistry>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RegistryServer {
+    /// Starts `workers` threads multiplexing across the registry's queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn start(registry: Arc<ModelRegistry>, workers: usize) -> Self {
+        assert!(workers > 0, "a registry server needs at least one worker");
+        let handles = (0..workers)
+            .map(|i| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("wino-registry-{i}"))
+                    .spawn(move || worker_loop(&registry))
+                    .expect("spawn registry worker")
+            })
+            .collect();
+        Self {
+            registry,
+            workers: handles,
+        }
+    }
+
+    /// The registry this pool serves.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Stops accepting requests, drains every queue, joins the workers and
+    /// returns the per-model + pool report.
+    pub fn shutdown(mut self) -> MultiModelReport {
+        self.registry.close();
+        for w in std::mem::take(&mut self.workers) {
+            w.join().expect("registry worker panicked");
+        }
+        self.registry.report()
+    }
+}
+
+impl Drop for RegistryServer {
+    fn drop(&mut self) {
+        self.registry.close();
+    }
+}
+
+/// One pool worker: pick the best ready batch across models, shed what
+/// already blew its deadline, run the rest, slice replies back out.
+fn worker_loop(registry: &ModelRegistry) {
+    let mut arena = ActivationArena::new();
+    while let Some((idx, batch)) = registry.next_batch() {
+        let entry = &registry.models[idx];
+        let deadline = entry.config.admission.deadline;
+        let mut accepted = Vec::with_capacity(batch.items.len());
+        let mut accepted_waits = Vec::with_capacity(batch.waits.len());
+        for (req, wait) in batch.items.into_iter().zip(batch.waits) {
+            if wait > deadline {
+                // Deadline-based shedding: running it now would only return
+                // an answer the client stopped waiting for, while delaying
+                // everyone behind it.
+                entry.stats.record_shed();
+                let _ = req.reply.send(ModelReply::Overloaded { queued_for: wait });
+            } else {
+                accepted.push(req);
+                accepted_waits.push(wait);
+            }
+        }
+        if accepted.is_empty() {
+            continue;
+        }
+        let run_start = Instant::now();
+        let n_inputs = entry.prepared.graph().input_ids().len();
+        let counts: Vec<usize> = accepted.iter().map(|r| r.inputs[0].dims()[0]).collect();
+        let stacked: Vec<Tensor<f32>> = if accepted.len() == 1 {
+            std::mem::take(&mut accepted[0].inputs)
+        } else {
+            (0..n_inputs)
+                .map(|pos| {
+                    let parts: Vec<&Tensor<f32>> =
+                        accepted.iter().map(|r| &r.inputs[pos]).collect();
+                    concat_batch(&parts)
+                })
+                .collect()
+        };
+        let run = match &entry.calibration {
+            Some(cal) => {
+                // Warming batches observe; frozen ones take the normal path
+                // inside observe_with_in (the recalibration guard).
+                let r = entry
+                    .executor
+                    .observe_with_in(&entry.prepared, &stacked, cal, &mut arena);
+                entry.stats.set_calibration(cal.state().label());
+                r
+            }
+            None => entry
+                .executor
+                .run_with_inputs_in(&entry.prepared, &stacked, &mut arena),
+        };
+        let run_time = run_start.elapsed();
+        entry.served_batches.fetch_add(1, Ordering::Relaxed);
+        let images = stacked[0].dims()[0];
+        entry
+            .stats
+            .record_batch(images, batch.depth_after, run_time, &accepted_waits);
+        let mut offset = 0usize;
+        for (req, count) in accepted.into_iter().zip(counts) {
+            let outputs = run
+                .outputs
+                .iter()
+                .map(|(name, t)| (name.clone(), batch_slice(t, offset, count)))
+                .collect();
+            offset += count;
+            let latency = req.submitted.elapsed();
+            entry.stats.record_completion(latency);
+            let _ = req.reply.send(ModelReply::Ok(InferenceReply {
+                outputs,
+                latency,
+                batch_images: images,
+            }));
+        }
+    }
+    registry.pool.merge_arena(arena.stats());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_core::{GraphRunOptions, WinogradQuantConfig};
+    use wino_nets::resnet20_graph;
+    use wino_tensor::normal;
+
+    #[test]
+    fn pick_model_prefers_priority_then_weighted_deficit() {
+        // (index, priority, weight, served)
+        assert_eq!(pick_model(&[]), None);
+        // Priority trumps deficit.
+        assert_eq!(pick_model(&[(0, 0, 10, 0), (1, 5, 1, 99)]), Some(1));
+        // Equal priority: lower served/weight wins — model 1 at 3/3 = 1.0
+        // beats model 0 at 2/1 = 2.0.
+        assert_eq!(pick_model(&[(0, 0, 1, 2), (1, 0, 3, 3)]), Some(1));
+        // Exact tie: registry order.
+        assert_eq!(pick_model(&[(0, 0, 2, 4), (1, 0, 1, 2)]), Some(0));
+        // A weight-3 model keeps winning until its ratio catches up.
+        assert_eq!(pick_model(&[(0, 0, 3, 2), (1, 0, 1, 1)]), Some(0));
+    }
+
+    fn tiny_entry(name: &str) -> RegistryBuilder {
+        let graph = resnet20_graph().with_channel_div(4);
+        let executor = Arc::new(GraphExecutor::with_defaults());
+        let prepared = Arc::new(executor.prepare(&graph, &GraphRunOptions::default()));
+        RegistryBuilder::new().model(name, executor, prepared, ModelServeConfig::default())
+    }
+
+    #[test]
+    fn submit_validates_without_panicking() {
+        let registry = tiny_entry("m").build();
+        assert_eq!(
+            registry.submit("ghost", vec![]).err(),
+            Some(SubmitError::UnknownModel)
+        );
+        assert!(matches!(
+            registry.submit("m", vec![]).err(),
+            Some(SubmitError::BadShape(_))
+        ));
+        let bad = normal(&[1, 2, 32, 32], 0.0, 1.0, 1);
+        assert!(matches!(
+            registry.submit("m", vec![bad]).err(),
+            Some(SubmitError::BadShape(_))
+        ));
+        assert_eq!(registry.queue_depth("m"), Some(0), "nothing was queued");
+        assert_eq!(registry.model_stats("m").unwrap().rejected, 0);
+    }
+
+    #[test]
+    fn full_queues_reject_at_admission() {
+        let graph = resnet20_graph().with_channel_div(4);
+        let executor = Arc::new(GraphExecutor::with_defaults());
+        let prepared = Arc::new(executor.prepare(&graph, &GraphRunOptions::default()));
+        let registry = RegistryBuilder::new()
+            .model(
+                "m",
+                executor,
+                prepared,
+                ModelServeConfig {
+                    admission: AdmissionControl {
+                        max_queue: 2,
+                        deadline: Duration::from_secs(1),
+                    },
+                    ..ModelServeConfig::default()
+                },
+            )
+            .build();
+        // No workers running: the queue just fills.
+        let x = || vec![normal(&[1, 1, 32, 32], 0.0, 1.0, 1)];
+        assert!(registry.submit("m", x()).is_ok());
+        assert!(registry.submit("m", x()).is_ok());
+        assert_eq!(
+            registry.submit("m", x()).err(),
+            Some(SubmitError::Overloaded)
+        );
+        assert_eq!(registry.model_stats("m").unwrap().rejected, 1);
+        assert_eq!(registry.queue_depth("m"), Some(2));
+    }
+
+    #[test]
+    fn registry_serves_two_models_with_correct_outputs() {
+        let graph_a = resnet20_graph().with_channel_div(4);
+        let graph_b = resnet20_graph().with_channel_div(8);
+        let executor = Arc::new(GraphExecutor::with_defaults());
+        let pa = Arc::new(executor.prepare(&graph_a, &GraphRunOptions::default()));
+        let pb = Arc::new(executor.prepare(&graph_b, &GraphRunOptions { batch: 1, seed: 9 }));
+        let want_a = {
+            let x = normal(&[1, 1, 32, 32], 0.0, 1.0, 21);
+            (
+                x.clone(),
+                executor.run_with_inputs(&pa, &[x]).outputs[0].1.clone(),
+            )
+        };
+        let want_b = {
+            let x = normal(&[1, 1, 32, 32], 0.0, 1.0, 22);
+            (
+                x.clone(),
+                executor.run_with_inputs(&pb, &[x]).outputs[0].1.clone(),
+            )
+        };
+        let registry = RegistryBuilder::new()
+            .model("a", Arc::clone(&executor), pa, ModelServeConfig::default())
+            .model("b", Arc::clone(&executor), pb, ModelServeConfig::default())
+            .build();
+        let server = RegistryServer::start(Arc::clone(&registry), 2);
+        let pend_a = registry.submit("a", vec![want_a.0.clone()]).unwrap();
+        let pend_b = registry.submit("b", vec![want_b.0.clone()]).unwrap();
+        let got_a = pend_a.wait().unwrap().ok().expect("not shed");
+        let got_b = pend_b.wait().unwrap().ok().expect("not shed");
+        assert_eq!(got_a.outputs[0].1, want_a.1, "model a output drifted");
+        assert_eq!(got_b.outputs[0].1, want_b.1, "model b output drifted");
+        let report = server.shutdown();
+        assert_eq!(report.total_requests(), 2);
+        assert_eq!(report.model("a").unwrap().requests, 1);
+        assert_eq!(report.model("b").unwrap().requests, 1);
+        assert!(report.pool.workers_reported >= 1);
+    }
+
+    #[test]
+    fn calibrating_models_freeze_while_serving() {
+        let graph = resnet20_graph().with_channel_div(4);
+        let executor = Arc::new(GraphExecutor::quantized(WinogradQuantConfig::default()));
+        let prepared = Arc::new(executor.prepare(&graph, &GraphRunOptions::default()));
+        let registry = RegistryBuilder::new()
+            .model_calibrating(
+                "q",
+                Arc::clone(&executor),
+                Arc::clone(&prepared),
+                ModelServeConfig::default(),
+                CalibrationPolicy::quick(2),
+            )
+            .build();
+        assert_eq!(registry.calibration_label("q").unwrap(), "warming(0)");
+        let server = RegistryServer::start(Arc::clone(&registry), 1);
+        let probe = normal(&[1, 1, 32, 32], 0.0, 1.0, 31);
+        // Identical batches stabilize the ranges; the freeze fires within a
+        // handful of them.
+        for _ in 0..12 {
+            let reply = registry
+                .submit("q", vec![probe.clone()])
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert!(reply.ok().is_some(), "no overload in this test");
+            if registry
+                .calibration_label("q")
+                .unwrap()
+                .starts_with("frozen")
+            {
+                break;
+            }
+        }
+        assert!(
+            registry
+                .calibration_label("q")
+                .unwrap()
+                .starts_with("frozen"),
+            "calibration never froze: {}",
+            registry.calibration_label("q").unwrap()
+        );
+        assert!(prepared.is_calibrated());
+        // Frozen: bitwise reproducible.
+        let a = registry
+            .submit("q", vec![probe.clone()])
+            .unwrap()
+            .wait()
+            .unwrap();
+        let b = registry
+            .submit("q", vec![probe.clone()])
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            a.ok().unwrap().outputs[0].1,
+            b.ok().unwrap().outputs[0].1,
+            "frozen registry outputs drifted"
+        );
+        let report = server.shutdown();
+        let q = report.model("q").unwrap();
+        assert!(
+            q.calibration.starts_with("frozen"),
+            "report label: {}",
+            q.calibration
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! The TCP front of the registry: accept loop + connection-handler pool.
+//!
+//! [`NetServer::bind`] owns three thread populations:
+//!
+//! 1. one **accept** thread feeding accepted [`TcpStream`]s into a
+//!    connection queue (a max-batch-1 [`BatchScheduler`] — the same
+//!    closeable blocking queue the inference path uses);
+//! 2. `connection_threads` **handler** threads, each serving one connection
+//!    at a time: decode a frame, dispatch it against the
+//!    [`ModelRegistry`], write the reply;
+//! 3. the [`RegistryServer`] **worker** pool actually running batches.
+//!
+//! The error policy on a connection follows the protocol's severity split: a
+//! [`FrameRead::Garbage`] payload gets a typed [`Frame::Error`] reply and the
+//! connection keeps serving; a [`FrameRead::Desync`] gets a best-effort error
+//! and the connection is dropped — in both cases the *handler thread*
+//! survives to serve the next connection. Registry refusals (unknown model,
+//! bad shape, admission bounds) are ordinary typed replies; nothing a peer
+//! sends can take a thread down.
+
+use super::protocol::{read_frame, write_frame, ErrorCode, Frame, FrameRead};
+use super::registry::{ModelRegistry, ModelReply, RegistryServer, SubmitError};
+use crate::scheduler::{BatchPolicy, BatchScheduler};
+use crate::stats::MultiModelReport;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the network front runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetServerConfig {
+    /// Handler threads; also the bound on concurrently-served connections
+    /// (further accepted connections wait in the queue).
+    pub connection_threads: usize,
+    /// Registry worker threads running the actual batches.
+    pub workers: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            connection_threads: 4,
+            workers: 2,
+        }
+    }
+}
+
+/// Streams registered while being served, so shutdown can unblock their
+/// handlers' blocking reads.
+type LiveStreams = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// A TCP inference server over a [`ModelRegistry`].
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    closing: Arc<AtomicBool>,
+    conns: Arc<BatchScheduler<TcpStream>>,
+    live: LiveStreams,
+    accept: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+    registry_server: Option<RegistryServer>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use `127.0.0.1:0` to let the OS pick a test port),
+    /// starts the registry workers and the connection-handler pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either thread count in `config` is zero.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        config: NetServerConfig,
+    ) -> io::Result<Self> {
+        assert!(config.connection_threads > 0, "need at least one handler");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let registry_server = RegistryServer::start(Arc::clone(&registry), config.workers);
+        let closing = Arc::new(AtomicBool::new(false));
+        // Accepted connections queue one at a time; handlers take them as
+        // they free up. Zero wait: a connection is "ready" the moment it
+        // lands.
+        let conns = Arc::new(BatchScheduler::new(BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+        }));
+        let live: LiveStreams = Arc::new(Mutex::new(HashMap::new()));
+        let accept = {
+            let closing = Arc::clone(&closing);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("wino-net-accept".to_string())
+                .spawn(move || {
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                // The shutdown path connects a dummy stream
+                                // to get us here; check the flag before
+                                // queueing anything.
+                                if closing.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                if !conns.submit(stream) {
+                                    break;
+                                }
+                            }
+                            Err(_) if closing.load(Ordering::SeqCst) => break,
+                            // A failed accept (peer reset mid-handshake) is
+                            // not fatal to the listener.
+                            Err(_) => {}
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        let conn_ids = Arc::new(AtomicU64::new(0));
+        let handlers = (0..config.connection_threads)
+            .map(|i| {
+                let conns = Arc::clone(&conns);
+                let registry = Arc::clone(&registry);
+                let live = Arc::clone(&live);
+                let conn_ids = Arc::clone(&conn_ids);
+                std::thread::Builder::new()
+                    .name(format!("wino-net-conn-{i}"))
+                    .spawn(move || {
+                        while let Some(batch) = conns.next_batch() {
+                            for stream in batch.items {
+                                let id = conn_ids.fetch_add(1, Ordering::Relaxed);
+                                serve_connection(stream, id, &registry, &live);
+                            }
+                        }
+                    })
+                    .expect("spawn connection handler")
+            })
+            .collect();
+        Ok(Self {
+            local_addr,
+            closing,
+            conns,
+            live,
+            accept: Some(accept),
+            handlers,
+            registry_server: Some(registry_server),
+        })
+    }
+
+    /// The bound address (the OS-chosen port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Unblocks the accept loop and every in-flight connection read, without
+    /// joining anything (shared between shutdown and drop).
+    fn begin_close(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        // The accept thread is blocked in accept(); a throwaway connection
+        // wakes it to observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        self.conns.close();
+        let live = self.live.lock().expect("live streams poisoned");
+        for stream in live.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stops accepting, drops every live connection, joins all three thread
+    /// populations and returns the registry's final report.
+    pub fn shutdown(mut self) -> MultiModelReport {
+        self.begin_close();
+        if let Some(a) = self.accept.take() {
+            a.join().expect("accept thread panicked");
+        }
+        for h in std::mem::take(&mut self.handlers) {
+            h.join().expect("connection handler panicked");
+        }
+        self.registry_server
+            .take()
+            .expect("shutdown runs once")
+            .shutdown()
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        // A dropped (not shut down) server must not leave the accept thread
+        // or any handler blocked forever; the threads themselves are
+        // detached by dropping their handles.
+        self.begin_close();
+    }
+}
+
+fn code_for(err: &SubmitError) -> ErrorCode {
+    match err {
+        SubmitError::UnknownModel => ErrorCode::UnknownModel,
+        SubmitError::BadShape(_) => ErrorCode::BadShape,
+        SubmitError::Overloaded => ErrorCode::Overloaded,
+        SubmitError::Shutdown => ErrorCode::ShuttingDown,
+    }
+}
+
+/// Serves one connection until it closes, desyncs, or the transport breaks.
+fn serve_connection(stream: TcpStream, id: u64, registry: &ModelRegistry, live: &LiveStreams) {
+    // Register a clone so shutdown can cut our blocking read short.
+    if let Ok(clone) = stream.try_clone() {
+        live.lock()
+            .expect("live streams poisoned")
+            .insert(id, clone);
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        live.lock().expect("live streams poisoned").remove(&id);
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    // `while let` over the read result: an Err means the transport is gone.
+    while let Ok(read) = read_frame(&mut reader) {
+        let reply = match read {
+            FrameRead::Closed => break,
+            FrameRead::Desync(e) => {
+                // Framing is lost: tell the peer why (best effort — the
+                // bytes may never arrive) and drop the connection.
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        request_id: 0,
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                let _ = writer.flush();
+                break;
+            }
+            FrameRead::Garbage(e) => Frame::Error {
+                request_id: 0,
+                code: ErrorCode::Malformed,
+                message: e.to_string(),
+            },
+            FrameRead::Frame(Frame::Ping { request_id }) => Frame::Pong { request_id },
+            FrameRead::Frame(Frame::InferRequest {
+                request_id,
+                model,
+                inputs,
+            }) => match registry.submit(&model, inputs) {
+                Err(e) => Frame::Error {
+                    request_id,
+                    code: code_for(&e),
+                    message: e.to_string(),
+                },
+                Ok(pending) => match pending.wait() {
+                    None => Frame::Error {
+                        request_id,
+                        code: ErrorCode::ShuttingDown,
+                        message: "server stopped before serving this request".to_string(),
+                    },
+                    Some(ModelReply::Overloaded { queued_for }) => Frame::Error {
+                        request_id,
+                        code: ErrorCode::Overloaded,
+                        message: format!(
+                            "shed after {:.1} ms in queue",
+                            queued_for.as_secs_f64() * 1e3
+                        ),
+                    },
+                    Some(ModelReply::Ok(r)) => Frame::InferReply {
+                        request_id,
+                        batch_images: u32::try_from(r.batch_images).unwrap_or(u32::MAX),
+                        outputs: r.outputs,
+                    },
+                },
+            },
+            // A client sending server-only frames is confused but framed;
+            // answer and keep the connection.
+            FrameRead::Frame(other) => Frame::Error {
+                request_id: other.request_id(),
+                code: ErrorCode::Malformed,
+                message: "unexpected frame type from a client".to_string(),
+            },
+        };
+        if write_frame(&mut writer, &reply)
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+    let removed = live.lock().expect("live streams poisoned").remove(&id);
+    if let Some(s) = removed {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+}

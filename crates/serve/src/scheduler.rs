@@ -148,6 +148,46 @@ impl<T> BatchScheduler<T> {
         }
     }
 
+    /// Whether [`BatchScheduler::next_batch`] would return without blocking:
+    /// a full batch is queued, the oldest item's deadline has passed, or the
+    /// scheduler is closed with items still queued. The multi-queue registry
+    /// scans this across models before deciding which queue to drain.
+    pub fn has_ready(&self) -> bool {
+        let g = self.inner.lock().expect("scheduler poisoned");
+        if g.queue.len() >= self.policy.max_batch || (g.closed && !g.queue.is_empty()) {
+            return true;
+        }
+        g.queue
+            .front()
+            .is_some_and(|&(oldest, _)| Instant::now() >= oldest + self.policy.max_wait)
+    }
+
+    /// Takes a batch if one is ready right now, without blocking (the
+    /// readiness rule of [`BatchScheduler::has_ready`]). `None` means "not
+    /// ready", not shutdown — callers multiplexing several schedulers poll
+    /// and sleep on their own condition variable.
+    pub fn poll_batch(&self) -> Option<Batch<T>> {
+        let mut g = self.inner.lock().expect("scheduler poisoned");
+        let ready = g.queue.len() >= self.policy.max_batch
+            || (g.closed && !g.queue.is_empty())
+            || g.queue
+                .front()
+                .is_some_and(|&(oldest, _)| Instant::now() >= oldest + self.policy.max_wait);
+        ready.then(|| Self::drain(&mut g, self.policy.max_batch))
+    }
+
+    /// The instant at which the currently-queued work becomes ready: now if
+    /// a batch is already dispatchable, the oldest item's flush deadline if
+    /// one is queued, `None` when the queue is empty (nothing to wait for).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let g = self.inner.lock().expect("scheduler poisoned");
+        let &(oldest, _) = g.queue.front()?;
+        if g.queue.len() >= self.policy.max_batch || g.closed {
+            return Some(Instant::now());
+        }
+        Some(oldest + self.policy.max_wait)
+    }
+
     fn drain(g: &mut Inner<T>, max_batch: usize) -> Batch<T> {
         let take = g.queue.len().min(max_batch);
         let now = Instant::now();
@@ -233,6 +273,42 @@ mod tests {
         assert_eq!(s.next_batch().map(|b| b.items), None);
         assert!(!s.submit(8), "submit after close must fail");
         assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn poll_batch_takes_only_ready_work() {
+        let s = BatchScheduler::new(policy(2, 60_000));
+        assert!(!s.has_ready());
+        assert_eq!(s.next_deadline(), None);
+        s.submit(1);
+        // One item, far-off deadline: queued but not ready.
+        assert!(!s.has_ready());
+        assert!(s.poll_batch().is_none());
+        let deadline = s.next_deadline().expect("queued work has a deadline");
+        assert!(deadline > Instant::now() + Duration::from_secs(30));
+        // A second item fills the batch: ready right now.
+        s.submit(2);
+        assert!(s.has_ready());
+        assert!(s.next_deadline().expect("ready now") <= Instant::now());
+        assert_eq!(s.poll_batch().expect("full batch").items, vec![1, 2]);
+        assert!(s.poll_batch().is_none(), "queue drained");
+    }
+
+    #[test]
+    fn poll_batch_respects_the_flush_deadline_and_close() {
+        let s = BatchScheduler::new(policy(8, 10));
+        s.submit(5);
+        assert!(s.poll_batch().is_none(), "deadline not reached yet");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(s.has_ready(), "past the flush deadline");
+        assert_eq!(s.poll_batch().expect("deadline flush").items, vec![5]);
+        // Close makes queued items immediately ready.
+        s.submit(6);
+        s.close();
+        assert!(!s.submit(7));
+        assert!(s.has_ready());
+        assert_eq!(s.poll_batch().expect("close flush").items, vec![6]);
+        assert!(!s.has_ready(), "closed and drained");
     }
 
     #[test]

@@ -58,6 +58,9 @@ struct StatsInner {
     run_times: Vec<Duration>,
     batch_sizes: Vec<usize>,
     depth_samples: Vec<usize>,
+    rejected: usize,
+    shed: usize,
+    calibration: String,
     arena: ArenaStats,
     workers_reported: usize,
     synth: SynthStats,
@@ -112,6 +115,24 @@ impl ServerStats {
     pub fn record_completion(&self, latency: Duration) {
         let mut g = self.inner.lock().expect("stats poisoned");
         g.latencies.push(latency);
+    }
+
+    /// Records one request refused at admission time (queue-depth bound hit
+    /// before it ever queued).
+    pub fn record_rejected(&self) {
+        self.inner.lock().expect("stats poisoned").rejected += 1;
+    }
+
+    /// Records one queued request shed at dispatch time (its deadline passed
+    /// before a worker reached it).
+    pub fn record_shed(&self) {
+        self.inner.lock().expect("stats poisoned").shed += 1;
+    }
+
+    /// Attaches the model's calibration-lifecycle label (`static`,
+    /// `warming(n)`, `frozen@n` — `CalibrationState::label`).
+    pub fn set_calibration(&self, label: String) {
+        self.inner.lock().expect("stats poisoned").calibration = label;
     }
 
     /// Folds one worker's arena counters into the aggregate (summed across
@@ -182,6 +203,9 @@ impl ServerStats {
             batch_histogram: histogram.into_iter().collect(),
             mean_batch: mean(&g.batch_sizes),
             mean_queue_depth: mean(&g.depth_samples),
+            rejected: g.rejected,
+            shed: g.shed,
+            calibration: g.calibration.clone(),
             workers_reported: g.workers_reported,
             arena: g.arena,
             synth: g.synth,
@@ -217,6 +241,13 @@ pub struct StatsReport {
     pub mean_batch: f64,
     /// Mean backlog observed at dispatch time.
     pub mean_queue_depth: f64,
+    /// Requests refused at admission (bounded queue depth).
+    pub rejected: usize,
+    /// Queued requests shed at dispatch (deadline passed in the queue).
+    pub shed: usize,
+    /// Calibration-lifecycle label (`""` when the server never attached one;
+    /// `static` / `warming(n)` / `frozen@n` otherwise).
+    pub calibration: String,
     /// Workers whose arenas were folded in (shutdown only).
     pub workers_reported: usize,
     /// Worker activation arenas, aggregated.
@@ -283,6 +314,14 @@ impl StatsReport {
         );
         let _ = writeln!(
             out,
+            "admission       {:>10}    rejected at submit, {} shed at dispatch",
+            self.rejected, self.shed
+        );
+        if !self.calibration.is_empty() {
+            let _ = writeln!(out, "calibration     {:>10}", self.calibration);
+        }
+        let _ = writeln!(
+            out,
             "arena           peak {:.1} KiB live, {} reuses / {} fresh allocs over {} runs ({} workers)",
             self.arena.peak_live_bytes as f64 / 1024.0,
             self.arena.reuse_hits,
@@ -311,6 +350,87 @@ impl StatsReport {
                 "(unset)"
             } else {
                 self.kernel_variant
+            }
+        );
+        out
+    }
+}
+
+/// The shutdown report of a multi-model registry: one [`StatsReport`] per
+/// model plus the pooled (cross-model) worker figures — arenas, batch counts
+/// and the kernel variant, which are per-worker rather than per-model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiModelReport {
+    /// `(model name, its report)` in registry order.
+    pub models: Vec<(String, StatsReport)>,
+    /// Worker-pool-level aggregation (arena counters, kernel variant).
+    pub pool: StatsReport,
+}
+
+impl MultiModelReport {
+    /// The report of the model with the given name.
+    pub fn model(&self, name: &str) -> Option<&StatsReport> {
+        self.models.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Requests completed across every model.
+    pub fn total_requests(&self) -> usize {
+        self.models.iter().map(|(_, r)| r.requests).sum()
+    }
+
+    /// Requests refused or shed across every model.
+    pub fn total_dropped(&self) -> usize {
+        self.models.iter().map(|(_, r)| r.rejected + r.shed).sum()
+    }
+
+    /// One aligned table, a row per model, with the pooled worker figures
+    /// appended underneath.
+    pub fn render(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let name_w = self
+            .models
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>6} {:>6} {:>5} {:>8} {:>8} {:>8} {:>6}  calibration",
+            "model", "req", "rej", "shed", "p50ms", "p95ms", "p99ms", "batch"
+        );
+        for (name, r) in &self.models {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>6} {:>6} {:>5} {:>8.2} {:>8.2} {:>8.2} {:>6.2}  {}",
+                name,
+                r.requests,
+                r.rejected,
+                r.shed,
+                ms(r.latency.p50),
+                ms(r.latency.p95),
+                ms(r.latency.p99),
+                r.mean_batch,
+                if r.calibration.is_empty() {
+                    "-"
+                } else {
+                    &r.calibration
+                }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "pool: {} workers, arena peak {:.1} KiB live, {} reuses / {} fresh allocs over {} runs, simd {}",
+            self.pool.workers_reported,
+            self.pool.arena.peak_live_bytes as f64 / 1024.0,
+            self.pool.arena.reuse_hits,
+            self.pool.arena.fresh_allocs,
+            self.pool.arena.runs,
+            if self.pool.kernel_variant.is_empty() {
+                "(unset)"
+            } else {
+                self.pool.kernel_variant
             }
         );
         out
@@ -398,6 +518,71 @@ mod tests {
         assert!(
             table.contains("simd kernel") && table.contains("avx2"),
             "table must show the kernel line:\n{table}"
+        );
+    }
+
+    #[test]
+    fn admission_counters_and_calibration_ride_the_report() {
+        let stats = ServerStats::new();
+        stats.record_rejected();
+        stats.record_rejected();
+        stats.record_shed();
+        stats.set_calibration("warming(3)".to_string());
+        let r = stats.report();
+        assert_eq!(r.rejected, 2);
+        assert_eq!(r.shed, 1);
+        assert_eq!(r.calibration, "warming(3)");
+        let table = r.render();
+        assert!(
+            table.contains("rejected at submit") && table.contains("1 shed"),
+            "table must show the admission line:\n{table}"
+        );
+        assert!(
+            table.contains("warming(3)"),
+            "table lost calibration:\n{table}"
+        );
+    }
+
+    #[test]
+    fn multi_model_report_renders_one_row_per_model() {
+        let a = ServerStats::new();
+        a.record_completion(Duration::from_millis(4));
+        a.set_calibration("frozen@5".to_string());
+        let b = ServerStats::new();
+        b.record_rejected();
+        b.record_shed();
+        let pool = ServerStats::new();
+        pool.merge_arena(ArenaStats {
+            runs: 4,
+            peak_live_bytes: 2048,
+            reuse_hits: 7,
+            fresh_allocs: 3,
+            free_buffers: 1,
+            free_bytes: 512,
+        });
+        let report = MultiModelReport {
+            models: vec![
+                ("resnet20".to_string(), a.report()),
+                ("resnet20-wide".to_string(), b.report()),
+            ],
+            pool: pool.report(),
+        };
+        assert_eq!(report.total_requests(), 1);
+        assert_eq!(report.total_dropped(), 2);
+        assert_eq!(report.model("resnet20").unwrap().requests, 1);
+        assert!(report.model("missing").is_none());
+        let table = report.render();
+        assert!(
+            table.contains("resnet20") && table.contains("resnet20-wide"),
+            "table must list every model:\n{table}"
+        );
+        assert!(
+            table.contains("frozen@5"),
+            "table lost calibration:\n{table}"
+        );
+        assert!(
+            table.contains("pool: "),
+            "table lost the pool line:\n{table}"
         );
     }
 

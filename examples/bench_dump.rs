@@ -1,9 +1,11 @@
 //! Dumps `BENCH_winograd.json`: nanosecond medians of the tap-major Winograd
 //! paths against the legacy per-tile paths on the ResNet-34 3×3 layer shapes,
-//! the quantized ResNet-20 end-to-end graph forward, and the residual-tail
+//! the quantized ResNet-20 end-to-end graph forward, the residual-tail
 //! epilogue-fusion rows (quantized ResNet-20/34, full fusion vs the relu-only
-//! baseline vs no fusion, with arena peaks and elided pre-activation bytes) —
-//! the perf trajectory file tracked across PRs.
+//! baseline vs no fusion, with arena peaks and elided pre-activation bytes),
+//! and a serving-overload sweep of the multi-model registry (offered load vs
+//! accepted throughput, shed rate and accepted-tail p99 under admission
+//! control) — the perf trajectory file tracked across PRs.
 //!
 //! ```text
 //! cargo run --release --example bench_dump            # full iteration counts
@@ -11,12 +13,17 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use winograd_tapwise::wino_core::{
     FusionClasses, GraphExecutor, GraphRunOptions, IntWinogradConv, PreparedWinogradConv,
     QuantParams, TapwiseScales, TileSize, WinogradMatrices, WinogradQuantConfig,
 };
 use winograd_tapwise::wino_nets::{resnet20_graph, resnet34_graph};
+use winograd_tapwise::wino_serve::net::{
+    AdmissionControl, ModelReply, ModelServeConfig, RegistryBuilder, RegistryServer, SubmitError,
+};
+use winograd_tapwise::wino_serve::BatchPolicy;
 use winograd_tapwise::wino_tensor::{
     gemm_f32_into_with, gemm_i16_i32_into_with, gemm_i8_i32_into_with, normal, simd, Tensor,
 };
@@ -242,6 +249,88 @@ fn main() {
     }
     eprintln!("simd active kernel: {}", simd::active().name());
 
+    // Serving-overload rows: the in-process multi-model registry under an
+    // offered-load sweep. One worker, a tight queue bound and a 10 ms
+    // deadline: as offered load climbs past capacity, admission control
+    // should convert the excess into explicit rejections/sheds while the
+    // *accepted* p99 stays pinned near the deadline instead of growing with
+    // the backlog. The rows record exactly that trajectory.
+    let sweep: &[usize] = if quick { &[2, 8] } else { &[1, 4, 16, 32] };
+    let per_client = if quick { 8 } else { 24 };
+    let serve_exec = Arc::new(GraphExecutor::with_defaults());
+    let serve_prepared = Arc::new(serve_exec.prepare(&resnet20_graph().with_channel_div(8), &opts));
+    let mut serving_rows = Vec::new();
+    for &clients in sweep {
+        let registry = RegistryBuilder::new()
+            .model(
+                "m",
+                Arc::clone(&serve_exec),
+                Arc::clone(&serve_prepared),
+                ModelServeConfig {
+                    policy: BatchPolicy {
+                        max_batch: 4,
+                        max_wait: Duration::from_millis(1),
+                    },
+                    admission: AdmissionControl {
+                        max_queue: 4,
+                        deadline: Duration::from_millis(10),
+                    },
+                    ..ModelServeConfig::default()
+                },
+            )
+            .build();
+        let server = RegistryServer::start(Arc::clone(&registry), 1);
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    let (mut ok, mut over) = (0usize, 0usize);
+                    for r in 0..per_client {
+                        let x = normal(&[1, 1, 32, 32], 0.0, 1.0, (c * 1000 + r) as u64);
+                        match registry.submit("m", vec![x]) {
+                            Ok(pending) => match pending.wait() {
+                                Some(ModelReply::Ok(_)) => ok += 1,
+                                Some(ModelReply::Overloaded { .. }) => over += 1,
+                                None => {}
+                            },
+                            Err(SubmitError::Overloaded) => over += 1,
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                    (ok, over)
+                })
+            })
+            .collect();
+        let (mut ok, mut over) = (0usize, 0usize);
+        for h in handles {
+            let (o, v) = h.join().expect("load client");
+            ok += o;
+            over += v;
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let report = server.shutdown();
+        let m = report.model("m").expect("model stats");
+        let offered_rps = (ok + over) as f64 / elapsed.max(1e-9);
+        let accepted_rps = ok as f64 / elapsed.max(1e-9);
+        let shed_rate = over as f64 / (ok + over).max(1) as f64;
+        let p99_ms = m.latency.p99.as_secs_f64() * 1e3;
+        let wait_p99_ms = m.queue_wait.p99.as_secs_f64() * 1e3;
+        eprintln!(
+            "serving {clients:>2} clients: offered {offered_rps:.0} rps, accepted \
+             {accepted_rps:.0} rps, shed {:.0}%, accepted p99 {p99_ms:.1} ms \
+             (queue-wait p99 {wait_p99_ms:.1} ms)",
+            shed_rate * 100.0,
+        );
+        serving_rows.push(format!(
+            "\"clients_{clients}\": {{\"offered_rps\": {offered_rps:.1}, \
+             \"accepted_rps\": {accepted_rps:.1}, \"shed_rate\": {shed_rate:.3}, \
+             \"accepted_p99_ms\": {p99_ms:.2}, \"queue_wait_p99_ms\": {wait_p99_ms:.2}, \
+             \"rejected\": {}, \"shed\": {}}}",
+            m.rejected, m.shed,
+        ));
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"float_f4\": {{{}}},", float_rows.join(", "));
@@ -255,6 +344,11 @@ fn main() {
         json,
         "  \"graph_residual\": {{{}}},",
         residual_rows.join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"serving_overload\": {{{}}},",
+        serving_rows.join(", ")
     );
     let _ = writeln!(
         json,

@@ -1,0 +1,231 @@
+//! Smoke-runs the network serving tier: a multi-model registry (a float
+//! ResNet-20 plus a quantized one under running-statistics calibration)
+//! behind a loopback TCP server, hit with a burst of concurrent clients and
+//! one deliberately malformed frame. Asserts that every wire reply is
+//! bit-identical to the in-process executor, that the calibrating model
+//! freezes while serving, that the malformed frame gets a typed error
+//! without disturbing anyone, and prints the multi-model stats table. Used
+//! as the CI network-serving check.
+//!
+//! ```sh
+//! cargo run --release --example net_serve_smoke
+//! ```
+
+use std::sync::Arc;
+use winograd_tapwise::wino_core::{
+    CalibrationPolicy, GraphExecutor, GraphRunOptions, TileSize, WinogradQuantConfig,
+};
+use winograd_tapwise::wino_nets::resnet20_graph;
+use winograd_tapwise::wino_serve::net::{
+    encode_frame, AdmissionControl, ErrorCode, Frame, ModelServeConfig, NetClient, NetResponse,
+    NetServer, NetServerConfig, RegistryBuilder,
+};
+use winograd_tapwise::wino_serve::BatchPolicy;
+use winograd_tapwise::wino_tensor::{normal, Tensor};
+
+const CLIENTS: u64 = 4;
+const PER_CLIENT: u64 = 12;
+
+fn main() {
+    let graph = resnet20_graph();
+    let float_exec = Arc::new(GraphExecutor::with_defaults());
+    let float_prepared = Arc::new(float_exec.prepare(&graph, &GraphRunOptions::default()));
+    let quant_exec = Arc::new(GraphExecutor::quantized(WinogradQuantConfig::tapwise_po2(
+        TileSize::F4,
+        10,
+    )));
+    let quant_prepared = Arc::new(quant_exec.prepare(&graph, &GraphRunOptions::default()));
+
+    // Warming batches serve exact FP32 through *direct* convolutions —
+    // hundreds of ms per batch on a loaded CI box — so admission must be
+    // lenient: this smoke asserts every request is answered (overload
+    // behaviour has its own dedicated test).
+    let lenient = AdmissionControl {
+        max_queue: 256,
+        deadline: std::time::Duration::from_secs(30),
+    };
+    let registry = RegistryBuilder::new()
+        .model(
+            "resnet20-f32",
+            Arc::clone(&float_exec),
+            Arc::clone(&float_prepared),
+            ModelServeConfig {
+                admission: lenient,
+                ..ModelServeConfig::default()
+            },
+        )
+        // The quantized model starts *uncalibrated*: it serves exact FP32
+        // while folding observed activation ranges into running averages,
+        // then freezes and switches to the integer pipeline mid-service.
+        // Small batches + a forced-freeze ceiling well under the burst's
+        // guaranteed batch count (48 requests / max_batch 2 >= 24 batches)
+        // put the freeze deterministically in the middle of the run.
+        .model_calibrating(
+            "resnet20-int",
+            Arc::clone(&quant_exec),
+            Arc::clone(&quant_prepared),
+            ModelServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 2,
+                    max_wait: std::time::Duration::from_millis(1),
+                },
+                admission: lenient,
+                ..ModelServeConfig::default()
+            },
+            CalibrationPolicy {
+                momentum: 0.3,
+                min_batches: 4,
+                stability_tol: 0.15,
+                max_batches: 12,
+            },
+        )
+        .build();
+    println!(
+        "registry: {:?}, calibration {:?}",
+        registry.model_names(),
+        registry.calibration_label("resnet20-int").unwrap()
+    );
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        NetServerConfig {
+            connection_threads: CLIENTS as usize + 1,
+            workers: 2,
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // Stationary traffic so the running calibration converges quickly; the
+    // float model's ground truth is computable up front (the quantized
+    // model's answers change when its calibration freezes, so those are
+    // checked against the in-process executor *after* shutdown).
+    let probe = |seed: u64| -> Tensor<f32> { normal(&[1, 3, 32, 32], 0.0, 1.0, 3000 + seed) };
+    let float_truth: Vec<Tensor<f32>> = (0..CLIENTS * PER_CLIENT)
+        .map(|i| {
+            float_exec
+                .run_with_inputs(&float_prepared, &[probe(i)])
+                .outputs[0]
+                .1
+                .clone()
+        })
+        .collect();
+
+    // One deliberately malformed frame first: a well-delimited payload with
+    // a bogus frame type must come back as a typed error, and the same
+    // connection must keep working afterwards.
+    let mut abuser = NetClient::connect(addr).expect("connect");
+    let mut bad = encode_frame(&Frame::Ping { request_id: 1 });
+    bad[9] = 77;
+    abuser.send_raw(&bad).expect("send garbage");
+    match abuser.read_response().expect("typed reply to garbage") {
+        NetResponse::Error { code, .. } => {
+            assert_eq!(code, ErrorCode::Malformed, "garbage must map to Malformed");
+            println!("malformed frame -> typed {code:?} reply, connection alive");
+        }
+        other => panic!("garbage got {other:?}"),
+    }
+    assert!(abuser.ping().expect("ping after garbage"));
+    drop(abuser);
+
+    // Burst: each client interleaves both models on its own connection.
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let float_truth = float_truth.clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut served = Vec::new();
+                for r in 0..PER_CLIENT {
+                    let i = c * PER_CLIENT + r;
+                    let fresp = client
+                        .infer("resnet20-f32", vec![probe(i)])
+                        .expect("float infer");
+                    let fgot = fresp.output("logits").expect("float reply").clone();
+                    assert_eq!(
+                        fgot, float_truth[i as usize],
+                        "float wire reply differs bitwise from in-process"
+                    );
+                    let qresp = client
+                        .infer("resnet20-int", vec![probe(i)])
+                        .expect("quant infer");
+                    let qgot = qresp.output("logits").expect("quant reply").clone();
+                    served.push((i, qgot));
+                }
+                served
+            })
+        })
+        .collect();
+    let mut quant_served: Vec<(u64, Tensor<f32>)> = Vec::new();
+    for h in handles {
+        quant_served.extend(h.join().expect("client thread"));
+    }
+
+    let label = registry.calibration_label("resnet20-int").unwrap();
+    assert!(
+        label.starts_with("frozen"),
+        "calibration never froze under {} batches: {label}",
+        CLIENTS * PER_CLIENT
+    );
+    assert!(quant_prepared.is_calibrated());
+    println!("running calibration froze while serving: {label}");
+
+    let report = server.shutdown();
+    print!("{}", report.render());
+
+    // Post-freeze ground truth: every request served after the freeze must
+    // be bitwise identical to the (now frozen) in-process executor; every
+    // warming reply was served exact FP32 (direct conv), so it must sit on
+    // top of the direct-conv reference.
+    let reference = GraphExecutor::reference();
+    let ref_prepared = reference.prepare(&graph, &GraphRunOptions::default());
+    let mut post_freeze = 0usize;
+    for (i, got) in &quant_served {
+        let frozen = quant_exec
+            .run_with_inputs(&quant_prepared, &[probe(*i)])
+            .outputs[0]
+            .1
+            .clone();
+        if *got == frozen {
+            post_freeze += 1;
+        } else {
+            let direct = reference
+                .run_with_inputs(&ref_prepared, &[probe(*i)])
+                .outputs[0]
+                .1
+                .clone();
+            let err = got.relative_error(&direct);
+            assert!(
+                err < 1e-4,
+                "warming reply for probe {i} matches neither the FP32 \
+                 reference ({err}) nor the frozen integer path"
+            );
+        }
+    }
+    assert!(
+        post_freeze > 0,
+        "no request was served by the frozen integer pipeline"
+    );
+    println!(
+        "quantized model: {post_freeze}/{} replies from the frozen integer path, rest exact FP32",
+        quant_served.len()
+    );
+
+    let total = (CLIENTS * PER_CLIENT) as usize;
+    assert_eq!(
+        report.total_requests(),
+        2 * total,
+        "a request went unanswered"
+    );
+    assert_eq!(report.model("resnet20-f32").unwrap().requests, total);
+    assert_eq!(report.model("resnet20-int").unwrap().requests, total);
+    assert_eq!(report.total_dropped(), 0, "smoke load must not overload");
+    let int_report = report.model("resnet20-int").unwrap();
+    assert!(
+        int_report.calibration.starts_with("frozen"),
+        "stats table lost the calibration label: {}",
+        int_report.calibration
+    );
+    assert!(report.pool.workers_reported == 2);
+    println!("net serve smoke OK");
+}

@@ -1,0 +1,302 @@
+//! The network serving tier, end to end over loopback TCP.
+//!
+//! These tests pin the contracts ISSUE 7 ships: multi-model serving over a
+//! real socket is *bitwise* identical to the in-process executor; admission
+//! control degrades overload into explicit typed rejections while the
+//! accepted tail stays bounded; and no byte sequence a client can send —
+//! garbage payloads, lost framing, a mid-frame disconnect — takes down the
+//! handler pool.
+
+use std::sync::Arc;
+use std::time::Duration;
+use winograd_tapwise::wino_core::{GraphExecutor, GraphRunOptions};
+use winograd_tapwise::wino_nets::resnet20_graph;
+use winograd_tapwise::wino_serve::net::{
+    encode_frame, AdmissionControl, ErrorCode, Frame, ModelServeConfig, NetClient, NetResponse,
+    NetServer, NetServerConfig, RegistryBuilder,
+};
+use winograd_tapwise::wino_serve::BatchPolicy;
+use winograd_tapwise::wino_tensor::{normal, Tensor};
+
+fn probe(seed: u64) -> Tensor<f32> {
+    normal(&[1, 1, 32, 32], 0.0, 1.0, seed)
+}
+
+/// Two models served concurrently over loopback: every TCP reply must be
+/// bitwise identical to running the same tensor through the in-process
+/// executor sequentially.
+#[test]
+fn loopback_replies_are_bitwise_identical_to_in_process_runs() {
+    let executor = Arc::new(GraphExecutor::with_defaults());
+    let pa = Arc::new(executor.prepare(
+        &resnet20_graph().with_channel_div(4),
+        &GraphRunOptions::default(),
+    ));
+    let pb = Arc::new(executor.prepare(
+        &resnet20_graph().with_channel_div(8),
+        &GraphRunOptions { batch: 1, seed: 7 },
+    ));
+    // The in-process ground truth, computed before the server exists.
+    let expected: Vec<(String, Tensor<f32>, Tensor<f32>)> = (0..6)
+        .map(|i| {
+            let (name, p) = if i % 2 == 0 {
+                ("wide", &pa)
+            } else {
+                ("narrow", &pb)
+            };
+            let x = probe(100 + i);
+            let y = executor
+                .run_with_inputs(p, std::slice::from_ref(&x))
+                .outputs[0]
+                .1
+                .clone();
+            (name.to_string(), x, y)
+        })
+        .collect();
+
+    let registry = RegistryBuilder::new()
+        .model(
+            "wide",
+            Arc::clone(&executor),
+            pa,
+            ModelServeConfig::default(),
+        )
+        .model(
+            "narrow",
+            Arc::clone(&executor),
+            pb,
+            ModelServeConfig::default(),
+        )
+        .build();
+    let server = NetServer::bind("127.0.0.1:0", registry, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // One connection per request, all in flight concurrently.
+    let handles: Vec<_> = expected
+        .iter()
+        .cloned()
+        .map(|(model, x, want)| {
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                assert!(client.ping().expect("ping"), "pong must echo the id");
+                let resp = client.infer(&model, vec![x]).expect("infer io");
+                let got = resp.output("logits").expect("successful reply").clone();
+                assert_eq!(got, want, "TCP reply for {model} differs bitwise");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.total_requests(), 6);
+    assert_eq!(report.model("wide").unwrap().requests, 3);
+    assert_eq!(report.model("narrow").unwrap().requests, 3);
+    assert_eq!(report.total_dropped(), 0);
+}
+
+/// Overload: offered load far beyond one worker's capacity must split
+/// cleanly into successes and *explicit* overload rejections (nothing hangs,
+/// nothing is silently dropped), with the accepted tail latency bounded by
+/// the admission deadline rather than the offered queue length.
+#[test]
+fn overload_sheds_explicitly_and_bounds_the_accepted_tail() {
+    let executor = Arc::new(GraphExecutor::with_defaults());
+    let prepared = Arc::new(executor.prepare(
+        &resnet20_graph().with_channel_div(8),
+        &GraphRunOptions::default(),
+    ));
+    let deadline = Duration::from_millis(20);
+    let registry = RegistryBuilder::new()
+        .model(
+            "m",
+            Arc::clone(&executor),
+            prepared,
+            ModelServeConfig {
+                policy: BatchPolicy {
+                    max_batch: 2,
+                    max_wait: Duration::from_millis(1),
+                },
+                admission: AdmissionControl {
+                    max_queue: 2,
+                    deadline,
+                },
+                ..ModelServeConfig::default()
+            },
+        )
+        .build();
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        NetServerConfig {
+            connection_threads: 16,
+            workers: 1,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let clients = 16;
+    let per_client = 6;
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut ok = 0usize;
+                let mut overloaded = 0usize;
+                for r in 0..per_client {
+                    let resp = client
+                        .infer("m", vec![probe(c * 100 + r)])
+                        .expect("infer io");
+                    match resp {
+                        NetResponse::Reply { .. } => ok += 1,
+                        NetResponse::Error { code, .. } => {
+                            assert_eq!(
+                                code,
+                                ErrorCode::Overloaded,
+                                "only overload errors are acceptable here"
+                            );
+                            overloaded += 1;
+                        }
+                    }
+                }
+                (ok, overloaded)
+            })
+        })
+        .collect();
+    let (mut ok, mut overloaded) = (0usize, 0usize);
+    for h in handles {
+        let (o, v) = h.join().expect("client thread");
+        ok += o;
+        overloaded += v;
+    }
+
+    // Every request got exactly one explicit outcome.
+    assert_eq!(ok + overloaded, (clients * per_client) as usize);
+    assert!(ok > 0, "some requests must get through");
+    let report = server.shutdown();
+    let m = report.model("m").unwrap();
+    assert_eq!(m.requests, ok, "stats must count exactly the successes");
+    assert_eq!(
+        m.rejected + m.shed,
+        overloaded,
+        "every overload reply must be a counted rejection or shed"
+    );
+    assert!(
+        overloaded > 0,
+        "16 clients against max_queue=2 and one worker must overload"
+    );
+    // The point of admission control: accepted requests never queue past
+    // the deadline, so their tail is deadline + (a few batched runs), not
+    // the length of the offered backlog. 96 requests at ~5 ms each would
+    // tail near half a second if the queue were unbounded.
+    assert!(
+        m.queue_wait.p99 <= deadline + Duration::from_millis(40),
+        "accepted p99 queue wait {:?} blew past the {deadline:?} deadline",
+        m.queue_wait.p99
+    );
+    assert!(
+        m.latency.p99 <= Duration::from_millis(250),
+        "accepted p99 latency {:?} is unbounded under overload",
+        m.latency.p99
+    );
+}
+
+/// A garbage (well-framed, undecodable) payload gets a typed error and the
+/// *same* connection keeps serving; a desync drops the connection but the
+/// handler thread survives to serve new ones.
+#[test]
+fn malformed_frames_get_typed_errors_without_killing_the_pool() {
+    let executor = Arc::new(GraphExecutor::with_defaults());
+    let prepared = Arc::new(executor.prepare(
+        &resnet20_graph().with_channel_div(8),
+        &GraphRunOptions::default(),
+    ));
+    let x = probe(5);
+    let want = executor
+        .run_with_inputs(&prepared, std::slice::from_ref(&x))
+        .outputs[0]
+        .1
+        .clone();
+    let registry = RegistryBuilder::new()
+        .model(
+            "m",
+            Arc::clone(&executor),
+            prepared,
+            ModelServeConfig::default(),
+        )
+        .build();
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        registry,
+        NetServerConfig {
+            connection_threads: 1, // one handler: it must survive everything
+            workers: 1,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // 1. Garbage: a well-delimited frame with an unknown type byte.
+    let mut client = NetClient::connect(addr).unwrap();
+    let mut garbage = encode_frame(&Frame::Ping { request_id: 9 });
+    garbage[9] = 99; // corrupt the frame-type byte inside the payload
+    client.send_raw(&garbage).unwrap();
+    match client.read_response().unwrap() {
+        NetResponse::Error {
+            code, request_id, ..
+        } => {
+            assert_eq!(code, ErrorCode::Malformed);
+            assert_eq!(request_id, 0, "garbage cannot be attributed to a request");
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    // Same connection, still aligned, still serving.
+    let resp = client.infer("m", vec![x.clone()]).unwrap();
+    assert_eq!(
+        resp.output("logits"),
+        Some(&want),
+        "connection died after garbage"
+    );
+
+    // 2. Unknown model / bad shape: typed errors, connection lives.
+    let resp = client.infer("ghost", vec![x.clone()]).unwrap();
+    assert_eq!(resp.error_code(), Some(ErrorCode::UnknownModel));
+    let resp = client
+        .infer("m", vec![normal(&[1, 3, 32, 32], 0.0, 1.0, 1)])
+        .unwrap();
+    assert_eq!(resp.error_code(), Some(ErrorCode::BadShape));
+    // The single handler serves connections one at a time: release this one
+    // before the next client queues behind it.
+    drop(client);
+
+    // 3. Desync: bad magic loses framing; the server reports and hangs up.
+    let mut bad = NetClient::connect(addr).unwrap();
+    bad.send_raw(b"XXXXGARBAGEBYTES").unwrap();
+    match bad.read_response() {
+        Ok(NetResponse::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        Ok(other) => panic!("expected an error frame, got {other:?}"),
+        Err(_) => {} // connection already torn down — also acceptable
+    }
+
+    // 4. Mid-frame disconnect: send half a valid frame and vanish.
+    {
+        let mut half = NetClient::connect(addr).unwrap();
+        let full = encode_frame(&Frame::Ping { request_id: 3 });
+        half.send_raw(&full[..full.len() - 2]).unwrap();
+        // dropped here — the handler sees a truncation desync
+    }
+
+    // The single handler thread survived all of it: a fresh connection
+    // still gets bitwise-correct service.
+    let mut fresh = NetClient::connect(addr).unwrap();
+    assert!(fresh.ping().unwrap());
+    let resp = fresh.infer("m", vec![x]).unwrap();
+    assert_eq!(resp.output("logits"), Some(&want), "pool died after abuse");
+
+    let report = server.shutdown();
+    // Two requests actually served (post-garbage + fresh); the unknown-model
+    // and bad-shape submits were refused before ever queueing.
+    assert_eq!(report.model("m").unwrap().requests, 2);
+}

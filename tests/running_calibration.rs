@@ -1,0 +1,179 @@
+//! Running-statistics calibration of quantized graphs, end to end.
+//!
+//! PR 3 pinned the serving contract of *first-batch* calibration: freeze on a
+//! designated warmup batch before workers start. These tests pin the lifted
+//! contract — calibration as a *lifecycle*: a warming phase that folds every
+//! observed batch's activation ranges into per-node running averages (serving
+//! exact FP32 answers meanwhile), a freeze decision driven by range
+//! stability, and a frozen phase whose integer outputs are bitwise
+//! reproducible no matter what later traffic looks like.
+
+use winograd_tapwise::wino_core::{
+    CalibrationPolicy, CalibrationState, GraphExecutor, GraphRunOptions, WinogradQuantConfig,
+};
+use winograd_tapwise::wino_nets::{resnet20_graph, Graph};
+use winograd_tapwise::wino_tensor::{normal, Tensor};
+
+fn small_resnet20() -> Graph {
+    resnet20_graph().with_channel_div(4)
+}
+
+fn batch(std: f32, seed: u64) -> Tensor<f32> {
+    normal(&[1, 1, 32, 32], 0.0, std, seed)
+}
+
+/// Drifting traffic keeps the calibrator warming; once the drift settles the
+/// freeze fires, and the frozen input range reflects the late loud batches —
+/// not whatever the first batch happened to carry (the exact failure mode of
+/// first-batch-only calibration).
+#[test]
+fn drifting_traffic_converges_then_freezes() {
+    let exec = GraphExecutor::quantized(WinogradQuantConfig::default());
+    let p = exec.prepare(&small_resnet20(), &GraphRunOptions::default());
+    let cal = exec.running_calibration(
+        &p,
+        CalibrationPolicy {
+            momentum: 0.4,
+            min_batches: 3,
+            stability_tol: 0.05,
+            max_batches: 64,
+        },
+    );
+    assert_eq!(cal.state(), CalibrationState::Warming { batches: 0 });
+    assert!(!p.is_calibrated(), "observation must not pre-freeze");
+    assert_eq!(cal.tracked_nodes().len(), p.int_conv_count());
+
+    let mut frozen_on = None;
+    for b in 1..=40u64 {
+        // Range quadruples over the first four batches, then the traffic
+        // turns stationary.
+        let std = if b <= 4 {
+            0.25 * 2.0_f32.powi(b as i32)
+        } else {
+            4.0
+        };
+        let seed = if b <= 4 { b } else { 777 };
+        let run = exec.observe_with(&p, &[batch(std, seed)], &cal);
+        // Warming runs execute integer nodes on the FP32 observation path.
+        if cal.state()
+            == (CalibrationState::Warming {
+                batches: b as usize,
+            })
+        {
+            assert!(
+                run.nodes
+                    .iter()
+                    .any(|n| n.backend == Some("observe-direct")),
+                "warming batch {b} never hit the observation path"
+            );
+        }
+        if cal.state().is_frozen() {
+            frozen_on = Some(b);
+            break;
+        }
+    }
+    let frozen_on = frozen_on.expect("drift settled, so the freeze must fire");
+    assert!(
+        frozen_on > 4,
+        "froze at batch {frozen_on}, while ranges were still quadrupling"
+    );
+    assert!(p.is_calibrated(), "freeze must install every integer node");
+
+    // The frozen quantizers track the converged (loud) traffic: the first
+    // conv's input range must sit near the late std=4.0 batches, far above
+    // the std=0.5 range of batch one.
+    let first_int = cal.tracked_nodes()[0];
+    let frozen_max = cal.input_max_for(first_int).expect("tracked range");
+    assert!(
+        frozen_max > 4.0,
+        "frozen input range {frozen_max} is stuck at the early quiet batches"
+    );
+}
+
+/// The recalibration guard: once frozen, served outputs are pinned bitwise —
+/// across repeats, across interleaved extreme batches, and the integer path
+/// actually runs (no silent FP32 fallback).
+#[test]
+fn frozen_outputs_are_bitwise_reproducible() {
+    let exec = GraphExecutor::quantized(WinogradQuantConfig::default());
+    let p = exec.prepare(&small_resnet20(), &GraphRunOptions::default());
+    let cal = exec.running_calibration(&p, CalibrationPolicy::quick(2));
+    let probe = batch(1.0, 42);
+    while !cal.state().is_frozen() {
+        exec.observe_with(&p, std::slice::from_ref(&probe), &cal);
+    }
+
+    let a = exec.observe_with(&p, std::slice::from_ref(&probe), &cal);
+    assert!(
+        a.nodes
+            .iter()
+            .any(|n| n.backend == Some("int-winograd-tapwise")),
+        "frozen graph must run the integer pipeline"
+    );
+    // An extreme batch between the probes must not move anything.
+    let _ = exec.observe_with(&p, &[batch(50.0, 7)], &cal);
+    let b = exec.observe_with(&p, std::slice::from_ref(&probe), &cal);
+    assert_eq!(a.outputs[0].1, b.outputs[0].1, "frozen state drifted");
+    // And frozen observe_with is exactly run_with_inputs.
+    let c = exec.run_with_inputs(&p, std::slice::from_ref(&probe));
+    assert_eq!(
+        a.outputs[0].1, c.outputs[0].1,
+        "guard path diverged from run"
+    );
+}
+
+/// Warming replies are exact FP32: they match the reference executor, so
+/// clients served during calibration never see half-converged quantization.
+#[test]
+fn warming_replies_match_the_float_reference() {
+    let graph = small_resnet20();
+    let opts = GraphRunOptions::default();
+    let exec = GraphExecutor::quantized(WinogradQuantConfig::default());
+    let p = exec.prepare(&graph, &opts);
+    let cal = exec.running_calibration(&p, CalibrationPolicy::default());
+    let x = batch(1.0, 5);
+    let warm = exec.observe_with(&p, std::slice::from_ref(&x), &cal);
+    assert!(!cal.state().is_frozen());
+
+    let rexec = GraphExecutor::reference();
+    let rp = rexec.prepare(&graph, &opts);
+    let rrun = rexec.run_with_inputs(&rp, std::slice::from_ref(&x));
+    let err = warm.outputs[0].1.relative_error(&rrun.outputs[0].1);
+    assert!(
+        err < 1e-4,
+        "warming reply drifted from FP32 reference: {err}"
+    );
+}
+
+/// Float executors have nothing to calibrate: the calibrator is born static,
+/// and observing through it is a plain run.
+#[test]
+fn float_graphs_yield_static_calibrators() {
+    let exec = GraphExecutor::with_defaults();
+    let p = exec.prepare(&small_resnet20(), &GraphRunOptions::default());
+    let cal = exec.running_calibration(&p, CalibrationPolicy::default());
+    assert_eq!(cal.state(), CalibrationState::Static);
+    assert_eq!(cal.state().label(), "static");
+    let x = batch(1.0, 3);
+    let a = exec.observe_with(&p, std::slice::from_ref(&x), &cal);
+    let b = exec.run_with_inputs(&p, std::slice::from_ref(&x));
+    assert_eq!(a.outputs[0].1, b.outputs[0].1);
+}
+
+/// An already-warmed quantized graph is also static: running calibration
+/// refuses to reopen frozen first-batch state.
+#[test]
+fn warmed_graphs_yield_static_calibrators() {
+    let exec = GraphExecutor::quantized(WinogradQuantConfig::default());
+    let p = exec.prepare(&small_resnet20(), &GraphRunOptions::default());
+    exec.warmup(&p);
+    let cal = exec.running_calibration(&p, CalibrationPolicy::default());
+    assert_eq!(cal.state(), CalibrationState::Static);
+    let x = batch(1.0, 9);
+    let a = exec.observe_with(&p, std::slice::from_ref(&x), &cal);
+    let b = exec.run_with_inputs(&p, std::slice::from_ref(&x));
+    assert_eq!(
+        a.outputs[0].1, b.outputs[0].1,
+        "static observe must not mutate"
+    );
+}
