@@ -1,0 +1,63 @@
+//! Pins the cost of the `wino_trace` instrumentation at each detail level.
+//!
+//! The tentpole claim is *zero overhead when off*: every probe site in the
+//! kernels and the executor must collapse to one relaxed atomic load when
+//! `Detail::Off` is active. These benches measure the same quantized
+//! ResNet-20 end-to-end forward (the serving steady state) with tracing off,
+//! at `Spans` (node/request events) and at `Full` (per-phase kernel timing),
+//! plus the raw probe-site primitives, so a regression in the disabled path
+//! shows up as a diff in the `traced_resnet20/off` numbers rather than as a
+//! silent serving slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wino_core::{GraphExecutor, GraphRunOptions, WinogradQuantConfig};
+use wino_nets::resnet20_graph;
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let graph = resnet20_graph();
+    let executor = GraphExecutor::quantized(WinogradQuantConfig::default());
+    let prepared = executor.prepare(&graph, &GraphRunOptions::default());
+    executor.warmup(&prepared);
+
+    wino_trace::install(wino_trace::TraceConfig {
+        detail: wino_trace::Detail::Off,
+        ring_capacity: 16 * 1024,
+    });
+
+    let mut group = c.benchmark_group("traced_resnet20");
+    group.sample_size(10);
+    for (label, detail) in [
+        ("off", wino_trace::Detail::Off),
+        ("spans", wino_trace::Detail::Spans),
+        ("full", wino_trace::Detail::Full),
+    ] {
+        group.bench_function(label, |b| {
+            wino_trace::set_detail(detail);
+            b.iter(|| std::hint::black_box(executor.run(&prepared)));
+            wino_trace::set_detail(wino_trace::Detail::Off);
+        });
+    }
+    group.finish();
+
+    // The raw probe-site primitives, so a regression is attributable: the
+    // disabled span must cost a load + branch, the enabled one a ring write.
+    let sym = wino_trace::intern("bench-span");
+    let mut prim = c.benchmark_group("probe_sites");
+    prim.bench_function("span_off", |b| {
+        wino_trace::set_detail(wino_trace::Detail::Off);
+        b.iter(|| std::hint::black_box(wino_trace::span(sym, wino_trace::Category::Kernel, 1)));
+    });
+    prim.bench_function("span_on", |b| {
+        wino_trace::set_detail(wino_trace::Detail::Spans);
+        b.iter(|| std::hint::black_box(wino_trace::span(sym, wino_trace::Category::Kernel, 1)));
+        wino_trace::set_detail(wino_trace::Detail::Off);
+    });
+    prim.bench_function("phase_clock_off", |b| {
+        wino_trace::set_detail(wino_trace::Detail::Off);
+        b.iter(|| std::hint::black_box(wino_trace::PhaseClock::start()));
+    });
+    prim.finish();
+}
+
+criterion_group!(benches, bench_tracing_overhead);
+criterion_main!(benches);

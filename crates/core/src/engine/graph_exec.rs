@@ -41,6 +41,7 @@ use wino_tensor::{
     concat_channels_into, conv2d_direct, global_avg_pool, max_pool2d, relu_inplace,
     upsample_nearest_into, Tensor,
 };
+use wino_trace::{PhaseProbe, PhaseProfile};
 
 /// Options of one graph preparation: batch size and synthesis seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +93,10 @@ struct PreparedConv {
     /// residual add operand, and (on the integer path) the output
     /// requantization — all applied before the kernel's single store.
     epilogue: EpiloguePlan,
+    /// Per-phase profiling sink shared with the node's kernel state (the
+    /// float prepared conv at plan time, the integer one at calibration);
+    /// only written while `wino_trace::Detail::Full` is active.
+    probe: Arc<PhaseProbe>,
 }
 
 impl PreparedConv {
@@ -141,6 +146,9 @@ pub struct PreparedGraph {
     /// through untouched.
     absorbed_into: Vec<Option<usize>>,
     batch: usize,
+    /// One interned trace symbol per node (the node name), so the per-node
+    /// executor spans cost no allocation or interning on the hot path.
+    node_syms: Vec<wino_trace::Sym>,
 }
 
 impl PreparedGraph {
@@ -292,6 +300,29 @@ impl PreparedGraph {
             ConvState::IntWinograd(cell) => cell.lock().expect("int state poisoned").is_some(),
             _ => true,
         })
+    }
+
+    /// Per-node, per-phase kernel timings accumulated since preparation (or
+    /// the last [`PreparedGraph::reset_phase_profile`]), one row per conv
+    /// node in graph order. Empty totals unless runs executed while
+    /// `wino_trace::Detail::Full` was active — the probes cost one relaxed
+    /// atomic load per strip group otherwise.
+    pub fn phase_profile(&self) -> PhaseProfile {
+        PhaseProfile {
+            nodes: self
+                .convs
+                .iter()
+                .flatten()
+                .map(|c| c.probe.snapshot())
+                .collect(),
+        }
+    }
+
+    /// Zeroes every node's phase accumulators (a fresh measurement window).
+    pub fn reset_phase_profile(&self) {
+        for c in self.convs.iter().flatten() {
+            c.probe.reset();
+        }
     }
 }
 
@@ -665,6 +696,8 @@ impl GraphExecutor {
                         &[layer.c_out, layer.c_in, layer.kernel, layer.kernel],
                         node_seed,
                     );
+                    let probe = Arc::new(PhaseProbe::new(&node.name));
+                    probe.set_trace_id(id as u64);
                     let winograd_eligible =
                         plan.params.is_winograd_eligible() && plan.params.padding == 1;
                     let state = if self.reference {
@@ -677,7 +710,9 @@ impl GraphExecutor {
                             Kernel::WinogradF4 => TileSize::F4,
                             Kernel::Im2col => unreachable!("tile_m is Some"),
                         };
-                        ConvState::FloatWinograd(PreparedWinogradConv::prepare(&weights, tile))
+                        let mut prep = PreparedWinogradConv::prepare(&weights, tile);
+                        prep.set_probe(Arc::clone(&probe));
+                        ConvState::FloatWinograd(prep)
                     } else {
                         ConvState::Engine
                     };
@@ -705,11 +740,17 @@ impl GraphExecutor {
                         bias,
                         state,
                         epilogue,
+                        probe,
                     })
                 }
                 _ => None,
             });
         }
+        let node_syms = graph
+            .nodes()
+            .iter()
+            .map(|n| wino_trace::intern(&n.name))
+            .collect();
         PreparedGraph {
             graph: graph.clone(),
             shapes,
@@ -718,6 +759,7 @@ impl GraphExecutor {
             inputs,
             absorbed_into: fusion.absorbed_into,
             batch: opts.batch,
+            node_syms,
         }
     }
 
@@ -898,7 +940,9 @@ impl GraphExecutor {
                 weight: TapScaleMatrix::from_max_matrix(&fr.weight_taps, cfg.wino_bits, cfg.mode),
             };
             let input = QuantParams::from_max(fr.input_max, cfg.spatial_bits).to_power_of_two();
-            let conv = IntWinogradConv::prepare(&fr.weights, &scales, input, fr.output_max, cfg);
+            let mut conv =
+                IntWinogradConv::prepare(&fr.weights, &scales, input, fr.output_max, cfg);
+            conv.set_probe(Arc::clone(&pc.probe));
             *cell.lock().expect("int state poisoned") = Some(IntPrepared { conv, input });
         }
     }
@@ -936,6 +980,13 @@ impl GraphExecutor {
         let mut outputs = Vec::new();
 
         for (id, node) in graph.nodes().iter().enumerate() {
+            // One executor span per node (dead unless tracing is on — the
+            // constructor is a single relaxed load).
+            let _node_sp = wino_trace::span(
+                prepared.node_syms[id],
+                wino_trace::Category::Node,
+                id as u64,
+            );
             let start = Instant::now();
             let mut kernel = None;
             let mut backend = None;
@@ -1222,16 +1273,10 @@ impl GraphExecutor {
                     let input =
                         QuantParams::from_max(x.abs_max(), cfg.spatial_bits).to_power_of_two();
                     let output_max = estimate_output_max(x, &pc.weights);
-                    IntPrepared {
-                        conv: IntWinogradConv::prepare(
-                            &pc.weights,
-                            &scales,
-                            input,
-                            output_max,
-                            cfg,
-                        ),
-                        input,
-                    }
+                    let mut conv =
+                        IntWinogradConv::prepare(&pc.weights, &scales, input, output_max, cfg);
+                    conv.set_probe(Arc::clone(&pc.probe));
+                    IntPrepared { conv, input }
                 });
                 let xq = crate::quant::quantize_to_i8(x, st.input);
                 let y = if self.per_tile {

@@ -20,9 +20,14 @@ use crate::quant::{QuantBits, QuantParams};
 use crate::scratch::{strip_group_len, with_tap_scratch};
 use crate::tapwise::{ScaleMode, TapwiseScales};
 use crate::transform::{weight_transform, TileGrid};
+use crate::winograd::{
+    kernel_block_span, INPUT_STAGE_SYM, MERGE_SYM, OUTPUT_STAGE_SYM, TAP_GEMM_SYM,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use wino_tensor::{gemm_i16_i32_into, parallel_map, simd, split_ranges, Element, Tensor};
+use wino_trace::{Phase, PhaseClock, PhaseProbe};
 
 /// Largest input-tile area on the integer path (F4: `t = 6`), sizing the
 /// fixed per-tap scale table.
@@ -129,6 +134,8 @@ pub struct IntWinogradConv {
     input_scale: f32,
     /// Quantizer of the spatial-domain output.
     output_params: QuantParams,
+    /// Optional per-phase profiling sink (attached by the graph executor).
+    probe: Option<Arc<PhaseProbe>>,
 }
 
 impl IntWinogradConv {
@@ -216,7 +223,20 @@ impl IntWinogradConv {
             input_tap_scales,
             input_scale: input_params.scale,
             output_params,
+            probe: None,
         }
+    }
+
+    /// Attaches a phase probe: every tap-major forward accumulates its
+    /// per-phase block timings there (only while `wino_trace::Detail::Full`
+    /// is active).
+    pub fn set_probe(&mut self, probe: Arc<PhaseProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// The attached phase probe, if any.
+    pub fn probe(&self) -> Option<&Arc<PhaseProbe>> {
+        self.probe.as_ref()
     }
 
     /// The pipeline configuration.
@@ -474,6 +494,8 @@ impl IntWinogradConv {
                 .sum();
             let mut buf = vec![O::default(); buf_len];
             with_tap_scratch(|scr| {
+                let mut clock = PhaseClock::start();
+                let probe = self.probe.as_deref();
                 let (v, mm, da, db, ea, eb) = scr.int_panels(
                     tt * self.c_in * ntiles,
                     tt * self.c_out * ntiles,
@@ -483,6 +505,7 @@ impl IntWinogradConv {
 
                 // --- gather: integer transform (SoA over tile lanes) +
                 //     tap-wise requantization into V[tap][c_in][tile] ---
+                let input_sp = kernel_block_span(&INPUT_STAGE_SYM, "wino_input_stage", probe);
                 for ci in 0..self.c_in {
                     // Extract this channel's tiles into SoA lanes with zero
                     // padding: da[(dy·t + dx)·ntiles + tile].
@@ -511,6 +534,7 @@ impl IntWinogradConv {
                             }
                         }
                     }
+                    clock.lap(Phase::Gather);
                     // Stage 1: db[r][c] = Σ_k Bᵀ[r,k] · da[k][c]. `i32` is
                     // exact: |d| < 2¹⁵ and the F2/F4 Bᵀ entries are tiny;
                     // the SIMD lanes are exact too, so every kernel variant
@@ -549,9 +573,12 @@ impl IntWinogradConv {
                             }
                         }
                     }
+                    clock.lap(Phase::InputTransform);
                 }
+                drop(input_sp);
 
                 // --- one integer GEMM per tap (the batched MatMul) ---
+                let gemm_sp = kernel_block_span(&TAP_GEMM_SYM, "wino_tap_gemm", probe);
                 for tap in 0..tt {
                     gemm_i16_i32_into(
                         &mut mm[tap * self.c_out * ntiles..(tap + 1) * self.c_out * ntiles],
@@ -563,8 +590,11 @@ impl IntWinogradConv {
                         ntiles,
                     );
                 }
+                clock.lap(Phase::TapGemm);
+                drop(gemm_sp);
 
                 // --- per-tap rescale, back-transformation (SoA), epilogue ---
+                let output_sp = kernel_block_span(&OUTPUT_STAGE_SYM, "wino_output_stage", probe);
                 let strip_offs: Vec<usize> = range
                     .clone()
                     .scan(0usize, |off, s| {
@@ -615,6 +645,7 @@ impl IntWinogradConv {
                             }
                         }
                     }
+                    clock.lap(Phase::OutputTransform);
                     // Emit (quantize + epilogue) + scatter into the strip
                     // rows; `emit` sees the global NCHW index so a fused
                     // residual can be read in-register before the store.
@@ -637,6 +668,11 @@ impl IntWinogradConv {
                             }
                         }
                     }
+                    clock.lap(Phase::Epilogue);
+                }
+                drop(output_sp);
+                if let Some(p) = probe {
+                    clock.flush(p);
                 }
             });
             buf
@@ -649,6 +685,8 @@ impl IntWinogradConv {
     /// residual operand itself — every element is overwritten, and the
     /// scatter phase has already read everything it needed.
     fn tap_major_merge<O: Element>(&self, bufs: &[Vec<O>], y: &mut Tensor<O>) {
+        let merge_sp = kernel_block_span(&MERGE_SYM, "wino_merge", self.probe.as_deref());
+        let mut merge_clock = PhaseClock::start();
         let (n, h, w) = (y.dims()[0], y.dims()[2], y.dims()[3]);
         let m = self.mats.output_tile();
         let t = self.mats.input_tile();
@@ -675,6 +713,11 @@ impl IntWinogradConv {
                 off += self.c_out * strip_h * w;
             }
         }
+        merge_clock.lap(Phase::Scatter);
+        if let Some(p) = self.probe.as_deref() {
+            merge_clock.flush(p);
+        }
+        drop(merge_sp);
     }
 
     /// Whether the tap-major `i32` accumulators are provably exact: the worst

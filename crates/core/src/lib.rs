@@ -76,4 +76,5 @@ pub use quant::{dequantize, quantize_symmetric, QuantBits, QuantParams};
 pub use scratch::tap_scratch_bytes;
 pub use tapwise::{ScaleMode, TapScaleMatrix, TapwiseScales};
 pub use transform::{input_transform, output_transform, weight_transform};
+pub use wino_trace::{Phase, PhaseProbe, PhaseProfile, PhaseSnapshot, PHASE_COUNT};
 pub use winograd::{winograd_conv2d, winograd_conv2d_fake_quant, PreparedWinogradConv};

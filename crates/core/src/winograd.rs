@@ -28,8 +28,31 @@ use crate::quant::QuantParams;
 use crate::scratch::{strip_group_len, with_tap_scratch};
 use crate::tapwise::{TapScaleMatrix, TapwiseScales};
 use crate::transform::{congruence_into, TileGrid};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use wino_tensor::{gemm_f32_into, parallel_map, simd, split_ranges, Tensor};
+use wino_trace::{Phase, PhaseClock, PhaseProbe};
+
+/// A full-detail chrome span over one contiguous kernel block (the input
+/// stage, the tap-GEMM loop, the output stage or the strip merge), carrying
+/// the owning probe's trace id so the viewer can group blocks by graph node.
+/// The off-path is one relaxed atomic load.
+pub(crate) fn kernel_block_span(
+    cell: &'static OnceLock<wino_trace::Sym>,
+    name: &'static str,
+    probe: Option<&PhaseProbe>,
+) -> Option<wino_trace::Span> {
+    if !wino_trace::full_enabled() {
+        return None;
+    }
+    let sym = *cell.get_or_init(|| wino_trace::intern(name));
+    let id = probe.map_or(0, PhaseProbe::trace_id);
+    Some(wino_trace::span_full(sym, wino_trace::Category::Phase, id))
+}
+
+pub(crate) static INPUT_STAGE_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+pub(crate) static TAP_GEMM_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+pub(crate) static OUTPUT_STAGE_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+pub(crate) static MERGE_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
 
 /// Below this many total tiles per call the per-tap GEMM's `N` dimension
 /// (the tile count) cannot fill the microkernel lanes (e.g. a 7×7 / F4 layer
@@ -125,6 +148,7 @@ fn winograd_conv2d_with(
         scales.map(|s| &s.input),
         spatial_input,
         &EpilogueOps::none(),
+        None,
     )
 }
 
@@ -232,6 +256,7 @@ fn axpy(dst: &mut [f32], coeff: f32, src: &[f32]) {
 /// pre-residual ReLU while the SoA row is hot, the residual read and the
 /// post-residual ReLU at scatter time (where the output coordinate — and
 /// with it the residual element — is known).
+#[allow(clippy::too_many_arguments)]
 fn winograd_forward_tap_major(
     x: &Tensor<f32>,
     u: TapWeights<'_>,
@@ -240,8 +265,19 @@ fn winograd_forward_tap_major(
     input_scales: Option<&TapScaleMatrix>,
     spatial_input: Option<QuantParams>,
     epi: &EpilogueOps,
+    probe: Option<&PhaseProbe>,
 ) -> Tensor<f32> {
-    winograd_forward_tap_major_impl(x, u, c_out, mats, input_scales, spatial_input, epi, None)
+    winograd_forward_tap_major_impl(
+        x,
+        u,
+        c_out,
+        mats,
+        input_scales,
+        spatial_input,
+        epi,
+        None,
+        probe,
+    )
 }
 
 /// [`winograd_forward_tap_major`] with an optional **owned** residual: when
@@ -259,6 +295,7 @@ fn winograd_forward_tap_major_impl(
     spatial_input: Option<QuantParams>,
     epi: &EpilogueOps,
     reuse: Option<Tensor<f32>>,
+    probe: Option<&PhaseProbe>,
 ) -> Tensor<f32> {
     assert_eq!(x.rank(), 4, "winograd_conv2d: input must be NCHW");
     let (n, c_in, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
@@ -328,6 +365,7 @@ fn winograd_forward_tap_major_impl(
             .sum();
         let mut buf = vec![0.0_f32; buf_len];
         with_tap_scratch(|scr| {
+            let mut clock = PhaseClock::start();
             // Channel-laned groups need a second M panel: the GEMM writes
             // `[tile][co]` rows which are then transposed into the standard
             // SoA `[co][tile]` layout the back-transform consumes.
@@ -340,6 +378,7 @@ fn winograd_forward_tap_major_impl(
             let x_s = x_ref.as_slice();
 
             // --- gather + input transformation into V[tap][c_in][tile] ---
+            let input_sp = kernel_block_span(&INPUT_STAGE_SYM, "wino_input_stage", probe);
             for ci in 0..c_in {
                 // Extract this channel's tiles into SoA lanes:
                 // da[(dy·t + dx)·ntiles + tile] with zero padding.
@@ -367,6 +406,7 @@ fn winograd_forward_tap_major_impl(
                         }
                     }
                 }
+                clock.lap(Phase::Gather);
                 // Stage 1: db[r][c] = Σ_k Bᵀ[r,k] · da[k][c], vector over tiles.
                 for r in 0..t {
                     for c in 0..t {
@@ -438,9 +478,12 @@ fn winograd_forward_tap_major_impl(
                         }
                     }
                 }
+                clock.lap(Phase::InputTransform);
             }
+            drop(input_sp);
 
             // --- one dense GEMM per tap ---
+            let gemm_sp = kernel_block_span(&TAP_GEMM_SYM, "wino_tap_gemm", probe);
             // Tile-laned: M[tap] = U[tap] · V[tap]
             // (`[C_out × C_in] · [C_in × tiles]`). Channel-laned (thin
             // layers): the operands are transposed — M'[tap] = V'[tap] ·
@@ -486,8 +529,11 @@ fn winograd_forward_tap_major_impl(
                 }
                 mm
             };
+            clock.lap(Phase::TapGemm);
+            drop(gemm_sp);
 
             // --- output transformation (SoA) + fused epilogue ---
+            let output_sp = kernel_block_span(&OUTPUT_STAGE_SYM, "wino_output_stage", probe);
             // Per-strip offsets into the group buffer.
             let strip_offs: Vec<usize> = range
                 .clone()
@@ -546,6 +592,7 @@ fn winograd_forward_tap_major_impl(
                         }
                     }
                 }
+                clock.lap(Phase::OutputTransform);
                 // Scatter the SoA rows into the strip rows, cropping ragged
                 // borders; the residual tail rides here, in-register between
                 // load and store.
@@ -576,6 +623,11 @@ fn winograd_forward_tap_major_impl(
                         }
                     }
                 }
+                clock.lap(Phase::Epilogue);
+            }
+            drop(output_sp);
+            if let Some(p) = probe {
+                clock.flush(p);
             }
         });
         buf
@@ -584,6 +636,8 @@ fn winograd_forward_tap_major_impl(
     // The scatter above has read every residual element it needs; an owned
     // residual can now become the output, its buffer overwritten row by row
     // (the merge covers every element, so no stale value survives).
+    let merge_sp = kernel_block_span(&MERGE_SYM, "wino_merge", probe);
+    let mut merge_clock = PhaseClock::start();
     let mut y = match reuse {
         Some(t) => t,
         None => Tensor::<f32>::zeros(&[n, c_out, h, wd]),
@@ -606,6 +660,11 @@ fn winograd_forward_tap_major_impl(
             off += c_out * strip_h * wd;
         }
     }
+    merge_clock.lap(Phase::Scatter);
+    if let Some(p) = probe {
+        merge_clock.flush(p);
+    }
+    drop(merge_sp);
     y
 }
 
@@ -753,6 +812,8 @@ pub struct PreparedWinogradConv {
     /// thin-layer forward (most prepared layers never run the thin path, and
     /// an eager copy would grow every node's weight footprint by a third).
     u_tap_t: OnceLock<Vec<f32>>,
+    /// Optional per-phase profiling sink (attached by the graph executor).
+    probe: Option<Arc<PhaseProbe>>,
 }
 
 impl PreparedWinogradConv {
@@ -774,7 +835,20 @@ impl PreparedWinogradConv {
             u,
             u_tap,
             u_tap_t: OnceLock::new(),
+            probe: None,
         }
+    }
+
+    /// Attaches a phase probe: every tap-major forward over these weights
+    /// accumulates its per-phase block timings there (only while
+    /// `wino_trace::Detail::Full` is active).
+    pub fn set_probe(&mut self, probe: Arc<PhaseProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// The attached phase probe, if any.
+    pub fn probe(&self) -> Option<&Arc<PhaseProbe>> {
+        self.probe.as_ref()
     }
 
     /// The tile size the weights were transformed for.
@@ -877,7 +951,16 @@ impl PreparedWinogradConv {
             return y;
         }
         let u = self.gemm_weights(x.dims()[0], x.dims()[2], x.dims()[3]);
-        winograd_forward_tap_major(x, u, self.c_out, &self.mats, None, None, epi)
+        winograd_forward_tap_major(
+            x,
+            u,
+            self.c_out,
+            &self.mats,
+            None,
+            None,
+            epi,
+            self.probe.as_deref(),
+        )
     }
 
     /// [`PreparedWinogradConv::forward_with_epilogue`] with an **owned**
@@ -936,6 +1019,7 @@ impl PreparedWinogradConv {
             None,
             &epi,
             Some(residual),
+            self.probe.as_deref(),
         )
     }
 

@@ -50,8 +50,8 @@ pub mod server;
 pub mod stats;
 
 pub use net::{
-    AdmissionControl, ModelRegistry, ModelReply, ModelServeConfig, NetClient, NetResponse,
-    NetServer, NetServerConfig, RegistryBuilder, RegistryServer, SubmitError,
+    AdmissionControl, ModelRegistry, ModelReply, ModelServeConfig, ModelStatsEntry, NetClient,
+    NetResponse, NetServer, NetServerConfig, RegistryBuilder, RegistryServer, SubmitError,
 };
 pub use scheduler::{Batch, BatchPolicy, BatchScheduler};
 pub use server::{InferenceReply, InferenceServer, PendingInference, ServeClient, ServerConfig};

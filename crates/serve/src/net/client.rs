@@ -7,9 +7,10 @@
 //! connections. [`NetClient::send_raw`] exists so tests can put arbitrary
 //! (malformed) bytes on the wire.
 
-use super::protocol::{encode_frame, read_frame, ErrorCode, Frame, FrameRead};
+use super::protocol::{encode_frame, read_frame, ErrorCode, Frame, FrameRead, ModelStatsEntry};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 use wino_tensor::Tensor;
 
 /// What the server answered.
@@ -144,6 +145,49 @@ impl NetClient {
             .write_all(&encode_frame(&Frame::Ping { request_id }))?;
         match self.read_server_frame()? {
             Frame::Pong { request_id: echoed } => Ok(echoed == request_id),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Round-trips a ping and returns the measured wall-clock round-trip
+    /// time. The sample is also recorded into the `net.client.ping_rtt_us`
+    /// histogram of the process-wide metrics registry.
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] if the server echoes the
+    /// wrong id.
+    pub fn ping_rtt(&mut self) -> io::Result<Duration> {
+        let start = Instant::now();
+        if !self.ping()? {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "pong echoed a different request id",
+            ));
+        }
+        let rtt = start.elapsed();
+        wino_trace::histogram("net.client.ping_rtt_us").record(rtt.as_micros() as u64);
+        Ok(rtt)
+    }
+
+    /// Fetches the server's live stats: one structured entry per model plus
+    /// the rendered stats-and-metrics text.
+    pub fn stats(&mut self) -> io::Result<(Vec<ModelStatsEntry>, String)> {
+        let request_id = self.fresh_id();
+        self.writer
+            .write_all(&encode_frame(&Frame::Stats { request_id }))?;
+        match self.read_server_frame()? {
+            Frame::StatsReply {
+                request_id: echoed,
+                models,
+                text,
+            } => {
+                if echoed != request_id {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("stats reply for request {echoed}, expected {request_id}"),
+                    ));
+                }
+                Ok((models, text))
+            }
             other => Err(unexpected(&other)),
         }
     }

@@ -20,8 +20,8 @@ pub mod server;
 
 pub use client::{NetClient, NetResponse};
 pub use protocol::{
-    decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, FrameRead, WireError,
-    MAGIC, MAX_FRAME_BYTES, VERSION,
+    decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, FrameRead,
+    ModelStatsEntry, WireError, MAGIC, MAX_FRAME_BYTES, VERSION,
 };
 pub use registry::{
     AdmissionControl, ModelRegistry, ModelReply, ModelServeConfig, PendingReply, RegistryBuilder,

@@ -151,6 +151,39 @@ pub enum Frame {
         /// Echo of the ping id.
         request_id: u64,
     },
+    /// Client → server: fetch the live serving statistics.
+    Stats {
+        /// Echoed in the reply.
+        request_id: u64,
+    },
+    /// Server → client: live statistics, structured per model plus the full
+    /// rendered report (per-model [`crate::StatsReport`]s and the process
+    /// metrics registry).
+    StatsReply {
+        /// Echo of the request id.
+        request_id: u64,
+        /// One structured row per registered model.
+        models: Vec<ModelStatsEntry>,
+        /// The full human-readable report.
+        text: String,
+    },
+}
+
+/// One model's structured row in a [`Frame::StatsReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStatsEntry {
+    /// Registry name.
+    pub name: String,
+    /// Requests completed.
+    pub requests: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+    /// Requests shed from the queue after admission.
+    pub shed: u64,
+    /// Requests queued right now.
+    pub queue_depth: u64,
+    /// Calibration state label (`"calibrated"`, `"warming(3/8)"`, …).
+    pub calibration: String,
 }
 
 impl Frame {
@@ -161,6 +194,8 @@ impl Frame {
             Frame::Error { .. } => 3,
             Frame::Ping { .. } => 4,
             Frame::Pong { .. } => 5,
+            Frame::Stats { .. } => 6,
+            Frame::StatsReply { .. } => 7,
         }
     }
 
@@ -171,7 +206,9 @@ impl Frame {
             | Frame::InferReply { request_id, .. }
             | Frame::Error { request_id, .. }
             | Frame::Ping { request_id }
-            | Frame::Pong { request_id } => *request_id,
+            | Frame::Pong { request_id }
+            | Frame::Stats { request_id }
+            | Frame::StatsReply { request_id, .. } => *request_id,
         }
     }
 }
@@ -184,6 +221,15 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     assert!(bytes.len() <= u16::MAX as usize, "string too long for wire");
     buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+/// u32-length-prefixed string — for report bodies that can outgrow the u16
+/// prefix of [`put_str`] (a stats reply carries whole rendered tables).
+fn put_str32(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u32::MAX as usize, "string too long for wire");
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
     buf.extend_from_slice(bytes);
 }
 
@@ -233,7 +279,19 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             payload.push(*code as u8);
             put_str(&mut payload, message);
         }
-        Frame::Ping { .. } | Frame::Pong { .. } => {}
+        Frame::Ping { .. } | Frame::Pong { .. } | Frame::Stats { .. } => {}
+        Frame::StatsReply { models, text, .. } => {
+            payload.push(u8::try_from(models.len()).expect("model count fits u8"));
+            for m in models {
+                put_str(&mut payload, &m.name);
+                payload.extend_from_slice(&m.requests.to_le_bytes());
+                payload.extend_from_slice(&m.rejected.to_le_bytes());
+                payload.extend_from_slice(&m.shed.to_le_bytes());
+                payload.extend_from_slice(&m.queue_depth.to_le_bytes());
+                put_str(&mut payload, &m.calibration);
+            }
+            put_str32(&mut payload, text);
+        }
     }
     assert!(
         payload.len() <= MAX_FRAME_BYTES,
@@ -285,6 +343,12 @@ impl<'a> Cursor<'a> {
     fn string(&mut self) -> Result<String, WireError> {
         let len = self.u16("string length")? as usize;
         let bytes = self.take(len, "string bytes")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string not UTF-8"))
+    }
+
+    fn string32(&mut self) -> Result<String, WireError> {
+        let len = self.u32("long string length")? as usize;
+        let bytes = self.take(len, "long string bytes")?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string not UTF-8"))
     }
 
@@ -376,6 +440,28 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         }
         4 => Frame::Ping { request_id },
         5 => Frame::Pong { request_id },
+        6 => Frame::Stats { request_id },
+        7 => {
+            let n = c.u8("model count")? as usize;
+            let models = (0..n)
+                .map(|_| {
+                    Ok(ModelStatsEntry {
+                        name: c.string()?,
+                        requests: c.u64("requests")?,
+                        rejected: c.u64("rejected")?,
+                        shed: c.u64("shed")?,
+                        queue_depth: c.u64("queue depth")?,
+                        calibration: c.string()?,
+                    })
+                })
+                .collect::<Result<_, WireError>>()?;
+            let text = c.string32()?;
+            Frame::StatsReply {
+                request_id,
+                models,
+                text,
+            }
+        }
         other => return Err(WireError::UnknownFrameType(other)),
     };
     c.finish()?;
@@ -497,6 +583,34 @@ mod tests {
                 ("logits".to_string(), normal(&[1, 10], 0.0, 1.0, 4)),
                 ("aux".to_string(), normal(&[1, 2, 3, 4], 0.0, 1.0, 5)),
             ],
+        });
+        round_trip(Frame::Stats { request_id: 12 });
+        round_trip(Frame::StatsReply {
+            request_id: 12,
+            models: vec![
+                ModelStatsEntry {
+                    name: "resnet20".to_string(),
+                    requests: 41,
+                    rejected: 2,
+                    shed: 1,
+                    queue_depth: 3,
+                    calibration: "calibrated".to_string(),
+                },
+                ModelStatsEntry {
+                    name: "vgg9".to_string(),
+                    requests: 0,
+                    rejected: 0,
+                    shed: 0,
+                    queue_depth: 0,
+                    calibration: "warming(0/8)".to_string(),
+                },
+            ],
+            text: "requests: 41\nmetric  kind  value\n".repeat(40),
+        });
+        round_trip(Frame::StatsReply {
+            request_id: 13,
+            models: Vec::new(),
+            text: String::new(),
         });
     }
 

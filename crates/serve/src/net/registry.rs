@@ -22,17 +22,34 @@
 //!   batch takes the normal frozen integer path. The per-model stats carry
 //!   the lifecycle label the whole way.
 
+use crate::net::protocol::ModelStatsEntry;
 use crate::scheduler::{Batch, BatchPolicy, BatchScheduler};
 use crate::server::InferenceReply;
 use crate::stats::{MultiModelReport, ServerStats};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wino_core::{
     ActivationArena, CalibrationPolicy, GraphExecutor, PreparedGraph, RunningCalibration,
 };
 use wino_tensor::{batch_slice, concat_batch, Tensor};
+use wino_trace::Category;
+
+/// Lazily interned scheduler-event symbols ([`Category::Serve`]); the
+/// interner's lock is only ever taken once per name, and only when tracing
+/// is actually on.
+fn serve_sym(cell: &'static OnceLock<wino_trace::Sym>, name: &'static str) -> wino_trace::Sym {
+    *cell.get_or_init(|| wino_trace::intern(name))
+}
+
+static ENQUEUE_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+static REJECT_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+static DISPATCH_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+static SHED_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+static FREEZE_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+static BATCH_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
 
 /// Load-shedding bounds of one model's queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +166,9 @@ struct ModelRequest {
     inputs: Vec<Tensor<f32>>,
     submitted: Instant,
     reply: mpsc::Sender<ModelReply>,
+    /// Correlates this request's scheduler events with the network layer's
+    /// request span (the wire `request_id`; 0 for in-process submits).
+    trace_id: u64,
 }
 
 /// One registered model: its executor, prepared graph, queue and telemetry.
@@ -210,7 +230,7 @@ impl RegistryBuilder {
         if !prepared.is_calibrated() {
             executor.warmup(&prepared);
         }
-        let stats = ServerStats::new();
+        let stats = ServerStats::with_metrics(&format!("serve.{name}"));
         stats.set_calibration("static".to_string());
         self.push(name, executor, prepared, None, stats, config)
     }
@@ -233,7 +253,7 @@ impl RegistryBuilder {
         policy: CalibrationPolicy,
     ) -> Self {
         let cal = executor.running_calibration(&prepared, policy);
-        let stats = ServerStats::new();
+        let stats = ServerStats::with_metrics(&format!("serve.{name}"));
         stats.set_calibration(cal.state().label());
         self.push(name, executor, prepared, Some(cal), stats, config)
     }
@@ -254,6 +274,7 @@ impl RegistryBuilder {
         assert!(config.weight >= 1, "model weight must be >= 1");
         stats.set_fusion(prepared.fused_node_count(), prepared.elided_bytes());
         stats.set_kernel(prepared.simd_kernel());
+        stats.set_scratch_bytes(prepared.scratch_bytes());
         self.models.push(ModelEntry {
             name: name.to_string(),
             executor,
@@ -349,6 +370,19 @@ impl ModelRegistry {
         model: &str,
         inputs: Vec<Tensor<f32>>,
     ) -> Result<PendingReply, SubmitError> {
+        self.submit_traced(model, inputs, 0)
+    }
+
+    /// [`ModelRegistry::submit`] with an explicit trace correlation id: the
+    /// network layer passes the wire `request_id` so the request's
+    /// enqueue/dispatch/shed scheduler events line up under its handler span
+    /// in the exported trace.
+    pub fn submit_traced(
+        &self,
+        model: &str,
+        inputs: Vec<Tensor<f32>>,
+        trace_id: u64,
+    ) -> Result<PendingReply, SubmitError> {
         let entry = self
             .models
             .iter()
@@ -357,6 +391,9 @@ impl ModelRegistry {
         validate_inputs(&entry.prepared, &inputs).map_err(SubmitError::BadShape)?;
         if entry.scheduler.depth() >= entry.config.admission.max_queue {
             entry.stats.record_rejected();
+            if wino_trace::enabled() {
+                wino_trace::instant(serve_sym(&REJECT_SYM, "reject"), Category::Serve, trace_id);
+            }
             return Err(SubmitError::Overloaded);
         }
         let (tx, rx) = mpsc::channel();
@@ -364,9 +401,17 @@ impl ModelRegistry {
             inputs,
             submitted: Instant::now(),
             reply: tx,
+            trace_id,
         });
         if !accepted {
             return Err(SubmitError::Shutdown);
+        }
+        if wino_trace::enabled() {
+            wino_trace::instant(
+                serve_sym(&ENQUEUE_SYM, "enqueue"),
+                Category::Serve,
+                trace_id,
+            );
         }
         // Hand-over-hand with the workers' wait: taking and dropping the
         // lock orders this submit against any worker that just scanned
@@ -438,6 +483,37 @@ impl ModelRegistry {
         }
         drop(closed);
         self.ready.notify_all();
+    }
+
+    /// A live (non-draining) snapshot for the `Frame::Stats` wire request:
+    /// one structured [`ModelStatsEntry`] per model, plus the full rendered
+    /// text — every model's stats table followed by the process-wide
+    /// `wino_trace` metrics registry.
+    pub fn stats_report(&self) -> (Vec<ModelStatsEntry>, String) {
+        let mut text = String::new();
+        let entries = self
+            .models
+            .iter()
+            .map(|m| {
+                if let Some(cal) = &m.calibration {
+                    m.stats.set_calibration(cal.state().label());
+                }
+                let r = m.stats.report();
+                let _ = writeln!(text, "== model {} ==", m.name);
+                text.push_str(&r.render());
+                ModelStatsEntry {
+                    name: m.name.clone(),
+                    requests: r.requests as u64,
+                    rejected: r.rejected as u64,
+                    shed: r.shed as u64,
+                    queue_depth: m.scheduler.depth() as u64,
+                    calibration: r.calibration,
+                }
+            })
+            .collect();
+        text.push_str("== metrics ==\n");
+        text.push_str(&wino_trace::render_metrics());
+        (entries, text)
     }
 
     /// The final multi-model report.
@@ -553,14 +629,29 @@ fn worker_loop(registry: &ModelRegistry) {
         let deadline = entry.config.admission.deadline;
         let mut accepted = Vec::with_capacity(batch.items.len());
         let mut accepted_waits = Vec::with_capacity(batch.waits.len());
+        let tracing = wino_trace::enabled();
         for (req, wait) in batch.items.into_iter().zip(batch.waits) {
             if wait > deadline {
                 // Deadline-based shedding: running it now would only return
                 // an answer the client stopped waiting for, while delaying
                 // everyone behind it.
                 entry.stats.record_shed();
+                if tracing {
+                    wino_trace::instant(
+                        serve_sym(&SHED_SYM, "shed"),
+                        Category::Serve,
+                        req.trace_id,
+                    );
+                }
                 let _ = req.reply.send(ModelReply::Overloaded { queued_for: wait });
             } else {
+                if tracing {
+                    wino_trace::instant(
+                        serve_sym(&DISPATCH_SYM, "dispatch"),
+                        Category::Serve,
+                        req.trace_id,
+                    );
+                }
                 accepted.push(req);
                 accepted_waits.push(wait);
             }
@@ -568,6 +659,19 @@ fn worker_loop(registry: &ModelRegistry) {
         if accepted.is_empty() {
             continue;
         }
+        // The batch span's id packs (model index, images) so a trace viewer
+        // can tell whose batch it was without a per-model symbol.
+        let batch_sp = tracing.then(|| {
+            wino_trace::span(
+                serve_sym(&BATCH_SYM, "batch"),
+                Category::Serve,
+                ((idx as u64) << 32) | accepted.len() as u64,
+            )
+        });
+        let was_warming = entry
+            .calibration
+            .as_ref()
+            .is_some_and(|cal| !cal.state().label().starts_with("frozen"));
         let run_start = Instant::now();
         let n_inputs = entry.prepared.graph().input_ids().len();
         let counts: Vec<usize> = accepted.iter().map(|r| r.inputs[0].dims()[0]).collect();
@@ -589,7 +693,15 @@ fn worker_loop(registry: &ModelRegistry) {
                 let r = entry
                     .executor
                     .observe_with_in(&entry.prepared, &stacked, cal, &mut arena);
-                entry.stats.set_calibration(cal.state().label());
+                let label = cal.state().label();
+                if tracing && was_warming && label.starts_with("frozen") {
+                    wino_trace::instant(
+                        serve_sym(&FREEZE_SYM, "freeze"),
+                        Category::Serve,
+                        idx as u64,
+                    );
+                }
+                entry.stats.set_calibration(label);
                 r
             }
             None => entry
@@ -597,6 +709,7 @@ fn worker_loop(registry: &ModelRegistry) {
                 .run_with_inputs_in(&entry.prepared, &stacked, &mut arena),
         };
         let run_time = run_start.elapsed();
+        drop(batch_sp);
         entry.served_batches.fetch_add(1, Ordering::Relaxed);
         let images = stacked[0].dims()[0];
         entry
@@ -700,6 +813,25 @@ mod tests {
         );
         assert_eq!(registry.model_stats("m").unwrap().rejected, 1);
         assert_eq!(registry.queue_depth("m"), Some(2));
+    }
+
+    #[test]
+    fn stats_report_snapshots_models_live() {
+        let registry = tiny_entry("live-model").build();
+        let x = vec![normal(&[1, 1, 32, 32], 0.0, 1.0, 1)];
+        // Queue one request (no workers running, so it just sits there).
+        let _pending = registry.submit("live-model", x).unwrap();
+        let (entries, text) = registry.stats_report();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "live-model");
+        assert_eq!(entries[0].queue_depth, 1, "the queued request is visible");
+        assert_eq!(entries[0].requests, 0, "nothing completed yet");
+        assert_eq!(entries[0].calibration, "static");
+        assert!(text.contains("== model live-model =="), "text:\n{text}");
+        assert!(
+            text.contains("== metrics ==") && text.contains("serve.live-model.requests"),
+            "text must append the metrics registry:\n{text}"
+        );
     }
 
     #[test]

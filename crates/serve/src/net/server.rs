@@ -26,9 +26,15 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Symbol of the per-request handler span; interned on first traced request.
+static REQUEST_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+
+/// Pings answered, registered once into the metrics registry.
+static PINGS: OnceLock<wino_trace::Counter> = OnceLock::new();
 
 /// How the network front runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,38 +246,61 @@ fn serve_connection(stream: TcpStream, id: u64, registry: &ModelRegistry, live: 
                 code: ErrorCode::Malformed,
                 message: e.to_string(),
             },
-            FrameRead::Frame(Frame::Ping { request_id }) => Frame::Pong { request_id },
+            FrameRead::Frame(Frame::Ping { request_id }) => {
+                PINGS
+                    .get_or_init(|| wino_trace::counter("net.server.pings"))
+                    .inc();
+                Frame::Pong { request_id }
+            }
+            FrameRead::Frame(Frame::Stats { request_id }) => {
+                let (models, text) = registry.stats_report();
+                Frame::StatsReply {
+                    request_id,
+                    models,
+                    text,
+                }
+            }
             FrameRead::Frame(Frame::InferRequest {
                 request_id,
                 model,
                 inputs,
-            }) => match registry.submit(&model, inputs) {
-                Err(e) => Frame::Error {
+            }) => {
+                // The handler span is the root of this request's timeline:
+                // the scheduler events and kernel spans it causes nest under
+                // it (correlated by the wire request_id).
+                let _request_sp = wino_trace::span(
+                    *REQUEST_SYM.get_or_init(|| wino_trace::intern("request")),
+                    wino_trace::Category::Serve,
                     request_id,
-                    code: code_for(&e),
-                    message: e.to_string(),
-                },
-                Ok(pending) => match pending.wait() {
-                    None => Frame::Error {
+                );
+                match registry.submit_traced(&model, inputs, request_id) {
+                    Err(e) => Frame::Error {
                         request_id,
-                        code: ErrorCode::ShuttingDown,
-                        message: "server stopped before serving this request".to_string(),
+                        code: code_for(&e),
+                        message: e.to_string(),
                     },
-                    Some(ModelReply::Overloaded { queued_for }) => Frame::Error {
-                        request_id,
-                        code: ErrorCode::Overloaded,
-                        message: format!(
-                            "shed after {:.1} ms in queue",
-                            queued_for.as_secs_f64() * 1e3
-                        ),
+                    Ok(pending) => match pending.wait() {
+                        None => Frame::Error {
+                            request_id,
+                            code: ErrorCode::ShuttingDown,
+                            message: "server stopped before serving this request".to_string(),
+                        },
+                        Some(ModelReply::Overloaded { queued_for }) => Frame::Error {
+                            request_id,
+                            code: ErrorCode::Overloaded,
+                            message: format!(
+                                "shed after {:.1} ms in queue",
+                                queued_for.as_secs_f64() * 1e3
+                            ),
+                        },
+                        Some(ModelReply::Ok(r)) => Frame::InferReply {
+                            request_id,
+                            batch_images: u32::try_from(r.batch_images).unwrap_or(u32::MAX),
+                            outputs: r.outputs,
+                        },
                     },
-                    Some(ModelReply::Ok(r)) => Frame::InferReply {
-                        request_id,
-                        batch_images: u32::try_from(r.batch_images).unwrap_or(u32::MAX),
-                        outputs: r.outputs,
-                    },
-                },
-            },
+                }
+            }
             // A client sending server-only frames is confused but framed;
             // answer and keep the connection.
             FrameRead::Frame(other) => Frame::Error {

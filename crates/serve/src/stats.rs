@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use wino_core::{ArenaStats, SynthStats};
+use wino_trace::{Counter, Gauge, Histogram};
 
 /// Order statistics of one duration population.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,7 +63,9 @@ struct StatsInner {
     shed: usize,
     calibration: String,
     arena: ArenaStats,
+    worker_peaks: Vec<usize>,
     workers_reported: usize,
+    scratch_bytes: usize,
     synth: SynthStats,
     fused_nodes: usize,
     elided_bytes: usize,
@@ -78,6 +81,34 @@ struct StatsInner {
 pub struct ServerStats {
     inner: Mutex<StatsInner>,
     started: Instant,
+    metrics: Option<StatsMetrics>,
+}
+
+/// Handles into the process-wide `wino_trace` metrics registry; present only
+/// when the accumulator was built with [`ServerStats::with_metrics`]. Every
+/// `record_*` call mirrors into these, so the serving counters show up in
+/// [`wino_trace::render_metrics`] next to kernel- and wire-level metrics.
+#[derive(Debug)]
+struct StatsMetrics {
+    requests: Counter,
+    rejected: Counter,
+    shed: Counter,
+    queue_depth: Gauge,
+    latency_us: Histogram,
+    batch_size: Histogram,
+}
+
+impl StatsMetrics {
+    fn register(prefix: &str) -> Self {
+        Self {
+            requests: wino_trace::counter(&format!("{prefix}.requests")),
+            rejected: wino_trace::counter(&format!("{prefix}.rejected")),
+            shed: wino_trace::counter(&format!("{prefix}.shed")),
+            queue_depth: wino_trace::gauge(&format!("{prefix}.queue_depth")),
+            latency_us: wino_trace::histogram(&format!("{prefix}.latency_us")),
+            batch_size: wino_trace::histogram(&format!("{prefix}.batch_size")),
+        }
+    }
 }
 
 impl Default for ServerStats {
@@ -92,6 +123,20 @@ impl ServerStats {
         Self {
             inner: Mutex::new(StatsInner::default()),
             started: Instant::now(),
+            metrics: None,
+        }
+    }
+
+    /// An accumulator that additionally mirrors its admission and latency
+    /// counters into the global `wino_trace` metrics registry under
+    /// `{prefix}.requests`, `{prefix}.rejected`, `{prefix}.shed`,
+    /// `{prefix}.queue_depth`, `{prefix}.latency_us` and
+    /// `{prefix}.batch_size`.
+    pub fn with_metrics(prefix: &str) -> Self {
+        Self {
+            inner: Mutex::new(StatsInner::default()),
+            started: Instant::now(),
+            metrics: Some(StatsMetrics::register(prefix)),
         }
     }
 
@@ -104,6 +149,10 @@ impl ServerStats {
         run: Duration,
         queue_waits: &[Duration],
     ) {
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(depth_after as u64);
+            m.batch_size.record(images as u64);
+        }
         let mut g = self.inner.lock().expect("stats poisoned");
         g.batch_sizes.push(images);
         g.depth_samples.push(depth_after);
@@ -113,6 +162,10 @@ impl ServerStats {
 
     /// Records one completed request's submit-to-reply latency.
     pub fn record_completion(&self, latency: Duration) {
+        if let Some(m) = &self.metrics {
+            m.requests.inc();
+            m.latency_us.record(latency.as_micros() as u64);
+        }
         let mut g = self.inner.lock().expect("stats poisoned");
         g.latencies.push(latency);
     }
@@ -120,12 +173,18 @@ impl ServerStats {
     /// Records one request refused at admission time (queue-depth bound hit
     /// before it ever queued).
     pub fn record_rejected(&self) {
+        if let Some(m) = &self.metrics {
+            m.rejected.inc();
+        }
         self.inner.lock().expect("stats poisoned").rejected += 1;
     }
 
     /// Records one queued request shed at dispatch time (its deadline passed
     /// before a worker reached it).
     pub fn record_shed(&self) {
+        if let Some(m) = &self.metrics {
+            m.shed.inc();
+        }
         self.inner.lock().expect("stats poisoned").shed += 1;
     }
 
@@ -140,6 +199,7 @@ impl ServerStats {
     pub fn merge_arena(&self, arena: ArenaStats) {
         let mut g = self.inner.lock().expect("stats poisoned");
         g.workers_reported += 1;
+        g.worker_peaks.push(arena.peak_live_bytes);
         g.arena.runs += arena.runs;
         g.arena.reuse_hits += arena.reuse_hits;
         g.arena.fresh_allocs += arena.fresh_allocs;
@@ -168,6 +228,13 @@ impl ServerStats {
     /// (`PreparedGraph::simd_kernel` — one process-wide selection).
     pub fn set_kernel(&self, kernel_variant: &'static str) {
         self.inner.lock().expect("stats poisoned").kernel_variant = kernel_variant;
+    }
+
+    /// Attaches the prepared graph's per-run scratch requirement
+    /// (`PreparedGraph::scratch_bytes` — tap-scratch high-water mark per
+    /// worker, independent of the activation arena).
+    pub fn set_scratch_bytes(&self, bytes: usize) {
+        self.inner.lock().expect("stats poisoned").scratch_bytes = bytes;
     }
 
     /// Reduces everything recorded so far into a [`StatsReport`].
@@ -208,6 +275,8 @@ impl ServerStats {
             calibration: g.calibration.clone(),
             workers_reported: g.workers_reported,
             arena: g.arena,
+            worker_peaks: g.worker_peaks.clone(),
+            scratch_bytes: g.scratch_bytes,
             synth: g.synth,
             fused_nodes: g.fused_nodes,
             elided_bytes: g.elided_bytes,
@@ -252,6 +321,12 @@ pub struct StatsReport {
     pub workers_reported: usize,
     /// Worker activation arenas, aggregated.
     pub arena: ArenaStats,
+    /// Each reporting worker's own arena peak (bytes), in fold-in order —
+    /// the spread behind `arena.peak_live_bytes`, which is their max.
+    pub worker_peaks: Vec<usize>,
+    /// Per-run tap-scratch requirement of the served graph
+    /// (`PreparedGraph::scratch_bytes`; 0 until the server attaches it).
+    pub scratch_bytes: usize,
     /// The executor's tensor-synthesis cache.
     pub synth: SynthStats,
     /// Tail nodes (ReLUs, residual adds) fused into conv epilogues of the
@@ -329,6 +404,24 @@ impl StatsReport {
             self.arena.runs,
             self.workers_reported
         );
+        if !self.worker_peaks.is_empty() {
+            let _ = writeln!(
+                out,
+                "worker peaks    {}    KiB live per worker",
+                self.worker_peaks
+                    .iter()
+                    .map(|&b| format!("{:.1}", b as f64 / 1024.0))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        if self.scratch_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "graph scratch   {:>10.1}    KiB tap scratch per run",
+                self.scratch_bytes as f64 / 1024.0
+            );
+        }
         let _ = writeln!(
             out,
             "synth cache     {} hits / {} misses ({:.0}% hit rate), {:.1} KiB cached",
@@ -584,6 +677,109 @@ mod tests {
             table.contains("pool: "),
             "table lost the pool line:\n{table}"
         );
+    }
+
+    #[test]
+    fn percentiles_stay_monotonic_across_worker_merges() {
+        // Several "workers" each contribute a skewed latency population; the
+        // merged report's order statistics must never cross, and the same
+        // holds for each worker's own report and for empty workers.
+        let merged = ServerStats::new();
+        let worker_samples: [&[u64]; 4] = [
+            &[1, 1, 1, 900],
+            &[50, 60, 70, 80, 90],
+            &[5],
+            &[], // a worker that never completed anything
+        ];
+        for samples in worker_samples {
+            let solo = ServerStats::new();
+            for &ms in samples {
+                solo.record_completion(Duration::from_millis(ms));
+                merged.record_completion(Duration::from_millis(ms));
+            }
+            let s = solo.report().latency;
+            assert!(
+                s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max,
+                "per-worker percentiles crossed: {s:?}"
+            );
+        }
+        let m = merged.report().latency;
+        assert!(
+            m.p50 <= m.p95 && m.p95 <= m.p99 && m.p99 <= m.max,
+            "merged percentiles crossed: {m:?}"
+        );
+        assert_eq!(m.max, Duration::from_millis(900));
+        assert!(m.p50 <= Duration::from_millis(60));
+        // An all-empty merge reduces to the zero summary.
+        assert_eq!(
+            ServerStats::new().report().latency,
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn scratch_bytes_and_worker_peaks_ride_the_report_and_table() {
+        let stats = ServerStats::new();
+        let r = stats.report();
+        assert_eq!(r.scratch_bytes, 0);
+        assert!(r.worker_peaks.is_empty());
+        let quiet = r.render();
+        assert!(
+            !quiet.contains("graph scratch") && !quiet.contains("worker peaks"),
+            "unset figures must not render:\n{quiet}"
+        );
+        stats.set_scratch_bytes(48 * 1024);
+        stats.merge_arena(ArenaStats {
+            runs: 1,
+            peak_live_bytes: 1024,
+            ..Default::default()
+        });
+        stats.merge_arena(ArenaStats {
+            runs: 1,
+            peak_live_bytes: 3072,
+            ..Default::default()
+        });
+        let r = stats.report();
+        assert_eq!(r.scratch_bytes, 48 * 1024);
+        assert_eq!(r.worker_peaks, vec![1024, 3072]);
+        assert_eq!(r.arena.peak_live_bytes, 3072);
+        let table = r.render();
+        assert!(
+            table.contains("graph scratch") && table.contains("48.0"),
+            "table must show the scratch line:\n{table}"
+        );
+        assert!(
+            table.contains("worker peaks") && table.contains("1.0 3.0"),
+            "table must show per-worker peaks:\n{table}"
+        );
+    }
+
+    #[test]
+    fn with_metrics_mirrors_counters_into_the_registry() {
+        let stats = ServerStats::with_metrics("test.stats.mirror");
+        stats.record_completion(Duration::from_micros(800));
+        stats.record_completion(Duration::from_micros(1200));
+        stats.record_rejected();
+        stats.record_shed();
+        stats.record_batch(3, 5, Duration::from_millis(2), &[]);
+        let snap = wino_trace::metrics_snapshot();
+        let by_name = |n: &str| {
+            snap.iter()
+                .find(|m| m.name == n)
+                .unwrap_or_else(|| panic!("metric {n} not registered"))
+                .clone()
+        };
+        assert_eq!(by_name("test.stats.mirror.requests").value, 2);
+        assert_eq!(by_name("test.stats.mirror.rejected").value, 1);
+        assert_eq!(by_name("test.stats.mirror.shed").value, 1);
+        assert_eq!(by_name("test.stats.mirror.queue_depth").value, 5);
+        let lat = by_name("test.stats.mirror.latency_us");
+        assert_eq!(lat.value, 2, "two latency observations");
+        let (_, p50, p95, p99, max) = lat.distribution.expect("histogram row");
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= max);
+        assert_eq!(max, 1200);
+        // The mirrored counters ride the same report as the local ones.
+        assert_eq!(stats.report().requests, 2);
     }
 
     #[test]

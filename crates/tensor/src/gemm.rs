@@ -271,7 +271,28 @@ fn check_and_clear<T, A: Copy + Default>(
 ///
 /// Panics if any slice length disagrees with the given dimensions.
 pub fn gemm_f32_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    let _sp = gemm_span("gemm_f32", m, k, n);
     gemm_f32_into_with(simd::active(), c, a, b, m, k, n);
+}
+
+/// A full-detail kernel span for one GEMM call; the off-path is one relaxed
+/// atomic load. The correlation id packs the problem shape
+/// (`m << 40 | k << 20 | n`) so a trace viewer can tell tap GEMMs apart.
+fn gemm_span(name: &'static str, m: usize, k: usize, n: usize) -> Option<wino_trace::Span> {
+    if !wino_trace::full_enabled() {
+        return None;
+    }
+    use std::sync::OnceLock;
+    static F32_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+    static I16_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+    let cell = if name == "gemm_f32" {
+        &F32_SYM
+    } else {
+        &I16_SYM
+    };
+    let sym = *cell.get_or_init(|| wino_trace::intern(name));
+    let id = ((m as u64) << 40) | ((k as u64) << 20) | n as u64;
+    Some(wino_trace::span_full(sym, wino_trace::Category::Kernel, id))
 }
 
 /// [`gemm_f32_into`] with an explicit kernel variant — the equivalence-test
@@ -428,6 +449,7 @@ pub fn gemm_i8_i32_into_with(
 ///
 /// Panics if any slice length disagrees with the given dimensions.
 pub fn gemm_i16_i32_into(c: &mut [i32], a: &[i16], b: &[i16], m: usize, k: usize, n: usize) {
+    let _sp = gemm_span("gemm_i16_i32", m, k, n);
     gemm_i16_i32_into_with(simd::active(), c, a, b, m, k, n);
 }
 

@@ -46,6 +46,18 @@ pub fn max_threads() -> usize {
     })
 }
 
+/// A full-detail trace span covering one fork–join worker's whole block; the
+/// correlation id packs `worker << 32 | items`.
+fn worker_span(w: usize, items: usize) -> Option<wino_trace::Span> {
+    if !wino_trace::full_enabled() {
+        return None;
+    }
+    static SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+    let sym = *SYM.get_or_init(|| wino_trace::intern("parallel_worker"));
+    let id = ((w as u64) << 32) | items as u64;
+    Some(wino_trace::span_full(sym, wino_trace::Category::Kernel, id))
+}
+
 /// Computes `f(0), f(1), …, f(n - 1)` across the worker threads and returns
 /// the results in index order.
 ///
@@ -74,7 +86,10 @@ where
             let range = start..start + len;
             start += len;
             let f = &f;
-            handles.push(scope.spawn(move || range.map(f).collect::<Vec<T>>()));
+            handles.push(scope.spawn(move || {
+                let _sp = worker_span(w, range.len());
+                range.map(f).collect::<Vec<T>>()
+            }));
         }
         for h in handles {
             results.push(h.join().expect("parallel_map worker panicked"));

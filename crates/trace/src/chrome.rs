@@ -1,0 +1,115 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON export.
+//!
+//! The exporter renders drained [`Event`]s into the Trace Event Format's
+//! JSON-array form: complete events (`"ph":"X"`) for spans, instant events
+//! (`"ph":"i"`) for markers, timestamps in fractional microseconds since the
+//! trace epoch, one Chrome "thread" per recording thread. Load the file in
+//! `chrome://tracing` or <https://ui.perfetto.dev> to see the
+//! handler → scheduler → worker → kernel-phase timeline.
+
+use crate::ring::{drain_events, Event, EventKind};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `events` as a Chrome-trace JSON document.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let ts_us = e.t0_ns as f64 / 1e3;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{:.3}",
+            escape(&e.name),
+            e.cat.as_str(),
+            e.tid,
+            ts_us
+        );
+        match e.kind {
+            EventKind::Span => {
+                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{:.3}", e.dur_ns as f64 / 1e3);
+            }
+            EventKind::Instant => {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+        }
+        let _ = write!(out, ",\"args\":{{\"id\":{}}}}}", e.id);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Drains every thread's ring and renders the result — the one-call export.
+pub fn export_chrome_trace() -> String {
+    chrome_trace_json(&drain_events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Category;
+
+    fn ev(name: &str, kind: EventKind, t0: u64, dur: u64, id: u64) -> Event {
+        Event {
+            name: name.to_string(),
+            cat: Category::Serve,
+            kind,
+            t0_ns: t0,
+            dur_ns: dur,
+            id,
+            tid: 2,
+        }
+    }
+
+    #[test]
+    fn spans_and_instants_render_the_trace_event_format() {
+        let events = vec![
+            ev("request", EventKind::Span, 1_500, 2_000_000, 77),
+            ev("enqueue", EventKind::Instant, 2_500, 0, 77),
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"request\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":2000.000"), "dur is microseconds");
+        assert!(json.contains("\"ts\":1.500"), "ts is microseconds");
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"args\":{\"id\":77}"));
+        assert!(json.contains("\"cat\":\"serve\""));
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let events = vec![ev("we\"ird\\name\n", EventKind::Instant, 0, 0, 1)];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("we\\\"ird\\\\name\\n"));
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json_shape() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("\"traceEvents\":[\n\n]"));
+    }
+}

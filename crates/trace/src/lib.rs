@@ -1,0 +1,411 @@
+//! Zero-overhead-when-off tracing for the Winograd serving stack.
+//!
+//! The paper (Andri et al., MICRO 2022) argues its datapath with *per-phase*
+//! breakdowns — input transform vs. tap GEMMs vs. output transform — and the
+//! serving tier needs reconstructable request timelines. This crate provides
+//! both without taxing the hot path when nobody is looking:
+//!
+//! * a **span/event API** ([`span`], [`instant`]) writing into per-thread
+//!   lock-free ring buffers (fixed capacity, overwrite-oldest, monotonic
+//!   timestamps from one process-wide [`std::time::Instant`] epoch). When
+//!   the process-global [`TraceConfig`] is off, every probe site costs one
+//!   relaxed atomic load and a predictable branch;
+//! * a **Chrome-trace JSON exporter** ([`export_chrome_trace`]) in the
+//!   `chrome://tracing` / Perfetto event format;
+//! * an aggregated **per-phase profile** ([`PhaseProbe`] / [`PhaseProfile`]):
+//!   per-node, per-phase nanosecond totals and call counts, cheap enough to
+//!   accumulate from inside the kernels' parallel strip-group workers;
+//! * a process-wide **metrics registry** ([`counter`], [`gauge`],
+//!   [`histogram`]) the serving stack re-registers its counters into, with a
+//!   single rendered table ([`render_metrics`]).
+//!
+//! Two detail levels ([`Detail`]): `Spans` records node/request/scheduler
+//! spans, `Full` additionally times the kernel phases (gather, input
+//! transform, tap GEMM, output transform, epilogue, scatter) inside the
+//! strip-group loops.
+//!
+//! ```
+//! use wino_trace as trace;
+//! trace::install(trace::TraceConfig {
+//!     detail: trace::Detail::Full,
+//!     ring_capacity: 4096,
+//! });
+//! let sym = trace::intern("work");
+//! {
+//!     let _span = trace::span(sym, trace::Category::Node, 7);
+//!     // ... the traced work ...
+//! }
+//! let json = trace::export_chrome_trace();
+//! assert!(json.contains("\"work\""));
+//! trace::set_detail(trace::Detail::Off);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod profile;
+pub mod ring;
+
+pub use chrome::{chrome_trace_json, export_chrome_trace};
+pub use metrics::{
+    counter, gauge, histogram, metrics_snapshot, render_metrics, reset_metrics, Counter, Gauge,
+    Histogram, MetricKind, MetricSnapshot,
+};
+pub use profile::{Phase, PhaseClock, PhaseProbe, PhaseProfile, PhaseSnapshot, PHASE_COUNT};
+pub use ring::{clear_events, drain_events, Event, EventKind};
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global configuration
+// ---------------------------------------------------------------------------
+
+/// How much the tracer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Detail {
+    /// Nothing is recorded; every probe site costs one relaxed atomic load.
+    Off = 0,
+    /// Node, request and scheduler spans/events.
+    Spans = 1,
+    /// `Spans` plus per-phase kernel timing inside the strip-group loops.
+    Full = 2,
+}
+
+impl Detail {
+    /// Parses `"off"` / `"0"`, `"spans"` / `"1"`, `"full"` / `"2"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Some(Self::Off),
+            "spans" | "1" | "on" => Some(Self::Spans),
+            "full" | "2" => Some(Self::Full),
+            _ => None,
+        }
+    }
+}
+
+/// The process-global tracer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Recording detail level.
+    pub detail: Detail,
+    /// Events each thread's ring holds before overwriting the oldest.
+    /// Applies to rings created after [`install`]; existing rings keep their
+    /// capacity.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            detail: Detail::Off,
+            ring_capacity: 16 * 1024,
+        }
+    }
+}
+
+static DETAIL: AtomicU8 = AtomicU8::new(0);
+static RING_CAPACITY: AtomicUsize = AtomicUsize::new(16 * 1024);
+
+/// Applies `config` process-wide and pins the timestamp epoch.
+pub fn install(config: TraceConfig) {
+    RING_CAPACITY.store(config.ring_capacity.max(16), Ordering::SeqCst);
+    let _ = epoch();
+    set_detail(config.detail);
+}
+
+/// Installs the detail level named by the `WINO_TRACE` environment variable
+/// (`off`/`spans`/`full`, default off) and returns it.
+pub fn init_from_env() -> Detail {
+    let detail = std::env::var("WINO_TRACE")
+        .ok()
+        .and_then(|v| Detail::parse(&v))
+        .unwrap_or(Detail::Off);
+    install(TraceConfig {
+        detail,
+        ..TraceConfig::default()
+    });
+    detail
+}
+
+/// Switches the recording detail level.
+pub fn set_detail(detail: Detail) {
+    DETAIL.store(detail as u8, Ordering::SeqCst);
+}
+
+/// The current detail level.
+pub fn detail() -> Detail {
+    match DETAIL.load(Ordering::Relaxed) {
+        0 => Detail::Off,
+        1 => Detail::Spans,
+        _ => Detail::Full,
+    }
+}
+
+/// Whether anything records at all. This is the hot-path gate: one relaxed
+/// atomic load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    DETAIL.load(Ordering::Relaxed) != 0
+}
+
+/// Whether kernel-phase timing records ([`Detail::Full`]).
+#[inline(always)]
+pub fn full_enabled() -> bool {
+    DETAIL.load(Ordering::Relaxed) >= Detail::Full as u8
+}
+
+pub(crate) fn ring_capacity() -> usize {
+    RING_CAPACITY.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Timebase
+// ---------------------------------------------------------------------------
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process-wide trace epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Name interning
+// ---------------------------------------------------------------------------
+
+/// An interned event name. Events store the 4-byte symbol, so recording
+/// never touches a string; intern at setup time (graph prepare, server
+/// start), not per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(pub(crate) u32);
+
+fn interner() -> &'static Mutex<Vec<String>> {
+    static NAMES: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Interns `name`, returning its stable symbol. Idempotent: the same string
+/// always maps to the same [`Sym`].
+pub fn intern(name: &str) -> Sym {
+    let mut names = interner().lock().expect("interner poisoned");
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return Sym(i as u32);
+    }
+    names.push(name.to_string());
+    Sym((names.len() - 1) as u32)
+}
+
+/// The string a symbol was interned from (`"?"` for a foreign symbol).
+pub fn sym_name(sym: Sym) -> String {
+    let names = interner().lock().expect("interner poisoned");
+    names
+        .get(sym.0 as usize)
+        .cloned()
+        .unwrap_or_else(|| "?".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Event categories and the span/instant API
+// ---------------------------------------------------------------------------
+
+/// What layer of the stack an event came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Category {
+    /// One graph-node execution (executor layer).
+    Node = 0,
+    /// One kernel phase block inside a strip-group worker.
+    Phase = 1,
+    /// Scheduler / request lifecycle (serving layer).
+    Serve = 2,
+    /// Low-level kernel helpers (GEMM calls, parallel workers).
+    Kernel = 3,
+}
+
+impl Category {
+    pub(crate) fn from_byte(b: u8) -> Self {
+        match b {
+            0 => Self::Node,
+            1 => Self::Phase,
+            2 => Self::Serve,
+            _ => Self::Kernel,
+        }
+    }
+
+    /// The Chrome-trace category string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Node => "node",
+            Self::Phase => "phase",
+            Self::Serve => "serve",
+            Self::Kernel => "kernel",
+        }
+    }
+}
+
+/// A live span; records one complete event over its lifetime when tracing
+/// was enabled at construction. Dropping is the only way to end it.
+#[derive(Debug)]
+#[must_use = "a span records the duration until it is dropped"]
+pub struct Span {
+    sym: Sym,
+    cat: Category,
+    id: u64,
+    start_ns: u64,
+    live: bool,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.live {
+            let end = now_ns();
+            ring::record(
+                self.sym,
+                self.cat,
+                EventKind::Span,
+                self.start_ns,
+                end.saturating_sub(self.start_ns),
+                self.id,
+            );
+        }
+    }
+}
+
+/// Opens a span (recorded on drop). A no-op beyond one relaxed atomic load
+/// when tracing is off.
+#[inline]
+pub fn span(sym: Sym, cat: Category, id: u64) -> Span {
+    let live = enabled();
+    Span {
+        sym,
+        cat,
+        id,
+        start_ns: if live { now_ns() } else { 0 },
+        live,
+    }
+}
+
+/// Like [`span`], but only live at [`Detail::Full`] — for kernel-interior
+/// probe sites.
+#[inline]
+pub fn span_full(sym: Sym, cat: Category, id: u64) -> Span {
+    let live = full_enabled();
+    Span {
+        sym,
+        cat,
+        id,
+        start_ns: if live { now_ns() } else { 0 },
+        live,
+    }
+}
+
+/// Records a zero-duration instant event. A no-op when tracing is off.
+#[inline]
+pub fn instant(sym: Sym, cat: Category, id: u64) {
+    if enabled() {
+        ring::record(sym, cat, EventKind::Instant, now_ns(), 0, id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer state is process-global; every test that flips it runs
+    // under this lock so assertions about "what was recorded" stay exact.
+    pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        match GUARD.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_reversible() {
+        let a = intern("alpha-sym");
+        let b = intern("alpha-sym");
+        let c = intern("beta-sym");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(sym_name(a), "alpha-sym");
+        assert_eq!(sym_name(c), "beta-sym");
+        assert_eq!(sym_name(Sym(u32::MAX)), "?");
+    }
+
+    #[test]
+    fn detail_parses_the_env_grammar() {
+        assert_eq!(Detail::parse("off"), Some(Detail::Off));
+        assert_eq!(Detail::parse("0"), Some(Detail::Off));
+        assert_eq!(Detail::parse("spans"), Some(Detail::Spans));
+        assert_eq!(Detail::parse("FULL"), Some(Detail::Full));
+        assert_eq!(Detail::parse("2"), Some(Detail::Full));
+        assert_eq!(Detail::parse("banana"), None);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let _g = test_guard();
+        set_detail(Detail::Off);
+        clear_events();
+        let sym = intern("should-not-appear");
+        {
+            let _s = span(sym, Category::Node, 1);
+            instant(sym, Category::Serve, 2);
+        }
+        assert!(
+            drain_events().iter().all(|e| e.name != "should-not-appear"),
+            "events recorded while off"
+        );
+    }
+
+    #[test]
+    fn spans_and_instants_record_when_enabled() {
+        let _g = test_guard();
+        install(TraceConfig {
+            detail: Detail::Spans,
+            ring_capacity: 256,
+        });
+        clear_events();
+        let s_sym = intern("a-span");
+        let i_sym = intern("an-instant");
+        {
+            let _s = span(s_sym, Category::Node, 42);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            instant(i_sym, Category::Serve, 43);
+        }
+        // Full-only sites stay silent at Spans detail.
+        let _quiet = span_full(intern("full-only"), Category::Phase, 0);
+        drop(_quiet);
+        let events = drain_events();
+        set_detail(Detail::Off);
+        let sp = events
+            .iter()
+            .find(|e| e.name == "a-span")
+            .expect("span missing");
+        assert_eq!(sp.kind, EventKind::Span);
+        assert_eq!(sp.id, 42);
+        assert!(sp.dur_ns >= 1_000_000, "span shorter than the sleep inside");
+        let inst = events
+            .iter()
+            .find(|e| e.name == "an-instant")
+            .expect("instant missing");
+        assert_eq!(inst.kind, EventKind::Instant);
+        assert_eq!(inst.dur_ns, 0);
+        assert!(
+            !events.iter().any(|e| e.name == "full-only"),
+            "full-detail site fired at Spans level"
+        );
+        // The instant happened inside the span's window.
+        assert!(inst.t0_ns >= sp.t0_ns && inst.t0_ns <= sp.t0_ns + sp.dur_ns);
+    }
+}

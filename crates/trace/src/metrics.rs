@@ -1,0 +1,363 @@
+//! A process-wide registry of named counters, gauges and histograms.
+//!
+//! Handles are cheap clones of `Arc`ed atomics: look a metric up once by
+//! name at setup time ([`counter`] / [`gauge`] / [`histogram`]), then update
+//! it lock-free on the hot path. [`render_metrics`] reduces the whole
+//! registry to one aligned table — the text a live server answers a
+//! `Frame::Stats` request with — and [`metrics_snapshot`] returns the same
+//! data structurally for tests and exporters.
+//!
+//! Histograms bucket by power of two (one bucket per bit width), which is
+//! coarse but monotonic: quantile estimates never cross and never allocate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const BUCKETS: usize = 64;
+
+/// A monotonically increasing count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if larger (a high-water mark).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A power-of-two-bucketed value distribution.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize % BUCKETS
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let h = &self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+        h.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of every observation.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (nearest rank over the bucket counts; 0 when empty). Because buckets
+    /// are fixed, estimates for increasing `q` never decrease.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i); report the upper
+                // bound, capped by the exact max.
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                return upper.min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// What kind of metric a snapshot row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic count.
+    Counter,
+    /// Last-write-wins value.
+    Gauge,
+    /// Bucketed distribution.
+    Histogram,
+}
+
+/// One row of [`metrics_snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// Counter/gauge value, or the histogram's observation count.
+    pub value: u64,
+    /// Histogram only: (mean, p50, p95, p99, max).
+    pub distribution: Option<(f64, u64, u64, u64, u64)>,
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static METRICS: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    METRICS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Poison-tolerant lock: a kind-mismatch panic under the lock never leaves
+/// the map half-written, so recovering the guard is sound.
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    registry().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The counter registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Counter::default()))
+    {
+        Metric::Counter(c) => c.clone(),
+        other => panic!("metric {name:?} already registered as {other:?}"),
+    }
+}
+
+/// The gauge registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Gauge::default()))
+    {
+        Metric::Gauge(g) => g.clone(),
+        other => panic!("metric {name:?} already registered as {other:?}"),
+    }
+}
+
+/// The histogram registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Histogram::default()))
+    {
+        Metric::Histogram(h) => h.clone(),
+        other => panic!("metric {name:?} already registered as {other:?}"),
+    }
+}
+
+/// Structured point-in-time copy of every registered metric, sorted by name.
+pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
+    let reg = lock_registry();
+    reg.iter()
+        .map(|(name, m)| match m {
+            Metric::Counter(c) => MetricSnapshot {
+                name: name.clone(),
+                kind: MetricKind::Counter,
+                value: c.get(),
+                distribution: None,
+            },
+            Metric::Gauge(g) => MetricSnapshot {
+                name: name.clone(),
+                kind: MetricKind::Gauge,
+                value: g.get(),
+                distribution: None,
+            },
+            Metric::Histogram(h) => MetricSnapshot {
+                name: name.clone(),
+                kind: MetricKind::Histogram,
+                value: h.count(),
+                distribution: Some((
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.max(),
+                )),
+            },
+        })
+        .collect()
+}
+
+/// The whole registry as one aligned table.
+pub fn render_metrics() -> String {
+    let rows = metrics_snapshot();
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<name_w$}  {:>9}  value", "metric", "kind");
+    for r in rows {
+        match r.kind {
+            MetricKind::Counter => {
+                let _ = writeln!(out, "{:<name_w$}  {:>9}  {}", r.name, "counter", r.value);
+            }
+            MetricKind::Gauge => {
+                let _ = writeln!(out, "{:<name_w$}  {:>9}  {}", r.name, "gauge", r.value);
+            }
+            MetricKind::Histogram => {
+                let (mean, p50, p95, p99, max) = r.distribution.unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{:<name_w$}  {:>9}  n={} mean={:.1} p50≤{} p95≤{} p99≤{} max={}",
+                    r.name, "histogram", r.value, mean, p50, p95, p99, max
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Drops every registered metric. Existing handles keep working but are no
+/// longer rendered; intended for tests.
+pub fn reset_metrics() {
+    lock_registry().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_share_state() {
+        let c1 = counter("test.metrics.counter-a");
+        let c2 = counter("test.metrics.counter-a");
+        c1.inc();
+        c2.add(4);
+        assert_eq!(c1.get(), 5, "both handles hit the same counter");
+        let g = gauge("test.metrics.gauge-a");
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7, "set_max never lowers");
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        let snap = metrics_snapshot();
+        assert!(snap
+            .iter()
+            .any(|m| m.name == "test.metrics.counter-a" && m.value == 5));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotonic_upper_bounds() {
+        let h = histogram("test.metrics.hist-a");
+        for v in [1u64, 2, 3, 100, 1000, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 5000);
+        assert!((h.mean() - 6106.0 / 6.0).abs() < 1e-9);
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+        assert!(p50 >= 3, "the median observation is 3, in bucket [2,4)");
+        assert_eq!(h.quantile(1.0), 5000, "top quantile capped by exact max");
+        let empty = histogram("test.metrics.hist-empty");
+        assert_eq!(empty.quantile(0.99), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn render_lists_every_kind() {
+        counter("test.metrics.render-c").inc();
+        gauge("test.metrics.render-g").set(9);
+        histogram("test.metrics.render-h").record(128);
+        let table = render_metrics();
+        assert!(table.contains("test.metrics.render-c"));
+        assert!(table.contains("counter"));
+        assert!(table.contains("gauge"));
+        assert!(table.contains("histogram"));
+        assert!(table.contains("p99"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        counter("test.metrics.kind-clash");
+        let _ = gauge("test.metrics.kind-clash");
+    }
+}

@@ -1,0 +1,359 @@
+//! Aggregated per-phase kernel profiling.
+//!
+//! The tap-major pipeline has a fixed phase structure — gather, input
+//! transform, tap GEMMs, output transform, epilogue emit, strip merge — and
+//! the paper's whole argument is about where time goes between them. A
+//! [`PhaseProbe`] hangs off one prepared conv; every parallel strip-group
+//! worker accumulates its block timings locally in a [`PhaseClock`] and
+//! flushes them into the probe's atomics once per group, so the shared
+//! counters are touched a handful of times per forward, not per tile.
+//! [`PhaseProfile`] is the per-node reduction surfaced through
+//! `PreparedGraph`.
+
+use crate::full_enabled;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The phases of the tap-major Winograd pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Extracting input tiles into SoA lanes (with zero padding).
+    Gather = 0,
+    /// The two-stage `BᵀdB` input congruence transform (+ tap-wise
+    /// requantization on the integer path).
+    InputTransform = 1,
+    /// One dense GEMM per Winograd tap (`M[tap] = U[tap]·V[tap]`).
+    TapGemm = 2,
+    /// The two-stage `AᵀmA` output transform (+ per-tap rescale on the
+    /// integer path).
+    OutputTransform = 3,
+    /// The fused epilogue emit + scatter into the strip buffer (bias,
+    /// residual, ReLU, requantization).
+    Epilogue = 4,
+    /// The sequential merge of strip buffers into the output tensor.
+    Scatter = 5,
+}
+
+/// How many [`Phase`] variants exist.
+pub const PHASE_COUNT: usize = 6;
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Gather,
+        Phase::InputTransform,
+        Phase::TapGemm,
+        Phase::OutputTransform,
+        Phase::Epilogue,
+        Phase::Scatter,
+    ];
+
+    /// Stable snake_case name (used in traces, tables and bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Gather => "gather",
+            Phase::InputTransform => "input_transform",
+            Phase::TapGemm => "tap_gemm",
+            Phase::OutputTransform => "output_transform",
+            Phase::Epilogue => "epilogue",
+            Phase::Scatter => "scatter",
+        }
+    }
+}
+
+/// Shared per-node phase accumulators (ns totals + block counts). Cheap to
+/// own unconditionally: it is only ever written when [`crate::Detail::Full`]
+/// is active.
+#[derive(Debug, Default)]
+pub struct PhaseProbe {
+    label: String,
+    trace_id: AtomicU64,
+    ns: [AtomicU64; PHASE_COUNT],
+    calls: [AtomicU64; PHASE_COUNT],
+}
+
+impl PhaseProbe {
+    /// A zeroed probe labeled for reports (typically the graph node name).
+    pub fn new(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the correlation id kernel spans carry (the graph node index, or
+    /// a wire request id).
+    pub fn set_trace_id(&self, id: u64) {
+        self.trace_id.store(id, Ordering::Relaxed);
+    }
+
+    /// The correlation id for spans emitted against this probe.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id.load(Ordering::Relaxed)
+    }
+
+    /// The probe's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Adds `ns` nanoseconds and one block call to `phase`.
+    pub fn add(&self, phase: Phase, ns: u64, calls: u64) {
+        if ns == 0 && calls == 0 {
+            return;
+        }
+        self.ns[phase as usize].fetch_add(ns, Ordering::Relaxed);
+        self.calls[phase as usize].fetch_add(calls, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the accumulators.
+    pub fn snapshot(&self) -> PhaseSnapshot {
+        PhaseSnapshot {
+            label: self.label.clone(),
+            ns: std::array::from_fn(|i| self.ns[i].load(Ordering::Relaxed)),
+            calls: std::array::from_fn(|i| self.calls[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zeroes the accumulators (a fresh measurement window).
+    pub fn reset(&self) {
+        for i in 0..PHASE_COUNT {
+            self.ns[i].store(0, Ordering::Relaxed);
+            self.calls[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A worker-local phase stopwatch: [`PhaseClock::lap`] attributes the time
+/// since the previous lap to a phase, and [`PhaseClock::flush`] folds the
+/// totals into a shared [`PhaseProbe`] once. Costs one relaxed atomic load
+/// to construct when profiling is off, and nothing thereafter.
+#[derive(Debug)]
+pub struct PhaseClock {
+    on: bool,
+    last: Option<Instant>,
+    ns: [u64; PHASE_COUNT],
+    calls: [u64; PHASE_COUNT],
+}
+
+impl PhaseClock {
+    /// Starts a clock; live only when [`crate::Detail::Full`] is active.
+    #[inline]
+    pub fn start() -> Self {
+        let on = full_enabled();
+        Self {
+            on,
+            last: on.then(Instant::now),
+            ns: [0; PHASE_COUNT],
+            calls: [0; PHASE_COUNT],
+        }
+    }
+
+    /// Whether this clock is recording.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Attributes the time since the previous lap (or construction) to
+    /// `phase` and restarts the stopwatch.
+    #[inline]
+    pub fn lap(&mut self, phase: Phase) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            self.ns[phase as usize] += now.duration_since(last).as_nanos() as u64;
+            self.calls[phase as usize] += 1;
+            self.last = Some(now);
+        }
+    }
+
+    /// Restarts the stopwatch without attributing the elapsed stretch to any
+    /// phase (for un-profiled work between blocks).
+    #[inline]
+    pub fn skip(&mut self) {
+        if self.last.is_some() {
+            self.last = Some(Instant::now());
+        }
+    }
+
+    /// Folds the accumulated laps into `probe` (one atomic add per touched
+    /// phase).
+    pub fn flush(&self, probe: &PhaseProbe) {
+        if self.on {
+            for p in Phase::ALL {
+                probe.add(p, self.ns[p as usize], self.calls[p as usize]);
+            }
+        }
+    }
+}
+
+/// One node's phase totals, as copied out of a [`PhaseProbe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// The probe label (graph node name).
+    pub label: String,
+    /// Nanoseconds per phase, indexed by `Phase as usize`.
+    pub ns: [u64; PHASE_COUNT],
+    /// Block calls per phase.
+    pub calls: [u64; PHASE_COUNT],
+}
+
+impl PhaseSnapshot {
+    /// Nanoseconds attributed to one phase.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.ns[phase as usize]
+    }
+
+    /// Block calls attributed to one phase.
+    pub fn phase_calls(&self, phase: Phase) -> u64 {
+        self.calls[phase as usize]
+    }
+
+    /// Total nanoseconds across every phase.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+}
+
+/// Per-node, per-phase totals for a whole prepared graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// One snapshot per instrumented node, in graph order.
+    pub nodes: Vec<PhaseSnapshot>,
+}
+
+impl PhaseProfile {
+    /// Sum of one phase across every node.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.nodes.iter().map(|n| n.phase_ns(phase)).sum()
+    }
+
+    /// Total nanoseconds across every node and phase.
+    pub fn total_ns(&self) -> u64 {
+        self.nodes.iter().map(PhaseSnapshot::total_ns).sum()
+    }
+
+    /// Whether any phase of any node recorded time.
+    pub fn is_empty(&self) -> bool {
+        self.total_ns() == 0
+    }
+
+    /// An aligned table: one row per node with time recorded, a phase per
+    /// column (milliseconds), plus a totals row.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let name_w = self
+            .nodes
+            .iter()
+            .filter(|n| n.total_ns() > 0)
+            .map(|n| n.label.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        let _ = write!(out, "{:<name_w$}", "node");
+        for p in Phase::ALL {
+            let _ = write!(out, "  {:>16}", p.name());
+        }
+        let _ = writeln!(out, "  {:>10}", "total_ms");
+        for n in self.nodes.iter().filter(|n| n.total_ns() > 0) {
+            let _ = write!(out, "{:<name_w$}", n.label);
+            for p in Phase::ALL {
+                let _ = write!(out, "  {:>13.3} ms", ms(n.phase_ns(p)));
+            }
+            let _ = writeln!(out, "  {:>10.3}", ms(n.total_ns()));
+        }
+        let _ = write!(out, "{:<name_w$}", "all");
+        for p in Phase::ALL {
+            let _ = write!(out, "  {:>13.3} ms", ms(self.phase_ns(p)));
+        }
+        let _ = writeln!(out, "  {:>10.3}", ms(self.total_ns()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::test_guard;
+    use crate::{install, set_detail, Detail, TraceConfig};
+
+    #[test]
+    fn clock_off_attributes_nothing() {
+        let _g = test_guard();
+        set_detail(Detail::Off);
+        let probe = PhaseProbe::new("off-node");
+        let mut clock = PhaseClock::start();
+        assert!(!clock.is_on());
+        clock.lap(Phase::TapGemm);
+        clock.flush(&probe);
+        assert_eq!(probe.snapshot().total_ns(), 0);
+    }
+
+    #[test]
+    fn clock_laps_accumulate_into_the_probe() {
+        let _g = test_guard();
+        install(TraceConfig {
+            detail: Detail::Full,
+            ring_capacity: 256,
+        });
+        let probe = PhaseProbe::new("conv1");
+        probe.set_trace_id(3);
+        let mut clock = PhaseClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        clock.lap(Phase::Gather);
+        clock.lap(Phase::TapGemm);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        clock.skip(); // un-profiled stretch
+        clock.lap(Phase::Epilogue);
+        clock.flush(&probe);
+        set_detail(Detail::Off);
+        let snap = probe.snapshot();
+        assert_eq!(snap.label, "conv1");
+        assert_eq!(probe.trace_id(), 3);
+        assert!(snap.phase_ns(Phase::Gather) >= 2_000_000);
+        assert_eq!(snap.phase_calls(Phase::Gather), 1);
+        assert_eq!(snap.phase_calls(Phase::TapGemm), 1);
+        assert!(
+            snap.phase_ns(Phase::Epilogue) < 1_000_000,
+            "skip() must not attribute the sleep to the next lap"
+        );
+        assert_eq!(snap.phase_calls(Phase::Scatter), 0);
+        probe.reset();
+        assert_eq!(probe.snapshot().total_ns(), 0);
+    }
+
+    #[test]
+    fn profile_reduces_and_renders() {
+        let a = PhaseSnapshot {
+            label: "conv1".to_string(),
+            ns: [10, 20, 300, 40, 50, 5],
+            calls: [1; PHASE_COUNT],
+        };
+        let b = PhaseSnapshot {
+            label: "conv2".to_string(),
+            ns: [1, 2, 30, 4, 5, 1],
+            calls: [2; PHASE_COUNT],
+        };
+        let quiet = PhaseSnapshot {
+            label: "relu".to_string(),
+            ns: [0; PHASE_COUNT],
+            calls: [0; PHASE_COUNT],
+        };
+        let profile = PhaseProfile {
+            nodes: vec![a, b, quiet],
+        };
+        assert_eq!(profile.phase_ns(Phase::TapGemm), 330);
+        assert_eq!(profile.total_ns(), 468);
+        assert!(!profile.is_empty());
+        let table = profile.render();
+        assert!(table.contains("conv1") && table.contains("conv2"));
+        assert!(
+            !table.contains("relu"),
+            "nodes without recorded time stay out of the table:\n{table}"
+        );
+        assert!(table.contains("tap_gemm"));
+    }
+}

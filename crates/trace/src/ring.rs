@@ -1,0 +1,324 @@
+//! Per-thread lock-free event rings.
+//!
+//! Each recording thread owns one fixed-capacity ring it alone writes;
+//! overwriting the oldest event when full means a long run keeps the most
+//! recent window instead of failing or blocking. A drain from another thread
+//! reads the slots through per-slot sequence counters (a seqlock): a slot
+//! mid-overwrite is simply skipped, so the writer never waits on a reader
+//! and the reader never sees a torn event. Everything is `std` atomics — no
+//! unsafe, no locks on the recording path.
+
+use crate::{ring_capacity, sym_name, Category, Sym};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Whether an event is a duration or a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A complete span with a duration.
+    Span,
+    /// A zero-duration marker.
+    Instant,
+}
+
+/// One decoded trace event, as returned by [`drain_events`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The interned name the event was recorded under.
+    pub name: String,
+    /// Stack layer.
+    pub cat: Category,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Start, in nanoseconds since the trace epoch.
+    pub t0_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Correlation id (wire request id, graph node index, …).
+    pub id: u64,
+    /// The recording thread's trace-local id.
+    pub tid: u32,
+}
+
+/// One event packed into four words behind a per-slot seqlock.
+///
+/// Word 3 packs `sym << 32 | cat << 8 | kind`; an empty slot keeps the
+/// sentinel `u64::MAX` there (no sym can reach `u32::MAX` in practice, and
+/// `cat` never decodes from `0xFF`), so a never-written slot is
+/// distinguishable without a separate flag.
+struct Slot {
+    seq: AtomicU32,
+    words: [AtomicU64; 4],
+}
+
+const EMPTY_W3: u64 = u64::MAX;
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU32::new(0),
+            words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(EMPTY_W3),
+            ],
+        }
+    }
+
+    /// Single-writer publish: bump to odd, store the payload, bump to even.
+    fn write(&self, words: [u64; 4]) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (slot, w) in self.words.iter().zip(words) {
+            slot.store(w, Ordering::Relaxed);
+        }
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Seqlocked read; `None` when the slot is empty or mid-overwrite.
+    fn read(&self) -> Option<[u64; 4]> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 != 0 {
+            return None;
+        }
+        let words = [
+            self.words[0].load(Ordering::Relaxed),
+            self.words[1].load(Ordering::Relaxed),
+            self.words[2].load(Ordering::Relaxed),
+            self.words[3].load(Ordering::Relaxed),
+        ];
+        fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) != s1 || words[3] == EMPTY_W3 {
+            return None;
+        }
+        Some(words)
+    }
+}
+
+/// One thread's ring. Only the owning thread writes; any thread may drain.
+struct ThreadRing {
+    tid: u32,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl ThreadRing {
+    fn new(tid: u32, capacity: usize) -> Self {
+        Self {
+            tid,
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+        }
+    }
+
+    fn push(&self, words: [u64; 4]) {
+        let h = self.head.load(Ordering::Relaxed);
+        self.slots[(h % self.slots.len() as u64) as usize].write(words);
+        self.head.store(h.wrapping_add(1), Ordering::Release);
+    }
+
+    fn drain_into(&self, out: &mut Vec<Event>) {
+        let _ = self.head.load(Ordering::Acquire);
+        for slot in self.slots.iter() {
+            if let Some(w) = slot.read() {
+                let sym = Sym((w[3] >> 32) as u32);
+                let cat = Category::from_byte(((w[3] >> 8) & 0xFF) as u8);
+                let kind = if w[3] & 0xFF == 0 {
+                    EventKind::Span
+                } else {
+                    EventKind::Instant
+                };
+                out.push(Event {
+                    name: sym_name(sym),
+                    cat,
+                    kind,
+                    t0_ns: w[0],
+                    dur_ns: w[1],
+                    id: w[2],
+                    tid: self.tid,
+                });
+            }
+        }
+    }
+
+    fn clear(&self) {
+        // Owner-agnostic reset: seqlocked writes from the draining thread
+        // are safe because clearing only runs from explicit test/export
+        // paths, and a concurrent writer's slot simply wins the race.
+        for slot in self.slots.iter() {
+            slot.write([0, 0, 0, EMPTY_W3]);
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Rings whose owning thread exited, ready for adoption by a new thread.
+/// The kernels' fork–join helpers spawn fresh scoped threads per call;
+/// without recycling every such thread would leak one ring into the
+/// registry. A recycled ring keeps its events (the registry still holds it,
+/// so a drain after the fork–join sees the workers' spans).
+fn free_pool() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static POOL: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The thread-local handle; returns the ring to the free pool at thread
+/// exit.
+struct LocalRing(Arc<ThreadRing>);
+
+impl Drop for LocalRing {
+    fn drop(&mut self) {
+        free_pool()
+            .lock()
+            .expect("ring free pool poisoned")
+            .push(Arc::clone(&self.0));
+    }
+}
+
+thread_local! {
+    static LOCAL_RING: OnceLock<LocalRing> = const { OnceLock::new() };
+}
+
+fn local_ring_with(f: impl FnOnce(&ThreadRing)) {
+    LOCAL_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let recycled = free_pool().lock().expect("ring free pool poisoned").pop();
+            LocalRing(recycled.unwrap_or_else(|| {
+                let mut rings = registry().lock().expect("ring registry poisoned");
+                let ring = Arc::new(ThreadRing::new(rings.len() as u32, ring_capacity()));
+                rings.push(Arc::clone(&ring));
+                ring
+            }))
+        });
+        f(&ring.0);
+    });
+}
+
+/// Records one event into the calling thread's ring. Callers have already
+/// checked the enabled gate.
+pub(crate) fn record(sym: Sym, cat: Category, kind: EventKind, t0_ns: u64, dur_ns: u64, id: u64) {
+    let w3 = (u64::from(sym.0) << 32)
+        | (u64::from(cat as u8) << 8)
+        | (kind == EventKind::Instant) as u64;
+    local_ring_with(|ring| ring.push([t0_ns, dur_ns, id, w3]));
+}
+
+/// Snapshots every thread's ring into one list sorted by start time. The
+/// rings keep their contents (a later drain sees the same events plus newer
+/// ones); use [`clear_events`] to start a fresh window.
+pub fn drain_events() -> Vec<Event> {
+    let rings = registry().lock().expect("ring registry poisoned");
+    let mut out = Vec::new();
+    for ring in rings.iter() {
+        ring.drain_into(&mut out);
+    }
+    drop(rings);
+    out.sort_by_key(|e| (e.t0_ns, e.tid));
+    out
+}
+
+/// Empties every thread's ring.
+pub fn clear_events() {
+    let rings = registry().lock().expect("ring registry poisoned");
+    for ring in rings.iter() {
+        ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::test_guard;
+    use crate::{install, instant, intern, set_detail, span, Detail, TraceConfig};
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_capacity() {
+        let ring = ThreadRing::new(9, 16);
+        let sym = intern("ring-fill");
+        let w3 = (u64::from(sym.0) << 32) | 1; // instant, cat Node
+        for i in 0..40u64 {
+            ring.push([i, 0, i, w3]);
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 16, "capacity bounds the retained window");
+        let mut ids: Vec<u64> = out.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (24..40).collect::<Vec<u64>>(),
+            "the newest events survive, the oldest are overwritten"
+        );
+        assert!(out.iter().all(|e| e.tid == 9));
+    }
+
+    #[test]
+    fn cross_thread_events_merge_sorted() {
+        let _g = test_guard();
+        install(TraceConfig {
+            detail: Detail::Spans,
+            ring_capacity: 256,
+        });
+        clear_events();
+        let sym = intern("cross-thread");
+        instant(sym, Category::Serve, 1);
+        std::thread::spawn(move || {
+            let _s = span(sym, Category::Node, 2);
+        })
+        .join()
+        .unwrap();
+        instant(sym, Category::Serve, 3);
+        let events: Vec<Event> = drain_events()
+            .into_iter()
+            .filter(|e| e.name == "cross-thread")
+            .collect();
+        set_detail(Detail::Off);
+        assert_eq!(events.len(), 3);
+        let tids: std::collections::BTreeSet<u32> = events.iter().map(|e| e.tid).collect();
+        assert!(tids.len() >= 2, "the spawned thread got its own ring");
+        assert!(
+            events.windows(2).all(|w| w[0].t0_ns <= w[1].t0_ns),
+            "drain must sort by start time"
+        );
+    }
+
+    #[test]
+    fn concurrent_writer_and_drainer_never_tear() {
+        let _g = test_guard();
+        install(TraceConfig {
+            detail: Detail::Spans,
+            ring_capacity: 64,
+        });
+        clear_events();
+        let sym = intern("tear-check");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // id and dur always agree; a torn read would break that.
+                    crate::ring::record(sym, Category::Kernel, EventKind::Span, i, i * 3, i);
+                    i += 1;
+                }
+            })
+        };
+        for _ in 0..200 {
+            for e in drain_events() {
+                if e.name == "tear-check" {
+                    assert_eq!(e.dur_ns, e.id * 3, "torn event: {e:?}");
+                    assert_eq!(e.t0_ns, e.id, "torn event: {e:?}");
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        set_detail(Detail::Off);
+    }
+}

@@ -10,14 +10,22 @@
 //! ```text
 //! cargo run --release --example bench_dump            # full iteration counts
 //! cargo run --release --example bench_dump -- --quick # CI smoke mode
+//! cargo run --release --example bench_dump -- --quick --trace trace.json
+//! #   also exports a Chrome-trace timeline (implies WINO_TRACE=full)
 //! ```
+//!
+//! Independent of the trace flag, every kernel row gets a per-phase
+//! (gather / input transform / tap GEMM / output transform / epilogue /
+//! scatter) nanosecond breakdown from one dedicated profiled run — the
+//! timed medians themselves always run at the ambient detail level.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use winograd_tapwise::wino_core::{
-    FusionClasses, GraphExecutor, GraphRunOptions, IntWinogradConv, PreparedWinogradConv,
-    QuantParams, TapwiseScales, TileSize, WinogradMatrices, WinogradQuantConfig,
+    FusionClasses, GraphExecutor, GraphRunOptions, IntWinogradConv, Phase, PhaseProbe,
+    PhaseSnapshot, PreparedWinogradConv, QuantParams, TapwiseScales, TileSize, WinogradMatrices,
+    WinogradQuantConfig,
 };
 use winograd_tapwise::wino_nets::{resnet20_graph, resnet34_graph};
 use winograd_tapwise::wino_serve::net::{
@@ -27,6 +35,7 @@ use winograd_tapwise::wino_serve::BatchPolicy;
 use winograd_tapwise::wino_tensor::{
     gemm_f32_into_with, gemm_i16_i32_into_with, gemm_i8_i32_into_with, normal, simd, Tensor,
 };
+use winograd_tapwise::wino_trace;
 
 /// Median wall-clock nanoseconds of `iters` runs of `f`.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
@@ -48,8 +57,42 @@ fn json_pair(tap_ns: u128, per_tile_ns: u128) -> String {
     )
 }
 
+/// One phase-breakdown JSON object from a probe snapshot.
+fn phase_json(snap: &PhaseSnapshot) -> String {
+    Phase::ALL
+        .iter()
+        .map(|&p| format!("\"{}_ns\": {}", p.name(), snap.phase_ns(p)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Runs `f` once with `Detail::Full` forced on, restoring the ambient level
+/// after — the dedicated profiled run behind every per-phase row.
+fn profiled_run(f: impl FnOnce()) {
+    let prev = wino_trace::detail();
+    wino_trace::set_detail(wino_trace::Detail::Full);
+    f();
+    wino_trace::set_detail(prev);
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick") || std::env::var("BENCH_QUICK").is_ok();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick") || std::env::var("BENCH_QUICK").is_ok();
+    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("--trace needs a file path"))
+            .clone()
+    });
+    let mut detail = wino_trace::init_from_env();
+    if trace_path.is_some() && detail == wino_trace::Detail::Off {
+        // An exported trace of an untraced run would be empty; the flag
+        // implies full detail unless WINO_TRACE chose otherwise.
+        detail = wino_trace::Detail::Full;
+        wino_trace::set_detail(detail);
+    }
+    if detail != wino_trace::Detail::Off {
+        eprintln!("tracing: {detail:?}");
+    }
     let iters = if quick { 2 } else { 7 };
     // The distinct 3×3 stride-1 layer shapes of ResNet-34: (C, H=W).
     let shapes: &[(usize, usize)] = if quick {
@@ -60,12 +103,14 @@ fn main() {
 
     let mut float_rows = Vec::new();
     let mut int_rows = Vec::new();
+    let mut float_phase_rows = Vec::new();
+    let mut int_phase_rows = Vec::new();
     for &(c, hw) in shapes {
         let label = format!("{c}x{c}x{hw}");
         let x = normal(&[1, c, hw, hw], 0.0, 1.0, 3);
         let w = normal(&[c, c, 3, 3], 0.0, 0.2, 4);
 
-        let prep = PreparedWinogradConv::prepare(&w, TileSize::F4);
+        let mut prep = PreparedWinogradConv::prepare(&w, TileSize::F4);
         let tap = median_ns(iters, || {
             std::hint::black_box(prep.forward(&x));
         });
@@ -79,13 +124,22 @@ fn main() {
             per_tile as f64 / tap.max(1) as f64
         );
         float_rows.push(format!("\"{label}\": {}", json_pair(tap, per_tile)));
+        let probe = Arc::new(PhaseProbe::new(&label));
+        prep.set_probe(Arc::clone(&probe));
+        profiled_run(|| {
+            std::hint::black_box(prep.forward(&x));
+        });
+        float_phase_rows.push(format!(
+            "\"{label}\": {{{}}}",
+            phase_json(&probe.snapshot())
+        ));
 
         let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
         let mats = WinogradMatrices::for_tile(TileSize::F4);
         let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
         let xp = QuantParams::from_max(x.abs_max(), cfg.spatial_bits).to_power_of_two();
         let xq: Tensor<i8> = x.map(|v| xp.quantize(v) as i8);
-        let conv = IntWinogradConv::prepare(&w, &scales, xp, 8.0, cfg);
+        let mut conv = IntWinogradConv::prepare(&w, &scales, xp, 8.0, cfg);
         let tap = median_ns(iters, || {
             std::hint::black_box(conv.forward(&xq));
         });
@@ -99,6 +153,15 @@ fn main() {
             per_tile as f64 / tap.max(1) as f64
         );
         int_rows.push(format!("\"{label}\": {}", json_pair(tap, per_tile)));
+        let probe = Arc::new(PhaseProbe::new(&label));
+        conv.set_probe(Arc::clone(&probe));
+        profiled_run(|| {
+            std::hint::black_box(conv.forward(&xq));
+        });
+        int_phase_rows.push(format!(
+            "\"{label}\": {{{}}}",
+            phase_json(&probe.snapshot())
+        ));
     }
 
     // Quantized ResNet-20 end to end: one prepared + calibrated graph per
@@ -126,6 +189,17 @@ fn main() {
         per_tile as f64 / tap.max(1) as f64,
         p_fused.fused_relu_count(),
         p_fused.scratch_bytes() / 1024,
+    );
+    // One dedicated profiled run fills the per-node phase probes the
+    // executor attached at prepare time.
+    p_fused.reset_phase_profile();
+    profiled_run(|| {
+        std::hint::black_box(fused.run(&p_fused));
+    });
+    let graph_profile = p_fused.phase_profile();
+    eprintln!(
+        "per-phase profile (one quantized resnet20 run):\n{}",
+        graph_profile.render()
     );
 
     // Residual-tail fusion rows: the full epilogue (conv→add→relu fused,
@@ -340,6 +414,20 @@ fn main() {
         "  \"graph\": {{\"resnet20_int_e2e\": {}}},",
         json_pair(tap, per_tile)
     );
+    let graph_phases = Phase::ALL
+        .iter()
+        .map(|&p| format!("\"{}_ns\": {}", p.name(), graph_profile.phase_ns(p)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(json, "  \"phases\": {{");
+    let _ = writeln!(
+        json,
+        "    \"float_f4\": {{{}}},",
+        float_phase_rows.join(", ")
+    );
+    let _ = writeln!(json, "    \"int_f4\": {{{}}},", int_phase_rows.join(", "));
+    let _ = writeln!(json, "    \"resnet20_int_e2e\": {{{graph_phases}}}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"graph_residual\": {{{}}},",
@@ -359,4 +447,22 @@ fn main() {
     json.push('}');
     std::fs::write("BENCH_winograd.json", &json).expect("write BENCH_winograd.json");
     println!("{json}");
+
+    if let Some(path) = &trace_path {
+        let trace_json = wino_trace::export_chrome_trace();
+        std::fs::write(path, &trace_json).expect("write chrome trace");
+        let events = wino_trace::drain_events();
+        // Every conv node that recorded phase time must have at least one
+        // complete node span in the exported timeline.
+        for node in graph_profile.nodes.iter().filter(|n| n.total_ns() > 0) {
+            assert!(
+                events.iter().any(|e| e.cat == wino_trace::Category::Node
+                    && e.kind == wino_trace::EventKind::Span
+                    && e.name == node.label),
+                "no node span for conv {:?} in the exported trace",
+                node.label
+            );
+        }
+        eprintln!("wrote chrome trace ({} events) to {path}", events.len());
+    }
 }

@@ -9,4 +9,5 @@ pub use wino_core;
 pub use wino_nets;
 pub use wino_serve;
 pub use wino_tensor;
+pub use wino_trace;
 pub use wino_train;

@@ -203,6 +203,110 @@ fn overload_sheds_explicitly_and_bounds_the_accepted_tail() {
     );
 }
 
+/// ISSUE 8: a `Frame::Stats` round trip must report exactly the request
+/// counts this client observed, the ping RTT must land in the process
+/// metrics registry, and the trace ring must hold the request's complete
+/// serving timeline (handler span + enqueue/dispatch scheduler events +
+/// per-node executor spans inside its window).
+#[test]
+fn stats_frame_and_trace_pin_the_request_timeline() {
+    use winograd_tapwise::wino_trace;
+    let executor = Arc::new(GraphExecutor::with_defaults());
+    let prepared = Arc::new(executor.prepare(
+        &resnet20_graph().with_channel_div(8),
+        &GraphRunOptions::default(),
+    ));
+    let registry = RegistryBuilder::new()
+        .model(
+            "stats-model",
+            Arc::clone(&executor),
+            prepared,
+            ModelServeConfig::default(),
+        )
+        .build();
+    let server = NetServer::bind("127.0.0.1:0", registry, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    wino_trace::install(wino_trace::TraceConfig {
+        detail: wino_trace::Detail::Spans,
+        ring_capacity: 16 * 1024,
+    });
+
+    let mut client = NetClient::connect(addr).expect("connect");
+    let rtt = client.ping_rtt().expect("ping rtt");
+    assert!(rtt > Duration::ZERO, "loopback RTT must be measurable");
+
+    let sent = 3u64;
+    let mut last_id = 0u64;
+    for i in 0..sent {
+        match client
+            .infer("stats-model", vec![probe(500 + i)])
+            .expect("infer io")
+        {
+            NetResponse::Reply { request_id, .. } => last_id = request_id,
+            other => panic!("request {i} refused: {other:?}"),
+        }
+    }
+    wino_trace::set_detail(wino_trace::Detail::Off);
+
+    // The wire stats must agree with what this client just observed.
+    let (entries, text) = client.stats().expect("stats frame");
+    assert_eq!(entries.len(), 1);
+    let e = &entries[0];
+    assert_eq!(e.name, "stats-model");
+    assert_eq!(
+        e.requests, sent,
+        "server-side request count disagrees with the client's"
+    );
+    assert_eq!(e.rejected, 0);
+    assert_eq!(e.shed, 0);
+    assert_eq!(e.calibration, "static");
+    assert!(
+        text.contains("== model stats-model ==") && text.contains("== metrics =="),
+        "stats text must carry the model table and the metrics registry:\n{text}"
+    );
+    // Client and server share this process, so both sides' metrics are in
+    // the one registry the reply rendered.
+    assert!(
+        text.contains("net.client.ping_rtt_us") && text.contains("net.server.pings"),
+        "ping metrics missing from the registry:\n{text}"
+    );
+    assert!(
+        text.contains("serve.stats-model.requests"),
+        "per-model counters must re-register into the registry:\n{text}"
+    );
+
+    // The trace ring holds the request's full serving timeline.
+    let events = wino_trace::drain_events();
+    let req = events
+        .iter()
+        .find(|e| e.name == "request" && e.id == last_id)
+        .expect("handler span missing from the trace");
+    assert!(req.dur_ns > 0, "the handler span must have extent");
+    let within = |t0: u64| t0 >= req.t0_ns && t0 <= req.t0_ns + req.dur_ns;
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "enqueue" && e.id == last_id && within(e.t0_ns)),
+        "enqueue event missing inside the handler span"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "dispatch" && e.id == last_id && within(e.t0_ns)),
+        "dispatch event missing inside the handler span"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.cat == wino_trace::Category::Node && within(e.t0_ns)),
+        "no executor node span inside the handler span"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.model("stats-model").unwrap().requests, sent as usize);
+}
+
 /// A garbage (well-framed, undecodable) payload gets a typed error and the
 /// *same* connection keeps serving; a desync drops the connection but the
 /// handler thread survives to serve new ones.
