@@ -42,6 +42,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                         max_wait: Duration::from_micros(500),
                     },
                     warmup: true,
+                    restart_budget: 3,
                 },
             );
             let client = server.client();

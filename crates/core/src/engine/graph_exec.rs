@@ -913,10 +913,20 @@ impl GraphExecutor {
         let run = self.run_impl(prepared, Some(inputs), Some(cal), arena);
         if cal.finish_batch() {
             // Install first, then flip the public state: a concurrent run
-            // that sees "frozen" must find every integer node prepared.
-            self.install_frozen(prepared, cal);
-            cal.mark_frozen();
-            debug_assert!(prepared.is_calibrated(), "freeze left nodes open");
+            // that sees "frozen" must find every integer node prepared. A
+            // failed install degrades the model instead of poisoning it: the
+            // calibrator pins itself to the exact-FP32 observe path forever
+            // (CalibrationState::Degraded) and replies keep flowing.
+            match self.install_frozen(prepared, cal) {
+                Ok(()) => {
+                    cal.mark_frozen();
+                    debug_assert!(prepared.is_calibrated(), "freeze left nodes open");
+                }
+                Err(_why) => {
+                    cal.mark_degraded();
+                    wino_trace::counter("cal.freeze_failures").inc();
+                }
+            }
         }
         run
     }
@@ -924,7 +934,21 @@ impl GraphExecutor {
     /// Compiles the calibrator's converged running statistics into each
     /// tracked node's integer state — the same construction as first-run
     /// calibration, with EMA maxima in place of single-batch maxima.
-    fn install_frozen(&self, prepared: &PreparedGraph, cal: &RunningCalibration) {
+    ///
+    /// Fallible: a panic inside integer prepare (degenerate ranges, injected
+    /// via the `cal.freeze` fault point in chaos tests) is caught and turned
+    /// into an error so the caller can degrade the model instead of killing
+    /// the worker. On error some nodes may already be installed; that is
+    /// harmless, because a degraded calibrator keeps `observing()` true and
+    /// the observe path never consults the installed integer state.
+    fn install_frozen(
+        &self,
+        prepared: &PreparedGraph,
+        cal: &RunningCalibration,
+    ) -> Result<(), String> {
+        if wino_fault::fire("cal.freeze") {
+            return Err("injected calibration-freeze fault".to_string());
+        }
         let cfg = cal
             .quant_config()
             .expect("freeze fired on a non-quantized calibrator");
@@ -935,16 +959,28 @@ impl GraphExecutor {
             let ConvState::IntWinograd(cell) = &pc.state else {
                 unreachable!("tracked node lost its integer state");
             };
-            let scales = TapwiseScales {
-                input: TapScaleMatrix::from_max_matrix(&fr.input_taps, cfg.wino_bits, cfg.mode),
-                weight: TapScaleMatrix::from_max_matrix(&fr.weight_taps, cfg.wino_bits, cfg.mode),
+            let prepare = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let scales = TapwiseScales {
+                    input: TapScaleMatrix::from_max_matrix(&fr.input_taps, cfg.wino_bits, cfg.mode),
+                    weight: TapScaleMatrix::from_max_matrix(
+                        &fr.weight_taps,
+                        cfg.wino_bits,
+                        cfg.mode,
+                    ),
+                };
+                let input = QuantParams::from_max(fr.input_max, cfg.spatial_bits).to_power_of_two();
+                let conv =
+                    IntWinogradConv::prepare(&fr.weights, &scales, input, fr.output_max, cfg);
+                (conv, input)
+            }));
+            let (mut conv, input) = match prepare {
+                Ok(built) => built,
+                Err(_) => return Err(format!("integer prepare panicked for node {}", fr.node)),
             };
-            let input = QuantParams::from_max(fr.input_max, cfg.spatial_bits).to_power_of_two();
-            let mut conv =
-                IntWinogradConv::prepare(&fr.weights, &scales, input, fr.output_max, cfg);
             conv.set_probe(Arc::clone(&pc.probe));
             *cell.lock().expect("int state poisoned") = Some(IntPrepared { conv, input });
         }
+        Ok(())
     }
 
     fn run_impl(

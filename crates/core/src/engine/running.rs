@@ -100,6 +100,14 @@ pub enum CalibrationState {
         /// Batches that were observed before the freeze.
         batches: usize,
     },
+    /// The freeze was attempted and failed (integer prepare errored, or a
+    /// fault plan injected a failure). The model is pinned to the exact-FP32
+    /// observe path: runs stay correct and bitwise reproducible, trackers are
+    /// inert, and no further freeze will ever be attempted.
+    Degraded {
+        /// Batches that were observed before the failed freeze.
+        batches: usize,
+    },
 }
 
 impl CalibrationState {
@@ -108,13 +116,19 @@ impl CalibrationState {
         !matches!(self, CalibrationState::Warming { .. })
     }
 
-    /// Compact human-readable label (`static`, `warming(3)`, `frozen@7`)
-    /// for stats tables.
+    /// Whether the freeze failed and the model is pinned to FP32.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, CalibrationState::Degraded { .. })
+    }
+
+    /// Compact human-readable label (`static`, `warming(3)`, `frozen@7`,
+    /// `degraded@7`) for stats tables.
     pub fn label(&self) -> String {
         match self {
             CalibrationState::Static => "static".to_string(),
             CalibrationState::Warming { batches } => format!("warming({batches})"),
             CalibrationState::Frozen { batches } => format!("frozen@{batches}"),
+            CalibrationState::Degraded { batches } => format!("degraded@{batches}"),
         }
     }
 }
@@ -153,6 +167,9 @@ struct Inner {
     frozen_at: Option<usize>,
     /// Set once the freeze decision fired, so exactly one caller installs.
     freeze_claimed: bool,
+    /// Set when the freeze attempt failed; the model stays on the FP32
+    /// observe path forever and the trackers go inert.
+    degraded: bool,
     nodes: Vec<NodeTrackers>,
     /// Flat snapshot of every tracked range after the previous batch, for
     /// the stability criterion.
@@ -211,6 +228,7 @@ impl RunningCalibration {
                 batches: 0,
                 frozen_at: is_static.then_some(0),
                 freeze_claimed: is_static,
+                degraded: false,
                 nodes: trackers,
                 last_ranges: None,
                 last_drift: f32::INFINITY,
@@ -226,6 +244,9 @@ impl RunningCalibration {
     /// The lifecycle position: static, warming or frozen.
     pub fn state(&self) -> CalibrationState {
         let g = self.inner.lock().expect("calibration poisoned");
+        if g.degraded {
+            return CalibrationState::Degraded { batches: g.batches };
+        }
         match g.frozen_at {
             Some(0) if g.nodes.is_empty() || self.cfg.is_none() => CalibrationState::Static,
             Some(b) => CalibrationState::Frozen { batches: b },
@@ -276,7 +297,7 @@ impl RunningCalibration {
         let mats = WinogradMatrices::for_tile(cfg.tile);
         let t = mats.input_tile();
         let mut g = self.inner.lock().expect("calibration poisoned");
-        if g.frozen_at.is_some() {
+        if g.frozen_at.is_some() || g.degraded {
             return; // recalibration guard: frozen state never moves again
         }
         let Some(n) = g.nodes.iter_mut().find(|n| n.node == node) else {
@@ -334,7 +355,7 @@ impl RunningCalibration {
     /// state and call [`RunningCalibration::mark_frozen`].
     pub(crate) fn finish_batch(&self) -> bool {
         let mut g = self.inner.lock().expect("calibration poisoned");
-        if g.frozen_at.is_some() || g.freeze_claimed {
+        if g.frozen_at.is_some() || g.freeze_claimed || g.degraded {
             return false;
         }
         g.batches += 1;
@@ -398,6 +419,17 @@ impl RunningCalibration {
         let mut g = self.inner.lock().expect("calibration poisoned");
         let batches = g.batches;
         g.frozen_at.get_or_insert(batches);
+    }
+
+    /// Marks the calibrator degraded after a failed freeze: `frozen_at` stays
+    /// `None` so [`RunningCalibration::observing`] keeps routing runs down the
+    /// exact-FP32 path, while the trackers and the freeze decision go inert.
+    /// Terminal — there is no recovery path by design (a failed freeze means
+    /// the integer state cannot be trusted; FP32 replies stay correct).
+    pub(crate) fn mark_degraded(&self) {
+        let mut g = self.inner.lock().expect("calibration poisoned");
+        g.degraded = true;
+        g.freeze_claimed = true;
     }
 
     /// The quantization config calibration prepares for (None on a float
@@ -523,6 +555,30 @@ mod tests {
             }
         }
         assert_eq!(fired, Some(4), "the max_batches backstop must fire");
+    }
+
+    #[test]
+    fn degraded_calibrator_is_terminal_and_keeps_observing_path() {
+        let cal = one_node_cal(CalibrationPolicy::quick(1));
+        let x = normal(&[1, 4, 8, 8], 0.0, 1.0, 5);
+        cal.observe_node(3, &x);
+        let _ = cal.finish_batch();
+        cal.observe_node(3, &x);
+        assert!(cal.finish_batch(), "freeze decision fires");
+        // The install failed — mark degraded instead of frozen.
+        cal.mark_degraded();
+        assert_eq!(cal.state(), CalibrationState::Degraded { batches: 2 });
+        assert_eq!(cal.state().label(), "degraded@2");
+        assert!(cal.state().is_degraded());
+        assert!(
+            cal.observing(),
+            "degraded models stay pinned to the FP32 observe path"
+        );
+        // Trackers are inert and the freeze never refires.
+        let frozen_max = cal.input_max_for(3).unwrap();
+        cal.observe_node(3, &normal(&[1, 4, 8, 8], 0.0, 100.0, 6));
+        assert!(!cal.finish_batch(), "degraded calibrators never freeze");
+        assert_eq!(cal.input_max_for(3).unwrap(), frozen_max);
     }
 
     #[test]

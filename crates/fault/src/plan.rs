@@ -1,0 +1,414 @@
+//! Fault plans: which sites fail, how, and on which hits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::rng::SplitMix64;
+use crate::Fault;
+
+/// When a rule fires, relative to its own per-site hit counter (1-based).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Trigger {
+    /// Every hit.
+    Always,
+    /// Exactly the `n`th hit.
+    Nth(u64),
+    /// Every hit from the `n`th on.
+    From(u64),
+    /// Every `k`th hit (hits k, 2k, 3k, ...).
+    Every(u64),
+    /// Each hit independently with probability `p`, drawn from the rule's
+    /// seeded SplitMix64 substream.
+    Prob(f64),
+}
+
+/// The action a firing rule injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Action {
+    Panic,
+    Fail,
+    Delay(Duration),
+}
+
+impl Action {
+    fn to_fault(self) -> Fault {
+        match self {
+            Action::Panic => Fault::Panic,
+            Action::Fail => Fault::Fail,
+            Action::Delay(d) => Fault::Delay(d),
+        }
+    }
+}
+
+/// Builder for one rule: an action plus trigger/limit modifiers.
+///
+/// Defaults: trigger = every hit, no fire limit (except [`nth`](Self::nth),
+/// which is inherently one-shot).
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    action: Action,
+    trigger: Trigger,
+    limit: u64,
+}
+
+impl FaultSpec {
+    /// Inject a panic (exercises `catch_unwind` isolation).
+    pub fn panic() -> Self {
+        FaultSpec {
+            action: Action::Panic,
+            trigger: Trigger::Always,
+            limit: u64::MAX,
+        }
+    }
+
+    /// Inject a typed failure (the site chooses the error it surfaces).
+    pub fn fail() -> Self {
+        FaultSpec {
+            action: Action::Fail,
+            trigger: Trigger::Always,
+            limit: u64::MAX,
+        }
+    }
+
+    /// Inject a stall of `d` before the site proceeds.
+    pub fn delay(d: Duration) -> Self {
+        FaultSpec {
+            action: Action::Delay(d),
+            trigger: Trigger::Always,
+            limit: u64::MAX,
+        }
+    }
+
+    /// Fire only on the `n`th hit (1-based).
+    pub fn nth(mut self, n: u64) -> Self {
+        assert!(n >= 1, "hits are 1-based");
+        self.trigger = Trigger::Nth(n);
+        self
+    }
+
+    /// Fire on every hit from the `n`th on (1-based).
+    pub fn from(mut self, n: u64) -> Self {
+        assert!(n >= 1, "hits are 1-based");
+        self.trigger = Trigger::From(n);
+        self
+    }
+
+    /// Fire on every `k`th hit.
+    pub fn every(mut self, k: u64) -> Self {
+        assert!(k >= 1, "period must be at least 1");
+        self.trigger = Trigger::Every(k);
+        self
+    }
+
+    /// Fire each hit independently with probability `p` (seeded, replayable).
+    pub fn prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.trigger = Trigger::Prob(p);
+        self
+    }
+
+    /// Cap the total number of fires at `m`.
+    pub fn times(mut self, m: u64) -> Self {
+        self.limit = m;
+        self
+    }
+}
+
+/// A seeded set of fault rules. Install with [`crate::install`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<(String, FaultSpec)>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add a rule for `site`. Rules are evaluated in insertion order; the
+    /// first one that fires on a given hit wins.
+    pub fn rule(mut self, site: &str, spec: FaultSpec) -> Self {
+        self.rules.push((site.to_string(), spec));
+        self
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Parse the `WINO_FAULT` grammar: semicolon-separated entries, each
+    /// either `seed=N` or a rule of the form
+    ///
+    /// ```text
+    /// site:action[@N | @N+ | /K | %P][xM]
+    /// ```
+    ///
+    /// * `action` — `panic`, `fail`, `delay=DUR` (or its alias `stall=DUR`);
+    ///   `DUR` accepts `250us`, `50ms`, `2s`, or a bare integer (milliseconds)
+    /// * `@N` — fire only on the Nth hit (1-based); `@N+` — every hit from N on
+    /// * `/K` — fire on every Kth hit
+    /// * `%P` — fire each hit with probability P (`0 ≤ P ≤ 1`, seeded)
+    /// * `xM` — cap total fires at M
+    ///
+    /// Example: `seed=42;worker.batch.pre:panic@2;net.server.read:delay=50ms/3`
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            if let Some(seed) = entry.strip_prefix("seed=") {
+                plan.seed = seed
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed {seed:?}"))?;
+                continue;
+            }
+            let (site, rest) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("rule {entry:?} is missing `site:action`"))?;
+            if site.is_empty() {
+                return Err(format!("rule {entry:?} has an empty site"));
+            }
+            let (spec, _) = parse_rule(rest)?;
+            plan.rules.push((site.to_string(), spec));
+        }
+        Ok(plan)
+    }
+
+    pub(crate) fn into_state(self) -> PlanState {
+        let seed = self.seed;
+        let rules = self
+            .rules
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (site, spec))| RuleState {
+                site,
+                action: spec.action,
+                trigger: spec.trigger,
+                limit: spec.limit,
+                hits: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+                rng: Mutex::new(SplitMix64::for_substream(seed, idx as u64)),
+            })
+            .collect();
+        PlanState { rules }
+    }
+}
+
+/// Parse `action[@N|@N+|/K|%P][xM]`; returns the spec and consumed length.
+fn parse_rule(s: &str) -> Result<(FaultSpec, usize), String> {
+    // Split off modifiers: the action part runs until the first of @ / % x
+    // that is not inside the duration argument. Durations never contain those
+    // characters, so a plain scan works.
+    let modifier_at = s
+        .find(['@', '/', '%'])
+        .or_else(|| {
+            // `x` also appears in no action name or duration unit; only treat
+            // it as a modifier if what follows parses as an integer.
+            s.char_indices()
+                .find(|&(i, c)| {
+                    c == 'x'
+                        && s[i + 1..]
+                            .chars()
+                            .next()
+                            .is_some_and(|d| d.is_ascii_digit())
+                })
+                .map(|(i, _)| i)
+        })
+        .unwrap_or(s.len());
+    let (action_str, mut rest) = s.split_at(modifier_at);
+    let action = parse_action(action_str.trim())?;
+    let mut spec = FaultSpec {
+        action,
+        trigger: Trigger::Always,
+        limit: u64::MAX,
+    };
+    while !rest.is_empty() {
+        let (kind, body) = rest.split_at(1);
+        let end = body
+            .char_indices()
+            .find(|&(_, c)| ['@', '/', '%', 'x'].contains(&c))
+            .map(|(i, _)| i)
+            .unwrap_or(body.len());
+        let (arg, next) = body.split_at(end);
+        match kind {
+            "@" => {
+                if let Some(n) = arg.strip_suffix('+') {
+                    let n: u64 = n.parse().map_err(|_| format!("bad @N+ arg {arg:?}"))?;
+                    if n == 0 {
+                        return Err("hits are 1-based; @0+ is invalid".into());
+                    }
+                    spec.trigger = Trigger::From(n);
+                } else {
+                    let n: u64 = arg.parse().map_err(|_| format!("bad @N arg {arg:?}"))?;
+                    if n == 0 {
+                        return Err("hits are 1-based; @0 is invalid".into());
+                    }
+                    spec.trigger = Trigger::Nth(n);
+                }
+            }
+            "/" => {
+                let k: u64 = arg.parse().map_err(|_| format!("bad /K arg {arg:?}"))?;
+                if k == 0 {
+                    return Err("period /0 is invalid".into());
+                }
+                spec.trigger = Trigger::Every(k);
+            }
+            "%" => {
+                let p: f64 = arg.parse().map_err(|_| format!("bad %P arg {arg:?}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability {p} outside [0, 1]"));
+                }
+                spec.trigger = Trigger::Prob(p);
+            }
+            "x" => {
+                let m: u64 = arg.parse().map_err(|_| format!("bad xM arg {arg:?}"))?;
+                spec.limit = m;
+            }
+            _ => unreachable!("scanner only stops at modifier characters"),
+        }
+        rest = next;
+    }
+    Ok((spec, s.len()))
+}
+
+fn parse_action(s: &str) -> Result<Action, String> {
+    match s {
+        "panic" => Ok(Action::Panic),
+        "fail" | "disconnect" => Ok(Action::Fail),
+        _ => {
+            if let Some(dur) = s
+                .strip_prefix("delay=")
+                .or_else(|| s.strip_prefix("stall="))
+            {
+                Ok(Action::Delay(parse_duration(dur)?))
+            } else {
+                Err(format!(
+                    "unknown action {s:?} (expected panic, fail, delay=DUR or stall=DUR)"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (digits, unit) = match s.find(|c: char| !c.is_ascii_digit()) {
+        Some(i) => s.split_at(i),
+        None => (s, "ms"),
+    };
+    let n: u64 = digits.parse().map_err(|_| format!("bad duration {s:?}"))?;
+    match unit {
+        "us" => Ok(Duration::from_micros(n)),
+        "ms" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        _ => Err(format!("bad duration unit {unit:?} in {s:?}")),
+    }
+}
+
+/// Installed, counter-carrying form of a plan.
+#[derive(Debug)]
+pub(crate) struct PlanState {
+    rules: Vec<RuleState>,
+}
+
+#[derive(Debug)]
+struct RuleState {
+    site: String,
+    action: Action,
+    trigger: Trigger,
+    limit: u64,
+    hits: AtomicU64,
+    fired: AtomicU64,
+    rng: Mutex<SplitMix64>,
+}
+
+impl PlanState {
+    pub(crate) fn has_rules(&self) -> bool {
+        !self.rules.is_empty()
+    }
+
+    pub(crate) fn probe(&self, site: &str) -> Fault {
+        let mut result = Fault::None;
+        for rule in self.rules.iter().filter(|r| r.site == site) {
+            // Hit counters advance on every probe of the site, for every
+            // matching rule, whether or not an earlier rule already fired —
+            // that keeps `nth`/`every` schedules independent of rule order.
+            let hit = rule.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            if result != Fault::None {
+                continue;
+            }
+            let wants = match rule.trigger {
+                Trigger::Always => true,
+                Trigger::Nth(n) => hit == n,
+                Trigger::From(n) => hit >= n,
+                Trigger::Every(k) => hit % k == 0,
+                Trigger::Prob(p) => {
+                    let mut rng = rule.rng.lock().unwrap_or_else(|e| e.into_inner());
+                    rng.next_f64() < p
+                }
+            };
+            if !wants {
+                continue;
+            }
+            // Claim a slot under the fire limit; losing the race means the
+            // budget was exhausted by a concurrent probe.
+            let prev = rule.fired.fetch_add(1, Ordering::Relaxed);
+            if prev >= rule.limit {
+                rule.fired.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            result = rule.action.to_fault();
+        }
+        result
+    }
+
+    pub(crate) fn fires(&self, site: &str) -> u64 {
+        self.rules
+            .iter()
+            .filter(|r| r.site == site)
+            .map(|r| r.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub(crate) fn hits(&self, site: &str) -> u64 {
+        self.rules
+            .iter()
+            .filter(|r| r.site == site)
+            .map(|r| r.hits.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<SiteStats> {
+        self.rules
+            .iter()
+            .map(|r| SiteStats {
+                site: r.site.clone(),
+                hits: r.hits.load(Ordering::Relaxed),
+                fires: r.fired.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// Hit/fire counters for one rule, as reported by [`crate::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    pub site: String,
+    pub hits: u64,
+    pub fires: u64,
+}

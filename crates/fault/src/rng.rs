@@ -1,0 +1,92 @@
+//! SplitMix64 — the small, well-mixed PRNG used for seeded fault triggers
+//! and client retry jitter. Deterministic, allocation-free, `no_std`-shaped.
+
+/// SplitMix64 stream (Steele, Lea & Flood; the JDK `SplittableRandom` mixer).
+/// Every seed yields a full-period sequence of 2^64 outputs.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derive an independent stream for substream `index` of `seed` — used
+    /// so each fault rule draws from its own sequence regardless of how
+    /// other rules interleave.
+    pub fn for_substream(seed: u64, index: u64) -> Self {
+        let mut root = SplitMix64::new(seed);
+        let mut mixed = root.next_u64() ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // One extra mix so adjacent indices land far apart.
+        mixed = (mixed ^ (mixed >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        SplitMix64::new(mixed)
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bound reduction (Lemire); bias is negligible for the
+        // jitter/trigger use cases here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(99);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(99);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let mut s0 = SplitMix64::for_substream(5, 0);
+        let mut s1 = SplitMix64::for_substream(5, 1);
+        assert_ne!(s0.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_draw_in_range() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..1000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+}

@@ -40,6 +40,29 @@
 //! control (bounded queue depth + deadline shedding) and running-statistics
 //! calibration, fronted by a length-prefixed binary wire protocol over
 //! `std::net` TCP ([`net::NetServer`] / [`net::NetClient`]).
+//!
+//! # Panic policy
+//!
+//! Everything a *remote peer* can trigger resolves to a typed outcome, never
+//! a panic: malformed or non-finite payloads become error frames at decode
+//! ([`net::ErrorCode::Malformed`] / [`net::ErrorCode::BadInput`]), admission
+//! refusals become [`SubmitError`], and a worker that panics mid-batch is
+//! caught, respawned under a restart budget, and answers that batch's
+//! requests with [`ModelReply::WorkerFailed`] / [`net::ErrorCode::Internal`]
+//! (see `tests/chaos_serving.rs`, which injects each of these with
+//! `wino_fault`). No lock in this crate propagates poison: every mutex is
+//! recovered with `into_inner` because no guarded section runs user code —
+//! the protected state (queues, counters, stream maps) stays structurally
+//! valid even if a holder unwound.
+//!
+//! The panics that remain are deliberate and fall into three classes:
+//! *caller-contract* panics on the local API (submitting tensors that don't
+//! match the graph, or the explicitly documented panicking conveniences
+//! [`PendingInference::wait`] / [`net::PendingReply::wait`]);
+//! *encode-side invariants* (frame fields that the builder already bounds,
+//! e.g. dims fitting `u32`); and *infrastructure failures* (OS thread spawn
+//! at startup, a handler join at shutdown) where continuing would hide a
+//! bug rather than tolerate a fault.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -51,8 +74,11 @@ pub mod stats;
 
 pub use net::{
     AdmissionControl, ModelRegistry, ModelReply, ModelServeConfig, ModelStatsEntry, NetClient,
-    NetResponse, NetServer, NetServerConfig, RegistryBuilder, RegistryServer, SubmitError,
+    NetResponse, NetServer, NetServerConfig, RegistryBuilder, RegistryServer, RetryPolicy,
+    SubmitError,
 };
 pub use scheduler::{Batch, BatchPolicy, BatchScheduler};
-pub use server::{InferenceReply, InferenceServer, PendingInference, ServeClient, ServerConfig};
+pub use server::{
+    InferenceReply, InferenceServer, PendingInference, ServeClient, ServeError, ServerConfig,
+};
 pub use stats::{LatencySummary, MultiModelReport, ServerStats, StatsReport};

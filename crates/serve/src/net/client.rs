@@ -1,4 +1,4 @@
-//! A minimal blocking client for the wire protocol.
+//! A minimal blocking client for the wire protocol, with reconnect + retry.
 //!
 //! [`NetClient`] drives one TCP connection: frame out a request, block on
 //! the reply. Requests on a single connection are served in order, so a
@@ -6,12 +6,85 @@
 //! [`NetClient::read_response`]; for concurrency across requests, open more
 //! connections. [`NetClient::send_raw`] exists so tests can put arbitrary
 //! (malformed) bytes on the wire.
+//!
+//! # Resilience
+//!
+//! The round-trip operations ([`NetClient::infer`], [`NetClient::ping`],
+//! [`NetClient::ping_rtt`], [`NetClient::stats`]) survive transport loss:
+//! on a broken connection the client reconnects to the peer it first
+//! connected to and retries, with exponential backoff and seeded jitter,
+//! up to [`RetryPolicy::max_retries`] times. A retry is **only** attempted
+//! while zero reply bytes for the current operation have been consumed —
+//! counted at the socket-syscall level, underneath the read buffering — so
+//! a request whose reply may have started arriving is never silently
+//! resubmitted; the transport error surfaces and the caller decides. The
+//! pipelined halves (`send_infer`/`read_response`) never retry: correlating
+//! in-flight ids across a reconnect is the caller's business.
+//!
+//! Retries and reconnects are counted in the process metrics registry as
+//! `net.client.retries` and `net.client.reconnects`.
 
-use super::protocol::{encode_frame, read_frame, ErrorCode, Frame, FrameRead, ModelStatsEntry};
-use std::io::{self, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use super::protocol::{
+    faulted_read_frame, faulted_write_frame, ErrorCode, Frame, FrameRead, ModelStatsEntry,
+};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+use wino_fault::rng::SplitMix64;
 use wino_tensor::Tensor;
+
+/// Retries attempted across all clients, registered once.
+static RETRIES: OnceLock<wino_trace::Counter> = OnceLock::new();
+/// Reconnects performed across all clients, registered once.
+static RECONNECTS: OnceLock<wino_trace::Counter> = OnceLock::new();
+
+/// How a [`NetClient`] behaves when its connection breaks mid-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnect-and-retry attempts per operation after the first try.
+    pub max_retries: u32,
+    /// First backoff; attempt `n` waits roughly `base_backoff * 2^(n-1)`.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+    /// Seeds the jitter stream, so a chaos run's retry timing replays.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the pre-resilience behaviour).
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The jittered backoff before retry attempt `n` (1-based): exponential
+    /// in `n`, capped at `max_backoff`, with the upper half of the interval
+    /// randomised so synchronized clients do not reconnect in lockstep.
+    fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.max_backoff);
+        let half = exp.as_micros() as u64 / 2;
+        Duration::from_micros(half + rng.next_below(half + 1))
+    }
+}
 
 /// What the server answered.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,24 +135,87 @@ impl NetResponse {
     }
 }
 
-/// One blocking client connection.
+/// Counts every byte the kernel actually handed us, *underneath* the
+/// [`BufReader`]: a buffered prefetch that happens to pull in reply bytes
+/// still marks the operation non-retryable, which errs on the safe side.
 #[derive(Debug)]
-pub struct NetClient {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
-    next_id: u64,
+struct CountingRead {
+    inner: TcpStream,
+    count: Arc<AtomicU64>,
 }
 
-impl NetClient {
-    /// Connects to a [`super::NetServer`].
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
-        let reader = BufReader::new(writer.try_clone()?);
+impl Read for CountingRead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+/// One live connection: write half, buffered counting read half.
+#[derive(Debug)]
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<CountingRead>,
+    received: Arc<AtomicU64>,
+}
+
+impl Conn {
+    fn from_stream(writer: TcpStream) -> io::Result<Self> {
+        let received = Arc::new(AtomicU64::new(0));
+        let reader = BufReader::new(CountingRead {
+            inner: writer.try_clone()?,
+            count: Arc::clone(&received),
+        });
         Ok(Self {
             writer,
             reader,
-            next_id: 1,
+            received,
         })
+    }
+
+    fn open(addr: SocketAddr) -> io::Result<Self> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+}
+
+/// One blocking client connection (with transparent reconnect; see the
+/// module docs for the retry contract).
+#[derive(Debug)]
+pub struct NetClient {
+    peer: SocketAddr,
+    conn: Option<Conn>,
+    next_id: u64,
+    policy: RetryPolicy,
+    rng: SplitMix64,
+}
+
+impl NetClient {
+    /// Connects to a [`super::NetServer`] with the default [`RetryPolicy`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// Connects with an explicit retry policy.
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: RetryPolicy) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
+        Ok(Self {
+            peer,
+            conn: Some(Conn::from_stream(stream)?),
+            next_id: 1,
+            policy,
+            rng: SplitMix64::new(policy.seed),
+        })
+    }
+
+    /// The server address reconnects go to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -88,47 +224,116 @@ impl NetClient {
         id
     }
 
-    /// Sends one inference request without waiting; returns its request id.
-    /// Replies on a connection come back in request order.
-    pub fn send_infer(&mut self, model: &str, inputs: Vec<Tensor<f32>>) -> io::Result<u64> {
-        let request_id = self.fresh_id();
-        self.writer.write_all(&encode_frame(&Frame::InferRequest {
-            request_id,
-            model: model.to_string(),
-            inputs,
-        }))?;
-        Ok(request_id)
+    /// Whether this error means the transport is gone (as opposed to the
+    /// peer answering something unusable, which no reconnect will fix).
+    fn is_transport(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::NotConnected
+                | io::ErrorKind::WriteZero
+        )
     }
 
-    /// Reads the next server response (a reply or a typed error).
-    pub fn read_response(&mut self) -> io::Result<NetResponse> {
-        match self.read_server_frame()? {
-            Frame::InferReply {
-                request_id,
-                batch_images,
-                outputs,
-            } => Ok(NetResponse::Reply {
-                request_id,
-                batch_images,
-                outputs,
-            }),
-            Frame::Error {
-                request_id,
-                code,
-                message,
-            } => Ok(NetResponse::Error {
-                request_id,
-                code,
-                message,
-            }),
-            other => Err(unexpected(&other)),
+    /// Runs one round-trip operation with the reconnect/retry contract: a
+    /// transport failure with zero reply bytes consumed reconnects and
+    /// retries (with backoff) up to the policy budget; any reply byte seen
+    /// makes the error final for this operation.
+    fn run_op<T>(&mut self, mut op: impl FnMut(&mut Conn) -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            let conn = match &mut self.conn {
+                Some(c) => c,
+                None => match Conn::open(self.peer) {
+                    Ok(c) => {
+                        RECONNECTS
+                            .get_or_init(|| wino_trace::counter("net.client.reconnects"))
+                            .inc();
+                        self.conn.insert(c)
+                    }
+                    Err(e) => {
+                        if attempt < self.policy.max_retries {
+                            attempt += 1;
+                            std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                },
+            };
+            let before = conn.bytes_received();
+            match op(conn) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    let reply_started = conn.bytes_received() != before;
+                    let transport = Self::is_transport(&e);
+                    if transport || e.kind() == io::ErrorKind::InvalidData {
+                        // Either the socket is gone or framing is suspect;
+                        // a fresh connection is the only safe continuation.
+                        self.conn = None;
+                    }
+                    if transport && !reply_started && attempt < self.policy.max_retries {
+                        attempt += 1;
+                        RETRIES
+                            .get_or_init(|| wino_trace::counter("net.client.retries"))
+                            .inc();
+                        std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
         }
     }
 
-    /// Sends one request and blocks for its response.
+    fn conn(&mut self) -> io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let c = Conn::open(self.peer)?;
+            RECONNECTS
+                .get_or_init(|| wino_trace::counter("net.client.reconnects"))
+                .inc();
+            self.conn = Some(c);
+        }
+        Ok(self.conn.as_mut().expect("connection just ensured"))
+    }
+
+    /// Sends one inference request without waiting; returns its request id.
+    /// Replies on a connection come back in request order. No retry: the
+    /// caller owns correlation of pipelined ids.
+    pub fn send_infer(&mut self, model: &str, inputs: Vec<Tensor<f32>>) -> io::Result<u64> {
+        let request_id = self.fresh_id();
+        let frame = Frame::InferRequest {
+            request_id,
+            model: model.to_string(),
+            inputs,
+        };
+        let conn = self.conn()?;
+        faulted_write_frame(&mut conn.writer, &frame, "net.client.write")?;
+        Ok(request_id)
+    }
+
+    /// Reads the next server response (a reply or a typed error). No retry.
+    pub fn read_response(&mut self) -> io::Result<NetResponse> {
+        let conn = self.conn()?;
+        response_from(read_one(conn)?)
+    }
+
+    /// Sends one request and blocks for its response, reconnecting and
+    /// retrying per the policy while no reply byte has been seen.
     pub fn infer(&mut self, model: &str, inputs: Vec<Tensor<f32>>) -> io::Result<NetResponse> {
-        let id = self.send_infer(model, inputs)?;
-        let response = self.read_response()?;
+        let id = self.fresh_id();
+        let frame = Frame::InferRequest {
+            request_id: id,
+            model: model.to_string(),
+            inputs,
+        };
+        let response = self.run_op(|conn| {
+            faulted_write_frame(&mut conn.writer, &frame, "net.client.write")?;
+            response_from(read_one(conn)?)
+        })?;
         match &response {
             NetResponse::Reply { request_id, .. } if *request_id != id => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -141,9 +346,12 @@ impl NetClient {
     /// Round-trips a ping; `Ok(true)` means the server echoed the id.
     pub fn ping(&mut self) -> io::Result<bool> {
         let request_id = self.fresh_id();
-        self.writer
-            .write_all(&encode_frame(&Frame::Ping { request_id }))?;
-        match self.read_server_frame()? {
+        let frame = Frame::Ping { request_id };
+        let pong = self.run_op(|conn| {
+            faulted_write_frame(&mut conn.writer, &frame, "net.client.write")?;
+            read_one(conn)
+        })?;
+        match pong {
             Frame::Pong { request_id: echoed } => Ok(echoed == request_id),
             other => Err(unexpected(&other)),
         }
@@ -172,9 +380,12 @@ impl NetClient {
     /// the rendered stats-and-metrics text.
     pub fn stats(&mut self) -> io::Result<(Vec<ModelStatsEntry>, String)> {
         let request_id = self.fresh_id();
-        self.writer
-            .write_all(&encode_frame(&Frame::Stats { request_id }))?;
-        match self.read_server_frame()? {
+        let frame = Frame::Stats { request_id };
+        let reply = self.run_op(|conn| {
+            faulted_write_frame(&mut conn.writer, &frame, "net.client.write")?;
+            read_one(conn)
+        })?;
+        match reply {
             Frame::StatsReply {
                 request_id: echoed,
                 models,
@@ -195,20 +406,51 @@ impl NetClient {
     /// Puts raw bytes on the wire, bypassing the framer — for testing the
     /// server against malformed input.
     pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
-        self.writer.write_all(bytes)
+        let conn = self.conn()?;
+        conn.writer.write_all(bytes)
     }
+}
 
-    fn read_server_frame(&mut self) -> io::Result<Frame> {
-        match read_frame(&mut self.reader)? {
-            FrameRead::Frame(f) => Ok(f),
-            FrameRead::Closed => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )),
-            FrameRead::Garbage(e) | FrameRead::Desync(e) => {
-                Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
-            }
+/// Reads one server frame off the connection, mapping every non-frame
+/// outcome to an [`io::Error`] whose kind drives the retry classifier.
+fn read_one(conn: &mut Conn) -> io::Result<Frame> {
+    match faulted_read_frame(&mut conn.reader, "net.client.read")? {
+        FrameRead::Frame(f) => Ok(f),
+        FrameRead::Closed => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        )),
+        FrameRead::TimedOut => Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "server went quiet past the read timeout",
+        )),
+        FrameRead::Garbage(e) | FrameRead::Desync(e) => {
+            Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
         }
+    }
+}
+
+fn response_from(frame: Frame) -> io::Result<NetResponse> {
+    match frame {
+        Frame::InferReply {
+            request_id,
+            batch_images,
+            outputs,
+        } => Ok(NetResponse::Reply {
+            request_id,
+            batch_images,
+            outputs,
+        }),
+        Frame::Error {
+            request_id,
+            code,
+            message,
+        } => Ok(NetResponse::Error {
+            request_id,
+            code,
+            message,
+        }),
+        other => Err(unexpected(&other)),
     }
 }
 

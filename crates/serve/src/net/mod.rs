@@ -18,10 +18,10 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::{NetClient, NetResponse};
+pub use client::{NetClient, NetResponse, RetryPolicy};
 pub use protocol::{
-    decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, FrameRead,
-    ModelStatsEntry, WireError, MAGIC, MAX_FRAME_BYTES, VERSION,
+    decode_frame, encode_frame, faulted_read_frame, faulted_write_frame, read_frame, write_frame,
+    ErrorCode, Frame, FrameRead, ModelStatsEntry, WireError, MAGIC, MAX_FRAME_BYTES, VERSION,
 };
 pub use registry::{
     AdmissionControl, ModelRegistry, ModelReply, ModelServeConfig, PendingReply, RegistryBuilder,

@@ -56,6 +56,10 @@ pub enum ErrorCode {
     ShuttingDown = 6,
     /// The server failed internally after accepting the request.
     Internal = 7,
+    /// The request decoded and is well-shaped, but its payload values are
+    /// unusable (NaN/Inf tensor data). Rejected at the wire so poisoned
+    /// values never reach a scheduler queue.
+    BadInput = 8,
 }
 
 impl ErrorCode {
@@ -68,6 +72,7 @@ impl ErrorCode {
             5 => Self::Overloaded,
             6 => Self::ShuttingDown,
             7 => Self::Internal,
+            8 => Self::BadInput,
             _ => return None,
         })
     }
@@ -82,6 +87,14 @@ pub enum WireError {
     Oversized,
     /// The stream ended mid-frame.
     Truncated,
+    /// The peer went quiet mid-frame for longer than the socket's read
+    /// timeout. Framing may still be intact, but the handler cannot tell —
+    /// and cannot afford to wait — so this is a desync.
+    Stalled,
+    /// An inference request carried NaN or Inf tensor data. The frame is
+    /// well-delimited (the connection keeps serving); the server answers
+    /// with [`ErrorCode::BadInput`].
+    NonFinite,
     /// The payload's version byte is not [`VERSION`].
     UnsupportedVersion(u8),
     /// The payload's frame-type byte names no known frame.
@@ -100,6 +113,8 @@ impl std::fmt::Display for WireError {
             Self::BadMagic => write!(f, "bad frame magic"),
             Self::Oversized => write!(f, "frame exceeds {MAX_FRAME_BYTES} bytes"),
             Self::Truncated => write!(f, "stream ended mid-frame"),
+            Self::Stalled => write!(f, "peer stalled mid-frame past the read timeout"),
+            Self::NonFinite => write!(f, "input tensor carries NaN or Inf values"),
             Self::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
             Self::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
             Self::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
@@ -180,6 +195,10 @@ pub struct ModelStatsEntry {
     pub rejected: u64,
     /// Requests shed from the queue after admission.
     pub shed: u64,
+    /// Requests answered with a typed failure after a worker panic.
+    pub failed: u64,
+    /// Times a panicked worker revived itself on this model's behalf.
+    pub worker_restarts: u64,
     /// Requests queued right now.
     pub queue_depth: u64,
     /// Calibration state label (`"calibrated"`, `"warming(3/8)"`, …).
@@ -287,6 +306,8 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 payload.extend_from_slice(&m.requests.to_le_bytes());
                 payload.extend_from_slice(&m.rejected.to_le_bytes());
                 payload.extend_from_slice(&m.shed.to_le_bytes());
+                payload.extend_from_slice(&m.failed.to_le_bytes());
+                payload.extend_from_slice(&m.worker_restarts.to_le_bytes());
                 payload.extend_from_slice(&m.queue_depth.to_le_bytes());
                 put_str(&mut payload, &m.calibration);
             }
@@ -408,7 +429,16 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         1 => {
             let model = c.string()?;
             let n = c.u8("input count")? as usize;
-            let inputs = (0..n).map(|_| c.tensor()).collect::<Result<_, _>>()?;
+            let inputs: Vec<Tensor<f32>> = (0..n).map(|_| c.tensor()).collect::<Result<_, _>>()?;
+            // Validate values at the wire, not in the worker: a NaN in one
+            // request would otherwise ride a coalesced batch and poison its
+            // neighbours' outputs after it already sat in a queue.
+            if inputs
+                .iter()
+                .any(|t| t.as_slice().iter().any(|v| !v.is_finite()))
+            {
+                return Err(WireError::NonFinite);
+            }
             Frame::InferRequest {
                 request_id,
                 model,
@@ -450,6 +480,8 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
                         requests: c.u64("requests")?,
                         rejected: c.u64("rejected")?,
                         shed: c.u64("shed")?,
+                        failed: c.u64("failed")?,
+                        worker_restarts: c.u64("worker restarts")?,
                         queue_depth: c.u64("queue depth")?,
                         calibration: c.string()?,
                     })
@@ -482,6 +514,11 @@ pub enum FrameRead {
     /// Framing is lost (bad magic, insane length, mid-frame EOF). Drop the
     /// connection.
     Desync(WireError),
+    /// The socket's read timeout expired at a frame boundary with zero bytes
+    /// consumed. Framing is intact — the peer is merely quiet — so the
+    /// caller decides between waiting more and enforcing an idle limit. (A
+    /// timeout *mid*-frame is `Desync(WireError::Stalled)` instead.)
+    TimedOut,
 }
 
 /// Writes one frame to the stream.
@@ -489,41 +526,80 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.write_all(&encode_frame(frame))
 }
 
-fn read_exact_or(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
-    // Like read_exact, but distinguishes EOF-at-the-boundary (Ok(false))
-    // from mid-buffer EOF (Err(UnexpectedEof)).
+/// [`write_frame`] behind a fault-injection probe (one relaxed atomic load
+/// when injection is off). A `Delay` at `site` sleeps before writing (a
+/// congested peer); a `Fail` writes a *torn frame prefix* and then reports
+/// the transport gone — the mid-frame disconnect that chaos tests use to
+/// prove the peer's reader desyncs safely; a `Panic` propagates.
+pub fn faulted_write_frame(w: &mut impl Write, frame: &Frame, site: &str) -> io::Result<()> {
+    if wino_fault::fire(site) {
+        let bytes = encode_frame(frame);
+        let torn = (bytes.len() / 2).max(1);
+        let _ = w.write_all(&bytes[..torn]);
+        let _ = w.flush();
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "injected mid-frame disconnect",
+        ));
+    }
+    write_frame(w, frame)
+}
+
+/// How filling a fixed-size buffer off the stream ended.
+enum Fill {
+    /// Every byte arrived.
+    Full,
+    /// The stream ended; `at_start` distinguishes a clean close at the
+    /// buffer boundary from a mid-buffer truncation.
+    Eof { at_start: bool },
+    /// The socket read timeout expired; `at_start` distinguishes a quiet
+    /// peer (no bytes yet) from one that stalled mid-buffer.
+    TimedOut { at_start: bool },
+}
+
+fn fill(r: &mut impl Read, buf: &mut [u8]) -> io::Result<Fill> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(false),
             Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "stream ended mid-frame",
-                ))
+                return Ok(Fill::Eof {
+                    at_start: filled == 0,
+                })
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Both kinds, because platforms disagree on which one a
+            // SO_RCVTIMEO expiry surfaces as.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(Fill::TimedOut {
+                    at_start: filled == 0,
+                })
+            }
             Err(e) => return Err(e),
         }
     }
-    Ok(true)
+    Ok(Fill::Full)
 }
 
 /// Reads one frame off the stream, classifying every failure mode.
 ///
 /// `Err` is reserved for genuine transport errors (the peer vanished, the
-/// socket broke); every *protocol* problem comes back as a [`FrameRead`]
-/// variant so the caller can choose between replying and disconnecting.
+/// socket broke); every *protocol* problem — including a read-timeout expiry
+/// when the stream has one set — comes back as a [`FrameRead`] variant so
+/// the caller can choose between replying, waiting and disconnecting.
 pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
     let mut header = [0u8; 8];
-    match read_exact_or(r, &mut header) {
-        Ok(false) => return Ok(FrameRead::Closed),
-        Ok(true) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-            return Ok(FrameRead::Desync(WireError::Truncated))
-        }
-        Err(e) => return Err(e),
+    match fill(r, &mut header)? {
+        Fill::Full => {}
+        Fill::Eof { at_start: true } => return Ok(FrameRead::Closed),
+        Fill::Eof { at_start: false } => return Ok(FrameRead::Desync(WireError::Truncated)),
+        Fill::TimedOut { at_start: true } => return Ok(FrameRead::TimedOut),
+        Fill::TimedOut { at_start: false } => return Ok(FrameRead::Desync(WireError::Stalled)),
     }
     if header[..4] != MAGIC {
         return Ok(FrameRead::Desync(WireError::BadMagic));
@@ -533,15 +609,29 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
         return Ok(FrameRead::Desync(WireError::Oversized));
     }
     let mut payload = vec![0u8; len];
-    match read_exact_or(r, &mut payload) {
-        Ok(_) if len == 0 => {}
-        Ok(true) => {}
-        Ok(false) | Err(_) => return Ok(FrameRead::Desync(WireError::Truncated)),
+    match fill(r, &mut payload)? {
+        Fill::Full => {}
+        Fill::Eof { .. } => return Ok(FrameRead::Desync(WireError::Truncated)),
+        Fill::TimedOut { .. } => return Ok(FrameRead::Desync(WireError::Stalled)),
     }
     match decode_frame(&payload) {
         Ok(frame) => Ok(FrameRead::Frame(frame)),
         Err(e) => Ok(FrameRead::Garbage(e)),
     }
+}
+
+/// [`read_frame`] behind a fault-injection probe (one relaxed atomic load
+/// when injection is off). A `Delay` at `site` sleeps before reading (a
+/// stalled link); a `Fail` reports the transport gone without consuming
+/// anything; a `Panic` propagates.
+pub fn faulted_read_frame(r: &mut impl Read, site: &str) -> io::Result<FrameRead> {
+    if wino_fault::fire(site) {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "injected read disconnect",
+        ));
+    }
+    read_frame(r)
 }
 
 #[cfg(test)]
@@ -593,6 +683,8 @@ mod tests {
                     requests: 41,
                     rejected: 2,
                     shed: 1,
+                    failed: 4,
+                    worker_restarts: 2,
                     queue_depth: 3,
                     calibration: "calibrated".to_string(),
                 },
@@ -601,6 +693,8 @@ mod tests {
                     requests: 0,
                     rejected: 0,
                     shed: 0,
+                    failed: 0,
+                    worker_restarts: 0,
                     queue_depth: 0,
                     calibration: "warming(0/8)".to_string(),
                 },
@@ -729,6 +823,77 @@ mod tests {
             decode_frame(&trailing[8..]),
             Err(WireError::Malformed("trailing bytes after frame body"))
         );
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_at_decode() {
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let t = Tensor::from_vec(vec![1.0, poison, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+            let bytes = encode_frame(&Frame::InferRequest {
+                request_id: 5,
+                model: "m".to_string(),
+                inputs: vec![t],
+            });
+            assert_eq!(decode_frame(&bytes[8..]), Err(WireError::NonFinite));
+            // Well-delimited, so the stream survives: garbage, not desync.
+            let mut cursor = io::Cursor::new(bytes);
+            match read_frame(&mut cursor).unwrap() {
+                FrameRead::Garbage(WireError::NonFinite) => {}
+                other => panic!("expected garbage/non-finite, got {other:?}"),
+            }
+        }
+        // Replies may carry whatever the model computed; only requests are
+        // value-checked.
+        let t = Tensor::from_vec(vec![f32::NAN], &[1, 1]).unwrap();
+        let bytes = encode_frame(&Frame::InferReply {
+            request_id: 6,
+            batch_images: 1,
+            outputs: vec![("y".to_string(), t)],
+        });
+        assert!(decode_frame(&bytes[8..]).is_ok());
+    }
+
+    /// Serves `data`, then reports a read-timeout expiry forever after.
+    struct StallAfter {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn boundary_timeout_differs_from_midframe_stall() {
+        // No bytes at all: a quiet peer, framing intact.
+        let mut quiet = StallAfter {
+            data: Vec::new(),
+            pos: 0,
+        };
+        assert!(matches!(
+            read_frame(&mut quiet).unwrap(),
+            FrameRead::TimedOut
+        ));
+        // A torn prefix then silence: the handler cannot re-align, desync.
+        let bytes = encode_frame(&Frame::Ping { request_id: 1 });
+        for cut in [3, 10] {
+            let mut stalled = StallAfter {
+                data: bytes[..cut].to_vec(),
+                pos: 0,
+            };
+            match read_frame(&mut stalled).unwrap() {
+                FrameRead::Desync(WireError::Stalled) => {}
+                other => panic!("cut at {cut}: expected stalled, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -21,14 +21,22 @@
 //!   into the running statistics until the policy freezes, after which every
 //!   batch takes the normal frozen integer path. The per-model stats carry
 //!   the lifecycle label the whole way.
+//! * **Fault isolation.** A panic inside a batch (a model bug, or an
+//!   injected `worker.batch.*` fault) is caught at the worker: every request
+//!   in the batch gets a typed [`ModelReply::WorkerFailed`] — never a
+//!   silently dropped channel — and the worker revives itself until its
+//!   restart budget runs out. When the *last* worker dies, it closes and
+//!   drains every model queue with the same typed reply so no submitter can
+//!   be left waiting forever.
 
 use crate::net::protocol::ModelStatsEntry;
 use crate::scheduler::{Batch, BatchPolicy, BatchScheduler};
 use crate::server::InferenceReply;
 use crate::stats::{MultiModelReport, ServerStats};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wino_core::{
@@ -134,14 +142,19 @@ pub enum ModelReply {
         /// How long the request sat in the queue before being shed.
         queued_for: Duration,
     },
+    /// The worker running this request's batch panicked. The inputs were
+    /// consumed, so the request cannot be transparently replayed here; the
+    /// caller decides whether to resubmit (the batch never produced outputs,
+    /// so a retry is idempotent-safe).
+    WorkerFailed,
 }
 
 impl ModelReply {
-    /// The successful reply, if the request was not shed.
+    /// The successful reply, if the request was not shed or failed.
     pub fn ok(self) -> Option<InferenceReply> {
         match self {
             Self::Ok(r) => Some(r),
-            Self::Overloaded { .. } => None,
+            Self::Overloaded { .. } | Self::WorkerFailed => None,
         }
     }
 }
@@ -157,6 +170,19 @@ impl PendingReply {
     /// registry shut down before this request was served.
     pub fn wait(self) -> Option<ModelReply> {
         self.rx.recv().ok()
+    }
+
+    /// Like [`PendingReply::wait`], but gives up after `timeout`. The outer
+    /// `None` means the reply did not arrive in time (the request may still
+    /// be served later); `Some(None)` means the registry shut down before
+    /// serving it. Chaos tests use this so an accounting bug surfaces as a
+    /// failed assertion rather than a hung test.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Option<ModelReply>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(Some(r)),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(None),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+        }
     }
 }
 
@@ -329,6 +355,14 @@ fn pick_model(candidates: &[(usize, u8, u32, u64)]) -> Option<usize> {
 }
 
 impl ModelRegistry {
+    /// The coordination lock never guards user code — only the `closed` flag
+    /// and condvar choreography — so its state is consistent even if a
+    /// panicking thread (an injected worker fault unwinding) poisoned it.
+    /// Recover rather than cascading the panic into every later submit.
+    fn closed_lock(&self) -> MutexGuard<'_, bool> {
+        self.closed.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// The registered model names, in registration order.
     pub fn model_names(&self) -> Vec<String> {
         self.models.iter().map(|m| m.name.clone()).collect()
@@ -389,6 +423,14 @@ impl ModelRegistry {
             .find(|m| m.name == model)
             .ok_or(SubmitError::UnknownModel)?;
         validate_inputs(&entry.prepared, &inputs).map_err(SubmitError::BadShape)?;
+        // Chaos hook: a `Delay` here simulates a slow admission path (the
+        // sleep happens inside `fire`), a `Fail` maps to the same typed
+        // refusal a full queue produces — exercising the client's backoff
+        // path without actually saturating a queue.
+        if wino_fault::fire("sched.submit") {
+            entry.stats.record_rejected();
+            return Err(SubmitError::Overloaded);
+        }
         if entry.scheduler.depth() >= entry.config.admission.max_queue {
             entry.stats.record_rejected();
             if wino_trace::enabled() {
@@ -416,7 +458,7 @@ impl ModelRegistry {
         // Hand-over-hand with the workers' wait: taking and dropping the
         // lock orders this submit against any worker that just scanned
         // empty queues, so the notify cannot be lost.
-        drop(self.closed.lock().expect("registry poisoned"));
+        drop(self.closed_lock());
         self.ready.notify_all();
         Ok(PendingReply { rx })
     }
@@ -425,7 +467,7 @@ impl ModelRegistry {
     /// (priority, then weighted deficit), or returns `None` at shutdown
     /// with every queue drained.
     fn next_batch(&self) -> Option<(usize, Batch<ModelRequest>)> {
-        let mut closed = self.closed.lock().expect("registry poisoned");
+        let mut closed = self.closed_lock();
         loop {
             let ready: Vec<(usize, u8, u32, u64)> = self
                 .models
@@ -448,7 +490,7 @@ impl ModelRegistry {
                 if let Some(b) = self.models[i].scheduler.poll_batch() {
                     return Some((i, b));
                 }
-                closed = self.closed.lock().expect("registry poisoned");
+                closed = self.closed_lock();
                 continue;
             }
             if *closed && self.models.iter().all(|m| m.scheduler.depth() == 0) {
@@ -469,14 +511,14 @@ impl ModelRegistry {
             let (g, _) = self
                 .ready
                 .wait_timeout(closed, wait)
-                .expect("registry poisoned");
+                .unwrap_or_else(|p| p.into_inner());
             closed = g;
         }
     }
 
     /// Starts shutdown: closes every model queue and wakes every worker.
     fn close(&self) {
-        let mut closed = self.closed.lock().expect("registry poisoned");
+        let mut closed = self.closed_lock();
         *closed = true;
         for m in &self.models {
             m.scheduler.close();
@@ -506,6 +548,8 @@ impl ModelRegistry {
                     requests: r.requests as u64,
                     rejected: r.rejected as u64,
                     shed: r.shed as u64,
+                    failed: r.failed as u64,
+                    worker_restarts: r.worker_restarts as u64,
                     queue_depth: m.scheduler.depth() as u64,
                     calibration: r.calibration,
                 }
@@ -576,19 +620,40 @@ pub struct RegistryServer {
 }
 
 impl RegistryServer {
-    /// Starts `workers` threads multiplexing across the registry's queues.
+    /// Starts `workers` threads multiplexing across the registry's queues,
+    /// each allowed the default restart budget of 3 panic revivals.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn start(registry: Arc<ModelRegistry>, workers: usize) -> Self {
+        Self::start_with_budget(registry, workers, 3)
+    }
+
+    /// [`RegistryServer::start`] with an explicit per-worker restart budget:
+    /// a worker that catches a batch panic revives itself up to
+    /// `restart_budget` times (each revival recorded on the panicking
+    /// model's `worker_restarts` counter) and exits on the panic after that.
+    /// The last worker to exit closes and drains every queue with typed
+    /// [`ModelReply::WorkerFailed`] replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn start_with_budget(
+        registry: Arc<ModelRegistry>,
+        workers: usize,
+        restart_budget: usize,
+    ) -> Self {
         assert!(workers > 0, "a registry server needs at least one worker");
+        let live = Arc::new(AtomicUsize::new(workers));
         let handles = (0..workers)
             .map(|i| {
                 let registry = Arc::clone(&registry);
+                let live = Arc::clone(&live);
                 std::thread::Builder::new()
                     .name(format!("wino-registry-{i}"))
-                    .spawn(move || worker_loop(&registry))
+                    .spawn(move || worker_loop(&registry, restart_budget, &live))
                     .expect("spawn registry worker")
             })
             .collect();
@@ -608,7 +673,11 @@ impl RegistryServer {
     pub fn shutdown(mut self) -> MultiModelReport {
         self.registry.close();
         for w in std::mem::take(&mut self.workers) {
-            w.join().expect("registry worker panicked");
+            // Batch panics are caught inside the loop, so a join error here
+            // could only come from infrastructure code outside the guarded
+            // region; every queued request was already answered with a typed
+            // reply, so there is nothing useful to do but note it.
+            let _ = w.join();
         }
         self.registry.report()
     }
@@ -622,8 +691,16 @@ impl Drop for RegistryServer {
 
 /// One pool worker: pick the best ready batch across models, shed what
 /// already blew its deadline, run the rest, slice replies back out.
-fn worker_loop(registry: &ModelRegistry) {
+///
+/// The stack-run-reply section runs under `catch_unwind`: a panic there
+/// (model bug or injected `worker.batch.*` fault) answers every request in
+/// the batch with [`ModelReply::WorkerFailed`], discards the possibly
+/// half-written arena, and revives the worker until `budget` revivals are
+/// spent. The last worker to exit — for any reason — closes the registry
+/// and drains all queues so no submitted request is ever left unanswered.
+fn worker_loop(registry: &ModelRegistry, budget: usize, live: &AtomicUsize) {
     let mut arena = ActivationArena::new();
+    let mut panics = 0usize;
     while let Some((idx, batch)) = registry.next_batch() {
         let entry = &registry.models[idx];
         let deadline = entry.config.admission.deadline;
@@ -659,13 +736,25 @@ fn worker_loop(registry: &ModelRegistry) {
         if accepted.is_empty() {
             continue;
         }
+        // Split payloads from reply plumbing before the guarded region: the
+        // senders stay out here so a panic mid-batch cannot take them down
+        // with it — every request still gets its typed answer.
+        let mut inputs: Vec<Vec<Tensor<f32>>> = Vec::with_capacity(accepted.len());
+        let mut replies: Vec<(Instant, mpsc::Sender<ModelReply>)> =
+            Vec::with_capacity(accepted.len());
+        for req in accepted {
+            inputs.push(req.inputs);
+            replies.push((req.submitted, req.reply));
+        }
+        let counts: Vec<usize> = inputs.iter().map(|r| r[0].dims()[0]).collect();
+        let n_inputs = entry.prepared.graph().input_ids().len();
         // The batch span's id packs (model index, images) so a trace viewer
         // can tell whose batch it was without a per-model symbol.
         let batch_sp = tracing.then(|| {
             wino_trace::span(
                 serve_sym(&BATCH_SYM, "batch"),
                 Category::Serve,
-                ((idx as u64) << 32) | accepted.len() as u64,
+                ((idx as u64) << 32) | replies.len() as u64,
             )
         });
         let was_warming = entry
@@ -673,66 +762,100 @@ fn worker_loop(registry: &ModelRegistry) {
             .as_ref()
             .is_some_and(|cal| !cal.state().label().starts_with("frozen"));
         let run_start = Instant::now();
-        let n_inputs = entry.prepared.graph().input_ids().len();
-        let counts: Vec<usize> = accepted.iter().map(|r| r.inputs[0].dims()[0]).collect();
-        let stacked: Vec<Tensor<f32>> = if accepted.len() == 1 {
-            std::mem::take(&mut accepted[0].inputs)
-        } else {
-            (0..n_inputs)
-                .map(|pos| {
-                    let parts: Vec<&Tensor<f32>> =
-                        accepted.iter().map(|r| &r.inputs[pos]).collect();
-                    concat_batch(&parts)
-                })
-                .collect()
-        };
-        let run = match &entry.calibration {
-            Some(cal) => {
-                // Warming batches observe; frozen ones take the normal path
-                // inside observe_with_in (the recalibration guard).
-                let r = entry
-                    .executor
-                    .observe_with_in(&entry.prepared, &stacked, cal, &mut arena);
-                let label = cal.state().label();
-                if tracing && was_warming && label.starts_with("frozen") {
-                    wino_trace::instant(
-                        serve_sym(&FREEZE_SYM, "freeze"),
-                        Category::Serve,
-                        idx as u64,
-                    );
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            wino_fault::fire("worker.batch.pre");
+            let stacked: Vec<Tensor<f32>> = if inputs.len() == 1 {
+                std::mem::take(&mut inputs[0])
+            } else {
+                (0..n_inputs)
+                    .map(|pos| {
+                        let parts: Vec<&Tensor<f32>> = inputs.iter().map(|r| &r[pos]).collect();
+                        concat_batch(&parts)
+                    })
+                    .collect()
+            };
+            let run = match &entry.calibration {
+                Some(cal) => {
+                    // Warming batches observe; frozen ones take the normal
+                    // path inside observe_with_in (the recalibration guard).
+                    let r =
+                        entry
+                            .executor
+                            .observe_with_in(&entry.prepared, &stacked, cal, &mut arena);
+                    let label = cal.state().label();
+                    if tracing && was_warming && label.starts_with("frozen") {
+                        wino_trace::instant(
+                            serve_sym(&FREEZE_SYM, "freeze"),
+                            Category::Serve,
+                            idx as u64,
+                        );
+                    }
+                    entry.stats.set_calibration(label);
+                    r
                 }
-                entry.stats.set_calibration(label);
-                r
-            }
-            None => entry
-                .executor
-                .run_with_inputs_in(&entry.prepared, &stacked, &mut arena),
-        };
+                None => entry
+                    .executor
+                    .run_with_inputs_in(&entry.prepared, &stacked, &mut arena),
+            };
+            let images = stacked[0].dims()[0];
+            wino_fault::fire("worker.batch.post");
+            (run, images)
+        }));
         let run_time = run_start.elapsed();
         drop(batch_sp);
-        entry.served_batches.fetch_add(1, Ordering::Relaxed);
-        let images = stacked[0].dims()[0];
-        entry
-            .stats
-            .record_batch(images, batch.depth_after, run_time, &accepted_waits);
-        let mut offset = 0usize;
-        for (req, count) in accepted.into_iter().zip(counts) {
-            let outputs = run
-                .outputs
-                .iter()
-                .map(|(name, t)| (name.clone(), batch_slice(t, offset, count)))
-                .collect();
-            offset += count;
-            let latency = req.submitted.elapsed();
-            entry.stats.record_completion(latency);
-            let _ = req.reply.send(ModelReply::Ok(InferenceReply {
-                outputs,
-                latency,
-                batch_images: images,
-            }));
+        match outcome {
+            Ok((run, images)) => {
+                entry.served_batches.fetch_add(1, Ordering::Relaxed);
+                entry
+                    .stats
+                    .record_batch(images, batch.depth_after, run_time, &accepted_waits);
+                let mut offset = 0usize;
+                for ((submitted, reply), count) in replies.into_iter().zip(counts) {
+                    let outputs = run
+                        .outputs
+                        .iter()
+                        .map(|(name, t)| (name.clone(), batch_slice(t, offset, count)))
+                        .collect();
+                    offset += count;
+                    let latency = submitted.elapsed();
+                    entry.stats.record_completion(latency);
+                    let _ = reply.send(ModelReply::Ok(InferenceReply {
+                        outputs,
+                        latency,
+                        batch_images: images,
+                    }));
+                }
+            }
+            Err(_) => {
+                // The arena may hold a half-written plan from the aborted
+                // run; start fresh rather than trust it.
+                arena = ActivationArena::new();
+                for (_, reply) in replies {
+                    entry.stats.record_failed();
+                    let _ = reply.send(ModelReply::WorkerFailed);
+                }
+                panics += 1;
+                if panics > budget {
+                    break;
+                }
+                entry.stats.record_worker_restart();
+            }
         }
     }
     registry.pool.merge_arena(arena.stats());
+    // Last worker out turns off the lights: close every queue and answer
+    // whatever is still pending, so no submitter blocks forever on a pool
+    // that no longer exists. AcqRel pairs this decrement with the others'.
+    if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+        registry.close();
+        while let Some((idx, rest)) = registry.next_batch() {
+            let entry = &registry.models[idx];
+            for req in rest.items {
+                entry.stats.record_failed();
+                let _ = req.reply.send(ModelReply::WorkerFailed);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

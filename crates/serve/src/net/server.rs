@@ -18,7 +18,9 @@
 //! bad shape, admission bounds) are ordinary typed replies; nothing a peer
 //! sends can take a thread down.
 
-use super::protocol::{read_frame, write_frame, ErrorCode, Frame, FrameRead};
+use super::protocol::{
+    faulted_read_frame, faulted_write_frame, write_frame, ErrorCode, Frame, FrameRead, WireError,
+};
 use super::registry::{ModelRegistry, ModelReply, RegistryServer, SubmitError};
 use crate::scheduler::{BatchPolicy, BatchScheduler};
 use crate::stats::MultiModelReport;
@@ -26,7 +28,7 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -44,6 +46,19 @@ pub struct NetServerConfig {
     pub connection_threads: usize,
     /// Registry worker threads running the actual batches.
     pub workers: usize,
+    /// Per-syscall socket read/write deadline. A peer that stalls mid-frame
+    /// for longer loses its connection (the handler thread survives);
+    /// `None` trusts peers to never wedge a read — fine for tests, not for
+    /// an open port.
+    pub io_timeout: Option<Duration>,
+    /// Maximum quiet time at a frame *boundary* before an idle connection
+    /// is dropped. Counted in whole `io_timeout` expiries, so it only takes
+    /// effect when `io_timeout` is also set; `None` keeps idle connections
+    /// forever.
+    pub idle_timeout: Option<Duration>,
+    /// Panic revivals allowed per registry worker before it stays down
+    /// (see [`RegistryServer::start_with_budget`]).
+    pub restart_budget: usize,
 }
 
 impl Default for NetServerConfig {
@@ -51,6 +66,9 @@ impl Default for NetServerConfig {
         Self {
             connection_threads: 4,
             workers: 2,
+            io_timeout: Some(Duration::from_secs(30)),
+            idle_timeout: None,
+            restart_budget: 3,
         }
     }
 }
@@ -86,7 +104,11 @@ impl NetServer {
         assert!(config.connection_threads > 0, "need at least one handler");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let registry_server = RegistryServer::start(Arc::clone(&registry), config.workers);
+        let registry_server = RegistryServer::start_with_budget(
+            Arc::clone(&registry),
+            config.workers,
+            config.restart_budget,
+        );
         let closing = Arc::new(AtomicBool::new(false));
         // Accepted connections queue one at a time; handlers take them as
         // they free up. Zero wait: a connection is "ready" the moment it
@@ -137,7 +159,7 @@ impl NetServer {
                         while let Some(batch) = conns.next_batch() {
                             for stream in batch.items {
                                 let id = conn_ids.fetch_add(1, Ordering::Relaxed);
-                                serve_connection(stream, id, &registry, &live);
+                                serve_connection(stream, id, &registry, &live, &config);
                             }
                         }
                     })
@@ -168,7 +190,7 @@ impl NetServer {
         // wakes it to observe the flag.
         let _ = TcpStream::connect(self.local_addr);
         self.conns.close();
-        let live = self.live.lock().expect("live streams poisoned");
+        let live = live_lock(&self.live);
         for stream in live.values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
@@ -209,24 +231,62 @@ fn code_for(err: &SubmitError) -> ErrorCode {
     }
 }
 
-/// Serves one connection until it closes, desyncs, or the transport breaks.
-fn serve_connection(stream: TcpStream, id: u64, registry: &ModelRegistry, live: &LiveStreams) {
+/// The typed code for a well-delimited frame that failed to decode: bad
+/// *values* (NaN/Inf payloads) are the peer's data problem, everything else
+/// is a framing problem.
+fn garbage_code(err: &WireError) -> ErrorCode {
+    match err {
+        WireError::NonFinite => ErrorCode::BadInput,
+        _ => ErrorCode::Malformed,
+    }
+}
+
+/// The live-streams map is only ever touched around insert/remove/shutdown —
+/// no user code runs under it — so recover from poisoning rather than let
+/// one panicked handler break shutdown for everyone.
+fn live_lock(live: &LiveStreams) -> MutexGuard<'_, HashMap<u64, TcpStream>> {
+    live.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Serves one connection until it closes, desyncs, idles out, or the
+/// transport breaks.
+fn serve_connection(
+    stream: TcpStream,
+    id: u64,
+    registry: &ModelRegistry,
+    live: &LiveStreams,
+    config: &NetServerConfig,
+) {
+    // Per-syscall deadlines: a peer that stalls mid-frame (or swallows our
+    // writes without draining its receive buffer) cannot pin this handler
+    // past io_timeout.
+    let _ = stream.set_read_timeout(config.io_timeout);
+    let _ = stream.set_write_timeout(config.io_timeout);
     // Register a clone so shutdown can cut our blocking read short.
     if let Ok(clone) = stream.try_clone() {
-        live.lock()
-            .expect("live streams poisoned")
-            .insert(id, clone);
+        live_lock(live).insert(id, clone);
     }
     let Ok(read_half) = stream.try_clone() else {
-        live.lock().expect("live streams poisoned").remove(&id);
+        live_lock(live).remove(&id);
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    let mut quiet = Duration::ZERO;
     // `while let` over the read result: an Err means the transport is gone.
-    while let Ok(read) = read_frame(&mut reader) {
+    while let Ok(read) = faulted_read_frame(&mut reader, "net.server.read") {
         let reply = match read {
             FrameRead::Closed => break,
+            FrameRead::TimedOut => {
+                // Boundary timeout: framing is intact, the peer is merely
+                // quiet. Enforce the idle budget (whole-expiry granularity)
+                // and otherwise keep waiting.
+                quiet += config.io_timeout.unwrap_or(Duration::ZERO);
+                match config.idle_timeout {
+                    Some(limit) if quiet >= limit => break,
+                    _ => continue,
+                }
+            }
             FrameRead::Desync(e) => {
                 // Framing is lost: tell the peer why (best effort — the
                 // bytes may never arrive) and drop the connection.
@@ -243,7 +303,7 @@ fn serve_connection(stream: TcpStream, id: u64, registry: &ModelRegistry, live: 
             }
             FrameRead::Garbage(e) => Frame::Error {
                 request_id: 0,
-                code: ErrorCode::Malformed,
+                code: garbage_code(&e),
                 message: e.to_string(),
             },
             FrameRead::Frame(Frame::Ping { request_id }) => {
@@ -293,6 +353,13 @@ fn serve_connection(stream: TcpStream, id: u64, registry: &ModelRegistry, live: 
                                 queued_for.as_secs_f64() * 1e3
                             ),
                         },
+                        Some(ModelReply::WorkerFailed) => Frame::Error {
+                            request_id,
+                            code: ErrorCode::Internal,
+                            message: "worker failed while running this request's batch; \
+                                      the request was not served and is safe to retry"
+                                .to_string(),
+                        },
                         Some(ModelReply::Ok(r)) => Frame::InferReply {
                             request_id,
                             batch_images: u32::try_from(r.batch_images).unwrap_or(u32::MAX),
@@ -309,14 +376,15 @@ fn serve_connection(stream: TcpStream, id: u64, registry: &ModelRegistry, live: 
                 message: "unexpected frame type from a client".to_string(),
             },
         };
-        if write_frame(&mut writer, &reply)
+        quiet = Duration::ZERO;
+        if faulted_write_frame(&mut writer, &reply, "net.server.write")
             .and_then(|()| writer.flush())
             .is_err()
         {
             break;
         }
     }
-    let removed = live.lock().expect("live streams poisoned").remove(&id);
+    let removed = live_lock(live).remove(&id);
     if let Some(s) = removed {
         let _ = s.shutdown(Shutdown::Both);
     }

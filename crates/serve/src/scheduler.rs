@@ -12,7 +12,7 @@
 //! it with inference requests.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// When a batch dispatches.
@@ -89,10 +89,18 @@ impl<T> BatchScheduler<T> {
         self.policy
     }
 
+    /// Queue operations never run user code while holding this lock, so the
+    /// inner state is consistent even if a panicking thread poisoned it
+    /// (e.g. an injected worker panic unwinding through a test harness).
+    /// Recover instead of cascading the panic into every later submit.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Enqueues one item, stamping its arrival time. Returns `false` (and
     /// drops the item) if the scheduler is closed.
     pub fn submit(&self, item: T) -> bool {
-        let mut g = self.inner.lock().expect("scheduler poisoned");
+        let mut g = self.lock();
         if g.closed {
             return false;
         }
@@ -104,14 +112,14 @@ impl<T> BatchScheduler<T> {
 
     /// Requests currently queued (not yet taken by a worker).
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("scheduler poisoned").queue.len()
+        self.lock().queue.len()
     }
 
     /// Closes the queue: later submits fail, queued items still dispatch
     /// (without waiting out their deadline), and workers get `None` once the
     /// queue is empty. Idempotent.
     pub fn close(&self) {
-        let mut g = self.inner.lock().expect("scheduler poisoned");
+        let mut g = self.lock();
         g.closed = true;
         self.available.notify_all();
     }
@@ -123,7 +131,7 @@ impl<T> BatchScheduler<T> {
     /// queued item has waited `max_wait` (partial flush), or when the
     /// scheduler closes with items still queued.
     pub fn next_batch(&self) -> Option<Batch<T>> {
-        let mut g = self.inner.lock().expect("scheduler poisoned");
+        let mut g = self.lock();
         loop {
             let full = g.queue.len() >= self.policy.max_batch;
             if full || (g.closed && !g.queue.is_empty()) {
@@ -138,12 +146,12 @@ impl<T> BatchScheduler<T> {
                 let (g2, _) = self
                     .available
                     .wait_timeout(g, deadline - now)
-                    .expect("scheduler poisoned");
+                    .unwrap_or_else(|p| p.into_inner());
                 g = g2;
             } else if g.closed {
                 return None;
             } else {
-                g = self.available.wait(g).expect("scheduler poisoned");
+                g = self.available.wait(g).unwrap_or_else(|p| p.into_inner());
             }
         }
     }
@@ -153,7 +161,7 @@ impl<T> BatchScheduler<T> {
     /// scheduler is closed with items still queued. The multi-queue registry
     /// scans this across models before deciding which queue to drain.
     pub fn has_ready(&self) -> bool {
-        let g = self.inner.lock().expect("scheduler poisoned");
+        let g = self.lock();
         if g.queue.len() >= self.policy.max_batch || (g.closed && !g.queue.is_empty()) {
             return true;
         }
@@ -167,7 +175,7 @@ impl<T> BatchScheduler<T> {
     /// ready", not shutdown — callers multiplexing several schedulers poll
     /// and sleep on their own condition variable.
     pub fn poll_batch(&self) -> Option<Batch<T>> {
-        let mut g = self.inner.lock().expect("scheduler poisoned");
+        let mut g = self.lock();
         let ready = g.queue.len() >= self.policy.max_batch
             || (g.closed && !g.queue.is_empty())
             || g.queue
@@ -180,7 +188,7 @@ impl<T> BatchScheduler<T> {
     /// a batch is already dispatchable, the oldest item's flush deadline if
     /// one is queued, `None` when the queue is empty (nothing to wait for).
     pub fn next_deadline(&self) -> Option<Instant> {
-        let g = self.inner.lock().expect("scheduler poisoned");
+        let g = self.lock();
         let &(oldest, _) = g.queue.front()?;
         if g.queue.len() >= self.policy.max_batch || g.closed {
             return Some(Instant::now());

@@ -14,6 +14,8 @@
 
 use crate::scheduler::{BatchPolicy, BatchScheduler};
 use crate::stats::{ServerStats, StatsReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -33,6 +35,13 @@ pub struct ServerConfig {
     /// if the graph is already calibrated via
     /// [`GraphExecutor::calibrate_with`] on a representative batch.
     pub warmup: bool,
+    /// How many isolated panics each worker survives before it stops being
+    /// revived. A panic mid-batch answers that batch's requests with
+    /// [`ServeError::WorkerFailed`], counts a restart, and — while the
+    /// budget lasts — the worker keeps taking batches. When the last live
+    /// worker exits, the queue is closed and drained with typed errors so
+    /// no waiter ever leaks.
+    pub restart_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -41,9 +50,32 @@ impl Default for ServerConfig {
             workers: 2,
             policy: BatchPolicy::default(),
             warmup: true,
+            restart_budget: 3,
         }
     }
 }
+
+/// Why a request completed without an output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The worker running this request's batch panicked. The request was
+    /// answered — not leaked — but no output exists; resubmitting is safe.
+    WorkerFailed,
+    /// The server shut down (or every worker died) before serving this
+    /// request.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::WorkerFailed => write!(f, "worker panicked while serving this request"),
+            ServeError::Shutdown => write!(f, "server shut down before serving this request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// One queued inference request.
 #[derive(Debug)]
@@ -52,7 +84,7 @@ struct Request {
     inputs: Vec<Tensor<f32>>,
     /// When the client submitted (end-to-end latency starts here).
     submitted: Instant,
-    reply: mpsc::Sender<InferenceReply>,
+    reply: mpsc::Sender<Result<InferenceReply, ServeError>>,
 }
 
 /// A completed inference.
@@ -74,22 +106,52 @@ impl InferenceReply {
     }
 }
 
-/// A pending reply; redeem it with [`PendingInference::wait`].
+/// A pending reply; redeem it with [`PendingInference::result`] (typed) or
+/// [`PendingInference::wait`] (panics on failure).
 #[derive(Debug)]
 pub struct PendingInference {
-    rx: mpsc::Receiver<InferenceReply>,
+    rx: mpsc::Receiver<Result<InferenceReply, ServeError>>,
 }
 
 impl PendingInference {
+    /// Blocks until the request completes, successfully or not.
+    ///
+    /// Every accepted request completes exactly once: with the outputs, with
+    /// [`ServeError::WorkerFailed`] if the worker running its batch
+    /// panicked, or with [`ServeError::Shutdown`] if the pool went away
+    /// first. The reply channel is never silently dropped.
+    pub fn result(self) -> Result<InferenceReply, ServeError> {
+        match self.rx.recv() {
+            Ok(reply) => reply,
+            // Senders are only dropped wholesale when the server object
+            // itself is torn down before the drain ran.
+            Err(mpsc::RecvError) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Like [`PendingInference::result`], bounded by `timeout`: `None` means
+    /// the request is still in flight (the pending handle is consumed either
+    /// way; chaos tests use this so a leaked waiter fails fast instead of
+    /// hanging the suite).
+    pub fn result_timeout(self, timeout: Duration) -> Option<Result<InferenceReply, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => Some(reply),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Shutdown)),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+        }
+    }
+
     /// Blocks until the reply arrives.
     ///
     /// # Panics
     ///
-    /// Panics if the server shut down before serving this request.
+    /// Panics if the request failed ([`PendingInference::result`] is the
+    /// non-panicking form).
     pub fn wait(self) -> InferenceReply {
-        self.rx
-            .recv()
-            .expect("server shut down before serving this request")
+        match self.result() {
+            Ok(reply) => reply,
+            Err(err) => panic!("{err}"),
+        }
     }
 }
 
@@ -199,15 +261,20 @@ impl InferenceServer {
         let stats = Arc::new(ServerStats::new());
         stats.set_fusion(prepared.fused_node_count(), prepared.elided_bytes());
         stats.set_kernel(prepared.simd_kernel());
+        let live = Arc::new(AtomicUsize::new(config.workers));
         let workers = (0..config.workers)
             .map(|i| {
                 let scheduler = Arc::clone(&scheduler);
                 let stats = Arc::clone(&stats);
                 let executor = Arc::clone(&executor);
                 let prepared = Arc::clone(&prepared);
+                let live = Arc::clone(&live);
+                let budget = config.restart_budget;
                 std::thread::Builder::new()
                     .name(format!("wino-serve-{i}"))
-                    .spawn(move || worker_loop(&scheduler, &stats, &executor, &prepared))
+                    .spawn(move || {
+                        worker_loop(&scheduler, &stats, &executor, &prepared, budget, &live)
+                    })
                     .expect("spawn worker")
             })
             .collect();
@@ -245,7 +312,10 @@ impl InferenceServer {
     pub fn shutdown(mut self) -> StatsReport {
         self.scheduler.close();
         for w in std::mem::take(&mut self.workers) {
-            w.join().expect("worker panicked");
+            // Worker panics are isolated inside the loop; a join error can
+            // only come from a panic outside the catch_unwind region (e.g. a
+            // broken scheduler). The shutdown report must still be produced.
+            let _ = w.join();
         }
         self.stats.set_synth(self.executor.synth().stats());
         self.stats.report()
@@ -262,55 +332,108 @@ impl Drop for InferenceServer {
 
 /// One worker: take batches until shutdown, run them on the shared graph,
 /// slice replies back out, keep a private arena across batches.
+///
+/// Panic isolation: the graph run (and the `worker.batch.pre`/`.post` fault
+/// points around it) executes under `catch_unwind`. A panic answers every
+/// request of the batch with [`ServeError::WorkerFailed`], counts a restart,
+/// and the worker keeps serving while `budget` lasts. The last worker to
+/// exit closes and drains the queue so no pending waiter ever leaks.
 fn worker_loop(
     scheduler: &BatchScheduler<Request>,
     stats: &ServerStats,
     executor: &GraphExecutor,
     prepared: &PreparedGraph,
+    budget: usize,
+    live: &AtomicUsize,
 ) {
     let n_inputs = prepared.graph().input_ids().len();
     let mut arena = ActivationArena::new();
+    let mut panics = 0usize;
     while let Some(batch) = scheduler.next_batch() {
-        // Coalesce: stack every request's tensor for each input position
-        // (shapes were validated at submit time). A single-request batch
-        // moves its tensors straight through, copy-free.
+        // Split the requests into the tensors (moved into the guarded run)
+        // and the reply handles (kept out, so a panicking run can still
+        // answer everyone).
         let run_start = Instant::now();
-        let mut items = batch.items;
-        let counts: Vec<usize> = items.iter().map(|r| r.inputs[0].dims()[0]).collect();
-        let stacked: Vec<Tensor<f32>> = if items.len() == 1 {
-            std::mem::take(&mut items[0].inputs)
-        } else {
-            (0..n_inputs)
-                .map(|pos| {
-                    let parts: Vec<&Tensor<f32>> = items.iter().map(|r| &r.inputs[pos]).collect();
-                    concat_batch(&parts)
-                })
-                .collect()
-        };
-        let run = executor.run_with_inputs_in(prepared, &stacked, &mut arena);
-        let run_time = run_start.elapsed();
-        let images = stacked[0].dims()[0];
-        stats.record_batch(images, batch.depth_after, run_time, &batch.waits);
-        // De-coalesce: each request gets its own images back.
-        let mut offset = 0usize;
-        for (req, count) in items.into_iter().zip(counts) {
-            let outputs = run
-                .outputs
-                .iter()
-                .map(|(name, t)| (name.clone(), batch_slice(t, offset, count)))
-                .collect();
-            offset += count;
-            let latency = req.submitted.elapsed();
-            stats.record_completion(latency);
-            // A client that dropped its PendingInference is not an error.
-            let _ = req.reply.send(InferenceReply {
-                outputs,
-                latency,
-                batch_images: images,
-            });
+        let mut inputs: Vec<Vec<Tensor<f32>>> = Vec::with_capacity(batch.items.len());
+        let mut replies: Vec<(Instant, mpsc::Sender<Result<InferenceReply, ServeError>>)> =
+            Vec::with_capacity(batch.items.len());
+        for req in batch.items {
+            inputs.push(req.inputs);
+            replies.push((req.submitted, req.reply));
+        }
+        let counts: Vec<usize> = inputs.iter().map(|t| t[0].dims()[0]).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = wino_fault::fire("worker.batch.pre");
+            // Coalesce: stack every request's tensor for each input position
+            // (shapes were validated at submit time). A single-request batch
+            // moves its tensors straight through, copy-free.
+            let stacked: Vec<Tensor<f32>> = if inputs.len() == 1 {
+                std::mem::take(&mut inputs[0])
+            } else {
+                (0..n_inputs)
+                    .map(|pos| {
+                        let parts: Vec<&Tensor<f32>> = inputs.iter().map(|r| &r[pos]).collect();
+                        concat_batch(&parts)
+                    })
+                    .collect()
+            };
+            let run = executor.run_with_inputs_in(prepared, &stacked, &mut arena);
+            let images = stacked[0].dims()[0];
+            let _ = wino_fault::fire("worker.batch.post");
+            (run, images)
+        }));
+        match outcome {
+            Ok((run, images)) => {
+                let run_time = run_start.elapsed();
+                stats.record_batch(images, batch.depth_after, run_time, &batch.waits);
+                // De-coalesce: each request gets its own images back.
+                let mut offset = 0usize;
+                for ((submitted, reply), count) in replies.into_iter().zip(counts) {
+                    let outputs = run
+                        .outputs
+                        .iter()
+                        .map(|(name, t)| (name.clone(), batch_slice(t, offset, count)))
+                        .collect();
+                    offset += count;
+                    let latency = submitted.elapsed();
+                    stats.record_completion(latency);
+                    // A client that dropped its PendingInference is not an
+                    // error.
+                    let _ = reply.send(Ok(InferenceReply {
+                        outputs,
+                        latency,
+                        batch_images: images,
+                    }));
+                }
+            }
+            Err(_) => {
+                // The arena may be mid-run; start the revived worker clean.
+                arena = ActivationArena::new();
+                for (_, reply) in replies {
+                    stats.record_failed();
+                    let _ = reply.send(Err(ServeError::WorkerFailed));
+                }
+                panics += 1;
+                if panics > budget {
+                    break;
+                }
+                stats.record_worker_restart();
+            }
         }
     }
     stats.merge_arena(arena.stats());
+    if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last worker out — whether by shutdown or by exhausted restart
+        // budgets. Nothing will ever take another batch, so close the queue
+        // and answer everything still in it; submits from now on fail fast.
+        scheduler.close();
+        while let Some(rest) = scheduler.next_batch() {
+            for req in rest.items {
+                stats.record_failed();
+                let _ = req.reply.send(Err(ServeError::WorkerFailed));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +457,7 @@ mod tests {
                     max_wait: Duration::from_millis(1),
                 },
                 warmup: true,
+                restart_budget: 3,
             },
         );
         let client = server.client();

@@ -61,6 +61,8 @@ struct StatsInner {
     depth_samples: Vec<usize>,
     rejected: usize,
     shed: usize,
+    failed: usize,
+    worker_restarts: usize,
     calibration: String,
     arena: ArenaStats,
     worker_peaks: Vec<usize>,
@@ -93,6 +95,8 @@ struct StatsMetrics {
     requests: Counter,
     rejected: Counter,
     shed: Counter,
+    failed: Counter,
+    worker_restarts: Counter,
     queue_depth: Gauge,
     latency_us: Histogram,
     batch_size: Histogram,
@@ -104,6 +108,8 @@ impl StatsMetrics {
             requests: wino_trace::counter(&format!("{prefix}.requests")),
             rejected: wino_trace::counter(&format!("{prefix}.rejected")),
             shed: wino_trace::counter(&format!("{prefix}.shed")),
+            failed: wino_trace::counter(&format!("{prefix}.failed")),
+            worker_restarts: wino_trace::counter(&format!("{prefix}.worker_restarts")),
             queue_depth: wino_trace::gauge(&format!("{prefix}.queue_depth")),
             latency_us: wino_trace::histogram(&format!("{prefix}.latency_us")),
             batch_size: wino_trace::histogram(&format!("{prefix}.batch_size")),
@@ -118,6 +124,13 @@ impl Default for ServerStats {
 }
 
 impl ServerStats {
+    /// Counters never hold this lock across user code, so a panicking
+    /// worker cannot leave the inner state inconsistent — recover from
+    /// poisoning instead of cascading the panic into every later probe.
+    fn lock(&self) -> std::sync::MutexGuard<'_, StatsInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// An empty accumulator; the throughput clock starts now.
     pub fn new() -> Self {
         Self {
@@ -153,7 +166,7 @@ impl ServerStats {
             m.queue_depth.set(depth_after as u64);
             m.batch_size.record(images as u64);
         }
-        let mut g = self.inner.lock().expect("stats poisoned");
+        let mut g = self.lock();
         g.batch_sizes.push(images);
         g.depth_samples.push(depth_after);
         g.run_times.push(run);
@@ -166,7 +179,7 @@ impl ServerStats {
             m.requests.inc();
             m.latency_us.record(latency.as_micros() as u64);
         }
-        let mut g = self.inner.lock().expect("stats poisoned");
+        let mut g = self.lock();
         g.latencies.push(latency);
     }
 
@@ -176,7 +189,7 @@ impl ServerStats {
         if let Some(m) = &self.metrics {
             m.rejected.inc();
         }
-        self.inner.lock().expect("stats poisoned").rejected += 1;
+        self.lock().rejected += 1;
     }
 
     /// Records one queued request shed at dispatch time (its deadline passed
@@ -185,19 +198,37 @@ impl ServerStats {
         if let Some(m) = &self.metrics {
             m.shed.inc();
         }
-        self.inner.lock().expect("stats poisoned").shed += 1;
+        self.lock().shed += 1;
+    }
+
+    /// Records one request answered with a typed failure (its worker
+    /// panicked mid-batch, or the pool died before reaching it).
+    pub fn record_failed(&self) {
+        if let Some(m) = &self.metrics {
+            m.failed.inc();
+        }
+        self.lock().failed += 1;
+    }
+
+    /// Records one worker revival: a worker panicked mid-batch, the panic
+    /// was isolated, and the worker kept serving under its restart budget.
+    pub fn record_worker_restart(&self) {
+        if let Some(m) = &self.metrics {
+            m.worker_restarts.inc();
+        }
+        self.lock().worker_restarts += 1;
     }
 
     /// Attaches the model's calibration-lifecycle label (`static`,
-    /// `warming(n)`, `frozen@n` — `CalibrationState::label`).
+    /// `warming(n)`, `frozen@n`, `degraded@n` — `CalibrationState::label`).
     pub fn set_calibration(&self, label: String) {
-        self.inner.lock().expect("stats poisoned").calibration = label;
+        self.lock().calibration = label;
     }
 
     /// Folds one worker's arena counters into the aggregate (summed across
     /// workers; peak is the max of the workers' peaks).
     pub fn merge_arena(&self, arena: ArenaStats) {
-        let mut g = self.inner.lock().expect("stats poisoned");
+        let mut g = self.lock();
         g.workers_reported += 1;
         g.worker_peaks.push(arena.peak_live_bytes);
         g.arena.runs += arena.runs;
@@ -210,7 +241,7 @@ impl ServerStats {
 
     /// Attaches the executor's synthesis-cache snapshot to the report.
     pub fn set_synth(&self, synth: SynthStats) {
-        self.inner.lock().expect("stats poisoned").synth = synth;
+        self.lock().synth = synth;
     }
 
     /// Attaches the served graph's epilogue-fusion figures: how many tail
@@ -219,7 +250,7 @@ impl ServerStats {
     /// materialized per run (`PreparedGraph::fused_node_count` /
     /// `PreparedGraph::elided_bytes`).
     pub fn set_fusion(&self, fused_nodes: usize, elided_bytes: usize) {
-        let mut g = self.inner.lock().expect("stats poisoned");
+        let mut g = self.lock();
         g.fused_nodes = fused_nodes;
         g.elided_bytes = elided_bytes;
     }
@@ -227,19 +258,19 @@ impl ServerStats {
     /// Attaches the SIMD microkernel variant every worker's GEMMs run with
     /// (`PreparedGraph::simd_kernel` — one process-wide selection).
     pub fn set_kernel(&self, kernel_variant: &'static str) {
-        self.inner.lock().expect("stats poisoned").kernel_variant = kernel_variant;
+        self.lock().kernel_variant = kernel_variant;
     }
 
     /// Attaches the prepared graph's per-run scratch requirement
     /// (`PreparedGraph::scratch_bytes` — tap-scratch high-water mark per
     /// worker, independent of the activation arena).
     pub fn set_scratch_bytes(&self, bytes: usize) {
-        self.inner.lock().expect("stats poisoned").scratch_bytes = bytes;
+        self.lock().scratch_bytes = bytes;
     }
 
     /// Reduces everything recorded so far into a [`StatsReport`].
     pub fn report(&self) -> StatsReport {
-        let g = self.inner.lock().expect("stats poisoned");
+        let g = self.lock();
         let elapsed = self.started.elapsed();
         let requests = g.latencies.len();
         let images: usize = g.batch_sizes.iter().sum();
@@ -272,6 +303,8 @@ impl ServerStats {
             mean_queue_depth: mean(&g.depth_samples),
             rejected: g.rejected,
             shed: g.shed,
+            failed: g.failed,
+            worker_restarts: g.worker_restarts,
             calibration: g.calibration.clone(),
             workers_reported: g.workers_reported,
             arena: g.arena,
@@ -314,8 +347,13 @@ pub struct StatsReport {
     pub rejected: usize,
     /// Queued requests shed at dispatch (deadline passed in the queue).
     pub shed: usize,
+    /// Requests answered with a typed failure (worker panic mid-batch or
+    /// pool death) instead of an output.
+    pub failed: usize,
+    /// Workers revived after an isolated panic (under the restart budget).
+    pub worker_restarts: usize,
     /// Calibration-lifecycle label (`""` when the server never attached one;
-    /// `static` / `warming(n)` / `frozen@n` otherwise).
+    /// `static` / `warming(n)` / `frozen@n` / `degraded@n` otherwise).
     pub calibration: String,
     /// Workers whose arenas were folded in (shutdown only).
     pub workers_reported: usize,
@@ -392,6 +430,13 @@ impl StatsReport {
             "admission       {:>10}    rejected at submit, {} shed at dispatch",
             self.rejected, self.shed
         );
+        if self.failed > 0 || self.worker_restarts > 0 {
+            let _ = writeln!(
+                out,
+                "faults          {:>10}    requests failed, {} worker restarts",
+                self.failed, self.worker_restarts
+            );
+        }
         if !self.calibration.is_empty() {
             let _ = writeln!(out, "calibration     {:>10}", self.calibration);
         }
@@ -634,6 +679,37 @@ mod tests {
             table.contains("warming(3)"),
             "table lost calibration:\n{table}"
         );
+    }
+
+    #[test]
+    fn fault_counters_ride_the_report_table_and_registry() {
+        let stats = ServerStats::with_metrics("test.stats.faults");
+        let quiet = stats.report();
+        assert_eq!((quiet.failed, quiet.worker_restarts), (0, 0));
+        assert!(
+            !quiet.render().contains("faults"),
+            "a fault-free report must not render the faults line"
+        );
+        stats.record_failed();
+        stats.record_failed();
+        stats.record_worker_restart();
+        let r = stats.report();
+        assert_eq!(r.failed, 2);
+        assert_eq!(r.worker_restarts, 1);
+        let table = r.render();
+        assert!(
+            table.contains("requests failed") && table.contains("1 worker restarts"),
+            "table must show the faults line:\n{table}"
+        );
+        let snap = wino_trace::metrics_snapshot();
+        let by_name = |n: &str| {
+            snap.iter()
+                .find(|m| m.name == n)
+                .unwrap_or_else(|| panic!("metric {n} not registered"))
+                .value
+        };
+        assert_eq!(by_name("test.stats.faults.failed"), 2);
+        assert_eq!(by_name("test.stats.faults.worker_restarts"), 1);
     }
 
     #[test]

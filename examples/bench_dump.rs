@@ -27,6 +27,7 @@ use winograd_tapwise::wino_core::{
     PhaseSnapshot, PreparedWinogradConv, QuantParams, TapwiseScales, TileSize, WinogradMatrices,
     WinogradQuantConfig,
 };
+use winograd_tapwise::wino_fault;
 use winograd_tapwise::wino_nets::{resnet20_graph, resnet34_graph};
 use winograd_tapwise::wino_serve::net::{
     AdmissionControl, ModelReply, ModelServeConfig, RegistryBuilder, RegistryServer, SubmitError,
@@ -366,7 +367,7 @@ fn main() {
                             Ok(pending) => match pending.wait() {
                                 Some(ModelReply::Ok(_)) => ok += 1,
                                 Some(ModelReply::Overloaded { .. }) => over += 1,
-                                None => {}
+                                Some(ModelReply::WorkerFailed) | None => {}
                             },
                             Err(SubmitError::Overloaded) => over += 1,
                             Err(e) => panic!("unexpected submit error: {e}"),
@@ -405,6 +406,22 @@ fn main() {
         ));
     }
 
+    // Disabled fault-probe cost: with no plan installed, `fire()` must be one
+    // relaxed atomic load and a branch. Pin it the same way the tracing bench
+    // pins disabled spans — ns/probe over a large call count.
+    wino_fault::clear();
+    let probe_calls: u64 = if quick { 1_000_000 } else { 10_000_000 };
+    let fault_off_ns = {
+        let t0 = Instant::now();
+        let mut fired = 0u64;
+        for _ in 0..probe_calls {
+            fired += u64::from(std::hint::black_box(wino_fault::fire("bench.probe")));
+        }
+        assert_eq!(fired, 0, "no plan installed, nothing may fire");
+        t0.elapsed().as_nanos() as f64 / probe_calls as f64
+    };
+    eprintln!("fault probe (disabled): {fault_off_ns:.2} ns/call over {probe_calls} calls");
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"float_f4\": {{{}}},", float_rows.join(", "));
@@ -440,9 +457,14 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"simd\": {{\"active\": \"{}\", \"gemm_{gm}x{gk}x{gn}\": {{{}}}}}",
+        "  \"simd\": {{\"active\": \"{}\", \"gemm_{gm}x{gk}x{gn}\": {{{}}}}},",
         simd::active().name(),
         simd_rows.join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"fault_overhead\": {{\"disabled_probe_ns\": {fault_off_ns:.3}, \
+         \"calls\": {probe_calls}}}"
     );
     json.push('}');
     std::fs::write("BENCH_winograd.json", &json).expect("write BENCH_winograd.json");

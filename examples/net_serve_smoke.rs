@@ -91,6 +91,7 @@ fn main() {
         NetServerConfig {
             connection_threads: CLIENTS as usize + 1,
             workers: 2,
+            ..NetServerConfig::default()
         },
     )
     .expect("bind loopback");

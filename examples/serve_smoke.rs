@@ -60,6 +60,7 @@ fn main() {
                 max_wait: Duration::from_millis(2),
             },
             warmup: true, // no-op: calibrated above
+            restart_budget: 3,
         },
     );
 

@@ -6,6 +6,7 @@
 pub use accel_sim;
 pub use nvdla_sim;
 pub use wino_core;
+pub use wino_fault;
 pub use wino_nets;
 pub use wino_serve;
 pub use wino_tensor;

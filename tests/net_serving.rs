@@ -132,6 +132,7 @@ fn overload_sheds_explicitly_and_bounds_the_accepted_tail() {
         NetServerConfig {
             connection_threads: 16,
             workers: 1,
+            ..NetServerConfig::default()
         },
     )
     .unwrap();
@@ -337,6 +338,7 @@ fn malformed_frames_get_typed_errors_without_killing_the_pool() {
         NetServerConfig {
             connection_threads: 1, // one handler: it must survive everything
             workers: 1,
+            ..NetServerConfig::default()
         },
     )
     .unwrap();

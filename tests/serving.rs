@@ -54,6 +54,7 @@ fn concurrent_workers_match_the_sequential_path_bitwise() {
                 max_wait: Duration::from_millis(1),
             },
             warmup: true, // no-op: already calibrated above
+            restart_budget: 3,
         },
     );
     // Hammer the queue from four client threads at once.
@@ -126,6 +127,7 @@ fn bursty_load_coalesces_into_dynamic_batches() {
                 max_wait: Duration::from_millis(50),
             },
             warmup: true,
+            restart_budget: 3,
         },
     );
     let client = server.client();
@@ -155,6 +157,7 @@ fn a_lone_request_is_flushed_by_the_deadline() {
                 max_wait,
             },
             warmup: true,
+            restart_budget: 3,
         },
     );
     let client = server.client();
