@@ -7,7 +7,7 @@
 //! [`crate::engine::Planner`] and cross-checked against each other in tests.
 
 use crate::engine::ConvBackend;
-use crate::epilogue::{add_bias, apply_epilogue, EpilogueOps};
+use crate::epilogue::{add_bias, EpilogueOps};
 use crate::int_winograd::{IntWinogradConv, WinogradQuantConfig};
 use crate::matrices::{TileSize, WinogradMatrices};
 use crate::quant::QuantParams;
@@ -247,19 +247,14 @@ impl ConvBackend for IntWinogradTapwiseBackend {
         let input_params =
             QuantParams::from_max(x.abs_max(), self.cfg.spatial_bits).to_power_of_two();
         let xq: Tensor<i8> = x.map(|v| input_params.quantize(v) as i8);
-        let output_max = estimate_output_max(x, w);
+        // The bias rides the requant stage, so the output quantizer must
+        // cover conv + bias.
+        let output_max =
+            estimate_output_max(x, w) + ops.bias.map_or(0.0, wino_tensor::Tensor::abs_max);
         let conv = IntWinogradConv::prepare(w, &scales, input_params, output_max, self.cfg);
-        if ops.bias.is_none() {
-            // Requantization, residual and ReLUs all fuse into the integer
-            // scatter stage.
-            conv.forward_epilogue(&xq, ops)
-        } else {
-            // The integer epilogue has no bias stage (the fp32 bias is added
-            // after dequantization); fall back to separate tail passes.
-            let mut y = conv.forward(&xq).dequantize();
-            apply_epilogue(&mut y, ops);
-            y
-        }
+        // Bias, requantization, residual and ReLUs all fuse into the integer
+        // scatter stage.
+        conv.forward_epilogue(&xq, ops)
     }
 }
 

@@ -721,16 +721,6 @@ impl GraphExecutor {
                     // same epilogue stage; record it so reports (and backend
                     // opt-ins) see the complete fused tail.
                     epilogue.requant = matches!(state, ConvState::IntWinograd(_));
-                    // The integer tap-wise scatter has no bias stage (the
-                    // fp32 bias would have to ride the requantized codes);
-                    // refuse loudly rather than silently dropping it.
-                    assert!(
-                        !(layer.bias && matches!(state, ConvState::IntWinograd(_))),
-                        "quantized executor: conv {:?} declares a bias, which the integer \
-                         tap-wise pipeline cannot fuse — fold the bias into the weights or \
-                         run the float executor",
-                        node.name
-                    );
                     let bias = layer
                         .bias
                         .then(|| self.synth.normal(&[layer.c_out], node_seed ^ 0x5bd1e995));
@@ -1278,7 +1268,6 @@ impl GraphExecutor {
                 }
             }
             ConvState::IntWinograd(cell) => {
-                debug_assert!(ops.bias.is_none(), "biased int conv rejected at prepare");
                 if let Some(cal) = observer {
                     // Warming under running-statistics calibration: fold this
                     // batch's ranges into the node's EMAs and serve the exact
@@ -1308,7 +1297,11 @@ impl GraphExecutor {
                         TapwiseScales::calibrate(&pc.weights, x, &mats, cfg.wino_bits, cfg.mode);
                     let input =
                         QuantParams::from_max(x.abs_max(), cfg.spatial_bits).to_power_of_two();
-                    let output_max = estimate_output_max(x, &pc.weights);
+                    // A fused bias rides the requant stage, so the output
+                    // quantizer must cover conv + bias; widening by the
+                    // worst-case |bias| keeps the estimate conservative.
+                    let output_max = estimate_output_max(x, &pc.weights)
+                        + ops.bias.map_or(0.0, wino_tensor::Tensor::abs_max);
                     let mut conv =
                         IntWinogradConv::prepare(&pc.weights, &scales, input, output_max, cfg);
                     conv.set_probe(Arc::clone(&pc.probe));
@@ -1325,15 +1318,14 @@ impl GraphExecutor {
                     y
                 } else if let Some(t) = owned_residual {
                     st.conv
-                        .forward_epilogue_into(&xq, ops.pre_add_relu, ops.relu, t)
-                } else if ops.residual.is_some() {
-                    // Requant, residual and ReLUs fuse into the scatter
-                    // stage; the int8 pre-activation map never exists.
-                    st.conv.forward_epilogue(&xq, &ops)
+                        .forward_epilogue_into(&xq, ops.bias, ops.pre_add_relu, ops.relu, t)
                 } else {
-                    st.conv
-                        .forward_fused(&xq, ops.pre_add_relu || ops.relu)
-                        .dequantize()
+                    // Bias, requant, residual and ReLUs all fuse into the
+                    // scatter stage; the int8 pre-activation map never
+                    // exists (bias-free no-residual tails take the same
+                    // staged path and stay bitwise-pinned to the separate
+                    // `forward_fused + dequantize + apply_epilogue` chain).
+                    st.conv.forward_epilogue(&xq, &ops)
                 };
                 (y, "int-winograd-tapwise")
             }
@@ -1501,12 +1493,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot fuse")]
-    fn quantized_executor_rejects_biased_winograd_convs_at_prepare() {
+    fn quantized_executor_runs_biased_winograd_convs_through_the_int_epilogue() {
         use crate::int_winograd::WinogradQuantConfig;
         let graph = biased_residual_graph(true);
+        let opts = GraphRunOptions::default();
         let exec = GraphExecutor::quantized(WinogradQuantConfig::default());
-        let _ = exec.prepare(&graph, &GraphRunOptions::default());
+        let p = exec.prepare(&graph, &opts);
+        let run = exec.run(&p);
+        assert!(
+            run.outputs[0].0.contains("add") || !run.outputs[0].0.is_empty(),
+            "graph produced no output"
+        );
+        // The biased convs must actually run quantized, not fall back.
+        for id in [1usize, 3] {
+            assert!(
+                p.epilogue_for(id).is_some_and(|e| e.bias && e.requant),
+                "conv {id} lost its bias or its int requant tail"
+            );
+        }
+        // Int-biased output tracks the float-biased reference within the
+        // quantization error bound already accepted for unbiased nets.
+        let fexec = GraphExecutor::with_defaults();
+        let frun = fexec.run(&fexec.prepare(&graph, &opts));
+        let err = run.outputs[0].1.relative_error(&frun.outputs[0].1);
+        assert!(err < 0.25, "biased int graph drifted from float: {err}");
+        // The bias must reach the quantized output too.
+        let unbiased = exec.run(&exec.prepare(&biased_residual_graph(false), &opts));
+        assert_ne!(
+            run.outputs[0].1, unbiased.outputs[0].1,
+            "bias was silently dropped on the int path"
+        );
     }
 
     #[test]

@@ -21,9 +21,14 @@
 //!    a plain `conv → relu` pair when no residual is fused).
 //!
 //! On the integer path the output requantization sits between steps 1 and 2:
-//! codes are clamped for the pre-add ReLU, then dequantized into the output
-//! scale before the residual is added in FP32 — exactly what separate-node
-//! execution computes, so fused and separate runs stay bitwise identical.
+//! the bias rides the requantization (`quantize(v + bias[c])`, the
+//! accelerator's epilogue datapath), codes are clamped for the pre-add ReLU,
+//! then dequantized into the output scale before the residual is added in
+//! FP32. For bias-free tails this is exactly what separate-node execution
+//! computes, so fused and separate runs stay bitwise identical; a biased
+//! tail matches float-domain separate execution within the output
+//! quantization step (the bias lands before the round instead of after the
+//! dequantize), pinned by the executor's error-bound tests.
 
 use wino_tensor::Tensor;
 

@@ -138,6 +138,125 @@ pub struct IntWinogradConv {
     probe: Option<Arc<PhaseProbe>>,
 }
 
+/// The scatter-stage emit of the tap-major pipeline, split in two so the
+/// expensive part vectorizes: [`TapEmit::stage`] requantizes one contiguous
+/// SoA lane row (the divide/round/clamp the phase profile charges to the
+/// epilogue) through the [`wino_tensor::simd`] primitives, and
+/// [`TapEmit::finish`] applies the scalar tail — residual add and post-ReLU,
+/// the steps that need the strided global NCHW index — as each staged element
+/// is scattered to its output row.
+trait TapEmit: Sync {
+    type Out: Element;
+    /// Vectorized requantization of one tile-lane row for output channel
+    /// `co`: `dst[i] = requant(src[i])`, contiguous over tiles.
+    fn stage(&self, co: usize, dst: &mut [Self::Out], src: &[f32]);
+    /// Scalar tail applied as the staged element lands on NCHW index `idx`.
+    fn finish(&self, staged: Self::Out, idx: usize) -> Self::Out;
+}
+
+/// Emit int8 output codes: `quantize(v + bias[co])`. The fused ReLU is a
+/// `lo = 0` clamp, exactly `max(0, code)` because the output scale is
+/// positive; bias-free this is bit-identical to the per-tile reference.
+struct CodeEmit<'a> {
+    params: QuantParams,
+    bias: Option<&'a [f32]>,
+    relu: bool,
+}
+
+impl TapEmit for CodeEmit<'_> {
+    type Out = i8;
+    fn stage(&self, co: usize, dst: &mut [i8], src: &[f32]) {
+        let lo = if self.relu {
+            0
+        } else {
+            self.params.bits.min_value()
+        };
+        simd::quantize_f32_i8(
+            dst,
+            src,
+            self.params.scale,
+            self.bias.map_or(0.0, |b| b[co]),
+            lo,
+            self.params.bits.max_value(),
+        );
+    }
+    fn finish(&self, staged: i8, _idx: usize) -> i8 {
+        staged
+    }
+}
+
+/// Emit dequantized FP32 directly: requantize and scale back in one staged
+/// pass — bitwise identical to emitting codes and dequantizing afterwards
+/// (see [`simd::requant_f32`]).
+struct DequantEmit<'a> {
+    params: QuantParams,
+    bias: Option<&'a [f32]>,
+    relu: bool,
+}
+
+impl TapEmit for DequantEmit<'_> {
+    type Out = f32;
+    fn stage(&self, co: usize, dst: &mut [f32], src: &[f32]) {
+        let lo = if self.relu {
+            0
+        } else {
+            self.params.bits.min_value()
+        };
+        simd::requant_f32(
+            dst,
+            src,
+            self.params.scale,
+            self.bias.map_or(0.0, |b| b[co]),
+            lo,
+            self.params.bits.max_value(),
+        );
+    }
+    fn finish(&self, staged: f32, _idx: usize) -> f32 {
+        staged
+    }
+}
+
+/// Emit a residual-fused FP32 tail: requantize + pre-add code clamp +
+/// dequantize in the vectorized stage, then the residual add and post-ReLU
+/// (which need the global index) in the scalar finish. One struct serves
+/// both the borrowed ([`IntWinogradConv::forward_epilogue`]) and the owned
+/// ([`IntWinogradConv::forward_epilogue_into`]) path, so their element-wise
+/// expressions cannot drift apart.
+struct ResidualEmit<'a> {
+    params: QuantParams,
+    bias: Option<&'a [f32]>,
+    pre_add_relu: bool,
+    relu: bool,
+    res: &'a [f32],
+}
+
+impl TapEmit for ResidualEmit<'_> {
+    type Out = f32;
+    fn stage(&self, co: usize, dst: &mut [f32], src: &[f32]) {
+        let lo = if self.pre_add_relu {
+            0
+        } else {
+            self.params.bits.min_value()
+        };
+        simd::requant_f32(
+            dst,
+            src,
+            self.params.scale,
+            self.bias.map_or(0.0, |b| b[co]),
+            lo,
+            self.params.bits.max_value(),
+        );
+    }
+    fn finish(&self, staged: f32, idx: usize) -> f32 {
+        let f = staged + self.res[idx];
+        if self.relu {
+            f.max(0.0)
+        } else {
+            f
+        }
+    }
+}
+
 impl IntWinogradConv {
     /// Prepares a layer for integer Winograd inference.
     ///
@@ -287,13 +406,14 @@ impl IntWinogradConv {
             return out;
         }
         let params = self.output_params;
-        let codes = self.forward_tap_major_with(x, |val, _| {
-            let mut code = params.quantize(val) as i8;
-            if relu {
-                code = code.max(0);
-            }
-            code
-        });
+        let codes = self.forward_tap_major_with(
+            x,
+            &CodeEmit {
+                params,
+                bias: None,
+                relu,
+            },
+        );
         IntWinogradOutput {
             codes,
             scale: params.scale,
@@ -301,40 +421,50 @@ impl IntWinogradConv {
     }
 
     /// Runs the integer pipeline with a full [`EpilogueOps`] tail and returns
-    /// the **dequantized** FP32 output directly: the output requantization,
-    /// any pre-residual ReLU (a code clamp), the dequantization into the
-    /// output scale, the residual add and the post-residual ReLU all happen
-    /// in the scatter stage before the single store. A `conv → add → relu`
-    /// residual tail therefore never materializes the int8 pre-activation
-    /// map, its dequantized FP32 copy, or the separate sum tensor.
+    /// the **dequantized** FP32 output directly: the bias add, the output
+    /// requantization, any pre-residual ReLU (a code clamp), the
+    /// dequantization into the output scale, the residual add and the
+    /// post-residual ReLU all happen in the scatter stage before the single
+    /// store. A `conv → add → relu` residual tail therefore never
+    /// materializes the int8 pre-activation map, its dequantized FP32 copy,
+    /// or the separate sum tensor.
     ///
-    /// Bitwise identical to `forward_fused(…).dequantize()` followed by
-    /// [`apply_epilogue`] (the separate-node execution), because every
-    /// elementwise step runs in the same order on the same values; pinned by
-    /// the unit tests and `tests/epilogue_fusion.rs`.
+    /// Without a bias this is bitwise identical to
+    /// `forward_fused(…).dequantize()` followed by [`apply_epilogue`] (the
+    /// separate-node execution), because every elementwise step runs in the
+    /// same order on the same values; pinned by the unit tests and
+    /// `tests/epilogue_fusion.rs`. A bias rides the requantization
+    /// (`quantize(v + bias)` — the accelerator's epilogue datapath), so a
+    /// biased tail matches float-domain separate execution within the output
+    /// quantization step rather than bitwise.
     ///
     /// # Panics
     ///
-    /// Panics if the channel count or residual shape disagrees with the
-    /// prepared weights, or if a bias is passed (the integer epilogue has no
-    /// bias stage — quantized graph convs carry none).
+    /// Panics if the channel count, residual shape or bias length disagrees
+    /// with the prepared weights.
     pub fn forward_epilogue(&self, x: &Tensor<i8>, epi: &EpilogueOps) -> Tensor<f32> {
-        assert!(
-            epi.bias.is_none(),
-            "integer epilogue has no bias stage (fold it into the weights)"
-        );
-        let Some(res) = epi.residual else {
-            // No residual: the code path already fuses the ReLU (pre- and
-            // post-residual coincide when there is nothing between them).
-            return self
-                .forward_fused(x, epi.pre_add_relu || epi.relu)
-                .dequantize();
-        };
         if !self.tap_major_is_exact() {
             let mut y = self.forward_per_tile(x).dequantize();
             apply_epilogue(&mut y, epi);
             return y;
         }
+        let params = self.output_params;
+        let bias = epi.bias.map(|b| {
+            assert_eq!(b.len(), self.c_out, "bias length mismatch");
+            b.as_slice()
+        });
+        let Some(res) = epi.residual else {
+            // No residual: pre- and post-ReLU coincide, and the staged
+            // requant + dequantize emits the fused FP32 output in one pass.
+            return self.forward_tap_major_with(
+                x,
+                &DequantEmit {
+                    params,
+                    bias,
+                    relu: epi.pre_add_relu || epi.relu,
+                },
+            );
+        };
         assert_eq!(x.rank(), 4, "input must be NCHW");
         assert_eq!(
             res.dims(),
@@ -343,35 +473,14 @@ impl IntWinogradConv {
         );
         self.forward_tap_major_with(
             x,
-            self.residual_emit(res.as_slice(), epi.pre_add_relu, epi.relu),
+            &ResidualEmit {
+                params,
+                bias,
+                pre_add_relu: epi.pre_add_relu,
+                relu: epi.relu,
+                res: res.as_slice(),
+            },
         )
-    }
-
-    /// The scatter-stage emit of a residual-fused epilogue — requantize,
-    /// pre-add code clamp, dequantize into the output scale, residual add,
-    /// post ReLU. One constructor serves both the borrowed
-    /// ([`IntWinogradConv::forward_epilogue`]) and the owned
-    /// ([`IntWinogradConv::forward_epilogue_into`]) path, so their
-    /// element-wise expressions cannot drift apart.
-    fn residual_emit<'a>(
-        &self,
-        res_s: &'a [f32],
-        pre_add_relu: bool,
-        relu: bool,
-    ) -> impl Fn(f32, usize) -> f32 + Sync + 'a {
-        let params = self.output_params;
-        let scale = params.scale;
-        move |val, idx| {
-            let mut code = params.quantize(val) as i8;
-            if pre_add_relu {
-                code = code.max(0);
-            }
-            let mut f = f32::from(code) * scale + res_s[idx];
-            if relu {
-                f = f.max(0.0);
-            }
-            f
-        }
     }
 
     /// [`IntWinogradConv::forward_epilogue`] with an **owned** residual: the
@@ -381,11 +490,12 @@ impl IntWinogradConv {
     ///
     /// # Panics
     ///
-    /// Panics if the channel count or residual shape disagrees with the
-    /// prepared weights.
+    /// Panics if the channel count, residual shape or bias length disagrees
+    /// with the prepared weights.
     pub fn forward_epilogue_into(
         &self,
         x: &Tensor<i8>,
+        bias: Option<&Tensor<f32>>,
         pre_add_relu: bool,
         relu: bool,
         residual: Tensor<f32>,
@@ -395,7 +505,7 @@ impl IntWinogradConv {
             apply_epilogue(
                 &mut y,
                 &EpilogueOps {
-                    bias: None,
+                    bias,
                     residual: Some(&residual),
                     pre_add_relu,
                     relu,
@@ -409,8 +519,18 @@ impl IntWinogradConv {
             &[x.dims()[0], self.c_out, x.dims()[2], x.dims()[3]],
             "residual shape mismatch"
         );
+        let bias = bias.map(|b| {
+            assert_eq!(b.len(), self.c_out, "bias length mismatch");
+            b.as_slice()
+        });
         let bufs = {
-            let emit = self.residual_emit(residual.as_slice(), pre_add_relu, relu);
+            let emit = ResidualEmit {
+                params: self.output_params,
+                bias,
+                pre_add_relu,
+                relu,
+                res: residual.as_slice(),
+            };
             self.tap_major_strip_bufs(x, &emit)
         };
         let mut y = residual;
@@ -427,20 +547,13 @@ impl IntWinogradConv {
         (c_in as i64) << (2 * wb - 2) <= i64::from(i32::MAX)
     }
 
-    /// The tap-major integer pipeline, generic over the element the scatter
-    /// stage emits: `emit(value, flat_output_index)` receives the FP32
-    /// back-transformed output value and the NCHW index it lands on, and
-    /// produces the stored element (int8 codes for
-    /// [`IntWinogradConv::forward_fused`], epilogue-fused FP32 for
-    /// [`IntWinogradConv::forward_epilogue`]). Callers must have checked
-    /// [`IntWinogradConv::tap_major_is_exact`].
-    fn forward_tap_major_with<O, F>(&self, x: &Tensor<i8>, emit: F) -> Tensor<O>
-    where
-        O: Element,
-        F: Fn(f32, usize) -> O + Sync,
-    {
-        let bufs = self.tap_major_strip_bufs(x, &emit);
-        let mut y = Tensor::<O>::zeros(&[x.dims()[0], self.c_out, x.dims()[2], x.dims()[3]]);
+    /// The tap-major integer pipeline, generic over the scatter-stage
+    /// [`TapEmit`]: int8 codes for [`IntWinogradConv::forward_fused`],
+    /// epilogue-fused FP32 for [`IntWinogradConv::forward_epilogue`].
+    /// Callers must have checked [`IntWinogradConv::tap_major_is_exact`].
+    fn forward_tap_major_with<E: TapEmit>(&self, x: &Tensor<i8>, emit: &E) -> Tensor<E::Out> {
+        let bufs = self.tap_major_strip_bufs(x, emit);
+        let mut y = Tensor::<E::Out>::zeros(&[x.dims()[0], self.c_out, x.dims()[2], x.dims()[3]]);
         self.tap_major_merge(&bufs, &mut y);
         y
     }
@@ -450,11 +563,7 @@ impl IntWinogradConv {
     /// `emit` scatter into per-group strip buffers. Split from the merge so
     /// an in-place caller ([`IntWinogradConv::forward_epilogue_into`]) can
     /// read the residual here and hand its buffer to the merge afterwards.
-    fn tap_major_strip_bufs<O, F>(&self, x: &Tensor<i8>, emit: &F) -> Vec<Vec<O>>
-    where
-        O: Element,
-        F: Fn(f32, usize) -> O + Sync,
-    {
+    fn tap_major_strip_bufs<E: TapEmit>(&self, x: &Tensor<i8>, emit: &E) -> Vec<Vec<E::Out>> {
         assert_eq!(x.rank(), 4, "input must be NCHW");
         assert_eq!(x.dims()[1], self.c_in, "channel mismatch");
         let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
@@ -492,7 +601,8 @@ impl IntWinogradConv {
                 .clone()
                 .map(|s| self.c_out * m.min(h - (s % grid.tiles_h) * m) * w)
                 .sum();
-            let mut buf = vec![O::default(); buf_len];
+            let mut buf = vec![E::Out::default(); buf_len];
+            let mut stage = vec![E::Out::default(); m * m * ntiles];
             with_tap_scratch(|scr| {
                 let mut clock = PhaseClock::start();
                 let probe = self.probe.as_deref();
@@ -567,10 +677,7 @@ impl IntWinogradConv {
                             let sc = self.input_tap_scales.at2(r, c);
                             let out = &mut v[((r * t + c) * self.c_in + ci) * ntiles
                                 ..((r * t + c) * self.c_in + ci + 1) * ntiles];
-                            for (o, &s2) in out.iter_mut().zip(dst.iter()) {
-                                let q = ((s2 as f32) / sc).round() as i32;
-                                *o = q.clamp(wino_lo, wino_hi) as i16;
-                            }
+                            simd::quantize_i32_i16(out, dst, sc, wino_lo, wino_hi);
                         }
                     }
                     clock.lap(Phase::InputTransform);
@@ -646,9 +753,17 @@ impl IntWinogradConv {
                         }
                     }
                     clock.lap(Phase::OutputTransform);
-                    // Emit (quantize + epilogue) + scatter into the strip
-                    // rows; `emit` sees the global NCHW index so a fused
-                    // residual can be read in-register before the store.
+                    // Vectorized requantization over contiguous tile lanes
+                    // (the expensive part of the epilogue), then the cheap
+                    // strided scatter; `finish` sees the global NCHW index
+                    // so a fused residual can be read before the store.
+                    for rc in 0..m * m {
+                        emit.stage(
+                            co,
+                            &mut stage[rc * ntiles..(rc + 1) * ntiles],
+                            &ea[rc * ntiles..(rc + 1) * ntiles],
+                        );
+                    }
                     for (si, s) in range.clone().enumerate() {
                         let ni = s / grid.tiles_h;
                         let ty = s % grid.tiles_h;
@@ -662,8 +777,8 @@ impl IntWinogradConv {
                                 let row = base + r * w + tx * m;
                                 let out_row = out_plane + (ty * m + r) * w + tx * m;
                                 for c in 0..cols {
-                                    let val = ea[(r * m + c) * ntiles + tile_idx];
-                                    buf[row + c] = emit(val, out_row + c);
+                                    let staged = stage[(r * m + c) * ntiles + tile_idx];
+                                    buf[row + c] = emit.finish(staged, out_row + c);
                                 }
                             }
                         }
@@ -815,10 +930,17 @@ impl IntWinogradConv {
                                     // (BT d) B  =>  sum_k tmp[r,k] * B[k,c] = tmp[r,k]*BT[c,k]
                                     s += tmp_i[r * t + k] * i64::from(bt_i[c * t + k]);
                                 }
-                                // tap-wise requantization to wino_bits
+                                // tap-wise requantization to wino_bits, in
+                                // the exact expression of the vectorized
+                                // `simd::quantize_i32_i16` (ties-to-even,
+                                // float-domain clamp) so the tap-major path
+                                // stays bit-identical to this reference
                                 let sc = self.input_tap_scales.at2(r, c);
-                                let q = ((s as f32) / sc).round() as i32;
-                                vt[r * t + c] = q.clamp(wino_lo, wino_hi);
+                                vt[r * t + c] = ((s as f32) / sc)
+                                    .round_ties_even()
+                                    .max(wino_lo as f32)
+                                    .min(wino_hi as f32)
+                                    as i32;
                             }
                         }
                     }
@@ -1011,6 +1133,64 @@ mod tests {
                     "{tile} pre={pre} post={post}: fused epilogue drifted"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn biased_epilogue_tracks_float_biased_reference() {
+        use crate::epilogue::{add_bias, EpilogueOps};
+        let x = normal(&[1, 4, 12, 12], 0.0, 1.0, 240);
+        let w = normal(&[6, 4, 3, 3], 0.0, 0.3, 241);
+        let b = normal(&[6], 0.0, 0.5, 242);
+        let mut reference = conv2d_direct(&x, &w, None, ConvParams::same_3x3());
+        add_bias(&mut reference, &b);
+        let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
+        let mats = WinogradMatrices::for_tile(TileSize::F4);
+        let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+        let (xq, xp) = quantize_input(&x, cfg.spatial_bits);
+        let conv = IntWinogradConv::prepare(&w, &scales, xp, reference.abs_max(), cfg);
+        let ops = EpilogueOps {
+            bias: Some(&b),
+            residual: None,
+            pre_add_relu: false,
+            relu: false,
+        };
+        let y = conv.forward_epilogue(&xq, &ops);
+        let err = y.relative_error(&reference);
+        assert!(err < 0.25, "int-biased relative error {err}");
+        // The bias must actually land: dropping it is a much larger error.
+        let unbiased = conv.forward(&xq).dequantize();
+        assert!(
+            y.relative_error(&reference) < unbiased.relative_error(&reference),
+            "requant-fused bias did not reduce the error vs dropping it"
+        );
+    }
+
+    #[test]
+    fn biased_residual_owned_and_borrowed_paths_agree_bitwise() {
+        use crate::epilogue::EpilogueOps;
+        let x = normal(&[2, 4, 13, 9], 0.0, 1.0, 250);
+        let w = normal(&[6, 4, 3, 3], 0.0, 0.3, 251);
+        let b = normal(&[6], 0.0, 0.5, 252);
+        let res = normal(&[2, 6, 13, 9], 0.0, 1.0, 253);
+        let cfg = WinogradQuantConfig::tapwise_po2(TileSize::F4, 8);
+        let mats = WinogradMatrices::for_tile(TileSize::F4);
+        let scales = TapwiseScales::calibrate(&w, &x, &mats, cfg.wino_bits, cfg.mode);
+        let (xq, xp) = quantize_input(&x, cfg.spatial_bits);
+        let conv = IntWinogradConv::prepare(&w, &scales, xp, 8.0, cfg);
+        for (pre, post) in [(false, false), (false, true), (true, false)] {
+            let ops = EpilogueOps {
+                bias: Some(&b),
+                residual: Some(&res),
+                pre_add_relu: pre,
+                relu: post,
+            };
+            let borrowed = conv.forward_epilogue(&xq, &ops);
+            let owned = conv.forward_epilogue_into(&xq, Some(&b), pre, post, res.clone());
+            assert_eq!(
+                borrowed, owned,
+                "pre={pre} post={post}: owned biased residual path drifted"
+            );
         }
     }
 

@@ -92,10 +92,15 @@ impl QuantParams {
         }
     }
 
-    /// Quantizes a single value: `clamp(round(x / s))`.
+    /// Quantizes a single value: `clamp(round(x / s))`, rounding half to
+    /// even — the same rounding `cvtps2dq`/`fcvtns` implement, so this
+    /// scalar definition and the vectorized [`wino_tensor::simd`] quantize
+    /// primitives are bit-identical.
     pub fn quantize(&self, x: f32) -> i32 {
-        let v = (x / self.scale).round();
-        (v as i32).clamp(self.bits.min_value(), self.bits.max_value())
+        (x / self.scale)
+            .round_ties_even()
+            .max(self.bits.min_value() as f32)
+            .min(self.bits.max_value() as f32) as i32
     }
 
     /// Dequantizes a single integer code.
@@ -121,10 +126,21 @@ pub fn dequantize(q: &Tensor<i32>, params: QuantParams) -> Tensor<f32> {
     q.map(|v| params.dequantize(v))
 }
 
-/// Quantizes a tensor to `i8` (panicking if the bit-width exceeds 8).
+/// Quantizes a tensor to `i8` (panicking if the bit-width exceeds 8) via
+/// the vectorized [`wino_tensor::simd::quantize_f32_i8`] primitive —
+/// bit-identical to mapping [`QuantParams::quantize`] over every element.
 pub fn quantize_to_i8(x: &Tensor<f32>, params: QuantParams) -> Tensor<i8> {
     assert!(params.bits.bits() <= 8, "quantize_to_i8 requires <= 8 bits");
-    x.map(|v| params.quantize(v) as i8)
+    let mut codes = vec![0_i8; x.len()];
+    wino_tensor::simd::quantize_f32_i8(
+        &mut codes,
+        x.as_slice(),
+        params.scale,
+        0.0,
+        params.bits.min_value(),
+        params.bits.max_value(),
+    );
+    Tensor::from_vec(codes, x.dims()).expect("quantize_to_i8 output shape")
 }
 
 #[cfg(test)]
@@ -186,6 +202,22 @@ mod tests {
         assert!(x.max_abs_diff(&d) <= p.scale / 2.0 + 1e-6);
         let q8 = quantize_to_i8(&x, p);
         assert_eq!(q8.as_slice()[2], 127);
+    }
+
+    #[test]
+    fn vectorized_i8_quantization_matches_scalar_definition() {
+        let x = Tensor::from_vec(
+            (0..301)
+                .map(|i| (i as f32 - 150.0) * 0.173 + if i % 2 == 0 { 1e6 } else { 0.0 })
+                .collect(),
+            &[301],
+        )
+        .unwrap();
+        let p = QuantParams::from_max(20.0, QuantBits::int8());
+        let q8 = quantize_to_i8(&x, p);
+        for (&code, &v) in q8.as_slice().iter().zip(x.as_slice()) {
+            assert_eq!(i32::from(code), p.quantize(v));
+        }
     }
 
     #[test]

@@ -127,11 +127,14 @@ pub(crate) fn strip_group_len(tiles_w: usize, c_in: usize, c_out: usize, tt: usi
 
 /// The peak tap-major scratch bytes (`V` + `M` panels, plus the per-thread
 /// packed GEMM `B` panel) a forward pass of the given geometry uses per
-/// worker thread. Thin layers that run the channel-laned formulation
-/// (single-image tiles below `MIN_TAP_MAJOR_TILES`, `c_out` at least
-/// `CHANNEL_LANE_MIN_COUT`) double the `M` panel — the GEMM's `[tile][co]`
-/// product and its SoA transpose coexist — and their GEMM `N` dimension is
-/// `c_out`, so the `B` panel widens accordingly. This is what
+/// worker thread, whichever of the float and integer pipelines is larger.
+/// Thin layers that run the channel-laned formulation (single-image tiles
+/// below `MIN_TAP_MAJOR_TILES`, `c_out` at least `CHANNEL_LANE_MIN_COUT`)
+/// double the `M` panel — the GEMM's `[tile][co]` product and its SoA
+/// transpose coexist — and their GEMM `N` dimension is `c_out`, so the `B`
+/// panel widens accordingly. The integer path's `B` panel is sized through
+/// [`wino_tensor::gemm_i16_b_panel_elems`], which accounts for the
+/// K-grouped (paired-MAC) packing of the active kernel variant. This is what
 /// `PreparedGraph::scratch_bytes` reports so deployments can size memory for
 /// the executor beyond the activation arena.
 pub fn tap_scratch_bytes(c_in: usize, c_out: usize, tile_t: usize, h: usize, w: usize) -> usize {
@@ -141,6 +144,7 @@ pub fn tap_scratch_bytes(c_in: usize, c_out: usize, tile_t: usize, h: usize, w: 
     let tiles_h = h.div_ceil(m);
     let group = strip_group_len(tiles_w, c_in, c_out, tt).min(tiles_h);
     let ntiles = group * tiles_w;
+    let variant = wino_tensor::simd::active();
     // Mirrors the winograd module's thin-layer predicate at batch 1 (larger
     // batches only lower the footprint back to the tile-laned shape).
     let lane_channels = tiles_h * tiles_w < crate::winograd::MIN_TAP_MAJOR_TILES
@@ -148,9 +152,17 @@ pub fn tap_scratch_bytes(c_in: usize, c_out: usize, tile_t: usize, h: usize, w: 
     let m_panels = if lane_channels { 2 * c_out } else { c_out };
     let gemm_n = if lane_channels { c_out } else { ntiles };
     let gemm_m = if lane_channels { ntiles } else { c_out };
-    let b_panel =
-        wino_tensor::gemm_f32_b_panel_elems(wino_tensor::simd::active(), gemm_m, c_in, gemm_n);
-    ((c_in + m_panels) * tt * ntiles + b_panel) * std::mem::size_of::<f32>()
+    let b_panel = wino_tensor::gemm_f32_b_panel_elems(variant, gemm_m, c_in, gemm_n);
+    let float_bytes = ((c_in + m_panels) * tt * ntiles + b_panel) * std::mem::size_of::<f32>();
+    // Integer pipeline: i16 `V` panel, i32 `M` panel, two i32 + two f32 SoA
+    // staging rows, the staged emit lanes (f32 worst case), and the
+    // K-grouped i16 GEMM `B` panel.
+    let int_bytes = c_in * tt * ntiles * std::mem::size_of::<i16>()
+        + c_out * tt * ntiles * std::mem::size_of::<i32>()
+        + 2 * tt * ntiles * (std::mem::size_of::<i32>() + std::mem::size_of::<f32>())
+        + m * m * ntiles * std::mem::size_of::<f32>()
+        + wino_tensor::gemm_i16_b_panel_elems(variant, c_in, ntiles) * std::mem::size_of::<i16>();
+    float_bytes.max(int_bytes)
 }
 
 #[cfg(test)]

@@ -14,12 +14,25 @@
 //! microkernel that accumulates a full `MR × NR` tile before touching `C`.
 //! The microkernel itself is chosen **per process** by
 //! [`crate::simd::active`]: explicit `std::arch` kernels for x86-64 AVX2/FMA
-//! and AVX-512F and for aarch64 NEON, with portable scalar Rust as the
-//! reference fallback (`WINO_FORCE_KERNEL=scalar` pins it). The
-//! `*_into_with` twins take an explicit [`KernelVariant`] so tests and
-//! benchmarks can compare variants inside one process; a variant foreign to
-//! the build architecture falls back to scalar there (the global dispatch
-//! never selects one).
+//! and AVX-512F/BW (plus an AVX-512 VNNI tier) and for aarch64 NEON (plus a
+//! `sdot` tier), with portable scalar Rust as the reference fallback
+//! (`WINO_FORCE_KERNEL=scalar` pins it). The `*_into_with` twins take an
+//! explicit [`KernelVariant`] so tests and benchmarks can compare variants
+//! inside one process; a variant foreign to the build architecture falls
+//! back to scalar there (the global dispatch never selects one).
+//!
+//! The integer kernels are *paired-MAC* formulations: instead of widening
+//! every 8/16-bit code to 32 bits before multiplying (one multiply per
+//! lane-element), they multiply natively narrow lanes and let the ISA's
+//! widening dot-product instructions fold 2 or 4 `K` steps per operation —
+//! `vpmaddwd` pairs two i16 products into an i32 (AVX2/AVX-512), `vpdpbusd`
+//! quads four u8×i8 products (AVX-512 VNNI, with a sign-offset correction
+//! so signed×signed stays exact), and NEON uses `smull`+`sadalp` pairs or
+//! `sdot` quads. To feed those instructions contiguously the packed panels
+//! group `K` in `G ∈ {1, 2, 4}` interleaved steps (`A[kg][row][g]`,
+//! `B[kg][col][g]`, zero-padded to a multiple of `G`); every paired kernel
+//! produces bit-identical i32 sums to the scalar reference — the saturation
+//! analysis lives on each kernel.
 //!
 //! `f32` additionally has a *thin* microkernel family: when `m ≤` [`MR_THIN`]
 //! the driver switches to 4-row kernels with twice the column width (AVX2
@@ -102,17 +115,24 @@ impl Widen<i32> for i16 {
     }
 }
 
-/// The packed-panel GEMM driver, generic over operand type, accumulator type
-/// and the microkernel's `MRP × NRP` register block.
+/// The packed-panel GEMM driver, generic over operand type, accumulator
+/// type, the microkernel's `MRP × NRP` register block and its `K`-group
+/// width `G`.
 ///
-/// Packs `A` into `MRP`-row row-interleaved panels (`pack[kk * MRP + r]`) and
-/// `B` into `NRP`-wide zero-padded column panels, then calls `micro` once per
-/// `(row panel, column panel)` pair with `(acc, a_panel, b_panel, kc)`; the
-/// accumulator tile is added into `C` afterwards, honouring ragged edges.
-/// `micro` always sees fixed-width fully padded rows — no tail path.
+/// Packs `A` into `MRP`-row row-interleaved panels and `B` into `NRP`-wide
+/// zero-padded column panels. With `G == 1` the layouts are the classic
+/// `pack[kk * MRP + r]` / `[jb][kk][NRP]`; with `G > 1` (the paired-MAC
+/// kernels) `K` is zero-padded up to a multiple of `G` and grouped so each
+/// `A` row / `B` column carries `G` consecutive `k` values contiguously:
+/// `pack[(kg * MRP + r) * G + g]` and `[jb][kg][NRP][G]`. `micro` is called
+/// once per `(row panel, column panel)` pair with
+/// `(acc, a_panel, b_panel, k_groups)` — note the last argument counts
+/// **groups**, not `k` steps (they coincide for `G == 1`); the accumulator
+/// tile is added into `C` afterwards, honouring ragged edges. `micro`
+/// always sees fixed-width fully padded rows — no tail path.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn packed_driver<T, A, const MRP: usize, const NRP: usize>(
+fn packed_driver<T, A, const MRP: usize, const NRP: usize, const G: usize>(
     c: &mut [A],
     a: &[T],
     b: &[T],
@@ -125,49 +145,89 @@ fn packed_driver<T, A, const MRP: usize, const NRP: usize>(
     T: Copy + Default,
     A: Copy + Default + std::ops::AddAssign,
 {
+    const {
+        assert!(
+            BLOCK_K.is_multiple_of(G),
+            "BLOCK_K must be a multiple of the K-group"
+        )
+    };
     let nblocks = n.div_ceil(NRP);
-    let bpack_len = BLOCK_K.min(k) * nblocks * NRP;
+    let bpack_len = BLOCK_K.min(k).div_ceil(G) * G * nblocks * NRP;
     if bpack_store.len() < bpack_len {
         bpack_store.resize(bpack_len, T::default());
     }
     let bpack = &mut bpack_store[..bpack_len];
     // One packed panel of A, row-interleaved so the microkernel reads MRP
-    // consecutive values per k step. Sized for the widest (MR-row) family;
-    // thin kernels use a prefix.
+    // consecutive values (× G grouped k steps) per k group. Sized for the
+    // widest (MR-row) family; thin kernels use a prefix. `BLOCK_K % G == 0`
+    // keeps the padded group span inside the same bound.
     let mut pack = [T::default(); MR * BLOCK_K];
     for k0 in (0..k).step_by(BLOCK_K) {
         let kc = (k0 + BLOCK_K).min(k) - k0;
-        // Pack B into NRP-wide column panels `[jb][kk][NRP]`, zero-padding
-        // the ragged last block.
-        for jb in 0..nblocks {
-            for kk in 0..kc {
-                let dst = &mut bpack[(jb * kc + kk) * NRP..(jb * kc + kk + 1) * NRP];
+        let kcg = kc.div_ceil(G);
+        // Pack B into NRP-wide column panels, zero-padding the ragged last
+        // column block and the ragged last K group.
+        if G == 1 {
+            for jb in 0..nblocks {
+                for kk in 0..kc {
+                    let dst = &mut bpack[(jb * kc + kk) * NRP..(jb * kc + kk + 1) * NRP];
+                    let j0 = jb * NRP;
+                    let cols = NRP.min(n - j0);
+                    let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + cols];
+                    dst[..cols].copy_from_slice(src);
+                    dst[cols..].fill(T::default());
+                }
+            }
+        } else {
+            for jb in 0..nblocks {
                 let j0 = jb * NRP;
                 let cols = NRP.min(n - j0);
-                let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + cols];
-                dst[..cols].copy_from_slice(src);
-                dst[cols..].fill(T::default());
+                for kg in 0..kcg {
+                    let base = (jb * kcg + kg) * NRP * G;
+                    let dst = &mut bpack[base..base + NRP * G];
+                    dst.fill(T::default());
+                    for g in 0..G {
+                        let kk = kg * G + g;
+                        if kk >= kc {
+                            break;
+                        }
+                        let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + cols];
+                        for (j, &v) in src.iter().enumerate() {
+                            dst[j * G + g] = v;
+                        }
+                    }
+                }
             }
         }
         for i0 in (0..m).step_by(MRP) {
             let rows = MRP.min(m - i0);
-            for kk in 0..kc {
-                for r in 0..MRP {
-                    pack[kk * MRP + r] = if r < rows {
-                        a[(i0 + r) * k + k0 + kk]
-                    } else {
-                        T::default()
-                    };
+            if G == 1 {
+                for kk in 0..kc {
+                    for r in 0..MRP {
+                        pack[kk * MRP + r] = if r < rows {
+                            a[(i0 + r) * k + k0 + kk]
+                        } else {
+                            T::default()
+                        };
+                    }
+                }
+            } else {
+                pack[..kcg * MRP * G].fill(T::default());
+                for r in 0..rows {
+                    let arow = &a[(i0 + r) * k + k0..(i0 + r) * k + k0 + kc];
+                    for (kk, &v) in arow.iter().enumerate() {
+                        pack[((kk / G) * MRP + r) * G + kk % G] = v;
+                    }
                 }
             }
-            let a_panel = &pack[..kc * MRP];
+            let a_panel = &pack[..kcg * MRP * G];
             for jb in 0..nblocks {
                 let mut acc = [[A::default(); NRP]; MRP];
                 micro(
                     &mut acc,
                     a_panel,
-                    &bpack[jb * kc * NRP..(jb * kc + kc) * NRP],
-                    kc,
+                    &bpack[jb * kcg * NRP * G..(jb + 1) * kcg * NRP * G],
+                    kcg,
                 );
                 let j0 = jb * NRP;
                 let cols = NRP.min(n - j0);
@@ -211,15 +271,60 @@ fn scalar_micro<T, A, const MRP: usize, const NRP: usize>(
 /// uses under `variant` with an `m`-row left operand — exposed so scratch
 /// accounting can include the GEMM panel footprint.
 pub fn gemm_f32_b_panel_elems(variant: KernelVariant, m: usize, k: usize, n: usize) -> usize {
-    let nrp = f32_nrp(variant, m);
-    BLOCK_K.min(k.max(1)) * n.div_ceil(nrp) * nrp
+    panel_elems(1, f32_nrp(variant, m), k, n)
+}
+
+/// Element count of the packed `B` panel a `k × n` `i8` GEMM parks under
+/// `variant` — includes the paired/quad kernels' `K`-group padding.
+pub fn gemm_i8_b_panel_elems(variant: KernelVariant, k: usize, n: usize) -> usize {
+    let (g, nrp) = i8_layout(variant);
+    panel_elems(g, nrp, k, n)
+}
+
+/// Element count of the packed `B` panel a `k × n` `i16` GEMM parks under
+/// `variant` — includes the paired kernels' `K`-group padding.
+pub fn gemm_i16_b_panel_elems(variant: KernelVariant, k: usize, n: usize) -> usize {
+    let (g, nrp) = i16_layout(variant);
+    panel_elems(g, nrp, k, n)
+}
+
+#[inline]
+fn panel_elems(g: usize, nrp: usize, k: usize, n: usize) -> usize {
+    BLOCK_K.min(k.max(1)).div_ceil(g) * g * n.div_ceil(nrp) * nrp
+}
+
+/// `(K-group, N width)` of the `i8` microkernel
+/// [`gemm_i8_i32_into_with`] would pick — must mirror its dispatch.
+fn i8_layout(variant: KernelVariant) -> (usize, usize) {
+    match variant {
+        KernelVariant::Avx2 if cfg!(target_arch = "x86_64") => (2, NR),
+        KernelVariant::Avx512 if cfg!(target_arch = "x86_64") => (2, 16),
+        KernelVariant::Avx512Vnni if cfg!(target_arch = "x86_64") => (4, 16),
+        KernelVariant::Neon if cfg!(target_arch = "aarch64") => (2, NR),
+        KernelVariant::NeonDot if cfg!(target_arch = "aarch64") => (4, NR),
+        _ => (1, NR),
+    }
+}
+
+/// `(K-group, N width)` of the `i16` microkernel
+/// [`gemm_i16_i32_into_with`] would pick — must mirror its dispatch.
+fn i16_layout(variant: KernelVariant) -> (usize, usize) {
+    match variant {
+        KernelVariant::Avx2 if cfg!(target_arch = "x86_64") => (2, NR),
+        KernelVariant::Avx512 | KernelVariant::Avx512Vnni if cfg!(target_arch = "x86_64") => {
+            (2, 16)
+        }
+        _ => (1, NR),
+    }
 }
 
 /// The `N` width of the `f32` microkernel [`gemm_f32_into_with`] would pick.
+/// The VNNI and `sdot` tiers add nothing for `f32` and share the AVX-512 /
+/// NEON kernels.
 fn f32_nrp(variant: KernelVariant, m: usize) -> usize {
     let thin = m <= MR_THIN;
     match variant {
-        KernelVariant::Avx512 if cfg!(target_arch = "x86_64") => {
+        KernelVariant::Avx512 | KernelVariant::Avx512Vnni if cfg!(target_arch = "x86_64") => {
             if thin {
                 32
             } else {
@@ -233,7 +338,7 @@ fn f32_nrp(variant: KernelVariant, m: usize) -> usize {
                 NR
             }
         }
-        KernelVariant::Neon if cfg!(target_arch = "aarch64") => {
+        KernelVariant::Neon | KernelVariant::NeonDot if cfg!(target_arch = "aarch64") => {
             if thin {
                 16
             } else {
@@ -284,11 +389,12 @@ fn gemm_span(name: &'static str, m: usize, k: usize, n: usize) -> Option<wino_tr
     }
     use std::sync::OnceLock;
     static F32_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
+    static I8_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
     static I16_SYM: OnceLock<wino_trace::Sym> = OnceLock::new();
-    let cell = if name == "gemm_f32" {
-        &F32_SYM
-    } else {
-        &I16_SYM
+    let cell = match name {
+        "gemm_f32" => &F32_SYM,
+        "gemm_i8_i32" => &I8_SYM,
+        _ => &I16_SYM,
     };
     let sym = *cell.get_or_init(|| wino_trace::intern(name));
     let id = ((m as u64) << 40) | ((k as u64) << 20) | n as u64;
@@ -325,7 +431,7 @@ pub fn gemm_f32_into_with(
         match variant {
             #[cfg(target_arch = "x86_64")]
             KernelVariant::Avx2 if m <= MR_THIN => {
-                packed_driver::<_, _, 4, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                packed_driver::<_, _, 4, 16, 1>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
                     // SAFETY: the caller-selected variant was feature-checked
                     // (dispatch or the `_with` contract).
                     unsafe { x86::f32_4x16_avx2(acc, ap, bpn, kc) }
@@ -333,43 +439,43 @@ pub fn gemm_f32_into_with(
             }
             #[cfg(target_arch = "x86_64")]
             KernelVariant::Avx2 => {
-                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                packed_driver::<_, _, 8, 8, 1>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
                     // SAFETY: as above.
                     unsafe { x86::f32_8x8_avx2(acc, ap, bpn, kc) }
                 })
             }
             #[cfg(target_arch = "x86_64")]
-            KernelVariant::Avx512 if m <= MR_THIN => {
-                packed_driver::<_, _, 4, 32>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+            KernelVariant::Avx512 | KernelVariant::Avx512Vnni if m <= MR_THIN => {
+                packed_driver::<_, _, 4, 32, 1>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
                     // SAFETY: as above.
                     unsafe { x86::f32_4x32_avx512(acc, ap, bpn, kc) }
                 })
             }
             #[cfg(target_arch = "x86_64")]
-            KernelVariant::Avx512 => {
-                packed_driver::<_, _, 8, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+            KernelVariant::Avx512 | KernelVariant::Avx512Vnni => {
+                packed_driver::<_, _, 8, 16, 1>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
                     // SAFETY: as above.
                     unsafe { x86::f32_8x16_avx512(acc, ap, bpn, kc) }
                 })
             }
             #[cfg(target_arch = "aarch64")]
-            KernelVariant::Neon if m <= MR_THIN => {
-                packed_driver::<_, _, 4, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+            KernelVariant::Neon | KernelVariant::NeonDot if m <= MR_THIN => {
+                packed_driver::<_, _, 4, 16, 1>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
                     // SAFETY: as above.
                     unsafe { neon::f32_4x16_neon(acc, ap, bpn, kc) }
                 })
             }
             #[cfg(target_arch = "aarch64")]
-            KernelVariant::Neon => {
-                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+            KernelVariant::Neon | KernelVariant::NeonDot => {
+                packed_driver::<_, _, 8, 8, 1>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
                     // SAFETY: as above.
                     unsafe { neon::f32_8x8_neon(acc, ap, bpn, kc) }
                 })
             }
             _ if m <= MR_THIN => {
-                packed_driver::<_, _, MR_THIN, NR>(c, a, b, m, k, n, bp, scalar_micro)
+                packed_driver::<_, _, MR_THIN, NR, 1>(c, a, b, m, k, n, bp, scalar_micro)
             }
-            _ => packed_driver::<_, _, MR, NR>(c, a, b, m, k, n, bp, scalar_micro),
+            _ => packed_driver::<_, _, MR, NR, 1>(c, a, b, m, k, n, bp, scalar_micro),
         }
     });
 }
@@ -383,6 +489,7 @@ pub fn gemm_f32_into_with(
 ///
 /// Panics if any slice length disagrees with the given dimensions.
 pub fn gemm_i8_i32_into(c: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+    let _sp = gemm_span("gemm_i8_i32", m, k, n);
     gemm_i8_i32_into_with(simd::active(), c, a, b, m, k, n);
 }
 
@@ -414,26 +521,40 @@ pub fn gemm_i8_i32_into_with(
         match variant {
             #[cfg(target_arch = "x86_64")]
             KernelVariant::Avx2 => {
-                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                packed_driver::<_, _, 8, 8, 2>(c, a, b, m, k, n, bp, |acc, ap, bpn, kg| {
                     // SAFETY: the caller-selected variant was feature-checked.
-                    unsafe { x86::i8_8x8_avx2(acc, ap, bpn, kc) }
+                    unsafe { x86::i8_8x8_madd_avx2(acc, ap, bpn, kg) }
                 })
             }
             #[cfg(target_arch = "x86_64")]
             KernelVariant::Avx512 => {
-                packed_driver::<_, _, 8, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                packed_driver::<_, _, 8, 16, 2>(c, a, b, m, k, n, bp, |acc, ap, bpn, kg| {
                     // SAFETY: as above.
-                    unsafe { x86::i8_8x16_avx512(acc, ap, bpn, kc) }
+                    unsafe { x86::i8_8x16_madd_avx512(acc, ap, bpn, kg) }
+                })
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx512Vnni => {
+                packed_driver::<_, _, 8, 16, 4>(c, a, b, m, k, n, bp, |acc, ap, bpn, kg| {
+                    // SAFETY: as above.
+                    unsafe { x86::i8_8x16_vnni(acc, ap, bpn, kg) }
                 })
             }
             #[cfg(target_arch = "aarch64")]
             KernelVariant::Neon => {
-                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                packed_driver::<_, _, 8, 8, 2>(c, a, b, m, k, n, bp, |acc, ap, bpn, kg| {
                     // SAFETY: as above.
-                    unsafe { neon::i8_8x8_neon(acc, ap, bpn, kc) }
+                    unsafe { neon::i8_8x8_pair_neon(acc, ap, bpn, kg) }
                 })
             }
-            _ => packed_driver::<_, _, MR, NR>(c, a, b, m, k, n, bp, scalar_micro),
+            #[cfg(target_arch = "aarch64")]
+            KernelVariant::NeonDot => {
+                packed_driver::<_, _, 8, 8, 4>(c, a, b, m, k, n, bp, |acc, ap, bpn, kg| {
+                    // SAFETY: as above.
+                    unsafe { neon::i8_8x8_dot_neon(acc, ap, bpn, kg) }
+                })
+            }
+            _ => packed_driver::<_, _, MR, NR, 1>(c, a, b, m, k, n, bp, scalar_micro),
         }
     });
 }
@@ -481,26 +602,33 @@ pub fn gemm_i16_i32_into_with(
         match variant {
             #[cfg(target_arch = "x86_64")]
             KernelVariant::Avx2 => {
-                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                packed_driver::<_, _, 8, 8, 2>(c, a, b, m, k, n, bp, |acc, ap, bpn, kg| {
                     // SAFETY: the caller-selected variant was feature-checked.
-                    unsafe { x86::i16_8x8_avx2(acc, ap, bpn, kc) }
+                    unsafe { x86::i16_8x8_madd_avx2(acc, ap, bpn, kg) }
                 })
             }
             #[cfg(target_arch = "x86_64")]
             KernelVariant::Avx512 => {
-                packed_driver::<_, _, 8, 16>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+                packed_driver::<_, _, 8, 16, 2>(c, a, b, m, k, n, bp, |acc, ap, bpn, kg| {
                     // SAFETY: as above.
-                    unsafe { x86::i16_8x16_avx512(acc, ap, bpn, kc) }
+                    unsafe { x86::i16_8x16_madd_avx512(acc, ap, bpn, kg) }
+                })
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx512Vnni => {
+                packed_driver::<_, _, 8, 16, 2>(c, a, b, m, k, n, bp, |acc, ap, bpn, kg| {
+                    // SAFETY: as above.
+                    unsafe { x86::i16_8x16_dpwssd(acc, ap, bpn, kg) }
                 })
             }
             #[cfg(target_arch = "aarch64")]
-            KernelVariant::Neon => {
-                packed_driver::<_, _, 8, 8>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
+            KernelVariant::Neon | KernelVariant::NeonDot => {
+                packed_driver::<_, _, 8, 8, 1>(c, a, b, m, k, n, bp, |acc, ap, bpn, kc| {
                     // SAFETY: as above.
                     unsafe { neon::i16_8x8_neon(acc, ap, bpn, kc) }
                 })
             }
-            _ => packed_driver::<_, _, MR, NR>(c, a, b, m, k, n, bp, scalar_micro),
+            _ => packed_driver::<_, _, MR, NR, 1>(c, a, b, m, k, n, bp, scalar_micro),
         }
     });
 }
@@ -591,18 +719,32 @@ mod x86 {
         }
     }
 
-    /// 8×8 `i8 → i32` kernel: sign-extend 8 codes to a ymm of i32, multiply
-    /// low 32 bits, add — exact, matching the scalar widening product.
+    /// The two `K`-paired values of one packed `A` row as the i32 broadcast
+    /// payload `vpmaddwd` expects: lane 0 = `a[k]`, lane 1 = `a[k+1]`, both
+    /// as sign-extended i16 bit patterns.
+    #[inline(always)]
+    unsafe fn i8_pair(p: *const i8) -> i32 {
+        let lo = u32::from(i16::from(*p) as u16);
+        let hi = u32::from(i16::from(*p.add(1)) as u16);
+        (lo | (hi << 16)) as i32
+    }
+
+    /// 8×8 `i8 → i32` paired-MAC kernel: widen a 16-code `B` group
+    /// (`[col][pair]` packed) to i16 lanes, broadcast each row's `K` pair,
+    /// and fold both products per column with one `vpmaddwd`. Exact: the
+    /// i16 intermediate pair sum is bounded by `2 · 128 · 128 = 32768 <
+    /// 2^31`, so `vpmaddwd`'s only saturation case (both products
+    /// `(-2^15)^2`) is unreachable from i8 operands.
     #[target_feature(enable = "avx2")]
-    pub unsafe fn i8_8x8_avx2(acc: &mut [[i32; 8]; 8], ap: &[i8], bp: &[i8], kc: usize) {
+    pub unsafe fn i8_8x8_madd_avx2(acc: &mut [[i32; 8]; 8], ap: &[i8], bp: &[i8], kg: usize) {
         let a = ap.as_ptr();
         let b = bp.as_ptr();
         let mut regs = [_mm256_setzero_si256(); 8];
-        for kk in 0..kc {
-            let bv = _mm256_cvtepi8_epi32(_mm_loadl_epi64(b.add(kk * 8) as *const __m128i));
+        for kk in 0..kg {
+            let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.add(kk * 16) as *const __m128i));
             for (r, reg) in regs.iter_mut().enumerate() {
-                let av = _mm256_set1_epi32(i32::from(*a.add(kk * 8 + r)));
-                *reg = _mm256_add_epi32(*reg, _mm256_mullo_epi32(av, bv));
+                let av = _mm256_set1_epi32(i8_pair(a.add((kk * 8 + r) * 2)));
+                *reg = _mm256_add_epi32(*reg, _mm256_madd_epi16(av, bv));
             }
         }
         for (r, reg) in regs.iter().enumerate() {
@@ -610,17 +752,20 @@ mod x86 {
         }
     }
 
-    /// 8×16 `i8 → i32` kernel on zmm registers.
-    #[target_feature(enable = "avx512f")]
-    pub unsafe fn i8_8x16_avx512(acc: &mut [[i32; 16]; 8], ap: &[i8], bp: &[i8], kc: usize) {
+    /// 8×16 `i8 → i32` paired-MAC kernel on zmm registers; same exactness
+    /// argument as [`i8_8x8_madd_avx2`]. The 512-bit `vpmaddwd` and the
+    /// byte→word widen are AVX-512BW instructions — the `avx512` variant
+    /// requires BW at detection.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn i8_8x16_madd_avx512(acc: &mut [[i32; 16]; 8], ap: &[i8], bp: &[i8], kg: usize) {
         let a = ap.as_ptr();
         let b = bp.as_ptr();
         let mut regs = [_mm512_setzero_si512(); 8];
-        for kk in 0..kc {
-            let bv = _mm512_cvtepi8_epi32(_mm_loadu_si128(b.add(kk * 16) as *const __m128i));
+        for kk in 0..kg {
+            let bv = _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.add(kk * 32) as *const __m256i));
             for (r, reg) in regs.iter_mut().enumerate() {
-                let av = _mm512_set1_epi32(i32::from(*a.add(kk * 8 + r)));
-                *reg = _mm512_add_epi32(*reg, _mm512_mullo_epi32(av, bv));
+                let av = _mm512_set1_epi32(i8_pair(a.add((kk * 8 + r) * 2)));
+                *reg = _mm512_add_epi32(*reg, _mm512_madd_epi16(av, bv));
             }
         }
         for (r, reg) in regs.iter().enumerate() {
@@ -628,17 +773,65 @@ mod x86 {
         }
     }
 
-    /// 8×8 `i16 → i32` kernel (Winograd-domain codes wider than 8 bits).
+    /// 8×16 `i8 → i32` VNNI kernel: `vpdpbusd` folds a **quad** of `K`
+    /// steps per instruction, but multiplies unsigned × signed. The signed
+    /// `A` operand is offset into u8 (`a ^ 0x80 = a + 128`), which adds a
+    /// spurious `128 · Σ b[k]` per output column; a parallel ones·B
+    /// dot-product accumulates exactly that column sum, and it is
+    /// subtracted (shifted left 7) after the `K` loop. Everything stays
+    /// exact: the u8×i8 word intermediates are within i16, `vpdpbusd`
+    /// accumulates them into i32 without saturation, and the offset
+    /// accumulator is bounded by `256 · 255 · 128 · 4 « 2^31` per block.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub unsafe fn i8_8x16_vnni(acc: &mut [[i32; 16]; 8], ap: &[i8], bp: &[i8], kg: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let ones = _mm512_set1_epi8(1);
+        let mut regs = [_mm512_setzero_si512(); 8];
+        let mut bsum = _mm512_setzero_si512();
+        for kk in 0..kg {
+            let bv = _mm512_loadu_si512(b.add(kk * 64) as *const __m512i);
+            bsum = _mm512_dpbusd_epi32(bsum, ones, bv);
+            for (r, reg) in regs.iter_mut().enumerate() {
+                let quad = (a.add((kk * 8 + r) * 4) as *const u32).read_unaligned();
+                let av = _mm512_set1_epi32((quad ^ 0x8080_8080) as i32);
+                *reg = _mm512_dpbusd_epi32(*reg, av, bv);
+            }
+        }
+        // The offset correction is row-independent: every row added the
+        // same `128 · Σ b` per column, and the accumulator tile is fresh
+        // per micro call, so one subtraction at the end settles all rows.
+        let corr = _mm512_slli_epi32(bsum, 7);
+        for (r, reg) in regs.iter().enumerate() {
+            _mm512_storeu_si512(
+                acc[r].as_mut_ptr() as *mut __m512i,
+                _mm512_sub_epi32(*reg, corr),
+            );
+        }
+    }
+
+    /// The two `K`-paired values of one packed i16 `A` row as the i32
+    /// broadcast payload for `vpmaddwd`.
+    #[inline(always)]
+    unsafe fn i16_pair(p: *const i16) -> i32 {
+        (p as *const u32).read_unaligned() as i32
+    }
+
+    /// 8×8 `i16 → i32` paired-MAC kernel (Winograd-domain codes wider than
+    /// 8 bits). Exact under the documented i16 GEMM contract
+    /// `K · max|A| · max|B| ≤ i32::MAX`: with `K ≥ 2` the pair sum
+    /// `2 · max|A| · max|B|` cannot reach `vpmaddwd`'s lone saturation
+    /// case, and the i32 accumulation never wraps.
     #[target_feature(enable = "avx2")]
-    pub unsafe fn i16_8x8_avx2(acc: &mut [[i32; 8]; 8], ap: &[i16], bp: &[i16], kc: usize) {
+    pub unsafe fn i16_8x8_madd_avx2(acc: &mut [[i32; 8]; 8], ap: &[i16], bp: &[i16], kg: usize) {
         let a = ap.as_ptr();
         let b = bp.as_ptr();
         let mut regs = [_mm256_setzero_si256(); 8];
-        for kk in 0..kc {
-            let bv = _mm256_cvtepi16_epi32(_mm_loadu_si128(b.add(kk * 8) as *const __m128i));
+        for kk in 0..kg {
+            let bv = _mm256_loadu_si256(b.add(kk * 16) as *const __m256i);
             for (r, reg) in regs.iter_mut().enumerate() {
-                let av = _mm256_set1_epi32(i32::from(*a.add(kk * 8 + r)));
-                *reg = _mm256_add_epi32(*reg, _mm256_mullo_epi32(av, bv));
+                let av = _mm256_set1_epi32(i16_pair(a.add((kk * 8 + r) * 2)));
+                *reg = _mm256_add_epi32(*reg, _mm256_madd_epi16(av, bv));
             }
         }
         for (r, reg) in regs.iter().enumerate() {
@@ -646,17 +839,43 @@ mod x86 {
         }
     }
 
-    /// 8×16 `i16 → i32` kernel on zmm registers.
-    #[target_feature(enable = "avx512f")]
-    pub unsafe fn i16_8x16_avx512(acc: &mut [[i32; 16]; 8], ap: &[i16], bp: &[i16], kc: usize) {
+    /// 8×16 `i16 → i32` paired-MAC kernel on zmm registers; same contract
+    /// as [`i16_8x8_madd_avx2`].
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn i16_8x16_madd_avx512(
+        acc: &mut [[i32; 16]; 8],
+        ap: &[i16],
+        bp: &[i16],
+        kg: usize,
+    ) {
         let a = ap.as_ptr();
         let b = bp.as_ptr();
         let mut regs = [_mm512_setzero_si512(); 8];
-        for kk in 0..kc {
-            let bv = _mm512_cvtepi16_epi32(_mm256_loadu_si256(b.add(kk * 16) as *const __m256i));
+        for kk in 0..kg {
+            let bv = _mm512_loadu_si512(b.add(kk * 32) as *const __m512i);
             for (r, reg) in regs.iter_mut().enumerate() {
-                let av = _mm512_set1_epi32(i32::from(*a.add(kk * 8 + r)));
-                *reg = _mm512_add_epi32(*reg, _mm512_mullo_epi32(av, bv));
+                let av = _mm512_set1_epi32(i16_pair(a.add((kk * 8 + r) * 2)));
+                *reg = _mm512_add_epi32(*reg, _mm512_madd_epi16(av, bv));
+            }
+        }
+        for (r, reg) in regs.iter().enumerate() {
+            _mm512_storeu_si512(acc[r].as_mut_ptr() as *mut __m512i, *reg);
+        }
+    }
+
+    /// 8×16 `i16 → i32` kernel via `vpdpwssd`, which fuses the pair
+    /// multiply-add and the i32 accumulate in one instruction with 32-bit
+    /// intermediates — no i16-pair saturation case at all.
+    #[target_feature(enable = "avx512f,avx512vnni")]
+    pub unsafe fn i16_8x16_dpwssd(acc: &mut [[i32; 16]; 8], ap: &[i16], bp: &[i16], kg: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut regs = [_mm512_setzero_si512(); 8];
+        for kk in 0..kg {
+            let bv = _mm512_loadu_si512(b.add(kk * 32) as *const __m512i);
+            for (r, reg) in regs.iter_mut().enumerate() {
+                let av = _mm512_set1_epi32(i16_pair(a.add((kk * 8 + r) * 2)));
+                *reg = _mm512_dpwssd_epi32(*reg, av, bv);
             }
         }
         for (r, reg) in regs.iter().enumerate() {
@@ -719,22 +938,52 @@ mod neon {
         }
     }
 
-    /// 8×8 `i8 → i32` kernel: widen codes to i16, multiply-accumulate into
-    /// i32 lanes via `vmlal_s16` — exact.
+    /// 8×8 `i8 → i32` paired-MAC kernel: `smull` multiplies a 16-code `B`
+    /// group (`[col][pair]` packed) against the row's duplicated `K` pair
+    /// into exact i16 products, and `sadalp` pairwise-widens adjacent
+    /// products into the i32 accumulators — two `K` steps per column per
+    /// instruction pair. Exact: the i16 products are bounded by
+    /// `128 · 128 = 2^14` and `sadalp` adds them in i32.
     #[target_feature(enable = "neon")]
-    pub unsafe fn i8_8x8_neon(acc: &mut [[i32; 8]; 8], ap: &[i8], bp: &[i8], kc: usize) {
+    pub unsafe fn i8_8x8_pair_neon(acc: &mut [[i32; 8]; 8], ap: &[i8], bp: &[i8], kg: usize) {
         let a = ap.as_ptr();
         let b = bp.as_ptr();
         let mut lo = [vdupq_n_s32(0); 8];
         let mut hi = [vdupq_n_s32(0); 8];
-        for kk in 0..kc {
-            let bw = vmovl_s8(vld1_s8(b.add(kk * 8)));
-            let bl = vget_low_s16(bw);
-            let bh = vget_high_s16(bw);
+        for kk in 0..kg {
+            let bv = vld1q_s8(b.add(kk * 16));
+            let bl = vget_low_s8(bv);
+            let bh = vget_high_s8(bv);
             for r in 0..8 {
-                let av = vdup_n_s16(i16::from(*a.add(kk * 8 + r)));
-                lo[r] = vmlal_s16(lo[r], bl, av);
-                hi[r] = vmlal_s16(hi[r], bh, av);
+                let pair = (a.add((kk * 8 + r) * 2) as *const u16).read_unaligned();
+                let av = vreinterpret_s8_u16(vdup_n_u16(pair));
+                lo[r] = vpadalq_s16(lo[r], vmull_s8(bl, av));
+                hi[r] = vpadalq_s16(hi[r], vmull_s8(bh, av));
+            }
+        }
+        for r in 0..8 {
+            vst1q_s32(acc[r].as_mut_ptr(), lo[r]);
+            vst1q_s32(acc[r].as_mut_ptr().add(4), hi[r]);
+        }
+    }
+
+    /// 8×8 `i8 → i32` dot-product kernel: `sdot` folds a **quad** of `K`
+    /// steps per column lane in one instruction (signed × signed, exact
+    /// i32 accumulation — no sign-offset needed, unlike `vpdpbusd`).
+    #[target_feature(enable = "neon,dotprod")]
+    pub unsafe fn i8_8x8_dot_neon(acc: &mut [[i32; 8]; 8], ap: &[i8], bp: &[i8], kg: usize) {
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut lo = [vdupq_n_s32(0); 8];
+        let mut hi = [vdupq_n_s32(0); 8];
+        for kk in 0..kg {
+            let b0 = vld1q_s8(b.add(kk * 32));
+            let b1 = vld1q_s8(b.add(kk * 32 + 16));
+            for r in 0..8 {
+                let quad = (a.add((kk * 8 + r) * 4) as *const u32).read_unaligned();
+                let av = vreinterpretq_s8_u32(vdupq_n_u32(quad));
+                lo[r] = vdotq_s32(lo[r], b0, av);
+                hi[r] = vdotq_s32(hi[r], b1, av);
             }
         }
         for r in 0..8 {
@@ -1013,6 +1262,83 @@ mod tests {
                 let elems = gemm_f32_b_panel_elems(v, m, k, n);
                 assert!(elems >= k.min(256) * n, "panel must cover B's block");
                 assert_eq!(elems % 8, 0, "panels are NR-padded");
+                // Integer panels additionally pad K to the pairing width.
+                for (elems, (g, nrp)) in [
+                    (gemm_i8_b_panel_elems(v, k, n), i8_layout(v)),
+                    (gemm_i16_b_panel_elems(v, k, n), i16_layout(v)),
+                ] {
+                    assert!(
+                        elems >= k.min(256) * n,
+                        "{} int panel must cover B's block",
+                        v.name()
+                    );
+                    assert_eq!(elems % (g * nrp), 0, "{} K-group padding", v.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paired_kernels_match_scalar_on_k_odd_and_saturation_extremes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        // K deliberately not a multiple of the pairing widths (2 / 4), plus
+        // K exactly 1 below/above a group boundary, and shapes straddling
+        // the MR/NR register blocks.
+        for &(m, k, n) in &[
+            (8, 1, 16),
+            (8, 2, 16),
+            (8, 3, 17),
+            (8, 5, 16),
+            (5, 7, 9),
+            (9, 13, 33),
+            (12, 255, 19),
+            (8, 257, 16),
+        ] {
+            // Half the operands pinned at the i8 extremes: −128·−128 quads
+            // are where a mishandled widening/saturation path would break.
+            let ai: Vec<i8> = (0..m * k)
+                .map(|i| match i % 4 {
+                    0 => -128,
+                    1 => 127,
+                    _ => rng.gen_range(-128_i32..128) as i8,
+                })
+                .collect();
+            let bi: Vec<i8> = (0..k * n)
+                .map(|i| match i % 3 {
+                    0 => -128,
+                    1 => 127,
+                    _ => rng.gen_range(-128_i32..128) as i8,
+                })
+                .collect();
+            // i16 at the widest magnitude the documented contract admits
+            // for this K: K · max|A| · max|B| ≤ i32::MAX.
+            let lim = ((i32::MAX as f64 / k as f64).sqrt() as i32).min(i16::MAX as i32) as i16;
+            let a16: Vec<i16> = (0..m * k)
+                .map(|i| match i % 4 {
+                    0 => -lim,
+                    1 => lim,
+                    _ => rng.gen_range(-i32::from(lim)..i32::from(lim) + 1) as i16,
+                })
+                .collect();
+            let b16: Vec<i16> = (0..k * n)
+                .map(|i| match i % 3 {
+                    0 => -lim,
+                    1 => lim,
+                    _ => rng.gen_range(-i32::from(lim)..i32::from(lim) + 1) as i16,
+                })
+                .collect();
+            let mut c8_ref = vec![0_i32; m * n];
+            let mut c16_ref = vec![0_i32; m * n];
+            gemm_i8_i32_into_with(KernelVariant::Scalar, &mut c8_ref, &ai, &bi, m, k, n);
+            gemm_i16_i32_into_with(KernelVariant::Scalar, &mut c16_ref, &a16, &b16, m, k, n);
+            for v in simd::available() {
+                let mut c8 = vec![1_i32; m * n];
+                gemm_i8_i32_into_with(v, &mut c8, &ai, &bi, m, k, n);
+                assert_eq!(c8, c8_ref, "{} i8 ({m},{k},{n})", v.name());
+                let mut c16 = vec![1_i32; m * n];
+                gemm_i16_i32_into_with(v, &mut c16, &a16, &b16, m, k, n);
+                assert_eq!(c16, c16_ref, "{} i16 ({m},{k},{n})", v.name());
             }
         }
     }

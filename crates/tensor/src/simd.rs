@@ -1,41 +1,54 @@
 //! Runtime SIMD kernel dispatch.
 //!
-//! The GEMM microkernels ([`crate::gemm`]) and the SoA transform primitives
-//! below exist in several instruction-set variants: a portable scalar
-//! fallback, x86-64 AVX2/FMA and AVX-512F, and aarch64 NEON. One variant is
-//! selected **once per process** — the first call to [`active`] probes the
-//! CPU (`is_x86_feature_detected!` / the aarch64 equivalent) and caches the
-//! best supported [`KernelVariant`]; every hot call after that is a branch
-//! on a loaded value, never a re-probe.
+//! The GEMM microkernels ([`crate::gemm`]), the SoA transform primitives and
+//! the quantize/requant primitives below exist in several instruction-set
+//! variants: a portable scalar fallback, x86-64 AVX2/FMA, AVX-512F/BW and
+//! AVX-512 VNNI, and aarch64 NEON with an optional `dotprod` (SDOT) tier.
+//! One variant is selected **once per process** — the first call to
+//! [`active`] probes the CPU (`is_x86_feature_detected!` / the aarch64
+//! equivalent) and caches the best supported [`KernelVariant`]; every hot
+//! call after that is a branch on a loaded value, never a re-probe.
 //!
 //! The environment variable [`FORCE_ENV`] (`WINO_FORCE_KERNEL`) overrides
 //! detection: `WINO_FORCE_KERNEL=scalar` pins the portable kernels (the
 //! reference every SIMD variant is equivalence-tested against),
-//! `avx2`/`avx512`/`neon` pin a specific ISA. Forcing a variant the host
-//! does not support panics at first use rather than silently falling back —
-//! a forced run must mean what it says.
+//! `avx2`/`avx512`/`avx512vnni`/`neon`/`neondot` pin a specific ISA. Forcing
+//! a variant the host does not support panics at first use rather than
+//! silently falling back — a forced run must mean what it says.
 //!
 //! Tests and benchmarks that want to compare variants inside one process
 //! bypass the global selection entirely: [`available`] lists the variants
-//! this host can run, and the `gemm_*_into_with` entry points take an
-//! explicit variant.
+//! this host can run, and the `gemm_*_into_with` / `quantize_*_with` entry
+//! points take an explicit variant.
+//!
+//! # Quantize/requant primitives
+//!
+//! [`quantize_f32_i8`], [`quantize_i32_i16`] and [`requant_f32`] vectorize
+//! the integer Winograd pipeline's scale+round+clamp steps (input
+//! quantization, tap-wise requantization, and the requant/dequant epilogue).
+//! They are **bit-identical across variants for finite inputs**: every
+//! variant divides (IEEE-exact), rounds half-to-even (`cvtps`/`vcvtnq`
+//! hardware rounding = `f32::round_ties_even`) and clamps in the float
+//! domain before the integer conversion, in the same order as the scalar
+//! reference expression.
 //!
 //! # Adding an ISA variant
 //!
 //! 1. Add the enum case and its [`KernelVariant::name`] /
 //!    [`KernelVariant::is_supported`] arms (compile-gate the probe on the
 //!    target architecture).
-//! 2. Rank it in [`detected`] (best first).
+//! 2. Rank it in [`KernelVariant::ALL`] (detection order, worst first).
 //! 3. Provide microkernels in `gemm.rs` and dispatch arms in the
-//!    `gemm_*_into_with` functions, plus SoA arms in this module's
-//!    [`axpy_f32`]-family dispatch.
+//!    `gemm_*_into_with` functions, plus SoA and quantize arms in this
+//!    module's dispatch (a variant may reuse a weaker tier's
+//!    implementations — `avx512vnni` shares the AVX-512 SoA bodies).
 //! 4. The randomized equivalence suite (`tests/simd_kernels.rs`) picks the
 //!    new variant up automatically through [`available`].
 
 use std::sync::OnceLock;
 
 /// Environment variable that overrides kernel detection
-/// (`scalar`, `avx2`, `avx512` or `neon`).
+/// (`scalar`, `avx2`, `avx512`, `avx512vnni`, `neon` or `neondot`).
 pub const FORCE_ENV: &str = "WINO_FORCE_KERNEL";
 
 /// One instruction-set implementation of the hot kernels.
@@ -43,21 +56,31 @@ pub const FORCE_ENV: &str = "WINO_FORCE_KERNEL";
 pub enum KernelVariant {
     /// Portable scalar Rust (the reference all SIMD variants must match).
     Scalar,
-    /// x86-64 AVX2 + FMA (256-bit lanes).
+    /// x86-64 AVX2 + FMA (256-bit lanes, paired-MAC integer kernels).
     Avx2,
-    /// x86-64 AVX-512F (512-bit lanes).
+    /// x86-64 AVX-512F + AVX-512BW (512-bit lanes, paired-MAC integer
+    /// kernels via `vpmaddwd`).
     Avx512,
+    /// x86-64 AVX-512 VNNI: quad int8 dot-product accumulate (`vpdpbusd`)
+    /// and paired int16 accumulate (`vpdpwssd`); `f32` kernels shared with
+    /// [`KernelVariant::Avx512`].
+    Avx512Vnni,
     /// aarch64 NEON (128-bit lanes).
     Neon,
+    /// aarch64 NEON + `dotprod`: quad int8 dot-product accumulate (`sdot`);
+    /// everything else shared with [`KernelVariant::Neon`].
+    NeonDot,
 }
 
 impl KernelVariant {
     /// Every variant, in detection order (worst first).
-    pub const ALL: [KernelVariant; 4] = [
+    pub const ALL: [KernelVariant; 6] = [
         KernelVariant::Scalar,
         KernelVariant::Neon,
+        KernelVariant::NeonDot,
         KernelVariant::Avx2,
         KernelVariant::Avx512,
+        KernelVariant::Avx512Vnni,
     ];
 
     /// The lowercase name used by [`FORCE_ENV`], stats tables and bench rows.
@@ -66,7 +89,9 @@ impl KernelVariant {
             KernelVariant::Scalar => "scalar",
             KernelVariant::Avx2 => "avx2",
             KernelVariant::Avx512 => "avx512",
+            KernelVariant::Avx512Vnni => "avx512vnni",
             KernelVariant::Neon => "neon",
+            KernelVariant::NeonDot => "neondot",
         }
     }
 
@@ -76,7 +101,9 @@ impl KernelVariant {
             "scalar" => Some(KernelVariant::Scalar),
             "avx2" => Some(KernelVariant::Avx2),
             "avx512" => Some(KernelVariant::Avx512),
+            "avx512vnni" => Some(KernelVariant::Avx512Vnni),
             "neon" => Some(KernelVariant::Neon),
+            "neondot" => Some(KernelVariant::NeonDot),
             _ => None,
         }
     }
@@ -90,9 +117,23 @@ impl KernelVariant {
                 is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
             }
             #[cfg(target_arch = "x86_64")]
-            KernelVariant::Avx512 => is_x86_feature_detected!("avx512f"),
+            KernelVariant::Avx512 => {
+                // The paired-MAC integer kernels use 512-bit `vpmaddwd` /
+                // `vpmovdb`, which need BW on top of F. Every AVX-512 server
+                // part since Skylake-X has both.
+                is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw")
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelVariant::Avx512Vnni => {
+                KernelVariant::Avx512.is_supported() && is_x86_feature_detected!("avx512vnni")
+            }
             #[cfg(target_arch = "aarch64")]
             KernelVariant::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[cfg(target_arch = "aarch64")]
+            KernelVariant::NeonDot => {
+                KernelVariant::Neon.is_supported()
+                    && std::arch::is_aarch64_feature_detected!("dotprod")
+            }
             #[allow(unreachable_patterns)]
             _ => false,
         }
@@ -104,7 +145,7 @@ impl KernelVariant {
     /// which is what the channel-laned thin-layer formulation fixes.
     pub fn nr_f32(self) -> usize {
         match self {
-            KernelVariant::Avx512 => 16,
+            KernelVariant::Avx512 | KernelVariant::Avx512Vnni => 16,
             _ => 8,
         }
     }
@@ -139,7 +180,10 @@ pub fn active() -> KernelVariant {
     *ACTIVE.get_or_init(|| match std::env::var(FORCE_ENV) {
         Ok(raw) => {
             let v = KernelVariant::parse(&raw).unwrap_or_else(|| {
-                panic!("{FORCE_ENV}={raw}: expected one of scalar|avx2|avx512|neon")
+                panic!(
+                    "{FORCE_ENV}={raw}: expected one of \
+                     scalar|avx2|avx512|avx512vnni|neon|neondot"
+                )
             });
             assert!(
                 v.is_supported(),
@@ -168,39 +212,61 @@ struct SoaOps {
     axpy_f32_unfused: fn(&mut [f32], f32, &[f32]),
     axpy_i32: fn(&mut [i32], i32, &[i32]),
     scale_i32_f32: fn(&mut [f32], &[i32], f32),
+    quantize_f32_i8: fn(&mut [i8], &[f32], f32, f32, i32, i32),
+    quantize_i32_i16: fn(&mut [i16], &[i32], f32, i32, i32),
+    requant_f32: fn(&mut [f32], &[f32], f32, f32, i32, i32),
 }
 
-fn soa_ops() -> &'static SoaOps {
-    static OPS: OnceLock<SoaOps> = OnceLock::new();
-    OPS.get_or_init(|| match active() {
+/// The SoA/quantize implementation table for one variant. The VNNI and
+/// `dotprod` tiers only change the GEMM microkernels, so they share the
+/// AVX-512 / NEON bodies here.
+fn soa_ops_for(variant: KernelVariant) -> SoaOps {
+    match variant {
         #[cfg(target_arch = "x86_64")]
         KernelVariant::Avx2 => SoaOps {
             axpy_f32: x86::axpy_f32_avx2,
             axpy_f32_unfused: x86::axpy_f32_unfused_avx2,
             axpy_i32: x86::axpy_i32_avx2,
             scale_i32_f32: x86::scale_i32_f32_avx2,
+            quantize_f32_i8: x86::quantize_f32_i8_avx2,
+            quantize_i32_i16: x86::quantize_i32_i16_avx2,
+            requant_f32: x86::requant_f32_avx2,
         },
         #[cfg(target_arch = "x86_64")]
-        KernelVariant::Avx512 => SoaOps {
+        KernelVariant::Avx512 | KernelVariant::Avx512Vnni => SoaOps {
             axpy_f32: x86::axpy_f32_avx512,
             axpy_f32_unfused: x86::axpy_f32_unfused_avx512,
             axpy_i32: x86::axpy_i32_avx512,
             scale_i32_f32: x86::scale_i32_f32_avx512,
+            quantize_f32_i8: x86::quantize_f32_i8_avx512,
+            quantize_i32_i16: x86::quantize_i32_i16_avx512,
+            requant_f32: x86::requant_f32_avx512,
         },
         #[cfg(target_arch = "aarch64")]
-        KernelVariant::Neon => SoaOps {
+        KernelVariant::Neon | KernelVariant::NeonDot => SoaOps {
             axpy_f32: neon::axpy_f32_neon,
             axpy_f32_unfused: neon::axpy_f32_unfused_neon,
             axpy_i32: neon::axpy_i32_neon,
             scale_i32_f32: neon::scale_i32_f32_neon,
+            quantize_f32_i8: neon::quantize_f32_i8_neon,
+            quantize_i32_i16: neon::quantize_i32_i16_neon,
+            requant_f32: neon::requant_f32_neon,
         },
         _ => SoaOps {
             axpy_f32: axpy_f32_scalar,
             axpy_f32_unfused: axpy_f32_scalar,
             axpy_i32: axpy_i32_scalar,
             scale_i32_f32: scale_i32_f32_scalar,
+            quantize_f32_i8: quantize_f32_i8_scalar,
+            quantize_i32_i16: quantize_i32_i16_scalar,
+            requant_f32: requant_f32_scalar,
         },
-    })
+    }
+}
+
+fn soa_ops() -> &'static SoaOps {
+    static OPS: OnceLock<SoaOps> = OnceLock::new();
+    OPS.get_or_init(|| soa_ops_for(active()))
 }
 
 /// `dst[i] += coeff · src[i]`. The float Winograd transforms use this; SIMD
@@ -254,6 +320,97 @@ pub fn scale_i32_f32(dst: &mut [f32], src: &[i32], scale: f32) {
     (soa_ops().scale_i32_f32)(dst, src, scale);
 }
 
+/// `dst[i] = clamp(round_ties_even((src[i] + bias) / scale), lo, hi) as i8` —
+/// the spatial int8 quantization step (input activations and the fused
+/// integer output epilogue; `bias` rides the same pass as a broadcast add,
+/// and a fused ReLU is `lo = 0`). Bit-identical across variants for finite
+/// inputs: division, half-even rounding and the float-domain clamp all round
+/// like the scalar expression.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length or `[lo, hi] ⊄ i8`.
+pub fn quantize_f32_i8(dst: &mut [i8], src: &[f32], scale: f32, bias: f32, lo: i32, hi: i32) {
+    assert_eq!(dst.len(), src.len(), "quantize_f32_i8: length mismatch");
+    assert!(lo >= i32::from(i8::MIN) && hi <= i32::from(i8::MAX) && lo <= hi);
+    (soa_ops().quantize_f32_i8)(dst, src, scale, bias, lo, hi);
+}
+
+/// [`quantize_f32_i8`] with an explicit kernel variant (tests/benches). A
+/// variant foreign to this build's architecture runs the scalar body.
+pub fn quantize_f32_i8_with(
+    variant: KernelVariant,
+    dst: &mut [i8],
+    src: &[f32],
+    scale: f32,
+    bias: f32,
+    lo: i32,
+    hi: i32,
+) {
+    assert_eq!(dst.len(), src.len(), "quantize_f32_i8: length mismatch");
+    assert!(lo >= i32::from(i8::MIN) && hi <= i32::from(i8::MAX) && lo <= hi);
+    (soa_ops_for(variant).quantize_f32_i8)(dst, src, scale, bias, lo, hi);
+}
+
+/// `dst[i] = clamp(round_ties_even(src[i] as f32 / scale), lo, hi) as i16` —
+/// the tap-wise requantization of the integer input transform (`S_B`): `i32`
+/// transform sums to Winograd-domain codes. Bit-identical across variants
+/// (the `i32 → f32` conversion is exact for the pipeline's bounded sums).
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length or `[lo, hi] ⊄ i16`.
+pub fn quantize_i32_i16(dst: &mut [i16], src: &[i32], scale: f32, lo: i32, hi: i32) {
+    assert_eq!(dst.len(), src.len(), "quantize_i32_i16: length mismatch");
+    assert!(lo >= i32::from(i16::MIN) && hi <= i32::from(i16::MAX) && lo <= hi);
+    (soa_ops().quantize_i32_i16)(dst, src, scale, lo, hi);
+}
+
+/// [`quantize_i32_i16`] with an explicit kernel variant (tests/benches).
+pub fn quantize_i32_i16_with(
+    variant: KernelVariant,
+    dst: &mut [i16],
+    src: &[i32],
+    scale: f32,
+    lo: i32,
+    hi: i32,
+) {
+    assert_eq!(dst.len(), src.len(), "quantize_i32_i16: length mismatch");
+    assert!(lo >= i32::from(i16::MIN) && hi <= i32::from(i16::MAX) && lo <= hi);
+    (soa_ops_for(variant).quantize_i32_i16)(dst, src, scale, lo, hi);
+}
+
+/// `dst[i] = clamp(round_ties_even((src[i] + bias) / scale), lo, hi) as f32 ·
+/// scale` — requantize-then-dequantize in one pass, the integer epilogue's
+/// output stage when the consumer needs FP32 (residual tails and dequantized
+/// graph outputs). A fused pre-residual ReLU is `lo = 0`. Bit-identical
+/// across variants for finite inputs, and bit-identical to
+/// [`quantize_f32_i8`] followed by `f32::from(code) * scale`.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length or `lo > hi`.
+pub fn requant_f32(dst: &mut [f32], src: &[f32], scale: f32, bias: f32, lo: i32, hi: i32) {
+    assert_eq!(dst.len(), src.len(), "requant_f32: length mismatch");
+    assert!(lo <= hi, "requant_f32: empty clamp range");
+    (soa_ops().requant_f32)(dst, src, scale, bias, lo, hi);
+}
+
+/// [`requant_f32`] with an explicit kernel variant (tests/benches).
+pub fn requant_f32_with(
+    variant: KernelVariant,
+    dst: &mut [f32],
+    src: &[f32],
+    scale: f32,
+    bias: f32,
+    lo: i32,
+    hi: i32,
+) {
+    assert_eq!(dst.len(), src.len(), "requant_f32: length mismatch");
+    assert!(lo <= hi, "requant_f32: empty clamp range");
+    (soa_ops_for(variant).requant_f32)(dst, src, scale, bias, lo, hi);
+}
+
 fn axpy_f32_scalar(dst: &mut [f32], coeff: f32, src: &[f32]) {
     for (d, &s) in dst.iter_mut().zip(src.iter()) {
         *d += coeff * s;
@@ -284,10 +441,261 @@ fn scale_i32_f32_scalar(dst: &mut [f32], src: &[i32], scale: f32) {
     }
 }
 
+/// The canonical quantization expression every variant reproduces bitwise:
+/// divide, round half-to-even (the hardware rounding of `cvtps`/`vcvtnq`),
+/// clamp **in the float domain** (`max` then `min`, so the vector `maxps` /
+/// `minps` sequence matches even at the saturated extremes), then convert.
+#[inline(always)]
+fn quantize_step(x: f32, scale: f32, bias: f32, lo: i32, hi: i32) -> i32 {
+    ((x + bias) / scale)
+        .round_ties_even()
+        .max(lo as f32)
+        .min(hi as f32) as i32
+}
+
+fn quantize_f32_i8_scalar(dst: &mut [i8], src: &[f32], scale: f32, bias: f32, lo: i32, hi: i32) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = quantize_step(s, scale, bias, lo, hi) as i8;
+    }
+}
+
+fn quantize_i32_i16_scalar(dst: &mut [i16], src: &[i32], scale: f32, lo: i32, hi: i32) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = quantize_step(s as f32, scale, 0.0, lo, hi) as i16;
+    }
+}
+
+fn requant_f32_scalar(dst: &mut [f32], src: &[f32], scale: f32, bias: f32, lo: i32, hi: i32) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = quantize_step(s, scale, bias, lo, hi) as f32 * scale;
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use super::{axpy_f32_scalar, axpy_i32_scalar, scale_i32_f32_scalar};
+    use super::{
+        axpy_f32_scalar, axpy_i32_scalar, quantize_f32_i8_scalar, quantize_i32_i16_scalar,
+        requant_f32_scalar, scale_i32_f32_scalar,
+    };
     use core::arch::x86_64::*;
+
+    pub fn quantize_f32_i8_avx2(
+        dst: &mut [i8],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        // SAFETY: dispatch verified avx2 support.
+        unsafe { quantize_f32_i8_avx2_impl(dst, src, scale, bias, lo, hi) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn quantize_f32_i8_avx2_impl(
+        dst: &mut [i8],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sc = _mm256_set1_ps(scale);
+        let bi = _mm256_set1_ps(bias);
+        let lov = _mm256_set1_ps(lo as f32);
+        let hiv = _mm256_set1_ps(hi as f32);
+        // Byte 0 of each clamped dword, gathered per 128-bit half.
+        #[rustfmt::skip]
+        let shuf = _mm256_setr_epi8(
+            0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+            0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        );
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_div_ps(_mm256_add_ps(_mm256_loadu_ps(s.add(i)), bi), sc);
+            // max-then-min in the float domain, exactly like the scalar
+            // expression (including the NaN-propagation order of maxps).
+            let v = _mm256_min_ps(_mm256_max_ps(v, lov), hiv);
+            let q = _mm256_cvtps_epi32(v);
+            let packed = _mm256_shuffle_epi8(q, shuf);
+            (d.add(i) as *mut i32).write_unaligned(_mm256_extract_epi32(packed, 0));
+            (d.add(i + 4) as *mut i32).write_unaligned(_mm256_extract_epi32(packed, 4));
+            i += 8;
+        }
+        quantize_f32_i8_scalar(&mut dst[i..], &src[i..], scale, bias, lo, hi);
+    }
+
+    pub fn quantize_i32_i16_avx2(dst: &mut [i16], src: &[i32], scale: f32, lo: i32, hi: i32) {
+        // SAFETY: dispatch verified avx2 support.
+        unsafe { quantize_i32_i16_avx2_impl(dst, src, scale, lo, hi) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn quantize_i32_i16_avx2_impl(
+        dst: &mut [i16],
+        src: &[i32],
+        scale: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sc = _mm256_set1_ps(scale);
+        let lov = _mm256_set1_ps(lo as f32);
+        let hiv = _mm256_set1_ps(hi as f32);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_cvtepi32_ps(_mm256_loadu_si256(s.add(i) as *const __m256i));
+            let v = _mm256_min_ps(_mm256_max_ps(_mm256_div_ps(v, sc), lov), hiv);
+            let q = _mm256_cvtps_epi32(v);
+            // Already clamped to [lo, hi] ⊆ i16: the saturating pack is
+            // lossless. packs interleaves 128-bit halves, so the lanes land
+            // in qword 0 (codes 0..3) and qword 2 (codes 4..7).
+            let p = _mm256_packs_epi32(q, q);
+            (d.add(i) as *mut i64).write_unaligned(_mm256_extract_epi64(p, 0));
+            (d.add(i + 4) as *mut i64).write_unaligned(_mm256_extract_epi64(p, 2));
+            i += 8;
+        }
+        quantize_i32_i16_scalar(&mut dst[i..], &src[i..], scale, lo, hi);
+    }
+
+    pub fn requant_f32_avx2(dst: &mut [f32], src: &[f32], scale: f32, bias: f32, lo: i32, hi: i32) {
+        // SAFETY: dispatch verified avx2 support.
+        unsafe { requant_f32_avx2_impl(dst, src, scale, bias, lo, hi) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn requant_f32_avx2_impl(
+        dst: &mut [f32],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sc = _mm256_set1_ps(scale);
+        let bi = _mm256_set1_ps(bias);
+        let lov = _mm256_set1_ps(lo as f32);
+        let hiv = _mm256_set1_ps(hi as f32);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_div_ps(_mm256_add_ps(_mm256_loadu_ps(s.add(i)), bi), sc);
+            let v = _mm256_min_ps(_mm256_max_ps(v, lov), hiv);
+            let q = _mm256_cvtps_epi32(v);
+            _mm256_storeu_ps(d.add(i), _mm256_mul_ps(_mm256_cvtepi32_ps(q), sc));
+            i += 8;
+        }
+        requant_f32_scalar(&mut dst[i..], &src[i..], scale, bias, lo, hi);
+    }
+
+    pub fn quantize_f32_i8_avx512(
+        dst: &mut [i8],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        // SAFETY: dispatch verified avx512f support.
+        unsafe { quantize_f32_i8_avx512_impl(dst, src, scale, bias, lo, hi) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn quantize_f32_i8_avx512_impl(
+        dst: &mut [i8],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sc = _mm512_set1_ps(scale);
+        let bi = _mm512_set1_ps(bias);
+        let lov = _mm512_set1_ps(lo as f32);
+        let hiv = _mm512_set1_ps(hi as f32);
+        let mut i = 0;
+        while i + 16 <= n {
+            let v = _mm512_div_ps(_mm512_add_ps(_mm512_loadu_ps(s.add(i)), bi), sc);
+            let v = _mm512_min_ps(_mm512_max_ps(v, lov), hiv);
+            let q = _mm512_cvtps_epi32(v);
+            _mm_storeu_si128(d.add(i) as *mut __m128i, _mm512_cvtepi32_epi8(q));
+            i += 16;
+        }
+        quantize_f32_i8_scalar(&mut dst[i..], &src[i..], scale, bias, lo, hi);
+    }
+
+    pub fn quantize_i32_i16_avx512(dst: &mut [i16], src: &[i32], scale: f32, lo: i32, hi: i32) {
+        // SAFETY: dispatch verified avx512f support.
+        unsafe { quantize_i32_i16_avx512_impl(dst, src, scale, lo, hi) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn quantize_i32_i16_avx512_impl(
+        dst: &mut [i16],
+        src: &[i32],
+        scale: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sc = _mm512_set1_ps(scale);
+        let lov = _mm512_set1_ps(lo as f32);
+        let hiv = _mm512_set1_ps(hi as f32);
+        let mut i = 0;
+        while i + 16 <= n {
+            let v = _mm512_cvtepi32_ps(_mm512_loadu_si512(s.add(i) as *const __m512i));
+            let v = _mm512_min_ps(_mm512_max_ps(_mm512_div_ps(v, sc), lov), hiv);
+            let q = _mm512_cvtps_epi32(v);
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, _mm512_cvtepi32_epi16(q));
+            i += 16;
+        }
+        quantize_i32_i16_scalar(&mut dst[i..], &src[i..], scale, lo, hi);
+    }
+
+    pub fn requant_f32_avx512(
+        dst: &mut [f32],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        // SAFETY: dispatch verified avx512f support.
+        unsafe { requant_f32_avx512_impl(dst, src, scale, bias, lo, hi) }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn requant_f32_avx512_impl(
+        dst: &mut [f32],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sc = _mm512_set1_ps(scale);
+        let bi = _mm512_set1_ps(bias);
+        let lov = _mm512_set1_ps(lo as f32);
+        let hiv = _mm512_set1_ps(hi as f32);
+        let mut i = 0;
+        while i + 16 <= n {
+            let v = _mm512_div_ps(_mm512_add_ps(_mm512_loadu_ps(s.add(i)), bi), sc);
+            let v = _mm512_min_ps(_mm512_max_ps(v, lov), hiv);
+            let q = _mm512_cvtps_epi32(v);
+            _mm512_storeu_ps(d.add(i), _mm512_mul_ps(_mm512_cvtepi32_ps(q), sc));
+            i += 16;
+        }
+        requant_f32_scalar(&mut dst[i..], &src[i..], scale, bias, lo, hi);
+    }
 
     pub fn axpy_f32_avx2(dst: &mut [f32], coeff: f32, src: &[f32]) {
         // SAFETY: dispatch verified avx2+fma support.
@@ -447,8 +855,115 @@ mod x86 {
 
 #[cfg(target_arch = "aarch64")]
 mod neon {
-    use super::{axpy_f32_scalar, axpy_i32_scalar, scale_i32_f32_scalar};
+    use super::{
+        axpy_f32_scalar, axpy_i32_scalar, quantize_f32_i8_scalar, quantize_i32_i16_scalar,
+        requant_f32_scalar, scale_i32_f32_scalar,
+    };
     use core::arch::aarch64::*;
+
+    pub fn quantize_f32_i8_neon(
+        dst: &mut [i8],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        // SAFETY: dispatch verified NEON support.
+        unsafe { quantize_f32_i8_neon_impl(dst, src, scale, bias, lo, hi) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn quantize_f32_i8_neon_impl(
+        dst: &mut [i8],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sc = vdupq_n_f32(scale);
+        let bi = vdupq_n_f32(bias);
+        let lov = vdupq_n_f32(lo as f32);
+        let hiv = vdupq_n_f32(hi as f32);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v0 = vdivq_f32(vaddq_f32(vld1q_f32(s.add(i)), bi), sc);
+            let v1 = vdivq_f32(vaddq_f32(vld1q_f32(s.add(i + 4)), bi), sc);
+            let v0 = vminq_f32(vmaxq_f32(v0, lov), hiv);
+            let v1 = vminq_f32(vmaxq_f32(v1, lov), hiv);
+            // vcvtnq rounds half-to-even, matching `round_ties_even`.
+            let q0 = vcvtnq_s32_f32(v0);
+            let q1 = vcvtnq_s32_f32(v1);
+            // Clamped to [lo, hi] ⊆ i8: saturating narrows are lossless.
+            let h = vcombine_s16(vqmovn_s32(q0), vqmovn_s32(q1));
+            vst1_s8(d.add(i), vqmovn_s16(h));
+            i += 8;
+        }
+        quantize_f32_i8_scalar(&mut dst[i..], &src[i..], scale, bias, lo, hi);
+    }
+
+    pub fn quantize_i32_i16_neon(dst: &mut [i16], src: &[i32], scale: f32, lo: i32, hi: i32) {
+        // SAFETY: dispatch verified NEON support.
+        unsafe { quantize_i32_i16_neon_impl(dst, src, scale, lo, hi) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn quantize_i32_i16_neon_impl(
+        dst: &mut [i16],
+        src: &[i32],
+        scale: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sc = vdupq_n_f32(scale);
+        let lov = vdupq_n_f32(lo as f32);
+        let hiv = vdupq_n_f32(hi as f32);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = vdivq_f32(vcvtq_f32_s32(vld1q_s32(s.add(i))), sc);
+            let v = vminq_f32(vmaxq_f32(v, lov), hiv);
+            let q = vcvtnq_s32_f32(v);
+            vst1_s16(d.add(i), vqmovn_s32(q));
+            i += 4;
+        }
+        quantize_i32_i16_scalar(&mut dst[i..], &src[i..], scale, lo, hi);
+    }
+
+    pub fn requant_f32_neon(dst: &mut [f32], src: &[f32], scale: f32, bias: f32, lo: i32, hi: i32) {
+        // SAFETY: dispatch verified NEON support.
+        unsafe { requant_f32_neon_impl(dst, src, scale, bias, lo, hi) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn requant_f32_neon_impl(
+        dst: &mut [f32],
+        src: &[f32],
+        scale: f32,
+        bias: f32,
+        lo: i32,
+        hi: i32,
+    ) {
+        let n = dst.len();
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let sc = vdupq_n_f32(scale);
+        let bi = vdupq_n_f32(bias);
+        let lov = vdupq_n_f32(lo as f32);
+        let hiv = vdupq_n_f32(hi as f32);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = vdivq_f32(vaddq_f32(vld1q_f32(s.add(i)), bi), sc);
+            let v = vminq_f32(vmaxq_f32(v, lov), hiv);
+            let q = vcvtnq_s32_f32(v);
+            vst1q_f32(d.add(i), vmulq_f32(vcvtq_f32_s32(q), sc));
+            i += 4;
+        }
+        requant_f32_scalar(&mut dst[i..], &src[i..], scale, bias, lo, hi);
+    }
 
     pub fn axpy_f32_neon(dst: &mut [f32], coeff: f32, src: &[f32]) {
         // SAFETY: dispatch verified NEON support.
@@ -580,5 +1095,62 @@ mod tests {
             scale_i32_f32_scalar(&mut f2, &src_i, 0.03125);
             assert_eq!(f1, f2, "scale_i32_f32 must be bit-identical, n={n}");
         }
+    }
+
+    #[test]
+    fn quantize_primitives_match_scalar_bitwise_on_every_variant() {
+        // Values cover the clamp extremes, exact halves (tie-to-even), zeros
+        // and a spread of magnitudes; lengths cover vector body + tails.
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 100] {
+            let src_f: Vec<f32> = (0..n)
+                .map(|i| match i % 7 {
+                    0 => (i as f32) * 0.73 - 9.0,
+                    1 => 1e9,   // saturates at hi
+                    2 => -1e9,  // saturates at lo
+                    3 => 0.375, // exact half after /0.25: ties-to-even
+                    4 => -0.625,
+                    5 => 0.0,
+                    _ => (i as f32).sin() * 40.0,
+                })
+                .collect();
+            let src_i: Vec<i32> = (0..n).map(|i| (i as i32 * 997 - 3000) % 20000).collect();
+            for v in available() {
+                let mut q8 = vec![0_i8; n];
+                let mut q8_ref = vec![0_i8; n];
+                quantize_f32_i8_with(v, &mut q8, &src_f, 0.25, 0.5, -128, 127);
+                quantize_f32_i8_scalar(&mut q8_ref, &src_f, 0.25, 0.5, -128, 127);
+                assert_eq!(q8, q8_ref, "quantize_f32_i8 {} n={n}", v.name());
+                // ReLU fusion: lo = 0.
+                quantize_f32_i8_with(v, &mut q8, &src_f, 0.25, 0.0, 0, 127);
+                quantize_f32_i8_scalar(&mut q8_ref, &src_f, 0.25, 0.0, 0, 127);
+                assert_eq!(q8, q8_ref, "quantize_f32_i8 relu {} n={n}", v.name());
+
+                let mut q16 = vec![0_i16; n];
+                let mut q16_ref = vec![0_i16; n];
+                quantize_i32_i16_with(v, &mut q16, &src_i, 37.5, -512, 511);
+                quantize_i32_i16_scalar(&mut q16_ref, &src_i, 37.5, -512, 511);
+                assert_eq!(q16, q16_ref, "quantize_i32_i16 {} n={n}", v.name());
+
+                let mut r = vec![0.0_f32; n];
+                let mut r_ref = vec![0.0_f32; n];
+                requant_f32_with(v, &mut r, &src_f, 0.125, -0.3, -128, 127);
+                requant_f32_scalar(&mut r_ref, &src_f, 0.125, -0.3, -128, 127);
+                assert_eq!(
+                    r.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    r_ref.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "requant_f32 {} n={n}",
+                    v.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_rounds_half_to_even() {
+        // 0.5/1.0 → 0 (even), 1.5 → 2, 2.5 → 2, -0.5 → 0, -1.5 → -2.
+        let src = [0.5_f32, 1.5, 2.5, -0.5, -1.5, 3.5, -2.5, 4.5];
+        let mut q = [0_i8; 8];
+        quantize_f32_i8(&mut q, &src, 1.0, 0.0, -128, 127);
+        assert_eq!(q, [0, 2, 2, 0, -2, 4, -2, 4]);
     }
 }

@@ -1,7 +1,21 @@
 //! Property-based tests of the tensor substrate.
 
 use proptest::prelude::*;
-use wino_tensor::{conv2d_direct, conv2d_im2col, gemm_f32, normal, ConvParams, Tensor};
+use wino_tensor::{
+    conv2d_direct, conv2d_im2col, gemm_f32, gemm_i16_i32_into_with, gemm_i8_i32_into_with, normal,
+    simd, ConvParams, Tensor,
+};
+
+/// A tiny deterministic mixer so the operand patterns vary with the proptest
+/// seed without needing an RNG in the test body.
+fn mix(seed: u64, i: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(i as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 27)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -37,6 +51,64 @@ proptest! {
         let left = gemm_f32(&a, &b.add(&c));
         let right = gemm_f32(&a, &b).add(&gemm_f32(&a, &c));
         prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    /// Every available integer GEMM variant (avx2 / avx512 / avx512vnni /
+    /// neon tiers, whichever the host supports) is bit-identical to the
+    /// scalar kernel on arbitrary shapes — including MR/NR-straddling edges
+    /// and K values that are not a multiple of the paired-MAC grouping —
+    /// with i8 operands frequently pinned at the −128/+127 saturation
+    /// extremes (the adversarial case for the madd/VNNI sign-offset
+    /// formulations).
+    #[test]
+    fn int_gemm_variants_bit_identical_to_scalar(
+        m in 1usize..20,
+        k in 1usize..40,
+        n in 1usize..36,
+        seed in 0u64..1000,
+    ) {
+        let a8: Vec<i8> = (0..m * k)
+            .map(|i| match mix(seed, i) % 6 {
+                0 => i8::MIN,
+                1 => i8::MAX,
+                v => (v as i8).wrapping_mul(43).wrapping_add((i % 7) as i8),
+            })
+            .collect();
+        let b8: Vec<i8> = (0..k * n)
+            .map(|i| match mix(seed ^ 0xdead_beef, i) % 6 {
+                0 => i8::MIN,
+                1 => i8::MAX,
+                v => (v as i8).wrapping_mul(59).wrapping_sub((i % 5) as i8),
+            })
+            .collect();
+        // i16 extremes bounded by the exactness contract
+        // K·max|A|·max|B| ≤ i32::MAX.
+        let lim = ((i32::MAX as f64 / k as f64).sqrt() as i64).min(i64::from(i16::MAX)) as i16;
+        let a16: Vec<i16> = (0..m * k)
+            .map(|i| match mix(seed ^ 0x1234, i) % 5 {
+                0 => -lim,
+                1 => lim,
+                v => ((mix(v, i) % (2 * lim as u64 + 1)) as i64 - i64::from(lim)) as i16,
+            })
+            .collect();
+        let b16: Vec<i16> = (0..k * n)
+            .map(|i| match mix(seed ^ 0x5678, i) % 5 {
+                0 => -lim,
+                1 => lim,
+                v => ((mix(v, i + 1) % (2 * lim as u64 + 1)) as i64 - i64::from(lim)) as i16,
+            })
+            .collect();
+        let mut want8 = vec![0_i32; m * n];
+        let mut want16 = vec![0_i32; m * n];
+        gemm_i8_i32_into_with(simd::KernelVariant::Scalar, &mut want8, &a8, &b8, m, k, n);
+        gemm_i16_i32_into_with(simd::KernelVariant::Scalar, &mut want16, &a16, &b16, m, k, n);
+        for variant in simd::available() {
+            let mut got = vec![0_i32; m * n];
+            gemm_i8_i32_into_with(variant, &mut got, &a8, &b8, m, k, n);
+            prop_assert_eq!(&got, &want8);
+            gemm_i16_i32_into_with(variant, &mut got, &a16, &b16, m, k, n);
+            prop_assert_eq!(&got, &want16);
+        }
     }
 
     /// Reshape preserves the element sequence, and a round trip restores the

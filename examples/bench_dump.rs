@@ -455,9 +455,15 @@ fn main() {
         "  \"serving_overload\": {{{}}},",
         serving_rows.join(", ")
     );
+    let available = simd::available()
+        .iter()
+        .map(|v| format!("\"{}\"", v.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
     let _ = writeln!(
         json,
-        "  \"simd\": {{\"active\": \"{}\", \"gemm_{gm}x{gk}x{gn}\": {{{}}}}},",
+        "  \"simd\": {{\"active\": \"{}\", \"available\": [{available}], \
+         \"gemm_{gm}x{gk}x{gn}\": {{{}}}}},",
         simd::active().name(),
         simd_rows.join(", ")
     );

@@ -87,6 +87,63 @@ fn integer_gemm_variants_are_bit_identical_to_scalar() {
     }
 }
 
+/// Operands pinned at the i8 −128/+127 saturation extremes — the
+/// adversarial case for the paired-MAC `madd` pairing and the VNNI
+/// sign-offset formulation (a `maddubs`-style u8×i8 product of two −128
+/// pairs would saturate; the kernels must widen exactly instead) — and i16
+/// at the exactness-contract limit, over K widths straddling the pair/quad
+/// grouping (K = 1, 2, 3 and K crossing the packing block).
+#[test]
+fn integer_gemm_saturation_extremes_are_bit_identical() {
+    const EDGE_SHAPES: &[(usize, usize, usize)] = &[
+        (8, 1, 16),
+        (8, 2, 16),
+        (8, 3, 17),
+        (9, 4, 33),
+        (5, 7, 9),
+        (12, 255, 19),
+        (8, 257, 16),
+    ];
+    for &(m, k, n) in EDGE_SHAPES {
+        let a8: Vec<i8> = (0..m * k)
+            .map(|i| if i % 3 == 0 { i8::MIN } else { i8::MAX })
+            .collect();
+        let b8: Vec<i8> = (0..k * n)
+            .map(|i| if i % 2 == 0 { i8::MIN } else { i8::MAX })
+            .collect();
+        // Largest symmetric magnitude with K·lim² still inside i32.
+        let lim = ((i32::MAX as f64 / k as f64).sqrt() as i32).min(i32::from(i16::MAX)) as i16;
+        let a16: Vec<i16> = (0..m * k)
+            .map(|i| if i % 3 == 0 { -lim } else { lim })
+            .collect();
+        let b16: Vec<i16> = (0..k * n)
+            .map(|i| if i % 2 == 0 { -lim } else { lim })
+            .collect();
+        let mut want = vec![0i32; m * n];
+        let mut got = vec![0i32; m * n];
+        gemm_i8_i32_into_with(KernelVariant::Scalar, &mut want, &a8, &b8, m, k, n);
+        for variant in simd::available() {
+            gemm_i8_i32_into_with(variant, &mut got, &a8, &b8, m, k, n);
+            assert_eq!(
+                got,
+                want,
+                "i8 extremes {m}x{k}x{n} {} not exact",
+                variant.name()
+            );
+        }
+        gemm_i16_i32_into_with(KernelVariant::Scalar, &mut want, &a16, &b16, m, k, n);
+        for variant in simd::available() {
+            gemm_i16_i32_into_with(variant, &mut got, &a16, &b16, m, k, n);
+            assert_eq!(
+                got,
+                want,
+                "i16 extremes {m}x{k}x{n} {} not exact",
+                variant.name()
+            );
+        }
+    }
+}
+
 /// A 7×7 / F4 graph layer has 4 tiles — below the tap-major floor — but
 /// enough output channels to lane the tap GEMMs over `c_out` instead. The
 /// executor must route it through the channel-laned path and still match
